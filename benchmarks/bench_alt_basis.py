@@ -1,0 +1,115 @@
+"""E8 — Section IV / Theorem 4.1: alternative-basis algorithms.
+
+Regenerates the Karstadt–Schwartz result with our own search (12 additions,
+leading coefficient 6 → 5), measures the arithmetic and I/O payoff of the
+sparse core, and shows the transform I/O vanishing relative to the bilinear
+I/O — the quantitative heart of Theorem 4.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import banner
+
+from repro.algorithms import strassen, winograd
+from repro.analysis.report import text_table
+from repro.basis import karstadt_schwartz, search_sparse_basis
+from repro.bounds.formulas import fast_sequential
+from repro.execution import abmm_machine_multiply, recursive_fast_matmul
+from repro.machine import SequentialMachine
+
+
+def test_basis_search_rediscovers_ks(benchmark):
+    """Our unimodular scan reaches the proven-optimal 12 additions."""
+    results = benchmark.pedantic(
+        lambda: search_sparse_basis(winograd()), rounds=1, iterations=1
+    )
+    ru, rv, rw = results
+    total = ru.additions + rv.additions + rw.additions
+    print(banner("E8 — sparse-basis search on Winograd"))
+    print(text_table(
+        ["matrix", "additions after transform", "transform nnz"],
+        [["U", ru.additions, ru.transform_nnz],
+         ["V", rv.additions, rv.transform_nnz],
+         ["W", rw.additions, rw.transform_nnz]],
+    ))
+    print(f"  total: {total} additions → leading coefficient {1 + (total / 4) / 0.75}")
+    assert total == 12
+
+
+def test_leading_coefficients_table(benchmark):
+    """The §IV ladder: 7 (Strassen) → 6 (Winograd) → 5 (KS), with the
+    reuse-aware addition counts computed mechanically by greedy CSE —
+    not hardcoded."""
+    from repro.algorithms.cse import additions_with_reuse
+
+    def build():
+        ks = karstadt_schwartz()
+        rows = []
+        for name, alg in (
+            ("strassen", strassen()),
+            ("winograd", winograd()),
+            ("karstadt-schwartz", ks.core),
+        ):
+            counts = additions_with_reuse(alg)
+            rows.append([name, counts["total"], counts["leading_coefficient"]])
+        return rows
+
+    rows = benchmark(build)
+    print(banner("E8 — additions per level (greedy CSE) and leading coefficient"))
+    print(text_table(["algorithm", "additions (with reuse)", "leading coefficient"], rows))
+    assert [r[1] for r in rows] == [18, 15, 12]
+    assert [r[2] for r in rows] == [7.0, 6.0, 5.0]
+
+
+def test_transform_io_vanishes(benchmark, rng):
+    """Theorem 4.1's 'negligible': transform fraction of total I/O vs n."""
+    ks = karstadt_schwartz()
+    M = 48
+    sizes = [16, 32, 64, 128]
+
+    def sweep():
+        out = []
+        for n in sizes:
+            A = rng.standard_normal((n, n))
+            B = rng.standard_normal((n, n))
+            mach = SequentialMachine(M)
+            C, phases = abmm_machine_multiply(mach, ks, A, B)
+            assert np.allclose(C, A @ B)
+            assert phases["io_total"] >= fast_sequential(n, M)
+            out.append([n, int(phases["io_transform_forward"] + phases["io_transform_inverse"]),
+                        int(phases["io_bilinear"]), round(phases["transform_fraction"], 4)])
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(banner("E8 — ABMM phase split (M = 48)"))
+    print(text_table(["n", "transform I/O", "bilinear I/O", "transform fraction"], rows))
+    fracs = [r[3] for r in rows]
+    assert fracs[-1] < fracs[0]
+
+
+def test_ks_vs_winograd_measured_io(benchmark, rng):
+    """The sparser core pays less bilinear I/O per level (10.5 → 9 in the
+    paper's reuse-aware accounting; the streamed executor preserves the
+    direction with its own constants)."""
+    n, M = 128, 48
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+
+    def run():
+        ks = karstadt_schwartz()
+        mach_ks = SequentialMachine(M)
+        _, phases = abmm_machine_multiply(mach_ks, ks, A, B)
+        mach_w = SequentialMachine(M)
+        recursive_fast_matmul(mach_w, winograd(), A, B)
+        return phases, mach_w.io_operations
+
+    phases, wino_io = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(banner("E8 — KS vs Winograd measured I/O (n=128, M=48)"))
+    print(text_table(
+        ["algorithm", "I/O"],
+        [["winograd DFS", wino_io],
+         ["KS bilinear phase", int(phases["io_bilinear"])],
+         ["KS total (with transforms)", int(phases["io_total"])]],
+    ))
+    assert phases["io_bilinear"] < wino_io

@@ -1,0 +1,96 @@
+"""E14 (related-work extension) — the classical lower-bound techniques the
+paper's method is measured against.
+
+Three generations of technique, all implemented here, compared on small
+CDAGs where the exact optimum is computable:
+
+  * Hong–Kung S-partitions (recomputation-safe, often loose),
+  * Savage's S-span (recomputation-safe, good on shallow CDAGs),
+  * the exact optimum (the truth).
+
+The point the paper's introduction makes: these generic techniques were
+not strong enough to settle fast matmul with recomputation — which is why
+the dominator+flow method of Section III (and its segment audit, E7)
+was needed.
+"""
+
+from __future__ import annotations
+
+from conftest import banner
+
+from repro.algorithms import strassen
+from repro.analysis.report import text_table
+from repro.cdag import base_case_cdag
+from repro.cdag.families import (
+    binary_tree_cdag,
+    diamond_chain_cdag,
+    recompute_wins_cdag,
+)
+from repro.pebbling import (
+    hong_kung_lower_bound,
+    optimal_io,
+    s_span,
+    savage_lower_bound,
+)
+
+
+def test_technique_comparison(benchmark):
+    cases = [
+        ("bintree(3)", binary_tree_cdag(3), 2, 3),
+        ("diamond(3)", diamond_chain_cdag(3), 2, 3),
+        ("gadget", recompute_wins_cdag(1, 2), 2, 3),
+    ]
+
+    def run():
+        rows = []
+        for name, c, M, M_opt in cases:
+            hk = hong_kung_lower_bound(c, M)
+            sv = savage_lower_bound(c, M, max_vertices=15)
+            opt = optimal_io(c, M_opt)
+            rows.append([name, M, hk, sv, opt])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(banner("E14 — Hong–Kung vs Savage vs exact optimum"))
+    print(text_table(["CDAG", "M", "Hong–Kung", "Savage span", "optimal I/O"], rows))
+    for _, _, hk, sv, opt in rows:
+        assert hk <= opt and sv <= opt  # both are valid floors
+
+
+def test_span_values(benchmark):
+    def spans():
+        rows = []
+        for name, c in (
+            ("bintree(3)", binary_tree_cdag(3)),
+            ("diamond(4)", diamond_chain_cdag(4)),
+            ("gadget", recompute_wins_cdag(1, 2)),
+        ):
+            rows.append([name, s_span(c, 4, max_vertices=15), s_span(c, 6, max_vertices=15)])
+        return rows
+
+    rows = benchmark.pedantic(spans, rounds=1, iterations=1)
+    print(banner("E14 — S-span values (the Savage [16] quantity)"))
+    print(text_table(["CDAG", "span(4)", "span(6)"], rows))
+    for _, s4, s6 in rows:
+        assert s4 <= s6
+
+
+def test_strassen_slice_floors(benchmark):
+    """On the Strassen C12 slice, the generic floors sit below the exact
+    optimum — the gap the paper's specialized method closes at scale."""
+    base = base_case_cdag(strassen(), style="tree")
+    piece = base.ancestor_closure([base.outputs[1]])
+
+    def run():
+        hk = hong_kung_lower_bound(piece, 2)
+        sv = savage_lower_bound(piece, 2, max_vertices=15)
+        opt = optimal_io(piece, 4)
+        return hk, sv, opt
+
+    hk, sv, opt = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(banner("E14 — floors on the Strassen C12 slice (M for bounds = 2)"))
+    print(text_table(
+        ["technique", "value"],
+        [["Hong–Kung", hk], ["Savage span", sv], ["exact optimum (M=4)", opt]],
+    ))
+    assert hk <= opt and sv <= opt

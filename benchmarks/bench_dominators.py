@@ -1,0 +1,79 @@
+"""E9 — Lemma 3.7: every dominator of r² SUB-outputs has size ≥ r²/2.
+
+Exhaustive enumeration on H⁴ˣ⁴ (a slice of the C(28,4) subsets timed; the
+full scan is the slow-marked test in the suite), sampled verification on
+H⁸ˣ⁸, and the distribution of actual minimum dominator sizes — showing how
+much slack real instances leave over the r²/2 floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import banner
+
+from repro.algorithms import strassen
+from repro.analysis.report import text_table
+from repro.cdag import build_recursive_cdag
+from repro.lemmas.lemma37 import (
+    check_lemma37,
+    exhaustive_lemma37,
+    min_dominator_of_outputs,
+)
+
+
+def test_dominator_exhaustive_slice(benchmark):
+    H = build_recursive_cdag(strassen(), 4)
+    count = benchmark.pedantic(
+        lambda: exhaustive_lemma37(H, 2, limit=2000), rounds=1, iterations=1
+    )
+    print(banner("E9 — Lemma 3.7 exhaustive slice on H⁴ˣ⁴ (r = 2)"))
+    print(f"  verified {count} subsets Z with |Z| = 4: min dominator ≥ 2 in all")
+    assert count == 2000
+
+
+def test_dominator_sampled_h8(benchmark):
+    H = build_recursive_cdag(strassen(), 8)
+    rep = benchmark.pedantic(
+        lambda: check_lemma37(H, 2, samples=30), rounds=1, iterations=1
+    )
+    print(banner("E9 — Lemma 3.7 sampled on H⁸ˣ⁸ (r = 2)"))
+    print(f"  {rep['checked']} sampled Z (uniform + adversarial): floor ≥ {rep['subset_size'] // 2} holds")
+
+
+def test_dominator_size_distribution(benchmark):
+    """Actual min-dominator sizes vs the r²/2 floor."""
+    H = build_recursive_cdag(strassen(), 8)
+    rng = np.random.default_rng(9)
+    pool = H.all_sub_output_vertices(2)
+
+    def distribution():
+        sizes = []
+        for _ in range(25):
+            Z = list(rng.choice(pool, size=4, replace=False))
+            sizes.append(min_dominator_of_outputs(H, Z))
+        return sizes
+
+    sizes = benchmark.pedantic(distribution, rounds=1, iterations=1)
+    print(banner("E9 — min dominator size distribution (|Z| = 4, floor = 2)"))
+    hist = {s: sizes.count(s) for s in sorted(set(sizes))}
+    print(text_table(["min dominator size", "count"], [[k, v] for k, v in hist.items()]))
+    assert min(sizes) >= 2
+
+
+def test_dominator_scaling_with_r(benchmark):
+    """Whole-subproblem dominators across recursion sizes."""
+    H = build_recursive_cdag(strassen(), 8)
+
+    def scan():
+        rows = []
+        for r in (2, 4):
+            Z = H.sub_outputs[r][0]
+            dom = min_dominator_of_outputs(H, Z)
+            rows.append([r, len(Z), dom, len(Z) / 2])
+        return rows
+
+    rows = benchmark.pedantic(scan, rounds=1, iterations=1)
+    print(banner("E9 — whole-subproblem dominators on H⁸ˣ⁸"))
+    print(text_table(["r", "|Z| = r²", "min dominator", "floor r²/2"], rows))
+    for _, z, dom, floor in rows:
+        assert dom >= floor

@@ -1,0 +1,47 @@
+"""E2 — regenerate Figure 1: the CDAG of Strassen's base algorithm.
+
+Constructs the base-case CDAG programmatically, prints its layered census
+and DOT source, and benchmarks construction of the recursive H^{n×n} the
+figure's caption generalizes to.
+"""
+
+from __future__ import annotations
+
+from conftest import banner
+
+from repro.algorithms import strassen, winograd
+from repro.analysis.report import text_table
+from repro.cdag import base_case_cdag, build_recursive_cdag
+from repro.viz.ascii_art import base_cdag_ascii
+from repro.viz.dot import cdag_to_dot
+
+
+def test_fig1_base_cdag(benchmark):
+    base = benchmark(lambda: base_case_cdag(strassen()))
+    print(banner("FIGURE 1 — CDAG of Strassen's base algorithm"))
+    print(base_cdag_ascii(base))
+    print("\nDOT source (render with `dot -Tpng`):\n")
+    print(cdag_to_dot(base))
+    assert base.census()["vertices"] == 33
+
+
+def test_fig1_recursive_growth(benchmark):
+    """The figure's recursive generalization: H^{n×n} census vs n."""
+    H16 = benchmark(lambda: build_recursive_cdag(strassen(), 16))
+    print(banner("FIGURE 1 (extended) — H^{n×n} census"))
+    rows = []
+    for n in (2, 4, 8, 16):
+        H = H16 if n == 16 else build_recursive_cdag(strassen(), n)
+        c = H.cdag.census()
+        rows.append([n, c["vertices"], c["edges"], H.num_subproblems(1)])
+    print(text_table(["n", "vertices", "edges", "multiplications"], rows))
+    assert rows[-1][3] == 7 ** 4
+
+
+def test_fig1_winograd_variant(benchmark):
+    """Same figure for Winograd's variant — identical multiplication layer,
+    different linear layers."""
+    base = benchmark(lambda: base_case_cdag(winograd()))
+    print(banner("FIGURE 1 (variant) — Winograd base CDAG"))
+    print(base_cdag_ascii(base))
+    assert len(base.outputs) == 4

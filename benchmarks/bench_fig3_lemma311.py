@@ -1,0 +1,65 @@
+"""E4 — regenerate Figure 3: the Lemma 3.11 disjoint-path construction,
+computed on real H^{n×n} CDAGs via max-flow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import banner
+
+from repro.algorithms import strassen
+from repro.analysis.report import text_table
+from repro.cdag import build_recursive_cdag
+from repro.lemmas.lemma311 import check_lemma311, lemma311_instance
+from repro.viz.ascii_art import lemma311_ascii
+
+
+def test_fig3_path_construction(benchmark):
+    H = build_recursive_cdag(strassen(), 8)
+    Z = H.sub_outputs[2][0] + H.sub_outputs[2][1]  # two whole subproblems
+    gamma = [H.sub_outputs[1][0][0]]               # one multiplication vertex
+
+    inst = benchmark(lambda: lemma311_instance(H, 2, Z, gamma))
+    print(banner("FIGURE 3 — Lemma 3.11 path construction on H⁸ˣ⁸"))
+    print(lemma311_ascii(inst))
+    assert inst.holds
+
+
+def test_fig3_sampled_instances(benchmark):
+    H = build_recursive_cdag(strassen(), 8)
+    results = benchmark.pedantic(
+        lambda: check_lemma311(H, 2, samples=20, seed=3), rounds=1, iterations=1
+    )
+    print(banner("LEMMA 3.11 — sampled (Γ, Z) instances on H⁸ˣ⁸"))
+    rows = [
+        [i.z_size, i.gamma_size, i.reachable_sub_inputs, i.disjoint_paths,
+         round(i.floor, 2), i.holds]
+        for i in results[:15]
+    ]
+    print(text_table(
+        ["|Z|", "|Γ|", "|Y*|", "disjoint paths", "floor 2r√(|Z|−2|Γ|)", "holds"],
+        rows,
+    ))
+    assert all(i.holds for i in results)
+
+
+def test_fig3_floor_tightness_profile(benchmark):
+    """How much slack the construction leaves, as |Γ| grows toward |Z|/2."""
+    H = build_recursive_cdag(strassen(), 8)
+    Z = [out for sub in H.sub_outputs[2][:4] for out in sub]  # 16 outputs
+    mult_pool = [m[0] for m in H.sub_outputs[1]]
+
+    def profile():
+        rows = []
+        rng = np.random.default_rng(5)
+        for g_size in (0, 2, 4, 6, 8):
+            gamma = list(rng.choice(mult_pool, size=g_size, replace=False))
+            inst = lemma311_instance(H, 2, Z, gamma)
+            rows.append([g_size, inst.disjoint_paths, round(inst.floor, 2)])
+        return rows
+
+    rows = benchmark(profile)
+    print(banner("LEMMA 3.11 — slack profile (|Z| = 16 fixed)"))
+    print(text_table(["|Γ|", "paths", "floor"], rows))
+    for _, paths, floor in rows:
+        assert paths >= floor

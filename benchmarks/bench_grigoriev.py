@@ -1,0 +1,60 @@
+"""E10 — Lemma 3.8: the Grigoriev flow of matrix multiplication.
+
+Brute-forces the flow definition over Z₂ and Z₃ for every (u, v) pair and
+prints it against the closed-form lower bound the dominator argument uses.
+"""
+
+from __future__ import annotations
+
+from conftest import banner
+
+from repro.analysis.report import text_table
+from repro.flow import flow_of_subsets, matmul_flow_lower_bound, min_flow_exhaustive
+from repro.util.smallrings import Zmod
+
+
+def test_grigoriev_flow_table_z2(benchmark):
+    ring = Zmod(2)
+
+    def table():
+        rows = []
+        for u in range(4, 9):
+            for v in range(1, 5):
+                exact = min_flow_exhaustive(ring, 2, u, v)
+                bound = matmul_flow_lower_bound(2, u, v)
+                rows.append([u, v, exact, round(bound, 3), exact >= bound - 1e-9])
+        return rows
+
+    rows = benchmark.pedantic(table, rounds=1, iterations=1)
+    print(banner("E10 — Grigoriev flow of f₂ₓ₂ over Z₂ (exhaustive)"))
+    print(text_table(["u", "v", "exact ω(u,v)", "Lemma 3.8 floor", "holds"], rows))
+    assert all(r[4] for r in rows)
+
+
+def test_grigoriev_flow_z3_spot(benchmark):
+    ring = Zmod(3)
+
+    def spot():
+        rows = []
+        for u, v in ((8, 4), (7, 3), (6, 2)):
+            exact = min_flow_exhaustive(ring, 2, u, v)
+            rows.append([u, v, exact, round(matmul_flow_lower_bound(2, u, v), 3)])
+        return rows
+
+    rows = benchmark.pedantic(spot, rounds=1, iterations=1)
+    print(banner("E10 — Grigoriev flow over Z₃ (spot check)"))
+    print(text_table(["u", "v", "exact", "floor"], rows))
+    for _, _, exact, floor in rows:
+        assert exact >= floor - 1e-9
+
+
+def test_grigoriev_full_freedom(benchmark):
+    """u = 2n², v = n²: the flow is the full n² (image covers the range)."""
+    ring = Zmod(2)
+    flow = benchmark(
+        lambda: flow_of_subsets(ring, 2, tuple(range(8)), (0, 1, 2, 3))
+    )
+    print(banner("E10 — full-freedom flow"))
+    print(f"  ω(8, 4) over Z₂ = {flow} (closed-form floor: "
+          f"{matmul_flow_lower_bound(2, 8, 4)})")
+    assert flow == 4.0

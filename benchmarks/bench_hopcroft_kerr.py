@@ -1,0 +1,89 @@
+"""E12 — the Hopcroft–Kerr foundation of Lemmas 3.3–3.4.
+
+Prints the nine certificate sets, runs the ≤1-left-factor-per-set
+consistency check over a large de Groote corpus, and reports the support
+coverage fact behind Lemma 3.3 — including the reproduction finding that
+the literal support reading of Lemma 3.3 needs the {−1,0,1}-coefficient
+restriction (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from conftest import banner
+
+from repro.algorithms import algorithm_corpus, strassen, winograd
+from repro.algorithms.hopcroft_kerr import (
+    HOPCROFT_KERR_SETS,
+    all_support_patterns_covered,
+    left_factor_set_counts,
+)
+from repro.analysis.report import text_table
+from repro.lemmas.hk_check import check_corollary35_consistency
+from repro.lemmas.lemma31 import check_lemma31
+from repro.lemmas.lemma32_33 import check_lemma33
+
+_NAMES = ["A11", "A12", "A21", "A22"]
+
+
+def _form_str(form):
+    return "+".join(n for n, c in zip(_NAMES, form) if c)
+
+
+def test_hk_sets_and_named_algorithms(benchmark):
+    counts = benchmark(lambda: {
+        alg.name: left_factor_set_counts(alg) for alg in (strassen(), winograd())
+    })
+    print(banner("E12 — the nine Hopcroft–Kerr certificate sets"))
+    for i, s in enumerate(HOPCROFT_KERR_SETS):
+        print(f"  set {i}: " + ", ".join(_form_str(f) for f in s))
+    print(f"\n  all 15 non-zero support patterns covered: "
+          f"{all_support_patterns_covered()}")
+    print(banner("E12 — left factors per set (k ≤ 1 forced by t = 7)"))
+    print(text_table(["algorithm"] + [f"S{i}" for i in range(9)],
+                     [[name] + c for name, c in counts.items()]))
+    for c in counts.values():
+        assert all(x <= 1 for x in c)
+
+
+def test_hk_corpus_consistency(benchmark):
+    corpus = algorithm_corpus(count=64, seed=23)
+
+    def scan():
+        return [check_corollary35_consistency(alg) for alg in corpus]
+
+    results = benchmark.pedantic(scan, rounds=1, iterations=1)
+    print(banner("E12 — corpus-wide Corollary 3.5 consistency"))
+    print(f"  {len(results)} de Groote orbit algorithms, "
+          f"max left-factors in any set: {max(max(c) for c in results)}")
+    assert all(max(c) <= 1 for c in results)
+
+
+def test_lemma33_scope_finding(benchmark):
+    """Reproduction finding E12b: the support reading of Lemma 3.3 is exact
+    on {−1,0,1}-coefficient algorithms and fails beyond, while Lemma 3.1
+    survives on the full orbit."""
+    corpus = algorithm_corpus(count=48, seed=31)
+
+    def scan():
+        small_ok = big_viol = 0
+        lemma31_ok = 0
+        for alg in corpus:
+            small = max(abs(alg.U).max(), abs(alg.V).max()) <= 1
+            try:
+                check_lemma33(alg, "A")
+                check_lemma33(alg, "B")
+                if small:
+                    small_ok += 1
+            except AssertionError:
+                assert not small
+                big_viol += 1
+            if check_lemma31(alg, "A").holds and check_lemma31(alg, "B").holds:
+                lemma31_ok += 1
+        return small_ok, big_viol, lemma31_ok
+
+    small_ok, big_viol, lemma31_ok = benchmark.pedantic(scan, rounds=1, iterations=1)
+    print(banner("E12b — Lemma 3.3 scope (reproduction finding)"))
+    print(f"  {small_ok} sign-coefficient algorithms: support reading holds on all")
+    print(f"  {big_viol} larger-coefficient orbit members violate the support reading")
+    print(f"  Lemma 3.1 holds on all {lemma31_ok}/{len(corpus)} either way")
+    assert lemma31_ok == len(corpus)

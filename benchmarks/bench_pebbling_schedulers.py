@@ -1,0 +1,84 @@
+"""Ablation — scheduler quality: optimal vs Belady write-back vs LRU vs
+DFS-recompute, across the CDAG families.
+
+Not a paper artifact per se, but the design-choice ablation DESIGN.md calls
+out: the segment audit (E1/E7) is only meaningful if the audited schedules
+span the realistic spectrum from near-optimal to adversarial.
+"""
+
+from __future__ import annotations
+
+from conftest import banner
+
+from repro.analysis.report import text_table
+from repro.cdag.families import (
+    binary_tree_cdag,
+    diamond_chain_cdag,
+    grid_cdag,
+    recompute_wins_cdag,
+)
+from repro.cdag.fft import fft_cdag
+from repro.pebbling import optimal_io, topological_schedule, validate_schedule
+from repro.pebbling.heuristics import dfs_recompute_schedule
+
+
+def test_scheduler_spectrum_small(benchmark):
+    """On exhaustible instances: optimal ≤ belady ≤ lru, dfs validates."""
+    # M = 4 on the gadget: DFS-recompute's pinned front needs one slot more
+    # than the optimal schedules do
+    cases = [
+        ("bintree(3)", binary_tree_cdag(3), 5),
+        ("diamond(3)", diamond_chain_cdag(3), 4),
+        ("gadget", recompute_wins_cdag(1, 2), 4),
+    ]
+
+    def run():
+        rows = []
+        for name, c, M in cases:
+            opt = optimal_io(c, M, allow_recompute=True)
+            belady = validate_schedule(topological_schedule(c, M, eviction="belady"), M)["io"]
+            lru = validate_schedule(topological_schedule(c, M, eviction="lru"), M)["io"]
+            dfs = validate_schedule(dfs_recompute_schedule(c, M), M)["io"]
+            rows.append([name, M, opt, belady, lru, dfs])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(banner("Ablation — scheduler spectrum (small CDAGs, exact optimum known)"))
+    print(text_table(["CDAG", "M", "optimal", "belady", "lru", "dfs-recompute"], rows))
+    for _, _, opt, belady, lru, _ in rows:
+        assert opt <= belady <= lru
+
+
+def test_scheduler_spectrum_large(benchmark):
+    """On larger CDAGs (no exact optimum): heuristic ordering persists."""
+    cases = [("fft(64)", fft_cdag(64), 8), ("grid(12x12)", grid_cdag(12, 12), 6)]
+
+    def run():
+        rows = []
+        for name, c, M in cases:
+            belady = validate_schedule(topological_schedule(c, M, eviction="belady"), M)["io"]
+            lru = validate_schedule(topological_schedule(c, M, eviction="lru"), M)["io"]
+            rows.append([name, M, belady, lru, round(lru / belady, 3)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(banner("Ablation — Belady vs LRU on larger CDAGs"))
+    print(text_table(["CDAG", "M", "belady I/O", "lru I/O", "lru/belady"], rows))
+    for _, _, belady, lru, _ in rows:
+        assert belady <= lru
+
+
+def test_pebbling_throughput(benchmark):
+    """Raw scheduler throughput on the H⁸ˣ⁸ tree CDAG (3.8k vertices)."""
+    from repro.algorithms import strassen
+    from repro.cdag import build_recursive_cdag
+
+    H = build_recursive_cdag(strassen(), 8, style="tree")
+
+    def schedule_once():
+        return topological_schedule(H.cdag, 24)
+
+    sched = benchmark(schedule_once)
+    stats = validate_schedule(sched, 24)
+    print(banner("Ablation — scheduler throughput on H⁸ˣ⁸ (tree, 3.8k vertices)"))
+    print(f"  moves: {len(sched):,}, I/O: {stats['io']:,.0f}")

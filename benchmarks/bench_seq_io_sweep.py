@@ -1,0 +1,109 @@
+"""E5 — Theorem 1.1 sequential shape: measured I/O vs Ω((n/√M)^{ω₀}·M).
+
+Sweeps n and M for the instrumented executions (tiled classical, DFS
+Strassen/Winograd, KS-ABMM), fits exponents, and verifies (a) the floor is
+never crossed and (b) the fitted exponents match 3 vs log₂7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import banner
+
+from repro.algorithms import strassen, winograd
+from repro.analysis.fitting import sweep_sequential_io
+from repro.analysis.report import text_table
+from repro.basis import karstadt_schwartz
+from repro.bounds.formulas import OMEGA0_STRASSEN, classical_sequential, fast_sequential
+from repro.bounds.validation import shape_report
+from repro.execution import abmm_machine_multiply
+from repro.machine import SequentialMachine
+
+SIZES = [32, 64, 128]
+M = 48
+
+
+def test_seq_sweep_strassen(benchmark):
+    res = benchmark.pedantic(
+        lambda: sweep_sequential_io(strassen(), SIZES, M), rounds=1, iterations=1
+    )
+    bound = [fast_sequential(n, M) for n in SIZES]
+    rep = shape_report(SIZES, res.measured, bound)
+    print(banner("E5 — DFS Strassen measured I/O vs Ω((n/√M)^{log₂7}·M)"))
+    print(text_table(
+        ["n", "measured I/O", "bound", "ratio"],
+        [[n, m, b, m / b] for n, m, b in zip(SIZES, res.measured, res.bound if hasattr(res, 'bound') else bound)],
+    ))
+    print(f"fitted exponent: {rep.fitted_exponent:.3f} (ω₀ = {OMEGA0_STRASSEN:.3f})")
+    assert rep.never_below
+    assert abs(rep.fitted_exponent - OMEGA0_STRASSEN) < 0.15
+
+
+def test_seq_sweep_classical(benchmark):
+    res = benchmark.pedantic(
+        lambda: sweep_sequential_io(None, SIZES, M), rounds=1, iterations=1
+    )
+    bound = [classical_sequential(n, M) for n in SIZES]
+    rep = shape_report(SIZES, res.measured, bound)
+    print(banner("E5 — tiled classical measured I/O vs Ω((n/√M)³·M)"))
+    print(text_table(
+        ["n", "measured I/O", "bound", "ratio"],
+        [[n, m, b, m / b] for n, m, b in zip(SIZES, res.measured, bound)],
+    ))
+    print(f"fitted exponent: {rep.fitted_exponent:.3f} (target 3)")
+    assert abs(rep.fitted_exponent - 3.0) < 0.35
+
+
+def test_seq_sweep_m_dependence(benchmark, rng):
+    """I/O vs M at fixed n: the M^{1−ω₀/2} decay of the fast bound."""
+    from repro.execution import recursive_fast_matmul
+
+    n = 64
+    Ms = [12, 48, 192, 768]
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+
+    def sweep():
+        out = []
+        for m_words in Ms:
+            mach = SequentialMachine(m_words)
+            recursive_fast_matmul(mach, strassen(), A, B)
+            out.append(mach.io_operations)
+        return out
+
+    measured = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(banner("E5 — I/O vs M at n = 64 (fast bound decays as M^{1−ω₀/2})"))
+    rows = [[m_words, io, fast_sequential(n, m_words), io / fast_sequential(n, m_words)]
+            for m_words, io in zip(Ms, measured)]
+    print(text_table(["M", "measured", "bound", "ratio"], rows))
+    assert measured == sorted(measured, reverse=True)
+    for m_words, io in zip(Ms, measured):
+        assert io >= fast_sequential(n, m_words)
+
+
+def test_seq_sweep_three_algorithms(benchmark, rng):
+    """Strassen vs Winograd vs KS at one (n, M): the Table I 'who wins'."""
+    n = 64
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+
+    def run_all():
+        from repro.execution import recursive_fast_matmul, tiled_matmul
+
+        out = {}
+        mach = SequentialMachine(M)
+        tiled_matmul(mach, A, B)
+        out["classical (tiled)"] = mach.io_operations
+        for alg in (strassen(), winograd()):
+            mach = SequentialMachine(M)
+            recursive_fast_matmul(mach, alg, A, B)
+            out[alg.name] = mach.io_operations
+        mach = SequentialMachine(M)
+        _, phases = abmm_machine_multiply(mach, karstadt_schwartz(), A, B)
+        out["karstadt-schwartz (ABMM)"] = int(phases["io_total"])
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print(banner(f"E5 — measured I/O of all algorithms at n={n}, M={M}"))
+    print(text_table(["algorithm", "I/O"], [[k, v] for k, v in results.items()]))
+    assert results["karstadt-schwartz (ABMM)"] < results["winograd"]

@@ -1,0 +1,58 @@
+"""E13 (§V extension) — write-avoiding algorithms under NVM costs.
+
+The paper's discussion: with writes costing ω ≫ reads, write-light
+algorithms win, and recomputation can trade reads for writes.  Measured
+here: the classical tiled algorithm writes only n² (each output tile once)
+while DFS fast matmul writes Θ(n^{ω₀}) temporaries — so there is an ω
+beyond which classical tiling beats Strassen *despite more reads*, and the
+recomputation gadget's gap grows linearly in ω.
+"""
+
+from __future__ import annotations
+
+from conftest import banner
+
+from repro.algorithms import strassen
+from repro.analysis.report import text_table
+from repro.execution.write_avoiding import (
+    nvm_cost_comparison,
+    recursive_fast_write_profile,
+    tiled_matmul_write_profile,
+)
+
+
+def test_write_profiles(benchmark):
+    def profiles():
+        rows = []
+        for n in (32, 64, 128):
+            c = tiled_matmul_write_profile(n, 48)
+            f = recursive_fast_write_profile(strassen(), n, 48)
+            rows.append([n, int(c["reads"]), int(c["writes"]),
+                         int(f["reads"]), int(f["writes"])])
+        return rows
+
+    rows = benchmark.pedantic(profiles, rounds=1, iterations=1)
+    print(banner("E13 — read/write breakdown (M = 48)"))
+    print(text_table(
+        ["n", "classical reads", "classical writes", "fast reads", "fast writes"],
+        rows,
+    ))
+    # classical writes stay n²; fast writes grow ~7× per doubling
+    assert rows[0][2] == 32 * 32 and rows[2][2] == 128 * 128
+    assert rows[2][4] / rows[1][4] > 5
+
+
+def test_nvm_crossover(benchmark):
+    rows = benchmark.pedantic(
+        lambda: nvm_cost_comparison(strassen(), 64, 48, [1, 2, 4, 8, 16, 32, 64]),
+        rounds=1, iterations=1,
+    )
+    print(banner("E13 — total cost reads + ω·writes (n = 64, M = 48)"))
+    print(text_table(
+        ["ω", "classical cost", "fast cost", "classical wins"],
+        [[r["omega"], r["classical_cost"], r["fast_cost"], r["classical_wins"]]
+         for r in rows],
+    ))
+    flips = [r["classical_wins"] for r in rows]
+    assert flips == sorted(flips)
+    assert flips[-1], "classical tiling must win at large ω (write-avoiding)"

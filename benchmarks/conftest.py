@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every file in this directory regenerates one paper artifact (Table I, a
+figure, or a claim of Theorem 1.1/4.1) — see DESIGN.md's experiment index.
+Benches both time their core computation (pytest-benchmark) and *print* the
+regenerated rows/series; run with ``pytest benchmarks/ --benchmark-only -s``
+to see the full output, or plain ``--benchmark-only`` for timings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def banner(title: str) -> str:
+    line = "=" * max(30, len(title) + 4)
+    return f"\n{line}\n  {title}\n{line}"
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2026)

@@ -1,0 +1,69 @@
+"""Alternative-basis demo: rediscovering Karstadt–Schwartz from scratch.
+
+Runs the sparse-basis search live on Winograd's algorithm (≈ 5 s),
+verifies the found ⟨2,2,2;7⟩_{φ,ψ,ν} decomposition end-to-end, and measures
+the Theorem 4.1 phase split on the sequential machine.
+
+Run:  python examples/alternative_basis_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import winograd
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.analysis.report import text_table
+from repro.basis import AlternativeBasisAlgorithm, search_sparse_basis
+from repro.execution import abmm_machine_multiply
+from repro.machine import SequentialMachine
+
+
+def main() -> None:
+    base = winograd()
+    print(f"searching sparse bases for {base.name} "
+          f"(flat additions without reuse: {base.linear_op_count()['total']})...")
+    ru, rv, rw = search_sparse_basis(base)
+    total = ru.additions + rv.additions + rw.additions
+    print(text_table(
+        ["matrix", "additions", "transform"],
+        [["U′ = U·Φ⁻¹", ru.additions, np.array2string(ru.transform)],
+         ["V′ = V·Ψ⁻¹", rv.additions, np.array2string(rv.transform)],
+         ["W′ = Ν·W", rw.additions, np.array2string(rw.transform)]],
+    ))
+    coeff = 1 + (total / 4) / 0.75
+    print(f"\ntotal: {total} additions → arithmetic leading coefficient {coeff}")
+    print("(Karstadt–Schwartz 2017 prove 12 is optimal; Winograd's classic "
+          "form has 15 with reuse → coefficient 6; Strassen 18 → 7)")
+
+    # assemble and verify the full alternative-basis algorithm
+    core = BilinearAlgorithm("searched-core", 2, 2, 2,
+                             ru.transformed, rv.transformed, rw.transformed)
+    alt = AlternativeBasisAlgorithm(core=core, phi=ru.transform,
+                                    psi=rv.transform, nu=rw.transform)
+    rng = np.random.default_rng(0)
+    A = rng.integers(-9, 9, (32, 32))
+    B = rng.integers(-9, 9, (32, 32))
+    assert np.array_equal(alt.multiply(A, B), A @ B)
+    print("\nend-to-end ABMM (Algorithm 1) verified on 32×32 integers")
+
+    # Theorem 4.1's measured phase split
+    print("\nmeasured I/O phase split (M = 48):")
+    rows = []
+    for n in (16, 32, 64):
+        mach = SequentialMachine(48)
+        X = rng.standard_normal((n, n))
+        Y = rng.standard_normal((n, n))
+        C, phases = abmm_machine_multiply(mach, alt, X, Y)
+        assert np.allclose(C, X @ Y)
+        rows.append([n, int(phases["io_transform_forward"] + phases["io_transform_inverse"]),
+                     int(phases["io_bilinear"]),
+                     f"{phases['transform_fraction']:.1%}"])
+    print(text_table(["n", "transform I/O", "bilinear I/O", "transform share"], rows))
+    print("\nthe transform share vanishes with n — which is why Theorem 4.1")
+    print("transfers the fast-matmul lower bound to alternative-basis "
+          "algorithms unchanged")
+
+
+if __name__ == "__main__":
+    main()

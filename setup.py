@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Offline environments without the ``wheel`` package cannot run PEP-517
+editable installs (`pip install -e .`); there `python setup.py develop`
+installs the same editable package using only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

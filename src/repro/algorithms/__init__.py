@@ -1,0 +1,62 @@
+"""Bilinear matrix-multiplication algorithms as first-class data.
+
+A ⟨n,m,p;t⟩ bilinear algorithm (Definition 2.6) is represented by integer
+coefficient matrices (U, V, W):
+
+    M_l   = ⟨U_l, vec(A)⟩ · ⟨V_l, vec(B)⟩        for l = 1..t
+    vec(C) = W · (M_1, …, M_t)
+
+Everything downstream — encoder graphs (Figure 2), the recursive CDAG
+H^{n×n}, the instrumented executions, the Hopcroft–Kerr checks — is derived
+from this triple.  Validity is checked exactly via the Brent equations.
+
+The *corpus* generator matters for the paper's universal claim: Lemmas
+3.1–3.3 quantify over **every** fast matmul algorithm with a 2×2 base case.
+De Groote's theorem says all ⟨2,2,2;7⟩ algorithms form a single orbit of
+Strassen's under basis change × product permutation × scaling, so sampling
+that orbit widely exercises the quantifier.
+"""
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.algorithms.brent import brent_residual, is_valid_algorithm, brent_target
+from repro.algorithms.strassen import strassen
+from repro.algorithms.winograd import winograd
+from repro.algorithms.classical import classical
+from repro.algorithms.transforms import (
+    permute_products,
+    scale_products,
+    change_basis,
+    transpose_symmetry,
+    unimodular_2x2,
+    algorithm_corpus,
+)
+from repro.algorithms.hopcroft_kerr import (
+    HOPCROFT_KERR_SETS,
+    left_factor_set_counts,
+    check_hopcroft_kerr_consistency,
+)
+from repro.algorithms.cse import greedy_cse, additions_with_reuse
+from repro.algorithms.tensor import tensor_product, tensor_power
+
+__all__ = [
+    "BilinearAlgorithm",
+    "brent_residual",
+    "brent_target",
+    "is_valid_algorithm",
+    "strassen",
+    "winograd",
+    "classical",
+    "permute_products",
+    "scale_products",
+    "change_basis",
+    "transpose_symmetry",
+    "unimodular_2x2",
+    "algorithm_corpus",
+    "HOPCROFT_KERR_SETS",
+    "left_factor_set_counts",
+    "check_hopcroft_kerr_consistency",
+    "greedy_cse",
+    "additions_with_reuse",
+    "tensor_product",
+    "tensor_power",
+]

@@ -1,0 +1,193 @@
+"""The :class:`BilinearAlgorithm` container and its numeric execution paths.
+
+vec-convention: **row-major** throughout, so for a 2×2 block matrix the flat
+index order is (1,1), (1,2), (2,1), (2,2) — matching the paper's A₁₁…A₂₂
+notation and the Kronecker identity vec(P·A·Q) = (P ⊗ Qᵀ)·vec(A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.checks import check_positive_int, is_power_of
+
+__all__ = ["BilinearAlgorithm"]
+
+
+@dataclass(frozen=True)
+class BilinearAlgorithm:
+    """A ⟨n,m,p;t⟩ bilinear matrix-multiplication algorithm.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label ("strassen", "winograd", …).
+    n, m, p:
+        Base-case dimensions: multiplies (n×m) by (m×p).
+    U:
+        (t, n·m) int64 — left encoder, row l gives the A-coefficients of M_l.
+    V:
+        (t, m·p) int64 — right encoder.
+    W:
+        (n·p, t) int64 — decoder, row (i·p+k) gives the M-coefficients of C_ik.
+    """
+
+    name: str
+    n: int
+    m: int
+    p: int
+    U: np.ndarray = field(repr=False)
+    V: np.ndarray = field(repr=False)
+    W: np.ndarray = field(repr=False)
+
+    def __post_init__(self):
+        check_positive_int(self.n, "n")
+        check_positive_int(self.m, "m")
+        check_positive_int(self.p, "p")
+        U = np.ascontiguousarray(np.asarray(self.U, dtype=np.int64))
+        V = np.ascontiguousarray(np.asarray(self.V, dtype=np.int64))
+        W = np.ascontiguousarray(np.asarray(self.W, dtype=np.int64))
+        t = U.shape[0]
+        if U.shape != (t, self.n * self.m):
+            raise ValueError(f"U must be (t, n*m), got {U.shape}")
+        if V.shape != (t, self.m * self.p):
+            raise ValueError(f"V must be ({t}, m*p), got {V.shape}")
+        if W.shape != (self.n * self.p, t):
+            raise ValueError(f"W must be (n*p, {t}), got {W.shape}")
+        # frozen dataclass: bypass __setattr__ to store normalized arrays
+        object.__setattr__(self, "U", U)
+        object.__setattr__(self, "V", V)
+        object.__setattr__(self, "W", W)
+        self.U.setflags(write=False)
+        self.V.setflags(write=False)
+        self.W.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # basic facts
+    # ------------------------------------------------------------------ #
+    @property
+    def t(self) -> int:
+        """Number of scalar multiplications in the base case."""
+        return self.U.shape[0]
+
+    @property
+    def is_square(self) -> bool:
+        return self.n == self.m == self.p
+
+    @property
+    def omega0(self) -> float:
+        """Exponent of the arithmetic complexity: log_{base-dim} t.
+
+        For ⟨2,2,2;7⟩ this is log₂7 ≈ 2.807, the ω₀ of Theorem 1.1.
+        For non-square base cases uses log_{(nmp)^{1/3}} t, the standard
+        symmetrized exponent.
+        """
+        side = (self.n * self.m * self.p) ** (1.0 / 3.0)
+        return float(np.log(self.t) / np.log(side))
+
+    def signature(self) -> str:
+        return f"<{self.n},{self.m},{self.p};{self.t}>"
+
+    def linear_op_count(self) -> dict[str, int]:
+        """Additions implied by each coefficient matrix, without reuse.
+
+        A linear form with k non-zero coefficients costs k−1 additions (sign
+        flips are free in this accounting, as in Karstadt–Schwartz).  This is
+        the quantity the §IV leading-coefficient discussion tracks.
+        """
+        enc_a = int(np.sum(np.count_nonzero(self.U, axis=1) - 1))
+        enc_b = int(np.sum(np.count_nonzero(self.V, axis=1) - 1))
+        dec_c = int(np.sum(np.maximum(np.count_nonzero(self.W, axis=1) - 1, 0)))
+        return {"encode_a": enc_a, "encode_b": enc_b, "decode_c": dec_c,
+                "total": enc_a + enc_b + dec_c}
+
+    def canonical_key(self) -> bytes:
+        """Stable identity for corpus deduplication."""
+        return (
+            self.signature().encode()
+            + self.U.tobytes()
+            + self.V.tobytes()
+            + self.W.tobytes()
+        )
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _split_blocks(self, X: np.ndarray, rows: int, cols: int) -> np.ndarray:
+        """View X as a (rows·cols, h, w) stack of blocks in row-major order."""
+        h, w = X.shape[0] // rows, X.shape[1] // cols
+        return (
+            X.reshape(rows, h, cols, w).swapaxes(1, 2).reshape(rows * cols, h, w)
+        )
+
+    def _join_blocks(self, blocks: np.ndarray, rows: int, cols: int) -> np.ndarray:
+        """Inverse of :meth:`_split_blocks`."""
+        _, h, w = blocks.shape
+        return (
+            blocks.reshape(rows, cols, h, w).swapaxes(1, 2).reshape(rows * h, cols * w)
+        )
+
+    def apply_one_level(self, A: np.ndarray, B: np.ndarray, multiply) -> np.ndarray:
+        """One recursion level: encode, ``multiply`` each of the t pairs, decode.
+
+        ``multiply(Ahat_l, Bhat_l)`` supplies the sub-products; passing a
+        recursive call gives the full algorithm, passing ``np.matmul`` gives
+        a single-level check.  Encoding/decoding are tensordot contractions
+        (vectorized over blocks, no Python-level accumulation loops).
+        """
+        a_blocks = self._split_blocks(np.asarray(A), self.n, self.m)
+        b_blocks = self._split_blocks(np.asarray(B), self.m, self.p)
+        a_hat = np.tensordot(self.U, a_blocks, axes=([1], [0]))
+        b_hat = np.tensordot(self.V, b_blocks, axes=([1], [0]))
+        prods = np.stack([multiply(a_hat[l], b_hat[l]) for l in range(self.t)])
+        c_blocks = np.tensordot(self.W, prods, axes=([1], [0]))
+        return self._join_blocks(c_blocks, self.n, self.p)
+
+    def multiply(self, A: np.ndarray, B: np.ndarray, base_size: int = 1) -> np.ndarray:
+        """Full recursive multiplication C = A·B.
+
+        Requires a square algorithm and square inputs whose side is
+        base_size · (base dim)^L.  Recursion bottoms out at ``base_size``
+        with a direct matmul — both to bound Python recursion overhead and
+        to model the practical "cut-off" every fast-matmul code uses.
+        """
+        if not self.is_square:
+            raise ValueError("recursive multiply requires a square base case")
+        A = np.asarray(A)
+        B = np.asarray(B)
+        if A.shape != B.shape or A.shape[0] != A.shape[1]:
+            raise ValueError("A and B must be square and same-shaped")
+        side = A.shape[0]
+        if side % base_size != 0 or not is_power_of(side // base_size, self.n):
+            raise ValueError(
+                f"matrix side {side} is not base_size*{self.n}^L for base_size={base_size}"
+            )
+
+        def rec(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+            if X.shape[0] <= base_size:
+                return X @ Y
+            return self.apply_one_level(X, Y, rec)
+
+        return rec(A, B)
+
+    # ------------------------------------------------------------------ #
+    # graph views
+    # ------------------------------------------------------------------ #
+    def encoder_adjacency(self, side: str = "A") -> list[list[int]]:
+        """Bipartite encoder graph of Figure 2, as Y→X adjacency lists.
+
+        Left side Y: the t encoded products; right side X: the n·m (or m·p)
+        input entries.  Edge (l, q) present iff the coefficient matrix is
+        non-zero at (l, q).  This orientation (products on the left) is the
+        one Lemma 3.1 matches *from*.
+        """
+        mat = self.U if side == "A" else self.V
+        if side not in ("A", "B"):
+            raise ValueError("side must be 'A' or 'B'")
+        return [list(np.nonzero(mat[l])[0]) for l in range(self.t)]
+
+    def decoder_adjacency(self) -> list[list[int]]:
+        """Decoder bipartite graph: output entry → list of contributing products."""
+        return [list(np.nonzero(self.W[r])[0]) for r in range(self.W.shape[0])]

@@ -1,0 +1,40 @@
+"""Exact validity checking of bilinear algorithms via the Brent equations.
+
+A triple (U, V, W) computes C = A·B for all A, B over every commutative ring
+iff, for all index pairs (i,j), (j′,k), (i′,k′):
+
+    Σ_l U[l, (i,j)] · V[l, (j′,k)] · W[(i′,k′), l]  =  δ_{jj′} δ_{ii′} δ_{kk′}
+
+The check is a single integer einsum; entries stay far below int64 overflow
+for every algorithm in this library (coefficients ∈ {−1,0,1}, t ≤ a few
+dozen).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+
+__all__ = ["brent_target", "brent_residual", "is_valid_algorithm"]
+
+
+def brent_target(n: int, m: int, p: int) -> np.ndarray:
+    """The RHS tensor δ_{jj′}δ_{ii′}δ_{kk′} of shape (n·m, m·p, n·p)."""
+    target = np.zeros((n * m, m * p, n * p), dtype=np.int64)
+    for i in range(n):
+        for j in range(m):
+            for k in range(p):
+                target[i * m + j, j * p + k, i * p + k] = 1
+    return target
+
+
+def brent_residual(alg: BilinearAlgorithm) -> np.ndarray:
+    """LHS − RHS of the Brent equations; all-zero iff the algorithm is valid."""
+    lhs = np.einsum("la,lb,cl->abc", alg.U, alg.V, alg.W)
+    return lhs - brent_target(alg.n, alg.m, alg.p)
+
+
+def is_valid_algorithm(alg: BilinearAlgorithm) -> bool:
+    """Exact validity: does (U,V,W) compute matrix multiplication?"""
+    return not brent_residual(alg).any()

@@ -1,0 +1,38 @@
+"""The classical ⟨n,m,p; n·m·p⟩ algorithm as a bilinear triple.
+
+Each product is one scalar multiplication a_{ij}·b_{jk}; the decoder sums
+the m products contributing to each c_{ik}.  Besides serving as the baseline
+of Table I's first row, this constructor is the library's only *rectangular*
+algorithm family, exercising the generic ⟨m,n,p;q⟩ machinery (bounds row 5,
+CDAG builders, executions) without needing exotic published coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.util.checks import check_positive_int
+
+__all__ = ["classical"]
+
+
+def classical(n: int = 2, m: int | None = None, p: int | None = None) -> BilinearAlgorithm:
+    """Classical matrix multiplication as a ⟨n,m,p;nmp⟩ bilinear algorithm."""
+    n = check_positive_int(n, "n")
+    m = n if m is None else check_positive_int(m, "m")
+    p = n if p is None else check_positive_int(p, "p")
+    t = n * m * p
+    U = np.zeros((t, n * m), dtype=np.int64)
+    V = np.zeros((t, m * p), dtype=np.int64)
+    W = np.zeros((n * p, t), dtype=np.int64)
+    l = 0
+    for i in range(n):
+        for j in range(m):
+            for k in range(p):
+                U[l, i * m + j] = 1
+                V[l, j * p + k] = 1
+                W[i * p + k, l] = 1
+                l += 1
+    name = f"classical{n}x{m}x{p}" if (m != n or p != n) else f"classical{n}"
+    return BilinearAlgorithm(name, n, m, p, U, V, W)

@@ -1,0 +1,141 @@
+"""Common-subexpression elimination for linear encoder/decoder phases.
+
+The §IV leading-coefficient discussion counts additions *with reuse*:
+Winograd's staged form computes S1 = A21+A22 once and reuses it inside S2
+and M5, reaching 15 additions where the flat (no-reuse) count of its (U,V,W)
+triple is 24.  This module reproduces those numbers mechanically: a greedy
+pairwise CSE over the rows of a coefficient matrix (repeatedly extract the
+most frequent signed entry pair, introduce it as a fresh pseudo-entry,
+rewrite all rows), which is the classical heuristic for linear-code
+optimization and exact on the small matrices involved here.
+
+Counts reproduced (tested):  Strassen 18, Winograd 15, Karstadt–Schwartz 12.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+
+__all__ = ["greedy_cse", "additions_with_reuse", "CSEResult"]
+
+
+@dataclass
+class CSEResult:
+    """Outcome of greedy CSE on one coefficient matrix."""
+
+    additions: int                     # additions after reuse
+    flat_additions: int                # Σ_rows (nnz − 1) before reuse
+    extracted: list[tuple[int, int, int]]  # (col_i, col_j, rel_sign), in order
+    final_rows: list[dict[int, int]]   # rows over original + temp variables
+    num_inputs: int                    # original variable count
+
+    @property
+    def saved(self) -> int:
+        return self.flat_additions - self.additions
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """Execute the CSE'd straight-line program on an input vector.
+
+        Semantics check: must equal mat @ x for the original matrix (the
+        tests assert this on random vectors — CSE that miscounts would
+        still pass a pure counting test; this one has teeth).
+        """
+        x = np.asarray(x)
+        values: dict[int, np.ndarray | float] = {q: x[q] for q in range(self.num_inputs)}
+        var = self.num_inputs
+        for qi, qj, rel in self.extracted:
+            values[var] = values[qi] + rel * values[qj]
+            var += 1
+        out = []
+        for entries in self.final_rows:
+            acc = 0
+            for q, sign in entries.items():
+                acc = acc + sign * values[q]
+            out.append(acc)
+        return np.asarray(out)
+
+
+def _flat_cost(rows: list[dict[int, int]]) -> int:
+    return sum(max(0, len(r) - 1) for r in rows)
+
+
+def greedy_cse(mat: np.ndarray) -> CSEResult:
+    """Greedy pairwise CSE on the rows of an integer coefficient matrix.
+
+    Model: each row is a linear form Σ c_q·x_q with c_q ∈ {−1, +1} after
+    normalization (coefficients of larger magnitude are treated as repeated
+    unit entries — they do not occur in the algorithms this library ships,
+    but the reduction keeps the routine total).  A *pair* (q, q′, s) stands
+    for the subexpression x_q + s·x_{q′}; extracting it replaces the two
+    entries by one fresh variable in every row that contains the pair with
+    a consistent relative sign, at the cost of one addition computed once.
+    """
+    mat = np.asarray(mat)
+    rows: list[dict[int, int]] = []
+    next_var = mat.shape[1]
+    for r in range(mat.shape[0]):
+        entries: dict[int, int] = {}
+        for q in np.nonzero(mat[r])[0]:
+            entries[int(q)] = 1 if mat[r, q] > 0 else -1
+        rows.append(entries)
+    flat = _flat_cost(rows)
+
+    extracted: list[tuple[int, int, int]] = []
+    cse_additions = 0
+    while True:
+        pair_counts: Counter[tuple[int, int, int]] = Counter()
+        for entries in rows:
+            cols = sorted(entries)
+            for i in range(len(cols)):
+                for j in range(i + 1, len(cols)):
+                    qi, qj = cols[i], cols[j]
+                    # relative sign is what must match for sharing; store
+                    # normalized so (+,+) ≡ (−,−) and (+,−) ≡ (−,+)
+                    rel = entries[qi] * entries[qj]
+                    pair_counts[(qi, qj, rel)] += 1
+        if not pair_counts:
+            break
+        (qi, qj, rel), count = pair_counts.most_common(1)[0]
+        if count < 2:
+            break
+        # introduce t = x_qi + rel·x_qj (1 addition), rewrite matching rows
+        cse_additions += 1
+        extracted.append((qi, qj, rel))
+        for entries in rows:
+            if qi in entries and qj in entries and entries[qi] * entries[qj] == rel:
+                sign = entries[qi]  # t enters with the sign of its first leg
+                del entries[qi]
+                del entries[qj]
+                entries[next_var] = sign
+        next_var += 1
+    total = cse_additions + _flat_cost(rows)
+    return CSEResult(
+        additions=total,
+        flat_additions=flat,
+        extracted=extracted,
+        final_rows=rows,
+        num_inputs=mat.shape[1],
+    )
+
+
+def additions_with_reuse(alg: BilinearAlgorithm) -> dict[str, int]:
+    """Reuse-aware addition counts for all three phases of an algorithm.
+
+    This is the counting behind the paper's leading coefficients:
+    Strassen 18 → 7, Winograd 15 → 6, Karstadt–Schwartz core 12 → 5.
+    """
+    enc_a = greedy_cse(alg.U).additions
+    enc_b = greedy_cse(alg.V).additions
+    dec_c = greedy_cse(alg.W).additions
+    return {
+        "encode_a": enc_a,
+        "encode_b": enc_b,
+        "decode_c": dec_c,
+        "total": enc_a + enc_b + dec_c,
+        "leading_coefficient": 1 + ((enc_a + enc_b + dec_c) / 4) / 0.75,
+    }

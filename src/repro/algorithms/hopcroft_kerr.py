@@ -1,0 +1,160 @@
+"""The Hopcroft–Kerr certificate sets (Lemma 3.4 and Corollary 3.5).
+
+Hopcroft and Kerr [21] showed that if a 2×2 matrix-multiplication algorithm
+has k left-hand-side multiplicands from one of nine specific 3-element sets
+of linear forms, it needs at least 6 + k multiplications.  Consequently a
+*7-multiplication* algorithm can have **at most one** left factor (up to
+scalar multiple) in each set.  The paper uses this to prove Lemma 3.3
+("no two encoder vertices share a neighbor set"): the nine sets exhaust all
+3-element families of linear forms closed under 'same support pattern', so
+duplicate neighbor sets would force k ≥ 2 somewhere.
+
+This module encodes the nine sets as coefficient vectors over
+(A11, A12, A21, A22) and provides the corpus-wide consistency check.
+
+**Erratum (discovered by this reproduction, see EXPERIMENTS.md):** each
+certificate set is of the form {a, b, a+b} over GF(2) (the three forms are
+mod-2 dependent — that is what makes three "cheap" left factors collapse to
+extra multiplications in Hopcroft–Kerr's argument).  Eight of the paper's
+nine sets satisfy this; set (2) as printed —
+(A11+A12), (A12+A21+A22), (A11+A12+A22) — does not, and a valid de Groote
+orbit algorithm exists with two left factors in the printed set (which
+would contradict Lemma 3.4 + t = 7).  The sum-closed correction, used
+here, replaces the third element with (A11+A21+A22); under it the whole
+orbit shows k ≤ 1 per set, as the theorem requires.
+
+Counting is done **mod 2** (a left factor matches a set member when their
+coefficient vectors agree over GF(2)) — Hopcroft–Kerr's own setting, and
+strictly stronger than rational-proportionality counting.  A row of a
+valid algorithm can never vanish mod 2 (that would leave a 6-multiplication
+mod-2 algorithm, contradicting rank 7), so the reduction is well-defined;
+``no_zero_rows_mod2`` checks that invariant too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+
+__all__ = [
+    "HOPCROFT_KERR_SETS",
+    "left_factor_set_counts",
+    "check_hopcroft_kerr_consistency",
+    "all_support_patterns_covered",
+]
+
+# Coefficient vectors over (A11, A12, A21, A22), one tuple of three forms per
+# set: the base set of Lemma 3.4 followed by the eight of Corollary 3.5.
+HOPCROFT_KERR_SETS: tuple[tuple[tuple[int, int, int, int], ...], ...] = (
+    # Lemma 3.4 base set: A11, A12+A21, A11+A12+A21
+    ((1, 0, 0, 0), (0, 1, 1, 0), (1, 1, 1, 0)),
+    # Corollary 3.5 (1)
+    ((1, 0, 1, 0), (0, 1, 1, 1), (1, 1, 0, 1)),
+    # (2) — third element corrected from the paper's (1,1,0,1) (erratum:
+    # the set must be sum-closed mod 2; see module docstring)
+    ((1, 1, 0, 0), (0, 1, 1, 1), (1, 0, 1, 1)),
+    # (3)
+    ((1, 1, 1, 1), (0, 1, 1, 0), (1, 0, 0, 1)),
+    # (4)
+    ((0, 0, 1, 0), (1, 0, 0, 1), (1, 0, 1, 1)),
+    # (5)
+    ((0, 0, 1, 1), (1, 1, 0, 1), (1, 1, 1, 0)),
+    # (6)
+    ((0, 1, 0, 0), (1, 0, 0, 1), (1, 1, 0, 1)),
+    # (7)
+    ((0, 1, 0, 1), (1, 0, 1, 1), (1, 1, 1, 0)),
+    # (8)
+    ((0, 0, 0, 1), (0, 1, 1, 0), (0, 1, 1, 1)),
+)
+
+
+def _proportional(u: np.ndarray, v: np.ndarray) -> bool:
+    """True iff u = λ·v for some non-zero rational λ (cross-ratio test)."""
+    nz_u = np.nonzero(u)[0]
+    nz_v = np.nonzero(v)[0]
+    if len(nz_u) == 0 or len(nz_v) == 0:
+        return False
+    if not np.array_equal(nz_u, nz_v):
+        return False
+    # u[i]*v[j] == u[j]*v[i] for all i, j in the shared support
+    i0 = nz_u[0]
+    return bool(np.all(u * v[i0] == v * u[i0]))
+
+
+def no_zero_rows_mod2(alg: BilinearAlgorithm) -> bool:
+    """No U/V row of a valid ⟨2,2,2;7⟩ algorithm may vanish mod 2.
+
+    If U_l ≡ 0 (mod 2), dropping product l leaves a 6-multiplication
+    algorithm for 2×2 matmul over GF(2) — contradicting the rank-7 theorem.
+    """
+    return bool(np.all((alg.U % 2).any(axis=1)) and np.all((alg.V % 2).any(axis=1)))
+
+
+def left_factor_set_counts(alg: BilinearAlgorithm, mod2: bool = True) -> list[int]:
+    """For each of the nine HK sets, how many U-rows match a member.
+
+    ``mod2=True`` (default) counts GF(2) coincidences — Hopcroft–Kerr's own
+    setting; ``mod2=False`` counts rational proportionality (a strictly
+    weaker notion, kept for comparison: signs flip under de Groote
+    scalings while the mod-2 class is invariant).
+    """
+    if (alg.n, alg.m, alg.p) != (2, 2, 2):
+        raise ValueError("Hopcroft–Kerr sets are specific to the 2×2 base case")
+    counts = []
+    for hk_set in HOPCROFT_KERR_SETS:
+        members = [np.asarray(f, dtype=np.int64) for f in hk_set]
+        c = 0
+        for l in range(alg.t):
+            row = alg.U[l]
+            if mod2:
+                if any(np.array_equal(row % 2, f % 2) for f in members):
+                    c += 1
+            else:
+                if any(_proportional(row, f) for f in members):
+                    c += 1
+        counts.append(c)
+    return counts
+
+
+def check_hopcroft_kerr_consistency(alg: BilinearAlgorithm) -> bool:
+    """A valid 7-multiplication algorithm must have ≤ 1 left factor per HK set.
+
+    (k factors from one set ⇒ ≥ 6+k multiplications; t = 7 forces k ≤ 1.)
+    """
+    if alg.t != 7:
+        raise ValueError("consistency check applies to 7-multiplication algorithms")
+    return all(c <= 1 for c in left_factor_set_counts(alg))
+
+
+def sets_sum_closed_mod2() -> bool:
+    """Every certificate set is {a, b, a+b} over GF(2) (the erratum check)."""
+    for hk_set in HOPCROFT_KERR_SETS:
+        a, b, c = (np.asarray(f, dtype=np.int64) for f in hk_set)
+        sums = {
+            tuple((a + b) % 2),
+            tuple((a + c) % 2),
+            tuple((b + c) % 2),
+        }
+        members = {tuple(a % 2), tuple(b % 2), tuple(c % 2)}
+        if not (sums & members):
+            return False
+    return True
+
+
+def all_support_patterns_covered() -> bool:
+    """Sanity property behind Lemma 3.3's 'cover all possible linear sums'.
+
+    Every non-zero 0/1 support pattern over the four inputs appears in at
+    least one HK set (as the support of some member form).  This is the
+    structural fact that lets the paper conclude no two products can share a
+    neighbor set.
+    """
+    covered = set()
+    for hk_set in HOPCROFT_KERR_SETS:
+        for form in hk_set:
+            covered.add(tuple(1 if x else 0 for x in form))
+    all_patterns = set()
+    for mask in range(1, 16):
+        all_patterns.add(tuple((mask >> b) & 1 for b in range(4)))
+    return all_patterns <= covered

@@ -1,0 +1,61 @@
+"""Strassen's ⟨2,2,2;7⟩ algorithm (Algorithm 2 in the paper).
+
+    M1 = (A11+A22)(B11+B22)      C11 = M1+M4−M5+M7
+    M2 = (A21+A22) B11           C12 = M3+M5
+    M3 =  A11     (B12−B22)      C21 = M2+M4
+    M4 =  A22     (B21−B11)      C22 = M1−M2+M3+M6
+    M5 = (A11+A12) B22
+    M6 = (A21−A11)(B11+B12)
+    M7 = (A12−A22)(B21+B22)
+
+vec order is row-major: (A11, A12, A21, A22).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+
+__all__ = ["strassen", "STRASSEN_U", "STRASSEN_V", "STRASSEN_W"]
+
+STRASSEN_U = np.array(
+    [
+        [1, 0, 0, 1],   # A11 + A22
+        [0, 0, 1, 1],   # A21 + A22
+        [1, 0, 0, 0],   # A11
+        [0, 0, 0, 1],   # A22
+        [1, 1, 0, 0],   # A11 + A12
+        [-1, 0, 1, 0],  # A21 − A11
+        [0, 1, 0, -1],  # A12 − A22
+    ],
+    dtype=np.int64,
+)
+
+STRASSEN_V = np.array(
+    [
+        [1, 0, 0, 1],   # B11 + B22
+        [1, 0, 0, 0],   # B11
+        [0, 1, 0, -1],  # B12 − B22
+        [-1, 0, 1, 0],  # B21 − B11
+        [0, 0, 0, 1],   # B22
+        [1, 1, 0, 0],   # B11 + B12
+        [0, 0, 1, 1],   # B21 + B22
+    ],
+    dtype=np.int64,
+)
+
+STRASSEN_W = np.array(
+    [
+        [1, 0, 0, 1, -1, 0, 1],   # C11
+        [0, 0, 1, 0, 1, 0, 0],    # C12
+        [0, 1, 0, 1, 0, 0, 0],    # C21
+        [1, -1, 1, 0, 0, 1, 0],   # C22
+    ],
+    dtype=np.int64,
+)
+
+
+def strassen() -> BilinearAlgorithm:
+    """Strassen's original 7-multiplication, 18-addition algorithm."""
+    return BilinearAlgorithm("strassen", 2, 2, 2, STRASSEN_U, STRASSEN_V, STRASSEN_W)

@@ -1,0 +1,77 @@
+"""Kronecker (tensor) products of bilinear algorithms.
+
+⟨n₁,m₁,p₁;t₁⟩ ⊗ ⟨n₂,m₂,p₂;t₂⟩ = ⟨n₁n₂, m₁m₂, p₁p₂; t₁t₂⟩: the outer
+algorithm runs on blocks, the inner algorithm multiplies the blocks — one
+recursion level flattened into a bigger base case.  This is how the
+"fast matrix multiplication with general base case" row of Table I gets
+populated with concrete instances here: Strassen ⊗ Strassen is a genuine
+⟨4,4,4;49⟩ algorithm with ω₀ = log₄49 = log₂7, and mixed products like
+Strassen ⊗ classical give base cases with different exponents, exercising
+the ω₀-parametric machinery (bounds, CDAGs, executions) beyond d = 2.
+
+Index bookkeeping (row-major throughout): the (i,j) entry of the big
+operand, with i = i₁·n₂+i₂ and j = j₁·m₂+j₂, carries coefficient
+U₁[l₁, i₁m₁+j₁]·U₂[l₂, i₂m₂+j₂] in product (l₁,l₂) ↦ l₁·t₂+l₂.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+
+__all__ = ["tensor_product", "tensor_power"]
+
+
+def tensor_product(a1: BilinearAlgorithm, a2: BilinearAlgorithm, name: str | None = None) -> BilinearAlgorithm:
+    """The tensor product algorithm (outer = a1 on blocks, inner = a2)."""
+    n, m, p = a1.n * a2.n, a1.m * a2.m, a1.p * a2.p
+    t = a1.t * a2.t
+    U = np.zeros((t, n * m), dtype=np.int64)
+    V = np.zeros((t, m * p), dtype=np.int64)
+    W = np.zeros((n * p, t), dtype=np.int64)
+
+    for l1 in range(a1.t):
+        for l2 in range(a2.t):
+            l = l1 * a2.t + l2
+            # U: operand A is (n1·n2)×(m1·m2)
+            for q1 in np.nonzero(a1.U[l1])[0]:
+                i1, j1 = divmod(int(q1), a1.m)
+                for q2 in np.nonzero(a2.U[l2])[0]:
+                    i2, j2 = divmod(int(q2), a2.m)
+                    idx = (i1 * a2.n + i2) * m + (j1 * a2.m + j2)
+                    U[l, idx] = a1.U[l1, q1] * a2.U[l2, q2]
+            # V: operand B is (m1·m2)×(p1·p2)
+            for q1 in np.nonzero(a1.V[l1])[0]:
+                j1, k1 = divmod(int(q1), a1.p)
+                for q2 in np.nonzero(a2.V[l2])[0]:
+                    j2, k2 = divmod(int(q2), a2.p)
+                    idx = (j1 * a2.m + j2) * p + (k1 * a2.p + k2)
+                    V[l, idx] = a1.V[l1, q1] * a2.V[l2, q2]
+            # W: output C is (n1·n2)×(p1·p2)
+            for r1 in range(a1.n * a1.p):
+                if a1.W[r1, l1] == 0:
+                    continue
+                i1, k1 = divmod(r1, a1.p)
+                for r2 in range(a2.n * a2.p):
+                    if a2.W[r2, l2] == 0:
+                        continue
+                    i2, k2 = divmod(r2, a2.p)
+                    idx = (i1 * a2.n + i2) * p + (k1 * a2.p + k2)
+                    W[idx, l] = a1.W[r1, l1] * a2.W[r2, l2]
+
+    return BilinearAlgorithm(
+        name or f"{a1.name}(x){a2.name}", n, m, p, U, V, W
+    )
+
+
+def tensor_power(alg: BilinearAlgorithm, k: int, name: str | None = None) -> BilinearAlgorithm:
+    """alg^{⊗k}: k-fold tensor power (k = 2 gives Strassen's ⟨4,4,4;49⟩)."""
+    if k < 1:
+        raise ValueError("tensor power requires k >= 1")
+    out = alg
+    for _ in range(k - 1):
+        out = tensor_product(out, alg)
+    if name:
+        out = BilinearAlgorithm(name, out.n, out.m, out.p, out.U, out.V, out.W)
+    return out

@@ -1,0 +1,215 @@
+"""De Groote symmetries: generating the orbit of ⟨2,2,2;7⟩ algorithms.
+
+De Groote (1978) proved that every 7-multiplication algorithm for 2×2
+matrix multiplication is obtained from Strassen's by a combination of
+
+  * permuting the 7 products,
+  * rescaling product l by (α, β, 1/(αβ)) across (U, V, W),
+  * basis change A → P·A·Q, B → Q⁻¹·B·R, C → P·C·R with invertible P, Q, R.
+
+Lemmas 3.1–3.3 of the paper quantify over this whole class, so the tests and
+benches sample the orbit broadly (unimodular integer P, Q, R keep every
+coefficient integral and the Brent check exact).
+
+Transport rules, with row-major vec (vec(P·A·Q) = (P ⊗ Qᵀ)·vec(A)):
+
+    U′ = U · (P ⊗ Qᵀ)
+    V′ = V · (Q⁻¹ ⊗ Rᵀ)
+    W′ = (P⁻¹ ⊗ (R⁻¹)ᵀ) · W
+
+Derivation: the primed algorithm evaluates Alg(P·A·Q, Q⁻¹·B·R) = P·(A·B)·R
+and then undoes the output basis, vec(C) = (P⁻¹ ⊗ (Rᵀ)⁻¹)·vec(P·C·R).
+"""
+
+from __future__ import annotations
+
+from itertools import product as iproduct
+
+import numpy as np
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.algorithms.brent import is_valid_algorithm
+from repro.algorithms.strassen import strassen
+from repro.util.exactmath import (
+    as_int_matrix,
+    frac_inverse,
+    frac_matmul,
+    frac_matrix,
+    kron,
+)
+
+__all__ = [
+    "permute_products",
+    "scale_products",
+    "change_basis",
+    "transpose_symmetry",
+    "unimodular_2x2",
+    "algorithm_corpus",
+]
+
+
+def permute_products(alg: BilinearAlgorithm, perm: list[int], name: str | None = None) -> BilinearAlgorithm:
+    """Reorder the t products; (U,V) rows and W columns move together."""
+    perm = list(perm)
+    if sorted(perm) != list(range(alg.t)):
+        raise ValueError(f"perm must be a permutation of range({alg.t})")
+    return BilinearAlgorithm(
+        name or f"{alg.name}+perm",
+        alg.n, alg.m, alg.p,
+        alg.U[perm], alg.V[perm], alg.W[:, perm],
+    )
+
+
+def scale_products(alg: BilinearAlgorithm, signs: list[int], name: str | None = None) -> BilinearAlgorithm:
+    """Rescale product l by (s_l, s_l, 1) with s_l ∈ {+1, −1}.
+
+    Integer-preserving instance of the general (α, β, 1/(αβ)) scaling:
+    flipping both factor signs leaves each product M_l = (s·u)(s·v) = u·v
+    unchanged, so W needs no compensation, yet the encoder rows — and hence
+    the encoder *graph* and its matching structure — stay put while the
+    coefficient data changes.  Sign changes with W-compensation are obtained
+    by composing with ``scale_products_asym``.
+    """
+    s = np.asarray(signs, dtype=np.int64)
+    if s.shape != (alg.t,) or not np.all(np.abs(s) == 1):
+        raise ValueError("signs must be t values in {+1, -1}")
+    return BilinearAlgorithm(
+        name or f"{alg.name}+scale",
+        alg.n, alg.m, alg.p,
+        alg.U * s[:, None], alg.V * s[:, None], alg.W,
+    )
+
+
+def scale_products_asym(alg: BilinearAlgorithm, signs: list[int], name: str | None = None) -> BilinearAlgorithm:
+    """Rescale product l by (s_l, 1, s_l): flips U rows and compensates in W."""
+    s = np.asarray(signs, dtype=np.int64)
+    if s.shape != (alg.t,) or not np.all(np.abs(s) == 1):
+        raise ValueError("signs must be t values in {+1, -1}")
+    return BilinearAlgorithm(
+        name or f"{alg.name}+ascale",
+        alg.n, alg.m, alg.p,
+        alg.U * s[:, None], alg.V, alg.W * s[None, :],
+    )
+
+
+def change_basis(
+    alg: BilinearAlgorithm,
+    P,
+    Q,
+    R,
+    name: str | None = None,
+) -> BilinearAlgorithm:
+    """Apply the de Groote basis-change symmetry with invertible P, Q, R.
+
+    Requires a square base case (n = m = p) and matrices whose inverses are
+    integral after transport (unimodular matrices always qualify).
+    """
+    if not alg.is_square:
+        raise ValueError("basis change implemented for square base cases")
+    d = alg.n
+    P = frac_matrix(P)
+    Q = frac_matrix(Q)
+    R = frac_matrix(R)
+    for M, nm in ((P, "P"), (Q, "Q"), (R, "R")):
+        if M.shape != (d, d):
+            raise ValueError(f"{nm} must be {d}×{d}")
+    Pinv = frac_inverse(P)
+    Qinv = frac_inverse(Q)
+    Rinv = frac_inverse(R)
+
+    KA = kron(P, Q.T)                 # vec(P·A·Q) = KA · vec(A)
+    KB = kron(Qinv, R.T)              # vec(Q⁻¹·B·R) = KB · vec(B)
+    KC = kron(Pinv, Rinv.T)           # vec(C) = KC · vec(P·C·R)
+
+    U2 = frac_matmul(frac_matrix(alg.U.tolist()), KA)
+    V2 = frac_matmul(frac_matrix(alg.V.tolist()), KB)
+    W2 = frac_matmul(KC, frac_matrix(alg.W.tolist()))
+    return BilinearAlgorithm(
+        name or f"{alg.name}+basis",
+        alg.n, alg.m, alg.p,
+        as_int_matrix(U2), as_int_matrix(V2), as_int_matrix(W2),
+    )
+
+
+def transpose_symmetry(alg: BilinearAlgorithm, name: str | None = None) -> BilinearAlgorithm:
+    """The Cᵀ = Bᵀ·Aᵀ symmetry: Alg′(A,B) = (Alg(Bᵀ, Aᵀ))ᵀ (square case)."""
+    if not alg.is_square:
+        raise ValueError("transpose symmetry implemented for square base cases")
+    d = alg.n
+    # permutation matrix T with vec(Xᵀ) = T · vec(X)
+    T = np.zeros((d * d, d * d), dtype=np.int64)
+    for i in range(d):
+        for j in range(d):
+            T[j * d + i, i * d + j] = 1
+    return BilinearAlgorithm(
+        name or f"{alg.name}+T",
+        alg.n, alg.m, alg.p,
+        alg.V @ T, alg.U @ T, T @ alg.W,
+    )
+
+
+def unimodular_2x2(max_entry: int = 1) -> list[np.ndarray]:
+    """All 2×2 integer matrices with entries in [−max_entry, max_entry], det ±1.
+
+    Unimodularity guarantees an integral inverse, keeping the transported
+    triple integral.  For max_entry = 1 there are 40 such matrices.
+    """
+    vals = range(-max_entry, max_entry + 1)
+    out = []
+    for a, b, c, d in iproduct(vals, vals, vals, vals):
+        if a * d - b * c in (1, -1):
+            out.append(np.array([[a, b], [c, d]], dtype=np.int64))
+    return out
+
+
+def algorithm_corpus(
+    count: int = 64,
+    seed: int = 0,
+    base: BilinearAlgorithm | None = None,
+    include_named: bool = True,
+) -> list[BilinearAlgorithm]:
+    """A deduplicated sample of the de Groote orbit of ⟨2,2,2;7⟩ algorithms.
+
+    Every returned algorithm is Brent-verified valid.  ``include_named``
+    prepends Strassen and Winograd so the corpus always covers the paper's
+    named instances.  Sampling composes random unimodular basis changes with
+    random product permutations and sign scalings.
+    """
+    from repro.algorithms.winograd import winograd  # local: avoid import cycle
+
+    rng = np.random.default_rng(seed)
+    base = base or strassen()
+    unis = unimodular_2x2()
+    seen: set[bytes] = set()
+    corpus: list[BilinearAlgorithm] = []
+
+    def push(alg: BilinearAlgorithm) -> None:
+        key = alg.canonical_key()
+        if key not in seen:
+            if not is_valid_algorithm(alg):
+                raise AssertionError(
+                    f"symmetry transform produced an invalid algorithm: {alg.name}"
+                )
+            seen.add(key)
+            corpus.append(alg)
+
+    if include_named:
+        push(base)
+        push(winograd())
+
+    attempts = 0
+    while len(corpus) < count and attempts < count * 40:
+        attempts += 1
+        P = unis[rng.integers(len(unis))]
+        Q = unis[rng.integers(len(unis))]
+        R = unis[rng.integers(len(unis))]
+        alg = change_basis(base, P, Q, R, name=f"orbit{attempts}")
+        if rng.random() < 0.5:
+            alg = permute_products(alg, list(rng.permutation(alg.t)), name=alg.name)
+        if rng.random() < 0.5:
+            signs = (rng.integers(0, 2, size=alg.t) * 2 - 1).tolist()
+            alg = scale_products(alg, signs, name=alg.name)
+        if rng.random() < 0.25:
+            alg = transpose_symmetry(alg, name=alg.name)
+        push(alg)
+    return corpus[:count]

@@ -1,0 +1,63 @@
+"""Winograd's variant of fast 2×2 matrix multiplication [19].
+
+Same 7 multiplications, but only 15 additions (with reuse of the partial
+sums S_i, T_i, U_i), dropping the arithmetic leading coefficient from 7 to 6.
+The (U, V, W) triple below is the flattened form of the classic staged
+formulation:
+
+    S1 = A21+A22   S2 = S1−A11   S3 = A11−A21   S4 = A12−S2
+    T1 = B12−B11   T2 = B22−T1   T3 = B22−B12   T4 = T2−B21
+    M1 = A11·B11  M2 = A12·B21  M3 = S4·B22  M4 = A22·T4
+    M5 = S1·T1    M6 = S2·T2    M7 = S3·T3
+    C11 = M1+M2            C12 = M1+M6+M5+M3
+    C21 = M1+M6+M7−M4      C22 = M1+M6+M7+M5
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+
+__all__ = ["winograd", "WINOGRAD_U", "WINOGRAD_V", "WINOGRAD_W"]
+
+WINOGRAD_U = np.array(
+    [
+        [1, 0, 0, 0],     # A11
+        [0, 1, 0, 0],     # A12
+        [1, 1, -1, -1],   # S4 = A11+A12−A21−A22
+        [0, 0, 0, 1],     # A22
+        [0, 0, 1, 1],     # S1 = A21+A22
+        [-1, 0, 1, 1],    # S2 = A21+A22−A11
+        [1, 0, -1, 0],    # S3 = A11−A21
+    ],
+    dtype=np.int64,
+)
+
+WINOGRAD_V = np.array(
+    [
+        [1, 0, 0, 0],     # B11
+        [0, 0, 1, 0],     # B21
+        [0, 0, 0, 1],     # B22
+        [1, -1, -1, 1],   # T4 = B11−B12−B21+B22
+        [-1, 1, 0, 0],    # T1 = B12−B11
+        [1, -1, 0, 1],    # T2 = B11−B12+B22
+        [0, -1, 0, 1],    # T3 = B22−B12
+    ],
+    dtype=np.int64,
+)
+
+WINOGRAD_W = np.array(
+    [
+        [1, 1, 0, 0, 0, 0, 0],    # C11 = M1+M2
+        [1, 0, 1, 0, 1, 1, 0],    # C12 = M1+M3+M5+M6
+        [1, 0, 0, -1, 0, 1, 1],   # C21 = M1−M4+M6+M7
+        [1, 0, 0, 0, 1, 1, 1],    # C22 = M1+M5+M6+M7
+    ],
+    dtype=np.int64,
+)
+
+
+def winograd() -> BilinearAlgorithm:
+    """Winograd's 7-multiplication, 15-addition variant."""
+    return BilinearAlgorithm("winograd", 2, 2, 2, WINOGRAD_U, WINOGRAD_V, WINOGRAD_W)

@@ -1,0 +1,15 @@
+"""Experiment harness utilities: sweeps, exponent fits, crossovers, reports."""
+
+from repro.analysis.fitting import sweep_sequential_io, sweep_parallel_comm
+from repro.analysis.crossover import find_crossover
+from repro.analysis.report import text_table
+from repro.analysis.constants import ConstantSeries, leading_constant_series
+
+__all__ = [
+    "sweep_sequential_io",
+    "sweep_parallel_comm",
+    "find_crossover",
+    "text_table",
+    "ConstantSeries",
+    "leading_constant_series",
+]

@@ -1,0 +1,55 @@
+"""Leading-constant extraction: κ(n) = measured / (bound expression).
+
+The Ω floors fix exponents; the executions fix constants.  For a
+deterministic executor the normalized series κ(n) = IO(n)/((n/√M)^{ω₀}·M)
+converges to the executor's leading coefficient — comparing the limit with
+the closed form from :func:`repro.bounds.formulas.dfs_io_leading_coefficient`
+closes the loop between recurrence algebra and word counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.bounds.formulas import fast_sequential
+from repro.bounds.io_models import recursive_fast_io_model
+
+__all__ = ["ConstantSeries", "leading_constant_series"]
+
+
+@dataclass
+class ConstantSeries:
+    """κ(n) over a size sweep, with convergence diagnostics."""
+
+    sizes: list[int]
+    kappas: list[float]
+
+    @property
+    def last(self) -> float:
+        return self.kappas[-1]
+
+    @property
+    def relative_step(self) -> float:
+        """|κ_last − κ_prev| / κ_last — small when converged."""
+        if len(self.kappas) < 2:
+            return float("inf")
+        return abs(self.kappas[-1] - self.kappas[-2]) / abs(self.kappas[-1])
+
+    @property
+    def monotone(self) -> bool:
+        diffs = np.diff(self.kappas)
+        return bool(np.all(diffs >= 0) or np.all(diffs <= 0))
+
+
+def leading_constant_series(
+    alg: BilinearAlgorithm, sizes: list[int], M: int
+) -> ConstantSeries:
+    """κ(n) from the exact I/O model (== measured, by the model tests)."""
+    kappas = [
+        recursive_fast_io_model(alg, n, M) / fast_sequential(n, M, alg.omega0)
+        for n in sizes
+    ]
+    return ConstantSeries(sizes=list(sizes), kappas=[float(k) for k in kappas])

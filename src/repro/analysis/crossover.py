@@ -1,0 +1,41 @@
+"""Locating the max{memory-dependent, memory-independent} crossover.
+
+Theorem 1.1's parallel bound is a max of two terms; where they cross marks
+the end of the perfect strong-scaling range [1].  ``find_crossover``
+locates the switch on any sampled curve pair (analytic or measured).
+"""
+
+from __future__ import annotations
+
+__all__ = ["find_crossover"]
+
+
+def find_crossover(xs: list[float], first: list[float], second: list[float]) -> float | None:
+    """Smallest x where ``second`` ≥ ``first`` (None if it never happens).
+
+    Assumes one crossing (monotone ratio), which holds for the bound pair:
+    memory-dependent falls as 1/P, memory-independent as 1/P^{2/ω₀} — the
+    ratio is monotone in P.  Linear interpolation in log-space between the
+    bracketing samples.
+    """
+    import math
+
+    if not (len(xs) == len(first) == len(second)) or len(xs) < 2:
+        raise ValueError("need aligned arrays with >= 2 samples")
+    prev = None
+    for i, x in enumerate(xs):
+        if second[i] >= first[i]:
+            if i == 0 or prev is None:
+                return float(x)
+            x0, x1 = xs[i - 1], x
+            # interpolate where log(second/first) crosses 0
+            r0 = math.log(second[i - 1] / first[i - 1])
+            r1 = math.log(second[i] / first[i])
+            if r1 == r0:
+                return float(x1)
+            frac = -r0 / (r1 - r0)
+            return float(
+                math.exp(math.log(x0) + frac * (math.log(x1) - math.log(x0)))
+            )
+        prev = x
+    return None

@@ -1,0 +1,85 @@
+"""Parameter sweeps producing the measured side of every shape experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.bounds.validation import fit_exponent
+from repro.execution.parallel_strassen import parallel_strassen_bfs
+from repro.execution.recursive_bilinear import recursive_fast_matmul
+from repro.execution.classical_tiled import tiled_matmul
+from repro.machine.sequential import SequentialMachine
+
+__all__ = ["SweepResult", "sweep_sequential_io", "sweep_parallel_comm"]
+
+
+@dataclass
+class SweepResult:
+    """Measured I/O over a parameter sweep plus the fitted exponent."""
+
+    parameter: str
+    values: list[float]
+    measured: list[float]
+    extras: dict[str, list[float]] = field(default_factory=dict)
+
+    @property
+    def exponent(self) -> float:
+        return fit_exponent(self.values, self.measured)
+
+
+def sweep_sequential_io(
+    alg: BilinearAlgorithm | None,
+    sizes: list[int],
+    M: int,
+    seed: int = 0,
+) -> SweepResult:
+    """Measured sequential I/O vs n for one algorithm (None = tiled classical).
+
+    Correctness of every product is asserted inside the sweep — measured
+    I/O of a wrong execution would be meaningless.
+    """
+    rng = np.random.default_rng(seed)
+    measured: list[float] = []
+    for n in sizes:
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        machine = SequentialMachine(M)
+        if alg is None:
+            C = tiled_matmul(machine, A, B)
+        else:
+            C = recursive_fast_matmul(machine, alg, A, B)
+        if not np.allclose(C, A @ B):
+            raise AssertionError(f"wrong product at n={n}")
+        measured.append(float(machine.io_operations))
+    return SweepResult(parameter="n", values=[float(v) for v in sizes], measured=measured)
+
+
+def sweep_parallel_comm(
+    alg: BilinearAlgorithm,
+    n: int,
+    procs: list[int],
+    M: int | None = None,
+    seed: int = 0,
+) -> SweepResult:
+    """Measured per-processor communication vs P (strong scaling)."""
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    expected = A @ B
+    comm: list[float] = []
+    local: list[float] = []
+    for P in procs:
+        C, stats = parallel_strassen_bfs(alg, A, B, P=P, M=M)
+        if not np.allclose(C, expected):
+            raise AssertionError(f"wrong product at P={P}")
+        comm.append(float(max(stats.comm_per_proc_max, 1)))
+        local.append(stats.local_io_per_proc)
+    return SweepResult(
+        parameter="P",
+        values=[float(p) for p in procs],
+        measured=comm,
+        extras={"local_io": local},
+    )

@@ -1,0 +1,38 @@
+"""Alternative-basis matrix multiplication (Definition 2.7, Section IV).
+
+Karstadt–Schwartz [20] sandwich a *sparser* bilinear algorithm between
+recursive basis transforms: C = ν⁻¹( ALG(φ(A), ψ(B)) ), cutting Winograd's
+leading coefficient from 6 to 5 (arithmetic) and 10.5 to 9 (I/O), at an
+O(n² log n) transform cost that Theorem 4.1 shows is asymptotically
+negligible — which is why the paper's lower bounds transfer unchanged.
+
+This package provides:
+
+* :mod:`repro.basis.transform` — recursive blockwise basis transforms and
+  their exact inverses;
+* :mod:`repro.basis.abmm` — Algorithm 1 (ABMM) end to end;
+* :mod:`repro.basis.search` — our own search over unimodular bases that
+  *rediscovers* a 12-addition decomposition (the KS result), rather than
+  copying published constants;
+* :mod:`repro.basis.ks` — the decomposition found by that search, frozen
+  with provenance, exposed as a ready-to-use sparse algorithm.
+"""
+
+from repro.basis.transform import recursive_basis_transform, basis_transform_io_model
+from repro.basis.abmm import AlternativeBasisAlgorithm, abmm_multiply
+from repro.basis.search import search_sparse_basis, BasisSearchResult, decomposition_cost
+from repro.basis.ks import karstadt_schwartz, KS_PHI, KS_PSI, KS_NU
+
+__all__ = [
+    "recursive_basis_transform",
+    "basis_transform_io_model",
+    "AlternativeBasisAlgorithm",
+    "abmm_multiply",
+    "search_sparse_basis",
+    "BasisSearchResult",
+    "decomposition_cost",
+    "karstadt_schwartz",
+    "KS_PHI",
+    "KS_PSI",
+    "KS_NU",
+]

@@ -1,0 +1,138 @@
+"""Search for sparse alternative-basis decompositions (reproducing [20]).
+
+Given a valid ⟨2,2,2;7⟩ algorithm (U, V, W), we look for invertible integer
+matrices Φ, Ψ, Ν such that the *transformed* triple
+
+    U′ = U·Φ⁻¹,   V′ = V·Ψ⁻¹,   W′ = Ν·W
+
+has as few additions as possible (a linear form with k non-zeros costs k−1).
+Then (U′, V′, W′) is a ⟨2,2,2;7⟩_{φ,ψ,ν}-algorithm in the sense of
+Definition 2.6: on inputs φ(A), ψ(B) it produces ν(A·B).  The three searches
+decouple — U′ depends only on Φ, V′ only on Ψ, W′ only on Ν — so each is an
+independent scan.
+
+Search space: unimodular G with rows of ≤ row_nnz non-zeros in {−1, 0, +1}
+and leading coefficient +1 (row negation never changes sparsity).  For U
+and V we scan G = Φ⁻¹ directly (U′ = U·G); for W we scan G = Ν itself.
+Karstadt–Schwartz prove 4 additions per encoder/decoder (12 total) is
+optimal for Strassen-like algorithms; the search reaches exactly that, and
+the result is frozen in :mod:`repro.basis.ks`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product as iproduct
+
+import numpy as np
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.basis.transform import invert_base_transform
+
+__all__ = ["BasisSearchResult", "search_sparse_basis", "decomposition_cost", "candidate_rows"]
+
+
+def candidate_rows(dim: int = 4, row_nnz: int = 2) -> np.ndarray:
+    """All length-``dim`` rows with 1..row_nnz non-zeros in {−1,+1}, leading +1."""
+    rows: list[tuple[int, ...]] = []
+    for k in range(1, row_nnz + 1):
+        for positions in combinations(range(dim), k):
+            for signs in iproduct((1, -1), repeat=k - 1):
+                row = [0] * dim
+                row[positions[0]] = 1
+                for pos, s in zip(positions[1:], signs):
+                    row[pos] = s
+                rows.append(tuple(row))
+    return np.array(sorted(set(rows)), dtype=np.int64)
+
+
+def _addition_cost(mat: np.ndarray) -> int:
+    """Σ_rows (nnz − 1): additions to evaluate all linear forms, no reuse."""
+    nnz = np.count_nonzero(mat, axis=-1)
+    return int(np.sum(np.maximum(nnz - 1, 0)))
+
+
+def decomposition_cost(U2: np.ndarray, V2: np.ndarray, W2: np.ndarray) -> dict[str, int]:
+    """Cost summary of a transformed triple."""
+    a, b, c = _addition_cost(U2), _addition_cost(V2), _addition_cost(W2)
+    return {"encode_a": a, "encode_b": b, "decode_c": c, "total": a + b + c}
+
+
+@dataclass
+class BasisSearchResult:
+    """Best decomposition found for one coefficient matrix."""
+
+    transform: np.ndarray          # Φ (or Ψ, Ν): the base transform itself
+    transform_inverse: np.ndarray  # its exact integer inverse
+    transformed: np.ndarray        # U′ (or V′, W′)
+    additions: int                 # Σ_rows (nnz − 1) of `transformed`
+    transform_nnz: int             # sparsity of the transform (fast-transform cost)
+
+
+def _scan(target: np.ndarray, side: str, row_nnz: int) -> BasisSearchResult:
+    """Scan unimodular G (rows from candidate_rows) minimizing additions.
+
+    side='right': transformed = target @ G, returned transform is G⁻¹
+    (so that transformed · transform = target, i.e. U′·Φ = U with Φ = G⁻¹).
+    side='left' : transformed = G @ target, returned transform is G itself
+    (W′ = Ν·W).
+    """
+    rows = candidate_rows(4, row_nnz)
+    R = len(rows)
+    best: tuple[int, int] | None = None
+    best_G: np.ndarray | None = None
+    best_T: np.ndarray | None = None
+    # enumerate 4-tuples of distinct row indices; det check via integer Laplace
+    idx = np.arange(R)
+    for i0 in idx:
+        r0 = rows[i0]
+        for i1 in idx:
+            if i1 == i0:
+                continue
+            for i2 in idx:
+                if i2 in (i0, i1):
+                    continue
+                # partial singularity check: rows 0..2 must be independent
+                m3 = np.stack([r0, rows[i1], rows[i2]])
+                if np.linalg.matrix_rank(m3) < 3:
+                    continue
+                for i3 in idx:
+                    if i3 in (i0, i1, i2):
+                        continue
+                    G = np.stack([r0, rows[i1], rows[i2], rows[i3]])
+                    det = int(round(np.linalg.det(G)))
+                    if det not in (1, -1):
+                        continue
+                    T = target @ G if side == "right" else G @ target
+                    cost = _addition_cost(T)
+                    key = (cost, int(np.count_nonzero(G)))
+                    if best is None or key < best:
+                        best = key
+                        best_G = G
+                        best_T = T
+    assert best_G is not None and best_T is not None and best is not None
+    if side == "right":
+        transform = invert_base_transform(best_G)
+        transform_inverse = best_G
+    else:
+        transform = best_G
+        transform_inverse = invert_base_transform(best_G)
+    return BasisSearchResult(
+        transform=transform,
+        transform_inverse=transform_inverse,
+        transformed=best_T,
+        additions=best[0],
+        transform_nnz=int(np.count_nonzero(transform)),
+    )
+
+
+def search_sparse_basis(
+    alg: BilinearAlgorithm, row_nnz: int = 2
+) -> tuple[BasisSearchResult, BasisSearchResult, BasisSearchResult]:
+    """Find sparse (Φ, Ψ, Ν) for ``alg``; returns per-matrix results (U, V, W)."""
+    if (alg.n, alg.m, alg.p) != (2, 2, 2):
+        raise ValueError("basis search implemented for the 2×2 base case")
+    res_u = _scan(alg.U, "right", row_nnz)
+    res_v = _scan(alg.V, "right", row_nnz)
+    res_w = _scan(alg.W, "left", row_nnz)
+    return res_u, res_v, res_w

@@ -1,0 +1,70 @@
+"""Recursive blockwise basis transforms (the φ, ψ, ν of Definition 2.7).
+
+A base transform is an invertible d²×d² integer matrix acting on the d²
+blocks of a matrix; the *recursive* transform applies it at every level of
+the block hierarchy (φ_rec = φ ⊗ φ ⊗ … in the recursive block ordering).
+With O(1) non-zeros per row this costs O(n² log n) arithmetic — the "fast
+basis transformation" of [20] — vanishing against the Θ(n^{log₂7}) bilinear
+part, which is the observation Theorem 4.1 leans on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.checks import is_power_of
+from repro.util.exactmath import as_int_matrix, frac_inverse, frac_matrix
+
+__all__ = ["recursive_basis_transform", "invert_base_transform", "basis_transform_io_model"]
+
+
+def invert_base_transform(phi: np.ndarray) -> np.ndarray:
+    """Exact integer inverse of a unimodular base transform."""
+    return as_int_matrix(frac_inverse(frac_matrix(np.asarray(phi).tolist())))
+
+
+def recursive_basis_transform(
+    A: np.ndarray, phi: np.ndarray, d: int = 2, stop_size: int = 1
+) -> np.ndarray:
+    """Apply the recursive blockwise transform φ_rec to a square matrix.
+
+    ``phi`` is d²×d²; A's side must be a power of d.  The transform is
+    linear, so level order is irrelevant; we go top-down and vectorize the
+    block mixing as a single tensordot per level (guides: no Python-level
+    accumulation loops over matrix entries).  ``stop_size`` truncates the
+    recursion — ABMM with a base-case cutoff transforms only down to the
+    cutoff level, so the transform depth matches the bilinear recursion
+    depth.
+    """
+    A = np.asarray(A)
+    n = A.shape[0]
+    if A.shape != (n, n) or not is_power_of(n, d):
+        raise ValueError(f"matrix side must be a power of {d}, got {A.shape}")
+    phi = np.asarray(phi)
+    if phi.shape != (d * d, d * d):
+        raise ValueError(f"phi must be {d * d}×{d * d}")
+    out = A.copy()
+
+    def rec(X: np.ndarray) -> np.ndarray:
+        s = X.shape[0]
+        if s <= stop_size:
+            return X
+        h = s // d
+        # stack of d² blocks, row-major
+        blocks = X.reshape(d, h, d, h).swapaxes(1, 2).reshape(d * d, h, h)
+        mixed = np.tensordot(phi, blocks, axes=([1], [0]))
+        mixed = np.stack([rec(mixed[q]) for q in range(d * d)])
+        return mixed.reshape(d, d, h, h).swapaxes(1, 2).reshape(s, s)
+
+    return rec(out)
+
+
+def basis_transform_io_model(n: int, M: int, nnz_per_row: int) -> float:
+    """Streaming I/O of one recursive transform pass on the sequential machine.
+
+    Each of the log_d n levels reads every word once per non-zero it feeds
+    and writes every word once: ≈ (nnz+1)·n²·log₂ n total.  Returned so the
+    Theorem 4.1 benches can show transform I/O ≪ bilinear I/O.
+    """
+    levels = int(np.log2(n))
+    return float((nnz_per_row + 1) * n * n * levels)

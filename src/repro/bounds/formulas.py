@@ -1,0 +1,146 @@
+"""The lower-bound formulas of Table I and Theorem 1.1.
+
+All functions return the *expression inside* Ω(·), evaluated at concrete
+parameters — asymptotic floors up to a constant, which is how the
+validation module uses them (measured ≥ c·formula with c checked stable
+across sweeps, and exponents fitted on log-log sweeps).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "OMEGA0_STRASSEN",
+    "classical_sequential",
+    "classical_parallel",
+    "classical_memory_independent",
+    "fast_sequential",
+    "fast_parallel",
+    "fast_memory_independent",
+    "parallel_max_bound",
+    "parallel_crossover_P",
+    "rectangular_bound",
+    "fft_bound_memory",
+    "fft_bound_independent",
+    "dfs_io_leading_coefficient",
+]
+
+OMEGA0_STRASSEN = math.log2(7)
+
+
+def _check(n: float, M: float = 1, P: float = 1) -> None:
+    if n <= 0 or M <= 0 or P <= 0:
+        raise ValueError(f"parameters must be positive: n={n}, M={M}, P={P}")
+
+
+def classical_sequential(n: float, M: float) -> float:
+    """Ω((n/√M)³·M) — Hong & Kung [2] (row 1, P = 1)."""
+    _check(n, M)
+    return (n / math.sqrt(M)) ** 3 * M
+
+
+def classical_parallel(n: float, M: float, P: float) -> float:
+    """Ω((n/√M)³·M/P) — row 1, memory-dependent."""
+    _check(n, M, P)
+    return (n / math.sqrt(M)) ** 3 * M / P
+
+
+def classical_memory_independent(n: float, P: float) -> float:
+    """Ω(n²/P^{2/3}) — row 1, memory-independent [1]."""
+    _check(n, 1, P)
+    return n * n / P ** (2.0 / 3.0)
+
+
+def fast_sequential(n: float, M: float, omega0: float = OMEGA0_STRASSEN) -> float:
+    """Ω((n/√M)^{ω₀}·M) — Theorem 1.1, sequential (recomputation allowed)."""
+    _check(n, M)
+    return (n / math.sqrt(M)) ** omega0 * M
+
+
+def fast_parallel(n: float, M: float, P: float, omega0: float = OMEGA0_STRASSEN) -> float:
+    """Ω((n/√M)^{ω₀}·M/P) — Theorem 1.1, parallel memory-dependent."""
+    _check(n, M, P)
+    return (n / math.sqrt(M)) ** omega0 * M / P
+
+
+def fast_memory_independent(n: float, P: float, omega0: float = OMEGA0_STRASSEN) -> float:
+    """Ω(n²/P^{2/ω₀}) — Theorem 1.1, parallel memory-independent."""
+    _check(n, 1, P)
+    return n * n / P ** (2.0 / omega0)
+
+
+def parallel_max_bound(
+    n: float, M: float, P: float, omega0: float = OMEGA0_STRASSEN
+) -> float:
+    """max{Ω((n/√M)^{ω₀}·M/P), Ω(n²/P^{2/ω₀})} — Theorem 1.1's parallel bound."""
+    return max(fast_parallel(n, M, P, omega0), fast_memory_independent(n, P, omega0))
+
+
+def parallel_crossover_P(n: float, M: float, omega0: float = OMEGA0_STRASSEN) -> float:
+    """P* where the memory-independent term overtakes the memory-dependent one.
+
+    Setting (n/√M)^{ω}·M/P = n²/P^{2/ω} gives
+        P* = ((n/√M)^{ω}·M/n²)^{ω/(ω−2)}.
+    Below P* the memory-dependent term dominates; above it strong scaling
+    hits the memory-independent floor — the "perfect strong scaling range"
+    of Ballard et al. [1].
+    """
+    _check(n, M)
+    base = (n / math.sqrt(M)) ** omega0 * M / (n * n)
+    return base ** (omega0 / (omega0 - 2.0))
+
+
+def rectangular_bound(
+    q: float, levels: int, m: int, p: int, M: float, P: float = 1
+) -> float:
+    """Ω(q^t/(P·M^{log_{mp} q − 1})) — Ballard et al. [22], Table I row 5.
+
+    ``q`` multiplications in a ⟨m,n,p;q⟩ base case applied for ``t=levels``
+    recursion levels (so q^t is the total multiplication count).
+    """
+    if q <= 1 or levels < 1 or m < 1 or p < 1:
+        raise ValueError("invalid rectangular parameters")
+    _check(1, M, P)
+    exponent = math.log(q, m * p) - 1.0
+    return q ** levels / (P * M ** exponent)
+
+
+def fft_bound_memory(n: float, M: float, P: float = 1) -> float:
+    """Ω(n·log n/(P·log M)) — FFT row, memory-dependent [12]."""
+    _check(n, M, P)
+    if M < 2:
+        raise ValueError("FFT bound needs M >= 2 (log M in the denominator)")
+    return n * math.log2(n) / (P * math.log2(M))
+
+
+def fft_bound_independent(n: float, P: float) -> float:
+    """Ω(n·log n/(P·log(n/P))) — FFT row, memory-independent [5], [11], [13]."""
+    _check(n, 1, P)
+    if n / P <= 2:
+        raise ValueError("FFT memory-independent bound needs n/P > 2")
+    return n * math.log2(n) / (P * math.log2(n / P))
+
+
+def dfs_io_leading_coefficient(
+    linear_reads_per_level: float, linear_writes_per_level: float, t: int = 7, d: int = 2
+) -> float:
+    """Leading coefficient of the DFS I/O recurrence (upper-bound side).
+
+    IO(s) = t·IO(s/d) + c_lin·(s/d)², IO(s₀) = 3s₀² with s₀ = √(M/3), solves
+    to IO(n) ≈ κ·(n/√M)^{ω₀}·M; this returns κ for the streamed executor's
+    per-level linear I/O, letting the alt-basis bench compare measured
+    constants (Winograd vs Karstadt–Schwartz, the 10.5 → 9 discussion of
+    §IV) against closed forms.
+    """
+    c_lin = (linear_reads_per_level + linear_writes_per_level) / (d * d)
+    # Sum of geometric series: IO(n) = n²·c_lin·Σ_{j≥1}(t/d²)^j up to the
+    # cutoff level L with n/d^L = s₀, plus the base term 3s₀²·t^L.
+    ratio = t / (d * d)
+    # per-(n/√M)^{ω₀}·M normalization: at the cutoff the base contributes
+    # 3·(1/3)·… — evaluate symbolically at s₀ = √(M/3):
+    # IO(n) = (n/s₀)^{log_d t}·[3s₀² + c_lin·s₀²·(1/(ratio−1))·(…)] — the
+    # bracket over M is the leading coefficient:
+    s0_sq_over_M = 1.0 / 3.0
+    kappa = 3.0 * s0_sq_over_M + c_lin * s0_sq_over_M * ratio / (ratio - 1.0)
+    return kappa

@@ -1,0 +1,81 @@
+"""Comparing measured I/O against the lower-bound formulas.
+
+The paper's claims are asymptotic; "reproduction" here means *shape*:
+
+* measured I/O of a correct execution never falls below the bound
+  (a violated Ω(·) floor would falsify either the bound or the simulator);
+* the measured growth exponent on a log-log sweep matches the bound's
+  (3 for classical, log₂7 for fast, within tolerance);
+* constant ratios measured/bound stay bounded across the sweep
+  (no hidden log factors on the upper-bound side).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["fit_exponent", "bound_respected", "shape_report", "ShapeReport"]
+
+
+def fit_exponent(xs, ys) -> float:
+    """Least-squares slope of log(y) against log(x)."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if len(xs) < 2 or np.any(xs <= 0) or np.any(ys <= 0):
+        raise ValueError("need >= 2 strictly positive points")
+    slope, _ = np.polyfit(np.log(xs), np.log(ys), 1)
+    return float(slope)
+
+
+def bound_respected(measured: float, bound: float, constant: float = 1e-9) -> bool:
+    """measured ≥ constant·bound (Ω floors hold up to a constant)."""
+    return measured >= constant * bound
+
+
+@dataclass
+class ShapeReport:
+    """Summary of a measured-vs-bound sweep."""
+
+    xs: list[float]
+    measured: list[float]
+    bound: list[float]
+    fitted_exponent: float
+    bound_exponent: float
+    min_ratio: float
+    max_ratio: float
+
+    @property
+    def exponent_error(self) -> float:
+        return abs(self.fitted_exponent - self.bound_exponent)
+
+    @property
+    def never_below(self) -> bool:
+        """Measured I/O at or above the bound expression everywhere."""
+        return self.min_ratio >= 1.0
+
+    @property
+    def constant_factor_spread(self) -> float:
+        """max/min of measured/bound — ≈1 means identical shape."""
+        return self.max_ratio / self.min_ratio if self.min_ratio > 0 else math.inf
+
+
+def shape_report(xs, measured, bound) -> ShapeReport:
+    """Build a :class:`ShapeReport` from parallel sweep arrays."""
+    xs = [float(x) for x in xs]
+    measured = [float(v) for v in measured]
+    bound = [float(v) for v in bound]
+    if not (len(xs) == len(measured) == len(bound)):
+        raise ValueError("sweep arrays must align")
+    ratios = [m / b for m, b in zip(measured, bound)]
+    return ShapeReport(
+        xs=xs,
+        measured=measured,
+        bound=bound,
+        fitted_exponent=fit_exponent(xs, measured),
+        bound_exponent=fit_exponent(xs, bound),
+        min_ratio=min(ratios),
+        max_ratio=max(ratios),
+    )

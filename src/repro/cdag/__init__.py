@@ -1,0 +1,54 @@
+"""Computational DAGs (Definition 2.1) and their builders.
+
+This package constructs, explicitly, every CDAG the paper reasons about:
+
+* the bipartite encoder/decoder graphs of a bilinear algorithm (Figure 2),
+* the base-case CDAG (Figure 1),
+* the full recursive CDAG H^{n×n} with its SUB_H^{r×r} bookkeeping
+  (Lemma 2.2's recursive expansion),
+* the classical-multiplication CDAG and the FFT butterfly CDAG (the other
+  rows of Table I),
+* small synthetic families used by the recomputation study (§V), including
+  a gadget where recomputation provably reduces I/O and the write-avoiding
+  (NVM) cost-model variant.
+
+Two construction styles are supported.  ``bipartite`` connects each linear
+form directly to its constituent operands — the representation the paper's
+lemmas use.  ``tree`` expands every linear form into a chain of fan-in-2
+addition vertices — the representation the red-blue pebble game needs
+(computing a vertex requires *all* its predecessors in fast memory at once,
+so unbounded fan-in would distort I/O counts).
+"""
+
+from repro.cdag.core import CDAG, VertexKind
+from repro.cdag.encoder import encoder_cdag, encoder_bipartite_adjacency
+from repro.cdag.decoder import decoder_cdag
+from repro.cdag.base import base_case_cdag
+from repro.cdag.recursive import RecursiveCDAG, build_recursive_cdag
+from repro.cdag.classic_mm import classical_mm_cdag
+from repro.cdag.fft import fft_cdag
+from repro.cdag.families import (
+    binary_tree_cdag,
+    inverted_binary_tree_cdag,
+    diamond_chain_cdag,
+    grid_cdag,
+    recompute_wins_cdag,
+)
+
+__all__ = [
+    "CDAG",
+    "VertexKind",
+    "encoder_cdag",
+    "encoder_bipartite_adjacency",
+    "decoder_cdag",
+    "base_case_cdag",
+    "RecursiveCDAG",
+    "build_recursive_cdag",
+    "classical_mm_cdag",
+    "fft_cdag",
+    "binary_tree_cdag",
+    "inverted_binary_tree_cdag",
+    "diamond_chain_cdag",
+    "grid_cdag",
+    "recompute_wins_cdag",
+]

@@ -1,0 +1,65 @@
+"""The base-case CDAG of a bilinear algorithm (Figure 1).
+
+Layout, top to bottom as drawn in the paper:
+
+    4 A-inputs     4 B-inputs
+        │  Enc_A        │  Enc_B
+    7 encoded Â     7 encoded B̂
+          └── 7 multiplication vertices ──┘
+                       │  Dec
+                 4 C-outputs
+
+The multiplication vertex M_l has exactly two predecessors — its encoded
+left and right operands — regardless of style; only the linear parts differ
+between ``bipartite`` and ``tree`` styles.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.cdag.core import CDAG
+from repro.cdag.encoder import add_linear_form_tree
+from repro.graphs.digraph import DiGraph
+
+import numpy as np
+
+__all__ = ["base_case_cdag"]
+
+
+def _linear_layer(
+    g: DiGraph,
+    mat: np.ndarray,
+    operands: list[int],
+    style: str,
+    prefix: str,
+) -> list[int]:
+    """One encoder/decoder layer over existing operand vertices; returns outputs."""
+    roots: list[int] = []
+    for l in range(mat.shape[0]):
+        ops = [operands[int(j)] for j in np.nonzero(mat[l])[0]]
+        if style == "bipartite":
+            y = g.add_vertex(f"{prefix}{l}")
+            for op in ops:
+                g.add_edge(op, y)
+            roots.append(y)
+        else:
+            roots.append(add_linear_form_tree(g, ops, f"{prefix}{l}", f"{prefix}{l}"))
+    return roots
+
+
+def base_case_cdag(alg: BilinearAlgorithm, style: str = "bipartite") -> CDAG:
+    """Build the full base-case CDAG (inputs → encoders → products → decoder)."""
+    g = DiGraph()
+    nm, mp, np_out = alg.n * alg.m, alg.m * alg.p, alg.n * alg.p
+    a_in = [g.add_vertex(f"a{q}") for q in range(nm)]
+    b_in = [g.add_vertex(f"b{q}") for q in range(mp)]
+    a_hat = _linear_layer(g, alg.U, a_in, style, "ahat")
+    b_hat = _linear_layer(g, alg.V, b_in, style, "bhat")
+    mults = []
+    for l in range(alg.t):
+        v = g.add_vertex(f"m{l}")
+        g.add_edge(a_hat[l], v)
+        g.add_edge(b_hat[l], v)
+        mults.append(v)
+    c_out = _linear_layer(g, alg.W, mults, style, "c")
+    return CDAG(g, a_in + b_in, c_out, name=f"{alg.name}-base-{style}")

@@ -1,0 +1,41 @@
+"""The classical matrix-multiplication CDAG (Table I, first row).
+
+n³ scalar multiplications a_ik·b_kj feed n² summation chains of length n.
+Each intermediate value is used exactly once — the structural reason the
+paper footnotes that recomputation is "not relevant" for this CDAG (there is
+nothing worth recomputing: no internal vertex has fan-out > 1).
+"""
+
+from __future__ import annotations
+
+from repro.cdag.core import CDAG
+from repro.graphs.digraph import DiGraph
+from repro.util.checks import check_positive_int
+
+__all__ = ["classical_mm_cdag"]
+
+
+def classical_mm_cdag(n: int) -> CDAG:
+    """Build the classical-algorithm CDAG for n×n inputs (fan-in ≤ 2)."""
+    n = check_positive_int(n, "n")
+    g = DiGraph()
+    a = [[g.add_vertex(f"a[{i},{k}]") for k in range(n)] for i in range(n)]
+    b = [[g.add_vertex(f"b[{k},{j}]") for j in range(n)] for k in range(n)]
+    outputs: list[int] = []
+    for i in range(n):
+        for j in range(n):
+            acc = None
+            for k in range(n):
+                m = g.add_vertex(f"p[{i},{j},{k}]")
+                g.add_edge(a[i][k], m)
+                g.add_edge(b[k][j], m)
+                if acc is None:
+                    acc = m
+                else:
+                    s = g.add_vertex(f"s[{i},{j},{k}]")
+                    g.add_edge(acc, s)
+                    g.add_edge(m, s)
+                    acc = s
+            outputs.append(acc)
+    inputs = [v for row in a for v in row] + [v for row in b for v in row]
+    return CDAG(g, inputs, outputs, name=f"classical-mm-{n}")

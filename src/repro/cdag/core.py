@@ -1,0 +1,158 @@
+"""The CDAG container: a digraph with designated inputs, outputs and labels.
+
+Definition 2.1: vertices represent input / intermediate / output arguments,
+edges represent direct dependency.  We keep the three vertex classes
+explicit — V_inp is checked to coincide with in-degree-0 vertices, while
+V_out is a *designation* (an output of a sub-CDAG may have successors in the
+enclosing CDAG, e.g. the M_l products inside H^{n×n}).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.topo import topological_order
+
+__all__ = ["VertexKind", "CDAG"]
+
+
+class VertexKind(str, Enum):
+    """Role of a vertex inside its CDAG (Definition 2.1)."""
+
+    INPUT = "input"
+    INTERNAL = "internal"
+    OUTPUT = "output"
+
+
+class CDAG:
+    """A computational DAG.
+
+    Parameters
+    ----------
+    graph:
+        The underlying digraph (payloads are free-form labels).
+    inputs / outputs:
+        Designated vertex lists.  Every input must have in-degree 0.
+    name:
+        Human-readable identifier used in reports and DOT output.
+    """
+
+    __slots__ = ("graph", "inputs", "outputs", "name", "_input_set", "_output_set")
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        inputs: Iterable[int],
+        outputs: Iterable[int],
+        name: str = "cdag",
+    ) -> None:
+        self.graph = graph
+        self.inputs = list(inputs)
+        self.outputs = list(outputs)
+        self.name = name
+        self._input_set = set(self.inputs)
+        self._output_set = set(self.outputs)
+        if len(self._input_set) != len(self.inputs):
+            raise ValueError("duplicate input vertices")
+        if len(self._output_set) != len(self.outputs):
+            raise ValueError("duplicate output vertices")
+        for v in self.inputs:
+            if graph.in_degree(v) != 0:
+                raise ValueError(f"input vertex {v} has predecessors")
+        # acyclicity check once at construction
+        topological_order(graph)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def kind(self, v: int) -> VertexKind:
+        if v in self._input_set:
+            return VertexKind.INPUT
+        if v in self._output_set:
+            return VertexKind.OUTPUT
+        return VertexKind.INTERNAL
+
+    def is_input(self, v: int) -> bool:
+        return v in self._input_set
+
+    def is_output(self, v: int) -> bool:
+        return v in self._output_set
+
+    def internal_vertices(self) -> list[int]:
+        return [
+            v
+            for v in self.graph.vertices()
+            if v not in self._input_set and v not in self._output_set
+        ]
+
+    def label(self, v: int):
+        return self.graph.payload(v)
+
+    def max_fan_in(self) -> int:
+        return max((self.graph.in_degree(v) for v in self.graph.vertices()), default=0)
+
+    def topological_order(self) -> list[int]:
+        return topological_order(self.graph)
+
+    def census(self) -> dict[str, int]:
+        """Vertex/edge counts by class — the data behind Figure 1's caption."""
+        return {
+            "vertices": self.num_vertices,
+            "edges": self.num_edges,
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "internal": self.num_vertices - len(self.inputs) - len(self.outputs),
+            "max_fan_in": self.max_fan_in(),
+        }
+
+    def validate(self) -> None:
+        """Re-assert structural invariants (used by property tests)."""
+        for v in self.inputs:
+            if self.graph.in_degree(v) != 0:
+                raise AssertionError(f"input {v} acquired predecessors")
+        for v in self.graph.vertices():
+            if self.graph.in_degree(v) == 0 and v not in self._input_set:
+                raise AssertionError(
+                    f"vertex {v} has no predecessors but is not a designated input"
+                )
+        topological_order(self.graph)
+
+    def ancestor_closure(self, targets: Iterable[int]) -> "CDAG":
+        """The sub-CDAG of everything ``targets`` depend on (plus targets).
+
+        Inputs are the original inputs that survive; outputs are the given
+        targets.  Used to carve tractable slices for the exact pebbling
+        search (e.g. 'the part of Strassen's base CDAG computing C12').
+        """
+        targets = list(targets)
+        keep: set[int] = set(targets)
+        stack = list(targets)
+        while stack:
+            v = stack.pop()
+            for u in self.graph.predecessors(v):
+                if u not in keep:
+                    keep.add(u)
+                    stack.append(u)
+        removed = [v for v in self.graph.vertices() if v not in keep]
+        sub, remap = self.graph.subgraph_without(removed)
+        return CDAG(
+            sub,
+            [remap[v] for v in self.inputs if v in keep],
+            [remap[v] for v in targets],
+            name=f"{self.name}-slice",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        c = self.census()
+        return (
+            f"CDAG({self.name!r}, V={c['vertices']}, E={c['edges']}, "
+            f"in={c['inputs']}, out={c['outputs']})"
+        )

@@ -1,0 +1,38 @@
+"""Decoder CDAGs: from the t products to the n·p output entries.
+
+Mirrors :mod:`repro.cdag.encoder` with the roles flipped — the decoder's
+coefficient matrix W has one row per output entry and one column per
+product, so output entry r depends on products {l : W[r, l] ≠ 0}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cdag.core import CDAG
+from repro.cdag.encoder import add_linear_form_tree
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["decoder_cdag"]
+
+
+def decoder_cdag(W: np.ndarray, style: str = "bipartite", name: str = "decoder") -> CDAG:
+    """Build the decoder CDAG from coefficient matrix W (shape: outputs × products)."""
+    W = np.asarray(W)
+    num_out, t = W.shape
+    g = DiGraph()
+    inputs = [g.add_vertex(f"m{l}") for l in range(t)]
+    outputs: list[int] = []
+    if style == "bipartite":
+        for r in range(num_out):
+            c = g.add_vertex(f"c{r}")
+            for l in np.nonzero(W[r])[0]:
+                g.add_edge(inputs[int(l)], c)
+            outputs.append(c)
+    elif style == "tree":
+        for r in range(num_out):
+            ops = [inputs[int(l)] for l in np.nonzero(W[r])[0]]
+            outputs.append(add_linear_form_tree(g, ops, f"c{r}", f"c{r}"))
+    else:
+        raise ValueError(f"unknown style {style!r}")
+    return CDAG(g, inputs, outputs, name=name)

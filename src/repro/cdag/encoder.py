@@ -1,0 +1,80 @@
+"""Encoder graphs (Figure 2): from coefficient matrix to CDAG.
+
+The encoder of a bilinear algorithm maps the n·m input entries of one
+operand to its t encoded linear forms.  Lemma 3.1 reasons about the
+*bipartite* view — input vertex q adjacent to product vertex l iff
+U[l, q] ≠ 0.  The pebble game needs the *tree* view, where each linear form
+with k operands becomes a left-deep chain of k−1 fan-in-2 additions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cdag.core import CDAG
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["encoder_bipartite_adjacency", "encoder_cdag", "add_linear_form_tree"]
+
+
+def encoder_bipartite_adjacency(mat: np.ndarray) -> list[list[int]]:
+    """Adjacency of the bipartite encoder graph: row l → its non-zero columns.
+
+    This is exactly the (Y → X) neighbor structure Lemma 3.1 quantifies over.
+    """
+    mat = np.asarray(mat)
+    return [list(map(int, np.nonzero(mat[l])[0])) for l in range(mat.shape[0])]
+
+
+def add_linear_form_tree(
+    g: DiGraph, operands: list[int], label_prefix: str, out_label: str
+) -> int:
+    """Materialize a linear form over ``operands`` as fan-in-≤2 vertices.
+
+    Returns the vertex holding the final value.  A 1-operand form still gets
+    its own copy vertex so that the form's value is a distinct argument (the
+    paper's CDAG gives every encoded operand its own vertex, even when it is
+    a trivial copy like M3's left factor A11 in Strassen).
+    """
+    if not operands:
+        raise ValueError("linear form must reference at least one operand")
+    acc = g.add_vertex(f"{label_prefix}#0" if len(operands) > 1 else out_label)
+    g.add_edge(operands[0], acc)
+    for idx, op in enumerate(operands[1:], start=1):
+        last = idx == len(operands) - 1
+        nxt = g.add_vertex(out_label if last else f"{label_prefix}#{idx}")
+        g.add_edge(acc, nxt)
+        g.add_edge(op, nxt)
+        acc = nxt
+    return acc
+
+
+def encoder_cdag(mat: np.ndarray, style: str = "bipartite", name: str = "encoder") -> CDAG:
+    """Build the encoder CDAG for one operand of a bilinear algorithm.
+
+    Inputs: one vertex per matrix entry (column of ``mat``).  Outputs: one
+    vertex per encoded product operand (row of ``mat``).
+
+    ``style='bipartite'``: each output vertex has direct edges from its
+    non-zero operands (arbitrary fan-in) — the Figure 2 graph.
+    ``style='tree'``: each output is the root of an addition chain
+    (fan-in ≤ 2) — the pebbling-game form.
+    """
+    mat = np.asarray(mat)
+    t, q = mat.shape
+    g = DiGraph()
+    inputs = [g.add_vertex(f"x{j}") for j in range(q)]
+    outputs: list[int] = []
+    if style == "bipartite":
+        for l in range(t):
+            y = g.add_vertex(f"y{l}")
+            for j in np.nonzero(mat[l])[0]:
+                g.add_edge(inputs[int(j)], y)
+            outputs.append(y)
+    elif style == "tree":
+        for l in range(t):
+            ops = [inputs[int(j)] for j in np.nonzero(mat[l])[0]]
+            outputs.append(add_linear_form_tree(g, ops, f"y{l}", f"y{l}"))
+    else:
+        raise ValueError(f"unknown style {style!r}")
+    return CDAG(g, inputs, outputs, name=name)

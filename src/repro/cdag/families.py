@@ -1,0 +1,151 @@
+"""Small synthetic CDAG families for the recomputation study (§V).
+
+The paper's discussion section stresses that recomputation *sometimes*
+helps (Savage's S-span examples; Bilardi–Peserico; Blelloch et al.'s
+write-avoiding trade) even though it provably cannot for fast matmul.
+These families give the pebbling benchmarks both kinds of instance:
+
+* trees / grids / diamonds — recomputation-neutral structures;
+* :func:`recompute_wins_cdag` — an engineered gadget where the optimal
+  red-blue schedule with recomputation performs strictly fewer I/O
+  operations than any schedule without it.
+
+Why the gadget works: a derived value can only be *reloaded* after paying a
+store, whereas a CDAG **input** resides in slow memory for free.  A hub
+value h = f(x) that is evicted between uses therefore costs store+load = 2
+I/O to revisit without recomputation, but only one load (of x) with it.
+Interleaved cache-flushing blocks force the eviction.
+"""
+
+from __future__ import annotations
+
+from repro.cdag.core import CDAG
+from repro.graphs.digraph import DiGraph
+from repro.util.checks import check_positive_int
+
+__all__ = [
+    "binary_tree_cdag",
+    "inverted_binary_tree_cdag",
+    "diamond_chain_cdag",
+    "grid_cdag",
+    "recompute_wins_cdag",
+]
+
+
+def binary_tree_cdag(depth: int) -> CDAG:
+    """Complete binary reduction tree: 2^depth inputs, one output."""
+    depth = check_positive_int(depth, "depth")
+    g = DiGraph()
+    level = [g.add_vertex(f"x{i}") for i in range(1 << depth)]
+    inputs = list(level)
+    d = depth
+    while len(level) > 1:
+        d -= 1
+        level = [
+            _node2(g, level[2 * i], level[2 * i + 1], f"t{d}.{i}")
+            for i in range(len(level) // 2)
+        ]
+    return CDAG(g, inputs, level, name=f"bintree-{depth}")
+
+
+def inverted_binary_tree_cdag(depth: int) -> CDAG:
+    """Broadcast tree: one input fans out to 2^depth outputs through copies."""
+    depth = check_positive_int(depth, "depth")
+    g = DiGraph()
+    root = g.add_vertex("x")
+    level = [root]
+    for d in range(depth):
+        nxt = []
+        for i, v in enumerate(level):
+            for side in (0, 1):
+                w = g.add_vertex(f"b{d}.{2 * i + side}")
+                g.add_edge(v, w)
+                nxt.append(w)
+        level = nxt
+    return CDAG(g, [root], level, name=f"invtree-{depth}")
+
+
+def diamond_chain_cdag(length: int) -> CDAG:
+    """A chain of diamonds: s_i → {l_i, r_i} → s_{i+1}; classic 2-path DAG."""
+    length = check_positive_int(length, "length")
+    g = DiGraph()
+    s = g.add_vertex("s0")
+    inputs = [s]
+    for i in range(length):
+        l = g.add_vertex(f"l{i}")
+        r = g.add_vertex(f"r{i}")
+        g.add_edge(s, l)
+        g.add_edge(s, r)
+        nxt = _node2(g, l, r, f"s{i + 1}")
+        s = nxt
+    return CDAG(g, inputs, [s], name=f"diamond-{length}")
+
+
+def grid_cdag(rows: int, cols: int) -> CDAG:
+    """Directed grid (dynamic-programming dependency pattern)."""
+    rows = check_positive_int(rows, "rows")
+    cols = check_positive_int(cols, "cols")
+    g = DiGraph()
+    ids = [[g.add_vertex(f"g[{i},{j}]") for j in range(cols)] for i in range(rows)]
+    for i in range(rows):
+        for j in range(cols):
+            if i > 0:
+                g.add_edge(ids[i - 1][j], ids[i][j])
+            if j > 0:
+                g.add_edge(ids[i][j - 1], ids[i][j])
+    inputs = [ids[0][0]]
+    outputs = [ids[rows - 1][cols - 1]]
+    return CDAG(g, inputs, outputs, name=f"grid-{rows}x{cols}")
+
+
+def recompute_wins_cdag(gadgets: int = 1, flush_length: int = 2) -> CDAG:
+    """A CDAG whose optimal I/O at M = 3 is strictly lower with recomputation.
+
+    Each of ``gadgets`` independent copies is the chain
+
+        x → h            (unary hub: recomputable from one input)
+        o = h + z        (early use of h; o is an output)
+        a₁ = o + w₁, a₂ = a₁ + w₂, …, a_F = a_{F−1} + w_F
+                         (a "flush wall" seeded with o, so it MUST run
+                          between the two uses of h)
+        p = h + a_F      (late use of h; p is an output)
+
+    With M = 3, computing any aⱼ needs its two operands plus the result in
+    fast memory — three pebbles — so h is necessarily evicted inside the
+    wall.  A schedule **without** recomputation must store h (a write) and
+    reload it; a schedule **with** recomputation just reloads the input x
+    and recomputes h, saving one write per gadget.  Under the §V
+    non-volatile-memory cost model (write cost ω > 1) the saving per gadget
+    grows to ω.  The wall cannot be hoisted before o (it depends on o) and
+    p cannot be hoisted before the wall (it depends on a_F), so no
+    reordering dodges the eviction.
+    """
+    gadgets = check_positive_int(gadgets, "gadgets")
+    flush_length = check_positive_int(flush_length, "flush_length")
+    g = DiGraph()
+    inputs: list[int] = []
+    outputs: list[int] = []
+    for i in range(gadgets):
+        x = g.add_vertex(f"x{i}")
+        inputs.append(x)
+        h = g.add_vertex(f"h{i}")
+        g.add_edge(x, h)
+        z = g.add_vertex(f"z{i}")
+        inputs.append(z)
+        o = _node2(g, h, z, f"o{i}")
+        outputs.append(o)
+        acc = o
+        for j in range(flush_length):
+            w = g.add_vertex(f"w{i}.{j}")
+            inputs.append(w)
+            acc = _node2(g, acc, w, f"a{i}.{j}")
+        p = _node2(g, h, acc, f"p{i}")
+        outputs.append(p)
+    return CDAG(g, inputs, outputs, name=f"recompute-wins-{gadgets}x{flush_length}")
+
+
+def _node2(g: DiGraph, u: int, v: int, label: str) -> int:
+    w = g.add_vertex(label)
+    g.add_edge(u, w)
+    g.add_edge(v, w)
+    return w

@@ -1,0 +1,34 @@
+"""The FFT butterfly CDAG (Table I, last row; Bilardi–Scquizzato–Silvestri).
+
+log₂n levels of n vertices; the vertex at level ℓ+1, position i depends on
+positions i and i XOR 2^ℓ of level ℓ.  The paper cites the FFT bound
+Ω(n·log n / (P·log M)) as the other known recomputation-robust bound; we
+pebble this CDAG in the benchmarks to exercise that row of Table I.
+"""
+
+from __future__ import annotations
+
+from repro.cdag.core import CDAG
+from repro.graphs.digraph import DiGraph
+from repro.util.checks import check_power_of_two, ilog2
+
+__all__ = ["fft_cdag"]
+
+
+def fft_cdag(n: int) -> CDAG:
+    """Build the n-point butterfly CDAG (n a power of two)."""
+    n = check_power_of_two(n, "n")
+    levels = ilog2(n)
+    g = DiGraph()
+    prev = [g.add_vertex(f"x[{i}]") for i in range(n)]
+    inputs = list(prev)
+    for ell in range(levels):
+        cur = []
+        stride = 1 << ell
+        for i in range(n):
+            v = g.add_vertex(f"f{ell + 1}[{i}]")
+            g.add_edge(prev[i], v)
+            g.add_edge(prev[i ^ stride], v)
+            cur.append(v)
+        prev = cur
+    return CDAG(g, inputs, prev, name=f"fft-{n}")

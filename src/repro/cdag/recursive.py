@@ -1,0 +1,163 @@
+"""The recursive CDAG H^{n×n} of a fast matrix-multiplication algorithm.
+
+Structure per recursion step on side s (square base case d×d, t products):
+
+* the s² A-entries and s² B-entries of the current problem already exist;
+* for each product l and each position inside the (s/d)×(s/d) block, an
+  encoder copy creates the encoded entry Â_l[u,v] with edges from the d²
+  block entries at that position with non-zero U coefficient (and likewise
+  B̂_l from V) — these encoded entries *are* the inputs of sub-CDAG l;
+* t sub-CDAGs H^{(s/d)×(s/d)} are built recursively;
+* a decoder copy per position creates each output entry from the sub-CDAG
+  outputs with non-zero W coefficient.
+
+The builder records, for every recursion size r, the input and output
+vertex sets of every size-r subproblem: exactly the SUB_H^{r×r} bookkeeping
+that Lemma 2.2 counts ((n/r)^{log₂7}·r² output vertices) and that Lemmas
+3.6–3.11 quantify over.  Size-1 subproblem outputs are the scalar
+multiplication vertices themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.cdag.core import CDAG
+from repro.cdag.encoder import add_linear_form_tree
+from repro.graphs.digraph import DiGraph
+from repro.util.checks import check_positive_int, is_power_of
+
+__all__ = ["RecursiveCDAG", "build_recursive_cdag"]
+
+
+@dataclass
+class RecursiveCDAG:
+    """H^{n×n} plus the subproblem registries the lemmas need.
+
+    ``sub_outputs[r]`` / ``sub_inputs[r]`` list, per size-r subproblem in
+    construction (DFS) order, the r² output vertex ids (row-major) and the
+    pair (A-input ids, B-input ids).  ``sub_inputs[n]`` holds the top-level
+    problem itself.
+    """
+
+    cdag: CDAG
+    alg: BilinearAlgorithm
+    n: int
+    a_inputs: list[int]
+    b_inputs: list[int]
+    c_outputs: list[int]
+    sub_outputs: dict[int, list[list[int]]] = field(default_factory=dict)
+    sub_inputs: dict[int, list[tuple[list[int], list[int]]]] = field(default_factory=dict)
+
+    @property
+    def mult_vertices(self) -> list[int]:
+        """The t^L scalar-multiplication vertices (size-1 subproblem outputs)."""
+        return [out[0] for out in self.sub_outputs[1]]
+
+    def num_subproblems(self, r: int) -> int:
+        return len(self.sub_outputs[r])
+
+    def all_sub_output_vertices(self, r: int) -> list[int]:
+        """V_out(SUB_H^{r×r}): union of output vertices over all size-r subproblems."""
+        return [v for outs in self.sub_outputs[r] for v in outs]
+
+    def all_sub_input_vertices(self, r: int) -> list[int]:
+        """V_inp(SUB_H^{r×r}): union of input vertices over all size-r subproblems."""
+        return [v for a_ids, b_ids in self.sub_inputs[r] for v in a_ids + b_ids]
+
+
+def _block_entry(ids: list[int], s: int, bi: int, bj: int, u: int, v: int, h: int) -> int:
+    """Vertex id of entry (u,v) of block (bi,bj) in a flat row-major s×s id list."""
+    return ids[(bi * h + u) * s + (bj * h + v)]
+
+
+def build_recursive_cdag(
+    alg: BilinearAlgorithm, n: int, style: str = "bipartite"
+) -> RecursiveCDAG:
+    """Construct H^{n×n} for a square-base-case algorithm, n = d^L.
+
+    ``style`` is ``'bipartite'`` (paper's encoder representation, default)
+    or ``'tree'`` (fan-in ≤ 2, for pebbling).
+    """
+    if not alg.is_square:
+        raise ValueError("recursive CDAG requires a square base case")
+    d = alg.n
+    check_positive_int(n, "n")
+    if not is_power_of(n, d):
+        raise ValueError(f"n={n} is not a power of the base dimension {d}")
+    if style not in ("bipartite", "tree"):
+        raise ValueError(f"unknown style {style!r}")
+
+    g = DiGraph()
+    a_inputs = [g.add_vertex(f"A[{i},{j}]") for i in range(n) for j in range(n)]
+    b_inputs = [g.add_vertex(f"B[{i},{j}]") for i in range(n) for j in range(n)]
+
+    sub_outputs: dict[int, list[list[int]]] = {}
+    sub_inputs: dict[int, list[tuple[list[int], list[int]]]] = {}
+
+    def linear_combo(ops: list[int], label: str) -> int:
+        if style == "bipartite":
+            y = g.add_vertex(label)
+            for op in ops:
+                g.add_edge(op, y)
+            return y
+        return add_linear_form_tree(g, ops, label, label)
+
+    def rec(a_ids: list[int], b_ids: list[int], s: int, tag: str) -> list[int]:
+        sub_inputs.setdefault(s, []).append((a_ids, b_ids))
+        if s == 1:
+            v = g.add_vertex(f"mul{tag}")
+            g.add_edge(a_ids[0], v)
+            g.add_edge(b_ids[0], v)
+            sub_outputs.setdefault(1, []).append([v])
+            return [v]
+        h = s // d
+        U, V, W = alg.U, alg.V, alg.W
+        child_outputs: list[list[int]] = []
+        for l in range(alg.t):
+            u_nz = np.nonzero(U[l])[0]
+            v_nz = np.nonzero(V[l])[0]
+            a_hat: list[int] = []
+            b_hat: list[int] = []
+            for u in range(h):
+                for v in range(h):
+                    ops = [
+                        _block_entry(a_ids, s, q // d, q % d, u, v, h)
+                        for q in u_nz
+                    ]
+                    a_hat.append(linear_combo(ops, f"Ahat{tag}.{l}[{u},{v}]"))
+                    ops = [
+                        _block_entry(b_ids, s, q // d, q % d, u, v, h)
+                        for q in v_nz
+                    ]
+                    b_hat.append(linear_combo(ops, f"Bhat{tag}.{l}[{u},{v}]"))
+            child_outputs.append(rec(a_hat, b_hat, h, f"{tag}.{l}"))
+        # decoder: build row-major s×s output id list
+        c_ids = [0] * (s * s)
+        for q in range(d * d):
+            bi, bj = q // d, q % d
+            w_nz = np.nonzero(W[q])[0]
+            for u in range(h):
+                for v in range(h):
+                    ops = [child_outputs[int(l)][u * h + v] for l in w_nz]
+                    c_ids[(bi * h + u) * s + (bj * h + v)] = linear_combo(
+                        ops, f"C{tag}.{q}[{u},{v}]"
+                    )
+        sub_outputs.setdefault(s, []).append(c_ids)
+        return c_ids
+
+    c_outputs = rec(a_inputs, b_inputs, n, "")
+    cdag = CDAG(g, a_inputs + b_inputs, c_outputs, name=f"H{n}x{n}-{alg.name}-{style}")
+    return RecursiveCDAG(
+        cdag=cdag,
+        alg=alg,
+        n=n,
+        a_inputs=a_inputs,
+        b_inputs=b_inputs,
+        c_outputs=c_outputs,
+        sub_outputs=sub_outputs,
+        sub_inputs=sub_inputs,
+    )

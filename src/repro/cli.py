@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+table1                  print Table I (formulas + provenance)
+eval N M P              evaluate every Table I row at a parameter point
+figures                 print Figures 1–3 (ASCII renderings)
+verify                  run the full lemma-verification audit
+sweep N... --M M        measured sequential I/O sweep with exponent fit
+recompute               the recomputation study (optimal pebbling)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def _cmd_table1(_args) -> int:
+    from repro.bounds import format_table1
+
+    print(format_table1())
+    return 0
+
+
+def _cmd_eval(args) -> int:
+    from repro.analysis.report import text_table
+    from repro.bounds import evaluate_table1
+
+    rows = []
+    for entry in evaluate_table1(args.n, args.M, args.P):
+        for expr, value in entry["bounds"].items():
+            rows.append([entry["algorithm"][:44], expr, value])
+    print(f"Table I at n={args.n}, M={args.M}, P={args.P}:")
+    print(text_table(["algorithm", "bound", "value"], rows))
+    return 0
+
+
+def _cmd_figures(_args) -> int:
+    from repro.algorithms import strassen
+    from repro.cdag import base_case_cdag, build_recursive_cdag
+    from repro.lemmas.lemma311 import lemma311_instance
+    from repro.viz.ascii_art import base_cdag_ascii, encoder_ascii, lemma311_ascii
+
+    alg = strassen()
+    print(base_cdag_ascii(base_case_cdag(alg)))
+    print()
+    print(encoder_ascii(alg, "A"))
+    print()
+    H = build_recursive_cdag(alg, 4)
+    print(lemma311_ascii(lemma311_instance(H, 2, H.sub_outputs[2][0], [])))
+    return 0
+
+
+def _cmd_verify(_args) -> int:
+    import importlib.util
+    from pathlib import Path
+
+    # the audit lives in examples/; run it in-process when available,
+    # otherwise fall back to the core checks
+    script = Path(__file__).resolve().parents[2] / "examples" / "verify_paper_lemmas.py"
+    if script.exists():
+        spec = importlib.util.spec_from_file_location("verify_paper_lemmas", script)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)  # type: ignore[union-attr]
+        mod.main()
+        return 0
+    from repro.algorithms import strassen
+    from repro.lemmas import check_lemma31, check_theorem11_sequential
+
+    print(check_lemma31(strassen(), "A"))
+    for audit in check_theorem11_sequential(strassen(), n=8, M=4):
+        print(audit.schedule_kind, "holds:", audit.per_segment_holds)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.algorithms import strassen
+    from repro.analysis.fitting import sweep_sequential_io
+    from repro.analysis.report import text_table
+    from repro.bounds.formulas import OMEGA0_STRASSEN, fast_sequential
+
+    res = sweep_sequential_io(strassen(), args.sizes, args.M)
+    rows = [
+        [n, io, fast_sequential(n, args.M)]
+        for n, io in zip(args.sizes, res.measured)
+    ]
+    print(text_table(["n", "measured I/O", "Ω floor"], rows))
+    print(f"fitted exponent: {res.exponent:.3f} (ω₀ = {OMEGA0_STRASSEN:.3f})")
+    return 0
+
+
+def _cmd_recompute(_args) -> int:
+    from repro.analysis.report import text_table
+    from repro.cdag.families import recompute_wins_cdag
+    from repro.pebbling import optimal_io
+    from repro.pebbling.game import PebbleCost
+
+    gadget = recompute_wins_cdag(1, 2)
+    rows = []
+    for name, cost in (("symmetric", PebbleCost()), ("NVM ω=4", PebbleCost(1, 4))):
+        w = optimal_io(gadget, 3, True, cost)
+        wo = optimal_io(gadget, 3, False, cost)
+        rows.append([name, w, wo])
+    print("recomputation-wins gadget, M = 3 (optimal I/O):")
+    print(text_table(["cost model", "with recompute", "without"], rows))
+    print("\n(fast-matmul CDAGs show no gap — run examples/recomputation_study.py)")
+    return 0
+
+
+def _cmd_reproduce(_args) -> int:
+    from repro.analysis.reproduce import run_all
+
+    return 1 if run_all() else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for Nissim & Schwartz (2019).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table I").set_defaults(fn=_cmd_table1)
+
+    p_eval = sub.add_parser("eval", help="evaluate Table I at (n, M, P)")
+    p_eval.add_argument("n", type=int)
+    p_eval.add_argument("M", type=int)
+    p_eval.add_argument("P", type=int)
+    p_eval.set_defaults(fn=_cmd_eval)
+
+    sub.add_parser("figures", help="print Figures 1-3").set_defaults(fn=_cmd_figures)
+    sub.add_parser("verify", help="run the lemma audit").set_defaults(fn=_cmd_verify)
+
+    p_sweep = sub.add_parser("sweep", help="measured I/O sweep")
+    p_sweep.add_argument("sizes", type=int, nargs="+")
+    p_sweep.add_argument("--M", type=int, default=48)
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    sub.add_parser("recompute", help="recomputation study").set_defaults(fn=_cmd_recompute)
+
+    sub.add_parser(
+        "reproduce", help="condensed run of every experiment (E1–E15)"
+    ).set_defaults(fn=_cmd_reproduce)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Instrumented out-of-core and distributed executions.
+
+Each routine here is a *real* algorithm running against a machine model
+from :mod:`repro.machine`, producing both the numeric result (checked in
+tests against plain matmul) and exact I/O counters.  These are the measured
+**upper bounds** that the benchmarks plot against Theorem 1.1's lower
+bounds: the paper's claims are about shape (exponents, who wins, where the
+parallel max{·,·} crosses over), and shape needs both sides.
+
+* :func:`tiled_matmul` — classical blocked matmul, I/O ≈ 2n³/√(M/3)+3n²;
+* :func:`recursive_fast_matmul` — DFS recursion of any square bilinear
+  algorithm with streamed linear combinations, I/O = Θ((n/√M)^{ω₀}·M);
+* :func:`abmm_machine_multiply` — Algorithm 1 on the sequential machine,
+  separating transform I/O (Θ(n² log n)) from bilinear I/O (Theorem 4.1's
+  "negligible" claim, measured);
+* :func:`parallel_strassen_bfs` / :func:`parallel_classical_summa` —
+  distributed executions on the BSP machine for the parallel bounds.
+"""
+
+from repro.execution.classical_tiled import tiled_matmul, naive_matmul_lru_trace
+from repro.execution.recursive_bilinear import recursive_fast_matmul
+from repro.execution.abmm_exec import abmm_machine_multiply
+from repro.execution.parallel_classical import parallel_classical_summa
+from repro.execution.parallel_strassen import parallel_strassen_bfs
+
+__all__ = [
+    "tiled_matmul",
+    "naive_matmul_lru_trace",
+    "recursive_fast_matmul",
+    "abmm_machine_multiply",
+    "parallel_classical_summa",
+    "parallel_strassen_bfs",
+]

@@ -1,0 +1,170 @@
+"""BFS-parallel Strassen (CAPS-style) with exact per-word communication.
+
+P = 7^k processors.  Each BFS level splits the processor group into seven
+subgroups, one per product M_l; the encoded operands Â_l = Σ U[l,q]·A_q are
+redistributed round-robin over the subgroup.  After k levels each group is
+a single processor that multiplies its (n/2^k)-sized sub-problem locally;
+the decode path redistributes upward symmetrically.
+
+The simulation tracks, for every matrix entry, its *owner processor*, and
+charges one word of communication whenever an entry needed by processor p
+is owned by p′ ≠ p — the parallel model's I/O definition, counted exactly.
+Numeric data rides along so tests verify C = A·B.
+
+Local multiplications can additionally be run against a
+:class:`SequentialMachine` with memory M, producing the memory-dependent
+term (n/√M)^{ω₀}·M/P; the communication term yields the memory-independent
+n²/P^{2/ω₀}.  Together they trace Theorem 1.1's max{·,·}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.machine.sequential import SequentialMachine
+from repro.execution.recursive_bilinear import recursive_fast_matmul
+
+__all__ = ["ParallelRunStats", "parallel_strassen_bfs"]
+
+
+@dataclass
+class ParallelRunStats:
+    """Per-run accounting for the BFS execution."""
+
+    P: int
+    n: int
+    levels: int
+    sent: np.ndarray
+    received: np.ndarray
+    local_io_per_proc: float
+
+    @property
+    def comm_per_proc_max(self) -> int:
+        return int((self.sent + self.received).max())
+
+    @property
+    def comm_per_proc_mean(self) -> float:
+        return float((self.sent + self.received).mean())
+
+    @property
+    def io_per_proc_max(self) -> float:
+        """Communication + local memory-hierarchy I/O (the model's total)."""
+        return self.comm_per_proc_max + self.local_io_per_proc
+
+
+def _round_robin_owners(group: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+    """Even entry→processor map over ``group`` (the model's even distribution)."""
+    count = shape[0] * shape[1]
+    return group[np.arange(count) % len(group)].reshape(shape)
+
+
+def _block(Xs: np.ndarray, q: int, h: int) -> np.ndarray:
+    bi, bj = q // 2, q % 2
+    return Xs[bi * h : (bi + 1) * h, bj * h : (bj + 1) * h]
+
+
+def parallel_strassen_bfs(
+    alg: BilinearAlgorithm,
+    A: np.ndarray,
+    B: np.ndarray,
+    P: int,
+    M: int | None = None,
+    base_size: int | None = None,
+) -> tuple[np.ndarray, ParallelRunStats]:
+    """Run the BFS-parallel algorithm; P must be a power of alg.t (7^k).
+
+    Returns (C, stats).  When ``M`` is given, one representative local
+    multiplication is executed on a SequentialMachine(M) and its I/O is
+    reported per processor (all local problems have identical shape).
+    """
+    if (alg.n, alg.m, alg.p) != (2, 2, 2):
+        raise ValueError("BFS parallel execution implemented for 2×2 base cases")
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    n = A.shape[0]
+    t = alg.t
+    levels = 0
+    pp = P
+    while pp > 1:
+        if pp % t != 0:
+            raise ValueError(f"P={P} is not a power of {t}")
+        pp //= t
+        levels += 1
+    if n % (2 ** levels) != 0:
+        raise ValueError(f"n={n} too small for {levels} BFS levels")
+
+    sent = np.zeros(P, dtype=np.int64)
+    received = np.zeros(P, dtype=np.int64)
+
+    def charge(src_owners: np.ndarray, dst_owners: np.ndarray) -> None:
+        mask = src_owners != dst_owners
+        if mask.any():
+            np.add.at(sent, src_owners[mask].ravel(), 1)
+            np.add.at(received, dst_owners[mask].ravel(), 1)
+
+    def encode(
+        X: np.ndarray, own: np.ndarray, coeffs: np.ndarray, subgroup: np.ndarray, h: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Form one encoded operand and its new owner map, charging comm."""
+        new_own = _round_robin_owners(subgroup, (h, h))
+        out = np.zeros((h, h))
+        for q in np.nonzero(coeffs)[0]:
+            out += float(coeffs[q]) * _block(X, int(q), h)
+            charge(_block(own, int(q), h), new_own)
+        return out, new_own
+
+    def bfs(
+        Ax: np.ndarray,
+        Bx: np.ndarray,
+        ownA: np.ndarray,
+        ownB: np.ndarray,
+        group: np.ndarray,
+        s: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if len(group) == 1:
+            return Ax @ Bx, np.full((s, s), group[0], dtype=np.int64)
+        h = s // 2
+        m = len(group) // t
+        child_C: list[np.ndarray] = []
+        child_own: list[np.ndarray] = []
+        for l in range(t):
+            subgroup = group[l * m : (l + 1) * m]
+            Ahat, ownAhat = encode(Ax, ownA, alg.U[l], subgroup, h)
+            Bhat, ownBhat = encode(Bx, ownB, alg.V[l], subgroup, h)
+            Cl, ownCl = bfs(Ahat, Bhat, ownAhat, ownBhat, subgroup, h)
+            child_C.append(Cl)
+            child_own.append(ownCl)
+        C = np.zeros((s, s))
+        ownC = _round_robin_owners(group, (s, s))
+        for q in range(4):
+            bi, bj = q // 2, q % 2
+            dst_own = ownC[bi * h : (bi + 1) * h, bj * h : (bj + 1) * h]
+            acc = np.zeros((h, h))
+            for l in np.nonzero(alg.W[q])[0]:
+                acc += float(alg.W[q, l]) * child_C[int(l)]
+                charge(child_own[int(l)], dst_own)
+            C[bi * h : (bi + 1) * h, bj * h : (bj + 1) * h] = acc
+        return C, ownC
+
+    all_procs = np.arange(P, dtype=np.int64)
+    ownA0 = _round_robin_owners(all_procs, (n, n))
+    ownB0 = _round_robin_owners(all_procs, (n, n))
+    C, _ = bfs(A, B, ownA0, ownB0, all_procs, n)
+
+    local_io = 0.0
+    if M is not None:
+        local_n = n // (2 ** levels)
+        mach = SequentialMachine(M)
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((local_n, local_n))
+        Y = rng.standard_normal((local_n, local_n))
+        recursive_fast_matmul(mach, alg, X, Y, base_size=base_size)
+        local_io = float(mach.io_operations)
+
+    return C, ParallelRunStats(
+        P=P, n=n, levels=levels, sent=sent, received=received,
+        local_io_per_proc=local_io,
+    )

@@ -1,0 +1,160 @@
+"""Out-of-core recursive *rectangular* matrix multiplication.
+
+Table I row 5 (Ballard et al. [22]) bounds algorithms built from a
+⟨m,n,p;q⟩ base case applied recursively: after t levels the operands have
+shape (m^t × n^t) and (n^t × p^t) and the algorithm performs q^t base
+multiplications.  This executes exactly that recursion on the sequential
+machine — encoded operands streamed through fast memory like the square
+path — so the measured I/O can be compared against
+Ω(q^t/(P·M^{log_{mp}q − 1})).
+
+The library's rectangular instances come from :func:`repro.algorithms.
+classical.classical` and tensor products; any Brent-valid triple works.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.machine.sequential import SequentialMachine
+
+__all__ = ["recursive_rectangular_matmul"]
+
+
+def _shape_at(alg: BilinearAlgorithm, levels: int) -> tuple[int, int, int]:
+    return alg.n ** levels, alg.m ** levels, alg.p ** levels
+
+
+def _mult(
+    machine: SequentialMachine,
+    alg: BilinearAlgorithm,
+    a_name: str,
+    b_name: str,
+    c_name: str,
+    levels: int,
+    tag: str,
+) -> None:
+    rows_a, inner, cols_b = _shape_at(alg, levels)
+    if levels == 0 or (rows_a * inner + inner * cols_b + rows_a * cols_b) <= machine.M:
+        a = machine.load(a_name, "_a")
+        b = machine.load(b_name, "_b")
+        machine.allocate("_c", (rows_a, cols_b))
+        machine.fast["_c"][:] = a @ b
+        machine.store("_c", c_name)
+        machine.free("_a")
+        machine.free("_b")
+        machine.free("_c")
+        return
+    ha, hi, hb = _shape_at(alg, levels - 1)
+    machine.alloc_slow(c_name, (rows_a, cols_b))
+    prods: list[str] = []
+    for l in range(alg.t):
+        ah, bh, ml = f"{tag}.A{l}", f"{tag}.B{l}", f"{tag}.M{l}"
+        machine.alloc_slow(ah, (ha, hi))
+        machine.alloc_slow(bh, (hi, hb))
+        # A blocks are ha×hi tiles of the (n × m) block grid; B blocks hi×hb
+        _stream_rect(machine, alg.U[l], a_name, ah, ha, hi, alg.m)
+        _stream_rect(machine, alg.V[l], b_name, bh, hi, hb, alg.p)
+        _mult(machine, alg, ah, bh, ml, levels - 1, f"{tag}.{l}")
+        machine.drop_slow(ah)
+        machine.drop_slow(bh)
+        prods.append(ml)
+    for r in range(alg.n * alg.p):
+        _decode_rect(machine, alg.W[r], prods, c_name, r, ha, hb, alg.p)
+    for ml in prods:
+        machine.drop_slow(ml)
+
+
+def _stream_rect(
+    machine: SequentialMachine,
+    coeffs: np.ndarray,
+    src: str,
+    dst: str,
+    block_rows: int,
+    block_cols: int,
+    grid_cols: int,
+) -> None:
+    """Stream Σ c_q·block_q of a rectangular block grid into ``dst``."""
+    sources = [
+        (src, (int(q) // grid_cols) * block_rows, (int(q) % grid_cols) * block_cols, float(coeffs[q]))
+        for q in np.nonzero(coeffs)[0]
+    ]
+    _stream_generic(machine, sources, (dst, 0, 0), block_rows, block_cols)
+
+
+def _decode_rect(
+    machine: SequentialMachine,
+    coeffs: np.ndarray,
+    prods: list[str],
+    dst: str,
+    out_idx: int,
+    block_rows: int,
+    block_cols: int,
+    grid_cols: int,
+) -> None:
+    sources = [
+        (prods[int(l)], 0, 0, float(coeffs[l])) for l in np.nonzero(coeffs)[0]
+    ]
+    dr = (out_idx // grid_cols) * block_rows
+    dc = (out_idx % grid_cols) * block_cols
+    _stream_generic(machine, sources, (dst, dr, dc), block_rows, block_cols)
+
+
+def _stream_generic(machine, sources, dst, rows, cols) -> None:
+    """Rectangular variant of stream_linear_combination (rows×cols blocks)."""
+    if not sources:
+        raise ValueError("empty linear combination")
+    chunk_words = machine.M // (len(sources) + 1)
+    if chunk_words < 1:
+        raise MemoryError("fast memory too small to stream")
+    rows_budget = max(1, chunk_words // cols)
+    cols_budget = cols if chunk_words >= cols else chunk_words
+    dname, dr, dc = dst
+    r = 0
+    while r < rows:
+        nrows = min(rows_budget, rows - r)
+        c = 0
+        while c < cols:
+            ncols = min(cols_budget, cols - c)
+            acc = machine.allocate("_racc", (nrows, ncols))
+            for i, (sname, sr, sc, coeff) in enumerate(sources):
+                chunk = machine.load_slice(
+                    sname,
+                    np.s_[sr + r : sr + r + nrows, sc + c : sc + c + ncols],
+                    f"_rsrc{i}",
+                )
+                acc += coeff * chunk
+                machine.free(f"_rsrc{i}")
+            machine.store_slice(
+                "_racc", dname, np.s_[dr + r : dr + r + nrows, dc + c : dc + c + ncols]
+            )
+            machine.free("_racc")
+            c += ncols
+        r += nrows
+
+
+def recursive_rectangular_matmul(
+    machine: SequentialMachine,
+    alg: BilinearAlgorithm,
+    A: np.ndarray,
+    B: np.ndarray,
+) -> np.ndarray:
+    """Run the ⟨m,n,p;q⟩ recursion; operand shapes must be (n^t, m^t), (m^t, p^t)."""
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    levels = 0
+    while _shape_at(alg, levels) != (A.shape[0], A.shape[1], B.shape[1]):
+        levels += 1
+        rows_a, inner, cols_b = _shape_at(alg, levels)
+        if rows_a > A.shape[0] or inner > A.shape[1] or cols_b > B.shape[1]:
+            raise ValueError(
+                f"shapes {A.shape}×{B.shape} are not ({alg.n}^t, {alg.m}^t)×"
+                f"({alg.m}^t, {alg.p}^t) for any t"
+            )
+    if A.shape[1] != B.shape[0]:
+        raise ValueError("inner dimensions disagree")
+    machine.place_input("A", A)
+    machine.place_input("B", B)
+    _mult(machine, alg, "A", "B", "C", levels, "r")
+    return machine.fetch_output("C")

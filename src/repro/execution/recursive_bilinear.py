@@ -1,0 +1,166 @@
+"""Out-of-core DFS execution of any square bilinear algorithm.
+
+The recursion mirrors Algorithm 2: above the cache cutoff, each encoded
+operand Â_l = Σ_q U[l,q]·A_q is *streamed* through fast memory in row
+chunks (reads: nnz·h², writes: h² per combination), the t sub-products are
+computed depth-first, and the output blocks are streamed back through the
+decoder.  At the cutoff (3s² ≤ M) the whole sub-problem is loaded, solved
+in-cache, and stored.
+
+I/O recurrence:  IO(s) = t·IO(s/d) + c_lin·(s/d)²,  IO(s₀) = 3s₀² at the
+cutoff, giving the Θ((n/√M)^{ω₀}·M) upper bound whose measured constants
+the benches compare across Strassen / Winograd / Karstadt–Schwartz.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.machine.sequential import SequentialMachine
+
+__all__ = ["recursive_fast_matmul", "stream_linear_combination"]
+
+
+def stream_linear_combination(
+    machine: SequentialMachine,
+    sources: list[tuple[str, int, int, float]],
+    dst: tuple[str, int, int],
+    h: int,
+    reserve: int = 0,
+) -> None:
+    """dst_block += nothing; dst_block = Σ coeff·src_block, streamed.
+
+    ``sources`` — (slow name, row offset, col offset, coefficient) of h×h
+    blocks; ``dst`` — (slow name, row offset, col offset).  Row chunks are
+    sized so (len(sources)+1)·chunk_words + reserve ≤ M, so the streaming
+    never violates the fast-memory capacity no matter how large h is.
+    """
+    if not sources:
+        raise ValueError("empty linear combination")
+    per_term = machine.M - reserve
+    chunk_words = per_term // (len(sources) + 1)
+    if chunk_words < 1:
+        raise MemoryError(
+            f"M={machine.M} too small to stream {len(sources)}-term combinations"
+        )
+    rows_budget = max(1, chunk_words // h)
+    cols_budget = h if chunk_words >= h else chunk_words
+    dname, dr, dc = dst
+    r = 0
+    while r < h:
+        rows = min(rows_budget, h - r)
+        c = 0
+        while c < h:
+            cols = min(cols_budget, h - c)
+            acc = machine.allocate("_acc", (rows, cols))
+            for i, (sname, sr, sc, coeff) in enumerate(sources):
+                chunk = machine.load_slice(
+                    sname,
+                    np.s_[sr + r : sr + r + rows, sc + c : sc + c + cols],
+                    f"_src{i}",
+                )
+                acc += coeff * chunk
+                machine.free(f"_src{i}")
+            machine.store_slice(
+                "_acc", dname, np.s_[dr + r : dr + r + rows, dc + c : dc + c + cols]
+            )
+            machine.free("_acc")
+            c += cols
+        r += rows
+
+
+def _mult(
+    machine: SequentialMachine,
+    alg: BilinearAlgorithm,
+    a_name: str,
+    b_name: str,
+    c_name: str,
+    s: int,
+    base_size: int,
+    tag: str,
+) -> None:
+    if 3 * s * s <= machine.M and s <= base_size:
+        a = machine.load(a_name, "_a")
+        b = machine.load(b_name, "_b")
+        machine.allocate("_c", (s, s))
+        machine.fast["_c"][:] = a @ b
+        machine.store("_c", c_name)
+        machine.free("_a")
+        machine.free("_b")
+        machine.free("_c")
+        return
+    d = alg.n
+    if s % d != 0:
+        raise ValueError(f"problem size {s} not divisible by base dimension {d}")
+    h = s // d
+    machine.alloc_slow(c_name, (s, s))
+    prod_names: list[str] = []
+    for l in range(alg.t):
+        ah = f"{tag}.A{l}"
+        bh = f"{tag}.B{l}"
+        ml = f"{tag}.M{l}"
+        machine.alloc_slow(ah, (h, h))
+        machine.alloc_slow(bh, (h, h))
+        stream_linear_combination(
+            machine,
+            [
+                (a_name, (q // d) * h, (q % d) * h, float(alg.U[l, q]))
+                for q in np.nonzero(alg.U[l])[0]
+            ],
+            (ah, 0, 0),
+            h,
+        )
+        stream_linear_combination(
+            machine,
+            [
+                (b_name, (q // d) * h, (q % d) * h, float(alg.V[l, q]))
+                for q in np.nonzero(alg.V[l])[0]
+            ],
+            (bh, 0, 0),
+            h,
+        )
+        _mult(machine, alg, ah, bh, ml, h, base_size, f"{tag}.{l}")
+        machine.drop_slow(ah)
+        machine.drop_slow(bh)
+        prod_names.append(ml)
+    for q in range(d * d):
+        stream_linear_combination(
+            machine,
+            [
+                (prod_names[int(l)], 0, 0, float(alg.W[q, l]))
+                for l in np.nonzero(alg.W[q])[0]
+            ],
+            (c_name, (q // d) * h, (q % d) * h),
+            h,
+        )
+    for ml in prod_names:
+        machine.drop_slow(ml)
+
+
+def recursive_fast_matmul(
+    machine: SequentialMachine,
+    alg: BilinearAlgorithm,
+    A: np.ndarray,
+    B: np.ndarray,
+    base_size: int | None = None,
+) -> np.ndarray:
+    """Run the DFS out-of-core algorithm; returns C (and leaves counters set).
+
+    ``base_size`` caps the in-cache cutoff; by default the recursion bottoms
+    out as soon as the whole sub-problem fits (3s² ≤ M), the choice that
+    yields the Θ((n/√M)^{ω₀}·M) upper bound.
+    """
+    if not alg.is_square:
+        raise ValueError("recursive execution requires a square base case")
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    n = A.shape[0]
+    if A.shape != (n, n) or B.shape != (n, n):
+        raise ValueError("square, same-shaped operands required")
+    if base_size is None:
+        base_size = n  # cutoff decided purely by the cache-fit test
+    machine.place_input("A", A)
+    machine.place_input("B", B)
+    _mult(machine, alg, "A", "B", "C", n, base_size, "r")
+    return machine.fetch_output("C")

@@ -1,0 +1,92 @@
+"""Write-avoiding execution study (§V: non-volatile memory).
+
+The paper's discussion cites Carson et al. and Blelloch et al.: when
+writes cost ω ≫ reads (NVM), algorithms should minimize writes, and
+recomputation can trade reads for writes.  This module provides the
+sequential-machine counterpart of that discussion:
+
+* :func:`tiled_matmul_write_profile` — the classical tiled algorithm's
+  read/write breakdown: writes are already only n² (each C tile stored
+  once), i.e. classical tiled matmul is write-avoiding "for free";
+* :func:`recursive_fast_write_profile` — the DFS fast algorithm writes
+  Θ((n/√M)^{ω₀}·M) temporaries, so its write volume *grows* with the
+  recursion — the asymmetry the NVM model punishes;
+* :func:`nvm_cost_comparison` — total cost under read_cost=1,
+  write_cost=ω for both, locating the ω beyond which classical tiling
+  beats the fast algorithm at a given (n, M) despite more reads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.execution.classical_tiled import tiled_matmul
+from repro.execution.recursive_bilinear import recursive_fast_matmul
+from repro.machine.sequential import SequentialMachine
+
+__all__ = [
+    "tiled_matmul_write_profile",
+    "recursive_fast_write_profile",
+    "nvm_cost_comparison",
+]
+
+
+def tiled_matmul_write_profile(n: int, M: int, seed: int = 0) -> dict[str, float]:
+    """Reads/writes of the tiled classical execution at (n, M)."""
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    machine = SequentialMachine(M)
+    C = tiled_matmul(machine, A, B)
+    assert np.allclose(C, A @ B)
+    return {
+        "reads": float(machine.words_read),
+        "writes": float(machine.words_written),
+        "write_fraction": machine.words_written / machine.io_operations,
+    }
+
+
+def recursive_fast_write_profile(
+    alg: BilinearAlgorithm, n: int, M: int, seed: int = 0
+) -> dict[str, float]:
+    """Reads/writes of the DFS fast execution at (n, M)."""
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    machine = SequentialMachine(M)
+    C = recursive_fast_matmul(machine, alg, A, B)
+    assert np.allclose(C, A @ B)
+    return {
+        "reads": float(machine.words_read),
+        "writes": float(machine.words_written),
+        "write_fraction": machine.words_written / machine.io_operations,
+    }
+
+
+def nvm_cost_comparison(
+    alg: BilinearAlgorithm, n: int, M: int, omegas: list[float], seed: int = 0
+) -> list[dict[str, float]]:
+    """Total cost (reads + ω·writes) of tiled-classical vs fast DFS.
+
+    Returns one record per ω with both costs and the winner — the
+    quantitative content of §V's "algorithms that minimize writes are
+    likely to be more efficient" for this pair of executions.
+    """
+    classical = tiled_matmul_write_profile(n, M, seed)
+    fast = recursive_fast_write_profile(alg, n, M, seed)
+    out = []
+    for omega in omegas:
+        c_cost = classical["reads"] + omega * classical["writes"]
+        f_cost = fast["reads"] + omega * fast["writes"]
+        out.append(
+            {
+                "omega": float(omega),
+                "classical_cost": c_cost,
+                "fast_cost": f_cost,
+                "classical_wins": c_cost < f_cost,
+                "fast_write_fraction": fast["write_fraction"],
+                "classical_write_fraction": classical["write_fraction"],
+            }
+        )
+    return out

@@ -1,0 +1,33 @@
+"""Grigoriev information flow (Definition 2.8, Lemmas 3.8–3.9).
+
+The dominator-size bound at the heart of Lemma 3.7 comes from the
+information flow of the matrix-multiplication function itself: any set of
+vertices that separates u free inputs from v observed outputs must carry
+ω(u,v) ≥ (v − (2n²−u)²/4n²)/2 ring-elements of information.
+
+:mod:`repro.flow.grigoriev` implements the *definition* by brute force over
+small finite rings — enumerating sub-function images exactly — and
+:mod:`repro.flow.matmul_flow` provides the closed-form bound and the
+Lemma 3.9 consequence for dominator sets, cross-checked against each other
+in the tests.
+"""
+
+from repro.flow.grigoriev import (
+    matmul_function,
+    subfunction_image_size,
+    flow_of_subsets,
+    min_flow_exhaustive,
+)
+from repro.flow.matmul_flow import (
+    matmul_flow_lower_bound,
+    dominator_size_bound,
+)
+
+__all__ = [
+    "matmul_function",
+    "subfunction_image_size",
+    "flow_of_subsets",
+    "min_flow_exhaustive",
+    "matmul_flow_lower_bound",
+    "dominator_size_bound",
+]

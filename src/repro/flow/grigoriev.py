@@ -1,0 +1,100 @@
+"""Brute-force Grigoriev flow of f_{n×n} over small finite rings.
+
+Definition 2.8: f has ω(u,v) flow if for **all** X₁ (|X₁| ≥ u free inputs)
+and Y₁ (|Y₁| ≥ v observed outputs) there **exists** an assignment of the
+remaining inputs such that the sub-function attains ≥ |R|^{ω(u,v)} distinct
+output tuples.  For n = 2 over Z₂/Z₃ everything is small enough to
+enumerate exactly, giving an independent check of Lemma 3.8's closed form.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.util.smallrings import Zmod
+
+__all__ = [
+    "matmul_function",
+    "subfunction_image_size",
+    "flow_of_subsets",
+    "min_flow_exhaustive",
+]
+
+
+def matmul_function(ring: Zmod, n: int, inputs: np.ndarray) -> np.ndarray:
+    """Evaluate f_{n×n} on a batch of input vectors.
+
+    ``inputs`` has shape (K, 2n²): first n² entries are vec(A), rest vec(B).
+    Returns (K, n²) = vec(A·B) in the ring.  Batched matmul, no Python loop
+    over K.
+    """
+    inputs = np.asarray(inputs, dtype=np.int64)
+    K = inputs.shape[0]
+    A = inputs[:, : n * n].reshape(K, n, n)
+    B = inputs[:, n * n :].reshape(K, n, n)
+    C = ring.matmul(A, B)
+    return C.reshape(K, n * n)
+
+
+def subfunction_image_size(
+    ring: Zmod,
+    n: int,
+    free_inputs: tuple[int, ...],
+    observed_outputs: tuple[int, ...],
+    fixed_assignment: np.ndarray,
+) -> int:
+    """|image| of the sub-function h: assignments of X₁ → outputs in Y₁."""
+    p = 2 * n * n
+    free = list(free_inputs)
+    fixed = [i for i in range(p) if i not in set(free)]
+    combos = ring.all_vectors(len(free))
+    batch = np.empty((len(combos), p), dtype=np.int64)
+    batch[:, fixed] = np.asarray(fixed_assignment, dtype=np.int64)[None, :]
+    batch[:, free] = combos
+    outs = matmul_function(ring, n, batch)[:, list(observed_outputs)]
+    return len({tuple(row) for row in outs.tolist()})
+
+
+def flow_of_subsets(
+    ring: Zmod,
+    n: int,
+    free_inputs: tuple[int, ...],
+    observed_outputs: tuple[int, ...],
+) -> float:
+    """max over fixed assignments of log_{|R|}(image size) for one (X₁, Y₁)."""
+    p = 2 * n * n
+    fixed_count = p - len(free_inputs)
+    best = 0
+    for fixed_assignment in ring.all_vectors(fixed_count):
+        size = subfunction_image_size(
+            ring, n, free_inputs, observed_outputs, fixed_assignment
+        )
+        best = max(best, size)
+        if best == ring.size ** len(observed_outputs):
+            break  # cannot do better than the full range
+    return float(np.log(best) / np.log(ring.size))
+
+
+def min_flow_exhaustive(
+    ring: Zmod, n: int, u: int, v: int, max_subsets: int | None = None
+) -> float:
+    """ω(u,v): min over all (X₁, Y₁) with |X₁| = u, |Y₁| = v of the flow.
+
+    Subsets of size exactly u/v suffice (larger sets only increase flow).
+    ``max_subsets`` caps the enumeration for the larger ring sizes; None
+    means fully exhaustive.
+    """
+    p, q = 2 * n * n, n * n
+    worst = float("inf")
+    count = 0
+    for X1 in combinations(range(p), u):
+        for Y1 in combinations(range(q), v):
+            worst = min(worst, flow_of_subsets(ring, n, X1, Y1))
+            count += 1
+            if max_subsets is not None and count >= max_subsets:
+                return worst
+            if worst == 0.0:
+                return 0.0
+    return worst

@@ -1,0 +1,33 @@
+"""Closed-form flow bound for matrix multiplication and its consequences.
+
+Lemma 3.8 ([2]): f_{n×n} has Grigoriev flow
+
+    ω_{n×n}(u, v) ≥ (v − (2n² − u)²/4n²) / 2,   0 ≤ u ≤ 2n², 0 ≤ v ≤ n².
+
+Lemma 3.9 ([2]): a dominator set Γ separating free inputs I′ from observed
+outputs O′ must satisfy |Γ| ≥ ω_f(|I′|, |O′|) — the information carried
+across the cut cannot exceed |R|^{|Γ|}.
+"""
+
+from __future__ import annotations
+
+__all__ = ["matmul_flow_lower_bound", "dominator_size_bound"]
+
+
+def matmul_flow_lower_bound(n: int, u: int, v: int) -> float:
+    """The Lemma 3.8 closed form (clamped at 0: flows are non-negative)."""
+    if not (0 <= u <= 2 * n * n):
+        raise ValueError(f"u must be in [0, 2n²], got {u}")
+    if not (0 <= v <= n * n):
+        raise ValueError(f"v must be in [0, n²], got {v}")
+    value = (v - (2 * n * n - u) ** 2 / (4 * n * n)) / 2.0
+    return max(0.0, value)
+
+
+def dominator_size_bound(n: int, free_inputs: int, observed_outputs: int) -> float:
+    """Lemma 3.9 instantiated with Lemma 3.8: min |Γ| ≥ ω(u, v).
+
+    This is the per-sub-CDAG inequality inside Lemma 3.10's accounting:
+    |Γ_j| ≥ ½·[|O′_j| − (2n² − |I″_j|)²/4n²].
+    """
+    return matmul_flow_lower_bound(n, free_inputs, observed_outputs)

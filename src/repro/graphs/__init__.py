@@ -1,0 +1,35 @@
+"""Graph substrate for the reproduction, written from scratch.
+
+The proof machinery of the paper lives on graphs: CDAGs (Definition 2.1),
+bipartite encoder graphs (Lemma 3.1), dominator sets (Definition 2.3),
+matchings (Definition 2.4 / Hall's theorem), and vertex-disjoint path
+families (Lemma 3.11).  This package provides the algorithmic substrate —
+digraphs, topological order, Dinic max-flow, Hopcroft–Karp matching, minimum
+vertex cuts and dominator sets — with no dependency on networkx (which is
+used only in tests, as an independent cross-check).
+"""
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.topo import topological_order, is_acyclic
+from repro.graphs.maxflow import Dinic, max_flow
+from repro.graphs.matching import hopcroft_karp, has_matching_saturating
+from repro.graphs.cuts import (
+    min_vertex_cut,
+    max_vertex_disjoint_paths,
+    minimum_dominator_set,
+    dominator_lower_bound_ok,
+)
+
+__all__ = [
+    "DiGraph",
+    "topological_order",
+    "is_acyclic",
+    "Dinic",
+    "max_flow",
+    "hopcroft_karp",
+    "has_matching_saturating",
+    "min_vertex_cut",
+    "max_vertex_disjoint_paths",
+    "minimum_dominator_set",
+    "dominator_lower_bound_ok",
+]

@@ -1,0 +1,148 @@
+"""A compact directed-graph container tuned for CDAG workloads.
+
+CDAGs for H^{n×n} grow as Θ(n^{log₂7}); at n = 32 that is tens of thousands
+of vertices and edges, and the flow/cut algorithms traverse them many times.
+The container therefore stores adjacency as flat Python lists of ints
+(vertex ids are dense 0..n-1), avoids per-edge objects, and exposes bulk
+views rather than iterator zoos.  Vertex payloads live in parallel lists.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+__all__ = ["DiGraph"]
+
+
+class DiGraph:
+    """Directed graph with dense integer vertex ids and optional payloads.
+
+    Vertices are created with :meth:`add_vertex` which returns the new id.
+    Edges are stored in both directions (successor and predecessor lists) so
+    CDAG traversals (forward for pebbling, backward for dominator reasoning)
+    are both O(degree).
+    """
+
+    __slots__ = ("_succ", "_pred", "_payload", "_edge_count")
+
+    def __init__(self) -> None:
+        self._succ: list[list[int]] = []
+        self._pred: list[list[int]] = []
+        self._payload: list[Any] = []
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, payload: Any = None) -> int:
+        """Append a vertex; returns its id."""
+        self._succ.append([])
+        self._pred.append([])
+        self._payload.append(payload)
+        return len(self._succ) - 1
+
+    def add_vertices(self, count: int, payload: Any = None) -> range:
+        """Append ``count`` vertices sharing one payload; returns their id range."""
+        start = len(self._succ)
+        for _ in range(count):
+            self._succ.append([])
+            self._pred.append([])
+            self._payload.append(payload)
+        return range(start, start + count)
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add directed edge u → v.  Parallel edges are not deduplicated."""
+        if not (0 <= u < len(self._succ)) or not (0 <= v < len(self._succ)):
+            raise IndexError(f"edge ({u}, {v}) references a missing vertex")
+        self._succ[u].append(v)
+        self._pred[v].append(u)
+        self._edge_count += 1
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> None:
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        return self._edge_count
+
+    def successors(self, v: int) -> list[int]:
+        return self._succ[v]
+
+    def predecessors(self, v: int) -> list[int]:
+        return self._pred[v]
+
+    def out_degree(self, v: int) -> int:
+        return len(self._succ[v])
+
+    def in_degree(self, v: int) -> int:
+        return len(self._pred[v])
+
+    def payload(self, v: int) -> Any:
+        return self._payload[v]
+
+    def set_payload(self, v: int, payload: Any) -> None:
+        self._payload[v] = payload
+
+    def vertices(self) -> range:
+        return range(len(self._succ))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for u, nbrs in enumerate(self._succ):
+            for v in nbrs:
+                yield (u, v)
+
+    def sources(self) -> list[int]:
+        """Vertices with no predecessors (CDAG inputs)."""
+        return [v for v in self.vertices() if not self._pred[v]]
+
+    def sinks(self) -> list[int]:
+        """Vertices with no successors (CDAG terminal outputs)."""
+        return [v for v in self.vertices() if not self._succ[v]]
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+    def subgraph_without(self, removed: Iterable[int]) -> tuple["DiGraph", dict[int, int]]:
+        """Copy of the graph with ``removed`` vertices (and incident edges) deleted.
+
+        Returns (new graph, old-id → new-id map for surviving vertices).
+        """
+        removed_set = set(removed)
+        g = DiGraph()
+        remap: dict[int, int] = {}
+        for v in self.vertices():
+            if v not in removed_set:
+                remap[v] = g.add_vertex(self._payload[v])
+        for u, v in self.edges():
+            if u not in removed_set and v not in removed_set:
+                g.add_edge(remap[u], remap[v])
+        return g, remap
+
+    def reversed(self) -> "DiGraph":
+        """Graph with every edge direction flipped; payloads shared."""
+        g = DiGraph()
+        for v in self.vertices():
+            g.add_vertex(self._payload[v])
+        for u, v in self.edges():
+            g.add_edge(v, u)
+        return g
+
+    def to_networkx(self):
+        """Export to networkx (tests cross-check against it)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(self.vertices())
+        g.add_edges_from(self.edges())
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DiGraph(V={self.num_vertices}, E={self.num_edges})"

@@ -1,0 +1,31 @@
+"""Corollary 3.5 consistency: the Hopcroft–Kerr sets against real algorithms.
+
+Lemma 3.4 / Corollary 3.5 say an algorithm with k left multiplicands from
+any one of the nine certificate sets needs ≥ 6+k multiplications; hence a
+7-multiplication algorithm has ≤ 1 per set.  This check runs that
+consequence over concrete algorithms — a falsification hook: a valid
+⟨2,2,2;7⟩ algorithm with 2 left factors in one set would contradict
+Hopcroft–Kerr and with it Lemma 3.3's proof.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.algorithms.hopcroft_kerr import (
+    check_hopcroft_kerr_consistency,
+    left_factor_set_counts,
+)
+
+__all__ = ["check_corollary35_consistency"]
+
+
+def check_corollary35_consistency(alg: BilinearAlgorithm) -> list[int]:
+    """Assert ≤ 1 left factor per HK set; returns the nine counts."""
+    counts = left_factor_set_counts(alg)
+    if not check_hopcroft_kerr_consistency(alg):
+        bad = [i for i, c in enumerate(counts) if c > 1]
+        raise AssertionError(
+            f"Corollary 3.5 consistency violated for {alg.name}: "
+            f"sets {bad} hold {[counts[i] for i in bad]} left factors"
+        )
+    return counts

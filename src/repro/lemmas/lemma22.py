@@ -1,0 +1,44 @@
+"""Lemma 2.2 (recursive expansion): |V_out(SUB_H^{r×r})| = (n/r)^{log₂7}·r².
+
+The builder already registers every subproblem; this checker re-derives the
+counts independently and compares, for every recursion size r.
+"""
+
+from __future__ import annotations
+
+from repro.cdag.recursive import RecursiveCDAG
+
+__all__ = ["check_lemma22"]
+
+
+def check_lemma22(H: RecursiveCDAG) -> dict[int, dict[str, int]]:
+    """Verify the subproblem census at every size r; raises on mismatch.
+
+    Returns per-r counts for reporting: subproblems, outputs, expected.
+    """
+    t, d = H.alg.t, H.alg.n
+    report: dict[int, dict[str, int]] = {}
+    r = H.n
+    level = 0
+    while r >= 1:
+        expected_subproblems = t ** level
+        subproblems = H.num_subproblems(r)
+        outputs = len(H.all_sub_output_vertices(r))
+        expected_outputs = expected_subproblems * r * r
+        if subproblems != expected_subproblems or outputs != expected_outputs:
+            raise AssertionError(
+                f"Lemma 2.2 violated at r={r}: {subproblems} subproblems "
+                f"(expected {expected_subproblems}), {outputs} outputs "
+                f"(expected {expected_outputs})"
+            )
+        # outputs of distinct subproblems must be distinct vertices
+        if len(set(H.all_sub_output_vertices(r))) != outputs:
+            raise AssertionError(f"Lemma 2.2: duplicated output vertices at r={r}")
+        report[r] = {
+            "subproblems": subproblems,
+            "outputs": outputs,
+            "expected_outputs": expected_outputs,
+        }
+        r //= d
+        level += 1
+    return report

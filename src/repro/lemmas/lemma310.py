@@ -1,0 +1,100 @@
+"""Lemma 3.10: undominated inputs of disjoint matmul CDAG copies.
+
+For G^{q,n×n} (q vertex-disjoint copies of a matmul CDAG G^{n×n}), any
+vertex set Γ with |Γ| ≤ 2|O′| leaves a set I′ of input vertices *not
+dominated* by Γ (some path to O′ avoids Γ) with
+
+    |I′| ≥ 2n·√(|O′| − 2|Γ|).
+
+We check it operationally on explicit disjoint unions of base-case CDAGs:
+I′ is computed by a backward reachability sweep from O′ in the graph minus
+Γ, over sampled (Γ, O′).
+"""
+
+from __future__ import annotations
+
+from math import sqrt
+
+import numpy as np
+
+from repro.cdag.core import CDAG
+from repro.cdag.recursive import build_recursive_cdag
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["disjoint_union_cdag", "undominated_inputs", "check_lemma310"]
+
+
+def disjoint_union_cdag(cdags: list[CDAG]) -> tuple[CDAG, list[list[int]], list[list[int]]]:
+    """Disjoint union; returns (union, per-copy input ids, per-copy output ids)."""
+    g = DiGraph()
+    inputs_per: list[list[int]] = []
+    outputs_per: list[list[int]] = []
+    for c in cdags:
+        offset = g.num_vertices
+        for v in c.graph.vertices():
+            g.add_vertex(c.graph.payload(v))
+        for u, v in c.graph.edges():
+            g.add_edge(offset + u, offset + v)
+        inputs_per.append([offset + v for v in c.inputs])
+        outputs_per.append([offset + v for v in c.outputs])
+    union = CDAG(
+        g,
+        [v for ins in inputs_per for v in ins],
+        [v for outs in outputs_per for v in outs],
+        name="disjoint-union",
+    )
+    return union, inputs_per, outputs_per
+
+
+def undominated_inputs(cdag: CDAG, gamma: set[int], O_prime: list[int]) -> list[int]:
+    """Inputs with a Γ-avoiding path to O′ (backward BFS from O′ \\ Γ)."""
+    g = cdag.graph
+    seen = set()
+    stack = [o for o in O_prime if o not in gamma]
+    seen.update(stack)
+    while stack:
+        v = stack.pop()
+        for u in g.predecessors(v):
+            if u not in gamma and u not in seen:
+                seen.add(u)
+                stack.append(u)
+    return [v for v in cdag.inputs if v in seen]
+
+
+def check_lemma310(
+    alg: BilinearAlgorithm,
+    n: int = 2,
+    q: int = 4,
+    samples: int = 100,
+    seed: int = 0,
+) -> int:
+    """Sampled verification on q disjoint copies of H^{n×n}.
+
+    For each sample: random O′ (output subset) and random Γ with
+    |Γ| ≤ |O′|/2 (so the bound's radicand is non-negative); assert
+    |I′| ≥ 2n√(|O′| − 2|Γ|).  Returns the number of samples checked.
+    """
+    copies = [build_recursive_cdag(alg, n).cdag for _ in range(q)]
+    union, _, _ = disjoint_union_cdag(copies)
+    rng = np.random.default_rng(seed)
+    all_outputs = union.outputs
+    num_vertices = union.num_vertices
+    checked = 0
+    for _ in range(samples):
+        o_size = int(rng.integers(1, len(all_outputs) + 1))
+        O_prime = list(rng.choice(all_outputs, size=o_size, replace=False))
+        g_max = o_size // 2
+        g_size = int(rng.integers(0, g_max + 1))
+        gamma = set(
+            int(v) for v in rng.choice(num_vertices, size=g_size, replace=False)
+        )
+        found = len(undominated_inputs(union, gamma, O_prime))
+        floor = 2 * n * sqrt(max(0, o_size - 2 * len(gamma)))
+        if found + 1e-9 < floor:
+            raise AssertionError(
+                f"Lemma 3.10 violated: |O'|={o_size}, |Γ|={g_size}, "
+                f"|I'|={found} < {floor:.2f}"
+            )
+        checked += 1
+    return checked

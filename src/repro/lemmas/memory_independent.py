@@ -1,0 +1,97 @@
+"""The memory-independent half of Theorem 1.1, audited on parallel runs.
+
+Proof shape (paper, "Memory independent" paragraph): with r = n/P^{1/ω₀},
+Lemma 2.2 gives |V_out(SUB_H^{r×r})| = P·r², so some processor computes at
+least r² of them; Lemma 3.6 with n_init = 2n²/P (the processor's input
+share) floors its I/O at r²/2 − 2n²/P, giving Ω(n²/P^{2/ω₀}).
+
+On the BFS-parallel execution with P = 7^k the premise is *exact*, not just
+pigeonhole: r = n/2^k = n/P^{1/ω₀} on the nose, and every processor owns
+exactly one size-r subproblem (its local multiplication) — so the audit
+can check the full chain: premise, floor, and measured communication.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.bounds.formulas import OMEGA0_STRASSEN, fast_memory_independent
+from repro.execution.parallel_strassen import parallel_strassen_bfs
+
+__all__ = ["MemoryIndependentAudit", "check_memory_independent"]
+
+
+@dataclass
+class MemoryIndependentAudit:
+    """One parallel run's memory-independent audit."""
+
+    n: int
+    P: int
+    r: float                    # n / P^{1/ω₀}
+    outputs_per_processor: int  # size-r outputs each processor computes
+    input_share: float          # n_init = 2n²/P
+    lemma36_floor: float        # max(0, r²/2 − 2n²/P)
+    formula_floor: float        # n²/P^{2/ω₀}
+    measured_comm_max: int
+
+    @property
+    def premise_exact(self) -> bool:
+        """Each processor computes exactly r² size-r outputs (BFS structure)."""
+        return self.outputs_per_processor == int(round(self.r ** 2))
+
+    @property
+    def floor_holds(self) -> bool:
+        return self.measured_comm_max >= self.lemma36_floor
+
+    @property
+    def shape_holds(self) -> bool:
+        """Measured within a constant of the Ω formula (constant 1/8 here)."""
+        return self.measured_comm_max >= self.formula_floor / 8
+
+
+def check_memory_independent(
+    alg: BilinearAlgorithm, n: int, P: int, seed: int = 0
+) -> MemoryIndependentAudit:
+    """Run the BFS execution and audit the memory-independent argument.
+
+    Requires P = t^k (BFS constraint).  Raises AssertionError if the
+    structural premise, the Lemma 3.6 floor, or the Ω shape fails.
+    """
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    C, stats = parallel_strassen_bfs(alg, A, B, P=P)
+    if not np.allclose(C, A @ B):
+        raise AssertionError("parallel execution produced a wrong product")
+    r = n / P ** (1.0 / OMEGA0_STRASSEN)
+    local_side = n // (2 ** stats.levels)
+    audit = MemoryIndependentAudit(
+        n=n,
+        P=P,
+        r=r,
+        outputs_per_processor=local_side * local_side,
+        input_share=2.0 * n * n / P,
+        lemma36_floor=max(0.0, r * r / 2.0 - 2.0 * n * n / P),
+        formula_floor=fast_memory_independent(n, P),
+        measured_comm_max=stats.comm_per_proc_max,
+    )
+    if P > 1:
+        if not audit.premise_exact:
+            raise AssertionError(
+                f"pigeonhole premise failed: {audit.outputs_per_processor} != r² = {r * r:.1f}"
+            )
+        if not audit.floor_holds:
+            raise AssertionError(
+                f"Lemma 3.6 floor violated: comm {audit.measured_comm_max} < "
+                f"{audit.lemma36_floor:.1f}"
+            )
+        if not audit.shape_holds:
+            raise AssertionError(
+                f"Ω(n²/P^{{2/ω₀}}) shape violated: comm {audit.measured_comm_max} "
+                f"≪ {audit.formula_floor:.1f}"
+            )
+    return audit

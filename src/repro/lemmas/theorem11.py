@@ -1,0 +1,147 @@
+"""Theorem 1.1, audited end-to-end on concrete schedules — soundly.
+
+The theorem's sequential proof: partition any schedule into segments of
+4M first-time SUB_H^{2√M×2√M}-output computations; Lemma 3.6 floors each
+segment at r²/2 − n_init I/O with n_init ≤ M; Lemma 2.2 counts the
+segments; multiply.
+
+Soundness note: Lemma 3.6's n_init is bounded by the memory the schedule
+*actually ran with*, so the audit only certifies a floor when the audit M
+equals the execution M.  ``check_theorem11_sequential`` therefore runs
+every schedule at exactly the audited capacity:
+
+* the write-back scheduler runs at any M > fan-in — audited at (n=8, M=4),
+  floor r²/2 − M = 4 per segment, 7 segments;
+* the DFS recomputation adversary needs M ≥ its pinned front (≈ 2·depth),
+  so its sound configuration is larger: (n=16, M=16) gives r = 8, floor
+  16, 7 segments — and the adversary recomputes ~686k times on that CDAG
+  without ever undercutting the floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.bounds.formulas import fast_sequential
+from repro.cdag.recursive import RecursiveCDAG, build_recursive_cdag
+from repro.pebbling.game import validate_schedule
+from repro.pebbling.heuristics import dfs_recompute_schedule, topological_schedule
+from repro.pebbling.segments import SegmentReport, segment_audit
+
+__all__ = [
+    "Theorem11Audit",
+    "check_theorem11_sequential",
+    "check_theorem11_adversary",
+    "theorem11_report",
+]
+
+
+@dataclass
+class Theorem11Audit:
+    """One schedule's audit results."""
+
+    schedule_kind: str
+    n: int
+    M: int
+    recomputations: int
+    total_io: int
+    report: SegmentReport
+    formula_value: float
+
+    @property
+    def per_segment_holds(self) -> bool:
+        return self.report.holds
+
+    @property
+    def total_holds(self) -> bool:
+        return self.total_io >= self.report.implied_lower_bound
+
+
+def _audit_one(H: RecursiveCDAG, kind: str, M: int) -> Theorem11Audit:
+    """Build one schedule at capacity M and audit it at the same M."""
+    cdag = H.cdag
+    if kind == "writeback":
+        sched = topological_schedule(cdag, M)
+        stats = validate_schedule(sched, M, allow_recompute=False)
+    elif kind == "recompute":
+        sched = dfs_recompute_schedule(cdag, M)
+        stats = validate_schedule(sched, M, allow_recompute=True)
+    else:
+        raise ValueError(f"unknown schedule kind {kind!r}")
+    report = segment_audit(H, sched, M)
+    return Theorem11Audit(
+        schedule_kind=kind,
+        n=H.n,
+        M=M,
+        recomputations=int(stats["recomputations"]),
+        total_io=report.total_io,
+        report=report,
+        formula_value=fast_sequential(H.n, M),
+    )
+
+
+def _assert_holds(audit: Theorem11Audit) -> Theorem11Audit:
+    if not audit.per_segment_holds:
+        raise AssertionError(
+            f"Theorem 1.1 segment floor violated by {audit.schedule_kind} "
+            f"schedule: min segment I/O {audit.report.min_segment_io} < "
+            f"{audit.report.per_segment_bound}"
+        )
+    if not audit.total_holds:
+        raise AssertionError(
+            f"Theorem 1.1 total bound violated by {audit.schedule_kind} schedule"
+        )
+    return audit
+
+
+def check_theorem11_sequential(
+    alg: BilinearAlgorithm,
+    n: int = 8,
+    M: int = 4,
+    include_adversary: bool = True,
+) -> list[Theorem11Audit]:
+    """Audit schedules on H^{n×n} at capacity M (= the audit's M; sound).
+
+    The write-back schedule is always audited; the recomputation adversary
+    is included when its DFS front fits in M (it needs roughly twice the
+    CDAG depth — use :func:`check_theorem11_adversary` for the guaranteed
+    configuration).  Raises on any violation.
+    """
+    H = build_recursive_cdag(alg, n, style="tree")
+    audits = [_assert_holds(_audit_one(H, "writeback", M))]
+    if include_adversary:
+        try:
+            audits.append(_assert_holds(_audit_one(H, "recompute", M)))
+        except ValueError:
+            pass  # adversary infeasible at this capacity; see the dedicated check
+    return audits
+
+
+def check_theorem11_adversary(
+    alg: BilinearAlgorithm, n: int = 16, M: int = 16
+) -> Theorem11Audit:
+    """The recomputation adversary at a sound, feasible configuration.
+
+    Defaults give r = 2√M = 8 and (n/r)^{log₂7} = 7 segments with floor
+    r²/2 − M = 16, against a schedule that recomputes hundreds of
+    thousands of values.
+    """
+    H = build_recursive_cdag(alg, n, style="tree")
+    return _assert_holds(_audit_one(H, "recompute", M))
+
+
+def theorem11_report(audits: list[Theorem11Audit]) -> str:
+    """Human-readable audit table (used by the example script and benches)."""
+    lines = [
+        "Theorem 1.1 segment audit (execution M = audit M: sound floors)",
+        f"{'schedule':>11} {'n':>4} {'M':>4} {'recomputes':>10} "
+        f"{'segments':>8} {'min seg I/O':>11} {'floor':>6} {'total I/O':>10}",
+    ]
+    for a in audits:
+        lines.append(
+            f"{a.schedule_kind:>11} {a.n:>4} {a.M:>4} {a.recomputations:>10} "
+            f"{a.report.num_segments:>8} {a.report.min_segment_io:>11} "
+            f"{a.report.per_segment_bound:>6} {a.total_io:>10}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""The paper's two machine models, implemented as counting simulators.
+
+Section II-B defines them:
+
+* **Sequential**: two-layer memory — unlimited slow memory holding inputs
+  and outputs, fast memory of size M words; computation touches only fast
+  memory; each word moved between the layers is one I/O operation.
+  :class:`repro.machine.sequential.SequentialMachine` enforces the capacity
+  and counts every word moved.  :class:`repro.machine.cache.LRUCache` is a
+  word-granular automatic variant for address-trace experiments.
+
+* **Parallel**: P identical processors, each with local memory of size M;
+  input/output distributed evenly; exchanging a word between processors is
+  one I/O operation.  :class:`repro.machine.parallel.BSPMachine` runs
+  superstep programs and counts per-processor sent/received words, in the
+  spirit of the mpi4py collective idioms (the guides' patterns, minus the
+  actual MPI runtime, which the model does not need — costs are what is
+  being simulated).
+"""
+
+from repro.machine.sequential import SequentialMachine, FastMemoryOverflow
+from repro.machine.cache import LRUCache
+from repro.machine.parallel import BSPMachine
+
+__all__ = ["SequentialMachine", "FastMemoryOverflow", "LRUCache", "BSPMachine"]

@@ -1,0 +1,81 @@
+"""Word-granular LRU cache simulator for address-trace experiments.
+
+Complements :class:`repro.machine.sequential.SequentialMachine`: instead of
+an algorithm that manages fast memory explicitly, a plain program emits the
+sequence of addresses it touches and the cache decides evictions (the
+"automatic" two-level model).  Used to show that even a *naive* execution of
+classical matmul obeys the Ω((n/√M)³·M) shape once n²>M, and to cross-check
+the explicit tiled execution's constants.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """LRU cache of ``M`` words over an integer address space.
+
+    ``access(addr, write=...)`` touches one word; misses cost one read
+    (fetch), and evicting a dirty word costs one write (write-back).
+    """
+
+    def __init__(self, M: int) -> None:
+        if M < 1:
+            raise ValueError("M must be >= 1")
+        self.M = int(M)
+        self._lines: OrderedDict[int, bool] = OrderedDict()  # addr -> dirty
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Touch one word; returns True on hit."""
+        lines = self._lines
+        if addr in lines:
+            self.hits += 1
+            dirty = lines.pop(addr)
+            lines[addr] = dirty or write
+            return True
+        self.misses += 1
+        if len(lines) >= self.M:
+            _, dirty = lines.popitem(last=False)
+            if dirty:
+                self.writebacks += 1
+        lines[addr] = write
+        return False
+
+    def access_many(self, addrs: Iterable[int], write: bool = False) -> None:
+        for a in addrs:
+            self.access(int(a), write=write)
+
+    def flush(self) -> None:
+        """Write back all dirty lines (end of computation)."""
+        for _, dirty in self._lines.items():
+            if dirty:
+                self.writebacks += 1
+        self._lines.clear()
+
+    @property
+    def reads(self) -> int:
+        return self.misses
+
+    @property
+    def writes(self) -> int:
+        return self.writebacks
+
+    @property
+    def io_operations(self) -> int:
+        return self.misses + self.writebacks
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "M": self.M,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+            "io": self.io_operations,
+        }

@@ -1,0 +1,145 @@
+"""The sequential two-level memory machine (Section II-B).
+
+Out-of-core algorithms in :mod:`repro.execution` run against this machine:
+they explicitly ``load`` named arrays from slow to fast memory, compute on
+the fast-memory buffers with plain numpy, and ``store`` results back.  The
+machine enforces the fast-memory capacity in *words* (array elements) and
+counts every word moved in each direction — the I/O the paper's bounds are
+about.  Nothing is estimated; if an algorithm forgets to evict, it crashes
+with :class:`FastMemoryOverflow` instead of silently under-counting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SequentialMachine", "FastMemoryOverflow"]
+
+
+class FastMemoryOverflow(RuntimeError):
+    """An allocation would exceed the fast-memory capacity M."""
+
+
+class SequentialMachine:
+    """Two-level memory with explicit transfers and word-exact I/O counters.
+
+    Parameters
+    ----------
+    M:
+        Fast-memory capacity in words.
+    read_cost / write_cost:
+        Per-word transfer costs (write_cost > read_cost models NVM, §V).
+    """
+
+    def __init__(self, M: int, read_cost: float = 1.0, write_cost: float = 1.0) -> None:
+        if M < 1:
+            raise ValueError("M must be >= 1")
+        self.M = int(M)
+        self.read_cost = float(read_cost)
+        self.write_cost = float(write_cost)
+        self.slow: dict[str, np.ndarray] = {}
+        self.fast: dict[str, np.ndarray] = {}
+        self.fast_words = 0
+        self.words_read = 0
+        self.words_written = 0
+        self.peak_fast_words = 0
+
+    # ------------------------------------------------------------------ #
+    # slow-memory staging (uncounted: modelling the initial input layout)
+    # ------------------------------------------------------------------ #
+    def place_input(self, name: str, arr: np.ndarray) -> None:
+        """Put an input array into slow memory (no I/O cost: initial layout)."""
+        self.slow[name] = np.array(arr)
+
+    def fetch_output(self, name: str) -> np.ndarray:
+        """Read a result from slow memory after the run (no I/O cost)."""
+        return self.slow[name]
+
+    def drop_slow(self, name: str) -> None:
+        """Discard a slow-memory temporary (frees nothing we count)."""
+        self.slow.pop(name, None)
+
+    def alloc_slow(self, name: str, shape, dtype=np.float64) -> None:
+        """Reserve a zeroed slow-memory temporary (uncounted: it is never
+        read before being overwritten by counted stores)."""
+        self.slow[name] = np.zeros(shape, dtype=dtype)
+
+    # ------------------------------------------------------------------ #
+    # counted transfers
+    # ------------------------------------------------------------------ #
+    def _charge_alloc(self, words: int) -> None:
+        if self.fast_words + words > self.M:
+            raise FastMemoryOverflow(
+                f"fast memory overflow: {self.fast_words} + {words} > M={self.M}"
+            )
+        self.fast_words += words
+        self.peak_fast_words = max(self.peak_fast_words, self.fast_words)
+
+    def load(self, name: str, into: str | None = None) -> np.ndarray:
+        """Copy a slow-memory array into fast memory; costs its size in reads."""
+        arr = self.slow[name]
+        self._charge_alloc(arr.size)
+        buf = arr.copy()
+        self.fast[into or name] = buf
+        self.words_read += arr.size
+        return buf
+
+    def load_slice(self, name: str, idx, into: str) -> np.ndarray:
+        """Load a slice of a slow array (chunked streaming); costs slice size."""
+        chunk = self.slow[name][idx]
+        self._charge_alloc(chunk.size)
+        buf = np.array(chunk)
+        self.fast[into] = buf
+        self.words_read += chunk.size
+        return buf
+
+    def allocate(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        """Create a zeroed fast-memory buffer (no I/O, but occupies capacity)."""
+        buf = np.zeros(shape, dtype=dtype)
+        self._charge_alloc(buf.size)
+        self.fast[name] = buf
+        return buf
+
+    def store(self, name: str, to: str | None = None) -> None:
+        """Copy a fast buffer to slow memory; costs its size in writes."""
+        buf = self.fast[name]
+        self.slow[to or name] = buf.copy()
+        self.words_written += buf.size
+
+    def store_slice(self, name: str, to: str, idx) -> None:
+        """Write a fast buffer into a slice of a slow array; costs buffer size."""
+        buf = self.fast[name]
+        self.slow[to][idx] = buf
+        self.words_written += buf.size
+
+    def free(self, name: str) -> None:
+        """Drop a fast buffer (free: eviction of a clean/dead value)."""
+        buf = self.fast.pop(name)
+        self.fast_words -= buf.size
+
+    def free_all(self) -> None:
+        self.fast.clear()
+        self.fast_words = 0
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def io_operations(self) -> int:
+        """Total words moved (the paper's unit-cost I/O count)."""
+        return self.words_read + self.words_written
+
+    @property
+    def io_cost(self) -> float:
+        """Cost under the (read_cost, write_cost) model."""
+        return self.words_read * self.read_cost + self.words_written * self.write_cost
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "M": self.M,
+            "reads": self.words_read,
+            "writes": self.words_written,
+            "io": self.io_operations,
+            "io_cost": self.io_cost,
+            "peak_fast": self.peak_fast_words,
+        }

@@ -1,0 +1,69 @@
+"""The red-blue pebble game (Hong & Kung [2]) on CDAGs.
+
+This package makes the paper's I/O model operational:
+
+* :mod:`repro.pebbling.game` — game semantics: schedules as move lists,
+  validation, and I/O accounting (with an optional asymmetric read/write
+  cost model for the §V non-volatile-memory discussion);
+* :mod:`repro.pebbling.heuristics` — polynomial schedulers (topological
+  order + write-back + Belady/LRU eviction) used to generate realistic
+  schedules for large CDAGs;
+* :mod:`repro.pebbling.optimal` — exact minimum-I/O search (Dijkstra over
+  game states) for tiny CDAGs, with recomputation allowed or forbidden —
+  the tool that demonstrates *where* recomputation helps and where it
+  cannot;
+* :mod:`repro.pebbling.segments` — the Theorem 1.1 segment audit: partition
+  any schedule (recomputation included) into segments of 4M output
+  computations of SUB_H^{2√M×2√M} and check each performs ≥ M I/O.
+
+Rules (fast memory capacity M):
+  load v    : blue(v) required; v becomes red          cost: read_cost
+  store v   : red(v) required; v becomes (also) blue   cost: write_cost
+  compute v : all predecessors red, v not an input; v becomes red   free
+  evict v   : red(v) required; v loses its red pebble  free
+
+Initially all inputs are blue; at the end all outputs must be blue.
+Recomputation is inherent: nothing stops `compute v` from firing again
+after v was evicted — forbidding it is the *extra* constraint.
+"""
+
+from repro.pebbling.game import (
+    Move,
+    Schedule,
+    PebbleCost,
+    validate_schedule,
+    schedule_io,
+)
+from repro.pebbling.heuristics import topological_schedule
+from repro.pebbling.optimal import optimal_io
+from repro.pebbling.segments import segment_audit, SegmentReport
+from repro.pebbling.hong_kung import min_s_partition_parts, hong_kung_lower_bound
+from repro.pebbling.span import s_span, savage_lower_bound
+from repro.pebbling.parallel_game import (
+    ParallelSchedule,
+    validate_parallel_schedule,
+    block_parallel_schedule,
+    parallel_segment_audit,
+    peak_live_size,
+)
+
+__all__ = [
+    "Move",
+    "Schedule",
+    "PebbleCost",
+    "validate_schedule",
+    "schedule_io",
+    "topological_schedule",
+    "optimal_io",
+    "segment_audit",
+    "SegmentReport",
+    "min_s_partition_parts",
+    "hong_kung_lower_bound",
+    "s_span",
+    "savage_lower_bound",
+    "ParallelSchedule",
+    "validate_parallel_schedule",
+    "block_parallel_schedule",
+    "parallel_segment_audit",
+    "peak_live_size",
+]

@@ -1,0 +1,151 @@
+"""Red-blue pebble game semantics: schedules, validation, I/O accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+from repro.cdag.core import CDAG
+
+__all__ = [
+    "MoveKind",
+    "Move",
+    "Schedule",
+    "PebbleCost",
+    "validate_schedule",
+    "schedule_io",
+]
+
+
+class MoveKind(str, Enum):
+    LOAD = "load"
+    STORE = "store"
+    COMPUTE = "compute"
+    EVICT = "evict"
+
+
+@dataclass(frozen=True)
+class Move:
+    """One pebbling move applied to vertex ``v``."""
+
+    kind: MoveKind
+    v: int
+
+
+@dataclass
+class Schedule:
+    """A straight-line pebbling schedule for a CDAG."""
+
+    cdag: CDAG
+    moves: list[Move] = field(default_factory=list)
+
+    def append(self, kind: MoveKind, v: int) -> None:
+        self.moves.append(Move(kind, v))
+
+    def __len__(self) -> int:
+        return len(self.moves)
+
+    def counts(self) -> dict[str, int]:
+        c = {k.value: 0 for k in MoveKind}
+        for m in self.moves:
+            c[m.kind.value] += 1
+        return c
+
+
+@dataclass(frozen=True)
+class PebbleCost:
+    """I/O cost model.  ``write_cost > read_cost`` models NVM (§V)."""
+
+    read_cost: float = 1.0
+    write_cost: float = 1.0
+
+    def io(self, loads: int, stores: int) -> float:
+        return loads * self.read_cost + stores * self.write_cost
+
+
+class ScheduleError(ValueError):
+    """A schedule violated the game rules."""
+
+
+def validate_schedule(
+    schedule: Schedule,
+    M: int,
+    allow_recompute: bool = True,
+    cost: PebbleCost = PebbleCost(),
+) -> dict[str, float]:
+    """Replay ``schedule`` against the rules; return I/O statistics.
+
+    Raises :class:`ScheduleError` on any illegal move, on a fast-memory
+    overflow, on a recomputation when ``allow_recompute=False``, or if some
+    output lacks a blue pebble at the end.
+
+    Returns a dict with loads, stores, io (under ``cost``), peak_red,
+    recomputations (count of compute moves beyond the first per vertex).
+    """
+    g = schedule.cdag.graph
+    red: set[int] = set()
+    blue: set[int] = set(schedule.cdag.inputs)
+    computed_times: dict[int, int] = {}
+    loads = stores = 0
+    peak_red = 0
+    for idx, m in enumerate(schedule.moves):
+        v = m.v
+        if not (0 <= v < g.num_vertices):
+            raise ScheduleError(f"move {idx}: vertex {v} does not exist")
+        if m.kind is MoveKind.LOAD:
+            if v not in blue:
+                raise ScheduleError(f"move {idx}: load of {v} without a blue pebble")
+            if v in red:
+                raise ScheduleError(f"move {idx}: redundant load of red vertex {v}")
+            red.add(v)
+            loads += 1
+        elif m.kind is MoveKind.STORE:
+            if v not in red:
+                raise ScheduleError(f"move {idx}: store of {v} without a red pebble")
+            blue.add(v)
+            stores += 1
+        elif m.kind is MoveKind.COMPUTE:
+            if schedule.cdag.is_input(v):
+                raise ScheduleError(f"move {idx}: compute of input vertex {v}")
+            missing = [u for u in g.predecessors(v) if u not in red]
+            if missing:
+                raise ScheduleError(
+                    f"move {idx}: compute of {v} with non-red predecessors {missing}"
+                )
+            if v in computed_times and not allow_recompute:
+                raise ScheduleError(
+                    f"move {idx}: recomputation of {v} is forbidden in this run"
+                )
+            computed_times[v] = computed_times.get(v, 0) + 1
+            red.add(v)
+        elif m.kind is MoveKind.EVICT:
+            if v not in red:
+                raise ScheduleError(f"move {idx}: evict of non-red vertex {v}")
+            red.discard(v)
+        else:  # pragma: no cover - enum is exhaustive
+            raise ScheduleError(f"move {idx}: unknown kind {m.kind}")
+        if len(red) > M:
+            raise ScheduleError(
+                f"move {idx}: fast memory overflow ({len(red)} > M={M})"
+            )
+        peak_red = max(peak_red, len(red))
+    missing_outputs = [v for v in schedule.cdag.outputs if v not in blue]
+    if missing_outputs:
+        raise ScheduleError(f"outputs without blue pebbles at end: {missing_outputs}")
+    recomputations = sum(t - 1 for t in computed_times.values())
+    return {
+        "loads": loads,
+        "stores": stores,
+        "io": cost.io(loads, stores),
+        "peak_red": peak_red,
+        "recomputations": recomputations,
+        "moves": len(schedule.moves),
+    }
+
+
+def schedule_io(schedule: Schedule, cost: PebbleCost = PebbleCost()) -> float:
+    """I/O of a schedule without validation (for already-validated schedules)."""
+    loads = sum(1 for m in schedule.moves if m.kind is MoveKind.LOAD)
+    stores = sum(1 for m in schedule.moves if m.kind is MoveKind.STORE)
+    return cost.io(loads, stores)

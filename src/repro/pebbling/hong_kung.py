@@ -1,0 +1,127 @@
+"""The Hong–Kung S-partition method [2], exact on small CDAGs.
+
+The paper's proof "combines aspects of the Hong–Kung dominator set method
+with Grigoriev flow"; this module supplies the original method itself:
+
+An **S-partition** of a CDAG is an ordered partition V = V₁ ∪ … ∪ V_h
+(each part's external predecessors lie in earlier parts) such that every
+part has (i) a dominator set of size ≤ S — every input→V_i path meets it —
+and (ii) a minimum set (vertices of V_i with no successor *in V_i*) of
+size ≤ S.  Hong & Kung: any complete red-blue pebbling with M red pebbles
+— recomputation allowed — performs
+
+    Q ≥ M · (P(2M) − 1)
+
+I/O operations, where P(S) is the minimum number of parts over all
+S-partitions.  ``min_s_partition_parts`` computes P(S) exactly by dynamic
+programming over order ideals (downward-closed vertex sets), feasible for
+the ≤ ~14-vertex instances the tests certify against ``optimal_io``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cdag.core import CDAG
+from repro.graphs.cuts import max_vertex_disjoint_paths
+
+__all__ = ["min_s_partition_parts", "hong_kung_lower_bound"]
+
+
+def _ideals(cdag: CDAG) -> list[int]:
+    """All order ideals (predecessor-closed vertex sets) as bitmasks.
+
+    Enumerated by DFS over adding one 'ready' vertex at a time; the count
+    is the number of antichains, manageable for the small CDAGs involved.
+    """
+    n = cdag.num_vertices
+    g = cdag.graph
+    pred_mask = [0] * n
+    for v in range(n):
+        for u in g.predecessors(v):
+            pred_mask[v] |= 1 << u
+    seen = {0}
+    stack = [0]
+    while stack:
+        ideal = stack.pop()
+        for v in range(n):
+            bit = 1 << v
+            if not (ideal & bit) and (pred_mask[v] & ideal) == pred_mask[v]:
+                nxt = ideal | bit
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+    return sorted(seen)
+
+
+def _part_ok(cdag: CDAG, part_mask: int, S: int) -> bool:
+    """Check the dominator and minimum-set conditions for one part."""
+    g = cdag.graph
+    part = [v for v in range(cdag.num_vertices) if (part_mask >> v) & 1]
+    # minimum set: part vertices with no successor inside the part
+    minimum = [
+        v for v in part if not any((part_mask >> w) & 1 for w in g.successors(v))
+    ]
+    if len(minimum) > S:
+        return False
+    # dominator: min vertex cut between the CDAG inputs and the part (an
+    # input inside the part must itself be covered — the flow formulation
+    # handles that via its zero-length path)
+    dom = max_vertex_disjoint_paths(g, cdag.inputs, part, limit=float(S + 1))
+    return dom <= S
+
+
+def min_s_partition_parts(cdag: CDAG, S: int, max_vertices: int = 16) -> int:
+    """P(S): the minimum number of parts of an S-partition (exact).
+
+    DP over ideals: parts(I) = min over ideals J ⊂ I with I\\J a valid part
+    of parts(J) + 1.  Exponential; guarded to small CDAGs.
+    """
+    n = cdag.num_vertices
+    if n > max_vertices:
+        raise ValueError(
+            f"exact S-partition limited to ≤ {max_vertices} vertices (got {n})"
+        )
+    if S < 1:
+        raise ValueError("S must be >= 1")
+    ideals = _ideals(cdag)
+    index = {mask: i for i, mask in enumerate(ideals)}
+    INF = float("inf")
+    best = [INF] * len(ideals)
+    best[0] = 0
+    # ideals are sorted ascending; supersets have larger masks? not
+    # necessarily numerically — process in order of popcount instead
+    order = sorted(range(len(ideals)), key=lambda i: bin(ideals[i]).count("1"))
+    part_ok_cache: dict[int, bool] = {}
+
+    def ok(mask: int) -> bool:
+        if mask not in part_ok_cache:
+            part_ok_cache[mask] = _part_ok(cdag, mask, S)
+        return part_ok_cache[mask]
+
+    for bi in order:
+        big = ideals[bi]
+        if big == 0:
+            continue
+        for sj in order:
+            small = ideals[sj]
+            if small == big or (small & big) != small:
+                continue  # not a strict subset of `big`
+            if best[sj] == INF:
+                continue
+            part = big & ~small
+            if ok(part):
+                cand = best[sj] + 1
+                if cand < best[bi]:
+                    best[bi] = cand
+    full = (1 << n) - 1
+    result = best[index[full]]
+    if result == INF:
+        raise ValueError(f"no {S}-partition exists (S too small)")
+    return int(result)
+
+
+def hong_kung_lower_bound(cdag: CDAG, M: int, max_vertices: int = 16) -> float:
+    """Q ≥ M·(P(2M) − 1): the Hong–Kung I/O floor, recomputation included."""
+    parts = min_s_partition_parts(cdag, 2 * M, max_vertices=max_vertices)
+    return float(M * max(0, parts - 1))

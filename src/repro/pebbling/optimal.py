@@ -1,0 +1,127 @@
+"""Exact minimum-I/O red-blue pebbling via Dijkstra over game states.
+
+State = (red bitmask, blue bitmask[, computed bitmask when recomputation is
+forbidden]).  Moves and costs follow :mod:`repro.pebbling.game`; compute and
+evict are free, so this is a shortest-path problem with non-negative edge
+weights.  Normalizations that preserve optimality and shrink the space:
+
+* evict only when fast memory is full (lazy eviction),
+* never load a red vertex, never store a blue one,
+* never compute a vertex that is currently red.
+
+The search is exponential — it exists to *certify* small instances: the
+recomputation-wins gadget, tiny trees/diamonds, and the 2×2 base-case CDAG.
+A ``max_states`` fuse raises rather than letting a too-large instance hang.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.cdag.core import CDAG
+from repro.pebbling.game import PebbleCost
+
+__all__ = ["optimal_io", "SearchExhausted"]
+
+
+class SearchExhausted(RuntimeError):
+    """The state-space fuse blew before an optimal schedule was found."""
+
+
+def optimal_io(
+    cdag: CDAG,
+    M: int,
+    allow_recompute: bool = True,
+    cost: PebbleCost = PebbleCost(),
+    max_states: int = 2_000_000,
+) -> float:
+    """Minimum total I/O cost to pebble ``cdag`` with fast memory M.
+
+    With ``allow_recompute=False`` each vertex may be computed at most once
+    (the assumption most classical lower bounds make); with the default the
+    full game is searched, so comparing the two values on one CDAG measures
+    exactly how much recomputation buys.
+    """
+    n = cdag.num_vertices
+    if n > 62:
+        raise ValueError("optimal search is limited to ≤ 62 vertices (bitmask state)")
+    if M < 1:
+        raise ValueError("M must be >= 1")
+    g = cdag.graph
+    pred_mask = [0] * n
+    for v in range(n):
+        for u in g.predecessors(v):
+            pred_mask[v] |= 1 << u
+    input_mask = 0
+    for v in cdag.inputs:
+        input_mask |= 1 << v
+    output_mask = 0
+    for v in cdag.outputs:
+        output_mask |= 1 << v
+    non_inputs = [v for v in range(n) if not (input_mask >> v) & 1]
+
+    track_computed = not allow_recompute
+    start = (0, input_mask, 0) if track_computed else (0, input_mask)
+    best: dict[tuple, float] = {start: 0.0}
+    # heap entries: (f = g + h, g, state); h = stores still needed for outputs
+    def h_of(blue: int) -> float:
+        return cost.write_cost * bin(output_mask & ~blue).count("1")
+
+    heap = [(h_of(input_mask), 0.0, start)]
+    popped = 0
+    full_mask = (1 << n) - 1
+
+    while heap:
+        f, dist, state = heapq.heappop(heap)
+        if best.get(state, float("inf")) < dist:
+            continue
+        red, blue = state[0], state[1]
+        if (blue & output_mask) == output_mask:
+            return dist
+        popped += 1
+        if popped > max_states:
+            raise SearchExhausted(
+                f"optimal pebbling search exceeded {max_states} states "
+                f"(V={n}, M={M})"
+            )
+        red_count = bin(red).count("1")
+        computed = state[2] if track_computed else 0
+
+        def push(nred: int, nblue: int, ncomputed: int, ndist: float) -> None:
+            nstate = (nred, nblue, ncomputed) if track_computed else (nred, nblue)
+            if ndist < best.get(nstate, float("inf")):
+                best[nstate] = ndist
+                heapq.heappush(heap, (ndist + h_of(nblue), ndist, nstate))
+
+        if red_count < M:
+            # loads: any blue, non-red vertex
+            rem = blue & ~red
+            while rem:
+                bit = rem & -rem
+                rem ^= bit
+                push(red | bit, blue, computed, dist + cost.read_cost)
+            # computes
+            for v in non_inputs:
+                bit = 1 << v
+                if red & bit:
+                    continue
+                if (pred_mask[v] & red) != pred_mask[v]:
+                    continue
+                if track_computed and (computed >> v) & 1:
+                    continue
+                push(red | bit, blue, computed | (1 << v) if track_computed else 0, dist)
+        else:
+            # fast memory full: evictions (free)
+            rem = red
+            while rem:
+                bit = rem & -rem
+                rem ^= bit
+                push(red & ~bit, blue, computed, dist)
+        # stores: any red, non-blue vertex (allowed regardless of fullness)
+        rem = red & ~blue
+        while rem:
+            bit = rem & -rem
+            rem ^= bit
+            push(red, blue | bit, computed, dist + cost.write_cost)
+
+    raise SearchExhausted(f"no pebbling exists for this CDAG with M={M}")

@@ -1,0 +1,366 @@
+"""The distributed pebble game: Section II-B's parallel model as a game.
+
+P processors, each with a private fast memory of M pebbles.  There is no
+shared slow memory: the inputs start distributed (round-robin) across the
+processors, computation happens locally, and moving a value between two
+processors is the I/O the bounds constrain.
+
+Moves (applied by processor ``p``):
+  compute v : all predecessors of v pebbled *by p*; v becomes pebbled by p
+  send v→q  : v pebbled by p; v becomes (also) pebbled by q
+              — one I/O charged to p (send) and one to q (receive)
+  evict v   : p drops its pebble on v
+
+End condition: every designated output is pebbled by some processor.
+Recomputation is allowed (same vertex may be computed repeatedly, by the
+same or different processors) — matching the theorem's "regardless of
+recomputations".
+
+The **parallel segment audit** replays the memory-dependent half of
+Theorem 1.1's proof: pick the processor that performs the most first-time
+computations of SUB_H^{r×r} outputs (the pigeonhole processor), partition
+*its* computation into segments of r² such outputs, and floor each
+segment's I/O (its sends + receives) at r²/2 − M via Lemma 3.6/3.7 —
+values available to the processor during a segment either survived in its
+M-sized memory or crossed the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.cdag.core import CDAG
+from repro.cdag.recursive import RecursiveCDAG
+from repro.pebbling.segments import SegmentReport, choose_segment_r
+from repro.util.checks import check_positive_int, is_power_of
+
+__all__ = [
+    "ParallelMoveKind",
+    "ParallelMove",
+    "ParallelSchedule",
+    "validate_parallel_schedule",
+    "block_parallel_schedule",
+    "parallel_segment_audit",
+    "peak_live_size",
+]
+
+
+class ParallelMoveKind(str, Enum):
+    COMPUTE = "compute"
+    SEND = "send"
+    EVICT = "evict"
+
+
+@dataclass(frozen=True)
+class ParallelMove:
+    """One move; ``dest`` is used by SEND only."""
+
+    kind: ParallelMoveKind
+    proc: int
+    v: int
+    dest: int = -1
+
+
+@dataclass
+class ParallelSchedule:
+    """A straight-line distributed schedule."""
+
+    cdag: CDAG
+    P: int
+    moves: list[ParallelMove] = field(default_factory=list)
+
+    def compute(self, proc: int, v: int) -> None:
+        self.moves.append(ParallelMove(ParallelMoveKind.COMPUTE, proc, v))
+
+    def send(self, proc: int, v: int, dest: int) -> None:
+        self.moves.append(ParallelMove(ParallelMoveKind.SEND, proc, v, dest))
+
+    def evict(self, proc: int, v: int) -> None:
+        self.moves.append(ParallelMove(ParallelMoveKind.EVICT, proc, v))
+
+    def __len__(self) -> int:
+        return len(self.moves)
+
+
+class ParallelScheduleError(ValueError):
+    """A distributed schedule broke the game rules."""
+
+
+def _initial_distribution(cdag: CDAG, P: int) -> list[set[int]]:
+    """Inputs round-robin across processors (the model's even layout)."""
+    mem: list[set[int]] = [set() for _ in range(P)]
+    for idx, v in enumerate(cdag.inputs):
+        mem[idx % P].add(v)
+    return mem
+
+
+def validate_parallel_schedule(
+    schedule: ParallelSchedule, M: int, allow_recompute: bool = True
+) -> dict[str, object]:
+    """Replay the schedule; returns per-processor I/O statistics.
+
+    Raises :class:`ParallelScheduleError` on rule violations: computing
+    with a non-local predecessor, sending a value not held, local-memory
+    overflow, a recomputation when forbidden, or missing outputs at the end.
+    """
+    cdag, P = schedule.cdag, schedule.P
+    g = cdag.graph
+    mem = _initial_distribution(cdag, P)
+    for p in range(P):
+        if len(mem[p]) > M:
+            raise ParallelScheduleError(
+                f"initial input share of processor {p} exceeds M={M}"
+            )
+    sent = np.zeros(P, dtype=np.int64)
+    received = np.zeros(P, dtype=np.int64)
+    computed_by: dict[int, int] = {}
+    recomputations = 0
+    for idx, m in enumerate(schedule.moves):
+        if not (0 <= m.proc < P):
+            raise ParallelScheduleError(f"move {idx}: unknown processor {m.proc}")
+        local = mem[m.proc]
+        if m.kind is ParallelMoveKind.COMPUTE:
+            if cdag.is_input(m.v):
+                raise ParallelScheduleError(f"move {idx}: compute of input {m.v}")
+            missing = [u for u in g.predecessors(m.v) if u not in local]
+            if missing:
+                raise ParallelScheduleError(
+                    f"move {idx}: processor {m.proc} computes {m.v} without "
+                    f"local predecessors {missing}"
+                )
+            if m.v in computed_by:
+                if not allow_recompute:
+                    raise ParallelScheduleError(
+                        f"move {idx}: recomputation of {m.v} forbidden"
+                    )
+                recomputations += 1
+            computed_by[m.v] = m.proc
+            local.add(m.v)
+        elif m.kind is ParallelMoveKind.SEND:
+            if m.v not in local:
+                raise ParallelScheduleError(
+                    f"move {idx}: processor {m.proc} sends unheld value {m.v}"
+                )
+            if not (0 <= m.dest < P) or m.dest == m.proc:
+                raise ParallelScheduleError(f"move {idx}: bad destination {m.dest}")
+            mem[m.dest].add(m.v)
+            sent[m.proc] += 1
+            received[m.dest] += 1
+            if len(mem[m.dest]) > M:
+                raise ParallelScheduleError(
+                    f"move {idx}: processor {m.dest} memory overflow"
+                )
+        elif m.kind is ParallelMoveKind.EVICT:
+            if m.v not in local:
+                raise ParallelScheduleError(
+                    f"move {idx}: processor {m.proc} evicts unheld value {m.v}"
+                )
+            local.discard(m.v)
+        if len(local) > M:
+            raise ParallelScheduleError(
+                f"move {idx}: processor {m.proc} memory overflow ({len(local)} > {M})"
+            )
+    held_anywhere = set().union(*mem)
+    missing_outputs = [v for v in cdag.outputs if v not in held_anywhere]
+    if missing_outputs:
+        raise ParallelScheduleError(f"outputs not held at end: {missing_outputs}")
+    io = sent + received
+    return {
+        "sent": sent,
+        "received": received,
+        "io_per_proc": io,
+        "max_io": int(io.max()),
+        "total_io": int(io.sum()),
+        "recomputations": recomputations,
+    }
+
+
+def peak_live_size(cdag: CDAG, order: list[int] | None = None) -> int:
+    """Maximum number of simultaneously live values under an order.
+
+    In the distributed game there is no slow memory, so a no-recomputation
+    schedule needs total cluster memory P·M ≥ this peak — a feasibility
+    constraint the benches size their parameters by.
+    """
+    order = order if order is not None else cdag.topological_order()
+    remaining = {v: cdag.graph.out_degree(v) for v in cdag.graph.vertices()}
+    outs = set(cdag.outputs)
+    live = set(cdag.inputs)
+    peak = len(live)
+    for v in order:
+        if cdag.is_input(v):
+            continue
+        live.add(v)
+        for u in cdag.graph.predecessors(v):
+            remaining[u] -= 1
+            if remaining[u] == 0 and u not in outs:
+                live.discard(u)
+        peak = max(peak, len(live))
+    return peak
+
+
+def block_parallel_schedule(cdag: CDAG, P: int, M: int) -> ParallelSchedule:
+    """A generic distributed scheduler: block-partitioned topological order.
+
+    Non-input vertices are assigned to processors in contiguous blocks of
+    the topological order; a predecessor living elsewhere is fetched with a
+    send (one I/O each side).  There is no slow memory in this model, so
+    eviction is liveness-aware: dead values go first; a still-needed value
+    whose *last* copy would be destroyed is first *spilled* to the least
+    loaded processor — the distributed analogue of write-back.  Not
+    communication-optimal: it is the workload generator for the parallel
+    segment audit, like the sequential write-back scheduler.
+    """
+    check_positive_int(P, "P")
+    if M <= cdag.max_fan_in():
+        raise ValueError(f"M={M} too small (fan-in {cdag.max_fan_in()})")
+    order = [v for v in cdag.topological_order() if not cdag.is_input(v)]
+    owner_of: dict[int, int] = {}
+    block = max(1, -(-len(order) // P))
+    for i, v in enumerate(order):
+        owner_of[v] = min(P - 1, i // block)
+
+    # remaining-use counts (consumers anywhere) + output liveness
+    remaining = {v: cdag.graph.out_degree(v) for v in cdag.graph.vertices()}
+    live_output = set(cdag.outputs)
+
+    def dead(u: int) -> bool:
+        return remaining[u] == 0 and u not in live_output
+
+    sched = ParallelSchedule(cdag, P)
+    mem = _initial_distribution(cdag, P)
+    copies: dict[int, int] = {}
+    for p in range(P):
+        for u in mem[p]:
+            copies[u] = copies.get(u, 0) + 1
+
+    def drop(p: int, u: int) -> None:
+        sched.evict(p, u)
+        mem[p].discard(u)
+        copies[u] -= 1
+
+    def make_room(p: int, pinned: set[int]) -> None:
+        while len(mem[p]) >= M:
+            locals_unpinned = [u for u in mem[p] if u not in pinned]
+            if not locals_unpinned:
+                raise ValueError(f"M={M} too small on processor {p}")
+            dead_victims = [u for u in locals_unpinned if dead(u)]
+            if dead_victims:
+                drop(p, dead_victims[0])
+                continue
+            redundant = [u for u in locals_unpinned if copies[u] > 1]
+            if redundant:
+                drop(p, redundant[0])
+                continue
+            # every candidate is a live last copy: spill one to the least
+            # loaded other processor (making room there first if needed)
+            victim = locals_unpinned[0]
+            dest = min(
+                (q for q in range(P) if q != p),
+                key=lambda q: len(mem[q]),
+                default=None,
+            )
+            if dest is None or len(mem[dest]) >= M:
+                raise ValueError(
+                    f"cluster memory exhausted spilling from processor {p} (M={M})"
+                )
+            sched.send(p, victim, dest)
+            mem[dest].add(victim)
+            copies[victim] += 1
+            drop(p, victim)
+
+    for v in order:
+        p = owner_of[v]
+        pinned = set(cdag.graph.predecessors(v)) | {v}
+        for u in cdag.graph.predecessors(v):
+            if u not in mem[p]:
+                src = next((q for q in range(P) if u in mem[q]), None)
+                if src is None:  # pragma: no cover - liveness guarantees a copy
+                    raise AssertionError(f"live value {u} has no copy")
+                make_room(p, pinned)
+                sched.send(src, u, p)
+                mem[p].add(u)
+                copies[u] += 1
+        make_room(p, pinned)
+        sched.compute(p, v)
+        mem[p].add(v)
+        copies[v] = copies.get(v, 0) + 1
+        # consume predecessor uses; eagerly drop dead values everywhere
+        for u in cdag.graph.predecessors(v):
+            remaining[u] -= 1
+            if dead(u):
+                for q in range(P):
+                    if u in mem[q]:
+                        drop(q, u)
+    return sched
+
+
+def parallel_segment_audit(
+    H: RecursiveCDAG,
+    schedule: ParallelSchedule,
+    M: int,
+    r: int | None = None,
+) -> tuple[int, SegmentReport]:
+    """The memory-dependent parallel audit of Theorem 1.1.
+
+    Picks the processor with the most first-time SUB_H^{r×r}-output
+    computations, partitions its computation into segments of r² such
+    outputs, counts *its* I/O (sends + receives) per segment, and returns
+    (processor id, report) with the per-segment floor r²/2 − M.
+    """
+    if r is None:
+        r = choose_segment_r(M, H.n)
+    if not is_power_of(r, H.alg.n) or r > H.n:
+        raise ValueError(f"invalid r={r}")
+    sub_out = set(H.all_sub_output_vertices(r))
+    # first pass: who computes the most first-time sub outputs?
+    seen: set[int] = set()
+    per_proc = np.zeros(schedule.P, dtype=np.int64)
+    for m in schedule.moves:
+        if (
+            m.kind is ParallelMoveKind.COMPUTE
+            and m.v in sub_out
+            and m.v not in seen
+        ):
+            seen.add(m.v)
+            per_proc[m.proc] += 1
+    pigeon = int(per_proc.argmax())
+    # second pass: segment the pigeonhole processor's timeline
+    target = r * r
+    seen.clear()
+    segment_io: list[int] = []
+    io_window = 0
+    outputs_window = 0
+    total_io = 0
+    for m in schedule.moves:
+        involves = m.proc == pigeon or (
+            m.kind is ParallelMoveKind.SEND and m.dest == pigeon
+        )
+        if m.kind is ParallelMoveKind.SEND and involves:
+            io_window += 1
+            total_io += 1
+        if (
+            m.kind is ParallelMoveKind.COMPUTE
+            and m.v in sub_out
+            and m.v not in seen
+        ):
+            seen.add(m.v)
+            if m.proc == pigeon:
+                outputs_window += 1
+                if outputs_window == target:
+                    segment_io.append(io_window)
+                    io_window = 0
+                    outputs_window = 0
+    report = SegmentReport(
+        r=r,
+        M=M,
+        outputs_per_segment=target,
+        per_segment_bound=max(0, target // 2 - M),
+        segment_io=segment_io,
+        leftover_outputs=outputs_window,
+        total_io=total_io,
+    )
+    return pigeon, report

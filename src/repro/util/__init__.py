@@ -1,0 +1,46 @@
+"""Small foundational utilities shared across the reproduction.
+
+The lemmas in the paper are exact combinatorial statements, so the default
+arithmetic everywhere in ``repro`` is *exact*: integer numpy arrays for
+bilinear-algorithm coefficient matrices, :class:`fractions.Fraction` kernels
+for inverses and basis changes, and tiny finite rings for Grigoriev-flow
+enumeration.  Floating point appears only in the measured-I/O analysis
+(exponent fits), never in proofs.
+"""
+
+from repro.util.exactmath import (
+    frac_matrix,
+    frac_identity,
+    frac_matmul,
+    frac_inverse,
+    frac_solve,
+    frac_rank,
+    is_integer_matrix,
+    as_int_matrix,
+    kron,
+)
+from repro.util.smallrings import Zmod, ring_elements
+from repro.util.checks import (
+    check_positive_int,
+    check_power_of_two,
+    is_power_of,
+    ilog2,
+)
+
+__all__ = [
+    "frac_matrix",
+    "frac_identity",
+    "frac_matmul",
+    "frac_inverse",
+    "frac_solve",
+    "frac_rank",
+    "is_integer_matrix",
+    "as_int_matrix",
+    "kron",
+    "Zmod",
+    "ring_elements",
+    "check_positive_int",
+    "check_power_of_two",
+    "is_power_of",
+    "ilog2",
+]

@@ -1,0 +1,42 @@
+"""Argument validation helpers used across the library.
+
+The paper's formulas assume n is a power of two (recursive halving) and
+M, P are positive.  Centralizing the checks keeps error messages uniform and
+lets callers assert model preconditions once.
+"""
+
+from __future__ import annotations
+
+__all__ = ["check_positive_int", "check_power_of_two", "is_power_of", "ilog2"]
+
+
+def check_positive_int(value, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as int."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def is_power_of(value: int, base: int) -> bool:
+    """True iff value == base**k for some integer k >= 0."""
+    if value < 1:
+        return False
+    while value % base == 0:
+        value //= base
+    return value == 1
+
+
+def check_power_of_two(value, name: str) -> int:
+    """Validate that ``value`` is a positive power of two."""
+    value = check_positive_int(value, name)
+    if value & (value - 1):
+        raise ValueError(f"{name} must be a power of two, got {value}")
+    return value
+
+
+def ilog2(value: int) -> int:
+    """Exact log2 of a power of two; raises otherwise."""
+    value = check_power_of_two(value, "value")
+    return value.bit_length() - 1

@@ -1,0 +1,176 @@
+"""Exact rational linear algebra on small matrices.
+
+Bilinear-algorithm coefficient matrices (U, V, W) are tiny (at most tens of
+rows/columns), but their correctness checks — Brent equations, basis-change
+inverses, de Groote symmetry transforms — must be exact.  numpy's float
+kernels would silently turn an invalid algorithm into a "valid within 1e-9"
+one, which is useless for checking a combinatorial lemma.  These kernels work
+on object-dtype numpy arrays of :class:`fractions.Fraction`.
+
+Sizes here are ≤ ~50×50, so Gaussian elimination in pure Python is
+instantaneous; no need for anything clever.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+__all__ = [
+    "frac_matrix",
+    "frac_identity",
+    "frac_matmul",
+    "frac_inverse",
+    "frac_solve",
+    "frac_rank",
+    "is_integer_matrix",
+    "as_int_matrix",
+    "kron",
+]
+
+
+def frac_matrix(data) -> np.ndarray:
+    """Build a 2-D object-dtype array of Fractions from any nested numeric data.
+
+    Accepts lists, tuples, or numpy arrays of ints/Fractions.  Floats are
+    rejected: exact code paths must never receive rounded input.
+    """
+    arr = np.asarray(data, dtype=object)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"expected 2-D data, got shape {arr.shape}")
+    out = np.empty(arr.shape, dtype=object)
+    for i in range(arr.shape[0]):
+        for j in range(arr.shape[1]):
+            v = arr[i, j]
+            if isinstance(v, Fraction):
+                out[i, j] = v
+            elif isinstance(v, (int, np.integer)):
+                out[i, j] = Fraction(int(v))
+            else:
+                raise TypeError(
+                    f"exact matrix entries must be int or Fraction, got {type(v)!r}"
+                )
+    return out
+
+
+def frac_identity(n: int) -> np.ndarray:
+    """n×n identity matrix of Fractions."""
+    out = np.full((n, n), Fraction(0), dtype=object)
+    for i in range(n):
+        out[i, i] = Fraction(1)
+    return out
+
+
+def frac_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact matrix product of two Fraction matrices."""
+    a = frac_matrix(a)
+    b = frac_matrix(b)
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+    # object-dtype matmul via numpy dispatches to Python __mul__/__add__,
+    # which is exact for Fractions.
+    return a @ b
+
+
+def _row_reduce(m: np.ndarray, rhs: np.ndarray | None):
+    """Gauss-Jordan elimination over the rationals.
+
+    Returns (reduced matrix, reduced rhs, pivot column list).
+    """
+    m = m.copy()
+    rhs = None if rhs is None else rhs.copy()
+    rows, cols = m.shape
+    pivots: list[int] = []
+    r = 0
+    for c in range(cols):
+        # find a pivot in column c at or below row r
+        pivot_row = None
+        for i in range(r, rows):
+            if m[i, c] != 0:
+                pivot_row = i
+                break
+        if pivot_row is None:
+            continue
+        if pivot_row != r:
+            m[[r, pivot_row]] = m[[pivot_row, r]]
+            if rhs is not None:
+                rhs[[r, pivot_row]] = rhs[[pivot_row, r]]
+        inv = Fraction(1) / m[r, c]
+        m[r, :] = m[r, :] * inv
+        if rhs is not None:
+            rhs[r, :] = rhs[r, :] * inv
+        for i in range(rows):
+            if i != r and m[i, c] != 0:
+                factor = m[i, c]
+                m[i, :] = m[i, :] - factor * m[r, :]
+                if rhs is not None:
+                    rhs[i, :] = rhs[i, :] - factor * rhs[r, :]
+        pivots.append(c)
+        r += 1
+        if r == rows:
+            break
+    return m, rhs, pivots
+
+
+def frac_rank(m) -> int:
+    """Exact rank of a matrix over the rationals."""
+    m = frac_matrix(m)
+    _, _, pivots = _row_reduce(m, None)
+    return len(pivots)
+
+
+def frac_inverse(m) -> np.ndarray:
+    """Exact inverse of a square Fraction matrix; raises on singularity."""
+    m = frac_matrix(m)
+    n, cols = m.shape
+    if n != cols:
+        raise ValueError(f"inverse requires a square matrix, got {m.shape}")
+    reduced, inv, pivots = _row_reduce(m, frac_identity(n))
+    if len(pivots) != n:
+        raise np.linalg.LinAlgError("matrix is singular over the rationals")
+    return inv
+
+
+def frac_solve(a, b) -> np.ndarray:
+    """Solve a @ x = b exactly for square invertible ``a``."""
+    a = frac_matrix(a)
+    b = frac_matrix(b)
+    return frac_matmul(frac_inverse(a), b)
+
+
+def is_integer_matrix(m) -> bool:
+    """True when every Fraction entry has denominator 1."""
+    m = frac_matrix(m)
+    return all(f.denominator == 1 for f in m.flat)
+
+
+def as_int_matrix(m) -> np.ndarray:
+    """Convert an integral Fraction matrix to an int64 numpy array."""
+    m = frac_matrix(m)
+    if not is_integer_matrix(m):
+        raise ValueError("matrix has non-integral entries")
+    out = np.empty(m.shape, dtype=np.int64)
+    for i in range(m.shape[0]):
+        for j in range(m.shape[1]):
+            out[i, j] = int(m[i, j])
+    return out
+
+
+def kron(a, b) -> np.ndarray:
+    """Exact Kronecker product of two Fraction matrices.
+
+    Used for basis-change transport: with row-major vec,
+    vec(P·A·Q) = (P ⊗ Qᵀ) · vec(A).
+    """
+    a = frac_matrix(a)
+    b = frac_matrix(b)
+    ra, ca = a.shape
+    rb, cb = b.shape
+    out = np.empty((ra * rb, ca * cb), dtype=object)
+    for i in range(ra):
+        for j in range(ca):
+            out[i * rb : (i + 1) * rb, j * cb : (j + 1) * cb] = a[i, j] * b
+    return out

@@ -1,0 +1,63 @@
+"""Tiny finite rings for exhaustive Grigoriev-flow enumeration.
+
+Definition 2.8 in the paper quantifies over assignments of input variables in
+a ring R and counts distinct points in the image of a sub-function.  For
+matrix multiplication with n = 2 this is a brute force over |R|^(#inputs)
+assignments, which is feasible only for very small R — Z_2 and Z_3 cover
+everything the flow lower bound (Lemma 3.8) needs to be exercised against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Zmod", "ring_elements"]
+
+
+@dataclass(frozen=True)
+class Zmod:
+    """The ring Z/mZ with vectorized numpy arithmetic on int64 arrays."""
+
+    modulus: int
+
+    def __post_init__(self):
+        if self.modulus < 2:
+            raise ValueError("modulus must be >= 2")
+
+    @property
+    def size(self) -> int:
+        return self.modulus
+
+    def elements(self) -> np.ndarray:
+        return np.arange(self.modulus, dtype=np.int64)
+
+    def add(self, a, b):
+        return (np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)) % self.modulus
+
+    def mul(self, a, b):
+        return (np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)) % self.modulus
+
+    def neg(self, a):
+        return (-np.asarray(a, dtype=np.int64)) % self.modulus
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Matrix product in the ring (batched-friendly on the last two axes)."""
+        return (np.asarray(a, dtype=np.int64) @ np.asarray(b, dtype=np.int64)) % self.modulus
+
+    def all_vectors(self, length: int) -> np.ndarray:
+        """All |R|^length vectors, as an array of shape (|R|^length, length).
+
+        Enumeration order is lexicographic; generated without Python loops
+        over rows (meshgrid + reshape), per the vectorization guides.
+        """
+        if length == 0:
+            return np.zeros((1, 0), dtype=np.int64)
+        grids = np.meshgrid(*([self.elements()] * length), indexing="ij")
+        return np.stack([g.ravel() for g in grids], axis=1)
+
+
+def ring_elements(ring: Zmod, length: int) -> np.ndarray:
+    """Convenience alias for :meth:`Zmod.all_vectors`."""
+    return ring.all_vectors(length)

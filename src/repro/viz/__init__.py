@@ -1,0 +1,21 @@
+"""Rendering the paper's figures from the constructed objects.
+
+Figure 1 (base-case CDAG) and Figure 2 (encoder graph) are emitted as
+Graphviz DOT (viewable with any dot renderer) and as terminal ASCII;
+Figure 3 (the Lemma 3.11 path construction) is rendered as an annotated
+instance summary with the actual path family.
+"""
+
+from repro.viz.dot import cdag_to_dot, encoder_to_dot
+from repro.viz.ascii_art import encoder_ascii, base_cdag_ascii, lemma311_ascii
+from repro.viz.trace import schedule_timeline, io_histogram
+
+__all__ = [
+    "cdag_to_dot",
+    "encoder_to_dot",
+    "encoder_ascii",
+    "base_cdag_ascii",
+    "lemma311_ascii",
+    "schedule_timeline",
+    "io_histogram",
+]

@@ -1,0 +1,57 @@
+"""Graphviz DOT emitters for CDAGs (Figures 1 and 2)."""
+
+from __future__ import annotations
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.cdag.core import CDAG, VertexKind
+
+__all__ = ["cdag_to_dot", "encoder_to_dot"]
+
+_STYLE = {
+    VertexKind.INPUT: 'shape=circle, style=filled, fillcolor="#c7dcf0"',
+    VertexKind.INTERNAL: 'shape=circle, style=filled, fillcolor="#eeeeee"',
+    VertexKind.OUTPUT: 'shape=doublecircle, style=filled, fillcolor="#cfe8cf"',
+}
+
+
+def cdag_to_dot(cdag: CDAG, max_vertices: int = 2000) -> str:
+    """Emit a CDAG as DOT with inputs on top, outputs at the bottom."""
+    if cdag.num_vertices > max_vertices:
+        raise ValueError(
+            f"{cdag.num_vertices} vertices exceeds max_vertices={max_vertices}"
+        )
+    lines = [f'digraph "{cdag.name}" {{', "  rankdir=TB;"]
+    for v in cdag.graph.vertices():
+        label = cdag.label(v) or str(v)
+        lines.append(f'  v{v} [label="{label}", {_STYLE[cdag.kind(v)]}];')
+    for u, v in cdag.graph.edges():
+        lines.append(f"  v{u} -> v{v};")
+    lines.append("  { rank=source; " + " ".join(f"v{v};" for v in cdag.inputs) + " }")
+    lines.append("  { rank=sink; " + " ".join(f"v{v};" for v in cdag.outputs) + " }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def encoder_to_dot(alg: BilinearAlgorithm, side: str = "A") -> str:
+    """Figure 2: the bipartite encoder graph of one operand."""
+    adj = alg.encoder_adjacency(side)
+    num_inputs = alg.n * alg.m if side == "A" else alg.m * alg.p
+    sym = side.lower()
+    lines = [
+        f'digraph "{alg.name}-encoder-{side}" {{',
+        "  rankdir=TB;",
+    ]
+    for q in range(num_inputs):
+        i, j = divmod(q, alg.m if side == "A" else alg.p)
+        lines.append(
+            f'  x{q} [label="{sym}{i + 1}{j + 1}", {_STYLE[VertexKind.INPUT]}];'
+        )
+    for l in range(alg.t):
+        lines.append(f'  y{l} [label="{sym}̂{l + 1}", {_STYLE[VertexKind.OUTPUT]}];')
+    for l, xs in enumerate(adj):
+        for q in xs:
+            lines.append(f"  x{q} -> y{l};")
+    lines.append("  { rank=source; " + " ".join(f"x{q};" for q in range(num_inputs)) + " }")
+    lines.append("  { rank=sink; " + " ".join(f"y{l};" for l in range(alg.t)) + " }")
+    lines.append("}")
+    return "\n".join(lines)

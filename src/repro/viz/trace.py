@@ -1,0 +1,52 @@
+"""Pebbling-schedule trace rendering: the I/O story of a schedule over time.
+
+Turns a schedule into a compact timeline — useful both for debugging
+schedulers and for *seeing* the Theorem 1.1 segments: bursts of computes
+punctuated by the I/O the floor says cannot be avoided.
+"""
+
+from __future__ import annotations
+
+from repro.pebbling.game import MoveKind, Schedule
+
+__all__ = ["schedule_timeline", "io_histogram"]
+
+_GLYPH = {
+    MoveKind.LOAD: "L",
+    MoveKind.STORE: "S",
+    MoveKind.COMPUTE: "·",
+    MoveKind.EVICT: " ",
+}
+
+
+def schedule_timeline(schedule: Schedule, width: int = 72, max_rows: int = 20) -> str:
+    """One glyph per move (L=load, S=store, ·=compute, space=evict)."""
+    glyphs = "".join(_GLYPH[m.kind] for m in schedule.moves)
+    lines = [f"schedule timeline ({len(schedule.moves)} moves) — "
+             "L load, S store, · compute, ␣ evict"]
+    for i in range(0, min(len(glyphs), width * max_rows), width):
+        lines.append(glyphs[i : i + width])
+    if len(glyphs) > width * max_rows:
+        lines.append(f"… ({len(glyphs) - width * max_rows} more moves)")
+    return "\n".join(lines)
+
+
+def io_histogram(schedule: Schedule, buckets: int = 24, bar_width: int = 40) -> str:
+    """I/O density over schedule time: bar chart of loads+stores per bucket.
+
+    The Theorem 1.1 floor manifests as *no empty stretch* longer than a
+    segment once the cache is saturated.
+    """
+    moves = schedule.moves
+    if not moves:
+        return "(empty schedule)"
+    per_bucket = [0] * buckets
+    for idx, m in enumerate(moves):
+        if m.kind in (MoveKind.LOAD, MoveKind.STORE):
+            per_bucket[min(buckets - 1, idx * buckets // len(moves))] += 1
+    peak = max(per_bucket) or 1
+    lines = [f"I/O density over time ({buckets} buckets, peak {peak}):"]
+    for i, count in enumerate(per_bucket):
+        bar = "#" * round(count / peak * bar_width)
+        lines.append(f"{i:>3} |{bar:<{bar_width}}| {count}")
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Unit tests for the BilinearAlgorithm container."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.algorithms.strassen import STRASSEN_U, STRASSEN_V, STRASSEN_W
+
+
+class TestConstruction:
+    def test_shape_validation_u(self):
+        with pytest.raises(ValueError):
+            BilinearAlgorithm("bad", 2, 2, 2, STRASSEN_U[:, :3], STRASSEN_V, STRASSEN_W)
+
+    def test_shape_validation_v(self):
+        with pytest.raises(ValueError):
+            BilinearAlgorithm("bad", 2, 2, 2, STRASSEN_U, STRASSEN_V[:5], STRASSEN_W)
+
+    def test_shape_validation_w(self):
+        with pytest.raises(ValueError):
+            BilinearAlgorithm("bad", 2, 2, 2, STRASSEN_U, STRASSEN_V, STRASSEN_W.T)
+
+    def test_arrays_frozen(self, strassen_alg):
+        with pytest.raises(ValueError):
+            strassen_alg.U[0, 0] = 99
+
+    def test_t_and_signature(self, strassen_alg):
+        assert strassen_alg.t == 7
+        assert strassen_alg.signature() == "<2,2,2;7>"
+
+    def test_omega0(self, strassen_alg, classical_alg):
+        assert strassen_alg.omega0 == pytest.approx(np.log2(7))
+        assert classical_alg.omega0 == pytest.approx(3.0)
+
+    def test_canonical_key_distinguishes(self, strassen_alg, winograd_alg):
+        assert strassen_alg.canonical_key() != winograd_alg.canonical_key()
+
+
+class TestLinearOps:
+    def test_strassen_total_18(self, strassen_alg):
+        assert strassen_alg.linear_op_count()["total"] == 18
+
+    def test_winograd_no_reuse_counts(self, winograd_alg):
+        # without common-subexpression reuse Winograd's flat triple has more
+        # additions than Strassen's; the *with reuse* count (15) is what the
+        # staged formulation achieves
+        counts = winograd_alg.linear_op_count()
+        assert counts["encode_a"] == 7
+        assert counts["decode_c"] == 10
+
+
+class TestExecution:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_multiply_matches_numpy(self, strassen_alg, rng, n):
+        A = rng.integers(-9, 9, (n, n))
+        B = rng.integers(-9, 9, (n, n))
+        assert np.array_equal(strassen_alg.multiply(A, B), A @ B)
+
+    def test_multiply_with_cutoff(self, winograd_alg, rng):
+        A = rng.integers(-9, 9, (16, 16))
+        B = rng.integers(-9, 9, (16, 16))
+        assert np.array_equal(winograd_alg.multiply(A, B, base_size=4), A @ B)
+
+    def test_multiply_float(self, strassen_alg, rng):
+        A = rng.standard_normal((8, 8))
+        B = rng.standard_normal((8, 8))
+        assert np.allclose(strassen_alg.multiply(A, B), A @ B)
+
+    def test_multiply_rejects_bad_sizes(self, strassen_alg, rng):
+        A = rng.standard_normal((6, 6))
+        with pytest.raises(ValueError):
+            strassen_alg.multiply(A, A)
+
+    def test_multiply_rejects_mismatched(self, strassen_alg, rng):
+        with pytest.raises(ValueError):
+            strassen_alg.multiply(rng.standard_normal((4, 4)), rng.standard_normal((8, 8)))
+
+    def test_apply_one_level_with_numpy_mult(self, strassen_alg, rng):
+        A = rng.standard_normal((8, 8))
+        B = rng.standard_normal((8, 8))
+        C = strassen_alg.apply_one_level(A, B, np.matmul)
+        assert np.allclose(C, A @ B)
+
+    def test_rectangular_one_level(self, rng):
+        from repro.algorithms.classical import classical
+
+        alg = classical(2, 3, 4)
+        A = rng.standard_normal((4, 6))
+        B = rng.standard_normal((6, 8))
+        C = alg.apply_one_level(A, B, np.matmul)
+        assert np.allclose(C, A @ B)
+
+    def test_rectangular_recursive_rejected(self, rng):
+        from repro.algorithms.classical import classical
+
+        alg = classical(2, 3, 4)
+        with pytest.raises(ValueError):
+            alg.multiply(rng.standard_normal((4, 4)), rng.standard_normal((4, 4)))
+
+
+class TestGraphViews:
+    def test_encoder_adjacency_strassen_a(self, strassen_alg):
+        adj = strassen_alg.encoder_adjacency("A")
+        assert adj[0] == [0, 3]   # M1: A11 + A22
+        assert adj[2] == [0]      # M3: A11
+
+    def test_encoder_adjacency_b_side(self, strassen_alg):
+        adj = strassen_alg.encoder_adjacency("B")
+        assert adj[1] == [0]      # M2 uses B11
+
+    def test_encoder_rejects_bad_side(self, strassen_alg):
+        with pytest.raises(ValueError):
+            strassen_alg.encoder_adjacency("C")
+
+    def test_decoder_adjacency(self, strassen_alg):
+        dec = strassen_alg.decoder_adjacency()
+        assert dec[0] == [0, 3, 4, 6]  # C11 = M1+M4-M5+M7
+        assert dec[1] == [2, 4]        # C12 = M3+M5

@@ -1,0 +1,73 @@
+"""Unit tests for the Brent-equation validity checker."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.algorithms.brent import brent_residual, brent_target, is_valid_algorithm
+from repro.algorithms.strassen import STRASSEN_U, STRASSEN_V, STRASSEN_W
+
+
+class TestTarget:
+    def test_target_shape(self):
+        assert brent_target(2, 2, 2).shape == (4, 4, 4)
+        assert brent_target(2, 3, 4).shape == (6, 12, 8)
+
+    def test_target_entry_count(self):
+        # exactly n·m·p ones (one per (i,j,k) triple)
+        assert brent_target(2, 2, 2).sum() == 8
+        assert brent_target(3, 3, 3).sum() == 27
+
+    def test_target_entries(self):
+        t = brent_target(2, 2, 2)
+        # (i=0,j=1), (j'=1,k=0), (i'=0,k'=0) must be 1
+        assert t[1, 2, 0] == 1
+        # mismatched j,j' must be 0
+        assert t[0, 2, 0] == 0
+
+
+class TestValidity:
+    def test_named_algorithms_valid(self, strassen_alg, winograd_alg, classical_alg):
+        for alg in (strassen_alg, winograd_alg, classical_alg):
+            assert is_valid_algorithm(alg)
+            assert not brent_residual(alg).any()
+
+    def test_corrupted_u_invalid(self):
+        U = STRASSEN_U.copy()
+        U[3, 1] += 1
+        alg = BilinearAlgorithm("broken", 2, 2, 2, U, STRASSEN_V, STRASSEN_W)
+        assert not is_valid_algorithm(alg)
+
+    def test_corrupted_w_invalid(self):
+        W = STRASSEN_W.copy()
+        W[0, 0] = 0
+        alg = BilinearAlgorithm("broken", 2, 2, 2, STRASSEN_U, STRASSEN_V, W)
+        assert not is_valid_algorithm(alg)
+
+    def test_sign_flip_invalid(self):
+        V = STRASSEN_V.copy()
+        V[2] = -V[2]
+        alg = BilinearAlgorithm("broken", 2, 2, 2, STRASSEN_U, V, STRASSEN_W)
+        assert not is_valid_algorithm(alg)
+
+    def test_residual_localizes_error(self):
+        U = STRASSEN_U.copy()
+        U[2, 1] += 1  # M3 now uses A12 too
+        alg = BilinearAlgorithm("broken", 2, 2, 2, U, STRASSEN_V, STRASSEN_W)
+        res = brent_residual(alg)
+        # residual only in rows a = index of A12 = 1
+        nz = np.nonzero(res)
+        assert set(nz[0].tolist()) == {1}
+
+    def test_rectangular_classical_valid(self):
+        from repro.algorithms.classical import classical
+
+        for dims in ((1, 2, 3), (2, 3, 2), (3, 1, 2)):
+            assert is_valid_algorithm(classical(*dims))
+
+    def test_validity_implies_numeric_correctness(self, corpus, rng):
+        """Brent-valid ⇒ correct products (spot-check the corpus)."""
+        A = rng.integers(-5, 5, (4, 4))
+        B = rng.integers(-5, 5, (4, 4))
+        for alg in corpus[:8]:
+            assert np.array_equal(alg.multiply(A, B), A @ B)

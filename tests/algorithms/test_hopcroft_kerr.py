@@ -1,0 +1,130 @@
+"""Unit tests for the Hopcroft–Kerr certificate sets."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.hopcroft_kerr import (
+    HOPCROFT_KERR_SETS,
+    all_support_patterns_covered,
+    check_hopcroft_kerr_consistency,
+    left_factor_set_counts,
+    no_zero_rows_mod2,
+    sets_sum_closed_mod2,
+    _proportional,
+)
+
+
+class TestSetsStructure:
+    def test_nine_sets_of_three(self):
+        assert len(HOPCROFT_KERR_SETS) == 9
+        assert all(len(s) == 3 for s in HOPCROFT_KERR_SETS)
+
+    def test_base_set_matches_lemma34(self):
+        base = HOPCROFT_KERR_SETS[0]
+        assert base == ((1, 0, 0, 0), (0, 1, 1, 0), (1, 1, 1, 0))
+
+    def test_all_forms_nonzero(self):
+        for s in HOPCROFT_KERR_SETS:
+            for form in s:
+                assert any(form)
+
+    def test_supports_cover_all_patterns(self):
+        assert all_support_patterns_covered()
+
+    def test_no_duplicate_forms_within_set(self):
+        for s in HOPCROFT_KERR_SETS:
+            assert len(set(s)) == 3
+
+    def test_sets_sum_closed_mod2(self):
+        """Every set is {a, b, a+b} over GF(2) — the structural property
+        behind the erratum fix of set (2) (see EXPERIMENTS.md)."""
+        assert sets_sum_closed_mod2()
+
+    def test_printed_set2_erratum(self):
+        """The paper's printed set (2) is refuted by a valid orbit member:
+        with the third element (1,1,0,1) a Brent-valid 7-mult algorithm
+        carries two left factors of the set (mod 2), contradicting
+        Lemma 3.4.  The corrected set (1,0,1,1) restores k ≤ 1."""
+        from repro.algorithms import algorithm_corpus
+
+        printed = (np.array([1, 1, 0, 0]), np.array([0, 1, 1, 1]), np.array([1, 1, 0, 1]))
+        violated = False
+        for alg in algorithm_corpus(count=64, seed=23):
+            hits = sum(
+                1
+                for l in range(7)
+                if any(np.array_equal(alg.U[l] % 2, f % 2) for f in printed)
+            )
+            if hits > 1:
+                violated = True
+                break
+        assert violated, "expected the printed set (2) to be over-hit"
+
+
+class TestProportional:
+    def test_equal(self):
+        a = np.array([1, 0, 1, 0])
+        assert _proportional(a, a)
+
+    def test_negation(self):
+        assert _proportional(np.array([1, 0, -1, 0]), np.array([-1, 0, 1, 0]))
+
+    def test_scaling(self):
+        assert _proportional(np.array([2, 0, 2, 0]), np.array([1, 0, 1, 0]))
+
+    def test_different_support(self):
+        assert not _proportional(np.array([1, 0, 0, 0]), np.array([1, 1, 0, 0]))
+
+    def test_same_support_not_proportional(self):
+        assert not _proportional(np.array([1, 2, 0, 0]), np.array([1, 1, 0, 0]))
+
+    def test_zero_vectors(self):
+        assert not _proportional(np.zeros(4, dtype=np.int64), np.zeros(4, dtype=np.int64))
+
+
+class TestConsistency:
+    def test_strassen(self, strassen_alg):
+        assert check_hopcroft_kerr_consistency(strassen_alg)
+
+    def test_winograd(self, winograd_alg):
+        assert check_hopcroft_kerr_consistency(winograd_alg)
+
+    def test_corpus_wide(self, corpus):
+        """No valid 7-mult algorithm may have 2 left factors in one HK set."""
+        for alg in corpus:
+            assert check_hopcroft_kerr_consistency(alg), alg.name
+
+    def test_counts_bounded(self, strassen_alg):
+        counts = left_factor_set_counts(strassen_alg)
+        assert len(counts) == 9
+        assert all(0 <= c <= 1 for c in counts)
+
+    def test_named_algorithms_saturate_every_set(self, strassen_alg, winograd_alg):
+        """Strassen and Winograd hit exactly one left factor in *all nine*
+        sets — consistent with t = 7 = 6 + 1 being minimal everywhere."""
+        assert left_factor_set_counts(strassen_alg) == [1] * 9
+        assert left_factor_set_counts(winograd_alg) == [1] * 9
+
+    def test_mod2_counting_stronger_than_proportional(self, corpus):
+        for alg in corpus[:8]:
+            strict = left_factor_set_counts(alg, mod2=True)
+            weak = left_factor_set_counts(alg, mod2=False)
+            assert all(s >= w for s, w in zip(strict, weak))
+
+    def test_no_zero_rows_mod2(self, corpus):
+        """Valid algorithms cannot have a mod-2-vanishing encoder row
+        (it would imply a 6-multiplication GF(2) algorithm)."""
+        for alg in corpus:
+            assert no_zero_rows_mod2(alg)
+
+    def test_rejects_wrong_base_case(self):
+        from repro.algorithms.classical import classical
+
+        with pytest.raises(ValueError):
+            left_factor_set_counts(classical(3))
+
+    def test_rejects_wrong_mult_count(self):
+        from repro.algorithms.classical import classical
+
+        with pytest.raises(ValueError):
+            check_hopcroft_kerr_consistency(classical(2))  # t = 8

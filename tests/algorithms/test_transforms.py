@@ -1,0 +1,125 @@
+"""Unit tests for the de Groote symmetry transforms and the corpus."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.brent import is_valid_algorithm
+from repro.algorithms.transforms import (
+    algorithm_corpus,
+    change_basis,
+    permute_products,
+    scale_products,
+    scale_products_asym,
+    transpose_symmetry,
+    unimodular_2x2,
+)
+
+
+class TestPermute:
+    def test_validity_preserved(self, strassen_alg):
+        alg = permute_products(strassen_alg, [6, 5, 4, 3, 2, 1, 0])
+        assert is_valid_algorithm(alg)
+
+    def test_identity_permutation(self, strassen_alg):
+        alg = permute_products(strassen_alg, list(range(7)))
+        assert np.array_equal(alg.U, strassen_alg.U)
+
+    def test_bad_permutation_rejected(self, strassen_alg):
+        with pytest.raises(ValueError):
+            permute_products(strassen_alg, [0, 0, 1, 2, 3, 4, 5])
+
+
+class TestScale:
+    def test_symmetric_signs_valid(self, strassen_alg):
+        alg = scale_products(strassen_alg, [-1, 1, -1, 1, -1, 1, -1])
+        assert is_valid_algorithm(alg)
+        assert np.array_equal(alg.W, strassen_alg.W)  # W untouched
+
+    def test_asymmetric_signs_valid(self, winograd_alg):
+        alg = scale_products_asym(winograd_alg, [-1] * 7)
+        assert is_valid_algorithm(alg)
+
+    def test_bad_signs_rejected(self, strassen_alg):
+        with pytest.raises(ValueError):
+            scale_products(strassen_alg, [2, 1, 1, 1, 1, 1, 1])
+
+
+class TestChangeBasis:
+    def test_identity_basis_noop(self, strassen_alg):
+        ident = np.eye(2, dtype=np.int64)
+        alg = change_basis(strassen_alg, ident, ident, ident)
+        assert np.array_equal(alg.U, strassen_alg.U)
+        assert np.array_equal(alg.W, strassen_alg.W)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_unimodular_valid(self, strassen_alg, seed):
+        rng = np.random.default_rng(seed)
+        unis = unimodular_2x2()
+        P, Q, R = (unis[rng.integers(len(unis))] for _ in range(3))
+        alg = change_basis(strassen_alg, P, Q, R)
+        assert is_valid_algorithm(alg)
+
+    def test_composition(self, winograd_alg):
+        unis = unimodular_2x2()
+        alg = change_basis(winograd_alg, unis[3], unis[10], unis[20])
+        alg = change_basis(alg, unis[7], unis[1], unis[14])
+        assert is_valid_algorithm(alg)
+
+    def test_numeric_correctness(self, strassen_alg, rng):
+        unis = unimodular_2x2()
+        alg = change_basis(strassen_alg, unis[5], unis[17], unis[30])
+        A = rng.integers(-5, 5, (8, 8))
+        B = rng.integers(-5, 5, (8, 8))
+        assert np.array_equal(alg.multiply(A, B), A @ B)
+
+
+class TestTranspose:
+    def test_validity(self, strassen_alg, winograd_alg):
+        assert is_valid_algorithm(transpose_symmetry(strassen_alg))
+        assert is_valid_algorithm(transpose_symmetry(winograd_alg))
+
+    def test_involution(self, strassen_alg):
+        twice = transpose_symmetry(transpose_symmetry(strassen_alg))
+        assert np.array_equal(twice.U, strassen_alg.U)
+        assert np.array_equal(twice.V, strassen_alg.V)
+        assert np.array_equal(twice.W, strassen_alg.W)
+
+
+class TestUnimodular:
+    def test_count_entries_le1(self):
+        # brute-countable fact: of the 3^4 = 81 sign matrices, exactly 40
+        # have determinant ±1 (16 with det 1 would double-count ±ones…
+        # the enumeration is the spec here)
+        mats = unimodular_2x2(1)
+        assert len(mats) == 40
+
+    def test_all_unimodular(self):
+        for m in unimodular_2x2(1):
+            det = m[0, 0] * m[1, 1] - m[0, 1] * m[1, 0]
+            assert det in (1, -1)
+
+
+class TestCorpus:
+    def test_corpus_size_and_validity(self, corpus):
+        assert len(corpus) == 24
+        for alg in corpus:
+            assert is_valid_algorithm(alg)
+
+    def test_corpus_distinct(self, corpus):
+        keys = {alg.canonical_key() for alg in corpus}
+        assert len(keys) == len(corpus)
+
+    def test_corpus_includes_named(self, corpus):
+        names = [alg.name for alg in corpus]
+        assert "strassen" in names
+        assert "winograd" in names
+
+    def test_corpus_deterministic(self):
+        c1 = algorithm_corpus(8, seed=3)
+        c2 = algorithm_corpus(8, seed=3)
+        assert [a.canonical_key() for a in c1] == [a.canonical_key() for a in c2]
+
+    def test_corpus_varies_with_seed(self):
+        c1 = algorithm_corpus(8, seed=1, include_named=False)
+        c2 = algorithm_corpus(8, seed=2, include_named=False)
+        assert {a.canonical_key() for a in c1} != {a.canonical_key() for a in c2}

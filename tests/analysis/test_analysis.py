@@ -1,0 +1,76 @@
+"""Unit tests for sweeps, crossover detection, and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.crossover import find_crossover
+from repro.analysis.fitting import sweep_parallel_comm, sweep_sequential_io
+from repro.analysis.report import text_table
+
+
+class TestSweeps:
+    def test_sequential_sweep_strassen(self, strassen_alg):
+        res = sweep_sequential_io(strassen_alg, [16, 32, 64], M=48)
+        assert len(res.measured) == 3
+        assert 2.0 < res.exponent < 3.1  # between n² staging and n³
+
+    def test_sequential_sweep_classical_baseline(self):
+        res = sweep_sequential_io(None, [16, 32, 64], M=48)
+        assert res.exponent == pytest.approx(3.0, abs=0.35)
+
+    def test_strassen_exponent_below_classical(self, strassen_alg):
+        fast = sweep_sequential_io(strassen_alg, [32, 64, 128], M=48)
+        classical = sweep_sequential_io(None, [32, 64, 128], M=48)
+        assert fast.exponent < classical.exponent  # who wins, asymptotically
+
+    def test_parallel_sweep(self, strassen_alg):
+        res = sweep_parallel_comm(strassen_alg, 16, [1, 7, 49])
+        assert res.parameter == "P"
+        assert len(res.measured) == 3
+
+
+class TestCrossover:
+    def test_exact_crossing(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        first = [8.0, 4.0, 2.0, 1.0]   # ~1/x
+        second = [3.0, 2.6, 2.2, 2.0]  # slowly decaying
+        x = find_crossover(xs, first, second)
+        assert 2.0 < x <= 4.0
+
+    def test_crossing_at_first_sample(self):
+        assert find_crossover([1, 2], [1, 1], [2, 2]) == 1.0
+
+    def test_no_crossing(self):
+        assert find_crossover([1, 2], [5, 5], [1, 1]) is None
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            find_crossover([1], [1], [1])
+
+    def test_analytic_bound_crossover(self):
+        """The formula crossover and the sampled crossover agree."""
+        from repro.bounds.formulas import (
+            fast_memory_independent,
+            fast_parallel,
+            parallel_crossover_P,
+        )
+
+        n, M = 1024, 1024
+        ps = [float(7 ** k) for k in range(9)]
+        md = [fast_parallel(n, M, p) for p in ps]
+        mi = [fast_memory_independent(n, p) for p in ps]
+        sampled = find_crossover(ps, md, mi)
+        assert sampled == pytest.approx(parallel_crossover_P(n, M), rel=0.05)
+
+
+class TestTextTable:
+    def test_renders_aligned(self):
+        out = text_table(["a", "bb"], [[1, 2.5], [10, 3.14159e7]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0]
+
+    def test_large_and_small_floats(self):
+        out = text_table(["x"], [[1e-9], [1e9], [0.0]])
+        assert "e" in out  # scientific notation used
+        assert "0" in out

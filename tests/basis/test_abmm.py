@@ -1,0 +1,72 @@
+"""Unit tests for Algorithm 1 (alternative basis matrix multiplication)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.brent import is_valid_algorithm
+from repro.basis.abmm import AlternativeBasisAlgorithm, abmm_multiply
+from repro.basis.ks import KS_NU, KS_PHI, KS_PSI, karstadt_schwartz
+
+
+class TestConstruction:
+    def test_ks_constructs(self, ks_alg):
+        assert ks_alg.core.t == 7
+
+    def test_folded_is_valid_plain_algorithm(self, ks_alg):
+        assert is_valid_algorithm(ks_alg.plain())
+
+    def test_wrong_transform_rejected(self, ks_alg):
+        bad = np.eye(4, dtype=np.int64)
+        with pytest.raises(ValueError):
+            AlternativeBasisAlgorithm(core=ks_alg.core, phi=bad, psi=KS_PSI, nu=KS_NU)
+
+    def test_bad_shapes_rejected(self, ks_alg):
+        with pytest.raises(ValueError):
+            AlternativeBasisAlgorithm(
+                core=ks_alg.core, phi=np.eye(3), psi=KS_PSI, nu=KS_NU
+            )
+
+    def test_folded_equals_winograd_cost_class(self, ks_alg):
+        """Folded algorithm has the same products up to basis — still t=7."""
+        folded = ks_alg.plain()
+        assert folded.t == 7
+        assert folded.signature() == "<2,2,2;7>"
+
+
+class TestMultiply:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_integer_exactness(self, ks_alg, rng, n):
+        A = rng.integers(-9, 9, (n, n))
+        B = rng.integers(-9, 9, (n, n))
+        assert np.array_equal(abmm_multiply(ks_alg, A, B), A @ B)
+
+    @pytest.mark.parametrize("base", [1, 2, 4, 8])
+    def test_base_size_variants(self, ks_alg, rng, base):
+        A = rng.integers(-9, 9, (16, 16))
+        B = rng.integers(-9, 9, (16, 16))
+        assert np.array_equal(abmm_multiply(ks_alg, A, B, base_size=base), A @ B)
+
+    def test_float_accuracy(self, ks_alg, rng):
+        A = rng.standard_normal((32, 32))
+        B = rng.standard_normal((32, 32))
+        assert np.allclose(abmm_multiply(ks_alg, A, B), A @ B)
+
+    def test_method_alias(self, ks_alg, rng):
+        A = rng.integers(-4, 4, (8, 8))
+        B = rng.integers(-4, 4, (8, 8))
+        assert np.array_equal(ks_alg.multiply(A, B), A @ B)
+
+
+class TestLeadingCoefficient:
+    def test_ks_has_12_additions(self, ks_alg):
+        assert ks_alg.linear_op_count()["total"] == 12
+
+    def test_ks_beats_winograd_and_strassen(self, ks_alg, winograd_alg, strassen_alg):
+        ks = ks_alg.linear_op_count()["total"]
+        assert ks < strassen_alg.linear_op_count()["total"]  # 12 < 18
+
+    def test_arithmetic_leading_coefficient_formula(self, ks_alg):
+        """additions q per level → coefficient 1 + (q/4)/(3/4); 12 → 5."""
+        q = ks_alg.linear_op_count()["total"]
+        coeff = 1 + (q / 4) / (3 / 4)
+        assert coeff == pytest.approx(5.0)

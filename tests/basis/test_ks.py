@@ -1,0 +1,47 @@
+"""Unit tests for the frozen Karstadt–Schwartz constants."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.algorithms.brent import is_valid_algorithm
+from repro.algorithms.winograd import winograd
+from repro.basis.ks import KS_NU, KS_PHI, KS_PSI, KS_U, KS_V, KS_W, karstadt_schwartz
+
+
+class TestFrozenConstants:
+    def test_transforms_unimodular(self):
+        for m in (KS_PHI, KS_PSI, KS_NU):
+            det = round(float(np.linalg.det(m)))
+            assert det in (1, -1)
+
+    def test_core_addition_budget(self):
+        """3 + 3 + 6 = 12 additions (the KS optimum)."""
+        def cost(mat):
+            return int(np.sum(np.maximum(np.count_nonzero(mat, axis=-1) - 1, 0)))
+
+        assert cost(KS_U) == 3
+        assert cost(KS_V) == 3
+        assert cost(KS_W) == 6
+
+    def test_folded_against_winograd_products(self):
+        """Folding the transforms back yields a valid plain algorithm."""
+        alt = karstadt_schwartz()
+        folded = alt.plain()
+        assert is_valid_algorithm(folded)
+
+    def test_identity_relation_to_some_plain_algorithm(self):
+        """U′Φ, V′Ψ, Ν⁻¹W′ is valid — the ⟨2,2,2;7⟩_{φ,ψ,ν} definition."""
+        core = BilinearAlgorithm("ks-core", 2, 2, 2, KS_U, KS_V, KS_W)
+        # the core itself does NOT compute matmul (it needs the transforms)
+        assert not is_valid_algorithm(core)
+
+    def test_transform_sparsity_fast(self):
+        """≤ 2 non-zeros per row of the scanned inverses keeps transforms fast."""
+        alt = karstadt_schwartz()
+        # forward transforms (applied to A and B) and inverse of ν must all
+        # be evaluable in O(1) additions per entry: bounded nnz per row
+        from repro.basis.transform import invert_base_transform
+
+        for m in (KS_PHI, KS_PSI, invert_base_transform(KS_NU)):
+            assert np.count_nonzero(m) <= 10

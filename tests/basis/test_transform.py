@@ -1,0 +1,88 @@
+"""Unit tests for recursive basis transforms."""
+
+import numpy as np
+import pytest
+
+from repro.basis.ks import KS_NU, KS_PHI, KS_PSI
+from repro.basis.transform import (
+    basis_transform_io_model,
+    invert_base_transform,
+    recursive_basis_transform,
+)
+
+
+class TestInvert:
+    def test_ks_transforms_unimodular(self):
+        for m in (KS_PHI, KS_PSI, KS_NU):
+            inv = invert_base_transform(m)
+            assert np.array_equal(m @ inv, np.eye(4, dtype=np.int64))
+
+    def test_singular_raises(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            invert_base_transform(np.ones((4, 4), dtype=np.int64))
+
+
+class TestRecursiveTransform:
+    def test_identity_is_noop(self, rng):
+        A = rng.standard_normal((8, 8))
+        out = recursive_basis_transform(A, np.eye(4, dtype=np.int64))
+        assert np.allclose(out, A)
+
+    def test_linearity(self, rng):
+        A = rng.standard_normal((8, 8))
+        B = rng.standard_normal((8, 8))
+        t = lambda X: recursive_basis_transform(X, KS_PHI)
+        assert np.allclose(t(2 * A + 3 * B), 2 * t(A) + 3 * t(B))
+
+    def test_inverse_roundtrip(self, rng):
+        A = rng.standard_normal((16, 16))
+        fwd = recursive_basis_transform(A, KS_PHI)
+        back = recursive_basis_transform(fwd, invert_base_transform(KS_PHI))
+        assert np.allclose(back, A)
+
+    def test_single_level_matches_block_mix(self, rng):
+        """At n = 2 the transform is exactly the 4×4 matrix on the entries."""
+        A = rng.standard_normal((2, 2))
+        out = recursive_basis_transform(A, KS_PSI)
+        expected = (KS_PSI @ A.reshape(4)).reshape(2, 2)
+        assert np.allclose(out, expected)
+
+    def test_stop_size_truncates(self, rng):
+        A = rng.standard_normal((8, 8))
+        full = recursive_basis_transform(A, KS_PHI, stop_size=1)
+        shallow = recursive_basis_transform(A, KS_PHI, stop_size=4)
+        assert not np.allclose(full, shallow)
+        # shallow = one level only at the top
+        h = 4
+        blocks = A.reshape(2, h, 2, h).swapaxes(1, 2).reshape(4, h, h)
+        mixed = np.tensordot(KS_PHI, blocks, axes=([1], [0]))
+        expected = mixed.reshape(2, 2, h, h).swapaxes(1, 2).reshape(8, 8)
+        assert np.allclose(shallow, expected)
+
+    def test_rejects_non_power_of_two(self, rng):
+        with pytest.raises(ValueError):
+            recursive_basis_transform(rng.standard_normal((6, 6)), KS_PHI)
+
+    def test_rejects_bad_phi_shape(self, rng):
+        with pytest.raises(ValueError):
+            recursive_basis_transform(rng.standard_normal((4, 4)), np.eye(3))
+
+    def test_kron_structure(self, rng):
+        """φ_rec on n=4 equals (φ ⊗ φ) in the recursive block ordering."""
+        A = rng.standard_normal((4, 4))
+        out = recursive_basis_transform(A, KS_PHI)
+        # manual: top-level mix then per-block mix
+        blocks = A.reshape(2, 2, 2, 2).swapaxes(1, 2).reshape(4, 2, 2)
+        mixed = np.tensordot(KS_PHI, blocks, axes=([1], [0]))
+        mixed = np.stack(
+            [(KS_PHI @ m.reshape(4)).reshape(2, 2) for m in mixed]
+        )
+        expected = mixed.reshape(2, 2, 2, 2).swapaxes(1, 2).reshape(4, 4)
+        assert np.allclose(out, expected)
+
+
+class TestIOModel:
+    def test_n2_logn_growth(self):
+        lo = basis_transform_io_model(64, 16, 2)
+        hi = basis_transform_io_model(128, 16, 2)
+        assert hi / lo == pytest.approx((128 / 64) ** 2 * (7 / 6), rel=0.01)

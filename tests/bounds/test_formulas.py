@@ -1,0 +1,112 @@
+"""Unit tests for the lower-bound formulas."""
+
+import math
+
+import pytest
+
+from repro.bounds.formulas import (
+    OMEGA0_STRASSEN,
+    classical_memory_independent,
+    classical_parallel,
+    classical_sequential,
+    dfs_io_leading_coefficient,
+    fast_memory_independent,
+    fast_parallel,
+    fast_sequential,
+    fft_bound_independent,
+    fft_bound_memory,
+    parallel_crossover_P,
+    parallel_max_bound,
+    rectangular_bound,
+)
+
+
+class TestSequential:
+    def test_classical_value(self):
+        # (1024/32)³·1024 = 32³·1024
+        assert classical_sequential(1024, 1024) == 32 ** 3 * 1024
+
+    def test_fast_value(self):
+        assert fast_sequential(64, 16) == pytest.approx((64 / 4) ** OMEGA0_STRASSEN * 16)
+
+    def test_fast_reduces_to_classical_shape_at_omega3(self):
+        assert fast_sequential(64, 16, omega0=3.0) == classical_sequential(64, 16)
+
+    def test_fast_below_classical(self):
+        """log₂7 < 3 ⇒ the fast bound is lower — Strassen may beat classical."""
+        assert fast_sequential(512, 64) < classical_sequential(512, 64)
+
+    def test_monotone_in_n(self):
+        assert fast_sequential(128, 16) > fast_sequential(64, 16)
+
+    def test_decreasing_in_m(self):
+        """More cache, less I/O required: M^{1−ω₀/2} decreasing."""
+        assert fast_sequential(1024, 256) < fast_sequential(1024, 16)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            fast_sequential(0, 16)
+        with pytest.raises(ValueError):
+            classical_sequential(16, -1)
+
+
+class TestParallel:
+    def test_memory_dependent_divides_by_p(self):
+        assert fast_parallel(64, 16, 4) == fast_sequential(64, 16) / 4
+
+    def test_memory_independent_values(self):
+        assert classical_memory_independent(100, 8) == pytest.approx(100 * 100 / 4)
+        assert fast_memory_independent(64, 49) == pytest.approx(
+            64 * 64 / 49 ** (2 / OMEGA0_STRASSEN)
+        )
+
+    def test_max_bound_switches(self):
+        n, M = 1024, 1024
+        p_star = parallel_crossover_P(n, M)
+        below = parallel_max_bound(n, M, p_star / 4)
+        assert below == fast_parallel(n, M, p_star / 4)
+        above = parallel_max_bound(n, M, p_star * 4)
+        assert above == fast_memory_independent(n, p_star * 4)
+
+    def test_crossover_is_fixed_point(self):
+        n, M = 1024, 1024
+        p_star = parallel_crossover_P(n, M)
+        assert fast_parallel(n, M, p_star) == pytest.approx(
+            fast_memory_independent(n, p_star), rel=1e-9
+        )
+
+    def test_crossover_known_value(self):
+        """n² = M ⇒ P* = ((√M)^{ω₀−2}·M/M)^{ω₀/(ω₀−2)} = M^{ω₀/2} = 7^5."""
+        assert parallel_crossover_P(1024, 1024) == pytest.approx(7 ** 5, rel=1e-9)
+
+
+class TestOtherRows:
+    def test_rectangular_classical_instance(self):
+        # ⟨2,2,2;8⟩: log₄8 = 1.5 → exponent 0.5
+        val = rectangular_bound(8, 3, 2, 2, M=16, P=1)
+        assert val == pytest.approx(8 ** 3 / 16 ** 0.5)
+
+    def test_rectangular_invalid(self):
+        with pytest.raises(ValueError):
+            rectangular_bound(1, 3, 2, 2, 16)
+
+    def test_fft_memory(self):
+        assert fft_bound_memory(1024, 16) == pytest.approx(1024 * 10 / 4)
+
+    def test_fft_memory_independent(self):
+        assert fft_bound_independent(1024, 4) == pytest.approx(1024 * 10 / (4 * 8))
+
+    def test_fft_guards(self):
+        with pytest.raises(ValueError):
+            fft_bound_memory(16, 1)
+        with pytest.raises(ValueError):
+            fft_bound_independent(16, 8)  # n/P = 2
+
+
+class TestLeadingCoefficient:
+    def test_positive_and_reasonable(self):
+        kappa = dfs_io_leading_coefficient(19, 7)  # Strassen stream counts
+        assert 1.0 < kappa < 20.0
+
+    def test_monotone_in_linear_work(self):
+        assert dfs_io_leading_coefficient(24, 7) > dfs_io_leading_coefficient(19, 7)

@@ -1,0 +1,86 @@
+"""Tests: exact I/O models match the deterministic executors to the word."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import strassen, winograd
+from repro.basis import karstadt_schwartz
+from repro.bounds.io_models import (
+    abmm_transform_io_model,
+    recursive_fast_io_model,
+    tiled_classical_io_model,
+)
+from repro.execution import recursive_fast_matmul, tiled_matmul
+from repro.execution.abmm_exec import machine_basis_transform
+from repro.machine import SequentialMachine
+
+
+class TestExactModels:
+    @pytest.mark.parametrize("n,M", [(16, 48), (32, 48), (32, 192), (64, 108)])
+    def test_tiled_model_exact(self, rng, n, M):
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        machine = SequentialMachine(M)
+        tiled_matmul(machine, A, B)
+        assert tiled_classical_io_model(n, M) == machine.io_operations
+
+    @pytest.mark.parametrize("n,M", [(16, 48), (32, 48), (64, 192)])
+    def test_recursive_model_exact_strassen(self, strassen_alg, rng, n, M):
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        machine = SequentialMachine(M)
+        recursive_fast_matmul(machine, strassen_alg, A, B)
+        assert recursive_fast_io_model(strassen_alg, n, M) == machine.io_operations
+
+    def test_recursive_model_exact_winograd(self, winograd_alg, rng):
+        machine = SequentialMachine(48)
+        A = rng.standard_normal((32, 32))
+        B = rng.standard_normal((32, 32))
+        recursive_fast_matmul(machine, winograd_alg, A, B)
+        assert recursive_fast_io_model(winograd_alg, 32, 48) == machine.io_operations
+
+    def test_recursive_model_with_base_cap(self, strassen_alg, rng):
+        machine = SequentialMachine(10_000)
+        A = rng.standard_normal((16, 16))
+        B = rng.standard_normal((16, 16))
+        recursive_fast_matmul(machine, strassen_alg, A, B, base_size=4)
+        assert (
+            recursive_fast_io_model(strassen_alg, 16, 10_000, base_size=4)
+            == machine.io_operations
+        )
+
+    def test_transform_model_exact(self, ks_alg, rng):
+        n = 32
+        machine = SequentialMachine(48)
+        machine.place_input("A", rng.standard_normal((n, n)))
+        machine_basis_transform(machine, "A", "At", n, ks_alg.phi, 1)
+        assert abmm_transform_io_model(n, 1, ks_alg.phi) == machine.io_operations
+
+
+class TestModelProperties:
+    def test_tiled_model_scaling(self):
+        """With b fixed by M, doubling n multiplies reads by 8 exactly."""
+        io32 = tiled_classical_io_model(32, 48)
+        io64 = tiled_classical_io_model(64, 48)
+        # reads ×8, writes ×4
+        assert io64 > 7 * io32 / 1.2
+
+    def test_recursive_model_t_growth(self, strassen_alg):
+        """Doubling n multiplies I/O by ~7 (converging from above: the
+        linear Θ(n²) terms decay relative to the t-fold recursion)."""
+        io = [recursive_fast_io_model(strassen_alg, n, 48) for n in (32, 64, 128, 256)]
+        ratios = [io[i + 1] / io[i] for i in range(3)]
+        assert all(6.9 < r < 7.7 for r in ratios)
+        assert ratios == sorted(ratios, reverse=True)  # converging toward 7
+
+    def test_strassen_model_below_winograd(self, strassen_alg, winograd_alg):
+        """nnz(U,V,W) is lower for Strassen ⇒ less streamed I/O per level."""
+        assert recursive_fast_io_model(strassen_alg, 64, 48) < recursive_fast_io_model(
+            winograd_alg, 64, 48
+        )
+
+    def test_rectangular_model_rejected(self):
+        from repro.algorithms.classical import classical
+
+        with pytest.raises(ValueError):
+            recursive_fast_io_model(classical(2, 3, 4), 8, 48)

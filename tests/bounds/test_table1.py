@@ -1,0 +1,66 @@
+"""Unit tests for the Table I registry."""
+
+import math
+
+import pytest
+
+from repro.bounds.table1 import TABLE1_ROWS, evaluate_table1, format_table1
+
+
+class TestRegistry:
+    def test_six_rows_as_in_paper(self):
+        assert len(TABLE1_ROWS) == 6
+
+    def test_row_names(self):
+        names = [r.algorithm for r in TABLE1_ROWS]
+        assert names[0].startswith("Classic")
+        assert names[1].startswith("Strassen")
+        assert "2×2 base case" in names[2]
+        assert "general base case" in names[3]
+        assert "Rectangular" in names[4]
+        assert "Fourier" in names[5]
+
+    def test_here_markers_on_contribution_rows(self):
+        """The paper's own results are rows 2 and 3 ('[here]')."""
+        assert "[here]" in TABLE1_ROWS[1].with_recomputation
+        assert TABLE1_ROWS[2].with_recomputation.count("[here]") == 2
+
+    def test_classical_recomputation_not_relevant(self):
+        assert "Not relevant" in TABLE1_ROWS[0].with_recomputation
+
+    def test_open_rows_marked(self):
+        assert "open" in TABLE1_ROWS[3].with_recomputation
+        assert "open" in TABLE1_ROWS[4].with_recomputation
+
+
+class TestEvaluation:
+    def test_all_rows_evaluate(self):
+        rows = evaluate_table1(n=1024, M=1024, P=49)
+        assert len(rows) == 6
+        for row in rows:
+            for name, value in row["bounds"].items():
+                assert value > 0 or math.isnan(value)
+
+    def test_strassen_below_classical(self):
+        rows = evaluate_table1(n=1024, M=256, P=1)
+        classical = list(rows[0]["bounds"].values())[0]
+        strassen = list(rows[1]["bounds"].values())[0]
+        assert strassen < classical
+
+    def test_rows_2_and_3_identical_bounds(self):
+        """'Other fast 2×2' carries the same formulas as Strassen's row."""
+        rows = evaluate_table1(n=512, M=64, P=7)
+        assert list(rows[1]["bounds"].values()) == list(rows[2]["bounds"].values())
+
+
+class TestFormatting:
+    def test_format_contains_all_rows(self):
+        text = format_table1()
+        for row in TABLE1_ROWS:
+            assert row.algorithm in text
+
+    def test_format_contains_citations(self):
+        text = format_table1()
+        assert "[here]" in text
+        assert "[10]" in text
+        assert "[22]" in text

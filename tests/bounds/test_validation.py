@@ -1,0 +1,65 @@
+"""Unit tests for measured-vs-bound validation helpers."""
+
+import math
+
+import pytest
+
+from repro.bounds.validation import ShapeReport, bound_respected, fit_exponent, shape_report
+
+
+class TestFitExponent:
+    def test_exact_power_law(self):
+        xs = [2, 4, 8, 16]
+        ys = [x ** 2.5 for x in xs]
+        assert fit_exponent(xs, ys) == pytest.approx(2.5)
+
+    def test_constant_factor_irrelevant(self):
+        xs = [2, 4, 8]
+        ys = [17 * x ** 3 for x in xs]
+        assert fit_exponent(xs, ys) == pytest.approx(3.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_exponent([2], [4])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            fit_exponent([1, 2], [0, 4])
+
+
+class TestBoundRespected:
+    def test_above(self):
+        assert bound_respected(100, 50, constant=1.0)
+
+    def test_below(self):
+        assert not bound_respected(10, 50, constant=1.0)
+
+    def test_default_tolerant_constant(self):
+        assert bound_respected(1, 1e6)  # Ω up to tiny constants
+
+
+class TestShapeReport:
+    def make(self) -> ShapeReport:
+        xs = [4, 8, 16]
+        bound = [x ** 2 for x in xs]
+        measured = [3 * x ** 2 for x in xs]
+        return shape_report(xs, measured, bound)
+
+    def test_exponents_match(self):
+        rep = self.make()
+        assert rep.fitted_exponent == pytest.approx(rep.bound_exponent)
+        assert rep.exponent_error < 1e-9
+
+    def test_ratios(self):
+        rep = self.make()
+        assert rep.min_ratio == pytest.approx(3.0)
+        assert rep.never_below
+        assert rep.constant_factor_spread == pytest.approx(1.0)
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            shape_report([1, 2], [1], [1, 2])
+
+    def test_below_flag(self):
+        rep = shape_report([2, 4], [1, 2], [10, 20])
+        assert not rep.never_below

@@ -1,0 +1,48 @@
+"""Unit tests for CDAG slicing (ancestor closure)."""
+
+import pytest
+
+from repro.cdag.base import base_case_cdag
+from repro.cdag.families import binary_tree_cdag, diamond_chain_cdag
+
+
+class TestAncestorClosure:
+    def test_slice_keeps_exact_ancestry(self, strassen_alg):
+        base = base_case_cdag(strassen_alg, style="tree")
+        c12 = base.ancestor_closure([base.outputs[1]])
+        # C12 = M3 + M5: A11, A12, B12, B22 are the only inputs involved
+        assert len(c12.inputs) == 4
+        assert len(c12.outputs) == 1
+        assert c12.num_vertices == 14
+
+    def test_slice_validates(self, strassen_alg):
+        base = base_case_cdag(strassen_alg)
+        piece = base.ancestor_closure([base.outputs[0]])
+        piece.validate()
+
+    def test_full_outputs_is_whole_reachable_graph(self, strassen_alg):
+        base = base_case_cdag(strassen_alg)
+        whole = base.ancestor_closure(base.outputs)
+        assert whole.num_vertices == base.num_vertices
+        assert whole.num_edges == base.num_edges
+
+    def test_tree_leaf_slice(self):
+        c = binary_tree_cdag(3)
+        root = c.outputs[0]
+        piece = c.ancestor_closure([root])
+        assert piece.num_vertices == c.num_vertices  # root depends on all
+
+    def test_intermediate_slice(self):
+        c = diamond_chain_cdag(4)
+        # slicing at an internal vertex: it becomes the sole output
+        mid = c.internal_vertices()[0]
+        piece = c.ancestor_closure([mid])
+        assert piece.outputs == [piece.num_vertices - 1] or len(piece.outputs) == 1
+        piece.validate()
+
+    def test_disjoint_outputs_disjoint_slices(self, strassen_alg):
+        base = base_case_cdag(strassen_alg, style="tree")
+        c12 = base.ancestor_closure([base.outputs[1]])
+        c21 = base.ancestor_closure([base.outputs[2]])
+        # C12 uses {A11,A12,B12,B22}; C21 uses {A21,A22,B11,B21}: same sizes
+        assert c12.num_vertices == c21.num_vertices

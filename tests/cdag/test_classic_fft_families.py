@@ -1,0 +1,103 @@
+"""Unit tests for classical-matmul, FFT, and synthetic family CDAGs."""
+
+import pytest
+
+from repro.cdag.classic_mm import classical_mm_cdag
+from repro.cdag.families import (
+    binary_tree_cdag,
+    diamond_chain_cdag,
+    grid_cdag,
+    inverted_binary_tree_cdag,
+    recompute_wins_cdag,
+)
+from repro.cdag.fft import fft_cdag
+
+
+class TestClassicalCDAG:
+    def test_census(self):
+        c = classical_mm_cdag(3)
+        # 2·9 inputs + 27 mults + 9·2 additions + outputs folded in
+        assert len(c.inputs) == 18
+        assert len(c.outputs) == 9
+        assert c.max_fan_in() == 2
+
+    def test_vertex_count_formula(self):
+        n = 4
+        c = classical_mm_cdag(n)
+        # 2n² inputs + n³ mults + n²(n−1) additions
+        assert c.num_vertices == 2 * n * n + n ** 3 + n * n * (n - 1)
+
+    def test_no_internal_fanout_above_inputs(self):
+        """Every internal vertex is used once — recomputation is pointless
+        (the paper's footnote 1)."""
+        c = classical_mm_cdag(3)
+        for v in c.graph.vertices():
+            if not c.is_input(v):
+                assert c.graph.out_degree(v) <= 1
+
+    def test_n1(self):
+        c = classical_mm_cdag(1)
+        assert c.num_vertices == 3  # a, b, a·b
+
+
+class TestFFT:
+    def test_census(self):
+        c = fft_cdag(8)
+        assert len(c.inputs) == 8
+        assert len(c.outputs) == 8
+        assert c.num_vertices == 8 * 4  # (log2 8 + 1) levels × 8
+
+    def test_fan_in_exactly_two(self):
+        c = fft_cdag(16)
+        for v in c.graph.vertices():
+            if not c.is_input(v):
+                assert c.graph.in_degree(v) == 2
+
+    def test_every_output_depends_on_every_input(self):
+        import networkx as nx
+
+        c = fft_cdag(8)
+        g = c.graph.to_networkx()
+        for o in c.outputs:
+            ancestors = nx.ancestors(g, o)
+            assert set(c.inputs) <= ancestors
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            fft_cdag(12)
+
+
+class TestFamilies:
+    def test_binary_tree(self):
+        c = binary_tree_cdag(4)
+        assert len(c.inputs) == 16
+        assert len(c.outputs) == 1
+        assert c.num_vertices == 31
+
+    def test_inverted_tree(self):
+        c = inverted_binary_tree_cdag(4)
+        assert len(c.inputs) == 1
+        assert len(c.outputs) == 16
+
+    def test_diamond(self):
+        c = diamond_chain_cdag(5)
+        assert c.num_vertices == 1 + 3 * 5
+        c.validate()
+
+    def test_grid(self):
+        c = grid_cdag(4, 5)
+        assert c.num_vertices == 20
+        assert c.max_fan_in() == 2
+
+    def test_recompute_gadget_structure(self):
+        c = recompute_wins_cdag(2, 2)
+        c.validate()
+        assert len(c.outputs) == 4  # o_i and p_i per gadget
+        assert c.max_fan_in() == 2
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_families_reject_bad_sizes(self, bad):
+        with pytest.raises((ValueError, TypeError)):
+            binary_tree_cdag(bad)
+        with pytest.raises((ValueError, TypeError)):
+            grid_cdag(bad, 2)

@@ -1,0 +1,83 @@
+"""Unit tests for the CDAG container."""
+
+import pytest
+
+from repro.cdag.core import CDAG, VertexKind
+from repro.graphs.digraph import DiGraph
+
+
+def tiny() -> CDAG:
+    g = DiGraph()
+    g.add_vertices(4)
+    g.add_edges([(0, 2), (1, 2), (2, 3)])
+    return CDAG(g, [0, 1], [3], name="tiny")
+
+
+class TestConstruction:
+    def test_kinds(self):
+        c = tiny()
+        assert c.kind(0) is VertexKind.INPUT
+        assert c.kind(2) is VertexKind.INTERNAL
+        assert c.kind(3) is VertexKind.OUTPUT
+
+    def test_census(self):
+        c = tiny()
+        assert c.census() == {
+            "vertices": 4, "edges": 3, "inputs": 2, "outputs": 1,
+            "internal": 1, "max_fan_in": 2,
+        }
+
+    def test_input_with_predecessor_rejected(self):
+        g = DiGraph()
+        g.add_vertices(2)
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            CDAG(g, [1], [0])
+
+    def test_duplicate_inputs_rejected(self):
+        g = DiGraph()
+        g.add_vertices(2)
+        with pytest.raises(ValueError):
+            CDAG(g, [0, 0], [1])
+
+    def test_duplicate_outputs_rejected(self):
+        g = DiGraph()
+        g.add_vertices(2)
+        with pytest.raises(ValueError):
+            CDAG(g, [0], [1, 1])
+
+    def test_cyclic_rejected(self):
+        g = DiGraph()
+        g.add_vertices(2)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        with pytest.raises(ValueError):
+            CDAG(g, [], [0])
+
+    def test_output_may_be_input(self):
+        g = DiGraph()
+        g.add_vertex()
+        c = CDAG(g, [0], [0])
+        assert c.kind(0) is VertexKind.INPUT  # input classification wins
+
+
+class TestQueries:
+    def test_internal_vertices(self):
+        assert tiny().internal_vertices() == [2]
+
+    def test_topological_order_valid(self):
+        order = tiny().topological_order()
+        assert order.index(0) < order.index(2) < order.index(3)
+
+    def test_validate_passes(self):
+        tiny().validate()
+
+    def test_validate_catches_undesignated_source(self):
+        g = DiGraph()
+        g.add_vertices(2)
+        g.add_edge(0, 1)
+        c = CDAG(g, [0], [1])
+        # add an orphan source after construction
+        g.add_vertex()
+        with pytest.raises(AssertionError):
+            c.validate()

@@ -1,0 +1,72 @@
+"""Unit tests for encoder/decoder CDAG builders (Figure 2 objects)."""
+
+import numpy as np
+import pytest
+
+from repro.cdag.decoder import decoder_cdag
+from repro.cdag.encoder import encoder_bipartite_adjacency, encoder_cdag
+
+
+class TestBipartiteAdjacency:
+    def test_strassen_a(self, strassen_alg):
+        adj = encoder_bipartite_adjacency(strassen_alg.U)
+        assert adj == strassen_alg.encoder_adjacency("A")
+
+    def test_edge_count_is_nnz(self, winograd_alg):
+        adj = encoder_bipartite_adjacency(winograd_alg.U)
+        assert sum(len(a) for a in adj) == np.count_nonzero(winograd_alg.U)
+
+
+class TestEncoderCDAG:
+    def test_bipartite_structure(self, strassen_alg):
+        enc = encoder_cdag(strassen_alg.U)
+        assert len(enc.inputs) == 4
+        assert len(enc.outputs) == 7
+        # bipartite: edges = nnz(U)
+        assert enc.num_edges == np.count_nonzero(strassen_alg.U)
+
+    def test_tree_structure_fan_in(self, strassen_alg):
+        enc = encoder_cdag(strassen_alg.U, style="tree")
+        assert enc.max_fan_in() <= 2
+
+    def test_tree_and_bipartite_same_io_counts(self, winograd_alg):
+        b = encoder_cdag(winograd_alg.U)
+        t = encoder_cdag(winograd_alg.U, style="tree")
+        assert len(b.inputs) == len(t.inputs)
+        assert len(b.outputs) == len(t.outputs)
+
+    def test_tree_has_copy_vertices_for_singletons(self, strassen_alg):
+        """Rows with one operand still yield a distinct output vertex."""
+        t = encoder_cdag(strassen_alg.U, style="tree")
+        for out in t.outputs:
+            assert out not in t.inputs
+
+    def test_unknown_style_rejected(self, strassen_alg):
+        with pytest.raises(ValueError):
+            encoder_cdag(strassen_alg.U, style="weird")
+
+    def test_output_order_matches_rows(self, strassen_alg):
+        enc = encoder_cdag(strassen_alg.U)
+        # y_l depends exactly on the non-zeros of row l
+        for l, y in enumerate(enc.outputs):
+            preds = sorted(enc.graph.predecessors(y))
+            expected = sorted(
+                enc.inputs[q] for q in np.nonzero(strassen_alg.U[l])[0]
+            )
+            assert preds == expected
+
+
+class TestDecoderCDAG:
+    def test_strassen_decoder(self, strassen_alg):
+        dec = decoder_cdag(strassen_alg.W)
+        assert len(dec.inputs) == 7
+        assert len(dec.outputs) == 4
+        assert dec.num_edges == np.count_nonzero(strassen_alg.W)
+
+    def test_tree_fan_in(self, strassen_alg):
+        dec = decoder_cdag(strassen_alg.W, style="tree")
+        assert dec.max_fan_in() <= 2
+
+    def test_unknown_style_rejected(self, strassen_alg):
+        with pytest.raises(ValueError):
+            decoder_cdag(strassen_alg.W, style="x")

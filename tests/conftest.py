@@ -1,0 +1,61 @@
+"""Shared fixtures: algorithms, corpora, and CDAGs built once per session.
+
+The recursive CDAGs and the de Groote corpus are the expensive shared
+objects; building them per-test would dominate suite runtime, and they are
+immutable, so session scope is safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import algorithm_corpus, classical, strassen, winograd
+from repro.basis import karstadt_schwartz
+from repro.cdag import build_recursive_cdag
+
+
+@pytest.fixture(scope="session")
+def strassen_alg():
+    return strassen()
+
+
+@pytest.fixture(scope="session")
+def winograd_alg():
+    return winograd()
+
+
+@pytest.fixture(scope="session")
+def classical_alg():
+    return classical(2)
+
+
+@pytest.fixture(scope="session")
+def ks_alg():
+    return karstadt_schwartz()
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """24 distinct valid ⟨2,2,2;7⟩ algorithms from the de Groote orbit."""
+    return algorithm_corpus(count=24, seed=7)
+
+
+@pytest.fixture(scope="session")
+def H4(strassen_alg):
+    return build_recursive_cdag(strassen_alg, 4)
+
+
+@pytest.fixture(scope="session")
+def H8(strassen_alg):
+    return build_recursive_cdag(strassen_alg, 8)
+
+
+@pytest.fixture(scope="session")
+def H8_tree(strassen_alg):
+    return build_recursive_cdag(strassen_alg, 8, style="tree")
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,90 @@
+"""Unit tests for the out-of-core ABMM execution (Theorem 4.1's numbers)."""
+
+import numpy as np
+import pytest
+
+from repro.basis.transform import recursive_basis_transform
+from repro.execution.abmm_exec import abmm_machine_multiply, machine_basis_transform
+from repro.machine.sequential import SequentialMachine
+
+
+class TestMachineTransform:
+    def test_matches_in_memory_transform(self, ks_alg, rng):
+        n = 16
+        A = rng.standard_normal((n, n))
+        m = SequentialMachine(M=64)
+        m.place_input("A", A)
+        machine_basis_transform(m, "A", "At", n, ks_alg.phi, 1)
+        expected = recursive_basis_transform(A, ks_alg.phi)
+        assert np.allclose(m.slow["At"], expected)
+
+    def test_stop_size(self, ks_alg, rng):
+        n = 16
+        A = rng.standard_normal((n, n))
+        m = SequentialMachine(M=64)
+        m.place_input("A", A)
+        machine_basis_transform(m, "A", "At", n, ks_alg.phi, 4)
+        expected = recursive_basis_transform(A, ks_alg.phi, stop_size=4)
+        assert np.allclose(m.slow["At"], expected)
+
+    def test_io_n2_logn(self, ks_alg, rng):
+        """Transform I/O grows as n²·log n, not n^{ω₀}."""
+        ios = []
+        for n in (16, 32, 64):
+            m = SequentialMachine(M=64)
+            m.place_input("A", rng.standard_normal((n, n)))
+            machine_basis_transform(m, "A", "At", n, ks_alg.phi, 1)
+            ios.append(m.io_operations / (n * n * np.log2(n)))
+        # normalized values stay within a constant band
+        assert max(ios) / min(ios) < 1.5
+
+    def test_capacity_respected(self, ks_alg, rng):
+        m = SequentialMachine(M=12)
+        m.place_input("A", rng.standard_normal((16, 16)))
+        machine_basis_transform(m, "A", "At", 16, ks_alg.phi, 1)
+        assert m.peak_fast_words <= 12
+
+
+class TestABMMExecution:
+    @pytest.mark.parametrize("n,M", [(16, 192), (32, 48), (64, 48)])
+    def test_correct_product(self, ks_alg, rng, n, M):
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        m = SequentialMachine(M)
+        C, phases = abmm_machine_multiply(m, ks_alg, A, B)
+        assert np.allclose(C, A @ B)
+        assert phases["io_total"] == pytest.approx(m.io_operations)
+
+    def test_phase_split_sums(self, ks_alg, rng):
+        m = SequentialMachine(192)
+        C, p = abmm_machine_multiply(m, ks_alg, rng.standard_normal((32, 32)), rng.standard_normal((32, 32)))
+        assert p["io_total"] == pytest.approx(
+            p["io_transform_forward"] + p["io_bilinear"] + p["io_transform_inverse"]
+        )
+
+    def test_transform_fraction_shrinks(self, ks_alg, rng):
+        """Theorem 4.1's 'negligible' claim, measured."""
+        fracs = []
+        for n in (16, 32, 64):
+            m = SequentialMachine(48)
+            _, p = abmm_machine_multiply(m, ks_alg, rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+            fracs.append(p["transform_fraction"])
+        assert fracs[2] < fracs[0]
+
+    def test_ks_bilinear_io_beats_winograd(self, ks_alg, winograd_alg, rng):
+        """The §IV payoff: sparser core → less bilinear-phase I/O."""
+        from repro.execution.recursive_bilinear import recursive_fast_matmul
+
+        n, M = 64, 48
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        m_ks = SequentialMachine(M)
+        _, p = abmm_machine_multiply(m_ks, ks_alg, A, B)
+        m_w = SequentialMachine(M)
+        recursive_fast_matmul(m_w, winograd_alg, A, B)
+        assert p["io_bilinear"] < m_w.io_operations
+
+    def test_too_small_memory_raises(self, ks_alg, rng):
+        m = SequentialMachine(2)
+        with pytest.raises(MemoryError):
+            abmm_machine_multiply(m, ks_alg, rng.standard_normal((8, 8)), rng.standard_normal((8, 8)))

@@ -1,0 +1,91 @@
+"""Unit tests for the tiled classical execution and the naive LRU trace."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.formulas import classical_sequential
+from repro.execution.classical_tiled import largest_tile, naive_matmul_lru_trace, tiled_matmul
+from repro.machine.sequential import SequentialMachine
+
+
+class TestLargestTile:
+    @pytest.mark.parametrize("n,M,expected", [(16, 192, 8), (16, 48, 4), (16, 3, 1), (12, 108, 6)])
+    def test_values(self, n, M, expected):
+        assert largest_tile(n, M) == expected
+
+
+class TestTiledMatmul:
+    @pytest.mark.parametrize("n,M", [(8, 48), (16, 48), (16, 192), (32, 108)])
+    def test_correct_product(self, rng, n, M):
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        m = SequentialMachine(M)
+        assert np.allclose(tiled_matmul(m, A, B), A @ B)
+
+    def test_io_formula(self, rng):
+        """I/O = 2(n/b)³b² + 2(n/b)²·b²·… exactly (deterministic count)."""
+        n, M = 16, 48  # b = 4
+        m = SequentialMachine(M)
+        tiled_matmul(m, rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+        q, b = n // 4, 4
+        assert m.words_read == 2 * q ** 3 * b * b
+        assert m.words_written == q * q * b * b  # one store per C tile
+
+    def test_io_shrinks_with_memory(self, rng):
+        A = rng.standard_normal((16, 16))
+        B = rng.standard_normal((16, 16))
+        ios = []
+        for M in (12, 48, 192, 768):
+            m = SequentialMachine(M)
+            tiled_matmul(m, A, B)
+            ios.append(m.io_operations)
+        assert ios == sorted(ios, reverse=True)
+
+    def test_respects_classical_lower_bound(self, rng):
+        n, M = 32, 48
+        m = SequentialMachine(M)
+        tiled_matmul(m, rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+        assert m.io_operations >= classical_sequential(n, M) / 4
+
+    def test_capacity_never_violated(self, rng):
+        m = SequentialMachine(48)
+        tiled_matmul(m, rng.standard_normal((16, 16)), rng.standard_normal((16, 16)))
+        assert m.peak_fast_words <= 48
+
+    def test_bad_tile_rejected(self, rng):
+        m = SequentialMachine(48)
+        A = rng.standard_normal((16, 16))
+        with pytest.raises(ValueError):
+            tiled_matmul(m, A, A, tile=5)  # doesn't divide 16
+        with pytest.raises(ValueError):
+            tiled_matmul(m, A, A, tile=8)  # 3·64 > 48
+
+    def test_non_square_rejected(self, rng):
+        m = SequentialMachine(48)
+        with pytest.raises(ValueError):
+            tiled_matmul(m, rng.standard_normal((4, 8)), rng.standard_normal((8, 4)))
+
+
+class TestNaiveLRUTrace:
+    def test_small_cache_thrashes(self):
+        """Naive order at tiny M pays Θ(n³): ~1 miss per inner iteration."""
+        n, M = 16, 8
+        st = naive_matmul_lru_trace(n, M)
+        assert st["misses"] >= n ** 3 / 2
+
+    def test_huge_cache_compulsory_only(self):
+        n = 8
+        st = naive_matmul_lru_trace(n, 10_000)
+        assert st["misses"] == 3 * n * n  # compulsory misses only
+
+    def test_naive_worse_than_tiled_shape(self, rng):
+        """The naive trace pays ~n³ I/O where tiling pays ~n³/√M."""
+        n, M = 16, 64
+        naive = naive_matmul_lru_trace(n, M)["io"]
+        m = SequentialMachine(M)
+        tiled_matmul(m, rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+        assert naive > m.io_operations
+
+    def test_writeback_accounting(self):
+        st = naive_matmul_lru_trace(4, 8)
+        assert st["writebacks"] >= 16  # every C word written back at least once

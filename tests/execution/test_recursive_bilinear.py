@@ -1,0 +1,134 @@
+"""Unit tests for the out-of-core recursive bilinear execution."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.formulas import fast_sequential
+from repro.execution.recursive_bilinear import recursive_fast_matmul, stream_linear_combination
+from repro.machine.sequential import SequentialMachine
+
+
+class TestStreaming:
+    def test_combination_value(self):
+        m = SequentialMachine(M=16)
+        m.place_input("src", np.arange(16.0).reshape(4, 4))
+        m.alloc_slow("dst", (2, 2))
+        stream_linear_combination(
+            m,
+            [("src", 0, 0, 1.0), ("src", 2, 2, -1.0)],
+            ("dst", 0, 0),
+            2,
+        )
+        expected = np.arange(16.0).reshape(4, 4)[:2, :2] - np.arange(16.0).reshape(4, 4)[2:, 2:]
+        assert np.array_equal(m.slow["dst"], expected)
+
+    def test_io_accounting(self):
+        m = SequentialMachine(M=16)
+        m.place_input("src", np.zeros((4, 4)))
+        m.alloc_slow("dst", (2, 2))
+        stream_linear_combination(m, [("src", 0, 0, 2.0)], ("dst", 0, 0), 2)
+        assert m.words_read == 4
+        assert m.words_written == 4
+
+    def test_tiny_memory_chunks_within_rows(self):
+        m = SequentialMachine(M=6)
+        m.place_input("src", np.arange(64.0).reshape(8, 8))
+        m.alloc_slow("dst", (8, 8))
+        stream_linear_combination(m, [("src", 0, 0, 1.0)], ("dst", 0, 0), 8)
+        assert np.array_equal(m.slow["dst"], m.slow["src"])
+        assert m.peak_fast_words <= 6
+
+    def test_empty_sources_rejected(self):
+        m = SequentialMachine(M=8)
+        with pytest.raises(ValueError):
+            stream_linear_combination(m, [], ("x", 0, 0), 2)
+
+    def test_impossible_memory_raises(self):
+        m = SequentialMachine(M=3)
+        m.place_input("src", np.zeros((4, 4)))
+        m.alloc_slow("dst", (4, 4))
+        with pytest.raises(MemoryError):
+            stream_linear_combination(
+                m, [("src", 0, 0, 1.0)] * 4, ("dst", 0, 0), 4
+            )
+
+
+class TestRecursiveExecution:
+    @pytest.mark.parametrize("n,M", [(8, 192), (16, 48), (32, 48), (32, 192)])
+    def test_strassen_correct(self, strassen_alg, rng, n, M):
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        m = SequentialMachine(M)
+        C = recursive_fast_matmul(m, strassen_alg, A, B)
+        assert np.allclose(C, A @ B)
+        assert m.peak_fast_words <= M
+
+    def test_winograd_and_classical2(self, winograd_alg, classical_alg, rng):
+        A = rng.standard_normal((16, 16))
+        B = rng.standard_normal((16, 16))
+        for alg in (winograd_alg, classical_alg):
+            m = SequentialMachine(100)
+            assert np.allclose(recursive_fast_matmul(m, alg, A, B), A @ B)
+
+    def test_in_cache_case_minimal_io(self, strassen_alg, rng):
+        """3n² ≤ M: loads 2n², stores n² — nothing else."""
+        n = 8
+        m = SequentialMachine(3 * n * n)
+        recursive_fast_matmul(m, strassen_alg, rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+        assert m.words_read == 2 * n * n
+        assert m.words_written == n * n
+
+    def test_io_exponent_near_log2_7(self, strassen_alg, rng):
+        """log-log slope of I/O vs n ≈ ω₀ once n ≫ √M."""
+        from repro.bounds.validation import fit_exponent
+
+        M = 48
+        sizes = [32, 64, 128]
+        ios = []
+        for n in sizes:
+            m = SequentialMachine(M)
+            A = rng.standard_normal((n, n))
+            B = rng.standard_normal((n, n))
+            recursive_fast_matmul(m, strassen_alg, A, B)
+            ios.append(m.io_operations)
+        slope = fit_exponent(sizes, ios)
+        assert abs(slope - np.log2(7)) < 0.12
+
+    def test_never_below_lower_bound(self, strassen_alg, rng):
+        n, M = 64, 48
+        m = SequentialMachine(M)
+        recursive_fast_matmul(m, strassen_alg, rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+        assert m.io_operations >= fast_sequential(n, M)
+
+    def test_classical2_io_exceeds_strassen_at_scale(self, strassen_alg, classical_alg, rng):
+        """⟨2,2,2;8⟩ recursion (t=8) must pay more I/O than t=7 — who wins."""
+        n, M = 64, 48
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        m7 = SequentialMachine(M)
+        recursive_fast_matmul(m7, strassen_alg, A, B)
+        m8 = SequentialMachine(M)
+        recursive_fast_matmul(m8, classical_alg, A, B)
+        assert m8.io_operations > m7.io_operations
+
+    def test_base_size_cap_forces_deeper_recursion(self, strassen_alg, rng):
+        n, M = 16, 10_000
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        m_shallow = SequentialMachine(M)
+        recursive_fast_matmul(m_shallow, strassen_alg, A, B)
+        m_deep = SequentialMachine(M)
+        recursive_fast_matmul(m_deep, strassen_alg, A, B, base_size=4)
+        assert m_deep.io_operations > m_shallow.io_operations
+
+    def test_rectangular_rejected(self, rng):
+        from repro.algorithms.classical import classical
+
+        m = SequentialMachine(100)
+        with pytest.raises(ValueError):
+            recursive_fast_matmul(m, classical(2, 3, 4), rng.standard_normal((4, 4)), rng.standard_normal((4, 4)))
+
+    def test_mismatched_shapes_rejected(self, strassen_alg, rng):
+        m = SequentialMachine(100)
+        with pytest.raises(ValueError):
+            recursive_fast_matmul(m, strassen_alg, rng.standard_normal((4, 4)), rng.standard_normal((8, 8)))

@@ -1,0 +1,113 @@
+"""Unit tests for vertex cuts, disjoint paths, and dominator sets."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.cuts import (
+    dominator_lower_bound_ok,
+    max_vertex_disjoint_paths,
+    min_vertex_cut,
+    minimum_dominator_set,
+)
+from repro.graphs.digraph import DiGraph
+
+
+def diamond() -> DiGraph:
+    """0 → {1,2} → 3"""
+    g = DiGraph()
+    g.add_vertices(4)
+    g.add_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+    return g
+
+
+def two_disjoint_paths() -> DiGraph:
+    """0→2→4 and 1→3→5"""
+    g = DiGraph()
+    g.add_vertices(6)
+    g.add_edges([(0, 2), (2, 4), (1, 3), (3, 5)])
+    return g
+
+
+class TestDisjointPaths:
+    def test_diamond_single_path(self):
+        # all paths share endpoints 0 and 3 → only 1 vertex-disjoint path
+        assert max_vertex_disjoint_paths(diamond(), [0], [3]) == 1
+
+    def test_two_paths(self):
+        g = two_disjoint_paths()
+        assert max_vertex_disjoint_paths(g, [0, 1], [4, 5]) == 2
+
+    def test_avoid_blocks_path(self):
+        g = two_disjoint_paths()
+        assert max_vertex_disjoint_paths(g, [0, 1], [4, 5], avoid=[2]) == 1
+
+    def test_limit(self):
+        g = two_disjoint_paths()
+        assert max_vertex_disjoint_paths(g, [0, 1], [4, 5], limit=1) == 1
+
+    def test_empty_sets(self):
+        assert max_vertex_disjoint_paths(diamond(), [], [3]) == 0
+        assert max_vertex_disjoint_paths(diamond(), [0], []) == 0
+
+    def test_source_equals_target(self):
+        g = DiGraph()
+        g.add_vertex()
+        assert max_vertex_disjoint_paths(g, [0], [0]) == 1
+
+
+class TestMinVertexCut:
+    def test_diamond_cut_is_endpoint(self):
+        cut = min_vertex_cut(diamond(), [0], [3])
+        assert len(cut) == 1
+        assert cut[0] in (0, 3)  # cheapest cut is an endpoint
+
+    def test_cut_disconnects(self):
+        g = two_disjoint_paths()
+        cut = min_vertex_cut(g, [0, 1], [4, 5])
+        assert len(cut) == 2
+        sub, remap = g.subgraph_without(cut)
+        nxg = sub.to_networkx()
+        survivors_src = [remap[v] for v in (0, 1) if v in remap]
+        survivors_dst = [remap[v] for v in (4, 5) if v in remap]
+        for s in survivors_src:
+            for t in survivors_dst:
+                assert not nx.has_path(nxg, s, t)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_menger_cut_equals_paths(self, seed):
+        rng = np.random.default_rng(seed)
+        g = DiGraph()
+        n = 14
+        g.add_vertices(n)
+        for _ in range(30):
+            u, v = sorted(rng.integers(0, n, 2).tolist())
+            if u != v:
+                g.add_edge(int(u), int(v))  # u < v: acyclic
+        sources = [0, 1, 2]
+        targets = [n - 3, n - 2, n - 1]
+        cut = min_vertex_cut(g, sources, targets)
+        paths = max_vertex_disjoint_paths(g, sources, targets)
+        assert len(cut) == paths
+
+
+class TestDominator:
+    def test_dominator_of_sink(self):
+        dom = minimum_dominator_set(diamond(), [3])
+        assert len(dom) == 1
+
+    def test_dominator_unreachable_target(self):
+        g = DiGraph()
+        g.add_vertices(2)  # two isolated vertices: 1 dominated only by itself
+        dom = minimum_dominator_set(g, [1])
+        assert dom == [1] or len(dom) == 1
+
+    def test_lower_bound_ok(self):
+        assert dominator_lower_bound_ok(diamond(), [3], 1)
+        assert not dominator_lower_bound_ok(diamond(), [3], 2)
+        assert dominator_lower_bound_ok(diamond(), [3], 0)
+
+    def test_dominator_wide_targets(self):
+        g = two_disjoint_paths()
+        dom = minimum_dominator_set(g, [4, 5])
+        assert len(dom) == 2

@@ -1,0 +1,41 @@
+"""Unit tests for the liveness-minimizing DFS postorder."""
+
+from repro.cdag.families import binary_tree_cdag, diamond_chain_cdag
+from repro.graphs.digraph import DiGraph
+from repro.graphs.topo import dfs_postorder
+
+
+class TestDFSPostorder:
+    def test_is_topological(self):
+        c = binary_tree_cdag(3)
+        order = dfs_postorder(c.graph)
+        pos = {v: i for i, v in enumerate(order)}
+        for u, v in c.graph.edges():
+            assert pos[u] < pos[v]
+
+    def test_covers_ancestors_of_roots(self):
+        c = diamond_chain_cdag(4)
+        order = dfs_postorder(c.graph)
+        assert set(order) == set(c.graph.vertices())
+
+    def test_explicit_roots_restrict(self):
+        g = DiGraph()
+        g.add_vertices(4)
+        g.add_edge(0, 1)  # island: 2 -> 3
+        g.add_edge(2, 3)
+        order = dfs_postorder(g, roots=[1])
+        assert set(order) == {0, 1}
+
+    def test_deterministic(self):
+        c = binary_tree_cdag(3)
+        assert dfs_postorder(c.graph) == dfs_postorder(c.graph)
+
+    def test_chain_is_identity_order(self):
+        g = DiGraph()
+        g.add_vertices(5)
+        for i in range(4):
+            g.add_edge(i, i + 1)
+        assert dfs_postorder(g) == [0, 1, 2, 3, 4]
+
+    def test_empty_graph(self):
+        assert dfs_postorder(DiGraph()) == []

@@ -1,0 +1,96 @@
+"""Unit tests for the DiGraph container."""
+
+import pytest
+
+from repro.graphs.digraph import DiGraph
+
+
+def chain(k: int) -> DiGraph:
+    g = DiGraph()
+    g.add_vertices(k)
+    for i in range(k - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+class TestConstruction:
+    def test_add_vertex_returns_ids(self):
+        g = DiGraph()
+        assert g.add_vertex() == 0
+        assert g.add_vertex("tag") == 1
+        assert g.payload(1) == "tag"
+
+    def test_add_vertices_range(self):
+        g = DiGraph()
+        r = g.add_vertices(5, payload="x")
+        assert list(r) == [0, 1, 2, 3, 4]
+        assert g.payload(3) == "x"
+
+    def test_add_edge_updates_both_sides(self):
+        g = chain(3)
+        assert g.successors(0) == [1]
+        assert g.predecessors(1) == [0]
+        assert g.num_edges == 2
+
+    def test_edge_to_missing_vertex_raises(self):
+        g = DiGraph()
+        g.add_vertex()
+        with pytest.raises(IndexError):
+            g.add_edge(0, 5)
+
+    def test_add_edges_bulk(self):
+        g = DiGraph()
+        g.add_vertices(3)
+        g.add_edges([(0, 1), (1, 2)])
+        assert g.num_edges == 2
+
+
+class TestQueries:
+    def test_degrees(self):
+        g = DiGraph()
+        g.add_vertices(3)
+        g.add_edge(0, 2)
+        g.add_edge(1, 2)
+        assert g.in_degree(2) == 2
+        assert g.out_degree(0) == 1
+
+    def test_sources_sinks(self):
+        g = chain(4)
+        assert g.sources() == [0]
+        assert g.sinks() == [3]
+
+    def test_edges_iter(self):
+        g = chain(3)
+        assert sorted(g.edges()) == [(0, 1), (1, 2)]
+
+    def test_set_payload(self):
+        g = DiGraph()
+        g.add_vertex()
+        g.set_payload(0, 42)
+        assert g.payload(0) == 42
+
+
+class TestDerived:
+    def test_subgraph_without(self):
+        g = chain(4)
+        sub, remap = g.subgraph_without([1])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 1  # only 2->3 survives
+        assert 1 not in remap
+
+    def test_subgraph_remap_consistent(self):
+        g = chain(4)
+        sub, remap = g.subgraph_without([0])
+        assert sub.successors(remap[1]) == [remap[2]]
+
+    def test_reversed(self):
+        g = chain(3)
+        r = g.reversed()
+        assert r.successors(2) == [1]
+        assert r.predecessors(0) == [1]
+
+    def test_to_networkx_matches(self):
+        g = chain(5)
+        nx_g = g.to_networkx()
+        assert nx_g.number_of_nodes() == 5
+        assert set(nx_g.edges()) == set(g.edges())

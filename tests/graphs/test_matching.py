@@ -1,0 +1,66 @@
+"""Unit tests for Hopcroft–Karp matching, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.matching import has_matching_saturating, hopcroft_karp, max_matching_size
+
+
+class TestBasics:
+    def test_perfect_matching(self):
+        adj = [[0], [1], [2]]
+        size, ml, mr = hopcroft_karp(3, 3, adj)
+        assert size == 3
+        assert sorted(ml) == [0, 1, 2]
+
+    def test_star_one_match(self):
+        adj = [[0], [0], [0]]  # three left vertices compete for one right
+        assert max_matching_size(3, 1, adj) == 1
+
+    def test_empty_adjacency(self):
+        assert max_matching_size(2, 2, [[], []]) == 0
+
+    def test_augmenting_path_needed(self):
+        # greedy would match l0-r0 and block l1; HK must augment
+        adj = [[0, 1], [0]]
+        assert max_matching_size(2, 2, adj) == 2
+
+    def test_matching_is_consistent(self):
+        adj = [[0, 1], [1, 2], [0]]
+        size, ml, mr = hopcroft_karp(3, 3, adj)
+        assert size == 3
+        for u, v in enumerate(ml):
+            if v >= 0:
+                assert mr[v] == u
+                assert v in adj[u]
+
+
+class TestSaturating:
+    def test_saturating_subset(self):
+        adj = [[0], [0, 1], [2]]
+        assert has_matching_saturating([0, 1], 3, adj)
+        assert has_matching_saturating([0, 1, 2], 3, adj)
+
+    def test_not_saturating(self):
+        adj = [[0], [0], [1]]
+        assert not has_matching_saturating([0, 1], 2, adj)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_bipartite(self, seed):
+        rng = np.random.default_rng(seed)
+        nl, nr = 8, 9
+        adj = [
+            sorted(set(rng.integers(0, nr, rng.integers(0, 5)).tolist()))
+            for _ in range(nl)
+        ]
+        g = nx.Graph()
+        g.add_nodes_from(range(nl), bipartite=0)
+        g.add_nodes_from(range(nl, nl + nr), bipartite=1)
+        for u, vs in enumerate(adj):
+            for v in vs:
+                g.add_edge(u, nl + v)
+        expected = len(nx.bipartite.maximum_matching(g, top_nodes=range(nl))) // 2
+        assert max_matching_size(nl, nr, adj) == expected

@@ -1,0 +1,82 @@
+"""Unit tests for Dinic max-flow, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.maxflow import Dinic, max_flow
+
+
+class TestDinicBasics:
+    def test_single_edge(self):
+        assert max_flow(2, [(0, 1, 5.0)], 0, 1) == 5.0
+
+    def test_series_bottleneck(self):
+        assert max_flow(3, [(0, 1, 5.0), (1, 2, 2.0)], 0, 2) == 2.0
+
+    def test_parallel_paths(self):
+        edges = [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)]
+        assert max_flow(4, edges, 0, 3) == 2.0
+
+    def test_disconnected(self):
+        assert max_flow(3, [(0, 1, 1.0)], 0, 2) == 0.0
+
+    def test_same_source_sink_raises(self):
+        d = Dinic(2)
+        with pytest.raises(ValueError):
+            d.solve(0, 0)
+
+    def test_negative_capacity_raises(self):
+        d = Dinic(2)
+        with pytest.raises(ValueError):
+            d.add_edge(0, 1, -1.0)
+
+    def test_limit_early_exit(self):
+        d = Dinic(2)
+        d.add_edge(0, 1, 100.0)
+        assert d.solve(0, 1, limit=3.0) == 3.0
+
+    def test_classic_network(self):
+        # CLRS-style example
+        edges = [
+            (0, 1, 16), (0, 2, 13), (1, 3, 12), (2, 1, 4),
+            (2, 4, 14), (3, 2, 9), (3, 5, 20), (4, 3, 7), (4, 5, 4),
+        ]
+        assert max_flow(6, [(u, v, float(c)) for u, v, c in edges], 0, 5) == 23.0
+
+
+class TestMinCutSide:
+    def test_cut_side_after_solve(self):
+        d = Dinic(3)
+        d.add_edge(0, 1, 1.0)
+        d.add_edge(1, 2, 2.0)
+        d.solve(0, 2)
+        side = d.min_cut_side(0)
+        assert side[0] is True
+        assert side[1] is False  # saturated edge 0->1 separates
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 12
+        caps: dict[tuple[int, int], float] = {}
+        for _ in range(40):
+            u, v = rng.integers(0, n, 2)
+            if u != v:
+                caps[(int(u), int(v))] = caps.get((int(u), int(v)), 0.0) + float(
+                    rng.integers(1, 10)
+                )
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        edges = []
+        for (u, v), c in caps.items():
+            edges.append((u, v, c))
+            g.add_edge(u, v, capacity=c)
+        if not g.has_node(0) or not nx.has_path(g, 0, n - 1):
+            expected = 0.0
+        else:
+            expected = float(nx.maximum_flow_value(g, 0, n - 1))
+        got = max_flow(n, edges, 0, n - 1)
+        assert got == pytest.approx(expected)

@@ -1,0 +1,61 @@
+"""Unit tests for topological ordering."""
+
+import pytest
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.topo import is_acyclic, topological_order
+
+
+class TestTopologicalOrder:
+    def test_chain(self):
+        g = DiGraph()
+        g.add_vertices(4)
+        for i in range(3):
+            g.add_edge(i, i + 1)
+        assert topological_order(g) == [0, 1, 2, 3]
+
+    def test_respects_edges(self):
+        g = DiGraph()
+        g.add_vertices(5)
+        g.add_edges([(3, 1), (1, 0), (4, 0), (2, 4)])
+        order = topological_order(g)
+        pos = {v: i for i, v in enumerate(order)}
+        for u, v in g.edges():
+            assert pos[u] < pos[v]
+
+    def test_deterministic_tie_break(self):
+        g = DiGraph()
+        g.add_vertices(3)  # no edges: ids ascending
+        assert topological_order(g) == [0, 1, 2]
+
+    def test_cycle_raises(self):
+        g = DiGraph()
+        g.add_vertices(2)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        with pytest.raises(ValueError):
+            topological_order(g)
+
+    def test_self_loop_raises(self):
+        g = DiGraph()
+        g.add_vertex()
+        g.add_edge(0, 0)
+        with pytest.raises(ValueError):
+            topological_order(g)
+
+    def test_empty_graph(self):
+        assert topological_order(DiGraph()) == []
+
+
+class TestIsAcyclic:
+    def test_dag(self):
+        g = DiGraph()
+        g.add_vertices(3)
+        g.add_edges([(0, 1), (0, 2), (1, 2)])
+        assert is_acyclic(g)
+
+    def test_cycle(self):
+        g = DiGraph()
+        g.add_vertices(3)
+        g.add_edges([(0, 1), (1, 2), (2, 0)])
+        assert not is_acyclic(g)

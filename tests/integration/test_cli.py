@@ -1,0 +1,52 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "[here]" in out
+
+    def test_eval(self, capsys):
+        assert main(["eval", "1024", "256", "49"]) == 0
+        out = capsys.readouterr().out
+        assert "Strassen" in out
+        assert "n=1024" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "Figure 2" in out
+        assert "Figure 3" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "16", "32", "--M", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "fitted exponent" in out
+
+    def test_recompute(self, capsys):
+        assert main(["recompute"]) == 0
+        out = capsys.readouterr().out
+        assert "with recompute" in out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+
+class TestReproduceCommand:
+    def test_reproduce_all_pass(self, capsys):
+        assert main(["reproduce"]) == 0
+        out = capsys.readouterr().out
+        assert "15/15 experiments reproduced" in out
+        assert "FAIL" not in out

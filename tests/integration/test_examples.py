@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them honest.
+Run as subprocesses so the scripts' ``__main__`` path is what's exercised.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Brent-valid: True" in out
+        assert "the lower bound holds" in out
+
+    def test_lower_bound_explorer(self):
+        out = run_example("lower_bound_explorer.py", "64", "48", "49")
+        assert "TABLE I" in out
+        assert "crossover" in out
+
+    def test_recomputation_study(self):
+        out = run_example("recomputation_study.py")
+        assert "recomputation cannot reduce fast-matmul I/O" in out
+        assert "floor holds: True" in out
+
+    @pytest.mark.slow
+    def test_alternative_basis_demo(self):
+        out = run_example("alternative_basis_demo.py")
+        assert "total: 12 additions" in out
+        assert "verified on 32×32 integers" in out
+
+    @pytest.mark.slow
+    def test_verify_paper_lemmas(self):
+        out = run_example("verify_paper_lemmas.py")
+        assert "all checks passed" in out

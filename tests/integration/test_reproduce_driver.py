@@ -1,0 +1,27 @@
+"""Tests for the condensed reproduction driver (repro.analysis.reproduce)."""
+
+from repro.analysis.reproduce import EXPERIMENTS, run_all
+
+
+class TestDriverStructure:
+    def test_fifteen_experiments(self):
+        assert len(EXPERIMENTS) == 15
+        tags = [tag for tag, _, _ in EXPERIMENTS]
+        assert tags[0] == "E1" and tags[-1] == "E15"
+
+    def test_tags_unique(self):
+        tags = [tag for tag, _, _ in EXPERIMENTS]
+        assert len(set(tags)) == len(tags)
+
+    def test_every_experiment_callable(self):
+        for _, _, fn in EXPERIMENTS:
+            assert callable(fn)
+
+    def test_quiet_run_all_green(self):
+        assert run_all(verbose=False) == 0
+
+    def test_detail_strings_informative(self):
+        """Each experiment returns a non-trivial summary line."""
+        for tag, _, fn in EXPERIMENTS[:4]:  # spot-check the fast ones
+            detail = fn()
+            assert isinstance(detail, str) and len(detail) > 10, tag

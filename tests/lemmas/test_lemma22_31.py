@@ -1,0 +1,96 @@
+"""Tests for Lemma 2.2 (recursive expansion) and Lemma 3.1 (the key matching).
+
+Lemma 3.1 is the paper's central claim over *all* ⟨2,2,2;7⟩ algorithms —
+exhaustively verified here per encoder (all 2⁷ subsets) over the whole
+de Groote corpus and both operand sides.
+"""
+
+import pytest
+
+from repro.cdag.recursive import build_recursive_cdag
+from repro.lemmas.lemma22 import check_lemma22
+from repro.lemmas.lemma31 import check_lemma31, lemma31_required_matching
+
+
+class TestLemma22:
+    def test_h4(self, H4):
+        report = check_lemma22(H4)
+        assert report[4]["subproblems"] == 1
+        assert report[2]["subproblems"] == 7
+        assert report[1]["subproblems"] == 49
+        assert report[1]["outputs"] == 49
+
+    def test_h8(self, H8):
+        report = check_lemma22(H8)
+        assert report[2]["outputs"] == 49 * 4
+        assert report[1]["outputs"] == 343
+
+    def test_holds_for_winograd(self, winograd_alg):
+        H = build_recursive_cdag(winograd_alg, 8)
+        check_lemma22(H)
+
+    def test_holds_for_classical2(self, classical_alg):
+        """t = 8: (n/r)^{log₂8}·r² outputs — the lemma is base-t generic."""
+        H = build_recursive_cdag(classical_alg, 4)
+        report = check_lemma22(H)
+        assert report[2]["subproblems"] == 8
+        assert report[1]["subproblems"] == 64
+
+
+class TestLemma31Floor:
+    @pytest.mark.parametrize("k,expected", [
+        (0, 0), (1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (6, 4), (7, 4),
+    ])
+    def test_floor_values(self, k, expected):
+        assert lemma31_required_matching(k) == expected
+
+
+class TestLemma31:
+    def test_strassen_both_sides(self, strassen_alg):
+        for side in ("A", "B"):
+            rep = check_lemma31(strassen_alg, side)
+            assert rep.holds
+            assert rep.worst_margin >= 0
+
+    def test_winograd_both_sides(self, winograd_alg):
+        for side in ("A", "B"):
+            assert check_lemma31(winograd_alg, side).holds
+
+    def test_ks_folded(self, ks_alg):
+        folded = ks_alg.plain()
+        assert check_lemma31(folded, "A").holds
+        assert check_lemma31(folded, "B").holds
+
+    def test_corpus_wide_exhaustive(self, corpus):
+        """The universal quantifier, sampled over the whole orbit."""
+        for alg in corpus:
+            for side in ("A", "B"):
+                rep = check_lemma31(alg, side)
+                assert rep.holds, f"{alg.name}/{side}"
+
+    def test_full_subset_reaches_four(self, strassen_alg):
+        """|Y′| = 7 needs matching ≥ 4 = |X| — all inputs matched."""
+        rep = check_lemma31(strassen_alg, "A")
+        assert lemma31_required_matching(7) == 4
+
+    def test_bound_is_tight_somewhere(self, strassen_alg):
+        """Margin 0 occurs: the lemma's floor cannot be raised in general."""
+        rep = check_lemma31(strassen_alg, "A")
+        assert rep.tight_subsets > 0
+
+    def test_fails_on_malformed_encoder(self):
+        """A fake 'encoder' with duplicate rows must violate the lemma —
+        the check has teeth."""
+        import numpy as np
+
+        from repro.algorithms.bilinear import BilinearAlgorithm
+
+        U = np.zeros((7, 4), dtype=np.int64)
+        U[:, 0] = 1  # every product uses only A11
+        V = np.zeros((7, 4), dtype=np.int64)
+        V[:, 0] = 1
+        W = np.zeros((4, 7), dtype=np.int64)
+        W[0, 0] = 1
+        fake = BilinearAlgorithm("fake", 2, 2, 2, U, V, W)
+        with pytest.raises(AssertionError):
+            check_lemma31(fake, "A")

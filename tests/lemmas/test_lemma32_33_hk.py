@@ -1,0 +1,95 @@
+"""Tests for Lemmas 3.2/3.3 and the Hopcroft–Kerr consistency check."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.lemmas.hk_check import check_corollary35_consistency
+from repro.lemmas.lemma32_33 import check_lemma32, check_lemma33
+
+
+class TestLemma32:
+    def test_strassen(self, strassen_alg):
+        rep = check_lemma32(strassen_alg, "A")
+        assert rep["min_single_degree"] >= 2
+        assert rep["min_pair_neighbors"] >= 4
+
+    def test_corpus_wide_both_sides(self, corpus):
+        for alg in corpus:
+            for side in ("A", "B"):
+                check_lemma32(alg, side)
+
+    def test_violating_encoder_detected(self):
+        U = np.zeros((7, 4), dtype=np.int64)
+        U[:, :3] = 1  # A22 has zero neighbors
+        U[0, 3] = 1   # …except one
+        V = np.eye(7, 4, dtype=np.int64) + 1
+        W = np.ones((4, 7), dtype=np.int64)
+        fake = BilinearAlgorithm("fake", 2, 2, 2, U, V, W)
+        with pytest.raises(AssertionError, match="Lemma 3.2"):
+            check_lemma32(fake, "A")
+
+
+class TestLemma33:
+    def test_named(self, strassen_alg, winograd_alg):
+        assert check_lemma33(strassen_alg, "A")
+        assert check_lemma33(winograd_alg, "B")
+
+    def test_corpus_small_coefficients(self, corpus):
+        """Lemma 3.3 (support reading) on the {−1,0,1}-coefficient class,
+        where the Hopcroft–Kerr GF(2) argument applies directly."""
+        import numpy as np
+
+        for alg in corpus:
+            if max(abs(alg.U).max(), abs(alg.V).max()) <= 1:
+                for side in ("A", "B"):
+                    assert check_lemma33(alg, side)
+
+    def test_support_reading_fails_beyond_sign_coefficients(self):
+        """Reproduction finding: orbit members with coefficient 2 can have
+        two products sharing a support — the literal graph statement of
+        Lemma 3.3 does not extend — while Lemma 3.1 (its only consumer)
+        still holds for exactly those algorithms."""
+        from repro.algorithms import algorithm_corpus
+        from repro.lemmas.lemma31 import check_lemma31
+
+        violators = []
+        for alg in algorithm_corpus(count=24, seed=7):
+            try:
+                check_lemma33(alg, "A")
+            except AssertionError:
+                violators.append(alg)
+        assert violators, "expected at least one support-sharing orbit member"
+        for alg in violators:
+            assert check_lemma31(alg, "A").holds
+            assert check_lemma31(alg, "B").holds
+
+    def test_duplicate_neighbor_sets_detected(self):
+        U = np.zeros((7, 4), dtype=np.int64)
+        for l in range(7):
+            U[l, 0] = 1
+            U[l, 1] = 1  # all rows share neighbors {A11, A12}
+        V = np.ones((7, 4), dtype=np.int64)
+        W = np.ones((4, 7), dtype=np.int64)
+        fake = BilinearAlgorithm("fake", 2, 2, 2, U, V, W)
+        with pytest.raises(AssertionError, match="Lemma 3.3"):
+            check_lemma33(fake, "A")
+
+
+class TestHKConsistency:
+    def test_corpus_wide(self, corpus):
+        for alg in corpus:
+            counts = check_corollary35_consistency(alg)
+            assert all(c <= 1 for c in counts)
+
+    def test_ks_folded(self, ks_alg):
+        check_corollary35_consistency(ks_alg.plain())
+
+    def test_violation_detected(self, strassen_alg):
+        """Duplicate a left factor from a certificate set: must be caught."""
+        U = strassen_alg.U.copy()
+        # row 2 is A11 (in the base set); make row 3 also A11
+        U[3] = U[2]
+        fake = BilinearAlgorithm("fake", 2, 2, 2, U, strassen_alg.V, strassen_alg.W)
+        with pytest.raises(AssertionError, match="Corollary 3.5"):
+            check_corollary35_consistency(fake)

@@ -1,0 +1,79 @@
+"""End-to-end tests for Theorem 1.1 and Theorem 4.1 checkers.
+
+Soundness discipline: every audit runs its schedule at exactly the audited
+memory (Lemma 3.6's n_init ≤ M refers to the machine the schedule used).
+"""
+
+import pytest
+
+from repro.lemmas.theorem11 import (
+    check_theorem11_adversary,
+    check_theorem11_sequential,
+    theorem11_report,
+)
+from repro.lemmas.theorem41 import check_theorem41
+
+
+class TestTheorem11Writeback:
+    def test_strassen_h8(self, strassen_alg):
+        audits = check_theorem11_sequential(strassen_alg, n=8, M=4)
+        writeback = audits[0]
+        assert writeback.schedule_kind == "writeback"
+        assert writeback.report.num_segments == 7  # (8/4)^{log₂7}
+        assert writeback.report.per_segment_bound == 4  # r²/2 − M = 8 − 4
+        assert writeback.per_segment_holds and writeback.total_holds
+
+    def test_adversary_skipped_when_infeasible(self, strassen_alg):
+        """At M = 4 the DFS adversary's pinned front does not fit; the
+        checker audits what is feasible rather than faking a floor."""
+        audits = check_theorem11_sequential(strassen_alg, n=8, M=4)
+        assert [a.schedule_kind for a in audits] == ["writeback"]
+
+    def test_winograd(self, winograd_alg):
+        audits = check_theorem11_sequential(winograd_alg, n=8, M=4)
+        assert all(a.per_segment_holds for a in audits)
+
+    def test_report_renders(self, strassen_alg):
+        audits = check_theorem11_sequential(strassen_alg, n=8, M=4)
+        text = theorem11_report(audits)
+        assert "writeback" in text and "sound" in text
+
+
+class TestTheorem11Adversary:
+    def test_adversary_h8_m16(self, strassen_alg):
+        """Fast sound configuration: r = 2√16 = 8 = n ⇒ one segment with
+        floor 16, against a schedule that genuinely recomputes."""
+        audit = check_theorem11_adversary(strassen_alg, n=8, M=16)
+        assert audit.recomputations > 10_000
+        assert audit.report.num_segments == 1
+        assert audit.report.per_segment_bound == 16
+        assert audit.per_segment_holds
+
+    @pytest.mark.slow
+    def test_adversary_h16_m16(self, strassen_alg):
+        """The full configuration: 7 segments, ~686k recomputations."""
+        audit = check_theorem11_adversary(strassen_alg, n=16, M=16)
+        assert audit.recomputations > 100_000
+        assert audit.report.num_segments == 7
+        assert audit.per_segment_holds and audit.total_holds
+
+    def test_both_schedules_at_m16(self, strassen_alg):
+        """At M = 16 on H⁸ˣ⁸ both schedule kinds are feasible and audited."""
+        audits = check_theorem11_sequential(strassen_alg, n=8, M=16)
+        kinds = [a.schedule_kind for a in audits]
+        assert kinds == ["writeback", "recompute"]
+        assert all(a.per_segment_holds for a in audits)
+
+
+class TestTheorem41:
+    def test_ks(self, ks_alg):
+        res = check_theorem41(ks_alg, sizes=(16, 32, 64), M=48)
+        fr = res["transform_fractions"]
+        assert fr[64] < fr[16]  # transforms vanish asymptotically
+        assert res["lemma31_A"].holds
+        assert res["lemma31_B"].holds
+
+    def test_folded_lemmas_present(self, ks_alg):
+        res = check_theorem41(ks_alg, sizes=(16, 32), M=48)
+        assert res["lemma33"] is True
+        assert res["lemma32"]["min_single_degree"] >= 2

@@ -1,0 +1,80 @@
+"""Unit tests for the word-granular LRU cache simulator."""
+
+import pytest
+
+from repro.machine.cache import LRUCache
+
+
+class TestLRU:
+    def test_cold_miss_then_hit(self):
+        c = LRUCache(4)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.stats()["misses"] == 1
+
+    def test_capacity_eviction(self):
+        c = LRUCache(2)
+        c.access(0)
+        c.access(1)
+        c.access(2)  # evicts 0
+        assert not c.access(0)
+        assert c.misses == 4
+
+    def test_lru_order(self):
+        c = LRUCache(2)
+        c.access(0)
+        c.access(1)
+        c.access(0)  # touch 0: now 1 is LRU
+        c.access(2)  # evicts 1
+        assert c.access(0)  # still resident
+
+    def test_dirty_writeback(self):
+        c = LRUCache(1)
+        c.access(0, write=True)
+        c.access(1)  # evicts dirty 0
+        assert c.writebacks == 1
+
+    def test_clean_eviction_free(self):
+        c = LRUCache(1)
+        c.access(0)
+        c.access(1)
+        assert c.writebacks == 0
+
+    def test_flush_writes_dirty(self):
+        c = LRUCache(4)
+        c.access(0, write=True)
+        c.access(1)
+        c.flush()
+        assert c.writebacks == 1
+
+    def test_write_hit_marks_dirty(self):
+        c = LRUCache(2)
+        c.access(0)
+        c.access(0, write=True)  # hit, becomes dirty
+        c.access(1)
+        c.access(2)  # evict 0 → writeback
+        assert c.writebacks == 1
+
+    def test_io_operations(self):
+        c = LRUCache(1)
+        c.access(0, write=True)
+        c.access(1)
+        assert c.io_operations == c.misses + c.writebacks == 3
+
+    def test_access_many(self):
+        c = LRUCache(8)
+        c.access_many(range(8))
+        assert c.misses == 8
+        c.access_many(range(8))
+        assert c.hits == 8
+
+    def test_bad_m(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_reads_writes_aliases(self):
+        c = LRUCache(1)
+        c.access(0, write=True)
+        c.access(1)
+        assert c.reads == c.misses
+        assert c.writes == c.writebacks

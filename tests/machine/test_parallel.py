@@ -1,0 +1,100 @@
+"""Unit tests for the BSP distributed-memory machine."""
+
+import numpy as np
+import pytest
+
+from repro.machine.parallel import BSPMachine
+
+
+class TestSuperstep:
+    def test_message_delivery(self):
+        m = BSPMachine(P=2)
+        m.place(0, "x", np.arange(4))
+
+        def send(rank, store):
+            if rank == 0:
+                return [(1, "x", store["x"])]
+            return []
+
+        m.superstep(send)
+        assert np.array_equal(m.local(1, "x"), np.arange(4))
+
+    def test_word_counting(self):
+        m = BSPMachine(P=3)
+        m.place(0, "x", np.ones(10))
+        m.superstep(lambda r, s: [(2, "x", s["x"])] if r == 0 else [])
+        assert m.sent[0] == 10
+        assert m.received[2] == 10
+        assert m.total_io == 20
+
+    def test_self_message_free(self):
+        """Words kept locally are not I/O in the model."""
+        m = BSPMachine(P=2)
+        m.place(0, "x", np.ones(5))
+        m.superstep(lambda r, s: [(0, "y", s["x"])] if r == 0 else [])
+        assert m.total_io == 0
+        assert np.array_equal(m.local(0, "y"), np.ones(5))
+
+    def test_unknown_dest_rejected(self):
+        m = BSPMachine(P=2)
+        m.place(0, "x", np.ones(1))
+        with pytest.raises(ValueError):
+            m.superstep(lambda r, s: [(5, "x", s["x"])] if r == 0 else [])
+
+    def test_superstep_counter(self):
+        m = BSPMachine(P=1)
+        m.superstep(lambda r, s: [])
+        m.superstep(lambda r, s: [])
+        assert m.supersteps == 2
+
+    def test_delivery_after_all_run(self):
+        """Messages must not be visible to later ranks in the same superstep."""
+        m = BSPMachine(P=2)
+        m.place(0, "x", np.array([1.0]))
+        observed = {}
+
+        def step(rank, store):
+            observed[rank] = "x" in store
+            if rank == 0:
+                return [(1, "x", store["x"])]
+            return []
+
+        m.superstep(step)
+        assert observed[1] is False  # rank 1 ran before delivery
+        assert "x" in m.stores[1]
+
+
+class TestCapacity:
+    def test_local_memory_limit(self):
+        m = BSPMachine(P=2, M=8)
+        with pytest.raises(MemoryError):
+            m.place(0, "big", np.ones(9))
+
+    def test_limit_checked_after_delivery(self):
+        m = BSPMachine(P=2, M=8)
+        m.place(0, "x", np.ones(8))
+        with pytest.raises(MemoryError):
+            m.superstep(lambda r, s: [(1, "a", np.ones(5)), (1, "b", np.ones(5))] if r == 0 else [])
+
+
+class TestCollectives:
+    def test_bcast(self):
+        m = BSPMachine(P=4)
+        m.place(1, "w", np.full(3, 7.0))
+        m.bcast(1, "w")
+        for p in range(4):
+            assert np.array_equal(m.local(p, "w"), np.full(3, 7.0))
+        # root sends to 3 others (self-copy free)
+        assert m.sent[1] == 9
+
+    def test_io_stats(self):
+        m = BSPMachine(P=2)
+        m.place(0, "x", np.ones(4))
+        m.superstep(lambda r, s: [(1, "x", s["x"])] if r == 0 else [])
+        st = m.io_stats()
+        assert st["max_io"] == 4
+        assert st["total_io"] == 8
+
+    def test_bad_p(self):
+        with pytest.raises(ValueError):
+            BSPMachine(P=0)

@@ -1,0 +1,114 @@
+"""Unit tests for the sequential two-level memory machine."""
+
+import numpy as np
+import pytest
+
+from repro.machine.sequential import FastMemoryOverflow, SequentialMachine
+
+
+class TestTransfers:
+    def test_load_counts_words(self):
+        m = SequentialMachine(M=100)
+        m.place_input("A", np.ones((4, 4)))
+        m.load("A")
+        assert m.words_read == 16
+        assert m.fast_words == 16
+
+    def test_store_counts_words(self):
+        m = SequentialMachine(M=100)
+        m.allocate("buf", (3, 3))
+        m.store("buf", "out")
+        assert m.words_written == 9
+        assert np.array_equal(m.fetch_output("out"), np.zeros((3, 3)))
+
+    def test_load_slice(self):
+        m = SequentialMachine(M=100)
+        m.place_input("A", np.arange(16).reshape(4, 4))
+        chunk = m.load_slice("A", np.s_[1:3, 0:2], "c")
+        assert chunk.shape == (2, 2)
+        assert m.words_read == 4
+
+    def test_store_slice(self):
+        m = SequentialMachine(M=100)
+        m.alloc_slow("out", (4, 4))
+        buf = m.allocate("b", (2, 2))
+        buf += 7
+        m.store_slice("b", "out", np.s_[0:2, 2:4])
+        assert m.slow["out"][0, 2] == 7
+        assert m.words_written == 4
+
+    def test_free_releases_capacity(self):
+        m = SequentialMachine(M=10)
+        m.allocate("a", (2, 5))
+        assert m.fast_words == 10
+        m.free("a")
+        assert m.fast_words == 0
+
+    def test_place_input_uncounted(self):
+        m = SequentialMachine(M=10)
+        m.place_input("A", np.ones((100, 100)))
+        assert m.io_operations == 0
+
+    def test_loads_are_copies(self):
+        """Fast buffers must not alias slow memory (the model's layers are
+        distinct address spaces)."""
+        m = SequentialMachine(M=100)
+        m.place_input("A", np.zeros((2, 2)))
+        buf = m.load("A")
+        buf += 5
+        assert m.slow["A"][0, 0] == 0
+
+
+class TestCapacity:
+    def test_overflow_raises(self):
+        m = SequentialMachine(M=10)
+        m.place_input("A", np.ones((4, 4)))
+        with pytest.raises(FastMemoryOverflow):
+            m.load("A")
+
+    def test_exact_fit_allowed(self):
+        m = SequentialMachine(M=16)
+        m.place_input("A", np.ones((4, 4)))
+        m.load("A")
+        assert m.fast_words == 16
+
+    def test_peak_tracked(self):
+        m = SequentialMachine(M=20)
+        m.allocate("a", (2, 2))
+        m.allocate("b", (4, 4))
+        m.free("a")
+        assert m.peak_fast_words == 20
+
+    def test_bad_m_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialMachine(M=0)
+
+
+class TestAccounting:
+    def test_io_cost_asymmetric(self):
+        m = SequentialMachine(M=100, read_cost=1.0, write_cost=3.0)
+        m.place_input("A", np.ones(4))
+        m.load("A")
+        m.store("A", "B")
+        assert m.io_operations == 8
+        assert m.io_cost == 4 + 12
+
+    def test_stats_keys(self):
+        m = SequentialMachine(M=5)
+        s = m.stats()
+        assert set(s) == {"M", "reads", "writes", "io", "io_cost", "peak_fast"}
+
+    def test_free_all(self):
+        m = SequentialMachine(M=10)
+        m.allocate("a", (2,))
+        m.allocate("b", (3,))
+        m.free_all()
+        assert m.fast_words == 0
+        assert m.fast == {}
+
+    def test_alloc_slow_and_drop(self):
+        m = SequentialMachine(M=10)
+        m.alloc_slow("t", (5, 5))
+        assert m.io_operations == 0
+        m.drop_slow("t")
+        assert "t" not in m.slow

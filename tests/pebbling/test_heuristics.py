@@ -1,0 +1,100 @@
+"""Unit tests for the heuristic schedulers."""
+
+import pytest
+
+from repro.cdag.families import binary_tree_cdag, diamond_chain_cdag, grid_cdag
+from repro.cdag.fft import fft_cdag
+from repro.pebbling.game import validate_schedule
+from repro.pebbling.heuristics import dfs_recompute_schedule, topological_schedule
+
+
+class TestTopologicalSchedule:
+    @pytest.mark.parametrize("M", [3, 5, 16])
+    def test_valid_on_trees(self, M):
+        c = binary_tree_cdag(4)
+        s = topological_schedule(c, M)
+        stats = validate_schedule(s, M, allow_recompute=False)
+        assert stats["recomputations"] == 0
+
+    @pytest.mark.parametrize("eviction", ["belady", "lru"])
+    def test_policies_valid(self, eviction):
+        c = fft_cdag(16)
+        s = topological_schedule(c, 8, eviction=eviction)
+        validate_schedule(s, 8, allow_recompute=False)
+
+    def test_belady_not_worse_than_lru_on_fft(self):
+        c = fft_cdag(16)
+        io_b = validate_schedule(topological_schedule(c, 6, eviction="belady"), 6)["io"]
+        io_l = validate_schedule(topological_schedule(c, 6, eviction="lru"), 6)["io"]
+        assert io_b <= io_l
+
+    def test_big_cache_minimal_io(self):
+        """With M ≥ |V| the schedule loads inputs once and stores outputs once."""
+        c = binary_tree_cdag(3)
+        s = topological_schedule(c, 100)
+        stats = validate_schedule(s, 100)
+        assert stats["loads"] == len(c.inputs)
+        assert stats["stores"] == len(c.outputs)
+
+    def test_m_too_small_rejected(self):
+        c = binary_tree_cdag(3)
+        with pytest.raises(ValueError, match="fan-in"):
+            topological_schedule(c, 2)
+
+    def test_unknown_eviction_rejected(self):
+        with pytest.raises(ValueError):
+            topological_schedule(binary_tree_cdag(2), 4, eviction="rand")
+
+    def test_io_decreases_with_memory(self):
+        c = grid_cdag(6, 6)
+        ios = [
+            validate_schedule(topological_schedule(c, M), M)["io"]
+            for M in (3, 6, 12, 40)
+        ]
+        assert ios == sorted(ios, reverse=True)
+
+    def test_small_cache_forces_spills(self):
+        c = fft_cdag(16)
+        stats = validate_schedule(topological_schedule(c, 4), 4)
+        assert stats["stores"] > len(c.outputs)  # some write-backs happened
+
+
+class TestDFSRecompute:
+    def test_valid_with_recomputation(self):
+        c = binary_tree_cdag(4)
+        s = dfs_recompute_schedule(c, 8)
+        stats = validate_schedule(s, 8, allow_recompute=True)
+        assert stats["recomputations"] == 0  # tree: each vertex used once
+
+    def test_recomputes_on_shared_structure(self):
+        c = diamond_chain_cdag(6)
+        s = dfs_recompute_schedule(c, 4)
+        stats = validate_schedule(s, 4, allow_recompute=True)
+        assert stats["recomputations"] == 0  # one output → one DFS
+
+    def test_recomputes_across_outputs(self):
+        c = fft_cdag(8)
+        s = dfs_recompute_schedule(c, 6)
+        stats = validate_schedule(s, 6, allow_recompute=True)
+        assert stats["recomputations"] > 0  # shared butterflies recomputed
+
+    def test_never_stores_internals(self):
+        c = fft_cdag(8)
+        s = dfs_recompute_schedule(c, 6)
+        from repro.pebbling.game import MoveKind
+
+        stored = {m.v for m in s.moves if m.kind is MoveKind.STORE}
+        assert stored <= set(c.outputs)
+
+    def test_capacity_too_small_raises(self):
+        c = fft_cdag(16)  # DFS front needs ~2·depth pebbles
+        with pytest.raises(ValueError, match="too small"):
+            dfs_recompute_schedule(c, 2)
+
+    def test_targets_subset(self):
+        c = fft_cdag(8)
+        s = dfs_recompute_schedule(c, 6, targets=c.outputs[:2])
+        from repro.pebbling.game import MoveKind
+
+        computed = {m.v for m in s.moves if m.kind is MoveKind.COMPUTE}
+        assert set(c.outputs[:2]) <= computed

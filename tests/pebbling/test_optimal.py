@@ -1,0 +1,120 @@
+"""Unit tests for the exact optimal pebbling search."""
+
+import pytest
+
+from repro.cdag.core import CDAG
+from repro.cdag.families import (
+    binary_tree_cdag,
+    diamond_chain_cdag,
+    recompute_wins_cdag,
+)
+from repro.graphs.digraph import DiGraph
+from repro.pebbling.game import PebbleCost, validate_schedule
+from repro.pebbling.heuristics import topological_schedule
+from repro.pebbling.optimal import SearchExhausted, optimal_io
+
+
+def path(k: int) -> CDAG:
+    g = DiGraph()
+    g.add_vertices(k)
+    for i in range(k - 1):
+        g.add_edge(i, i + 1)
+    return CDAG(g, [0], [k - 1], name=f"path{k}")
+
+
+class TestKnownOptima:
+    def test_path_costs_two(self):
+        """Load the input, compute along, store the output: 2 I/O."""
+        assert optimal_io(path(5), M=2) == 2.0
+
+    def test_path_m1_infeasible_vs_m2(self):
+        # M=1: computing v needs pred red + slot for v → impossible
+        with pytest.raises(SearchExhausted):
+            optimal_io(path(3), M=1, max_states=10_000)
+
+    def test_binary_tree_matches_leaf_loads(self):
+        """With enough red pebbles (depth+2 here — computing a node needs
+        both children AND a result slot, unlike black pebbling's slide) a
+        reduction tree costs exactly one load per leaf + one output store."""
+        c = binary_tree_cdag(3)
+        assert optimal_io(c, M=5) == 8 + 1
+
+    def test_binary_tree_spills_below_pebbling_number(self):
+        """Below that threshold spills are forced: I/O strictly above 9,
+        and monotonically worse as M shrinks."""
+        c = binary_tree_cdag(3)
+        assert optimal_io(c, M=4) == 11
+        assert optimal_io(c, M=3) == 15
+
+    def test_single_vertex_io(self):
+        g = DiGraph()
+        g.add_vertices(2)
+        g.add_edge(0, 1)
+        c = CDAG(g, [0], [1])
+        assert optimal_io(c, M=2) == 2.0
+
+    def test_output_already_input(self):
+        g = DiGraph()
+        g.add_vertex()
+        c = CDAG(g, [0], [0])
+        assert optimal_io(c, M=1) == 0.0  # input starts blue
+
+
+class TestRecomputationComparison:
+    def test_gadget_strict_separation(self):
+        """The paper's §V contrast: a CDAG where recomputation wins."""
+        c = recompute_wins_cdag(1, 2)
+        with_r = optimal_io(c, M=3, allow_recompute=True)
+        without_r = optimal_io(c, M=3, allow_recompute=False)
+        assert with_r < without_r
+
+    def test_gadget_gap_grows_under_nvm_costs(self):
+        c = recompute_wins_cdag(1, 2)
+        for omega in (2.0, 4.0):
+            cost = PebbleCost(read_cost=1.0, write_cost=omega)
+            gap = optimal_io(c, 3, False, cost) - optimal_io(c, 3, True, cost)
+            assert gap >= omega  # the saved store costs ω
+
+    def test_gadget_no_gap_with_big_cache(self):
+        c = recompute_wins_cdag(1, 2)
+        assert optimal_io(c, M=6, allow_recompute=True) == optimal_io(
+            c, M=6, allow_recompute=False
+        )
+
+    def test_trees_gain_nothing(self):
+        """Fan-out-free CDAGs: recomputation is pointless (footnote 1)."""
+        c = binary_tree_cdag(3)
+        assert optimal_io(c, 3, True) == optimal_io(c, 3, False)
+
+    def test_diamond_gain_nothing_with_room(self):
+        c = diamond_chain_cdag(3)
+        assert optimal_io(c, 4, True) == optimal_io(c, 4, False)
+
+
+class TestAgainstHeuristic:
+    @pytest.mark.parametrize("M", [3, 4])
+    def test_optimal_le_heuristic(self, M):
+        for c in (binary_tree_cdag(3), diamond_chain_cdag(3)):
+            sched = topological_schedule(c, M)
+            heuristic = validate_schedule(sched, M)["io"]
+            assert optimal_io(c, M) <= heuristic
+
+    def test_more_memory_never_hurts(self):
+        c = recompute_wins_cdag(1, 2)
+        assert optimal_io(c, 4) <= optimal_io(c, 3)
+
+
+class TestGuards:
+    def test_too_many_vertices_rejected(self):
+        c = binary_tree_cdag(6)  # 127 vertices
+        with pytest.raises(ValueError, match="62"):
+            optimal_io(c, 4)
+
+    def test_state_fuse(self):
+        c = recompute_wins_cdag(2, 2)
+        with pytest.raises(SearchExhausted):
+            optimal_io(c, 3, max_states=10)
+
+    def test_bad_m(self):
+        with pytest.raises(ValueError):
+            optimal_io(path(3), M=0)

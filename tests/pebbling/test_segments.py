@@ -1,0 +1,73 @@
+"""Unit tests for the Theorem 1.1 segment audit."""
+
+import pytest
+
+from repro.cdag.recursive import build_recursive_cdag
+from repro.pebbling.game import MoveKind, Schedule
+from repro.pebbling.heuristics import dfs_recompute_schedule, topological_schedule
+from repro.pebbling.segments import choose_segment_r, segment_audit
+
+
+class TestChooseR:
+    @pytest.mark.parametrize("M,n,expected", [(1, 8, 2), (4, 8, 4), (16, 16, 8), (16, 4, 4)])
+    def test_values(self, M, n, expected):
+        assert choose_segment_r(M, n) == expected
+
+    def test_r_never_exceeds_n(self):
+        assert choose_segment_r(10_000, 8) == 8
+
+
+class TestAudit:
+    @pytest.fixture(scope="class")
+    def H8t(self, strassen_alg):
+        return build_recursive_cdag(strassen_alg, 8, style="tree")
+
+    def test_writeback_schedule_respects_floor(self, H8t):
+        sched = topological_schedule(H8t.cdag, 16)
+        rep = segment_audit(H8t, sched, M=4)
+        assert rep.r == 4
+        assert rep.outputs_per_segment == 16
+        assert rep.per_segment_bound == 4
+        assert rep.num_segments == 7  # (8/4)^{log2 7} = 7 size-4 subproblems
+        assert rep.holds
+
+    def test_recompute_schedule_respects_floor(self, H8t):
+        sched = dfs_recompute_schedule(H8t.cdag, 16)
+        rep = segment_audit(H8t, sched, M=4)
+        assert rep.holds
+        assert rep.min_segment_io >= rep.per_segment_bound
+
+    def test_first_time_only_counting(self, H8t):
+        """Recomputations of SUB outputs must not open extra segments."""
+        sched = dfs_recompute_schedule(H8t.cdag, 16)
+        rep = segment_audit(H8t, sched, M=4)
+        # 49 size-... no: 7 subproblems of size 4 × 16 outputs = 112 firsts,
+        # 112/16 = 7 segments regardless of recomputation count
+        assert rep.num_segments == 7
+        assert rep.leftover_outputs == 0
+
+    def test_explicit_r(self, H8t):
+        sched = topological_schedule(H8t.cdag, 16)
+        rep = segment_audit(H8t, sched, M=2, r=2)
+        assert rep.outputs_per_segment == 4
+        assert rep.holds
+
+    def test_invalid_r_rejected(self, H8t):
+        sched = Schedule(H8t.cdag)
+        with pytest.raises(ValueError):
+            segment_audit(H8t, sched, M=4, r=3)
+        with pytest.raises(ValueError):
+            segment_audit(H8t, sched, M=4, r=16)
+
+    def test_empty_schedule_zero_segments(self, H8t):
+        rep = segment_audit(H8t, Schedule(H8t.cdag), M=4)
+        assert rep.num_segments == 0
+        assert rep.holds  # vacuously
+        assert rep.implied_lower_bound == 0
+
+    def test_total_io_counts_loads_and_stores(self, H8t):
+        s = Schedule(H8t.cdag)
+        s.append(MoveKind.LOAD, H8t.a_inputs[0])
+        s.append(MoveKind.STORE, H8t.a_inputs[0])
+        rep = segment_audit(H8t, s, M=4)
+        assert rep.total_io == 2

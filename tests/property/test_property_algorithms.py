@@ -1,0 +1,91 @@
+"""Hypothesis property tests for the algorithm layer.
+
+Invariants: Brent validity ⟺ numeric correctness on arbitrary integer
+matrices; symmetry transforms preserve validity; encoders of valid
+algorithms satisfy the Lemma 3.1/3.2 structure for arbitrary orbit points.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.strassen import strassen
+from repro.algorithms.transforms import (
+    change_basis,
+    permute_products,
+    scale_products,
+    unimodular_2x2,
+)
+from repro.algorithms.winograd import winograd
+from repro.algorithms.brent import is_valid_algorithm
+from repro.basis.ks import karstadt_schwartz
+
+_UNIS = unimodular_2x2()
+
+int_matrix_4 = st.lists(
+    st.lists(st.integers(-50, 50), min_size=4, max_size=4), min_size=4, max_size=4
+).map(np.array)
+
+perm7 = st.permutations(list(range(7)))
+signs7 = st.lists(st.sampled_from([-1, 1]), min_size=7, max_size=7)
+uni_idx = st.integers(0, len(_UNIS) - 1)
+
+
+class TestNumericCorrectness:
+    @given(A=int_matrix_4, B=int_matrix_4)
+    @settings(max_examples=40, deadline=None)
+    def test_strassen_exact_on_integers(self, A, B):
+        assert np.array_equal(strassen().multiply(A, B), A @ B)
+
+    @given(A=int_matrix_4, B=int_matrix_4)
+    @settings(max_examples=40, deadline=None)
+    def test_winograd_exact_on_integers(self, A, B):
+        assert np.array_equal(winograd().multiply(A, B), A @ B)
+
+    @given(A=int_matrix_4, B=int_matrix_4)
+    @settings(max_examples=25, deadline=None)
+    def test_ks_abmm_exact_on_integers(self, A, B):
+        ks = karstadt_schwartz()
+        assert np.array_equal(ks.multiply(A, B), A @ B)
+
+
+class TestSymmetryInvariants:
+    @given(perm=perm7, signs=signs7, i=uni_idx, j=uni_idx, k=uni_idx)
+    @settings(max_examples=30, deadline=None)
+    def test_orbit_points_remain_valid(self, perm, signs, i, j, k):
+        alg = change_basis(strassen(), _UNIS[i], _UNIS[j], _UNIS[k])
+        alg = permute_products(alg, list(perm))
+        alg = scale_products(alg, signs)
+        assert is_valid_algorithm(alg)
+
+    @given(perm=perm7)
+    @settings(max_examples=20, deadline=None)
+    def test_permutation_preserves_linear_op_total(self, perm):
+        base = winograd()
+        alg = permute_products(base, list(perm))
+        assert alg.linear_op_count() == base.linear_op_count()
+
+    @given(i=uni_idx, j=uni_idx, k=uni_idx, A=int_matrix_4, B=int_matrix_4)
+    @settings(max_examples=20, deadline=None)
+    def test_orbit_points_compute_matmul(self, i, j, k, A, B):
+        alg = change_basis(strassen(), _UNIS[i], _UNIS[j], _UNIS[k])
+        assert np.array_equal(alg.multiply(A, B), A @ B)
+
+
+class TestEncoderStructure:
+    @given(i=uni_idx, j=uni_idx, k=uni_idx)
+    @settings(max_examples=25, deadline=None)
+    def test_lemma31_on_arbitrary_orbit_points(self, i, j, k):
+        from repro.lemmas.lemma31 import check_lemma31
+
+        alg = change_basis(strassen(), _UNIS[i], _UNIS[j], _UNIS[k])
+        assert check_lemma31(alg, "A").holds
+        assert check_lemma31(alg, "B").holds
+
+    @given(i=uni_idx, j=uni_idx, k=uni_idx)
+    @settings(max_examples=25, deadline=None)
+    def test_lemma32_on_arbitrary_orbit_points(self, i, j, k):
+        from repro.lemmas.lemma32_33 import check_lemma32
+
+        alg = change_basis(strassen(), _UNIS[i], _UNIS[j], _UNIS[k])
+        check_lemma32(alg, "A")
+        check_lemma32(alg, "B")

@@ -1,0 +1,64 @@
+"""Hypothesis property tests for CDAG construction invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.strassen import strassen
+from repro.algorithms.transforms import change_basis, unimodular_2x2
+from repro.cdag.base import base_case_cdag
+from repro.cdag.recursive import build_recursive_cdag
+from repro.lemmas.lemma22 import check_lemma22
+
+_UNIS = unimodular_2x2()
+uni_idx = st.integers(0, len(_UNIS) - 1)
+
+
+class TestBaseCaseInvariants:
+    @given(i=uni_idx, j=uni_idx, k=uni_idx, style=st.sampled_from(["bipartite", "tree"]))
+    @settings(max_examples=25, deadline=None)
+    def test_base_cdag_well_formed_across_orbit(self, i, j, k, style):
+        alg = change_basis(strassen(), _UNIS[i], _UNIS[j], _UNIS[k])
+        base = base_case_cdag(alg, style=style)
+        base.validate()
+        assert len(base.inputs) == 8
+        assert len(base.outputs) == 4
+        if style == "tree":
+            assert base.max_fan_in() <= 2
+
+    @given(i=uni_idx, j=uni_idx, k=uni_idx)
+    @settings(max_examples=15, deadline=None)
+    def test_edge_count_tracks_nnz(self, i, j, k):
+        """Bipartite base CDAG edges = nnz(U)+nnz(V)+nnz(W)+2t exactly."""
+        alg = change_basis(strassen(), _UNIS[i], _UNIS[j], _UNIS[k])
+        base = base_case_cdag(alg)
+        expected = (
+            int(np.count_nonzero(alg.U))
+            + int(np.count_nonzero(alg.V))
+            + int(np.count_nonzero(alg.W))
+            + 2 * alg.t
+        )
+        assert base.num_edges == expected
+
+
+class TestRecursiveInvariants:
+    @given(
+        log_n=st.integers(1, 3),
+        i=uni_idx,
+        style=st.sampled_from(["bipartite", "tree"]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_lemma22_across_orbit_and_styles(self, log_n, i, style):
+        alg = change_basis(strassen(), _UNIS[i], np.eye(2, dtype=np.int64), _UNIS[i])
+        H = build_recursive_cdag(alg, 2 ** log_n, style=style)
+        check_lemma22(H)
+        H.cdag.validate()
+
+    @given(log_n=st.integers(1, 3))
+    @settings(max_examples=6, deadline=None)
+    def test_io_counts(self, log_n):
+        n = 2 ** log_n
+        H = build_recursive_cdag(strassen(), n)
+        assert len(H.a_inputs) == n * n
+        assert len(H.b_inputs) == n * n
+        assert len(H.c_outputs) == n * n
+        assert len(H.mult_vertices) == 7 ** log_n

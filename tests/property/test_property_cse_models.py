@@ -1,0 +1,77 @@
+"""Hypothesis property tests: CSE semantics and exact I/O models.
+
+Invariants: the CSE'd straight-line program computes exactly mat·x; CSE
+never exceeds the flat addition count; the exact I/O models track the
+executors under randomized parameters.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.cse import greedy_cse
+from repro.algorithms.strassen import strassen
+from repro.bounds.io_models import recursive_fast_io_model, tiled_classical_io_model
+from repro.execution import recursive_fast_matmul, tiled_matmul
+from repro.machine import SequentialMachine
+
+sign_matrix = st.lists(
+    st.lists(st.sampled_from([-1, 0, 1]), min_size=4, max_size=4),
+    min_size=2,
+    max_size=8,
+).map(lambda rows: np.array(rows, dtype=np.int64))
+
+
+class TestCSESemantics:
+    @given(mat=sign_matrix, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_cse_program_computes_mat_times_x(self, mat, data):
+        x = np.array(
+            data.draw(st.lists(st.integers(-9, 9), min_size=4, max_size=4))
+        )
+        res = greedy_cse(mat)
+        assert np.array_equal(res.evaluate(x), mat @ x)
+
+    @given(mat=sign_matrix)
+    @settings(max_examples=60, deadline=None)
+    def test_cse_never_worse_than_flat(self, mat):
+        res = greedy_cse(mat)
+        assert res.additions <= res.flat_additions
+
+    @given(mat=sign_matrix)
+    @settings(max_examples=40, deadline=None)
+    def test_row_permutation_flat_invariant_and_semantics(self, mat):
+        """Greedy tie-breaking may vary with row order (the heuristic is
+        order-dependent), but the *flat* count is permutation-invariant and
+        the permuted program still computes the permuted product."""
+        res_perm = greedy_cse(mat[::-1])
+        assert res_perm.flat_additions == greedy_cse(mat).flat_additions
+        x = np.arange(1, 5)
+        assert np.array_equal(res_perm.evaluate(x), mat[::-1] @ x)
+
+
+class TestIOModelsRandomized:
+    @given(
+        log_n=st.integers(3, 5),
+        M=st.sampled_from([27, 48, 75, 108, 192]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_tiled_model_matches(self, log_n, M):
+        n = 2 ** log_n
+        rng = np.random.default_rng(0)
+        machine = SequentialMachine(M)
+        tiled_matmul(machine, rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+        assert tiled_classical_io_model(n, M) == machine.io_operations
+
+    @given(
+        log_n=st.integers(3, 5),
+        M=st.sampled_from([48, 108, 192]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_recursive_model_matches(self, log_n, M):
+        n = 2 ** log_n
+        rng = np.random.default_rng(0)
+        machine = SequentialMachine(M)
+        recursive_fast_matmul(
+            machine, strassen(), rng.standard_normal((n, n)), rng.standard_normal((n, n))
+        )
+        assert recursive_fast_io_model(strassen(), n, M) == machine.io_operations

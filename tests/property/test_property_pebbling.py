@@ -1,0 +1,105 @@
+"""Hypothesis property tests for pebbling and the machines.
+
+Invariants: heuristic schedules always validate; I/O is monotone in memory;
+optimal ≤ heuristic; recomputation never *increases* optimal I/O; the
+sequential machine's counters are exact under random transfer programs.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cdag.core import CDAG
+from repro.graphs.digraph import DiGraph
+from repro.machine.sequential import SequentialMachine
+from repro.pebbling.game import validate_schedule
+from repro.pebbling.heuristics import topological_schedule
+from repro.pebbling.optimal import optimal_io
+
+
+@st.composite
+def random_cdag(draw, max_n=10):
+    """Random small CDAG with fan-in ≤ 2 (game-compatible)."""
+    n = draw(st.integers(3, max_n))
+    g = DiGraph()
+    g.add_vertices(n)
+    inputs = []
+    for v in range(n):
+        max_preds = min(v, 2)
+        k = draw(st.integers(0, max_preds))
+        if k == 0:
+            inputs.append(v)
+        else:
+            preds = draw(
+                st.lists(st.integers(0, v - 1), min_size=k, max_size=k, unique=True)
+            )
+            for u in preds:
+                g.add_edge(u, v)
+    sinks = [v for v in range(n) if g.out_degree(v) == 0 and v not in inputs]
+    outputs = sinks if sinks else [n - 1]
+    if outputs == [n - 1] and (n - 1) in inputs:
+        outputs = inputs[-1:]
+    return CDAG(g, inputs, outputs, name="rand")
+
+
+class TestHeuristicValidity:
+    @given(c=random_cdag(), M=st.integers(3, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_topological_schedule_validates(self, c, M):
+        sched = topological_schedule(c, M)
+        stats = validate_schedule(sched, M, allow_recompute=False)
+        assert stats["recomputations"] == 0
+
+    @given(c=random_cdag())
+    @settings(max_examples=25, deadline=None)
+    def test_io_monotone_in_memory(self, c):
+        io = [
+            validate_schedule(topological_schedule(c, M), M)["io"]
+            for M in (3, 5, 9)
+        ]
+        assert io[0] >= io[1] >= io[2]
+
+
+class TestOptimalInvariants:
+    @given(c=random_cdag(max_n=8), M=st.integers(3, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_optimal_le_heuristic(self, c, M):
+        heuristic = validate_schedule(topological_schedule(c, M), M)["io"]
+        assert optimal_io(c, M, max_states=500_000) <= heuristic
+
+    @given(c=random_cdag(max_n=8), M=st.integers(3, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_recomputation_never_hurts(self, c, M):
+        with_r = optimal_io(c, M, allow_recompute=True, max_states=500_000)
+        without_r = optimal_io(c, M, allow_recompute=False, max_states=500_000)
+        assert with_r <= without_r
+
+    @given(c=random_cdag(max_n=8))
+    @settings(max_examples=15, deadline=None)
+    def test_optimal_at_least_compulsory(self, c):
+        """Any pebbling must store every output at least once."""
+        assert optimal_io(c, 8, max_states=500_000) >= len(
+            [o for o in c.outputs if o not in set(c.inputs)]
+        )
+
+
+class TestMachineCounters:
+    @given(
+        sizes=st.lists(st.integers(1, 6), min_size=1, max_size=6),
+        M=st.integers(40, 80),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_load_store_roundtrip_counts(self, sizes, M):
+        m = SequentialMachine(M)
+        total = 0
+        for i, s in enumerate(sizes):
+            arr = np.full((s,), float(i))
+            m.place_input(f"x{i}", arr)
+            m.load(f"x{i}")
+            m.store(f"x{i}", f"y{i}")
+            m.free(f"x{i}")
+            total += s
+        assert m.words_read == total
+        assert m.words_written == total
+        assert m.fast_words == 0
+        for i, s in enumerate(sizes):
+            assert np.array_equal(m.fetch_output(f"y{i}"), np.full((s,), float(i)))

@@ -1,0 +1,42 @@
+"""Unit tests for argument validation helpers."""
+
+import pytest
+
+from repro.util.checks import check_positive_int, check_power_of_two, ilog2, is_power_of
+
+
+class TestPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(5, "x") == 5
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            check_positive_int(bad, "x")
+
+    @pytest.mark.parametrize("bad", [1.5, "3", True, None])
+    def test_rejects_non_int(self, bad):
+        with pytest.raises(TypeError):
+            check_positive_int(bad, "x")
+
+
+class TestPowers:
+    @pytest.mark.parametrize("v,b,expected", [
+        (1, 2, True), (8, 2, True), (9, 3, True), (6, 2, False),
+        (0, 2, False), (49, 7, True), (50, 7, False),
+    ])
+    def test_is_power_of(self, v, b, expected):
+        assert is_power_of(v, b) is expected
+
+    def test_check_power_of_two(self):
+        assert check_power_of_two(16, "n") == 16
+        with pytest.raises(ValueError):
+            check_power_of_two(12, "n")
+
+    @pytest.mark.parametrize("v,expected", [(1, 0), (2, 1), (1024, 10)])
+    def test_ilog2(self, v, expected):
+        assert ilog2(v) == expected
+
+    def test_ilog2_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            ilog2(10)

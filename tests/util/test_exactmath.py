@@ -1,0 +1,129 @@
+"""Unit tests for the exact rational linear algebra kernels."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.util.exactmath import (
+    as_int_matrix,
+    frac_identity,
+    frac_inverse,
+    frac_matmul,
+    frac_matrix,
+    frac_rank,
+    frac_solve,
+    is_integer_matrix,
+    kron,
+)
+
+
+class TestFracMatrix:
+    def test_from_ints(self):
+        m = frac_matrix([[1, 2], [3, 4]])
+        assert m[0, 0] == Fraction(1)
+        assert m.shape == (2, 2)
+
+    def test_from_fractions(self):
+        m = frac_matrix([[Fraction(1, 2), 0]])
+        assert m[0, 0] == Fraction(1, 2)
+
+    def test_1d_promoted_to_row(self):
+        m = frac_matrix([1, 2, 3])
+        assert m.shape == (1, 3)
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            frac_matrix([[0.5]])
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            frac_matrix(np.zeros((2, 2, 2), dtype=object))
+
+
+class TestInverse:
+    def test_identity(self):
+        ident = frac_identity(3)
+        inv = frac_inverse(ident)
+        assert (inv == ident).all()
+
+    def test_known_inverse(self):
+        m = [[2, 1], [1, 1]]
+        inv = frac_inverse(m)
+        prod = frac_matmul(m, inv)
+        assert (prod == frac_identity(2)).all()
+
+    def test_rational_entries(self):
+        inv = frac_inverse([[2, 0], [0, 4]])
+        assert inv[0, 0] == Fraction(1, 2)
+        assert inv[1, 1] == Fraction(1, 4)
+
+    def test_singular_raises(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            frac_inverse([[1, 2], [2, 4]])
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            frac_inverse([[1, 2, 3], [4, 5, 6]])
+
+    def test_random_unimodular_roundtrip(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            # random unimodular via LU of ±1 triangulars
+            L = np.tril(rng.integers(-2, 3, (4, 4)))
+            np.fill_diagonal(L, rng.choice([-1, 1], 4))
+            U = np.triu(rng.integers(-2, 3, (4, 4)))
+            np.fill_diagonal(U, rng.choice([-1, 1], 4))
+            m = (L @ U).tolist()
+            inv = frac_inverse(m)
+            assert (frac_matmul(m, inv) == frac_identity(4)).all()
+            assert is_integer_matrix(inv)
+
+
+class TestSolveRank:
+    def test_solve(self):
+        x = frac_solve([[1, 1], [0, 1]], [[3], [2]])
+        assert x[0, 0] == Fraction(1)
+        assert x[1, 0] == Fraction(2)
+
+    def test_rank_full(self):
+        assert frac_rank([[1, 0], [0, 1]]) == 2
+
+    def test_rank_deficient(self):
+        assert frac_rank([[1, 2], [2, 4]]) == 1
+
+    def test_rank_rectangular(self):
+        assert frac_rank([[1, 0, 1], [0, 1, 1]]) == 2
+
+
+class TestIntConversion:
+    def test_as_int_matrix(self):
+        out = as_int_matrix([[1, -2], [3, 0]])
+        assert out.dtype == np.int64
+        assert out[0, 1] == -2
+
+    def test_as_int_rejects_fractions(self):
+        with pytest.raises(ValueError):
+            as_int_matrix([[Fraction(1, 2)]])
+
+
+class TestKron:
+    def test_kron_identity(self):
+        k = kron(frac_identity(2), frac_identity(2))
+        assert (k == frac_identity(4)).all()
+
+    def test_vec_transport_rule(self):
+        """vec(P·A·Q) = (P ⊗ Qᵀ)·vec(A) with row-major vec."""
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            P = rng.integers(-3, 4, (2, 2))
+            Q = rng.integers(-3, 4, (2, 2))
+            A = rng.integers(-3, 4, (2, 2))
+            lhs = (P @ A @ Q).reshape(-1)
+            K = kron(P.tolist(), Q.T.tolist())
+            rhs = frac_matmul(K, [[int(v)] for v in A.reshape(-1)])
+            assert [int(r[0]) for r in rhs.tolist()] == [int(v) for v in lhs]
+
+    def test_kron_shape(self):
+        k = kron([[1, 2]], [[1], [1]])
+        assert k.shape == (2, 2)

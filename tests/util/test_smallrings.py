@@ -1,0 +1,66 @@
+"""Unit tests for the Z/mZ rings used by the Grigoriev-flow brute force."""
+
+import numpy as np
+import pytest
+
+from repro.util.smallrings import Zmod, ring_elements
+
+
+class TestZmod:
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ValueError):
+            Zmod(1)
+
+    def test_add_wraps(self):
+        r = Zmod(3)
+        assert r.add(2, 2) == 1
+
+    def test_mul_wraps(self):
+        r = Zmod(5)
+        assert r.mul(3, 4) == 2
+
+    def test_neg(self):
+        r = Zmod(7)
+        assert r.neg(3) == 4
+        assert r.add(r.neg(3), 3) == 0
+
+    def test_matmul_matches_int_mod(self):
+        r = Zmod(3)
+        rng = np.random.default_rng(0)
+        A = rng.integers(0, 3, (4, 4))
+        B = rng.integers(0, 3, (4, 4))
+        assert np.array_equal(r.matmul(A, B), (A @ B) % 3)
+
+    def test_matmul_batched(self):
+        r = Zmod(2)
+        A = np.ones((5, 2, 2), dtype=np.int64)
+        B = np.ones((5, 2, 2), dtype=np.int64)
+        out = r.matmul(A, B)
+        assert out.shape == (5, 2, 2)
+        assert np.all(out == 0)  # 1+1 = 0 mod 2
+
+
+class TestAllVectors:
+    def test_count(self):
+        r = Zmod(3)
+        assert r.all_vectors(4).shape == (81, 4)
+
+    def test_zero_length(self):
+        r = Zmod(2)
+        v = r.all_vectors(0)
+        assert v.shape == (1, 0)
+
+    def test_all_distinct(self):
+        r = Zmod(2)
+        vs = r.all_vectors(5)
+        assert len({tuple(row) for row in vs.tolist()}) == 32
+
+    def test_lexicographic_first_last(self):
+        r = Zmod(2)
+        vs = r.all_vectors(3)
+        assert vs[0].tolist() == [0, 0, 0]
+        assert vs[-1].tolist() == [1, 1, 1]
+
+    def test_alias(self):
+        r = Zmod(2)
+        assert np.array_equal(ring_elements(r, 2), r.all_vectors(2))

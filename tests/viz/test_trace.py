@@ -1,0 +1,50 @@
+"""Unit tests for the schedule trace renderers."""
+
+from repro.cdag.families import binary_tree_cdag
+from repro.pebbling import Schedule, topological_schedule
+from repro.viz.trace import io_histogram, schedule_timeline
+
+
+class TestTimeline:
+    def test_glyphs(self):
+        c = binary_tree_cdag(2)
+        sched = topological_schedule(c, 8)
+        out = schedule_timeline(sched)
+        assert "L" in out and "·" in out and "S" in out
+
+    def test_truncation(self):
+        c = binary_tree_cdag(4)
+        sched = topological_schedule(c, 6)
+        out = schedule_timeline(sched, width=10, max_rows=2)
+        assert "more moves" in out
+
+    def test_width_respected(self):
+        c = binary_tree_cdag(3)
+        sched = topological_schedule(c, 6)
+        out = schedule_timeline(sched, width=20)
+        body = out.splitlines()[1:]
+        assert all(len(line) <= 20 for line in body if not line.startswith("…"))
+
+
+class TestHistogram:
+    def test_buckets(self):
+        c = binary_tree_cdag(3)
+        sched = topological_schedule(c, 5)
+        out = io_histogram(sched, buckets=4)
+        assert out.count("|") == 8  # two bars per bucket row
+
+    def test_counts_sum_to_io(self):
+        c = binary_tree_cdag(3)
+        sched = topological_schedule(c, 5)
+        out = io_histogram(sched, buckets=5)
+        totals = [int(line.rsplit(" ", 1)[-1]) for line in out.splitlines()[1:]]
+        from repro.pebbling.game import MoveKind
+
+        expected = sum(
+            1 for m in sched.moves if m.kind in (MoveKind.LOAD, MoveKind.STORE)
+        )
+        assert sum(totals) == expected
+
+    def test_empty_schedule(self):
+        c = binary_tree_cdag(2)
+        assert "(empty schedule)" in io_histogram(Schedule(c))

@@ -1,0 +1,50 @@
+"""Unit tests for the figure renderers."""
+
+import pytest
+
+from repro.cdag.base import base_case_cdag
+from repro.cdag.recursive import build_recursive_cdag
+from repro.lemmas.lemma311 import lemma311_instance
+from repro.viz.ascii_art import base_cdag_ascii, encoder_ascii, lemma311_ascii
+from repro.viz.dot import cdag_to_dot, encoder_to_dot
+
+
+class TestDot:
+    def test_base_cdag_dot(self, strassen_alg):
+        dot = cdag_to_dot(base_case_cdag(strassen_alg))
+        assert dot.startswith("digraph")
+        assert dot.count("->") == 50  # the base CDAG's edges
+        assert "doublecircle" in dot  # outputs styled
+
+    def test_encoder_dot(self, strassen_alg):
+        dot = encoder_to_dot(strassen_alg, "A")
+        assert "a11" in dot
+        assert dot.count("->") == 12  # nnz(U) for Strassen
+
+    def test_encoder_dot_b_side(self, winograd_alg):
+        dot = encoder_to_dot(winograd_alg, "B")
+        assert "b11" in dot
+
+    def test_size_guard(self, strassen_alg):
+        H = build_recursive_cdag(strassen_alg, 8)
+        with pytest.raises(ValueError):
+            cdag_to_dot(H.cdag, max_vertices=100)
+
+
+class TestAscii:
+    def test_encoder_ascii(self, strassen_alg):
+        art = encoder_ascii(strassen_alg, "A")
+        assert "Figure 2" in art
+        assert "M1" in art
+        assert "a11" in art
+
+    def test_base_ascii(self, strassen_alg):
+        art = base_cdag_ascii(base_case_cdag(strassen_alg))
+        assert "Figure 1" in art
+        assert "vertices=33" in art
+
+    def test_lemma311_ascii(self, H4):
+        inst = lemma311_instance(H4, 2, H4.sub_outputs[2][0], [])
+        art = lemma311_ascii(inst)
+        assert "Figure 3" in art
+        assert "holds: True" in art
