@@ -1,8 +1,9 @@
 """E6 — Theorem 1.1 parallel: max{memory-dependent, memory-independent}.
 
-Strong-scaling sweep of BFS-parallel Strassen, communication measured per
-word, against both bound terms; locates the crossover P* and checks it
-against the closed form.
+Strong-scaling sweep of BFS-parallel Strassen (and the SUMMA classical
+baseline), declared as engine points and executed through
+:mod:`repro.engine`; communication is measured per word against both
+bound terms, and the crossover P* is checked against the closed form.
 """
 
 from __future__ import annotations
@@ -17,40 +18,33 @@ from repro.bounds.formulas import (
     fast_memory_independent,
     fast_parallel,
     parallel_crossover_P,
-    parallel_max_bound,
 )
-from repro.execution import parallel_classical_summa, parallel_strassen_bfs
-from repro.machine import BSPMachine
+from repro.engine import EngineConfig, parallel_comm_point, run_sweep
+
+ENGINE = EngineConfig()  # serial, cache-off: benchmark timings stay honest
 
 
-def test_parallel_strong_scaling(benchmark, rng):
+def test_parallel_strong_scaling(benchmark):
     n, M = 32, 48
-    A = rng.standard_normal((n, n))
-    B = rng.standard_normal((n, n))
-    procs = [1, 7, 49]
+    points = [parallel_comm_point("strassen", n, P, M) for P in (1, 7, 49)]
 
-    def sweep():
-        rows = []
-        for P in procs:
-            C, stats = parallel_strassen_bfs(strassen(), A, B, P=P, M=M)
-            assert np.allclose(C, A @ B)
-            rows.append((P, stats.comm_per_proc_max, stats.local_io_per_proc))
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    res = benchmark.pedantic(
+        lambda: run_sweep(points, ENGINE, parameter="P"), rounds=1, iterations=1
+    )
     print(banner("E6 — BFS-parallel Strassen strong scaling (n=32, M=48)"))
     table = []
-    for P, comm, local in rows:
-        md = fast_parallel(n, M, P)
-        mi = fast_memory_independent(n, P)
-        table.append([P, comm, local, md, mi, max(md, mi)])
+    for p in res.points:
+        md = p.run.metrics["bound_memory_dependent"]
+        mi = p.run.metrics["bound_memory_independent"]
+        local = p.run.metrics["local_io_per_proc"]
+        table.append([int(p.x), p.measured, local, md, mi, max(md, mi)])
     print(text_table(
         ["P", "comm/proc", "local I/O", "Ω mem-dep", "Ω mem-indep", "max{·,·}"],
         table,
     ))
     # total per-proc I/O (comm + local) must respect the max bound's shape
-    for (P, comm, local), row in zip(rows, table):
-        assert comm + local >= row[5] / 8
+    for P, comm, local, _md, _mi, bound in table:
+        assert comm + local >= bound / 8
 
 
 def test_parallel_crossover_location(benchmark):
@@ -98,23 +92,18 @@ def test_memory_independent_audit(benchmark):
     assert audits[-1].lemma36_floor > 0  # the non-vacuous case
 
 
-def test_parallel_classical_baseline(benchmark, rng):
+def test_parallel_classical_baseline(benchmark):
     """SUMMA as the classical comparator (Table I row 1, parallel)."""
     n = 32
-    A = rng.standard_normal((n, n))
-    B = rng.standard_normal((n, n))
+    points = [parallel_comm_point(None, n, P) for P in (4, 16)]
 
-    def sweep():
-        rows = []
-        for P in (4, 16):
-            m = BSPMachine(P)
-            C = parallel_classical_summa(m, A, B)
-            assert np.allclose(C, A @ B)
-            rows.append([P, m.max_io_per_processor,
-                         n * n / P ** (2 / 3)])
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    res = benchmark.pedantic(
+        lambda: run_sweep(points, ENGINE, parameter="P"), rounds=1, iterations=1
+    )
+    rows = [
+        [int(p.x), p.measured, p.run.metrics["bound_memory_independent"]]
+        for p in res.points
+    ]
     print(banner("E6 — SUMMA classical baseline"))
     print(text_table(["P", "comm/proc", "Ω(n²/P^{2/3})"], rows))
     for _, comm, floor in rows:

@@ -1,12 +1,14 @@
 """E7 — the title claim: recomputation does not help fast matmul,
 but *does* help elsewhere (§V contrast).
 
-Three experiments:
+Each experiment is now a declarative list of engine points (CDAG family +
+game mode + cost model) executed through :mod:`repro.engine`:
+
   1. optimal pebbling of fast-matmul base CDAGs with vs without
      recomputation — equal I/O;
   2. the engineered gadget where recomputation strictly wins — and wins by
      ω under the §V non-volatile-memory (expensive-writes) cost model;
-  3. the segment audit on a massively recomputing schedule of H⁸ˣ⁸ —
+  3. the segment audit on a massively recomputing schedule of H¹⁶ˣ¹⁶ —
      the floor survives.
 """
 
@@ -14,13 +16,21 @@ from __future__ import annotations
 
 from conftest import banner
 
-from repro.algorithms import strassen
 from repro.analysis.report import text_table
-from repro.cdag import base_case_cdag, build_recursive_cdag
-from repro.cdag.families import binary_tree_cdag, diamond_chain_cdag, recompute_wins_cdag
-from repro.pebbling import optimal_io, segment_audit, validate_schedule
-from repro.pebbling.game import PebbleCost
-from repro.pebbling.heuristics import dfs_recompute_schedule
+from repro.engine import (
+    EngineConfig,
+    pebble_optimal_point,
+    run_point,
+    run_sweep,
+    segment_audit_point,
+)
+
+ENGINE = EngineConfig()  # serial, cache-off: benchmark timings stay honest
+
+
+def _pair(measured: list[float]) -> list[tuple[float, float]]:
+    """(with, without) pairs from an interleaved on/off point list."""
+    return list(zip(measured[0::2], measured[1::2]))
 
 
 def test_recomputation_no_gain_on_matmul_base(benchmark):
@@ -30,19 +40,32 @@ def test_recomputation_no_gain_on_matmul_base(benchmark):
     The full 51-vertex base CDAG exceeds the exact search's reach; the
     slice retains the structure that could have rewarded recomputation
     (shared operand A11 between M3's and M5's encoders)."""
-    base = base_case_cdag(strassen(), style="tree")
+    cases = [
+        (label, M, out_idx)
+        for out_idx, label in ((1, "C12 slice"), (2, "C21 slice"))
+        for M in (4, 5)
+    ]
+    points = [
+        pebble_optimal_point(
+            "base_case_slice",
+            M=M,
+            allow_recompute=allow,
+            max_states=4_000_000,
+            alg="strassen",
+            output_index=out_idx,
+            style="tree",
+        )
+        for _, M, out_idx in cases
+        for allow in (True, False)
+    ]
 
-    def compare():
-        rows = []
-        for out_idx, label in ((1, "C12 slice"), (2, "C21 slice")):
-            piece = base.ancestor_closure([base.outputs[out_idx]])
-            for M in (4, 5):
-                w = optimal_io(piece, M, allow_recompute=True, max_states=4_000_000)
-                wo = optimal_io(piece, M, allow_recompute=False, max_states=4_000_000)
-                rows.append([label, M, w, wo, w == wo])
-        return rows
-
-    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    res = benchmark.pedantic(
+        lambda: run_sweep(points, ENGINE, parameter="M"), rounds=1, iterations=1
+    )
+    rows = [
+        [label, M, w, wo, w == wo]
+        for (label, M, _), (w, wo) in zip(cases, _pair(res.measured))
+    ]
     print(banner("E7 — Strassen base-CDAG slices: optimal I/O, recomputation on/off"))
     print(text_table(["slice", "M", "with recompute", "without", "equal"], rows))
     for *_, w, wo, _eq in rows:
@@ -51,21 +74,28 @@ def test_recomputation_no_gain_on_matmul_base(benchmark):
 
 def test_recomputation_wins_on_gadget(benchmark):
     """The §V contrast: a CDAG where recomputation strictly reduces I/O."""
-    gadget = recompute_wins_cdag(1, 2)
+    cost_models = [("symmetric", 1.0, 1.0), ("NVM ω=2", 1.0, 2.0), ("NVM ω=4", 1.0, 4.0)]
+    points = [
+        pebble_optimal_point(
+            "recompute_wins",
+            M=3,
+            allow_recompute=allow,
+            read_cost=rc,
+            write_cost=wc,
+            gadgets=1,
+            flush_length=2,
+        )
+        for _, rc, wc in cost_models
+        for allow in (True, False)
+    ]
 
-    def compare():
-        rows = []
-        for name, cost in (
-            ("symmetric", PebbleCost()),
-            ("NVM ω=2", PebbleCost(1, 2)),
-            ("NVM ω=4", PebbleCost(1, 4)),
-        ):
-            w = optimal_io(gadget, 3, True, cost)
-            wo = optimal_io(gadget, 3, False, cost)
-            rows.append([name, w, wo, wo - w])
-        return rows
-
-    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    res = benchmark.pedantic(
+        lambda: run_sweep(points, ENGINE, parameter="M"), rounds=1, iterations=1
+    )
+    rows = [
+        [name, w, wo, wo - w]
+        for (name, _, _), (w, wo) in zip(cost_models, _pair(res.measured))
+    ]
     print(banner("E7 — recomputation-wins gadget (M = 3)"))
     print(text_table(["cost model", "with recompute", "without", "gap"], rows))
     assert all(gap > 0 for *_, gap in rows)
@@ -74,16 +104,23 @@ def test_recomputation_wins_on_gadget(benchmark):
 
 def test_recomputation_neutral_families(benchmark):
     """Trees and diamonds: recomputation buys nothing (footnote-1 cases)."""
-    cases = [("binary tree", binary_tree_cdag(3), 5),
-             ("diamond chain", diamond_chain_cdag(3), 4)]
+    cases = [
+        ("binary tree", "binary_tree", {"depth": 3}, 5),
+        ("diamond chain", "diamond_chain", {"length": 3}, 4),
+    ]
+    points = [
+        pebble_optimal_point(family, M=M, allow_recompute=allow, **fp)
+        for _, family, fp, M in cases
+        for allow in (True, False)
+    ]
 
-    def compare():
-        return [
-            [name, optimal_io(c, M, True), optimal_io(c, M, False)]
-            for name, c, M in cases
-        ]
-
-    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    res = benchmark.pedantic(
+        lambda: run_sweep(points, ENGINE, parameter="M"), rounds=1, iterations=1
+    )
+    rows = [
+        [name, w, wo]
+        for (name, *_), (w, wo) in zip(cases, _pair(res.measured))
+    ]
     print(banner("E7 — recomputation-neutral families"))
     print(text_table(["CDAG", "with", "without"], rows))
     for _, w, wo in rows:
@@ -95,20 +132,17 @@ def test_recomputation_adversary_vs_segment_floor(benchmark):
     Theorem 1.1 per-segment I/O floor.  Sound configuration: the schedule
     runs at the audited memory (M = 16, so r = 2√M = 8 and the floor is
     r²/2 − M = 16), on H¹⁶ˣ¹⁶ where that r yields 7 segments."""
-    H = build_recursive_cdag(strassen(), 16, style="tree")
+    point = segment_audit_point("strassen", n=16, M=16, style="tree")
 
-    def run():
-        sched = dfs_recompute_schedule(H.cdag, 16)
-        stats = validate_schedule(sched, 16, allow_recompute=True)
-        rep = segment_audit(H, sched, M=16)
-        return stats, rep
-
-    stats, rep = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: run_point(point, ENGINE), rounds=1, iterations=1
+    )
+    m = result.metrics
     print(banner("E7 — DFS-recompute adversary vs the segment floor (H¹⁶ˣ¹⁶, M=16)"))
-    print(f"  recomputations performed: {stats['recomputations']:,}")
-    print(f"  segments: {rep.num_segments}, per-segment floor: {rep.per_segment_bound}")
-    print(f"  min segment I/O observed: {rep.min_segment_io}")
-    print(f"  total I/O: {rep.total_io:,} ≥ implied bound {rep.implied_lower_bound}")
-    assert stats["recomputations"] > 100_000
-    assert rep.num_segments == 7
-    assert rep.holds
+    print(f"  recomputations performed: {m['recomputations']:,}")
+    print(f"  segments: {m['num_segments']}, per-segment floor: {m['per_segment_bound']}")
+    print(f"  min segment I/O observed: {m['min_segment_io']}")
+    print(f"  total I/O: {m['total_io']:,} ≥ implied bound {m['implied_lower_bound']}")
+    assert m["recomputations"] > 100_000
+    assert m["num_segments"] == 7
+    assert m["holds"]

@@ -1,38 +1,35 @@
 """E5 — Theorem 1.1 sequential shape: measured I/O vs Ω((n/√M)^{ω₀}·M).
 
-Sweeps n and M for the instrumented executions (tiled classical, DFS
-Strassen/Winograd, KS-ABMM), fits exponents, and verifies (a) the floor is
+Declarative engine sweeps: each test states its experiment points and runs
+them through :func:`repro.engine.run_sweep` (counting runs on the
+sequential machine), then fits exponents and checks (a) the floor is
 never crossed and (b) the fitted exponents match 3 vs log₂7.
 """
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import banner
 
-from repro.algorithms import strassen, winograd
-from repro.analysis.fitting import sweep_sequential_io
 from repro.analysis.report import text_table
-from repro.basis import karstadt_schwartz
-from repro.bounds.formulas import OMEGA0_STRASSEN, classical_sequential, fast_sequential
+from repro.bounds.formulas import OMEGA0_STRASSEN
 from repro.bounds.validation import shape_report
-from repro.execution import abmm_machine_multiply
-from repro.machine import SequentialMachine
+from repro.engine import EngineConfig, run_point, run_sweep, seq_io_point
 
 SIZES = [32, 64, 128]
 M = 48
+ENGINE = EngineConfig()  # serial, cache-off: benchmark timings stay honest
 
 
 def test_seq_sweep_strassen(benchmark):
+    points = [seq_io_point("strassen", n, M) for n in SIZES]
     res = benchmark.pedantic(
-        lambda: sweep_sequential_io(strassen(), SIZES, M), rounds=1, iterations=1
+        lambda: run_sweep(points, ENGINE), rounds=1, iterations=1
     )
-    bound = [fast_sequential(n, M) for n in SIZES]
-    rep = shape_report(SIZES, res.measured, bound)
+    rep = shape_report(res.values, res.measured, res.bounds)
     print(banner("E5 — DFS Strassen measured I/O vs Ω((n/√M)^{log₂7}·M)"))
     print(text_table(
         ["n", "measured I/O", "bound", "ratio"],
-        [[n, m, b, m / b] for n, m, b in zip(SIZES, res.measured, res.bound if hasattr(res, 'bound') else bound)],
+        [[int(p.x), p.measured, p.bound, p.measured / p.bound] for p in res.points],
     ))
     print(f"fitted exponent: {rep.fitted_exponent:.3f} (ω₀ = {OMEGA0_STRASSEN:.3f})")
     assert rep.never_below
@@ -40,68 +37,51 @@ def test_seq_sweep_strassen(benchmark):
 
 
 def test_seq_sweep_classical(benchmark):
+    points = [seq_io_point(None, n, M) for n in SIZES]
     res = benchmark.pedantic(
-        lambda: sweep_sequential_io(None, SIZES, M), rounds=1, iterations=1
+        lambda: run_sweep(points, ENGINE), rounds=1, iterations=1
     )
-    bound = [classical_sequential(n, M) for n in SIZES]
-    rep = shape_report(SIZES, res.measured, bound)
+    rep = shape_report(res.values, res.measured, res.bounds)
     print(banner("E5 — tiled classical measured I/O vs Ω((n/√M)³·M)"))
     print(text_table(
         ["n", "measured I/O", "bound", "ratio"],
-        [[n, m, b, m / b] for n, m, b in zip(SIZES, res.measured, bound)],
+        [[int(p.x), p.measured, p.bound, p.measured / p.bound] for p in res.points],
     ))
     print(f"fitted exponent: {rep.fitted_exponent:.3f} (target 3)")
     assert abs(rep.fitted_exponent - 3.0) < 0.35
 
 
-def test_seq_sweep_m_dependence(benchmark, rng):
+def test_seq_sweep_m_dependence(benchmark):
     """I/O vs M at fixed n: the M^{1−ω₀/2} decay of the fast bound."""
-    from repro.execution import recursive_fast_matmul
-
     n = 64
-    Ms = [12, 48, 192, 768]
-    A = rng.standard_normal((n, n))
-    B = rng.standard_normal((n, n))
+    points = [seq_io_point("strassen", n, m_words) for m_words in (12, 48, 192, 768)]
 
-    def sweep():
-        out = []
-        for m_words in Ms:
-            mach = SequentialMachine(m_words)
-            recursive_fast_matmul(mach, strassen(), A, B)
-            out.append(mach.io_operations)
-        return out
-
-    measured = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    res = benchmark.pedantic(
+        lambda: run_sweep(points, ENGINE, parameter="M"), rounds=1, iterations=1
+    )
     print(banner("E5 — I/O vs M at n = 64 (fast bound decays as M^{1−ω₀/2})"))
-    rows = [[m_words, io, fast_sequential(n, m_words), io / fast_sequential(n, m_words)]
-            for m_words, io in zip(Ms, measured)]
-    print(text_table(["M", "measured", "bound", "ratio"], rows))
+    print(text_table(
+        ["M", "measured", "bound", "ratio"],
+        [[int(p.x), p.measured, p.bound, p.measured / p.bound] for p in res.points],
+    ))
+    measured = res.measured
     assert measured == sorted(measured, reverse=True)
-    for m_words, io in zip(Ms, measured):
-        assert io >= fast_sequential(n, m_words)
+    for p in res.points:
+        assert p.measured >= p.bound
 
 
-def test_seq_sweep_three_algorithms(benchmark, rng):
+def test_seq_sweep_three_algorithms(benchmark):
     """Strassen vs Winograd vs KS at one (n, M): the Table I 'who wins'."""
     n = 64
-    A = rng.standard_normal((n, n))
-    B = rng.standard_normal((n, n))
+    labeled = [
+        ("classical (tiled)", seq_io_point(None, n, M)),
+        ("strassen", seq_io_point("strassen", n, M)),
+        ("winograd", seq_io_point("winograd", n, M)),
+        ("karstadt-schwartz (ABMM)", seq_io_point("karstadt_schwartz", n, M)),
+    ]
 
     def run_all():
-        from repro.execution import recursive_fast_matmul, tiled_matmul
-
-        out = {}
-        mach = SequentialMachine(M)
-        tiled_matmul(mach, A, B)
-        out["classical (tiled)"] = mach.io_operations
-        for alg in (strassen(), winograd()):
-            mach = SequentialMachine(M)
-            recursive_fast_matmul(mach, alg, A, B)
-            out[alg.name] = mach.io_operations
-        mach = SequentialMachine(M)
-        _, phases = abmm_machine_multiply(mach, karstadt_schwartz(), A, B)
-        out["karstadt-schwartz (ABMM)"] = int(phases["io_total"])
-        return out
+        return {label: run_point(pt, ENGINE).metrics["io"] for label, pt in labeled}
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
     print(banner(f"E5 — measured I/O of all algorithms at n={n}, M={M}"))

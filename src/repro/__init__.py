@@ -25,7 +25,9 @@ checkable, and pairs each lower bound with an instrumented upper bound:
   distributed matmul executions on top;
 * ``repro.bounds`` — every row of Table I as formulas with provenance;
 * ``repro.lemmas`` — each lemma of Sections III–IV as an executable check;
-* ``repro.analysis`` / ``repro.viz`` — sweeps, fits, and figure renderers.
+* ``repro.analysis`` / ``repro.viz`` — sweeps, fits, and figure renderers;
+* ``repro.engine`` — the cached, parallel experiment engine every sweep
+  and benchmark runs through.
 
 Quick start::
 
@@ -33,6 +35,13 @@ Quick start::
     alg = strassen()
     print(check_lemma31(alg))            # the paper's key matching lemma
     H = build_recursive_cdag(alg, 8)     # the CDAG the bounds live on
+
+Sweeps run through the engine (typed results, persistent cache, workers)::
+
+    from repro import EngineConfig, run_sweep, seq_io_point
+    points = [seq_io_point("strassen", n, M=48) for n in (32, 64, 128)]
+    sweep = run_sweep(points, EngineConfig(workers=4, cache_dir=".cache"))
+    print(sweep.exponent)                # ≈ log₂7
 """
 
 from repro.algorithms import (
@@ -73,6 +82,23 @@ from repro.bounds import (
     parallel_max_bound,
     format_table1,
     evaluate_table1,
+)
+from repro.analysis.results import (
+    BoundValue,
+    RunResult,
+    SweepPoint,
+    SweepResult,
+    Table1Evaluation,
+)
+from repro.engine import (
+    EngineConfig,
+    ExperimentPoint,
+    run_point,
+    run_sweep,
+    parallel_comm_point,
+    pebble_optimal_point,
+    segment_audit_point,
+    seq_io_point,
 )
 from repro.lemmas import (
     check_lemma22,
@@ -122,6 +148,19 @@ __all__ = [
     "parallel_max_bound",
     "format_table1",
     "evaluate_table1",
+    "BoundValue",
+    "RunResult",
+    "SweepPoint",
+    "SweepResult",
+    "Table1Evaluation",
+    "EngineConfig",
+    "ExperimentPoint",
+    "run_point",
+    "run_sweep",
+    "seq_io_point",
+    "parallel_comm_point",
+    "pebble_optimal_point",
+    "segment_audit_point",
     "check_lemma22",
     "check_lemma31",
     "check_lemma32",

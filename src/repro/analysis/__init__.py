@@ -1,6 +1,18 @@
 """Experiment harness utilities: sweeps, exponent fits, crossovers, reports."""
 
-from repro.analysis.fitting import sweep_sequential_io, sweep_parallel_comm
+from repro.analysis.fitting import (
+    sweep_sequential_io,
+    sweep_parallel_comm,
+    sweep_from_jsonl,
+    sweep_from_runs,
+)
+from repro.analysis.results import (
+    BoundValue,
+    RunResult,
+    SweepPoint,
+    SweepResult,
+    Table1Evaluation,
+)
 from repro.analysis.crossover import find_crossover
 from repro.analysis.report import text_table
 from repro.analysis.constants import ConstantSeries, leading_constant_series
@@ -8,6 +20,13 @@ from repro.analysis.constants import ConstantSeries, leading_constant_series
 __all__ = [
     "sweep_sequential_io",
     "sweep_parallel_comm",
+    "sweep_from_jsonl",
+    "sweep_from_runs",
+    "BoundValue",
+    "RunResult",
+    "SweepPoint",
+    "SweepResult",
+    "Table1Evaluation",
     "find_crossover",
     "text_table",
     "ConstantSeries",

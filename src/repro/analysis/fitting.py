@@ -1,85 +1,101 @@
-"""Parameter sweeps producing the measured side of every shape experiment."""
+"""Parameter sweeps producing the measured side of every shape experiment.
+
+The sweeps now run through :mod:`repro.engine` — declarative point lists,
+optional process-pool fan-out, persistent caching — and return the typed
+:class:`~repro.analysis.results.SweepResult`.  The pre-engine loop helpers
+(:func:`sweep_sequential_io`, :func:`sweep_parallel_comm`) survive as thin
+deprecated wrappers so old call sites keep measuring the same numbers.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from pathlib import Path
 
-import numpy as np
+from repro.analysis.results import RunResult, SweepPoint, SweepResult
 
-from repro.algorithms.bilinear import BilinearAlgorithm
-from repro.bounds.validation import fit_exponent
-from repro.execution.parallel_strassen import parallel_strassen_bfs
-from repro.execution.recursive_bilinear import recursive_fast_matmul
-from repro.execution.classical_tiled import tiled_matmul
-from repro.machine.sequential import SequentialMachine
+__all__ = [
+    "SweepResult",
+    "sweep_sequential_io",
+    "sweep_parallel_comm",
+    "sweep_from_jsonl",
+    "sweep_from_runs",
+]
 
-__all__ = ["SweepResult", "sweep_sequential_io", "sweep_parallel_comm"]
+
+def sweep_from_runs(runs: list[RunResult], parameter: str = "n") -> SweepResult:
+    """Assemble a :class:`SweepResult` from engine run results."""
+    from repro.engine.runners import PRIMARY_METRIC
+
+    points = []
+    for i, run in enumerate(runs):
+        metric = PRIMARY_METRIC.get(run.kind, "io")
+        points.append(
+            SweepPoint(
+                x=float(run.params.get(parameter, i)),
+                measured=float(run.metrics[metric]),
+                bound=run.metrics.get("bound"),
+                run=run,
+            )
+        )
+    return SweepResult(parameter=parameter, points=points)
 
 
-@dataclass
-class SweepResult:
-    """Measured I/O over a parameter sweep plus the fitted exponent."""
+def sweep_from_jsonl(path: str | Path, parameter: str = "n") -> SweepResult:
+    """Rebuild a sweep from the JSONL stream :func:`repro.engine.run_sweep`
+    writes — the hand-off between the engine and this fitting layer."""
+    from repro.engine import load_results_jsonl
 
-    parameter: str
-    values: list[float]
-    measured: list[float]
-    extras: dict[str, list[float]] = field(default_factory=dict)
+    return sweep_from_runs(load_results_jsonl(path), parameter)
 
-    @property
-    def exponent(self) -> float:
-        return fit_exponent(self.values, self.measured)
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see repro.engine)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def sweep_sequential_io(
-    alg: BilinearAlgorithm | None,
+    alg,
     sizes: list[int],
     M: int,
     seed: int = 0,
 ) -> SweepResult:
-    """Measured sequential I/O vs n for one algorithm (None = tiled classical).
+    """Deprecated: measured sequential I/O vs n (None = tiled classical).
 
-    Correctness of every product is asserted inside the sweep — measured
-    I/O of a wrong execution would be meaningless.
+    Use ``run_sweep([seq_io_point(alg, n, M) for n in sizes])`` instead —
+    same counted executions, plus caching and parallel fan-out.
     """
-    rng = np.random.default_rng(seed)
-    measured: list[float] = []
-    for n in sizes:
-        A = rng.standard_normal((n, n))
-        B = rng.standard_normal((n, n))
-        machine = SequentialMachine(M)
-        if alg is None:
-            C = tiled_matmul(machine, A, B)
-        else:
-            C = recursive_fast_matmul(machine, alg, A, B)
-        if not np.allclose(C, A @ B):
-            raise AssertionError(f"wrong product at n={n}")
-        measured.append(float(machine.io_operations))
-    return SweepResult(parameter="n", values=[float(v) for v in sizes], measured=measured)
+    _deprecated("sweep_sequential_io", "repro.engine.run_sweep over seq_io_point")
+    from repro.engine import run_sweep, seq_io_point
+
+    points = [seq_io_point(alg, n, M, seed=seed) for n in sizes]
+    return run_sweep(points, parameter="n")
 
 
 def sweep_parallel_comm(
-    alg: BilinearAlgorithm,
+    alg,
     n: int,
     procs: list[int],
     M: int | None = None,
     seed: int = 0,
 ) -> SweepResult:
-    """Measured per-processor communication vs P (strong scaling)."""
-    rng = np.random.default_rng(seed)
-    A = rng.standard_normal((n, n))
-    B = rng.standard_normal((n, n))
-    expected = A @ B
-    comm: list[float] = []
-    local: list[float] = []
-    for P in procs:
-        C, stats = parallel_strassen_bfs(alg, A, B, P=P, M=M)
-        if not np.allclose(C, expected):
-            raise AssertionError(f"wrong product at P={P}")
-        comm.append(float(max(stats.comm_per_proc_max, 1)))
-        local.append(stats.local_io_per_proc)
-    return SweepResult(
-        parameter="P",
-        values=[float(p) for p in procs],
-        measured=comm,
-        extras={"local_io": local},
+    """Deprecated: measured per-processor communication vs P.
+
+    Use ``run_sweep([parallel_comm_point(alg, n, P, M) for P in procs],
+    parameter="P")`` instead.
+    """
+    _deprecated(
+        "sweep_parallel_comm", "repro.engine.run_sweep over parallel_comm_point"
     )
+    from repro.engine import parallel_comm_point, run_sweep
+
+    points = [parallel_comm_point(alg, n, P, M, seed=seed) for P in procs]
+    sweep = run_sweep(points, parameter="P")
+    # legacy shape: comm clamped to >= 1 and local I/O exposed as an extra
+    for p in sweep.points:
+        p.measured = max(p.measured, 1.0)
+        p.extras = {"local_io": p.run.metrics["local_io_per_proc"]} if p.run else {}
+    return sweep

@@ -54,11 +54,10 @@ def _e4_fig3() -> str:
 
 
 def _e5_sequential() -> str:
-    from repro.algorithms import strassen
-    from repro.analysis.fitting import sweep_sequential_io
     from repro.bounds.formulas import OMEGA0_STRASSEN
+    from repro.engine import run_sweep, seq_io_point
 
-    res = sweep_sequential_io(strassen(), [32, 64, 128], 48)
+    res = run_sweep([seq_io_point("strassen", n, 48) for n in (32, 64, 128)])
     assert abs(res.exponent - OMEGA0_STRASSEN) < 0.15
     return f"fitted exponent {res.exponent:.3f} ≈ log₂7"
 

@@ -29,6 +29,16 @@ class Table1Row:
     with_recomputation: str
     notes: str = ""
 
+    def to_dict(self) -> dict:
+        """JSON-safe static view (formulas + provenance, no values)."""
+        return {
+            "algorithm": self.algorithm,
+            "bounds": list(self.bounds_display),
+            "without_recomputation": self.without_recomputation,
+            "with_recomputation": self.with_recomputation,
+            "notes": self.notes,
+        }
+
 
 def _classical(n: float, M: float, P: float) -> tuple[float, ...]:
     return (F.classical_parallel(n, M, P), F.classical_memory_independent(n, P))
@@ -126,16 +136,28 @@ def format_table1() -> str:
     return "\n".join(lines)
 
 
-def evaluate_table1(n: float, M: float, P: float) -> list[dict]:
-    """Numeric values of every row's bounds at (n, M, P)."""
+def evaluate_table1(n: float, M: float, P: float) -> "list[Table1Evaluation]":
+    """Numeric values of every row's bounds at (n, M, P).
+
+    Returns typed :class:`~repro.analysis.results.Table1Evaluation` objects;
+    they implement the ``Mapping`` protocol, so pre-existing dict-style
+    consumers (``entry["bounds"].items()``) keep working unchanged.
+    """
+    # local import: repro.analysis imports repro.bounds for the fit helpers,
+    # so the typed-results dependency must stay lazy to avoid a cycle
+    from repro.analysis.results import BoundValue, Table1Evaluation
+
     out = []
     for row in TABLE1_ROWS:
         vals = row.evaluate(n, M, P)
         out.append(
-            {
-                "algorithm": row.algorithm,
-                "bounds": dict(zip(row.bounds_display, vals)),
-                "with_recomputation": row.with_recomputation,
-            }
+            Table1Evaluation(
+                algorithm=row.algorithm,
+                bounds=tuple(
+                    BoundValue(expr, float(v))
+                    for expr, v in zip(row.bounds_display, vals)
+                ),
+                with_recomputation=row.with_recomputation,
+            )
         )
     return out

@@ -8,19 +8,32 @@ figures                 print Figures 1–3 (ASCII renderings)
 verify                  run the full lemma-verification audit
 sweep N... --M M        measured sequential I/O sweep with exponent fit
 recompute               the recomputation study (optimal pebbling)
+
+``table1``, ``eval``, and ``sweep`` accept ``--json`` for machine-readable
+output; ``sweep`` and ``recompute`` run through :mod:`repro.engine`, so
+``--workers``, ``--cache-dir``, and ``--jsonl`` are available there.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 __all__ = ["main"]
 
 
-def _cmd_table1(_args) -> int:
-    from repro.bounds import format_table1
+def _print_json(payload) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
 
+
+def _cmd_table1(args) -> int:
+    from repro.bounds import format_table1
+    from repro.bounds.table1 import TABLE1_ROWS
+
+    if args.json:
+        _print_json([row.to_dict() for row in TABLE1_ROWS])
+        return 0
     print(format_table1())
     return 0
 
@@ -29,10 +42,21 @@ def _cmd_eval(args) -> int:
     from repro.analysis.report import text_table
     from repro.bounds import evaluate_table1
 
+    entries = evaluate_table1(args.n, args.M, args.P)
+    if args.json:
+        _print_json(
+            {
+                "n": args.n,
+                "M": args.M,
+                "P": args.P,
+                "rows": [entry.to_dict() for entry in entries],
+            }
+        )
+        return 0
     rows = []
-    for entry in evaluate_table1(args.n, args.M, args.P):
-        for expr, value in entry["bounds"].items():
-            rows.append([entry["algorithm"][:44], expr, value])
+    for entry in entries:
+        for bound in entry.bounds:
+            rows.append([entry.algorithm[:44], bound.expr, bound.value])
     print(f"Table I at n={args.n}, M={args.M}, P={args.P}:")
     print(text_table(["algorithm", "bound", "value"], rows))
     return 0
@@ -76,34 +100,62 @@ def _cmd_verify(_args) -> int:
     return 0
 
 
-def _cmd_sweep(args) -> int:
-    from repro.algorithms import strassen
-    from repro.analysis.fitting import sweep_sequential_io
-    from repro.analysis.report import text_table
-    from repro.bounds.formulas import OMEGA0_STRASSEN, fast_sequential
+def _engine_config(args):
+    from repro.engine import EngineConfig
 
-    res = sweep_sequential_io(strassen(), args.sizes, args.M)
-    rows = [
-        [n, io, fast_sequential(n, args.M)]
-        for n, io in zip(args.sizes, res.measured)
-    ]
+    return EngineConfig(
+        workers=getattr(args, "workers", 0),
+        cache_dir=getattr(args, "cache_dir", None),
+        jsonl_path=getattr(args, "jsonl", None),
+    )
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis.report import text_table
+    from repro.bounds.formulas import OMEGA0_STRASSEN
+    from repro.engine import run_sweep, seq_io_point
+
+    alg = None if args.algorithm == "classical" else args.algorithm
+    points = [seq_io_point(alg, n, args.M) for n in args.sizes]
+    res = run_sweep(points, _engine_config(args), parameter="n")
+    if args.json:
+        _print_json(res.to_dict())
+        return 0
+    rows = [[int(p.x), p.measured, p.bound] for p in res.points]
     print(text_table(["n", "measured I/O", "Ω floor"], rows))
     print(f"fitted exponent: {res.exponent:.3f} (ω₀ = {OMEGA0_STRASSEN:.3f})")
+    if res.stats.get("cache_hits"):
+        print(
+            f"cache: {res.stats['cache_hits']:.0f} hits / "
+            f"{res.stats['cache_misses']:.0f} misses"
+        )
     return 0
 
 
-def _cmd_recompute(_args) -> int:
+def _cmd_recompute(args) -> int:
     from repro.analysis.report import text_table
-    from repro.cdag.families import recompute_wins_cdag
-    from repro.pebbling import optimal_io
-    from repro.pebbling.game import PebbleCost
+    from repro.engine import pebble_optimal_point, run_sweep
 
-    gadget = recompute_wins_cdag(1, 2)
-    rows = []
-    for name, cost in (("symmetric", PebbleCost()), ("NVM ω=4", PebbleCost(1, 4))):
-        w = optimal_io(gadget, 3, True, cost)
-        wo = optimal_io(gadget, 3, False, cost)
-        rows.append([name, w, wo])
+    cost_models = (("symmetric", 1.0, 1.0), ("NVM ω=4", 1.0, 4.0))
+    points = [
+        pebble_optimal_point(
+            "recompute_wins",
+            M=3,
+            allow_recompute=allow,
+            read_cost=rc,
+            write_cost=wc,
+            gadgets=1,
+            flush_length=2,
+        )
+        for _, rc, wc in cost_models
+        for allow in (True, False)
+    ]
+    res = run_sweep(points, _engine_config(args), parameter="M")
+    ios = [p.measured for p in res.points]
+    rows = [
+        [name, ios[2 * i], ios[2 * i + 1]]
+        for i, (name, _, _) in enumerate(cost_models)
+    ]
     print("recomputation-wins gadget, M = 3 (optimal I/O):")
     print(text_table(["cost model", "with recompute", "without"], rows))
     print("\n(fast-matmul CDAGs show no gap — run examples/recomputation_study.py)")
@@ -123,23 +175,38 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table1", help="print Table I").set_defaults(fn=_cmd_table1)
+    p_table1 = sub.add_parser("table1", help="print Table I")
+    p_table1.add_argument("--json", action="store_true", help="machine-readable output")
+    p_table1.set_defaults(fn=_cmd_table1)
 
     p_eval = sub.add_parser("eval", help="evaluate Table I at (n, M, P)")
     p_eval.add_argument("n", type=int)
     p_eval.add_argument("M", type=int)
     p_eval.add_argument("P", type=int)
+    p_eval.add_argument("--json", action="store_true", help="machine-readable output")
     p_eval.set_defaults(fn=_cmd_eval)
 
     sub.add_parser("figures", help="print Figures 1-3").set_defaults(fn=_cmd_figures)
     sub.add_parser("verify", help="run the lemma audit").set_defaults(fn=_cmd_verify)
 
-    p_sweep = sub.add_parser("sweep", help="measured I/O sweep")
+    p_sweep = sub.add_parser("sweep", help="measured I/O sweep (engine-backed)")
     p_sweep.add_argument("sizes", type=int, nargs="+")
     p_sweep.add_argument("--M", type=int, default=48)
+    p_sweep.add_argument(
+        "--algorithm",
+        choices=["strassen", "winograd", "classical", "karstadt_schwartz"],
+        default="strassen",
+    )
+    p_sweep.add_argument("--json", action="store_true", help="machine-readable output")
+    p_sweep.add_argument("--workers", type=int, default=0, help="process-pool width")
+    p_sweep.add_argument("--cache-dir", default=None, help="persistent result cache")
+    p_sweep.add_argument("--jsonl", default=None, help="append RunResults as JSONL")
     p_sweep.set_defaults(fn=_cmd_sweep)
 
-    sub.add_parser("recompute", help="recomputation study").set_defaults(fn=_cmd_recompute)
+    p_rec = sub.add_parser("recompute", help="recomputation study (engine-backed)")
+    p_rec.add_argument("--workers", type=int, default=0, help="process-pool width")
+    p_rec.add_argument("--cache-dir", default=None, help="persistent result cache")
+    p_rec.set_defaults(fn=_cmd_recompute)
 
     sub.add_parser(
         "reproduce", help="condensed run of every experiment (E1–E15)"

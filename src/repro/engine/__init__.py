@@ -1,0 +1,67 @@
+"""The parallel experiment engine with a persistent result cache.
+
+Every experiment in this reproduction is a deterministic counting run
+(CDAG build → schedule/pebble → simulate → count I/O) on the paper's pure
+machine models, so results are perfectly memoizable.  This package turns
+that property into infrastructure:
+
+* :mod:`repro.engine.runners` — declarative, picklable experiment points
+  (``seq_io_point``, ``parallel_comm_point``, ``pebble_optimal_point``,
+  ``segment_audit_point``) and their pure executors;
+* :mod:`repro.engine.keys` — content-addressed cache keys over
+  (kind, params, code version, schema);
+* :mod:`repro.engine.cache` — the atomic on-disk JSON store;
+* :mod:`repro.engine.trace` — structured trace events and the aggregating
+  collector for the machine/pebbling hooks;
+* :mod:`repro.engine.core` — :func:`run_point` / :func:`run_sweep` with
+  the :class:`EngineConfig`-controlled process-pool fan-out and JSONL
+  output.
+
+Quick start::
+
+    from repro.engine import EngineConfig, run_sweep, seq_io_point
+
+    points = [seq_io_point("strassen", n, M=48) for n in (32, 64, 128)]
+    sweep = run_sweep(points, EngineConfig(workers=4, cache_dir=".cache"))
+    print(sweep.exponent, sweep.stats["hit_rate"])
+"""
+
+from repro.engine.cache import ResultCache
+from repro.engine.core import EngineConfig, load_results_jsonl, run_point, run_sweep
+from repro.engine.keys import CACHE_SCHEMA, code_version, point_key
+from repro.engine.runners import (
+    PRIMARY_METRIC,
+    ExperimentPoint,
+    algorithm_spec,
+    execute_point,
+    parallel_comm_point,
+    pebble_optimal_point,
+    resolve_algorithm,
+    segment_audit_point,
+    seq_io_point,
+)
+from repro.engine.trace import HookCollector, TraceEvent, Tracer, collect_machine_trace
+
+__all__ = [
+    "EngineConfig",
+    "run_point",
+    "run_sweep",
+    "load_results_jsonl",
+    "ResultCache",
+    "CACHE_SCHEMA",
+    "code_version",
+    "point_key",
+    "ExperimentPoint",
+    "PRIMARY_METRIC",
+    "algorithm_spec",
+    "resolve_algorithm",
+    "execute_point",
+    "seq_io_point",
+    "parallel_comm_point",
+    "pebble_optimal_point",
+    "segment_audit_point",
+    "TraceEvent",
+    "Tracer",
+    "HookCollector",
+    "collect_machine_trace",
+]

@@ -1,0 +1,70 @@
+"""Persistent, content-addressed result cache.
+
+Layout (see ``docs/engine.md``): one JSON file per result under a
+two-character shard directory derived from the key::
+
+    <cache_dir>/<key[:2]>/<key>.json
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or concurrent
+sweep can never leave a truncated entry behind; a corrupt entry is treated
+as a miss and silently overwritten on the next put.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """On-disk JSON store keyed by content-addressed hex digests."""
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.dir = Path(cache_dir).expanduser()
+        self.dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Return the stored payload, or None on a miss (or corrupt entry)."""
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.dir.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.dir.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

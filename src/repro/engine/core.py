@@ -1,0 +1,214 @@
+"""The experiment engine: cached, parallel execution of experiment points.
+
+``run_point`` executes one :class:`~repro.engine.runners.ExperimentPoint`
+through the content-addressed cache; ``run_sweep`` fans a list of points
+out over a :class:`~concurrent.futures.ProcessPoolExecutor` and assembles
+a typed :class:`~repro.analysis.results.SweepResult`.  Because every
+experiment is a pure counting run (the paper's machines are deterministic
+models, not wall-clock measurements), a cache hit is exactly as good as a
+re-execution and a ``workers=4`` sweep is bit-identical to a serial one —
+results are keyed and compared by content, never by provenance.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.results import RunResult, SweepPoint, SweepResult
+from repro.engine.cache import ResultCache
+from repro.engine.runners import PRIMARY_METRIC, ExperimentPoint, execute_point
+from repro.engine.trace import Tracer
+
+__all__ = ["EngineConfig", "run_point", "run_sweep", "load_results_jsonl"]
+
+
+@dataclass
+class EngineConfig:
+    """How the engine executes: parallelism, cache, trace, output.
+
+    workers:
+        Process-pool width; 0 or 1 runs serially in-process.
+    cache_dir:
+        Directory for the persistent result cache; None disables caching.
+    tracer:
+        Optional :class:`~repro.engine.trace.Tracer` receiving engine
+        events (``engine.point.start/done``, ``engine.cache.hit/miss``).
+    jsonl_path:
+        When set, every :class:`RunResult` of a sweep is appended as one
+        JSON line (consumable by :func:`repro.analysis.fitting.sweep_from_jsonl`).
+    """
+
+    workers: int = 0
+    cache_dir: str | Path | None = None
+    tracer: Tracer | None = None
+    jsonl_path: str | Path | None = None
+
+    def open_cache(self) -> ResultCache | None:
+        return None if self.cache_dir is None else ResultCache(self.cache_dir)
+
+
+def _emit(config: EngineConfig, event: str, **payload) -> None:
+    if config.tracer is not None:
+        config.tracer.emit(event, **payload)
+
+
+def _finish(
+    point: ExperimentPoint,
+    key: str,
+    metrics: dict,
+    trace: dict,
+    cached: bool,
+    wall: float,
+) -> RunResult:
+    return RunResult(
+        key=key,
+        kind=point.kind,
+        params=dict(point.params),
+        metrics=metrics,
+        cached=cached,
+        wall_time_s=wall,
+        trace=trace,
+    )
+
+
+def run_point(
+    point: ExperimentPoint, config: EngineConfig | None = None
+) -> RunResult:
+    """Execute one experiment point through the cache (always in-process)."""
+    config = config or EngineConfig()
+    cache = config.open_cache()
+    key = point.key
+    _emit(config, "engine.point.start", key=key, point_kind=point.kind)
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            _emit(config, "engine.cache.hit", key=key)
+            result = _finish(
+                point, key, hit["metrics"], hit.get("trace", {}), True, 0.0
+            )
+            _emit(config, "engine.point.done", key=key, cached=True, wall_time_s=0.0)
+            return result
+        _emit(config, "engine.cache.miss", key=key)
+    t0 = time.perf_counter()
+    metrics, trace = execute_point(point.to_dict())
+    wall = time.perf_counter() - t0
+    if cache is not None:
+        cache.put(key, {"kind": point.kind, "params": point.params,
+                        "metrics": metrics, "trace": trace})
+    _emit(config, "engine.point.done", key=key, cached=False, wall_time_s=wall)
+    return _finish(point, key, metrics, trace, False, wall)
+
+
+def run_sweep(
+    points: list[ExperimentPoint],
+    config: EngineConfig | None = None,
+    parameter: str = "n",
+) -> SweepResult:
+    """Execute many points — cache first, then a process-pool for the rest.
+
+    ``parameter`` names the swept params entry used as each point's
+    x-value (points without it get their list index).  Result order always
+    matches input order regardless of worker scheduling.
+    """
+    config = config or EngineConfig()
+    cache = config.open_cache()
+    t_start = time.perf_counter()
+
+    results: list[RunResult | None] = [None] * len(points)
+    pending: list[int] = []
+    hits = 0
+    for i, point in enumerate(points):
+        key = point.key
+        _emit(config, "engine.point.start", key=key, point_kind=point.kind)
+        hit = cache.get(key) if cache is not None else None
+        if hit is not None:
+            hits += 1
+            _emit(config, "engine.cache.hit", key=key)
+            results[i] = _finish(
+                point, key, hit["metrics"], hit.get("trace", {}), True, 0.0
+            )
+            _emit(config, "engine.point.done", key=key, cached=True, wall_time_s=0.0)
+        else:
+            if cache is not None:
+                _emit(config, "engine.cache.miss", key=key)
+            pending.append(i)
+
+    if pending:
+        specs = [points[i].to_dict() for i in pending]
+        if config.workers and config.workers > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=config.workers) as pool:
+                t0 = time.perf_counter()
+                outcomes = list(pool.map(execute_point, specs))
+                elapsed = time.perf_counter() - t0
+            # per-point wall time is not observable from the parent; charge
+            # the pool-average so provenance stays informative
+            walls = [elapsed / len(pending)] * len(pending)
+        else:
+            outcomes, walls = [], []
+            for spec in specs:
+                t0 = time.perf_counter()
+                outcomes.append(execute_point(spec))
+                walls.append(time.perf_counter() - t0)
+        for i, (metrics, trace), wall in zip(pending, outcomes, walls):
+            point = points[i]
+            key = point.key
+            if cache is not None:
+                cache.put(key, {"kind": point.kind, "params": point.params,
+                                "metrics": metrics, "trace": trace})
+            results[i] = _finish(point, key, metrics, trace, False, wall)
+            _emit(config, "engine.point.done", key=key, cached=False, wall_time_s=wall)
+
+    runs: list[RunResult] = [r for r in results if r is not None]
+    sweep_points = []
+    for i, run in enumerate(runs):
+        x = run.params.get(parameter, i)
+        metric = PRIMARY_METRIC.get(run.kind, "io")
+        extras = {
+            k: float(v)
+            for k, v in run.metrics.items()
+            if k not in (metric, "bound") and isinstance(v, (int, float))
+            and not isinstance(v, bool)
+        }
+        sweep_points.append(
+            SweepPoint(
+                x=float(x),
+                measured=float(run.metrics[metric]),
+                bound=run.metrics.get("bound"),
+                extras=extras,
+                run=run,
+            )
+        )
+    sweep = SweepResult(
+        parameter=parameter,
+        points=sweep_points,
+        stats={
+            "points": len(points),
+            "cache_hits": hits,
+            "cache_misses": len(points) - hits,
+            "hit_rate": hits / len(points) if points else 0.0,
+            "workers": config.workers,
+            "wall_time_s": time.perf_counter() - t_start,
+        },
+    )
+    if config.jsonl_path is not None:
+        path = Path(config.jsonl_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as fh:
+            for run in runs:
+                fh.write(json.dumps(run.to_dict(), sort_keys=True) + "\n")
+    return sweep
+
+
+def load_results_jsonl(path: str | Path) -> list[RunResult]:
+    """Read back the JSONL stream a sweep wrote (one RunResult per line)."""
+    out = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(RunResult.from_dict(json.loads(line)))
+    return out

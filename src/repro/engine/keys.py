@@ -1,0 +1,54 @@
+"""Content-addressed cache keys for experiment points.
+
+A key is the SHA-256 of the canonical JSON of::
+
+    {schema, code, kind, params}
+
+where ``code`` is a digest over the source of every ``repro`` module that
+can influence a measurement (everything except presentation: ``viz``,
+``cli``, ``__main__``).  Editing any counted code path therefore
+invalidates every cached result automatically — no manual cache busting,
+no stale numbers after a refactor.  ``CACHE_SCHEMA`` is bumped by hand
+only when the *result payload layout* changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from pathlib import Path
+
+from repro.analysis.results import canonical_json
+
+__all__ = ["CACHE_SCHEMA", "code_version", "point_key"]
+
+CACHE_SCHEMA = 1
+
+# Presentation-only modules whose edits must not invalidate cached results.
+_EXCLUDED = ("viz/", "cli.py", "__main__.py")
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every result-affecting source file in the repro package."""
+    root = Path(__file__).resolve().parents[1]
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if rel.startswith(_EXCLUDED[0]) or rel in _EXCLUDED[1:]:
+            continue
+        h.update(rel.encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+    return h.hexdigest()[:16]
+
+
+def point_key(kind: str, params: dict) -> str:
+    """Stable content-addressed key for one experiment point."""
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "code": code_version(),
+        "kind": kind,
+        "params": params,
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()

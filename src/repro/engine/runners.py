@@ -1,0 +1,375 @@
+"""Experiment-point specifications and their (pure) executors.
+
+An :class:`ExperimentPoint` is a picklable, JSON-serializable description
+of one run: a ``kind`` naming the pipeline (CDAG build → schedule/pebble →
+simulate → count I/O) and a ``params`` dict of plain values.  Executing a
+point is a pure function of its spec — the property the persistent cache
+and the process-pool fan-out both rest on.
+
+Kinds
+-----
+``seq_io``
+    Out-of-core matmul on :class:`~repro.machine.sequential.SequentialMachine`
+    (tiled classical, recursive bilinear, or KS-ABMM), counting word I/O
+    against the Theorem 1.1 sequential floor.
+``parallel_comm``
+    BFS-parallel fast matmul (or SUMMA when ``alg`` is None) with
+    per-processor communication counts against both parallel bound terms.
+``pebble_optimal``
+    Exact minimum-I/O red-blue pebbling of a named CDAG family, with
+    recomputation allowed or forbidden.
+``segment_audit``
+    A recomputation-heavy heuristic schedule of H^{n×n} replayed through
+    the game validator and the Theorem 1.1 segment audit.
+
+Algorithms are referenced by registry id ("strassen", "winograd",
+"karstadt_schwartz", None for the classical baselines) or inlined as a
+``{name, n, m, p, U, V, W}`` coefficient spec, so arbitrary corpus members
+remain cacheable by content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.keys import point_key
+
+__all__ = [
+    "ExperimentPoint",
+    "algorithm_spec",
+    "resolve_algorithm",
+    "seq_io_point",
+    "parallel_comm_point",
+    "pebble_optimal_point",
+    "segment_audit_point",
+    "execute_point",
+    "PRIMARY_METRIC",
+]
+
+# Metric each kind treats as its sweep y-value.
+PRIMARY_METRIC = {
+    "seq_io": "io",
+    "parallel_comm": "comm_per_proc_max",
+    "pebble_optimal": "io",
+    "segment_audit": "total_io",
+}
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One runnable experiment: a kind plus JSON-safe parameters."""
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return point_key(self.kind, self.params)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": self.params}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ExperimentPoint":
+        return cls(kind=d["kind"], params=dict(d["params"]))
+
+
+# --------------------------------------------------------------------- #
+# algorithm references
+# --------------------------------------------------------------------- #
+def algorithm_spec(alg) -> str | dict | None:
+    """Serialize an algorithm reference into a cache-keyable spec."""
+    if alg is None or isinstance(alg, str):
+        return alg
+    if hasattr(alg, "U"):  # a BilinearAlgorithm (or compatible)
+        return {
+            "name": alg.name,
+            "n": alg.n,
+            "m": alg.m,
+            "p": alg.p,
+            "U": np.asarray(alg.U).tolist(),
+            "V": np.asarray(alg.V).tolist(),
+            "W": np.asarray(alg.W).tolist(),
+        }
+    raise TypeError(f"cannot serialize algorithm reference {alg!r}")
+
+
+def resolve_algorithm(spec):
+    """Inverse of :func:`algorithm_spec` — returns a live algorithm or None."""
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        from repro.algorithms import classical, strassen, winograd
+
+        registry = {
+            "strassen": strassen,
+            "winograd": winograd,
+            "classical": lambda: classical(2),
+        }
+        if spec == "karstadt_schwartz":
+            from repro.basis import karstadt_schwartz
+
+            return karstadt_schwartz()
+        if spec not in registry:
+            raise KeyError(f"unknown algorithm id {spec!r}")
+        return registry[spec]()
+    from repro.algorithms.bilinear import BilinearAlgorithm
+
+    return BilinearAlgorithm(
+        name=spec["name"],
+        n=spec["n"],
+        m=spec["m"],
+        p=spec["p"],
+        U=np.array(spec["U"], dtype=np.int64),
+        V=np.array(spec["V"], dtype=np.int64),
+        W=np.array(spec["W"], dtype=np.int64),
+    )
+
+
+# --------------------------------------------------------------------- #
+# point builders (the declarative surface the benchmarks use)
+# --------------------------------------------------------------------- #
+def seq_io_point(alg, n: int, M: int, seed: int = 0) -> ExperimentPoint:
+    """Sequential I/O of one out-of-core matmul: alg None = tiled classical,
+    "karstadt_schwartz" = ABMM, anything else = recursive bilinear DFS."""
+    return ExperimentPoint(
+        "seq_io", {"alg": algorithm_spec(alg), "n": int(n), "M": int(M), "seed": int(seed)}
+    )
+
+
+def parallel_comm_point(
+    alg, n: int, P: int, M: int | None = None, seed: int = 0
+) -> ExperimentPoint:
+    """Per-processor communication of one distributed matmul:
+    alg None = classical SUMMA on the BSP machine, else BFS-parallel."""
+    return ExperimentPoint(
+        "parallel_comm",
+        {
+            "alg": algorithm_spec(alg),
+            "n": int(n),
+            "P": int(P),
+            "M": None if M is None else int(M),
+            "seed": int(seed),
+        },
+    )
+
+
+def pebble_optimal_point(
+    family: str,
+    M: int,
+    allow_recompute: bool = True,
+    read_cost: float = 1.0,
+    write_cost: float = 1.0,
+    max_states: int = 2_000_000,
+    **family_params,
+) -> ExperimentPoint:
+    """Exact optimal pebbling I/O of a named CDAG family.
+
+    Families: "recompute_wins" (gadgets, flush_length), "binary_tree"
+    (depth), "diamond_chain" (length), "base_case_slice" (alg, output_index,
+    style) — the Strassen sub-CDAG slices of the E7 study.
+    """
+    return ExperimentPoint(
+        "pebble_optimal",
+        {
+            "family": family,
+            "family_params": {k: family_params[k] for k in sorted(family_params)},
+            "M": int(M),
+            "allow_recompute": bool(allow_recompute),
+            "read_cost": float(read_cost),
+            "write_cost": float(write_cost),
+            "max_states": int(max_states),
+        },
+    )
+
+
+def segment_audit_point(
+    alg, n: int, M: int, scheduler: str = "dfs_recompute", style: str = "tree"
+) -> ExperimentPoint:
+    """Theorem 1.1 segment audit of a (recomputing) schedule on H^{n×n}."""
+    return ExperimentPoint(
+        "segment_audit",
+        {
+            "alg": algorithm_spec(alg),
+            "n": int(n),
+            "M": int(M),
+            "scheduler": scheduler,
+            "style": style,
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# executors
+# --------------------------------------------------------------------- #
+def _run_seq_io(params: dict) -> dict:
+    from repro.bounds.formulas import classical_sequential, fast_sequential
+    from repro.machine.sequential import SequentialMachine
+
+    alg = resolve_algorithm(params["alg"])
+    n, M, seed = params["n"], params["M"], params["seed"]
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    machine = SequentialMachine(M)
+    phases: dict = {}
+    if alg is None:
+        from repro.execution.classical_tiled import tiled_matmul
+
+        C = tiled_matmul(machine, A, B)
+        bound = classical_sequential(n, M)
+    elif params["alg"] == "karstadt_schwartz":
+        from repro.execution.abmm_exec import abmm_machine_multiply
+
+        C, phases = abmm_machine_multiply(machine, alg, A, B)
+        bound = fast_sequential(n, M)
+    else:
+        from repro.execution.recursive_bilinear import recursive_fast_matmul
+
+        C = recursive_fast_matmul(machine, alg, A, B)
+        bound = fast_sequential(n, M, alg.omega0)
+    if not np.allclose(C, A @ B):
+        raise AssertionError(f"wrong product at n={n}")
+    stats = machine.stats()
+    metrics = {
+        "io": float(machine.io_operations),
+        "reads": int(machine.words_read),
+        "writes": int(machine.words_written),
+        "peak_fast": int(machine.peak_fast_words),
+        "io_cost": float(stats["io_cost"]),
+        "bound": float(bound),
+    }
+    metrics.update({k: float(v) for k, v in phases.items()})
+    return metrics
+
+
+def _run_parallel_comm(params: dict) -> dict:
+    from repro.bounds.formulas import (
+        classical_memory_independent,
+        classical_parallel,
+        fast_memory_independent,
+        fast_parallel,
+    )
+
+    alg = resolve_algorithm(params["alg"])
+    n, P, M, seed = params["n"], params["P"], params["M"], params["seed"]
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    if alg is None:
+        from repro.execution.parallel_classical import parallel_classical_summa
+        from repro.machine.parallel import BSPMachine
+
+        machine = BSPMachine(P, M)
+        C = parallel_classical_summa(machine, A, B)
+        comm_max = float(machine.max_io_per_processor)
+        local_io = 0.0
+        md = classical_parallel(n, M, P) if M else float("nan")
+        mi = classical_memory_independent(n, P)
+    else:
+        from repro.execution.parallel_strassen import parallel_strassen_bfs
+
+        C, stats = parallel_strassen_bfs(alg, A, B, P=P, M=M)
+        comm_max = float(stats.comm_per_proc_max)
+        local_io = float(stats.local_io_per_proc)
+        md = fast_parallel(n, M, P, alg.omega0) if M else float("nan")
+        mi = fast_memory_independent(n, P, alg.omega0)
+    if not np.allclose(C, A @ B):
+        raise AssertionError(f"wrong product at P={P}")
+    return {
+        "comm_per_proc_max": comm_max,
+        "local_io_per_proc": local_io,
+        "bound_memory_dependent": float(md),
+        "bound_memory_independent": float(mi),
+        "bound": float(max(md, mi)) if md == md else float(mi),
+    }
+
+
+def _build_family(name: str, fp: dict):
+    from repro.cdag.families import (
+        binary_tree_cdag,
+        diamond_chain_cdag,
+        recompute_wins_cdag,
+    )
+
+    if name == "recompute_wins":
+        return recompute_wins_cdag(fp.get("gadgets", 1), fp.get("flush_length", 2))
+    if name == "binary_tree":
+        return binary_tree_cdag(fp["depth"])
+    if name == "diamond_chain":
+        return diamond_chain_cdag(fp["length"])
+    if name == "base_case_slice":
+        from repro.cdag import base_case_cdag
+
+        alg = resolve_algorithm(fp.get("alg", "strassen"))
+        base = base_case_cdag(alg, style=fp.get("style", "tree"))
+        return base.ancestor_closure([base.outputs[fp["output_index"]]])
+    raise KeyError(f"unknown CDAG family {name!r}")
+
+
+def _run_pebble_optimal(params: dict) -> dict:
+    from repro.pebbling.game import PebbleCost
+    from repro.pebbling.optimal import optimal_io
+
+    cdag = _build_family(params["family"], params["family_params"])
+    cost = PebbleCost(params["read_cost"], params["write_cost"])
+    io = optimal_io(
+        cdag,
+        params["M"],
+        allow_recompute=params["allow_recompute"],
+        cost=cost,
+        max_states=params["max_states"],
+    )
+    return {"io": float(io), "vertices": int(cdag.num_vertices)}
+
+
+def _run_segment_audit(params: dict) -> dict:
+    from repro.cdag import build_recursive_cdag
+    from repro.pebbling import segment_audit, validate_schedule
+    from repro.pebbling.heuristics import dfs_recompute_schedule
+
+    if params["scheduler"] != "dfs_recompute":
+        raise KeyError(f"unknown scheduler {params['scheduler']!r}")
+    alg = resolve_algorithm(params["alg"])
+    H = build_recursive_cdag(alg, params["n"], style=params["style"])
+    sched = dfs_recompute_schedule(H.cdag, params["M"])
+    stats = validate_schedule(sched, params["M"], allow_recompute=True)
+    rep = segment_audit(H, sched, M=params["M"])
+    return {
+        "total_io": int(rep.total_io),
+        "loads": int(stats["loads"]),
+        "stores": int(stats["stores"]),
+        "recomputations": int(stats["recomputations"]),
+        "moves": int(stats["moves"]),
+        "num_segments": int(rep.num_segments),
+        "per_segment_bound": int(rep.per_segment_bound),
+        "min_segment_io": int(rep.min_segment_io),
+        "implied_lower_bound": int(rep.implied_lower_bound),
+        "holds": bool(rep.holds),
+    }
+
+
+_EXECUTORS = {
+    "seq_io": _run_seq_io,
+    "parallel_comm": _run_parallel_comm,
+    "pebble_optimal": _run_pebble_optimal,
+    "segment_audit": _run_segment_audit,
+}
+
+
+def execute_point(spec: dict) -> tuple[dict, dict]:
+    """Run one point spec; returns (metrics, trace summary).
+
+    Top-level so :class:`concurrent.futures.ProcessPoolExecutor` can pickle
+    it; the hook collector runs in whatever process executes the point.
+    """
+    from repro.engine.trace import collect_machine_trace
+
+    kind = spec["kind"]
+    if kind not in _EXECUTORS:
+        raise KeyError(f"unknown experiment kind {kind!r}")
+    with collect_machine_trace() as collector:
+        metrics = _EXECUTORS[kind](spec["params"])
+    return metrics, collector.summary()

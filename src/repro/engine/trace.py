@@ -1,0 +1,90 @@
+"""Structured trace events for engine runs.
+
+Two layers:
+
+* :class:`TraceEvent` / :class:`Tracer` — the engine-level stream the
+  caller sees: cache hits/misses, per-point wall time, worker counts.
+* :class:`HookCollector` — an aggregating subscriber for the lightweight
+  hooks in :mod:`repro.machine.sequential`, :mod:`repro.machine.parallel`
+  and :mod:`repro.pebbling.game`.  It runs *inside the worker process*
+  (per-word events never cross the process boundary) and reduces the raw
+  stream to ``{event name: {"count", "words"}}``, which travels back in
+  ``RunResult.trace``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["TraceEvent", "Tracer", "HookCollector", "collect_machine_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One engine-level event: a kind, a JSON-safe payload, a timestamp."""
+
+    kind: str
+    payload: dict
+    ts: float
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "payload": self.payload, "ts": self.ts}
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` objects; optionally forwards each one."""
+
+    def __init__(self, sink: Callable[[TraceEvent], None] | None = None) -> None:
+        self.events: list[TraceEvent] = []
+        self.sink = sink
+
+    def emit(self, kind: str, **payload) -> TraceEvent:
+        ev = TraceEvent(kind=kind, payload=payload, ts=time.perf_counter())
+        self.events.append(ev)
+        if self.sink is not None:
+            self.sink(ev)
+        return ev
+
+    def kinds(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+
+@dataclass
+class HookCollector:
+    """Aggregates raw hook events into a compact, deterministic summary."""
+
+    counts: dict[str, dict] = field(default_factory=dict)
+
+    def __call__(self, event: dict) -> None:
+        name = event.get("event", "unknown")
+        slot = self.counts.setdefault(name, {"count": 0, "words": 0})
+        slot["count"] += 1
+        slot["words"] += int(event.get("words", 0))
+
+    def summary(self) -> dict:
+        return {"events": {k: dict(v) for k, v in sorted(self.counts.items())}}
+
+
+class collect_machine_trace:
+    """Context manager registering a :class:`HookCollector` on all three
+    instrumented modules, unregistering on exit.  Usable in any process."""
+
+    def __enter__(self) -> HookCollector:
+        from repro.machine import parallel as _par
+        from repro.machine import sequential as _seq
+        from repro.pebbling import game as _game
+
+        self._modules = (_seq, _par, _game)
+        self.collector = HookCollector()
+        for mod in self._modules:
+            mod.add_trace_hook(self.collector)
+        return self.collector
+
+    def __exit__(self, *exc) -> None:
+        for mod in self._modules:
+            mod.remove_trace_hook(self.collector)

@@ -16,9 +16,28 @@ from typing import Any, Callable, Iterable
 
 import numpy as np
 
-__all__ = ["BSPMachine"]
+__all__ = ["BSPMachine", "add_trace_hook", "remove_trace_hook"]
 
 Message = tuple[int, str, np.ndarray]
+
+# Lightweight trace hooks (used by repro.engine): one event per superstep.
+_TRACE_HOOKS: list[Callable[[dict], None]] = []
+
+
+def add_trace_hook(hook: Callable[[dict], None]) -> None:
+    """Register a callable invoked with an event dict after each superstep."""
+    _TRACE_HOOKS.append(hook)
+
+
+def remove_trace_hook(hook: Callable[[dict], None]) -> None:
+    """Unregister a hook previously added with :func:`add_trace_hook`."""
+    if hook in _TRACE_HOOKS:
+        _TRACE_HOOKS.remove(hook)
+
+
+def _emit(event: dict) -> None:
+    for hook in list(_TRACE_HOOKS):
+        hook(event)
 
 
 class BSPMachine:
@@ -78,6 +97,17 @@ class BSPMachine:
         for rank in range(self.P):
             self._check_capacity(rank)
         self.supersteps += 1
+        if _TRACE_HOOKS:
+            _emit(
+                {
+                    "event": "bsp.superstep",
+                    "step": self.supersteps,
+                    "words": int(
+                        sum(np.asarray(a).size for msgs in outboxes for _, _, a in msgs)
+                    ),
+                    "total_io": self.total_io,
+                }
+            )
 
     # ------------------------------------------------------------------ #
     # collectives (convenience wrappers in the mpi4py idiom)

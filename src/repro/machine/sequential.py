@@ -11,9 +11,37 @@ with :class:`FastMemoryOverflow` instead of silently under-counting.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
-__all__ = ["SequentialMachine", "FastMemoryOverflow"]
+__all__ = [
+    "SequentialMachine",
+    "FastMemoryOverflow",
+    "add_trace_hook",
+    "remove_trace_hook",
+]
+
+# Lightweight trace hooks (used by repro.engine): each registered callable
+# receives a plain dict describing one counted transfer.  The hot paths pay
+# only a truthiness check while no hook is registered.
+_TRACE_HOOKS: list[Callable[[dict], None]] = []
+
+
+def add_trace_hook(hook: Callable[[dict], None]) -> None:
+    """Register a callable invoked with an event dict per counted transfer."""
+    _TRACE_HOOKS.append(hook)
+
+
+def remove_trace_hook(hook: Callable[[dict], None]) -> None:
+    """Unregister a hook previously added with :func:`add_trace_hook`."""
+    if hook in _TRACE_HOOKS:
+        _TRACE_HOOKS.remove(hook)
+
+
+def _emit(event: dict) -> None:
+    for hook in list(_TRACE_HOOKS):
+        hook(event)
 
 
 class FastMemoryOverflow(RuntimeError):
@@ -82,6 +110,8 @@ class SequentialMachine:
         buf = arr.copy()
         self.fast[into or name] = buf
         self.words_read += arr.size
+        if _TRACE_HOOKS:
+            _emit({"event": "machine.load", "name": name, "words": int(arr.size)})
         return buf
 
     def load_slice(self, name: str, idx, into: str) -> np.ndarray:
@@ -91,6 +121,8 @@ class SequentialMachine:
         buf = np.array(chunk)
         self.fast[into] = buf
         self.words_read += chunk.size
+        if _TRACE_HOOKS:
+            _emit({"event": "machine.load", "name": name, "words": int(chunk.size)})
         return buf
 
     def allocate(self, name: str, shape, dtype=np.float64) -> np.ndarray:
@@ -105,12 +137,16 @@ class SequentialMachine:
         buf = self.fast[name]
         self.slow[to or name] = buf.copy()
         self.words_written += buf.size
+        if _TRACE_HOOKS:
+            _emit({"event": "machine.store", "name": name, "words": int(buf.size)})
 
     def store_slice(self, name: str, to: str, idx) -> None:
         """Write a fast buffer into a slice of a slow array; costs buffer size."""
         buf = self.fast[name]
         self.slow[to][idx] = buf
         self.words_written += buf.size
+        if _TRACE_HOOKS:
+            _emit({"event": "machine.store", "name": name, "words": int(buf.size)})
 
     def free(self, name: str) -> None:
         """Drop a fast buffer (free: eviction of a clean/dead value)."""

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.cdag.core import CDAG
 
@@ -15,7 +15,29 @@ __all__ = [
     "PebbleCost",
     "validate_schedule",
     "schedule_io",
+    "add_trace_hook",
+    "remove_trace_hook",
 ]
+
+# Lightweight trace hooks (used by repro.engine): one event per validated
+# schedule, carrying the full I/O statistics dict.
+_TRACE_HOOKS: list[Callable[[dict], None]] = []
+
+
+def add_trace_hook(hook: Callable[[dict], None]) -> None:
+    """Register a callable invoked with an event dict per validated schedule."""
+    _TRACE_HOOKS.append(hook)
+
+
+def remove_trace_hook(hook: Callable[[dict], None]) -> None:
+    """Unregister a hook previously added with :func:`add_trace_hook`."""
+    if hook in _TRACE_HOOKS:
+        _TRACE_HOOKS.remove(hook)
+
+
+def _emit(event: dict) -> None:
+    for hook in list(_TRACE_HOOKS):
+        hook(event)
 
 
 class MoveKind(str, Enum):
@@ -134,7 +156,7 @@ def validate_schedule(
     if missing_outputs:
         raise ScheduleError(f"outputs without blue pebbles at end: {missing_outputs}")
     recomputations = sum(t - 1 for t in computed_times.values())
-    return {
+    stats = {
         "loads": loads,
         "stores": stores,
         "io": cost.io(loads, stores),
@@ -142,6 +164,9 @@ def validate_schedule(
         "recomputations": recomputations,
         "moves": len(schedule.moves),
     }
+    if _TRACE_HOOKS:
+        _emit({"event": "pebble.validated", **stats})
+    return stats
 
 
 def schedule_io(schedule: Schedule, cost: PebbleCost = PebbleCost()) -> float:

@@ -1,0 +1,120 @@
+"""Round-trip and back-compat tests for the typed result objects."""
+
+import json
+
+import pytest
+
+from repro.analysis.results import (
+    BoundValue,
+    RunResult,
+    SweepPoint,
+    SweepResult,
+    Table1Evaluation,
+)
+from repro.bounds import evaluate_table1
+
+
+class TestBoundValue:
+    def test_round_trip(self):
+        bv = BoundValue("Ω(n²/P^{2/3})", 1234.5)
+        assert BoundValue.from_dict(bv.to_dict()) == bv
+
+    def test_json_safe(self):
+        bv = BoundValue("Ω", 1.0)
+        assert json.loads(json.dumps(bv.to_dict())) == bv.to_dict()
+
+
+class TestRunResult:
+    def _result(self):
+        return RunResult(
+            key="ab" * 32,
+            kind="seq_io",
+            params={"alg": "strassen", "n": 32, "M": 48, "seed": 0},
+            metrics={"io": 96816.0, "bound": 3522.2},
+            cached=False,
+            wall_time_s=0.02,
+            trace={"events": {"machine.load": {"count": 5, "words": 100}}},
+        )
+
+    def test_to_dict_from_dict_round_trip(self):
+        res = self._result()
+        assert RunResult.from_dict(res.to_dict()) == res
+
+    def test_round_trip_through_json(self):
+        res = self._result()
+        assert RunResult.from_dict(json.loads(json.dumps(res.to_dict()))) == res
+
+    def test_fingerprint_ignores_provenance(self):
+        a = self._result()
+        b = self._result()
+        b.cached = True
+        b.wall_time_s = 99.0
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_sees_metrics(self):
+        a = self._result()
+        b = self._result()
+        b.metrics = {**b.metrics, "io": 1.0}
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestSweepResult:
+    def _sweep(self):
+        points = [
+            SweepPoint(x=float(n), measured=float(n) ** 3, bound=float(n) ** 2)
+            for n in (16, 32, 64)
+        ]
+        return SweepResult(parameter="n", points=points, stats={"cache_hits": 0})
+
+    def test_legacy_views(self):
+        s = self._sweep()
+        assert s.values == [16.0, 32.0, 64.0]
+        assert s.measured == [4096.0, 32768.0, 262144.0]
+        assert s.bounds == [256.0, 1024.0, 4096.0]
+
+    def test_exponent_fit(self):
+        assert self._sweep().exponent == pytest.approx(3.0, abs=1e-6)
+
+    def test_round_trip(self):
+        s = self._sweep()
+        rebuilt = SweepResult.from_dict(json.loads(json.dumps(s.to_dict())))
+        assert rebuilt.parameter == s.parameter
+        assert rebuilt.measured == s.measured
+        assert rebuilt.stats == s.stats
+
+    def test_extras_view(self):
+        s = SweepResult(
+            parameter="P",
+            points=[
+                SweepPoint(x=1.0, measured=2.0, extras={"local_io": 5.0}),
+                SweepPoint(x=7.0, measured=3.0, extras={"local_io": 6.0}),
+            ],
+        )
+        assert s.extras == {"local_io": [5.0, 6.0]}
+
+
+class TestTable1Evaluation:
+    def test_typed_access(self):
+        rows = evaluate_table1(1024, 256, 49)
+        assert all(isinstance(r, Table1Evaluation) for r in rows)
+        strassen_row = rows[1]
+        assert "Strassen" in strassen_row.algorithm
+        assert all(isinstance(b, BoundValue) for b in strassen_row.bounds)
+
+    def test_legacy_mapping_access(self):
+        """The pre-typed consumers indexed with ["algorithm"]/["bounds"]."""
+        rows = evaluate_table1(1024, 256, 49)
+        entry = rows[0]
+        assert entry["algorithm"] == entry.algorithm
+        assert dict(entry["bounds"]) == entry.bound_map()
+        assert set(entry) == {"algorithm", "bounds", "with_recomputation"}
+        assert len(entry) == 3
+
+    def test_round_trip(self):
+        rows = evaluate_table1(64, 48, 7)
+        for row in rows:
+            rebuilt = Table1Evaluation.from_dict(
+                json.loads(json.dumps(row.to_dict()))
+            )
+            assert rebuilt.algorithm == row.algorithm
+            assert rebuilt.bound_map() == pytest.approx(row.bound_map(), nan_ok=True)

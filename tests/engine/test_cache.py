@@ -1,0 +1,87 @@
+"""Unit tests for the content-addressed result cache and its keys."""
+
+import json
+
+import pytest
+
+from repro.engine import CACHE_SCHEMA, ResultCache, code_version, point_key
+from repro.engine.runners import seq_io_point
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        payload = {"metrics": {"io": 123.0}, "trace": {}}
+        key = "ab" + "0" * 62
+        cache.put(key, payload)
+        assert cache.get(key) == payload
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("ff" + "0" * 62) is None
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "1" * 62
+        cache.put(key, {"metrics": {}})
+        assert (tmp_path / "cd" / f"{key}.json").is_file()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ee" + "2" * 62
+        cache.put(key, {"metrics": {}})
+        (tmp_path / "ee" / f"{key}.json").write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "aa" + "3" * 62
+        cache.put(key, {"metrics": {"io": 1}})
+        cache.put(key, {"metrics": {"io": 2}})
+        assert cache.get(key) == {"metrics": {"io": 2}}
+        assert len(cache) == 1
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(f"{i:02x}" + "4" * 62, {"metrics": {}})
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+class TestKeys:
+    def test_key_is_deterministic(self):
+        p = seq_io_point("strassen", 32, 48)
+        assert p.key == p.key
+        assert p.key == point_key("seq_io", p.params)
+
+    def test_key_distinguishes_params(self):
+        keys = {
+            seq_io_point("strassen", 32, 48).key,
+            seq_io_point("strassen", 64, 48).key,
+            seq_io_point("strassen", 32, 96).key,
+            seq_io_point("winograd", 32, 48).key,
+            seq_io_point(None, 32, 48).key,
+        }
+        assert len(keys) == 5
+
+    def test_key_binds_code_and_schema(self):
+        p = seq_io_point("strassen", 32, 48)
+        manual = point_key("seq_io", p.params)
+        assert len(manual) == 64
+        assert isinstance(code_version(), str) and len(code_version()) == 16
+        assert isinstance(CACHE_SCHEMA, int)
+
+    def test_key_ignores_param_order(self):
+        a = point_key("seq_io", {"n": 32, "M": 48, "alg": "strassen", "seed": 0})
+        b = point_key("seq_io", {"seed": 0, "alg": "strassen", "M": 48, "n": 32})
+        assert a == b
+
+    def test_cached_payload_is_json(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key("seq_io", {"n": 8})
+        cache.put(key, {"metrics": {"io": 1.5}})
+        raw = (tmp_path / key[:2] / f"{key}.json").read_text()
+        assert json.loads(raw) == {"metrics": {"io": 1.5}}

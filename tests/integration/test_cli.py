@@ -1,5 +1,7 @@
 """Integration tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -38,6 +40,52 @@ class TestCLI:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCLIJson:
+    def test_table1_json(self, capsys):
+        assert main(["table1", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 6
+        assert rows[1]["algorithm"].startswith("Strassen")
+        assert rows[1]["with_recomputation"] == "[10]; [here]"
+        assert isinstance(rows[0]["bounds"], list)
+
+    def test_eval_json(self, capsys):
+        assert main(["eval", "1024", "256", "49", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n"] == 1024 and payload["M"] == 256 and payload["P"] == 49
+        assert len(payload["rows"]) == 6
+        classical = payload["rows"][0]["bounds"]
+        assert all(isinstance(v, float) for v in classical.values())
+
+    def test_sweep_json(self, capsys):
+        assert main(["sweep", "16", "32", "--M", "48", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["parameter"] == "n"
+        assert [p["x"] for p in payload["points"]] == [16.0, 32.0]
+        assert all(p["measured"] >= p["bound"] for p in payload["points"])
+        assert payload["stats"]["points"] == 2
+
+    def test_sweep_json_with_cache_and_jsonl(self, capsys, tmp_path):
+        argv = [
+            "sweep", "16", "--M", "48", "--json",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--jsonl", str(tmp_path / "runs.jsonl"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["cache_hits"] == 1
+        lines = (tmp_path / "runs.jsonl").read_text().strip().splitlines()
+        assert len(lines) == 2  # appended across both invocations
+        assert json.loads(lines[0])["kind"] == "seq_io"
+
+    def test_sweep_classical_algorithm(self, capsys):
+        assert main(["sweep", "16", "--M", "48", "--algorithm", "classical", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["points"][0]["run"]["params"]["alg"] is None
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
