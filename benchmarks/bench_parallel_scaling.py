@@ -9,7 +9,7 @@ bound terms, and the crossover P* is checked against the closed form.
 from __future__ import annotations
 
 import numpy as np
-from conftest import banner
+from conftest import banner, complete_sweep
 
 from repro.algorithms import strassen
 from repro.analysis.crossover import find_crossover
@@ -29,7 +29,7 @@ def test_parallel_strong_scaling(benchmark):
     points = [parallel_comm_point("strassen", n, P, M) for P in (1, 7, 49)]
 
     res = benchmark.pedantic(
-        lambda: run_sweep(points, ENGINE, parameter="P"), rounds=1, iterations=1
+        lambda: complete_sweep(run_sweep(points, ENGINE, parameter="P")), rounds=1, iterations=1
     )
     print(banner("E6 — BFS-parallel Strassen strong scaling (n=32, M=48)"))
     table = []
@@ -98,7 +98,7 @@ def test_parallel_classical_baseline(benchmark):
     points = [parallel_comm_point(None, n, P) for P in (4, 16)]
 
     res = benchmark.pedantic(
-        lambda: run_sweep(points, ENGINE, parameter="P"), rounds=1, iterations=1
+        lambda: complete_sweep(run_sweep(points, ENGINE, parameter="P")), rounds=1, iterations=1
     )
     rows = [
         [int(p.x), p.measured, p.run.metrics["bound_memory_independent"]]

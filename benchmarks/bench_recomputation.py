@@ -14,7 +14,7 @@ game mode + cost model) executed through :mod:`repro.engine`:
 
 from __future__ import annotations
 
-from conftest import banner
+from conftest import banner, complete_sweep
 
 from repro.analysis.report import text_table
 from repro.engine import (
@@ -60,7 +60,7 @@ def test_recomputation_no_gain_on_matmul_base(benchmark):
     ]
 
     res = benchmark.pedantic(
-        lambda: run_sweep(points, ENGINE, parameter="M"), rounds=1, iterations=1
+        lambda: complete_sweep(run_sweep(points, ENGINE, parameter="M")), rounds=1, iterations=1
     )
     rows = [
         [label, M, w, wo, w == wo]
@@ -90,7 +90,7 @@ def test_recomputation_wins_on_gadget(benchmark):
     ]
 
     res = benchmark.pedantic(
-        lambda: run_sweep(points, ENGINE, parameter="M"), rounds=1, iterations=1
+        lambda: complete_sweep(run_sweep(points, ENGINE, parameter="M")), rounds=1, iterations=1
     )
     rows = [
         [name, w, wo, wo - w]
@@ -115,7 +115,7 @@ def test_recomputation_neutral_families(benchmark):
     ]
 
     res = benchmark.pedantic(
-        lambda: run_sweep(points, ENGINE, parameter="M"), rounds=1, iterations=1
+        lambda: complete_sweep(run_sweep(points, ENGINE, parameter="M")), rounds=1, iterations=1
     )
     rows = [
         [name, w, wo]

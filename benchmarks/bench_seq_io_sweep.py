@@ -8,7 +8,7 @@ never crossed and (b) the fitted exponents match 3 vs log₂7.
 
 from __future__ import annotations
 
-from conftest import banner
+from conftest import banner, complete_sweep
 
 from repro.analysis.report import text_table
 from repro.bounds.formulas import OMEGA0_STRASSEN
@@ -23,7 +23,7 @@ ENGINE = EngineConfig()  # serial, cache-off: benchmark timings stay honest
 def test_seq_sweep_strassen(benchmark):
     points = [seq_io_point("strassen", n, M) for n in SIZES]
     res = benchmark.pedantic(
-        lambda: run_sweep(points, ENGINE), rounds=1, iterations=1
+        lambda: complete_sweep(run_sweep(points, ENGINE)), rounds=1, iterations=1
     )
     rep = shape_report(res.values, res.measured, res.bounds)
     print(banner("E5 — DFS Strassen measured I/O vs Ω((n/√M)^{log₂7}·M)"))
@@ -39,7 +39,7 @@ def test_seq_sweep_strassen(benchmark):
 def test_seq_sweep_classical(benchmark):
     points = [seq_io_point(None, n, M) for n in SIZES]
     res = benchmark.pedantic(
-        lambda: run_sweep(points, ENGINE), rounds=1, iterations=1
+        lambda: complete_sweep(run_sweep(points, ENGINE)), rounds=1, iterations=1
     )
     rep = shape_report(res.values, res.measured, res.bounds)
     print(banner("E5 — tiled classical measured I/O vs Ω((n/√M)³·M)"))
@@ -57,7 +57,7 @@ def test_seq_sweep_m_dependence(benchmark):
     points = [seq_io_point("strassen", n, m_words) for m_words in (12, 48, 192, 768)]
 
     res = benchmark.pedantic(
-        lambda: run_sweep(points, ENGINE, parameter="M"), rounds=1, iterations=1
+        lambda: complete_sweep(run_sweep(points, ENGINE, parameter="M")), rounds=1, iterations=1
     )
     print(banner("E5 — I/O vs M at n = 64 (fast bound decays as M^{1−ω₀/2})"))
     print(text_table(

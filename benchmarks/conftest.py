@@ -18,6 +18,19 @@ def banner(title: str) -> str:
     return f"\n{line}\n  {title}\n{line}"
 
 
+def complete_sweep(res):
+    """Assert a fault-tolerant sweep finished with every point intact.
+
+    ``run_sweep`` returns partial results instead of raising, so a bench
+    that indexes ``res.measured`` positionally must refuse a sweep with
+    failures — a silently shrunken series would misalign every table row.
+    """
+    assert not res.failures, [
+        (r.status, r.params, (r.error or {}).get("message")) for r in res.failures
+    ]
+    return res
+
+
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(2026)

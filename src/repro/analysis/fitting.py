@@ -24,11 +24,20 @@ __all__ = [
 
 
 def sweep_from_runs(runs: list[RunResult], parameter: str = "n") -> SweepResult:
-    """Assemble a :class:`SweepResult` from engine run results."""
+    """Assemble a :class:`SweepResult` from engine run results.
+
+    Non-``ok`` runs (a fault-tolerant sweep streams its failures to JSONL
+    too, with their status taxonomy) carry no metrics and are routed to
+    ``failures`` instead of the fitted point list.
+    """
     from repro.engine.runners import PRIMARY_METRIC
 
     points = []
+    failures = []
     for i, run in enumerate(runs):
+        if not run.ok:
+            failures.append(run)
+            continue
         metric = PRIMARY_METRIC.get(run.kind, "io")
         points.append(
             SweepPoint(
@@ -38,7 +47,7 @@ def sweep_from_runs(runs: list[RunResult], parameter: str = "n") -> SweepResult:
                 run=run,
             )
         )
-    return SweepResult(parameter=parameter, points=points)
+    return SweepResult(parameter=parameter, points=points, failures=failures)
 
 
 def sweep_from_jsonl(path: str | Path, parameter: str = "n") -> SweepResult:

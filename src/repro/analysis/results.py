@@ -28,6 +28,7 @@ __all__ = [
     "BoundValue",
     "Table1Evaluation",
     "RunResult",
+    "RUN_STATUSES",
     "SweepPoint",
     "SweepResult",
     "canonical_json",
@@ -103,6 +104,11 @@ class Table1Evaluation(Mapping):
 # --------------------------------------------------------------------- #
 # engine runs
 # --------------------------------------------------------------------- #
+
+#: The engine's failure taxonomy for one experiment point.
+RUN_STATUSES = ("ok", "error", "timeout", "skipped")
+
+
 @dataclass
 class RunResult:
     """One executed (or cache-served) experiment point.
@@ -113,6 +119,12 @@ class RunResult:
     ``cached`` and ``wall_time_s`` are provenance, deliberately excluded
     from :meth:`fingerprint` so a cache hit and a fresh run of the same
     point compare equal.
+
+    ``status`` is one of :data:`RUN_STATUSES`: ``ok`` (metrics are valid),
+    ``error`` (the executor raised), ``timeout`` (killed by the engine's
+    per-point wall-clock limit), or ``skipped`` (never run — a fail-fast
+    sweep aborted first).  Non-``ok`` results carry an ``error`` payload
+    with ``type``, ``message``, ``traceback`` (tail), and ``attempts``.
     """
 
     key: str
@@ -122,9 +134,15 @@ class RunResult:
     cached: bool = False
     wall_time_s: float = 0.0
     trace: dict = field(default_factory=dict)
+    status: str = "ok"
+    error: dict | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "key": self.key,
             "kind": self.kind,
             "params": self.params,
@@ -132,7 +150,11 @@ class RunResult:
             "cached": self.cached,
             "wall_time_s": self.wall_time_s,
             "trace": self.trace,
+            "status": self.status,
         }
+        if self.error is not None:
+            d["error"] = self.error
+        return d
 
     @classmethod
     def from_dict(cls, d: Mapping) -> "RunResult":
@@ -144,6 +166,8 @@ class RunResult:
             cached=bool(d.get("cached", False)),
             wall_time_s=float(d.get("wall_time_s", 0.0)),
             trace=dict(d.get("trace", {})),
+            status=d.get("status", "ok"),
+            error=dict(d["error"]) if d.get("error") is not None else None,
         )
 
     def fingerprint(self) -> str:
@@ -199,11 +223,17 @@ class SweepResult:
     ``parameter`` names the swept variable ("n", "M", "P", …).  The legacy
     ``values`` / ``measured`` / ``extras`` list views are kept as
     properties so the shape-fit call sites read unchanged.
+
+    ``points`` holds only points that produced valid metrics; points that
+    permanently failed (``error`` / ``timeout`` / ``skipped``) are listed
+    in ``failures`` as :class:`RunResult` objects carrying the taxonomy —
+    a partial sweep is a result, not an exception.
     """
 
     parameter: str
     points: list[SweepPoint] = field(default_factory=list)
     stats: dict[str, float] = field(default_factory=dict)
+    failures: list[RunResult] = field(default_factory=list)
 
     @property
     def values(self) -> list[float]:
@@ -241,6 +271,7 @@ class SweepResult:
             "parameter": self.parameter,
             "points": [p.to_dict() for p in self.points],
             "stats": dict(self.stats),
+            "failures": [r.to_dict() for r in self.failures],
         }
 
     @classmethod
@@ -249,4 +280,5 @@ class SweepResult:
             parameter=d["parameter"],
             points=[SweepPoint.from_dict(p) for p in d["points"]],
             stats=dict(d.get("stats", {})),
+            failures=[RunResult.from_dict(r) for r in d.get("failures", [])],
         )

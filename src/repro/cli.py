@@ -8,10 +8,15 @@ figures                 print Figures 1–3 (ASCII renderings)
 verify                  run the full lemma-verification audit
 sweep N... --M M        measured sequential I/O sweep with exponent fit
 recompute               the recomputation study (optimal pebbling)
+cache verify DIR        scan a result cache for corrupt/orphaned entries
 
 ``table1``, ``eval``, and ``sweep`` accept ``--json`` for machine-readable
 output; ``sweep`` and ``recompute`` run through :mod:`repro.engine`, so
-``--workers``, ``--cache-dir``, and ``--jsonl`` are available there.
+``--workers``, ``--cache-dir``, ``--jsonl``, and the fault-tolerance
+flags ``--timeout`` / ``--retries`` / ``--fail-fast`` / ``--keep-going``
+are available there.  When points permanently fail, the sweep still
+completes (keep-going is the default), survivors are printed/streamed,
+and the exit code is non-zero with a failure summary on stderr.
 """
 
 from __future__ import annotations
@@ -107,7 +112,34 @@ def _engine_config(args):
         workers=getattr(args, "workers", 0),
         cache_dir=getattr(args, "cache_dir", None),
         jsonl_path=getattr(args, "jsonl", None),
+        point_timeout_s=getattr(args, "timeout", None),
+        max_retries=getattr(args, "retries", 0),
+        fail_fast=getattr(args, "fail_fast", False),
     )
+
+
+def _report_failures(res) -> int:
+    """Summarize a sweep's permanent failures on stderr; non-zero if any."""
+    if not res.failures:
+        return 0
+    by_status: dict[str, int] = {}
+    for run in res.failures:
+        by_status[run.status] = by_status.get(run.status, 0) + 1
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(by_status.items()))
+    print(
+        f"sweep: {len(res.failures)} of {int(res.stats['points'])} point(s) "
+        f"failed ({summary}); survivors were still computed and checkpointed",
+        file=sys.stderr,
+    )
+    for run in res.failures:
+        err = run.error or {}
+        print(
+            f"  [{run.status}] {run.kind} {run.params} — "
+            f"{err.get('type', '?')}: {err.get('message', '')} "
+            f"(attempts: {err.get('attempts', '?')})",
+            file=sys.stderr,
+        )
+    return 1
 
 
 def _cmd_sweep(args) -> int:
@@ -120,16 +152,17 @@ def _cmd_sweep(args) -> int:
     res = run_sweep(points, _engine_config(args), parameter="n")
     if args.json:
         _print_json(res.to_dict())
-        return 0
+        return _report_failures(res)
     rows = [[int(p.x), p.measured, p.bound] for p in res.points]
     print(text_table(["n", "measured I/O", "Ω floor"], rows))
-    print(f"fitted exponent: {res.exponent:.3f} (ω₀ = {OMEGA0_STRASSEN:.3f})")
+    if len(res.points) >= 2:
+        print(f"fitted exponent: {res.exponent:.3f} (ω₀ = {OMEGA0_STRASSEN:.3f})")
     if res.stats.get("cache_hits"):
         print(
             f"cache: {res.stats['cache_hits']:.0f} hits / "
             f"{res.stats['cache_misses']:.0f} misses"
         )
-    return 0
+    return _report_failures(res)
 
 
 def _cmd_recompute(args) -> int:
@@ -151,6 +184,8 @@ def _cmd_recompute(args) -> int:
         for allow in (True, False)
     ]
     res = run_sweep(points, _engine_config(args), parameter="M")
+    if res.failures:
+        return _report_failures(res)
     ios = [p.measured for p in res.points]
     rows = [
         [name, ios[2 * i], ios[2 * i + 1]]
@@ -166,6 +201,47 @@ def _cmd_reproduce(_args) -> int:
     from repro.analysis.reproduce import run_all
 
     return 1 if run_all() else 0
+
+
+def _cmd_cache_verify(args) -> int:
+    from repro.engine import ResultCache
+
+    report = ResultCache(args.cache_dir).verify()
+    if args.json:
+        _print_json(report)
+    else:
+        print(f"cache {args.cache_dir}: {report['entries']} entries, "
+              f"{report['quarantined']} quarantined")
+        for path in report["corrupt"]:
+            print(f"  corrupt: {path}")
+        for path in report["orphaned_tmp"]:
+            print(f"  orphaned tmp: {path}")
+        print("OK" if report["ok"] else "PROBLEMS FOUND")
+    return 0 if report["ok"] else 1
+
+
+def _add_engine_flags(parser) -> None:
+    """Execution/recovery flags shared by the engine-backed commands."""
+    parser.add_argument("--workers", type=int, default=0, help="process-pool width")
+    parser.add_argument("--cache-dir", default=None, help="persistent result cache")
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-point wall-clock limit in seconds (needs --workers > 1)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="re-queue a failed point up to this many times",
+    )
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--fail-fast", dest="fail_fast", action="store_true",
+        help="stop at the first permanent failure (rest marked skipped)",
+    )
+    group.add_argument(
+        "--keep-going", dest="fail_fast", action="store_false",
+        help="complete every surviving point despite failures (default)",
+    )
+    parser.set_defaults(fail_fast=False)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -198,15 +274,22 @@ def main(argv: list[str] | None = None) -> int:
         default="strassen",
     )
     p_sweep.add_argument("--json", action="store_true", help="machine-readable output")
-    p_sweep.add_argument("--workers", type=int, default=0, help="process-pool width")
-    p_sweep.add_argument("--cache-dir", default=None, help="persistent result cache")
     p_sweep.add_argument("--jsonl", default=None, help="append RunResults as JSONL")
+    _add_engine_flags(p_sweep)
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_rec = sub.add_parser("recompute", help="recomputation study (engine-backed)")
-    p_rec.add_argument("--workers", type=int, default=0, help="process-pool width")
-    p_rec.add_argument("--cache-dir", default=None, help="persistent result cache")
+    _add_engine_flags(p_rec)
     p_rec.set_defaults(fn=_cmd_recompute)
+
+    p_cache = sub.add_parser("cache", help="result-cache maintenance")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cv = cache_sub.add_parser(
+        "verify", help="scan shards for corrupt entries and orphaned .tmp files"
+    )
+    p_cv.add_argument("cache_dir", help="cache directory to scan")
+    p_cv.add_argument("--json", action="store_true", help="machine-readable output")
+    p_cv.set_defaults(fn=_cmd_cache_verify)
 
     sub.add_parser(
         "reproduce", help="condensed run of every experiment (E1–E15)"

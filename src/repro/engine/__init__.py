@@ -14,8 +14,11 @@ that property into infrastructure:
 * :mod:`repro.engine.trace` — structured trace events and the aggregating
   collector for the machine/pebbling hooks;
 * :mod:`repro.engine.core` — :func:`run_point` / :func:`run_sweep` with
-  the :class:`EngineConfig`-controlled process-pool fan-out and JSONL
-  output.
+  the :class:`EngineConfig`-controlled process-pool fan-out, per-point
+  timeouts, retries, pool recovery, and incremental JSONL checkpointing;
+* :mod:`repro.engine.faults` — the deterministic fault-injection harness
+  (crash / hang / raise / corrupt on the Nth execution of a point) that
+  the recovery paths are tested against.
 
 Quick start::
 
@@ -28,6 +31,13 @@ Quick start::
 
 from repro.engine.cache import ResultCache
 from repro.engine.core import EngineConfig, load_results_jsonl, run_point, run_sweep
+from repro.engine.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    apply_fault,
+    inject_faults,
+)
 from repro.engine.keys import CACHE_SCHEMA, code_version, point_key
 from repro.engine.runners import (
     PRIMARY_METRIC,
@@ -64,4 +74,9 @@ __all__ = [
     "Tracer",
     "HookCollector",
     "collect_machine_trace",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "apply_fault",
+    "inject_faults",
 ]

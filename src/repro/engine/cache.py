@@ -6,8 +6,13 @@ two-character shard directory derived from the key::
     <cache_dir>/<key[:2]>/<key>.json
 
 Writes are atomic (temp file + ``os.replace``) so a crashed or concurrent
-sweep can never leave a truncated entry behind; a corrupt entry is treated
-as a miss and silently overwritten on the next put.
+sweep can never leave a truncated entry behind.  A corrupt entry still
+reads as a miss, but it is never silently discarded: :meth:`ResultCache.get`
+moves it to ``<cache_dir>/quarantine/`` for post-mortem inspection and
+reports it through the ``on_corrupt`` callback (the engine forwards that
+as an ``engine.cache.corrupt`` trace event).  :meth:`ResultCache.verify`
+scans every shard for corrupt entries and orphaned ``.tmp`` files —
+exposed on the command line as ``repro cache verify``.
 """
 
 from __future__ import annotations
@@ -16,27 +21,56 @@ import json
 import os
 import tempfile
 from pathlib import Path
+from typing import Callable
 
 __all__ = ["ResultCache"]
+
+_QUARANTINE = "quarantine"
 
 
 class ResultCache:
     """On-disk JSON store keyed by content-addressed hex digests."""
 
-    def __init__(self, cache_dir: str | Path) -> None:
+    def __init__(
+        self,
+        cache_dir: str | Path,
+        on_corrupt: Callable[[str, Path], None] | None = None,
+    ) -> None:
         self.dir = Path(cache_dir).expanduser()
         self.dir.mkdir(parents=True, exist_ok=True)
+        self.on_corrupt = on_corrupt
 
     def _path(self, key: str) -> Path:
         return self.dir / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> Path:
+        """Move a corrupt file aside; returns its new location."""
+        qdir = self.dir / _QUARANTINE
+        qdir.mkdir(parents=True, exist_ok=True)
+        dest = qdir / path.name
+        serial = 0
+        while dest.exists():
+            serial += 1
+            dest = qdir / f"{path.name}.{serial}"
+        os.replace(path, dest)
+        return dest
+
     def get(self, key: str) -> dict | None:
-        """Return the stored payload, or None on a miss (or corrupt entry)."""
+        """Return the stored payload, or None on a miss.
+
+        A corrupt entry is quarantined (not overwritten blind), reported
+        via ``on_corrupt``, and treated as a miss.
+        """
         path = self._path(key)
         try:
             with path.open("r", encoding="utf-8") as fh:
                 return json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            dest = self._quarantine(path)
+            if self.on_corrupt is not None:
+                self.on_corrupt(key, dest)
             return None
 
     def put(self, key: str, payload: dict) -> None:
@@ -55,16 +89,47 @@ class ResultCache:
                 pass
             raise
 
+    def verify(self) -> dict:
+        """Scan every shard; report corrupt entries and orphaned temp files.
+
+        Returns ``{"entries", "corrupt", "orphaned_tmp", "quarantined",
+        "ok"}`` where ``corrupt`` / ``orphaned_tmp`` list offending paths
+        (as strings) and ``ok`` is True when both are empty.  Read-only:
+        nothing is moved or deleted — pass the corrupt keys back through
+        :meth:`get` to quarantine them, or remove the listed files.
+        """
+        entries = 0
+        corrupt: list[str] = []
+        orphaned: list[str] = []
+        for path in sorted(self.dir.glob("??/*")):
+            if path.suffix == ".json":
+                entries += 1
+                try:
+                    json.loads(path.read_text(encoding="utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    corrupt.append(str(path))
+            elif path.suffix == ".tmp":
+                orphaned.append(str(path))
+        quarantined = sum(1 for _ in (self.dir / _QUARANTINE).glob("*")) \
+            if (self.dir / _QUARANTINE).is_dir() else 0
+        return {
+            "entries": entries,
+            "corrupt": corrupt,
+            "orphaned_tmp": orphaned,
+            "quarantined": quarantined,
+            "ok": not corrupt and not orphaned,
+        }
+
     def __contains__(self, key: str) -> bool:
         return self._path(key).is_file()
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.dir.glob("*/*.json"))
+        return sum(1 for _ in self.dir.glob("??/*.json"))
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0
-        for path in self.dir.glob("*/*.json"):
+        for path in self.dir.glob("??/*.json"):
             path.unlink(missing_ok=True)
             removed += 1
         return removed

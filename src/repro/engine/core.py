@@ -1,4 +1,4 @@
-"""The experiment engine: cached, parallel execution of experiment points.
+"""The experiment engine: cached, parallel, fault-tolerant execution.
 
 ``run_point`` executes one :class:`~repro.engine.runners.ExperimentPoint`
 through the content-addressed cache; ``run_sweep`` fans a list of points
@@ -8,13 +8,38 @@ experiment is a pure counting run (the paper's machines are deterministic
 models, not wall-clock measurements), a cache hit is exactly as good as a
 re-execution and a ``workers=4`` sweep is bit-identical to a serial one —
 results are keyed and compared by content, never by provenance.
+
+Fault tolerance (see ``docs/engine.md``): sweeps survive the failures that
+long ``pebble_optimal`` campaigns actually produce.  Dispatch is
+``submit``-based with a sliding window of at most ``workers`` in-flight
+points, so the engine can
+
+* enforce a per-point wall-clock timeout (``point_timeout_s``) by killing
+  the pool's workers and marking the point ``timeout``;
+* retry failed points with exponential backoff up to ``max_retries``;
+* detect a broken pool (a worker died), rebuild it, and re-queue the
+  innocent in-flight points — degrading to serial in-process execution
+  after ``max_pool_rebuilds`` unexpected breaks instead of aborting;
+* checkpoint incrementally: every completed point is cached and appended
+  to the JSONL stream *as it finishes*, so an aborted sweep resumes from
+  cache with zero recomputation.
+
+A sweep never raises for a failing point: survivors land in
+``SweepResult.points``, permanent failures in ``SweepResult.failures``
+with a typed status (``error`` / ``timeout`` / ``skipped``), and
+``SweepResult.stats`` reports ``errors`` / ``timeouts`` / ``retries`` /
+``pool_rebuilds``.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -28,7 +53,7 @@ __all__ = ["EngineConfig", "run_point", "run_sweep", "load_results_jsonl"]
 
 @dataclass
 class EngineConfig:
-    """How the engine executes: parallelism, cache, trace, output.
+    """How the engine executes: parallelism, cache, trace, output, recovery.
 
     workers:
         Process-pool width; 0 or 1 runs serially in-process.
@@ -36,19 +61,51 @@ class EngineConfig:
         Directory for the persistent result cache; None disables caching.
     tracer:
         Optional :class:`~repro.engine.trace.Tracer` receiving engine
-        events (``engine.point.start/done``, ``engine.cache.hit/miss``).
+        events (``engine.point.start/done/retry/timeout/error``,
+        ``engine.cache.hit/miss/corrupt``, ``engine.pool.broken/degraded``).
     jsonl_path:
         When set, every :class:`RunResult` of a sweep is appended as one
-        JSON line (consumable by :func:`repro.analysis.fitting.sweep_from_jsonl`).
+        JSON line *as it completes* (the incremental checkpoint stream,
+        consumable by :func:`repro.analysis.fitting.sweep_from_jsonl`).
+    point_timeout_s:
+        Per-point wall-clock limit.  Only enforceable with ``workers > 1``
+        (an in-process point cannot be killed); a point that exceeds it is
+        marked ``timeout`` and its worker is terminated.
+    max_retries:
+        How many times a failed (error or timeout) point is re-queued
+        before it is recorded as a permanent failure.
+    retry_backoff_s:
+        Base of the exponential backoff between retries of one point
+        (``base * 2**(attempt-1)`` seconds).
+    max_pool_rebuilds:
+        How many *unexpected* pool breaks (worker death) to repair before
+        degrading the rest of the sweep to serial in-process execution.
+    fail_fast:
+        Stop dispatching after the first permanent failure; remaining
+        points are recorded as ``skipped``.  Default is keep-going.
     """
 
     workers: int = 0
     cache_dir: str | Path | None = None
     tracer: Tracer | None = None
     jsonl_path: str | Path | None = None
+    point_timeout_s: float | None = None
+    max_retries: int = 0
+    retry_backoff_s: float = 0.05
+    max_pool_rebuilds: int = 2
+    fail_fast: bool = False
 
     def open_cache(self) -> ResultCache | None:
-        return None if self.cache_dir is None else ResultCache(self.cache_dir)
+        if self.cache_dir is None:
+            return None
+        on_corrupt = None
+        if self.tracer is not None:
+            tracer = self.tracer
+
+            def on_corrupt(key: str, quarantined: Path) -> None:
+                tracer.emit("engine.cache.corrupt", key=key, quarantined=str(quarantined))
+
+        return ResultCache(self.cache_dir, on_corrupt=on_corrupt)
 
 
 def _emit(config: EngineConfig, event: str, **payload) -> None:
@@ -78,7 +135,11 @@ def _finish(
 def run_point(
     point: ExperimentPoint, config: EngineConfig | None = None
 ) -> RunResult:
-    """Execute one experiment point through the cache (always in-process)."""
+    """Execute one experiment point through the cache (always in-process).
+
+    Unlike :func:`run_sweep`, a failing executor raises here — the
+    single-point API fails loudly rather than returning a taxonomy.
+    """
     config = config or EngineConfig()
     cache = config.open_cache()
     key = point.key
@@ -93,9 +154,7 @@ def run_point(
             _emit(config, "engine.point.done", key=key, cached=True, wall_time_s=0.0)
             return result
         _emit(config, "engine.cache.miss", key=key)
-    t0 = time.perf_counter()
-    metrics, trace = execute_point(point.to_dict())
-    wall = time.perf_counter() - t0
+    metrics, trace, wall = execute_point(point.to_dict())
     if cache is not None:
         cache.put(key, {"kind": point.kind, "params": point.params,
                         "metrics": metrics, "trace": trace})
@@ -103,112 +162,394 @@ def run_point(
     return _finish(point, key, metrics, trace, False, wall)
 
 
+# --------------------------------------------------------------------- #
+# fault-tolerant sweep dispatch
+# --------------------------------------------------------------------- #
+@dataclass
+class _Task:
+    """One uncached point moving through the dispatch loop."""
+
+    index: int
+    point: ExperimentPoint
+    key: str
+    attempts: int = 0        # executions charged against the retry budget
+    submitted_at: float = 0.0
+    not_before: float = 0.0  # backoff gate for the next submission
+    errors: list = field(default_factory=list)
+
+
+def _pop_ready(tasks: deque, now: float) -> _Task | None:
+    for i, task in enumerate(tasks):
+        if task.not_before <= now:
+            del tasks[i]
+            return task
+    return None
+
+
+def _traceback_tail(exc: BaseException, limit: int = 12) -> str:
+    lines = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    return "".join(lines[-limit:])
+
+
+class _SweepRunner:
+    """State machine behind :func:`run_sweep`: cache scan, dispatch,
+    retry/timeout/rebuild handling, incremental checkpointing."""
+
+    def __init__(
+        self, points: list[ExperimentPoint], config: EngineConfig, parameter: str
+    ) -> None:
+        self.points = points
+        self.config = config
+        self.parameter = parameter
+        self.cache = config.open_cache()
+        self.results: list[RunResult | None] = [None] * len(points)
+        self.failures: list[RunResult] = []
+        self.hits = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.errors = 0
+        self.pool_rebuilds = 0
+        self.degraded = False
+        self.stop = False  # tripped by fail_fast
+        self._jsonl_fh = None
+
+    # -- checkpointing ------------------------------------------------- #
+    def _emit(self, event: str, **payload) -> None:
+        _emit(self.config, event, **payload)
+
+    def _write_jsonl(self, run: RunResult) -> None:
+        if self._jsonl_fh is not None:
+            self._jsonl_fh.write(json.dumps(run.to_dict(), sort_keys=True) + "\n")
+            self._jsonl_fh.flush()
+
+    def _record(self, index: int, run: RunResult) -> None:
+        self.results[index] = run
+        self._write_jsonl(run)
+
+    def _complete(self, task: _Task, metrics: dict, trace: dict, wall: float) -> None:
+        if self.cache is not None:
+            self.cache.put(task.key, {"kind": task.point.kind,
+                                      "params": task.point.params,
+                                      "metrics": metrics, "trace": trace})
+        self._record(task.index, _finish(task.point, task.key, metrics, trace, False, wall))
+        self._emit("engine.point.done", key=task.key, cached=False, wall_time_s=wall)
+
+    # -- failure taxonomy ---------------------------------------------- #
+    def _fail_attempt(self, task: _Task, kind: str, exc: BaseException | None) -> bool:
+        """Charge one failed execution; returns True when re-queued."""
+        if kind == "timeout":
+            detail = {
+                "type": "TimeoutError",
+                "message": f"exceeded point_timeout_s={self.config.point_timeout_s}",
+                "traceback": "",
+            }
+            self.timeouts += 1
+            self._emit("engine.point.timeout", key=task.key, attempt=task.attempts,
+                       timeout_s=self.config.point_timeout_s)
+        else:
+            detail = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": _traceback_tail(exc),
+            }
+            self.errors += 1
+            self._emit("engine.point.error", key=task.key, attempt=task.attempts,
+                       error=detail["type"], message=detail["message"])
+        task.errors.append(detail)
+        if task.attempts <= self.config.max_retries and not self.stop:
+            backoff = self.config.retry_backoff_s * (2 ** (task.attempts - 1))
+            task.not_before = time.perf_counter() + backoff
+            self.retries += 1
+            self._emit("engine.point.retry", key=task.key, attempt=task.attempts,
+                       backoff_s=backoff, reason=kind)
+            return True
+        self._fail_permanently(task, "timeout" if kind == "timeout" else "error")
+        return False
+
+    def _fail_permanently(self, task: _Task, status: str) -> None:
+        last = task.errors[-1] if task.errors else {
+            "type": "Skipped", "message": "fail_fast: an earlier point failed",
+            "traceback": "",
+        }
+        run = RunResult(
+            key=task.key,
+            kind=task.point.kind,
+            params=dict(task.point.params),
+            metrics={},
+            cached=False,
+            wall_time_s=0.0,
+            trace={},
+            status=status,
+            error={**last, "attempts": task.attempts},
+        )
+        self.failures.append(run)
+        if status != "skipped":
+            self._write_jsonl(run)
+        if self.config.fail_fast and status != "skipped":
+            self.stop = True
+
+    def _skip_remaining(self, tasks) -> None:
+        for task in tasks:
+            self._fail_permanently(task, "skipped")
+
+    # -- serial execution (workers<=1, and the degraded fallback) ------- #
+    def _run_serial(self, tasks: deque) -> None:
+        while tasks and not self.stop:
+            task = tasks.popleft()
+            delay = task.not_before - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            task.attempts += 1
+            try:
+                metrics, trace, wall = execute_point(task.point.to_dict())
+            except Exception as exc:
+                if self._fail_attempt(task, "error", exc):
+                    tasks.append(task)
+            else:
+                self._complete(task, metrics, trace, wall)
+        self._skip_remaining(tasks)
+
+    # -- pooled execution ----------------------------------------------- #
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Terminate the pool's workers (hung or not) and abandon it."""
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            if proc.is_alive():
+                proc.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _requeue_victims(self, in_flight: dict, tasks: deque) -> None:
+        """Re-queue in-flight points lost to a pool break through no fault
+        of their own — their execution never finished, so it is not
+        charged against the retry budget."""
+        for task in in_flight.values():
+            task.attempts -= 1
+            tasks.appendleft(task)
+        in_flight.clear()
+
+    def _wait_budget(self, in_flight: dict, tasks: deque) -> float | None:
+        deadlines = []
+        now = time.perf_counter()
+        if self.config.point_timeout_s is not None:
+            deadlines += [
+                t.submitted_at + self.config.point_timeout_s
+                for t in in_flight.values()
+            ]
+        deadlines += [t.not_before for t in tasks if t.not_before > now]
+        if not deadlines:
+            return None
+        return max(0.01, min(deadlines) - now)
+
+    def _run_pooled(self, tasks: deque) -> None:
+        cfg = self.config
+        unexpected_breaks = 0
+        pool = ProcessPoolExecutor(max_workers=cfg.workers)
+        in_flight: dict[Future, _Task] = {}
+        try:
+            while (tasks or in_flight) and not self.stop:
+                broken = False
+                # submit ready tasks up to the window of `workers`
+                while tasks and len(in_flight) < cfg.workers and not broken:
+                    task = _pop_ready(tasks, time.perf_counter())
+                    if task is None:
+                        break
+                    task.attempts += 1
+                    task.submitted_at = time.perf_counter()
+                    try:
+                        fut = pool.submit(execute_point, task.point.to_dict())
+                    except (BrokenProcessPool, RuntimeError):
+                        task.attempts -= 1
+                        tasks.appendleft(task)
+                        broken = True
+                        break
+                    in_flight[fut] = task
+
+                if not broken and in_flight:
+                    done, _ = wait(
+                        list(in_flight),
+                        timeout=self._wait_budget(in_flight, tasks),
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for fut in done:
+                        task = in_flight.pop(fut)
+                        try:
+                            metrics, trace, wall = fut.result()
+                        except BrokenProcessPool:
+                            # cannot tell culprit from victim — re-queue
+                            task.attempts -= 1
+                            tasks.appendleft(task)
+                            broken = True
+                        except Exception as exc:
+                            if self._fail_attempt(task, "error", exc):
+                                tasks.append(task)
+                        else:
+                            self._complete(task, metrics, trace, wall)
+                elif not broken:
+                    # everything is backing off; sleep until the next gate
+                    time.sleep(self._wait_budget(in_flight, tasks) or 0.01)
+                    continue
+
+                if broken:
+                    unexpected_breaks += 1
+                    self._emit("engine.pool.broken", breaks=unexpected_breaks)
+                    self._requeue_victims(in_flight, tasks)
+                    self._kill_pool(pool)
+                    if unexpected_breaks > cfg.max_pool_rebuilds:
+                        self.degraded = True
+                        self._emit("engine.pool.degraded", breaks=unexpected_breaks)
+                        self._run_serial(tasks)
+                        return
+                    self.pool_rebuilds += 1
+                    pool = ProcessPoolExecutor(max_workers=cfg.workers)
+                    continue
+
+                # enforce the per-point wall-clock timeout
+                if cfg.point_timeout_s is not None and in_flight:
+                    now = time.perf_counter()
+                    expired = [
+                        (fut, task) for fut, task in in_flight.items()
+                        if now - task.submitted_at >= cfg.point_timeout_s
+                    ]
+                    if expired:
+                        for fut, task in expired:
+                            in_flight.pop(fut)
+                            if self._fail_attempt(task, "timeout", None):
+                                tasks.append(task)
+                        # the hung workers must die: kill the pool, spare
+                        # the innocents' retry budget, rebuild
+                        self._kill_pool(pool)
+                        self._requeue_victims(in_flight, tasks)
+                        self.pool_rebuilds += 1
+                        pool = ProcessPoolExecutor(max_workers=cfg.workers)
+            if self.stop:
+                self._kill_pool(pool)
+                self._skip_remaining(in_flight.values())
+                in_flight.clear()
+                self._skip_remaining(tasks)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- orchestration -------------------------------------------------- #
+    def run(self) -> SweepResult:
+        cfg = self.config
+        t_start = time.perf_counter()
+        if cfg.jsonl_path is not None:
+            path = Path(cfg.jsonl_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._jsonl_fh = path.open("a", encoding="utf-8")
+        try:
+            tasks: deque[_Task] = deque()
+            for i, point in enumerate(self.points):
+                key = point.key
+                self._emit("engine.point.start", key=key, point_kind=point.kind)
+                hit = self.cache.get(key) if self.cache is not None else None
+                if hit is not None:
+                    self.hits += 1
+                    self._emit("engine.cache.hit", key=key)
+                    self._record(i, _finish(
+                        point, key, hit["metrics"], hit.get("trace", {}), True, 0.0
+                    ))
+                    self._emit("engine.point.done", key=key, cached=True,
+                               wall_time_s=0.0)
+                else:
+                    if self.cache is not None:
+                        self._emit("engine.cache.miss", key=key)
+                    tasks.append(_Task(index=i, point=point, key=key))
+
+            if tasks:
+                if cfg.workers and cfg.workers > 1:
+                    self._run_pooled(tasks)
+                else:
+                    self._run_serial(tasks)
+        finally:
+            if self._jsonl_fh is not None:
+                self._jsonl_fh.close()
+                self._jsonl_fh = None
+        return self._assemble(t_start)
+
+    def _assemble(self, t_start: float) -> SweepResult:
+        runs = [r for r in self.results if r is not None]
+        sweep_points = []
+        for i, run in enumerate(runs):
+            x = run.params.get(self.parameter, i)
+            metric = PRIMARY_METRIC.get(run.kind, "io")
+            extras = {
+                k: float(v)
+                for k, v in run.metrics.items()
+                if k not in (metric, "bound") and isinstance(v, (int, float))
+                and not isinstance(v, bool)
+            }
+            sweep_points.append(
+                SweepPoint(
+                    x=float(x),
+                    measured=float(run.metrics[metric]),
+                    bound=run.metrics.get("bound"),
+                    extras=extras,
+                    run=run,
+                )
+            )
+        n = len(self.points)
+        return SweepResult(
+            parameter=self.parameter,
+            points=sweep_points,
+            failures=self.failures,
+            stats={
+                "points": n,
+                "cache_hits": self.hits,
+                "cache_misses": n - self.hits,
+                "hit_rate": self.hits / n if n else 0.0,
+                "workers": self.config.workers,
+                "wall_time_s": time.perf_counter() - t_start,
+                "errors": self.errors,
+                "timeouts": self.timeouts,
+                "retries": self.retries,
+                "pool_rebuilds": self.pool_rebuilds,
+                "failures": len(self.failures),
+                "degraded": 1.0 if self.degraded else 0.0,
+            },
+        )
+
+
 def run_sweep(
     points: list[ExperimentPoint],
     config: EngineConfig | None = None,
     parameter: str = "n",
 ) -> SweepResult:
-    """Execute many points — cache first, then a process-pool for the rest.
+    """Execute many points — cache first, then fault-tolerant dispatch.
 
     ``parameter`` names the swept params entry used as each point's
     x-value (points without it get their list index).  Result order always
-    matches input order regardless of worker scheduling.
+    matches input order regardless of worker scheduling or retries.  A
+    failing point never raises: it is retried per the config and, if it
+    keeps failing, lands in ``SweepResult.failures`` with a typed status
+    while the rest of the sweep completes (see module docstring).
     """
     config = config or EngineConfig()
-    cache = config.open_cache()
-    t_start = time.perf_counter()
-
-    results: list[RunResult | None] = [None] * len(points)
-    pending: list[int] = []
-    hits = 0
-    for i, point in enumerate(points):
-        key = point.key
-        _emit(config, "engine.point.start", key=key, point_kind=point.kind)
-        hit = cache.get(key) if cache is not None else None
-        if hit is not None:
-            hits += 1
-            _emit(config, "engine.cache.hit", key=key)
-            results[i] = _finish(
-                point, key, hit["metrics"], hit.get("trace", {}), True, 0.0
-            )
-            _emit(config, "engine.point.done", key=key, cached=True, wall_time_s=0.0)
-        else:
-            if cache is not None:
-                _emit(config, "engine.cache.miss", key=key)
-            pending.append(i)
-
-    if pending:
-        specs = [points[i].to_dict() for i in pending]
-        if config.workers and config.workers > 1 and len(pending) > 1:
-            with ProcessPoolExecutor(max_workers=config.workers) as pool:
-                t0 = time.perf_counter()
-                outcomes = list(pool.map(execute_point, specs))
-                elapsed = time.perf_counter() - t0
-            # per-point wall time is not observable from the parent; charge
-            # the pool-average so provenance stays informative
-            walls = [elapsed / len(pending)] * len(pending)
-        else:
-            outcomes, walls = [], []
-            for spec in specs:
-                t0 = time.perf_counter()
-                outcomes.append(execute_point(spec))
-                walls.append(time.perf_counter() - t0)
-        for i, (metrics, trace), wall in zip(pending, outcomes, walls):
-            point = points[i]
-            key = point.key
-            if cache is not None:
-                cache.put(key, {"kind": point.kind, "params": point.params,
-                                "metrics": metrics, "trace": trace})
-            results[i] = _finish(point, key, metrics, trace, False, wall)
-            _emit(config, "engine.point.done", key=key, cached=False, wall_time_s=wall)
-
-    runs: list[RunResult] = [r for r in results if r is not None]
-    sweep_points = []
-    for i, run in enumerate(runs):
-        x = run.params.get(parameter, i)
-        metric = PRIMARY_METRIC.get(run.kind, "io")
-        extras = {
-            k: float(v)
-            for k, v in run.metrics.items()
-            if k not in (metric, "bound") and isinstance(v, (int, float))
-            and not isinstance(v, bool)
-        }
-        sweep_points.append(
-            SweepPoint(
-                x=float(x),
-                measured=float(run.metrics[metric]),
-                bound=run.metrics.get("bound"),
-                extras=extras,
-                run=run,
-            )
-        )
-    sweep = SweepResult(
-        parameter=parameter,
-        points=sweep_points,
-        stats={
-            "points": len(points),
-            "cache_hits": hits,
-            "cache_misses": len(points) - hits,
-            "hit_rate": hits / len(points) if points else 0.0,
-            "workers": config.workers,
-            "wall_time_s": time.perf_counter() - t_start,
-        },
-    )
-    if config.jsonl_path is not None:
-        path = Path(config.jsonl_path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("a", encoding="utf-8") as fh:
-            for run in runs:
-                fh.write(json.dumps(run.to_dict(), sort_keys=True) + "\n")
-    return sweep
+    return _SweepRunner(points, config, parameter).run()
 
 
 def load_results_jsonl(path: str | Path) -> list[RunResult]:
-    """Read back the JSONL stream a sweep wrote (one RunResult per line)."""
+    """Read back the JSONL stream a sweep wrote (one RunResult per line).
+
+    A truncated *final* line — the signature of a killed writer — is
+    skipped with a warning; corruption anywhere else still raises.
+    """
     out = []
-    with Path(path).open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                out.append(RunResult.from_dict(json.loads(line)))
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(RunResult.from_dict(json.loads(line)))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                warnings.warn(
+                    f"{path}: skipping truncated final JSONL line "
+                    f"(interrupted writer)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            raise
     return out

@@ -30,6 +30,7 @@ remain cacheable by content.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -359,17 +360,28 @@ _EXECUTORS = {
 }
 
 
-def execute_point(spec: dict) -> tuple[dict, dict]:
-    """Run one point spec; returns (metrics, trace summary).
+def execute_point(spec: dict) -> tuple[dict, dict, float]:
+    """Run one point spec; returns (metrics, trace summary, wall seconds).
 
     Top-level so :class:`concurrent.futures.ProcessPoolExecutor` can pickle
     it; the hook collector runs in whatever process executes the point.
+    Wall time is measured here, inside the executing process, so pooled
+    dispatch reports real per-point durations rather than a pool average.
+    The first thing an execution does is consult the fault-injection plan
+    (:func:`repro.engine.faults.apply_fault`), which is a no-op unless the
+    ``REPRO_FAULTS`` environment variable is set.
     """
+    from repro.engine.faults import apply_fault
     from repro.engine.trace import collect_machine_trace
 
     kind = spec["kind"]
     if kind not in _EXECUTORS:
         raise KeyError(f"unknown experiment kind {kind!r}")
+    t0 = time.perf_counter()
+    injected = apply_fault(spec)
+    if injected is not None:
+        metrics, trace = injected
+        return metrics, trace, time.perf_counter() - t0
     with collect_machine_trace() as collector:
         metrics = _EXECUTORS[kind](spec["params"])
-    return metrics, collector.summary()
+    return metrics, collector.summary(), time.perf_counter() - t0

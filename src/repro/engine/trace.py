@@ -3,7 +3,14 @@
 Two layers:
 
 * :class:`TraceEvent` / :class:`Tracer` — the engine-level stream the
-  caller sees: cache hits/misses, per-point wall time, worker counts.
+  caller sees.  The engine emits: ``engine.point.start`` / ``.done``
+  (with real per-point wall time), ``engine.cache.hit`` / ``.miss`` /
+  ``.corrupt`` (an entry was quarantined), and the fault-tolerance
+  events ``engine.point.retry`` (re-queued with backoff),
+  ``engine.point.timeout`` (killed by the wall-clock limit),
+  ``engine.point.error`` (executor raised), ``engine.pool.broken``
+  (a worker died, pool rebuilt) and ``engine.pool.degraded`` (too many
+  breaks — rest of the sweep runs serially in-process).
 * :class:`HookCollector` — an aggregating subscriber for the lightweight
   hooks in :mod:`repro.machine.sequential`, :mod:`repro.machine.parallel`
   and :mod:`repro.pebbling.game`.  It runs *inside the worker process*

@@ -35,6 +35,83 @@ class TestResultCache:
         (tmp_path / "ee" / f"{key}.json").write_text("{not json", encoding="utf-8")
         assert cache.get(key) is None
 
+    def test_corrupt_entry_is_quarantined_and_reported(self, tmp_path):
+        seen = []
+        cache = ResultCache(tmp_path, on_corrupt=lambda k, p: seen.append((k, p)))
+        key = "ee" + "5" * 62
+        cache.put(key, {"metrics": {}})
+        (tmp_path / "ee" / f"{key}.json").write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+        # moved aside, not left to be overwritten blind
+        assert not (tmp_path / "ee" / f"{key}.json").exists()
+        (reported_key, dest), = seen
+        assert reported_key == key
+        assert dest.parent.name == "quarantine"
+        assert dest.read_text(encoding="utf-8") == "{not json"
+        # a fresh put works and the quarantined copy is not counted
+        cache.put(key, {"metrics": {"io": 1}})
+        assert cache.get(key) == {"metrics": {"io": 1}}
+        assert len(cache) == 1
+
+    def test_quarantine_names_never_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ee" + "6" * 62
+        for _ in range(2):
+            cache.put(key, {"metrics": {}})
+            (tmp_path / "ee" / f"{key}.json").write_text("{x", encoding="utf-8")
+            assert cache.get(key) is None
+        assert len(list((tmp_path / "quarantine").iterdir())) == 2
+
+    def test_corrupt_hit_emits_engine_trace_event(self, tmp_path):
+        from repro.engine import EngineConfig, Tracer, run_point
+        from repro.engine.runners import seq_io_point as point
+
+        tracer = Tracer()
+        cfg = EngineConfig(cache_dir=tmp_path, tracer=tracer)
+        res = run_point(point("strassen", 8, 48), cfg)
+        path = tmp_path / res.key[:2] / f"{res.key}.json"
+        path.write_text("garbage", encoding="utf-8")
+        rerun = run_point(point("strassen", 8, 48), cfg)
+        assert not rerun.cached
+        assert tracer.kinds().get("engine.cache.corrupt") == 1
+        ev = [e for e in tracer.events if e.kind == "engine.cache.corrupt"][0]
+        assert ev.payload["key"] == res.key
+        assert "quarantine" in ev.payload["quarantined"]
+
+    def test_verify_reports_corrupt_and_orphaned_tmp(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        good = "aa" + "7" * 62
+        bad = "bb" + "7" * 62
+        cache.put(good, {"metrics": {}})
+        cache.put(bad, {"metrics": {}})
+        (tmp_path / "bb" / f"{bad}.json").write_text("{", encoding="utf-8")
+        (tmp_path / "aa" / "tmpleft.tmp").write_text("partial", encoding="utf-8")
+        report = cache.verify()
+        assert report["entries"] == 2
+        assert not report["ok"]
+        assert report["corrupt"] == [str(tmp_path / "bb" / f"{bad}.json")]
+        assert report["orphaned_tmp"] == [str(tmp_path / "aa" / "tmpleft.tmp")]
+
+    def test_verify_clean_cache_is_ok(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("cc" + "8" * 62, {"metrics": {}})
+        report = cache.verify()
+        assert report["ok"] and report["entries"] == 1
+        assert report["corrupt"] == [] and report["orphaned_tmp"] == []
+
+    def test_cache_verify_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = ResultCache(tmp_path)
+        key = "dd" + "9" * 62
+        cache.put(key, {"metrics": {}})
+        assert main(["cache", "verify", str(tmp_path)]) == 0
+        capsys.readouterr()
+        (tmp_path / "dd" / f"{key}.json").write_text("{", encoding="utf-8")
+        assert main(["cache", "verify", "--json", str(tmp_path)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["corrupt"] and not report["ok"]
+
     def test_overwrite_is_atomic_replace(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = "aa" + "3" * 62

@@ -111,6 +111,69 @@ class TestRunSweep:
         assert rebuilt.measured == res.measured
         assert rebuilt.exponent == pytest.approx(res.exponent)
 
+    def test_jsonl_tolerates_truncated_final_line(self, tmp_path):
+        """A writer killed mid-line must not poison the stream: the
+        truncated final line is skipped with a warning, not an exception."""
+        path = tmp_path / "runs.jsonl"
+        res = run_sweep(_points(), EngineConfig(jsonl_path=path))
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"key": "deadbeef", "kind": "seq_io", "par')  # no newline
+        with pytest.warns(RuntimeWarning, match="truncated final"):
+            loaded = load_results_jsonl(path)
+        assert [r.fingerprint() for r in loaded] == [
+            r.fingerprint() for r in res.runs
+        ]
+
+    def test_jsonl_mid_file_corruption_still_raises(self, tmp_path):
+        import json as _json
+
+        path = tmp_path / "runs.jsonl"
+        run_sweep(_points(), EngineConfig(jsonl_path=path))
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:20]  # corrupt a non-final line
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(_json.JSONDecodeError):
+            load_results_jsonl(path)
+
+    def test_jsonl_streams_incrementally(self, tmp_path):
+        """Each point's line is flushed as it completes, not at sweep end —
+        verified by reading the file from a tracer callback mid-sweep."""
+        path = tmp_path / "runs.jsonl"
+        lines_at_done: list[int] = []
+
+        def sink(ev):
+            if ev.kind == "engine.point.done":
+                lines_at_done.append(
+                    len(path.read_text().splitlines()) if path.exists() else 0
+                )
+
+        run_sweep(
+            _points(), EngineConfig(jsonl_path=path, tracer=Tracer(sink=sink))
+        )
+        assert lines_at_done == [1, 2, 3]
+
+    def test_pooled_wall_time_is_per_point_not_pool_average(self):
+        """submit-based dispatch measures wall time inside the worker, so
+        per-point values are real (positive and not all identical)."""
+        res = run_sweep(_points(), EngineConfig(workers=2))
+        walls = [r.wall_time_s for r in res.runs]
+        assert all(w > 0 for w in walls)
+        assert len(set(walls)) == len(walls)
+
+    def test_clean_sweep_reports_zeroed_fault_stats(self):
+        res = run_sweep(_points(), EngineConfig(workers=2))
+        for key in ("errors", "timeouts", "retries", "pool_rebuilds",
+                    "failures", "degraded"):
+            assert res.stats[key] == 0
+        assert res.failures == []
+
+    def test_run_results_default_ok_status(self):
+        res = run_sweep(_points(), EngineConfig())
+        assert all(r.status == "ok" and r.ok and r.error is None
+                   for r in res.runs)
+        round_tripped = [type(r).from_dict(r.to_dict()) for r in res.runs]
+        assert [r.status for r in round_tripped] == ["ok"] * len(SIZES)
+
 
 class TestTraceEvents:
     def test_engine_event_stream_schema(self, tmp_path):
