@@ -148,7 +148,9 @@ def _cmd_sweep(args) -> int:
     from repro.engine import run_sweep, seq_io_point
 
     alg = None if args.algorithm == "classical" else args.algorithm
-    points = [seq_io_point(alg, n, args.M) for n in args.sizes]
+    points = [
+        seq_io_point(alg, n, args.M, replay=not args.no_replay) for n in args.sizes
+    ]
     res = run_sweep(points, _engine_config(args), parameter="n")
     if args.json:
         _print_json(res.to_dict())
@@ -275,6 +277,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_sweep.add_argument("--json", action="store_true", help="machine-readable output")
     p_sweep.add_argument("--jsonl", default=None, help="append RunResults as JSONL")
+    p_sweep.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="full executions (compute and verify C) instead of level replay",
+    )
     _add_engine_flags(p_sweep)
     p_sweep.set_defaults(fn=_cmd_sweep)
 

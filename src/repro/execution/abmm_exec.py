@@ -83,7 +83,8 @@ def abmm_machine_multiply(
     A: np.ndarray,
     B: np.ndarray,
     base_size: int | None = None,
-) -> tuple[np.ndarray, dict[str, float]]:
+    level_replay: bool = False,
+) -> tuple[np.ndarray | None, dict[str, float]]:
     """Run ABMM out-of-core; returns (C, per-phase I/O breakdown).
 
     The transforms recurse exactly as deep as the bilinear part will: the
@@ -91,6 +92,12 @@ def abmm_machine_multiply(
     computed up front and used as both the transform stop size and the
     recursion base — below s₀ everything stays in the original basis and
     the in-cache products are plain matmuls.
+
+    ``level_replay=True`` replays the bilinear phase (one of the t
+    isomorphic sub-problems executed per level, the rest charged — see
+    :mod:`repro.execution.recursive_bilinear`); the transform phases always
+    execute in full.  Counters stay exact but C is not computed — the
+    returned product is ``None``.
     """
     A = np.asarray(A, dtype=np.float64)
     B = np.asarray(B, dtype=np.float64)
@@ -110,14 +117,14 @@ def abmm_machine_multiply(
 
     from repro.execution.recursive_bilinear import _mult  # shared recursion
 
-    _mult(machine, alt.core, "A", "B", "C_t", n, stop, "r")
+    _mult(machine, alt.core, "A", "B", "C_t", n, stop, "r", replay=level_replay)
     io_bilinear = machine.io_operations - io0 - io_fwd
 
     nu_inv = invert_base_transform(alt.nu)
     machine_basis_transform(machine, "C_t", "C", n, nu_inv, stop)
     io_inv = machine.io_operations - io0 - io_fwd - io_bilinear
 
-    C = machine.fetch_output("C")
+    C = None if level_replay else machine.fetch_output("C")
     return C, {
         "io_transform_forward": float(io_fwd),
         "io_bilinear": float(io_bilinear),

@@ -37,10 +37,11 @@ def _mult(
 ) -> None:
     rows_a, inner, cols_b = _shape_at(alg, levels)
     if levels == 0 or (rows_a * inner + inner * cols_b + rows_a * cols_b) <= machine.M:
-        a = machine.load(a_name, "_a")
-        b = machine.load(b_name, "_b")
-        machine.allocate("_c", (rows_a, cols_b))
-        machine.fast["_c"][:] = a @ b
+        a = machine.load(a_name, "_a", copy=False)
+        b = machine.load(b_name, "_b", copy=False)
+        c = machine.allocate("_c", (rows_a, cols_b))
+        with machine.compute():
+            np.matmul(a, b, out=c)
         machine.store("_c", c_name)
         machine.free("_a")
         machine.free("_b")
@@ -102,10 +103,14 @@ def _decode_rect(
 
 
 def _stream_generic(machine, sources, dst, rows, cols) -> None:
-    """Rectangular variant of stream_linear_combination (rows×cols blocks)."""
+    """Rectangular variant of stream_linear_combination (rows×cols blocks).
+
+    Footprint is two chunks — accumulator plus current source, combined in
+    place — so the chunk budget is M // 2 regardless of fan-in.
+    """
     if not sources:
         raise ValueError("empty linear combination")
-    chunk_words = machine.M // (len(sources) + 1)
+    chunk_words = machine.M // 2
     if chunk_words < 1:
         raise MemoryError("fast memory too small to stream")
     rows_budget = max(1, chunk_words // cols)
@@ -118,14 +123,17 @@ def _stream_generic(machine, sources, dst, rows, cols) -> None:
         while c < cols:
             ncols = min(cols_budget, cols - c)
             acc = machine.allocate("_racc", (nrows, ncols))
-            for i, (sname, sr, sc, coeff) in enumerate(sources):
+            for sname, sr, sc, coeff in sources:
                 chunk = machine.load_slice(
                     sname,
                     np.s_[sr + r : sr + r + nrows, sc + c : sc + c + ncols],
-                    f"_rsrc{i}",
+                    "_rsrc",
                 )
-                acc += coeff * chunk
-                machine.free(f"_rsrc{i}")
+                with machine.compute():
+                    if coeff != 1.0:
+                        np.multiply(chunk, coeff, out=chunk)
+                    np.add(acc, chunk, out=acc)
+                machine.free("_rsrc")
             machine.store_slice(
                 "_racc", dname, np.s_[dr + r : dr + r + nrows, dc + c : dc + c + ncols]
             )

@@ -4,12 +4,24 @@ The recursion mirrors Algorithm 2: above the cache cutoff, each encoded
 operand Â_l = Σ_q U[l,q]·A_q is *streamed* through fast memory in row
 chunks (reads: nnz·h², writes: h² per combination), the t sub-products are
 computed depth-first, and the output blocks are streamed back through the
-decoder.  At the cutoff (3s² ≤ M) the whole sub-problem is loaded, solved
-in-cache, and stored.
+decoder.  At the cutoff (3s² ≤ M) the whole sub-problem is loaded and
+solved in-cache with a charged output buffer (``np.matmul(..., out=...)``
+— the footprint is genuinely 3s²: A, B and C, no hidden temporary), and
+stored.
 
 I/O recurrence:  IO(s) = t·IO(s/d) + c_lin·(s/d)²,  IO(s₀) = 3s₀² at the
 cutoff, giving the Θ((n/√M)^{ω₀}·M) upper bound whose measured constants
 the benches compare across Strassen / Winograd / Karstadt–Schwartz.
+
+Level-replay mode (``recursive_fast_matmul(..., level_replay=True)``)
+exploits that the t sub-problems of a level are isomorphic: their I/O is
+value-independent and identical, so the machine executes the encoders for
+every l (their cost varies with nnz(U[l]), nnz(V[l])), recurses into
+*one* sub-problem, and charges the other t−1 via
+:meth:`SequentialMachine.charge_replayed_io`.  Counters are exact — the
+cross-check flag proves it against full execution — but the numeric
+product is not computed (the function returns ``None``).  Wall time drops
+from Θ(tᴸ) recursive calls to Θ(L·t) at depth L.
 """
 
 from __future__ import annotations
@@ -29,17 +41,19 @@ def stream_linear_combination(
     h: int,
     reserve: int = 0,
 ) -> None:
-    """dst_block += nothing; dst_block = Σ coeff·src_block, streamed.
+    """dst_block = Σ coeff·src_block, streamed through fast memory.
 
     ``sources`` — (slow name, row offset, col offset, coefficient) of h×h
-    blocks; ``dst`` — (slow name, row offset, col offset).  Row chunks are
-    sized so (len(sources)+1)·chunk_words + reserve ≤ M, so the streaming
-    never violates the fast-memory capacity no matter how large h is.
+    blocks; ``dst`` — (slow name, row offset, col offset).  Only two
+    buffers are ever resident — the accumulator and the current source
+    chunk, combined in place — so row chunks are sized to the true
+    footprint 2·chunk_words + reserve ≤ M, independent of the fan-in.
+    (The old budget divided by len(sources)+1 as if every source chunk
+    stayed resident, degrading large fan-ins to needlessly tiny chunks.)
     """
     if not sources:
         raise ValueError("empty linear combination")
-    per_term = machine.M - reserve
-    chunk_words = per_term // (len(sources) + 1)
+    chunk_words = (machine.M - reserve) // 2
     if chunk_words < 1:
         raise MemoryError(
             f"M={machine.M} too small to stream {len(sources)}-term combinations"
@@ -54,14 +68,17 @@ def stream_linear_combination(
         while c < h:
             cols = min(cols_budget, h - c)
             acc = machine.allocate("_acc", (rows, cols))
-            for i, (sname, sr, sc, coeff) in enumerate(sources):
+            for sname, sr, sc, coeff in sources:
                 chunk = machine.load_slice(
                     sname,
                     np.s_[sr + r : sr + r + rows, sc + c : sc + c + cols],
-                    f"_src{i}",
+                    "_src",
                 )
-                acc += coeff * chunk
-                machine.free(f"_src{i}")
+                with machine.compute():
+                    if coeff != 1.0:
+                        np.multiply(chunk, coeff, out=chunk)
+                    np.add(acc, chunk, out=acc)
+                machine.free("_src")
             machine.store_slice(
                 "_acc", dname, np.s_[dr + r : dr + r + rows, dc + c : dc + c + cols]
             )
@@ -79,12 +96,14 @@ def _mult(
     s: int,
     base_size: int,
     tag: str,
+    replay: bool = False,
 ) -> None:
     if 3 * s * s <= machine.M and s <= base_size:
-        a = machine.load(a_name, "_a")
-        b = machine.load(b_name, "_b")
-        machine.allocate("_c", (s, s))
-        machine.fast["_c"][:] = a @ b
+        a = machine.load(a_name, "_a", copy=False)
+        b = machine.load(b_name, "_b", copy=False)
+        c = machine.allocate("_c", (s, s))
+        with machine.compute():
+            np.matmul(a, b, out=c)
         machine.store("_c", c_name)
         machine.free("_a")
         machine.free("_b")
@@ -96,6 +115,7 @@ def _mult(
     h = s // d
     machine.alloc_slow(c_name, (s, s))
     prod_names: list[str] = []
+    sub_reads = sub_writes = None
     for l in range(alg.t):
         ah = f"{tag}.A{l}"
         bh = f"{tag}.B{l}"
@@ -120,7 +140,17 @@ def _mult(
             (bh, 0, 0),
             h,
         )
-        _mult(machine, alg, ah, bh, ml, h, base_size, f"{tag}.{l}")
+        if replay and sub_reads is not None:
+            # Isomorphic to the measured sub-problem: same shapes, same
+            # recursion, value-independent I/O.  Charge, don't execute.
+            machine.alloc_slow(ml, (h, h))
+            machine.charge_replayed_io(sub_reads, sub_writes, 1, label=ml)
+        else:
+            r0, w0 = machine.words_read, machine.words_written
+            _mult(machine, alg, ah, bh, ml, h, base_size, f"{tag}.{l}", replay=replay)
+            if replay:
+                sub_reads = machine.words_read - r0
+                sub_writes = machine.words_written - w0
         machine.drop_slow(ah)
         machine.drop_slow(bh)
         prod_names.append(ml)
@@ -144,12 +174,21 @@ def recursive_fast_matmul(
     A: np.ndarray,
     B: np.ndarray,
     base_size: int | None = None,
-) -> np.ndarray:
+    level_replay: bool = False,
+    cross_check: bool = False,
+) -> np.ndarray | None:
     """Run the DFS out-of-core algorithm; returns C (and leaves counters set).
 
     ``base_size`` caps the in-cache cutoff; by default the recursion bottoms
     out as soon as the whole sub-problem fits (3s² ≤ M), the choice that
     yields the Θ((n/√M)^{ω₀}·M) upper bound.
+
+    ``level_replay=True`` executes one of the t isomorphic sub-problems per
+    level and charges the rest (see module docstring); counters and peak
+    fast-memory are exact but the product is not computed — returns
+    ``None``.  ``cross_check=True`` (with replay) additionally runs the
+    full execution on a shadow machine and raises if any counter differs;
+    use on small n to certify the replay path.
     """
     if not alg.is_square:
         raise ValueError("recursive execution requires a square base case")
@@ -162,5 +201,27 @@ def recursive_fast_matmul(
         base_size = n  # cutoff decided purely by the cache-fit test
     machine.place_input("A", A)
     machine.place_input("B", B)
-    _mult(machine, alg, "A", "B", "C", n, base_size, "r")
-    return machine.fetch_output("C")
+    _mult(machine, alg, "A", "B", "C", n, base_size, "r", replay=level_replay)
+    if not level_replay:
+        return machine.fetch_output("C")
+    if cross_check:
+        ref = SequentialMachine(
+            machine.M, read_cost=machine.read_cost, write_cost=machine.write_cost
+        )
+        ref.place_input("A", A)
+        ref.place_input("B", B)
+        _mult(ref, alg, "A", "B", "C", n, base_size, "r", replay=False)
+        mismatches = {
+            key: (got, want)
+            for key, got, want in [
+                ("reads", machine.words_read, ref.words_read),
+                ("writes", machine.words_written, ref.words_written),
+                ("peak_fast", machine.peak_fast_words, ref.peak_fast_words),
+            ]
+            if got != want
+        }
+        if mismatches:
+            raise AssertionError(
+                f"level-replay counters diverge from full execution: {mismatches}"
+            )
+    return None

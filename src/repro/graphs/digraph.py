@@ -23,13 +23,14 @@ class DiGraph:
     are both O(degree).
     """
 
-    __slots__ = ("_succ", "_pred", "_payload", "_edge_count")
+    __slots__ = ("_succ", "_pred", "_payload", "_edge_count", "_csr_cache")
 
     def __init__(self) -> None:
         self._succ: list[list[int]] = []
         self._pred: list[list[int]] = []
         self._payload: list[Any] = []
         self._edge_count = 0
+        self._csr_cache: tuple | None = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -39,6 +40,7 @@ class DiGraph:
         self._succ.append([])
         self._pred.append([])
         self._payload.append(payload)
+        self._csr_cache = None
         return len(self._succ) - 1
 
     def add_vertices(self, count: int, payload: Any = None) -> range:
@@ -48,6 +50,7 @@ class DiGraph:
             self._succ.append([])
             self._pred.append([])
             self._payload.append(payload)
+        self._csr_cache = None
         return range(start, start + count)
 
     def add_edge(self, u: int, v: int) -> None:
@@ -57,6 +60,7 @@ class DiGraph:
         self._succ[u].append(v)
         self._pred[v].append(u)
         self._edge_count += 1
+        self._csr_cache = None
 
     def add_edges(self, edges: Iterable[tuple[int, int]]) -> None:
         for u, v in edges:
@@ -106,6 +110,35 @@ class DiGraph:
     def sinks(self) -> list[int]:
         """Vertices with no successors (CDAG terminal outputs)."""
         return [v for v in self.vertices() if not self._succ[v]]
+
+    def csr(self) -> tuple:
+        """Flat CSR-style adjacency: (succ_indptr, succ_indices,
+        pred_indptr, pred_indices), all int64 numpy arrays.
+
+        ``succ_indices[succ_indptr[v]:succ_indptr[v+1]]`` are v's
+        successors (order preserved), and likewise for predecessors.  Built
+        lazily and cached; any mutation (add_vertex/add_edge) invalidates
+        the cache.  The flat form is what the pebbling/partition DPs want:
+        whole-graph masks and degree arrays in a few numpy passes instead
+        of per-vertex Python list walks.
+        """
+        if self._csr_cache is None:
+            import numpy as np
+
+            n = len(self._succ)
+            e = self._edge_count
+
+            def pack(adj: list[list[int]]) -> tuple:
+                counts = np.fromiter((len(a) for a in adj), np.int64, count=n)
+                indptr = np.zeros(n + 1, dtype=np.int64)
+                np.cumsum(counts, out=indptr[1:])
+                indices = np.fromiter(
+                    (w for a in adj for w in a), np.int64, count=e
+                )
+                return indptr, indices
+
+            self._csr_cache = (*pack(self._succ), *pack(self._pred))
+        return self._csr_cache
 
     # ------------------------------------------------------------------ #
     # derived graphs

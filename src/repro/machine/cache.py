@@ -13,7 +13,17 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable
 
+import numpy as np
+
+from repro.machine.lru_kernel import simulate_lru_batch
+
 __all__ = ["LRUCache"]
+
+#: below this batch size the per-word loop beats the array passes
+_VECTOR_MIN_BATCH = 4096
+#: traces with more distinct reuse gaps than this fall back to the scalar
+#: loop in "auto" (the vectorized cost has a gaps × queries term)
+_AUTO_GAP_LIMIT = 512
 
 
 class LRUCache:
@@ -48,9 +58,58 @@ class LRUCache:
         lines[addr] = write
         return False
 
-    def access_many(self, addrs: Iterable[int], write: bool = False) -> None:
-        for a in addrs:
-            self.access(int(a), write=write)
+    def access_many(
+        self,
+        addrs: Iterable[int] | np.ndarray,
+        write: bool | np.ndarray = False,
+        kernel: str = "auto",
+    ) -> None:
+        """Touch a batch of words; ``write`` may be per-element.
+
+        ``kernel`` selects the simulation path: "scalar" replays the batch
+        through :meth:`access`; "vector" classifies the whole batch offline
+        (:func:`repro.machine.lru_kernel.simulate_lru_batch` — exact, the
+        property tests certify identical counters *and* identical cache
+        state); "auto" picks the vector path for large regular batches and
+        falls back to scalar for tiny or gap-diverse traces.
+        """
+        if kernel not in ("auto", "vector", "scalar"):
+            raise ValueError(f"unknown kernel {kernel!r}")
+        if not isinstance(addrs, np.ndarray):
+            addrs = np.fromiter((int(a) for a in addrs), dtype=np.int64)
+        writes = np.broadcast_to(np.asarray(write, dtype=bool), addrs.shape)
+        if kernel == "scalar" or (
+            kernel == "auto" and addrs.size < _VECTOR_MIN_BATCH
+        ):
+            self._access_loop(addrs, writes)
+            return
+        res_addrs = np.fromiter(
+            self._lines.keys(), dtype=np.int64, count=len(self._lines)
+        )
+        res_dirty = np.fromiter(
+            self._lines.values(), dtype=bool, count=len(self._lines)
+        )
+        result = simulate_lru_batch(
+            addrs,
+            writes,
+            self.M,
+            res_addrs,
+            res_dirty,
+            gap_limit=_AUTO_GAP_LIMIT if kernel == "auto" else None,
+        )
+        if result is None:  # too gap-diverse for the vector path to pay off
+            self._access_loop(addrs, writes)
+            return
+        self.hits += result.hits
+        self.misses += result.misses
+        self.writebacks += result.writebacks
+        self._lines = OrderedDict(
+            zip(result.resident_addrs.tolist(), result.resident_dirty.tolist())
+        )
+
+    def _access_loop(self, addrs: np.ndarray, writes: np.ndarray) -> None:
+        for a, w in zip(addrs.tolist(), writes.tolist()):
+            self.access(a, write=w)
 
     def flush(self) -> None:
         """Write back all dirty lines (end of computation)."""

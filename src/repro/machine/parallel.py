@@ -80,15 +80,30 @@ class BSPMachine:
         ``fn`` returns an iterable of (dest, name, array) messages.  A word
         sent to *yourself* is free — the model charges only inter-processor
         exchanges, matching Section II-B.
+
+        Two messages addressed to the same (dest, name) within one
+        superstep raise ``ValueError``: BSP delivery order is unspecified,
+        so a silent last-writer-wins would drop one sender's words after
+        charging both — the counters and the final store would disagree.
+        (Overwriting a name delivered in an *earlier* superstep is fine.)
         """
         outboxes: list[list[Message]] = []
         for rank in range(self.P):
             msgs = fn(rank, self.stores[rank]) or []
             outboxes.append(list(msgs))
+        delivered: dict[tuple[int, str], int] = {}
         for rank, msgs in enumerate(outboxes):
             for dest, name, arr in msgs:
                 if not (0 <= dest < self.P):
                     raise ValueError(f"message to unknown processor {dest}")
+                slot = (dest, name)
+                if slot in delivered:
+                    raise ValueError(
+                        f"superstep write conflict: processors "
+                        f"{delivered[slot]} and {rank} both sent "
+                        f"{name!r} to processor {dest}"
+                    )
+                delivered[slot] = rank
                 arr = np.asarray(arr)
                 if dest != rank:
                     self.sent[rank] += arr.size

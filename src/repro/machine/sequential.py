@@ -7,10 +7,24 @@ machine enforces the fast-memory capacity in *words* (array elements) and
 counts every word moved in each direction — the I/O the paper's bounds are
 about.  Nothing is estimated; if an algorithm forgets to evict, it crashes
 with :class:`FastMemoryOverflow` instead of silently under-counting.
+
+Two accounting guarantees hold:
+
+* the invariant ``fast_words ≤ M`` (hence ``peak_fast_words ≤ M``) is
+  checked on **every** allocation — it cannot be violated without raising;
+* in **strict mode** (``SequentialMachine(M, strict=True)``) the machine
+  additionally instruments numpy *temporaries*: arithmetic must be wrapped
+  in ``with machine.compute():`` and any hidden allocation (e.g. the
+  ``b×b`` buffer ``a @ b`` materializes before an ``out=``-less add) raises
+  :class:`StrictAccountingError`.  This is the guard against the classic
+  under-accounting bug where an execution charges 3 tiles but numpy
+  silently holds a fourth.
 """
 
 from __future__ import annotations
 
+import tracemalloc
+from contextlib import contextmanager
 from typing import Callable
 
 import numpy as np
@@ -18,6 +32,7 @@ import numpy as np
 __all__ = [
     "SequentialMachine",
     "FastMemoryOverflow",
+    "StrictAccountingError",
     "add_trace_hook",
     "remove_trace_hook",
 ]
@@ -48,6 +63,10 @@ class FastMemoryOverflow(RuntimeError):
     """An allocation would exceed the fast-memory capacity M."""
 
 
+class StrictAccountingError(FastMemoryOverflow):
+    """Strict mode detected an uncharged numpy temporary during compute()."""
+
+
 class SequentialMachine:
     """Two-level memory with explicit transfers and word-exact I/O counters.
 
@@ -57,14 +76,31 @@ class SequentialMachine:
         Fast-memory capacity in words.
     read_cost / write_cost:
         Per-word transfer costs (write_cost > read_cost models NVM, §V).
+    strict:
+        Instrument numpy temporaries inside :meth:`compute` blocks; any
+        hidden allocation beyond ``strict_slack_bytes`` (plus what the
+        block was explicitly granted) raises :class:`StrictAccountingError`.
+    strict_slack_bytes:
+        Allowance for interpreter noise (array wrappers, iterators) inside
+        a strict compute block.  Default 1024 bytes — far below one word
+        row of any realistically-sized tile.
     """
 
-    def __init__(self, M: int, read_cost: float = 1.0, write_cost: float = 1.0) -> None:
+    def __init__(
+        self,
+        M: int,
+        read_cost: float = 1.0,
+        write_cost: float = 1.0,
+        strict: bool = False,
+        strict_slack_bytes: int = 1024,
+    ) -> None:
         if M < 1:
             raise ValueError("M must be >= 1")
         self.M = int(M)
         self.read_cost = float(read_cost)
         self.write_cost = float(write_cost)
+        self.strict = bool(strict)
+        self.strict_slack_bytes = int(strict_slack_bytes)
         self.slow: dict[str, np.ndarray] = {}
         self.fast: dict[str, np.ndarray] = {}
         self.fast_words = 0
@@ -96,6 +132,7 @@ class SequentialMachine:
     # counted transfers
     # ------------------------------------------------------------------ #
     def _charge_alloc(self, words: int) -> None:
+        # The machine-level invariant: fast_words ≤ M on every allocation.
         if self.fast_words + words > self.M:
             raise FastMemoryOverflow(
                 f"fast memory overflow: {self.fast_words} + {words} > M={self.M}"
@@ -103,22 +140,52 @@ class SequentialMachine:
         self.fast_words += words
         self.peak_fast_words = max(self.peak_fast_words, self.fast_words)
 
-    def load(self, name: str, into: str | None = None) -> np.ndarray:
-        """Copy a slow-memory array into fast memory; costs its size in reads."""
+    def assert_invariant(self) -> None:
+        """Re-check peak_fast_words ≤ M and fast dict consistency (cheap)."""
+        live = sum(a.size for a in self.fast.values())
+        if live != self.fast_words:
+            raise StrictAccountingError(
+                f"fast-word ledger drift: tracked {self.fast_words}, live {live}"
+            )
+        if self.peak_fast_words > self.M:
+            raise FastMemoryOverflow(
+                f"peak fast words {self.peak_fast_words} exceeded M={self.M}"
+            )
+
+    def load(self, name: str, into: str | None = None, copy: bool = True) -> np.ndarray:
+        """Copy a slow-memory array into fast memory; costs its size in reads.
+
+        ``copy=False`` returns a *read-only view* of the slow array instead
+        of a physical copy — same charge, same counters, but no memcpy.
+        Use it for operands the algorithm only reads (the model's layers
+        are still distinct: the view is immutable, so fast-side writes
+        cannot alias slow memory).
+        """
         arr = self.slow[name]
         self._charge_alloc(arr.size)
-        buf = arr.copy()
+        if copy:
+            buf = arr.copy()
+        else:
+            buf = arr.view()
+            buf.flags.writeable = False
         self.fast[into or name] = buf
         self.words_read += arr.size
         if _TRACE_HOOKS:
             _emit({"event": "machine.load", "name": name, "words": int(arr.size)})
         return buf
 
-    def load_slice(self, name: str, idx, into: str) -> np.ndarray:
-        """Load a slice of a slow array (chunked streaming); costs slice size."""
+    def load_slice(self, name: str, idx, into: str, copy: bool = True) -> np.ndarray:
+        """Load a slice of a slow array (chunked streaming); costs slice size.
+
+        ``copy=False`` as in :meth:`load`: a read-only view, no memcpy.
+        """
         chunk = self.slow[name][idx]
         self._charge_alloc(chunk.size)
-        buf = np.array(chunk)
+        if copy:
+            buf = np.array(chunk)
+        else:
+            buf = chunk.view()
+            buf.flags.writeable = False
         self.fast[into] = buf
         self.words_read += chunk.size
         if _TRACE_HOOKS:
@@ -158,8 +225,77 @@ class SequentialMachine:
         self.fast_words = 0
 
     # ------------------------------------------------------------------ #
+    # compute guard (strict-mode temporary instrumentation)
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def compute(self, scratch_words: int = 0):
+        """Wrap fast-memory arithmetic; in strict mode, police temporaries.
+
+        Out-of-core executions put *every* arithmetic step on fast buffers
+        inside ``with machine.compute():``.  Outside strict mode this is
+        free (a bare yield).  In strict mode the block is measured with
+        :mod:`tracemalloc` (numpy routes array data through it): if the
+        block's peak allocation exceeds ``scratch_words`` words +
+        ``strict_slack_bytes``, some operation materialized a buffer the
+        machine never charged — exactly the ``c += a @ b`` bug class — and
+        :class:`StrictAccountingError` is raised.
+
+        ``scratch_words`` declares temporaries that *are* separately
+        charged (rare; prefer machine-allocated scratch buffers).
+        """
+        if not self.strict:
+            yield
+            return
+        started = not tracemalloc.is_tracing()
+        if started:
+            tracemalloc.start()
+        base, _peak = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        try:
+            yield
+        finally:
+            _cur, peak = tracemalloc.get_traced_memory()
+            if started:
+                tracemalloc.stop()
+        extra_bytes = peak - base - 8 * scratch_words - self.strict_slack_bytes
+        if extra_bytes > 0:
+            raise StrictAccountingError(
+                f"strict accounting: compute block allocated ≈{peak - base} bytes "
+                f"of uncharged numpy temporaries (≈{(peak - base) // 8} words; "
+                f"fast_words={self.fast_words}, M={self.M}) — route the product "
+                "through a charged scratch buffer (np.matmul(..., out=...))"
+            )
+
+    # ------------------------------------------------------------------ #
     # accounting
     # ------------------------------------------------------------------ #
+    def charge_replayed_io(
+        self, reads: int, writes: int, repeats: int, label: str = "replay"
+    ) -> None:
+        """Block-granular counter aggregation for level-replay executions.
+
+        Adds ``repeats`` extra copies of an already-executed segment's
+        (reads, writes) to the counters in O(1) — the counting analogue of
+        executing ``repeats`` more isomorphic subproblems.  Peak fast-memory
+        is unchanged: the replayed segments would have run one at a time
+        with the same footprint as the measured one.
+        """
+        if reads < 0 or writes < 0 or repeats < 0:
+            raise ValueError("replay charges must be non-negative")
+        self.words_read += reads * repeats
+        self.words_written += writes * repeats
+        if _TRACE_HOOKS:
+            _emit(
+                {
+                    "event": "machine.replay",
+                    "name": label,
+                    "words": int((reads + writes) * repeats),
+                    "reads": int(reads * repeats),
+                    "writes": int(writes * repeats),
+                    "repeats": int(repeats),
+                }
+            )
+
     @property
     def io_operations(self) -> int:
         """Total words moved (the paper's unit-cost I/O count)."""

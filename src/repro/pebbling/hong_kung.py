@@ -20,7 +20,7 @@ the ≤ ~14-vertex instances the tests certify against ``optimal_io``.
 
 from __future__ import annotations
 
-from functools import lru_cache
+import numpy as np
 
 from repro.cdag.core import CDAG
 from repro.graphs.cuts import max_vertex_disjoint_paths
@@ -35,11 +35,11 @@ def _ideals(cdag: CDAG) -> list[int]:
     is the number of antichains, manageable for the small CDAGs involved.
     """
     n = cdag.num_vertices
-    g = cdag.graph
+    _, _, pred_indptr, pred_indices = cdag.graph.csr()
     pred_mask = [0] * n
     for v in range(n):
-        for u in g.predecessors(v):
-            pred_mask[v] |= 1 << u
+        for u in pred_indices[pred_indptr[v] : pred_indptr[v + 1]]:
+            pred_mask[v] |= 1 << int(u)
     seen = {0}
     stack = [0]
     while stack:
@@ -54,20 +54,26 @@ def _ideals(cdag: CDAG) -> list[int]:
     return sorted(seen)
 
 
-def _part_ok(cdag: CDAG, part_mask: int, S: int) -> bool:
-    """Check the dominator and minimum-set conditions for one part."""
-    g = cdag.graph
-    part = [v for v in range(cdag.num_vertices) if (part_mask >> v) & 1]
-    # minimum set: part vertices with no successor inside the part
-    minimum = [
-        v for v in part if not any((part_mask >> w) & 1 for w in g.successors(v))
-    ]
-    if len(minimum) > S:
+def _part_ok(cdag: CDAG, succ_mask: np.ndarray, part_mask: int, S: int) -> bool:
+    """Check the dominator and minimum-set conditions for one part.
+
+    ``succ_mask[v]`` is the uint64 bitmask of v's successors, so the
+    minimum set (part vertices with no successor *inside* the part) is one
+    vectorized pass; the max-flow dominator computation runs only when that
+    cheap necessary test passes.
+    """
+    n = cdag.num_vertices
+    pm = np.uint64(part_mask)
+    vbits = np.uint64(1) << np.arange(n, dtype=np.uint64)
+    in_part = (vbits & pm) != 0
+    minimum = int(np.count_nonzero(in_part & ((succ_mask & pm) == 0)))
+    if minimum > S:
         return False
     # dominator: min vertex cut between the CDAG inputs and the part (an
     # input inside the part must itself be covered — the flow formulation
     # handles that via its zero-length path)
-    dom = max_vertex_disjoint_paths(g, cdag.inputs, part, limit=float(S + 1))
+    part = [v for v in range(n) if (part_mask >> v) & 1]
+    dom = max_vertex_disjoint_paths(cdag.graph, cdag.inputs, part, limit=float(S + 1))
     return dom <= S
 
 
@@ -76,6 +82,13 @@ def min_s_partition_parts(cdag: CDAG, S: int, max_vertices: int = 16) -> int:
 
     DP over ideals: parts(I) = min over ideals J ⊂ I with I\\J a valid part
     of parts(J) + 1.  Exponential; guarded to small CDAGs.
+
+    The inner loop is array-level: subset tests over all ideals at once
+    (uint64 bitmask AND), popcount pruning (a part with ≤ S vertices is
+    automatically valid — it dominates itself and contains its minimum
+    set), and candidates ordered by DP value so the first flow-verified
+    improvement ends the scan.  ``_part_ok`` results are memoized per part
+    mask — distinct (big, small) pairs share difference masks freely.
     """
     n = cdag.num_vertices
     if n > max_vertices:
@@ -84,38 +97,51 @@ def min_s_partition_parts(cdag: CDAG, S: int, max_vertices: int = 16) -> int:
         )
     if S < 1:
         raise ValueError("S must be >= 1")
-    ideals = _ideals(cdag)
-    index = {mask: i for i, mask in enumerate(ideals)}
-    INF = float("inf")
-    best = [INF] * len(ideals)
-    best[0] = 0
-    # ideals are sorted ascending; supersets have larger masks? not
-    # necessarily numerically — process in order of popcount instead
-    order = sorted(range(len(ideals)), key=lambda i: bin(ideals[i]).count("1"))
+    succ_indptr, succ_indices, _, _ = cdag.graph.csr()
+    succ_mask = np.zeros(n, dtype=np.uint64)
+    for v in range(n):
+        for w in succ_indices[succ_indptr[v] : succ_indptr[v + 1]]:
+            succ_mask[v] |= np.uint64(1 << int(w))
+    ideals = np.array(_ideals(cdag), dtype=np.uint64)
+    k = ideals.size
+    index = {int(m): i for i, m in enumerate(ideals)}
+    INF = np.iinfo(np.int64).max
+    best = np.full(k, INF, dtype=np.int64)
+    best[index[0]] = 0
+    order = np.argsort(np.bitwise_count(ideals), kind="stable")
     part_ok_cache: dict[int, bool] = {}
 
     def ok(mask: int) -> bool:
-        if mask not in part_ok_cache:
-            part_ok_cache[mask] = _part_ok(cdag, mask, S)
-        return part_ok_cache[mask]
+        hit = part_ok_cache.get(mask)
+        if hit is None:
+            hit = part_ok_cache[mask] = _part_ok(cdag, succ_mask, mask, S)
+        return hit
 
     for bi in order:
         big = ideals[bi]
         if big == 0:
             continue
-        for sj in order:
-            small = ideals[sj]
-            if small == big or (small & big) != small:
-                continue  # not a strict subset of `big`
-            if best[sj] == INF:
-                continue
-            part = big & ~small
-            if ok(part):
-                cand = best[sj] + 1
-                if cand < best[bi]:
-                    best[bi] = cand
-    full = (1 << n) - 1
-    result = best[index[full]]
+        sub = ((ideals & big) == ideals) & (ideals != big) & (best < INF)
+        cand = np.nonzero(sub)[0]
+        if cand.size == 0:
+            continue
+        parts = big & ~ideals[cand]
+        small = np.bitwise_count(parts) <= S  # |part| ≤ S ⇒ part is valid
+        cur = int(best[bi])
+        if small.any():
+            cur = min(cur, int(best[cand[small]].min()) + 1)
+        hard = np.nonzero(~small)[0]
+        # check expensive candidates in DP order; the scan can stop at the
+        # first success because later candidates cannot beat it
+        for idx in hard[np.argsort(best[cand[hard]], kind="stable")]:
+            cb = int(best[cand[idx]]) + 1
+            if cb >= cur:
+                break
+            if ok(int(parts[idx])):
+                cur = cb
+                break
+        best[bi] = cur
+    result = best[index[(1 << n) - 1]]
     if result == INF:
         raise ValueError(f"no {S}-partition exists (S too small)")
     return int(result)

@@ -199,7 +199,20 @@ class TestTraceEvents:
         events = res.trace["events"]
         assert events["machine.load"]["count"] > 0
         assert events["machine.store"]["words"] > 0
-        # aggregated hook words equal the machine's counted I/O
+        # aggregated hook words equal the machine's counted I/O; replay
+        # points charge the skipped isomorphic sub-problems via
+        # machine.replay events
+        total = (
+            events["machine.load"]["words"]
+            + events["machine.store"]["words"]
+            + events.get("machine.replay", {}).get("words", 0)
+        )
+        assert total == res.metrics["io"]
+
+    def test_full_execution_trace_has_no_replay(self):
+        res = run_point(seq_io_point("strassen", 16, M, replay=False))
+        events = res.trace["events"]
+        assert "machine.replay" not in events
         total = events["machine.load"]["words"] + events["machine.store"]["words"]
         assert total == res.metrics["io"]
 

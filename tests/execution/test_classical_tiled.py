@@ -9,7 +9,11 @@ from repro.machine.sequential import SequentialMachine
 
 
 class TestLargestTile:
-    @pytest.mark.parametrize("n,M,expected", [(16, 192, 8), (16, 48, 4), (16, 3, 1), (12, 108, 6)])
+    @pytest.mark.parametrize(
+        # 4b² ≤ M (A, B, C + charged product scratch), not the old 3b²
+        "n,M,expected",
+        [(16, 192, 4), (16, 48, 2), (16, 3, 1), (12, 108, 4), (16, 256, 8)],
+    )
     def test_values(self, n, M, expected):
         assert largest_tile(n, M) == expected
 
@@ -24,12 +28,25 @@ class TestTiledMatmul:
 
     def test_io_formula(self, rng):
         """I/O = 2(n/b)³b² + 2(n/b)²·b²·… exactly (deterministic count)."""
-        n, M = 16, 48  # b = 4
+        n, M = 16, 48  # b = 2 under the honest 4b² ≤ M footprint
         m = SequentialMachine(M)
         tiled_matmul(m, rng.standard_normal((n, n)), rng.standard_normal((n, n)))
-        q, b = n // 4, 4
+        q, b = n // 2, 2
         assert m.words_read == 2 * q ** 3 * b * b
         assert m.words_written == q * q * b * b  # one store per C tile
+
+    def test_replay_counters_match_full(self, rng):
+        """Replay mode charges the untouched C-tile passes exactly."""
+        n, M = 16, 48
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        full = SequentialMachine(M)
+        tiled_matmul(full, A, B)
+        rep = SequentialMachine(M)
+        assert tiled_matmul(rep, A, B, replay=True) is None
+        assert rep.words_read == full.words_read
+        assert rep.words_written == full.words_written
+        assert rep.peak_fast_words == full.peak_fast_words
 
     def test_io_shrinks_with_memory(self, rng):
         A = rng.standard_normal((16, 16))
@@ -58,7 +75,7 @@ class TestTiledMatmul:
         with pytest.raises(ValueError):
             tiled_matmul(m, A, A, tile=5)  # doesn't divide 16
         with pytest.raises(ValueError):
-            tiled_matmul(m, A, A, tile=8)  # 3·64 > 48
+            tiled_matmul(m, A, A, tile=8)  # 4·64 > 48
 
     def test_non_square_rejected(self, rng):
         m = SequentialMachine(48)
@@ -89,3 +106,13 @@ class TestNaiveLRUTrace:
     def test_writeback_accounting(self):
         st = naive_matmul_lru_trace(4, 8)
         assert st["writebacks"] >= 16  # every C word written back at least once
+
+    def test_row_replay_and_kernels_identical(self):
+        """Every fast path (vector kernel, row periodicity replay) returns
+        stats identical to the plain scalar row-by-row simulation."""
+        for n, M in [(8, 16), (12, 48), (16, 64)]:
+            ref = naive_matmul_lru_trace(n, M, kernel="scalar", row_replay=False)
+            for kernel in ("scalar", "vector", "auto"):
+                for rr in (False, True):
+                    got = naive_matmul_lru_trace(n, M, kernel=kernel, row_replay=rr)
+                    assert got == ref, (n, M, kernel, rr)

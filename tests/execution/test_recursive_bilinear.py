@@ -44,7 +44,10 @@ class TestStreaming:
             stream_linear_combination(m, [], ("x", 0, 0), 2)
 
     def test_impossible_memory_raises(self):
-        m = SequentialMachine(M=3)
+        # M=1: the two-buffer stream footprint leaves no room for a chunk
+        # (M=3 now *works* — the honest budget is (M − reserve) // 2, not
+        # the old per-source division)
+        m = SequentialMachine(M=1)
         m.place_input("src", np.zeros((4, 4)))
         m.alloc_slow("dst", (4, 4))
         with pytest.raises(MemoryError):
@@ -120,6 +123,37 @@ class TestRecursiveExecution:
         m_deep = SequentialMachine(M)
         recursive_fast_matmul(m_deep, strassen_alg, A, B, base_size=4)
         assert m_deep.io_operations > m_shallow.io_operations
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_level_replay_cross_check(self, strassen_alg, winograd_alg, rng, n):
+        """Replay counters must match the full execution exactly; the
+        built-in cross-check (shadow full machine) raises on any drift."""
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        for alg in (strassen_alg, winograd_alg):
+            m = SequentialMachine(48)
+            out = recursive_fast_matmul(
+                m, alg, A, B, level_replay=True, cross_check=True
+            )
+            assert out is None  # replay skips the numeric product
+            assert m.peak_fast_words <= 48
+
+    def test_level_replay_much_cheaper(self, strassen_alg, rng):
+        """Replay executes O(levels·t) streams, not t^levels recursions."""
+        import time
+
+        n = 64
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        t0 = time.perf_counter()
+        recursive_fast_matmul(SequentialMachine(48), strassen_alg, A, B)
+        full = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        recursive_fast_matmul(
+            SequentialMachine(48), strassen_alg, A, B, level_replay=True
+        )
+        rep = time.perf_counter() - t0
+        assert rep < full
 
     def test_rectangular_rejected(self, rng):
         from repro.algorithms.classical import classical

@@ -47,6 +47,33 @@ class TestSuperstep:
         m.superstep(lambda r, s: [])
         assert m.supersteps == 2
 
+    def test_same_slot_collision_raises(self):
+        """Two senders targeting one (dest, name) in a superstep must raise.
+
+        The old behavior was silent last-writer-wins: both senders' words
+        were charged to the counters but only one array survived, so the
+        I/O accounting and the delivered state disagreed."""
+        m = BSPMachine(P=3)
+        m.place(0, "x", np.ones(2))
+        m.place(1, "x", np.full(2, 9.0))
+        with pytest.raises(ValueError, match="write conflict"):
+            m.superstep(lambda r, s: [(2, "x", s["x"])] if r in (0, 1) else [])
+
+    def test_same_name_different_dests_ok(self):
+        m = BSPMachine(P=3)
+        m.place(0, "x", np.ones(2))
+        m.superstep(lambda r, s: [(1, "x", s["x"]), (2, "x", s["x"])] if r == 0 else [])
+        assert np.array_equal(m.local(1, "x"), np.ones(2))
+        assert np.array_equal(m.local(2, "x"), np.ones(2))
+
+    def test_overwrite_across_supersteps_ok(self):
+        """Rewriting a name delivered in an earlier superstep is legal."""
+        m = BSPMachine(P=2)
+        m.place(0, "x", np.ones(2))
+        m.superstep(lambda r, s: [(1, "x", s["x"])] if r == 0 else [])
+        m.superstep(lambda r, s: [(1, "x", s["x"] * 2)] if r == 0 else [])
+        assert np.array_equal(m.local(1, "x"), np.full(2, 2.0))
+
     def test_delivery_after_all_run(self):
         """Messages must not be visible to later ranks in the same superstep."""
         m = BSPMachine(P=2)

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.machine.sequential import FastMemoryOverflow, SequentialMachine
+from repro.machine.sequential import (
+    FastMemoryOverflow,
+    SequentialMachine,
+    StrictAccountingError,
+)
 
 
 class TestTransfers:
@@ -112,3 +116,91 @@ class TestAccounting:
         assert m.io_operations == 0
         m.drop_slow("t")
         assert "t" not in m.slow
+
+    def test_charge_replayed_io(self):
+        m = SequentialMachine(M=10)
+        m.charge_replayed_io(100, 20, 6)
+        assert m.words_read == 600
+        assert m.words_written == 120
+        assert m.peak_fast_words == 0  # replay never touches fast memory
+
+    def test_charge_replayed_io_rejects_negative(self):
+        m = SequentialMachine(M=10)
+        with pytest.raises(ValueError):
+            m.charge_replayed_io(-1, 0, 1)
+
+    def test_assert_invariant_detects_drift(self):
+        m = SequentialMachine(M=100)
+        m.allocate("a", (3, 3))
+        m.assert_invariant()
+        m.fast_words += 1  # corrupt the ledger by hand
+        with pytest.raises(StrictAccountingError):
+            m.assert_invariant()
+
+    def test_load_view_is_read_only(self):
+        m = SequentialMachine(M=100)
+        m.place_input("A", np.zeros((2, 2)))
+        buf = m.load("A", copy=False)
+        with pytest.raises(ValueError):
+            buf[0, 0] = 5  # views must not let fast writes alias slow memory
+
+
+class TestStrictMode:
+    """The under-accounting regression: ``c += a @ b`` materializes an
+    uncharged b×b product before the add.  The old executions ran exactly
+    that with 3b² = M, so their true footprint was 4b² > M; strict mode
+    turns the hidden temporary into an error."""
+
+    B = 16  # 16×16 tiles: the hidden product is 2048 bytes ≫ the 1024 slack
+
+    def _three_tiles(self, strict: bool) -> tuple:
+        b = self.B
+        m = SequentialMachine(M=3 * b * b, strict=strict)
+        m.place_input("A", np.ones((b, b)))
+        m.place_input("B", np.ones((b, b)))
+        a = m.load("A", copy=False)
+        bt = m.load("B", copy=False)
+        c = m.allocate("C", (b, b))
+        return m, a, bt, c
+
+    def test_old_path_exceeds_m(self):
+        """Regression: the pre-fix accumulate needs a 4th uncharged tile.
+
+        With M = 3b² the three charged tiles fit exactly — but the numpy
+        temporary of ``c += a @ b`` pushes the true peak to 4b² > M, which
+        strict mode catches as an (accounting) overflow."""
+        m, a, bt, c = self._three_tiles(strict=True)
+        assert m.fast_words == m.M  # 3b² exactly: no room for a 4th tile
+        with pytest.raises(FastMemoryOverflow):
+            with m.compute():
+                c += a @ bt  # the old, under-accounted execution
+
+    def test_charged_scratch_is_clean(self):
+        """The fixed path routes the product through a charged buffer and
+        needs M ≥ 4b² — with that, strict mode passes."""
+        b = self.B
+        m = SequentialMachine(M=4 * b * b, strict=True)
+        m.place_input("A", np.ones((b, b)))
+        m.place_input("B", np.ones((b, b)))
+        a = m.load("A", copy=False)
+        bt = m.load("B", copy=False)
+        c = m.allocate("C", (b, b))
+        p = m.allocate("P", (b, b))
+        with m.compute():
+            np.matmul(a, bt, out=p)
+            np.add(c, p, out=c)
+        assert np.array_equal(c, np.full((b, b), float(b)))
+        m.assert_invariant()
+
+    def test_non_strict_ignores_temporaries(self):
+        m, a, bt, c = self._three_tiles(strict=False)
+        with m.compute():
+            c += a @ bt  # uncharged, but non-strict mode does not instrument
+        assert c[0, 0] == self.B
+
+    def test_scratch_words_declares_charged_buffers(self):
+        b = self.B
+        m = SequentialMachine(M=4 * b * b, strict=True)
+        a = m.allocate("a", (b, b))
+        with m.compute(scratch_words=b * b):
+            _ = a @ a  # temporary is declared, so the block is clean
