@@ -8,12 +8,19 @@ never crossed and (b) the fitted exponents match 3 vs log₂7.
 
 from __future__ import annotations
 
+import pytest
 from conftest import banner, complete_sweep
 
 from repro.analysis.report import text_table
 from repro.bounds.formulas import OMEGA0_STRASSEN
 from repro.bounds.validation import shape_report
-from repro.engine import EngineConfig, run_point, run_sweep, seq_io_point
+from repro.engine import (
+    EngineConfig,
+    lru_trace_point,
+    run_point,
+    run_sweep,
+    seq_io_point,
+)
 
 SIZES = [32, 64, 128]
 M = 48
@@ -68,6 +75,36 @@ def test_seq_sweep_m_dependence(benchmark):
     assert measured == sorted(measured, reverse=True)
     for p in res.points:
         assert p.measured >= p.bound
+
+
+def test_seq_sweep_observability(benchmark, tmp_path):
+    """E5 through the observability layer: the same sequential sweep run
+    with a ``sweep_dir``, then rendered by ``repro report`` — per-point
+    wall time, cache hit/miss counts, LRU hit rate, and the fitted
+    exponent all sourced from MetricsRegistry snapshots."""
+    from repro.obs import build_report, render_report, validate_manifest
+    from repro.obs.manifest import RunManifest
+
+    sweep_dir = tmp_path / "sweep"
+    config = EngineConfig(
+        cache_dir=tmp_path / "cache", sweep_dir=sweep_dir, profile="wall"
+    )
+    points = [seq_io_point(None, n, M) for n in SIZES]
+    points += [lru_trace_point(n, M) for n in SIZES]
+    benchmark.pedantic(
+        lambda: complete_sweep(run_sweep(points, config)), rounds=1, iterations=1
+    )
+
+    assert validate_manifest(RunManifest.load(sweep_dir / "manifest.json")) == []
+    report = build_report(sweep_dir)
+    print(banner("E5 — observability report of the sequential I/O sweep"))
+    print(render_report(report))
+    assert report["fit"]["exponent"] == pytest.approx(3.0, abs=0.5)
+    assert report["cache"]["misses"] == len(points)
+    assert report["lru"]["hits"] > 0 and 0 < report["lru"]["hit_rate"] < 1
+    executed = [p for p in report["fit"]["points"] if not p["cached"]]
+    assert executed and all(p["wall_time_s"] > 0 for p in executed)
+    assert report["profiles"]["count"] == len(points)
 
 
 def test_seq_sweep_three_algorithms(benchmark):

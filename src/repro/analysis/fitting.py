@@ -9,6 +9,7 @@ deprecated wrappers so old call sites keep measuring the same numbers.
 
 from __future__ import annotations
 
+import dataclasses
 import warnings
 from pathlib import Path
 
@@ -23,25 +24,53 @@ __all__ = [
 ]
 
 
-def sweep_from_runs(runs: list[RunResult], parameter: str = "n") -> SweepResult:
+def sweep_from_runs(
+    runs: list[RunResult], parameter: str = "n", missing: str = "error"
+) -> SweepResult:
     """Assemble a :class:`SweepResult` from engine run results.
 
     Non-``ok`` runs (a fault-tolerant sweep streams its failures to JSONL
     too, with their status taxonomy) carry no metrics and are routed to
     ``failures`` instead of the fitted point list.
+
+    A run whose params lack ``parameter`` has no x-value.  The old
+    behavior silently substituted the enumeration index — which depends
+    on JSONL stream order, shifts when failures interleave, and quietly
+    corrupts every downstream exponent fit.  Now ``missing="error"``
+    (the default) raises ``KeyError``; ``missing="fail"`` routes the run
+    to ``failures`` with an ``error`` status instead, so mixed streams
+    can still be assembled loudly-but-totally.
     """
     from repro.engine.runners import PRIMARY_METRIC
 
+    if missing not in ("error", "fail"):
+        raise ValueError(f"missing must be 'error' or 'fail', got {missing!r}")
     points = []
     failures = []
-    for i, run in enumerate(runs):
+    for run in runs:
         if not run.ok:
             failures.append(run)
+            continue
+        if parameter not in run.params:
+            message = (
+                f"sweep parameter {parameter!r} missing from params of run "
+                f"{run.key} (kind={run.kind}, params keys: "
+                f"{sorted(run.params)})"
+            )
+            if missing == "error":
+                raise KeyError(message)
+            failures.append(
+                dataclasses.replace(
+                    run,
+                    status="error",
+                    error={"type": "KeyError", "message": message, "attempts": 0},
+                )
+            )
             continue
         metric = PRIMARY_METRIC.get(run.kind, "io")
         points.append(
             SweepPoint(
-                x=float(run.params.get(parameter, i)),
+                x=float(run.params[parameter]),
                 measured=float(run.metrics[metric]),
                 bound=run.metrics.get("bound"),
                 run=run,
@@ -50,12 +79,15 @@ def sweep_from_runs(runs: list[RunResult], parameter: str = "n") -> SweepResult:
     return SweepResult(parameter=parameter, points=points, failures=failures)
 
 
-def sweep_from_jsonl(path: str | Path, parameter: str = "n") -> SweepResult:
+def sweep_from_jsonl(
+    path: str | Path, parameter: str = "n", missing: str = "error"
+) -> SweepResult:
     """Rebuild a sweep from the JSONL stream :func:`repro.engine.run_sweep`
-    writes — the hand-off between the engine and this fitting layer."""
+    writes — the hand-off between the engine and this fitting layer.
+    ``missing`` is forwarded to :func:`sweep_from_runs`."""
     from repro.engine import load_results_jsonl
 
-    return sweep_from_runs(load_results_jsonl(path), parameter)
+    return sweep_from_runs(load_results_jsonl(path), parameter, missing=missing)
 
 
 def _deprecated(old: str, new: str) -> None:
@@ -103,8 +135,29 @@ def sweep_parallel_comm(
 
     points = [parallel_comm_point(alg, n, P, M, seed=seed) for P in procs]
     sweep = run_sweep(points, parameter="P")
-    # legacy shape: comm clamped to >= 1 and local I/O exposed as an extra
-    for p in sweep.points:
-        p.measured = max(p.measured, 1.0)
-        p.extras = {"local_io": p.run.metrics["local_io_per_proc"]} if p.run else {}
-    return sweep
+    # Legacy shape: comm clamped to >= 1 and local I/O exposed as an extra.
+    # Applied to *copies*: the assembled points alias the engine's runs
+    # (which may be cached or shared with other views), so clamping in
+    # place would corrupt run.metrics-derived data for every other
+    # consumer.  Extras are merged, not replaced, for the same reason.
+    legacy_points = [
+        dataclasses.replace(
+            p,
+            measured=max(p.measured, 1.0),
+            extras={
+                **p.extras,
+                **(
+                    {"local_io": p.run.metrics["local_io_per_proc"]}
+                    if p.run is not None
+                    else {}
+                ),
+            },
+        )
+        for p in sweep.points
+    ]
+    return SweepResult(
+        parameter=sweep.parameter,
+        points=legacy_points,
+        failures=sweep.failures,
+        stats=sweep.stats,
+    )

@@ -8,15 +8,22 @@ figures                 print Figures 1–3 (ASCII renderings)
 verify                  run the full lemma-verification audit
 sweep N... --M M        measured sequential I/O sweep with exponent fit
 recompute               the recomputation study (optimal pebbling)
+report DIR              observability dashboard for a sweep directory
 cache verify DIR        scan a result cache for corrupt/orphaned entries
 
-``table1``, ``eval``, and ``sweep`` accept ``--json`` for machine-readable
-output; ``sweep`` and ``recompute`` run through :mod:`repro.engine`, so
-``--workers``, ``--cache-dir``, ``--jsonl``, and the fault-tolerance
-flags ``--timeout`` / ``--retries`` / ``--fail-fast`` / ``--keep-going``
+``table1``, ``eval``, ``sweep``, and ``report`` accept ``--json`` for
+machine-readable output; ``sweep`` and ``recompute`` run through
+:mod:`repro.engine`, so ``--workers``, ``--cache-dir``, ``--jsonl``,
+``--sweep-dir``, ``--profile``, and the fault-tolerance flags
+``--timeout`` / ``--retries`` / ``--fail-fast`` / ``--keep-going``
 are available there.  When points permanently fail, the sweep still
 completes (keep-going is the default), survivors are printed/streamed,
 and the exit code is non-zero with a failure summary on stderr.
+
+``--sweep-dir DIR`` makes a sweep observable: the JSONL checkpoint, an
+incremental ``manifest.json``, and any ``--profile`` artifacts all land
+in DIR, which ``repro report DIR`` then renders (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -115,6 +122,8 @@ def _engine_config(args):
         point_timeout_s=getattr(args, "timeout", None),
         max_retries=getattr(args, "retries", 0),
         fail_fast=getattr(args, "fail_fast", False),
+        sweep_dir=getattr(args, "sweep_dir", None),
+        profile=getattr(args, "profile", "off"),
     )
 
 
@@ -205,6 +214,24 @@ def _cmd_reproduce(_args) -> int:
     return 1 if run_all() else 0
 
 
+def _cmd_report(args) -> int:
+    from repro.obs import build_report, render_report
+
+    try:
+        report = build_report(args.sweep_dir, top=args.top)
+    except FileNotFoundError as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:  # invalid manifest
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _print_json(report)
+    else:
+        print(render_report(report), end="")
+    return 0
+
+
 def _cmd_cache_verify(args) -> int:
     from repro.engine import ResultCache
 
@@ -226,6 +253,17 @@ def _add_engine_flags(parser) -> None:
     """Execution/recovery flags shared by the engine-backed commands."""
     parser.add_argument("--workers", type=int, default=0, help="process-pool width")
     parser.add_argument("--cache-dir", default=None, help="persistent result cache")
+    parser.add_argument(
+        "--sweep-dir", default=None, metavar="DIR",
+        help="observability directory: results.jsonl + manifest.json + "
+             "profiles/ (consumed by `repro report DIR`)",
+    )
+    parser.add_argument(
+        "--profile", choices=["off", "wall", "cprofile", "tracemalloc"],
+        default="off",
+        help="per-point profiling artifacts under DIR/profiles "
+             "(requires --sweep-dir)",
+    )
     parser.add_argument(
         "--timeout", type=float, default=None, metavar="S",
         help="per-point wall-clock limit in seconds (needs --workers > 1)",
@@ -288,6 +326,16 @@ def main(argv: list[str] | None = None) -> int:
     p_rec = sub.add_parser("recompute", help="recomputation study (engine-backed)")
     _add_engine_flags(p_rec)
     p_rec.set_defaults(fn=_cmd_recompute)
+
+    p_report = sub.add_parser(
+        "report", help="render the observability dashboard for a sweep directory"
+    )
+    p_report.add_argument("sweep_dir", help="directory a sweep wrote into")
+    p_report.add_argument("--json", action="store_true", help="machine-readable output")
+    p_report.add_argument(
+        "--top", type=int, default=5, metavar="K", help="how many slowest points"
+    )
+    p_report.set_defaults(fn=_cmd_report)
 
     p_cache = sub.add_parser("cache", help="result-cache maintenance")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)

@@ -7,7 +7,7 @@ that property into infrastructure:
 
 * :mod:`repro.engine.runners` — declarative, picklable experiment points
   (``seq_io_point``, ``parallel_comm_point``, ``pebble_optimal_point``,
-  ``segment_audit_point``) and their pure executors;
+  ``segment_audit_point``, ``lru_trace_point``) and their pure executors;
 * :mod:`repro.engine.keys` — content-addressed cache keys over
   (kind, params, code version, schema);
 * :mod:`repro.engine.cache` — the atomic on-disk JSON store;
@@ -44,6 +44,7 @@ from repro.engine.runners import (
     ExperimentPoint,
     algorithm_spec,
     execute_point,
+    lru_trace_point,
     parallel_comm_point,
     pebble_optimal_point,
     resolve_algorithm,
@@ -70,6 +71,7 @@ __all__ = [
     "parallel_comm_point",
     "pebble_optimal_point",
     "segment_audit_point",
+    "lru_trace_point",
     "TraceEvent",
     "Tracer",
     "HookCollector",

@@ -43,17 +43,39 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.dir / key[:2] / f"{key}.json"
 
-    def _quarantine(self, path: Path) -> Path:
-        """Move a corrupt file aside; returns its new location."""
+    def _quarantine(self, path: Path) -> Path | None:
+        """Move a corrupt file aside; returns its new location.
+
+        Concurrency-safe: the destination name is *reserved* with an
+        exclusive create (``O_CREAT | O_EXCL``) before the rename, so two
+        processes quarantining simultaneously can never pick the same
+        name and overwrite each other's evidence (the probe-then-rename
+        race the old ``while dest.exists()`` loop had).  Returns ``None``
+        when another process moved the corrupt file away first — the
+        caller treats that as an ordinary miss.
+        """
         qdir = self.dir / _QUARANTINE
         qdir.mkdir(parents=True, exist_ok=True)
-        dest = qdir / path.name
         serial = 0
-        while dest.exists():
-            serial += 1
-            dest = qdir / f"{path.name}.{serial}"
-        os.replace(path, dest)
-        return dest
+        while True:
+            name = path.name if serial == 0 else f"{path.name}.{serial}"
+            dest = qdir / name
+            try:
+                fd = os.open(dest, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                serial += 1
+                continue
+            os.close(fd)
+            try:
+                # replace onto our own reservation: atomic, never clobbers
+                # a name another process holds
+                os.replace(path, dest)
+            except FileNotFoundError:
+                # lost the race for the *source*: someone else already
+                # quarantined it — release the reservation
+                os.unlink(dest)
+                return None
+            return dest
 
     def get(self, key: str) -> dict | None:
         """Return the stored payload, or None on a miss.
@@ -69,7 +91,7 @@ class ResultCache:
             return None
         except (json.JSONDecodeError, UnicodeDecodeError):
             dest = self._quarantine(path)
-            if self.on_corrupt is not None:
+            if dest is not None and self.on_corrupt is not None:
                 self.on_corrupt(key, dest)
             return None
 

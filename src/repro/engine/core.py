@@ -47,6 +47,9 @@ from repro.analysis.results import RunResult, SweepPoint, SweepResult
 from repro.engine.cache import ResultCache
 from repro.engine.runners import PRIMARY_METRIC, ExperimentPoint, execute_point
 from repro.engine.trace import Tracer
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import PROFILE_MODES, PROFILE_SUBDIR
 
 __all__ = ["EngineConfig", "run_point", "run_sweep", "load_results_jsonl"]
 
@@ -83,6 +86,18 @@ class EngineConfig:
     fail_fast:
         Stop dispatching after the first permanent failure; remaining
         points are recorded as ``skipped``.  Default is keep-going.
+    sweep_dir:
+        An observability directory for the sweep.  When set, the engine
+        writes ``results.jsonl`` there (unless ``jsonl_path`` overrides
+        it), maintains an incremental ``manifest.json`` run manifest, and
+        puts profiling artifacts under ``profiles/``.  This is the
+        directory ``repro report`` consumes.
+    profile:
+        Per-point profiling mode — one of
+        :data:`~repro.obs.profile.PROFILE_MODES` ("off", "wall",
+        "cprofile", "tracemalloc").  Any mode but "off" requires a
+        ``sweep_dir`` (artifacts need a home); profiling never touches
+        the deterministic trace.
     """
 
     workers: int = 0
@@ -94,18 +109,74 @@ class EngineConfig:
     retry_backoff_s: float = 0.05
     max_pool_rebuilds: int = 2
     fail_fast: bool = False
+    sweep_dir: str | Path | None = None
+    profile: str = "off"
 
-    def open_cache(self) -> ResultCache | None:
+    def __post_init__(self) -> None:
+        if self.profile not in PROFILE_MODES:
+            raise ValueError(
+                f"unknown profile mode {self.profile!r} (use one of {PROFILE_MODES})"
+            )
+        if self.profile != "off" and self.sweep_dir is None:
+            raise ValueError(
+                f"profile={self.profile!r} requires sweep_dir (artifacts need a home)"
+            )
+
+    def open_cache(self, registry: MetricsRegistry | None = None) -> ResultCache | None:
         if self.cache_dir is None:
             return None
         on_corrupt = None
-        if self.tracer is not None:
+        if self.tracer is not None or registry is not None:
             tracer = self.tracer
 
             def on_corrupt(key: str, quarantined: Path) -> None:
-                tracer.emit("engine.cache.corrupt", key=key, quarantined=str(quarantined))
+                if registry is not None:
+                    registry.inc("engine.cache.corrupt")
+                if tracer is not None:
+                    tracer.emit(
+                        "engine.cache.corrupt", key=key, quarantined=str(quarantined)
+                    )
 
         return ResultCache(self.cache_dir, on_corrupt=on_corrupt)
+
+    # -- observability plumbing ----------------------------------------- #
+    def resolved_jsonl_path(self) -> Path | None:
+        """The checkpoint stream destination: explicit path, or the sweep
+        directory's ``results.jsonl``, or None (no checkpointing)."""
+        if self.jsonl_path is not None:
+            return Path(self.jsonl_path)
+        if self.sweep_dir is not None:
+            return Path(self.sweep_dir) / "results.jsonl"
+        return None
+
+    def profile_spec(self, key: str) -> dict | None:
+        """The picklable per-point profiling spec (None when off)."""
+        if self.profile == "off":
+            return None
+        return {
+            "mode": self.profile,
+            "dir": str(Path(self.sweep_dir) / PROFILE_SUBDIR),
+            "key": key,
+        }
+
+    def public_dict(self) -> dict:
+        """JSON-safe execution-shaping fields (the manifest's ``config``)."""
+        return {
+            "workers": self.workers,
+            "cache_dir": None if self.cache_dir is None else str(self.cache_dir),
+            "jsonl_path": (
+                None
+                if self.resolved_jsonl_path() is None
+                else str(self.resolved_jsonl_path())
+            ),
+            "sweep_dir": None if self.sweep_dir is None else str(self.sweep_dir),
+            "profile": self.profile,
+            "point_timeout_s": self.point_timeout_s,
+            "max_retries": self.max_retries,
+            "retry_backoff_s": self.retry_backoff_s,
+            "max_pool_rebuilds": self.max_pool_rebuilds,
+            "fail_fast": self.fail_fast,
+        }
 
 
 def _emit(config: EngineConfig, event: str, **payload) -> None:
@@ -154,7 +225,7 @@ def run_point(
             _emit(config, "engine.point.done", key=key, cached=True, wall_time_s=0.0)
             return result
         _emit(config, "engine.cache.miss", key=key)
-    metrics, trace, wall = execute_point(point.to_dict())
+    metrics, trace, wall = execute_point(point.to_dict(), config.profile_spec(key))
     if cache is not None:
         cache.put(key, {"kind": point.kind, "params": point.params,
                         "metrics": metrics, "trace": trace})
@@ -193,7 +264,13 @@ def _traceback_tail(exc: BaseException, limit: int = 12) -> str:
 
 class _SweepRunner:
     """State machine behind :func:`run_sweep`: cache scan, dispatch,
-    retry/timeout/rebuild handling, incremental checkpointing."""
+    retry/timeout/rebuild handling, incremental checkpointing.
+
+    All sweep-level accounting goes through one typed
+    :class:`~repro.obs.metrics.MetricsRegistry` (``engine.*`` names, see
+    docs/observability.md) instead of ad-hoc integer attributes; the
+    snapshot lands in the run manifest and feeds ``SweepResult.stats``.
+    """
 
     def __init__(
         self, points: list[ExperimentPoint], config: EngineConfig, parameter: str
@@ -201,21 +278,23 @@ class _SweepRunner:
         self.points = points
         self.config = config
         self.parameter = parameter
-        self.cache = config.open_cache()
+        self.metrics = MetricsRegistry()
+        self.cache = config.open_cache(registry=self.metrics)
         self.results: list[RunResult | None] = [None] * len(points)
         self.failures: list[RunResult] = []
-        self.hits = 0
-        self.retries = 0
-        self.timeouts = 0
-        self.errors = 0
-        self.pool_rebuilds = 0
         self.degraded = False
         self.stop = False  # tripped by fail_fast
         self._jsonl_fh = None
+        self.manifest: RunManifest | None = (
+            RunManifest(config.sweep_dir) if config.sweep_dir is not None else None
+        )
 
     # -- checkpointing ------------------------------------------------- #
     def _emit(self, event: str, **payload) -> None:
         _emit(self.config, event, **payload)
+
+    def _count(self, name: str) -> int:
+        return int(self.metrics.value(name))
 
     def _write_jsonl(self, run: RunResult) -> None:
         if self._jsonl_fh is not None:
@@ -225,12 +304,19 @@ class _SweepRunner:
     def _record(self, index: int, run: RunResult) -> None:
         self.results[index] = run
         self._write_jsonl(run)
+        point_metrics = (run.trace or {}).get("metrics")
+        if point_metrics:
+            # fold the point's machine metrics into the sweep-level view
+            self.metrics.merge(point_metrics)
+        if self.manifest is not None:
+            self.manifest.record_point(run)
 
     def _complete(self, task: _Task, metrics: dict, trace: dict, wall: float) -> None:
         if self.cache is not None:
             self.cache.put(task.key, {"kind": task.point.kind,
                                       "params": task.point.params,
                                       "metrics": metrics, "trace": trace})
+        self.metrics.observe("engine.point.wall_ms", int(wall * 1000))
         self._record(task.index, _finish(task.point, task.key, metrics, trace, False, wall))
         self._emit("engine.point.done", key=task.key, cached=False, wall_time_s=wall)
 
@@ -243,7 +329,7 @@ class _SweepRunner:
                 "message": f"exceeded point_timeout_s={self.config.point_timeout_s}",
                 "traceback": "",
             }
-            self.timeouts += 1
+            self.metrics.inc("engine.timeouts")
             self._emit("engine.point.timeout", key=task.key, attempt=task.attempts,
                        timeout_s=self.config.point_timeout_s)
         else:
@@ -252,14 +338,15 @@ class _SweepRunner:
                 "message": str(exc),
                 "traceback": _traceback_tail(exc),
             }
-            self.errors += 1
+            self.metrics.inc("engine.errors")
+            self.metrics.inc(f"engine.errors.by_type.{detail['type']}")
             self._emit("engine.point.error", key=task.key, attempt=task.attempts,
                        error=detail["type"], message=detail["message"])
         task.errors.append(detail)
         if task.attempts <= self.config.max_retries and not self.stop:
             backoff = self.config.retry_backoff_s * (2 ** (task.attempts - 1))
             task.not_before = time.perf_counter() + backoff
-            self.retries += 1
+            self.metrics.inc("engine.retries")
             self._emit("engine.point.retry", key=task.key, attempt=task.attempts,
                        backoff_s=backoff, reason=kind)
             return True
@@ -283,8 +370,11 @@ class _SweepRunner:
             error={**last, "attempts": task.attempts},
         )
         self.failures.append(run)
+        self.metrics.inc(f"engine.failures.{status}")
         if status != "skipped":
             self._write_jsonl(run)
+        if self.manifest is not None:
+            self.manifest.record_point(run)
         if self.config.fail_fast and status != "skipped":
             self.stop = True
 
@@ -301,7 +391,9 @@ class _SweepRunner:
                 time.sleep(delay)
             task.attempts += 1
             try:
-                metrics, trace, wall = execute_point(task.point.to_dict())
+                metrics, trace, wall = execute_point(
+                    task.point.to_dict(), self.config.profile_spec(task.key)
+                )
             except Exception as exc:
                 if self._fail_attempt(task, "error", exc):
                     tasks.append(task)
@@ -356,7 +448,11 @@ class _SweepRunner:
                     task.attempts += 1
                     task.submitted_at = time.perf_counter()
                     try:
-                        fut = pool.submit(execute_point, task.point.to_dict())
+                        fut = pool.submit(
+                            execute_point,
+                            task.point.to_dict(),
+                            self.config.profile_spec(task.key),
+                        )
                     except (BrokenProcessPool, RuntimeError):
                         task.attempts -= 1
                         tasks.appendleft(task)
@@ -399,7 +495,7 @@ class _SweepRunner:
                         self._emit("engine.pool.degraded", breaks=unexpected_breaks)
                         self._run_serial(tasks)
                         return
-                    self.pool_rebuilds += 1
+                    self.metrics.inc("engine.pool.rebuilds")
                     pool = ProcessPoolExecutor(max_workers=cfg.workers)
                     continue
 
@@ -419,7 +515,7 @@ class _SweepRunner:
                         # the innocents' retry budget, rebuild
                         self._kill_pool(pool)
                         self._requeue_victims(in_flight, tasks)
-                        self.pool_rebuilds += 1
+                        self.metrics.inc("engine.pool.rebuilds")
                         pool = ProcessPoolExecutor(max_workers=cfg.workers)
             if self.stop:
                 self._kill_pool(pool)
@@ -433,10 +529,12 @@ class _SweepRunner:
     def run(self) -> SweepResult:
         cfg = self.config
         t_start = time.perf_counter()
-        if cfg.jsonl_path is not None:
-            path = Path(cfg.jsonl_path)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            self._jsonl_fh = path.open("a", encoding="utf-8")
+        jsonl_path = cfg.resolved_jsonl_path()
+        if jsonl_path is not None:
+            jsonl_path.parent.mkdir(parents=True, exist_ok=True)
+            self._jsonl_fh = jsonl_path.open("a", encoding="utf-8")
+        if self.manifest is not None:
+            self.manifest.start(cfg.public_dict(), self.parameter, self.points)
         try:
             tasks: deque[_Task] = deque()
             for i, point in enumerate(self.points):
@@ -444,7 +542,7 @@ class _SweepRunner:
                 self._emit("engine.point.start", key=key, point_kind=point.kind)
                 hit = self.cache.get(key) if self.cache is not None else None
                 if hit is not None:
-                    self.hits += 1
+                    self.metrics.inc("engine.cache.hits")
                     self._emit("engine.cache.hit", key=key)
                     self._record(i, _finish(
                         point, key, hit["metrics"], hit.get("trace", {}), True, 0.0
@@ -453,6 +551,7 @@ class _SweepRunner:
                                wall_time_s=0.0)
                 else:
                     if self.cache is not None:
+                        self.metrics.inc("engine.cache.misses")
                         self._emit("engine.cache.miss", key=key)
                     tasks.append(_Task(index=i, point=point, key=key))
 
@@ -470,8 +569,17 @@ class _SweepRunner:
     def _assemble(self, t_start: float) -> SweepResult:
         runs = [r for r in self.results if r is not None]
         sweep_points = []
-        for i, run in enumerate(runs):
-            x = run.params.get(self.parameter, i)
+        for run in runs:
+            if self.parameter not in run.params:
+                # Refusing to invent an x-value: silently substituting the
+                # enumeration index corrupts every downstream fit.
+                raise KeyError(
+                    f"sweep parameter {self.parameter!r} missing from params "
+                    f"of point {run.key} (kind={run.kind}, params keys: "
+                    f"{sorted(run.params)}); pass the swept parameter name "
+                    f"to run_sweep(..., parameter=...)"
+                )
+            x = run.params[self.parameter]
             metric = PRIMARY_METRIC.get(run.kind, "io")
             extras = {
                 k: float(v)
@@ -489,24 +597,28 @@ class _SweepRunner:
                 )
             )
         n = len(self.points)
+        hits = self._count("engine.cache.hits")
+        stats = {
+            "points": n,
+            "cache_hits": hits,
+            "cache_misses": n - hits,
+            "hit_rate": hits / n if n else 0.0,
+            "workers": self.config.workers,
+            "wall_time_s": time.perf_counter() - t_start,
+            "errors": self._count("engine.errors"),
+            "timeouts": self._count("engine.timeouts"),
+            "retries": self._count("engine.retries"),
+            "pool_rebuilds": self._count("engine.pool.rebuilds"),
+            "failures": len(self.failures),
+            "degraded": 1.0 if self.degraded else 0.0,
+        }
+        if self.manifest is not None:
+            self.manifest.finish(stats, self.metrics.to_dict())
         return SweepResult(
             parameter=self.parameter,
             points=sweep_points,
             failures=self.failures,
-            stats={
-                "points": n,
-                "cache_hits": self.hits,
-                "cache_misses": n - self.hits,
-                "hit_rate": self.hits / n if n else 0.0,
-                "workers": self.config.workers,
-                "wall_time_s": time.perf_counter() - t_start,
-                "errors": self.errors,
-                "timeouts": self.timeouts,
-                "retries": self.retries,
-                "pool_rebuilds": self.pool_rebuilds,
-                "failures": len(self.failures),
-                "degraded": 1.0 if self.degraded else 0.0,
-            },
+            stats=stats,
         )
 
 
@@ -518,7 +630,9 @@ def run_sweep(
     """Execute many points — cache first, then fault-tolerant dispatch.
 
     ``parameter`` names the swept params entry used as each point's
-    x-value (points without it get their list index).  Result order always
+    x-value; a completed point whose params lack it raises ``KeyError``
+    at assembly (the engine refuses to substitute the enumeration index —
+    that silently corrupts downstream fits).  Result order always
     matches input order regardless of worker scheduling or retries.  A
     failing point never raises: it is retried per the config and, if it
     keeps failing, lands in ``SweepResult.failures`` with a typed status

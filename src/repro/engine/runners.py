@@ -21,6 +21,10 @@ Kinds
 ``segment_audit``
     A recomputation-heavy heuristic schedule of H^{n×n} replayed through
     the game validator and the Theorem 1.1 segment audit.
+``lru_trace``
+    Naive (untiled) matmul pushed through the word-granular LRU cache
+    simulator — the "automatic" two-level model — counting misses +
+    write-backs against the classical sequential floor.
 
 Algorithms are referenced by registry id ("strassen", "winograd",
 "karstadt_schwartz", None for the classical baselines) or inlined as a
@@ -45,6 +49,7 @@ __all__ = [
     "parallel_comm_point",
     "pebble_optimal_point",
     "segment_audit_point",
+    "lru_trace_point",
     "execute_point",
     "PRIMARY_METRIC",
 ]
@@ -55,6 +60,7 @@ PRIMARY_METRIC = {
     "parallel_comm": "comm_per_proc_max",
     "pebble_optimal": "io",
     "segment_audit": "total_io",
+    "lru_trace": "io",
 }
 
 
@@ -220,6 +226,27 @@ def segment_audit_point(
     )
 
 
+def lru_trace_point(
+    n: int, M: int, kernel: str = "auto", row_replay: bool = True
+) -> ExperimentPoint:
+    """LRU-cache I/O of a naive matmul address trace (automatic model).
+
+    ``kernel`` selects the cache simulation path ("auto", "vector",
+    "scalar"); ``row_replay`` enables the O(1) replay of repeated i-rows
+    once the cache state cycles (exact, certified by the cross-check
+    tests).
+    """
+    return ExperimentPoint(
+        "lru_trace",
+        {
+            "n": int(n),
+            "M": int(M),
+            "kernel": str(kernel),
+            "row_replay": bool(row_replay),
+        },
+    )
+
+
 # --------------------------------------------------------------------- #
 # executors
 # --------------------------------------------------------------------- #
@@ -372,36 +399,69 @@ def _run_segment_audit(params: dict) -> dict:
     }
 
 
+def _run_lru_trace(params: dict) -> dict:
+    from repro.bounds.formulas import classical_sequential
+    from repro.execution.classical_tiled import naive_matmul_lru_trace
+
+    n, M = params["n"], params["M"]
+    stats = naive_matmul_lru_trace(
+        n,
+        M,
+        kernel=params.get("kernel", "auto"),
+        row_replay=bool(params.get("row_replay", True)),
+    )
+    return {
+        "io": float(stats["io"]),
+        "hits": int(stats["hits"]),
+        "misses": int(stats["misses"]),
+        "writebacks": int(stats["writebacks"]),
+        "bound": float(classical_sequential(n, M)),
+    }
+
+
 _EXECUTORS = {
     "seq_io": _run_seq_io,
     "parallel_comm": _run_parallel_comm,
     "pebble_optimal": _run_pebble_optimal,
     "segment_audit": _run_segment_audit,
+    "lru_trace": _run_lru_trace,
 }
 
 
-def execute_point(spec: dict) -> tuple[dict, dict, float]:
+def execute_point(spec: dict, profile: dict | None = None) -> tuple[dict, dict, float]:
     """Run one point spec; returns (metrics, trace summary, wall seconds).
 
     Top-level so :class:`concurrent.futures.ProcessPoolExecutor` can pickle
-    it; the hook collector runs in whatever process executes the point.
+    it; the metrics registry is activated in whatever process executes the
+    point, and only its snapshot (``trace["metrics"]``) crosses back.
     Wall time is measured here, inside the executing process, so pooled
     dispatch reports real per-point durations rather than a pool average.
     The first thing an execution does is consult the fault-injection plan
     (:func:`repro.engine.faults.apply_fault`), which is a no-op unless the
     ``REPRO_FAULTS`` environment variable is set.
+
+    ``profile`` is an optional :func:`repro.obs.profile.profile_point`
+    spec (``{"mode", "dir", "key"}``); artifacts land next to the sweep's
+    JSONL checkpoint, never inside the trace (which must stay
+    deterministic).
     """
     from repro.engine.faults import apply_fault
     from repro.engine.trace import collect_machine_trace
+    from repro.obs.profile import profile_point
 
     kind = spec["kind"]
     if kind not in _EXECUTORS:
         raise KeyError(f"unknown experiment kind {kind!r}")
     t0 = time.perf_counter()
-    injected = apply_fault(spec)
-    if injected is not None:
-        metrics, trace = injected
-        return metrics, trace, time.perf_counter() - t0
-    with collect_machine_trace() as collector:
-        metrics = _EXECUTORS[kind](spec["params"])
-    return metrics, collector.summary(), time.perf_counter() - t0
+    with profile_point(profile) as prof:
+        try:
+            injected = apply_fault(spec)
+            if injected is not None:
+                metrics, trace = injected
+            else:
+                with collect_machine_trace() as collector:
+                    metrics = _EXECUTORS[kind](spec["params"])
+                trace = collector.summary()
+        finally:
+            prof["wall_time_s"] = time.perf_counter() - t0
+    return metrics, trace, time.perf_counter() - t0

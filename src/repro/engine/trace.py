@@ -11,12 +11,21 @@ Two layers:
   ``engine.point.error`` (executor raised), ``engine.pool.broken``
   (a worker died, pool rebuilt) and ``engine.pool.degraded`` (too many
   breaks — rest of the sweep runs serially in-process).
-* :class:`HookCollector` — an aggregating subscriber for the lightweight
-  hooks in :mod:`repro.machine.sequential`, :mod:`repro.machine.parallel`
-  and :mod:`repro.pebbling.game`.  It runs *inside the worker process*
-  (per-word events never cross the process boundary) and reduces the raw
-  stream to ``{event name: {"count", "words"}}``, which travels back in
-  ``RunResult.trace``.
+* :class:`collect_machine_trace` — activates a
+  :class:`repro.obs.metrics.MetricsRegistry` for the duration of a point's
+  execution.  The instrumented modules (:mod:`repro.machine.sequential`,
+  :mod:`repro.machine.parallel`, :mod:`repro.machine.cache`,
+  :mod:`repro.pebbling.game`) publish typed counters/gauges/histograms
+  into it; per-word events never cross the process boundary — the
+  registry snapshot travels back in ``RunResult.trace`` as one dict per
+  point, under ``trace["metrics"]``.  For backward compatibility the
+  summary also carries the legacy ``trace["events"]`` view
+  (``{event name: {"count", "words"}}``), derived from the typed
+  counters via :data:`_EVENT_VIEW`.
+
+:class:`HookCollector` (the previous ad-hoc reducer for the raw hook
+stream) is retained for external callers but no longer used by the
+engine.
 """
 
 from __future__ import annotations
@@ -25,7 +34,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-__all__ = ["TraceEvent", "Tracer", "HookCollector", "collect_machine_trace"]
+from repro.obs.metrics import MetricsRegistry, collecting
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "HookCollector",
+    "RegistryCollector",
+    "collect_machine_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -77,21 +94,52 @@ class HookCollector:
         return {"events": {k: dict(v) for k, v in sorted(self.counts.items())}}
 
 
+# Legacy ``trace["events"]`` view: event name -> (count counter, words
+# counter).  Derived from the typed registry so downstream consumers of
+# the old HookCollector schema keep working unchanged.
+_EVENT_VIEW: dict[str, tuple[str, str | None]] = {
+    "machine.load": ("machine.seq.loads", "machine.seq.load_words"),
+    "machine.store": ("machine.seq.stores", "machine.seq.store_words"),
+    "machine.replay": ("machine.seq.replays", "machine.seq.replay_words"),
+    "bsp.superstep": ("machine.bsp.supersteps", "machine.bsp.words"),
+    "pebble.validated": ("pebble.validated", None),
+}
+
+
+class RegistryCollector:
+    """Adapts a live :class:`MetricsRegistry` to the trace-summary schema."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+
+    def summary(self) -> dict:
+        """Typed snapshot plus the derived legacy events view.
+
+        Deterministic by construction (no wall time, no timestamps), so
+        serial and pooled sweeps produce bit-identical traces.
+        """
+        snap = self.registry.to_dict()
+        counters = snap["counters"]
+        events: dict[str, dict] = {}
+        for event, (count_name, words_name) in _EVENT_VIEW.items():
+            count = counters.get(count_name, 0)
+            if not count:
+                continue
+            words = counters.get(words_name, 0) if words_name else 0
+            events[event] = {"count": int(count), "words": int(words)}
+        return {"events": dict(sorted(events.items())), "metrics": snap}
+
+
 class collect_machine_trace:
-    """Context manager registering a :class:`HookCollector` on all three
-    instrumented modules, unregistering on exit.  Usable in any process."""
+    """Context manager activating a fresh :class:`MetricsRegistry` for the
+    instrumented machine/pebbling modules, deactivating on exit.  Usable
+    in any process (the engine enters it inside worker processes)."""
 
-    def __enter__(self) -> HookCollector:
-        from repro.machine import parallel as _par
-        from repro.machine import sequential as _seq
-        from repro.pebbling import game as _game
-
-        self._modules = (_seq, _par, _game)
-        self.collector = HookCollector()
-        for mod in self._modules:
-            mod.add_trace_hook(self.collector)
-        return self.collector
+    def __enter__(self) -> RegistryCollector:
+        self.registry = MetricsRegistry()
+        self._cm = collecting(self.registry)
+        self._cm.__enter__()
+        return RegistryCollector(self.registry)
 
     def __exit__(self, *exc) -> None:
-        for mod in self._modules:
-            mod.remove_trace_hook(self.collector)
+        self._cm.__exit__(*exc)

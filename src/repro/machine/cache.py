@@ -16,6 +16,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.machine.lru_kernel import simulate_lru_batch
+from repro.obs.metrics import active_registry
 
 __all__ = ["LRUCache"]
 
@@ -41,6 +42,30 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
+        # Last counter values already published to the metrics registry.
+        # Publication is delta-based because callers (e.g. the row-replay
+        # fast path in repro.execution.classical_tiled) may add to the
+        # counters directly; syncing at batch/flush/stats boundaries keeps
+        # the registry exact either way.
+        self._published = [0, 0, 0]
+
+    def _sync_metrics(self) -> None:
+        """Publish counter growth since the last sync to the registry."""
+        reg = active_registry()
+        if reg is None:
+            return
+        pub = self._published
+        for i, (name, value) in enumerate(
+            (
+                ("machine.lru.hits", self.hits),
+                ("machine.lru.misses", self.misses),
+                ("machine.lru.writebacks", self.writebacks),
+            )
+        ):
+            delta = value - pub[i]
+            if delta > 0:
+                reg.inc(name, delta)
+                pub[i] = value
 
     def access(self, addr: int, write: bool = False) -> bool:
         """Touch one word; returns True on hit."""
@@ -82,6 +107,7 @@ class LRUCache:
             kernel == "auto" and addrs.size < _VECTOR_MIN_BATCH
         ):
             self._access_loop(addrs, writes)
+            self._sync_metrics()
             return
         res_addrs = np.fromiter(
             self._lines.keys(), dtype=np.int64, count=len(self._lines)
@@ -98,7 +124,11 @@ class LRUCache:
             gap_limit=_AUTO_GAP_LIMIT if kernel == "auto" else None,
         )
         if result is None:  # too gap-diverse for the vector path to pay off
+            reg = active_registry()
+            if reg is not None:
+                reg.inc("machine.lru.kernel.gap_fallbacks")
             self._access_loop(addrs, writes)
+            self._sync_metrics()
             return
         self.hits += result.hits
         self.misses += result.misses
@@ -106,6 +136,11 @@ class LRUCache:
         self._lines = OrderedDict(
             zip(result.resident_addrs.tolist(), result.resident_dirty.tolist())
         )
+        reg = active_registry()
+        if reg is not None:
+            reg.inc("machine.lru.kernel.batches")
+            reg.inc("machine.lru.kernel.accesses", int(addrs.size))
+        self._sync_metrics()
 
     def _access_loop(self, addrs: np.ndarray, writes: np.ndarray) -> None:
         for a, w in zip(addrs.tolist(), writes.tolist()):
@@ -117,6 +152,7 @@ class LRUCache:
             if dirty:
                 self.writebacks += 1
         self._lines.clear()
+        self._sync_metrics()
 
     @property
     def reads(self) -> int:
@@ -131,6 +167,7 @@ class LRUCache:
         return self.misses + self.writebacks
 
     def stats(self) -> dict[str, int]:
+        self._sync_metrics()
         return {
             "M": self.M,
             "hits": self.hits,

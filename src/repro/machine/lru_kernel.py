@@ -47,6 +47,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.metrics import active_registry
+
 __all__ = ["simulate_lru_batch", "LRUBatchResult"]
 
 #: addresses/times are packed into halves of uint64 sort keys.
@@ -189,6 +191,10 @@ def simulate_lru_batch(
     order_by_time = np.argsort(last_times, kind="stable")
     res_addrs = comb[last_times[order_by_time]]
     res_dirty = gen_has_write[last_gen_of_group[resident_group][order_by_time]]
+    reg = active_registry()
+    if reg is not None:
+        reg.inc("machine.lru.kernel.seeded_residents", R)
+        reg.observe("machine.lru.kernel.batch_accesses", Q)
     return LRUBatchResult(
         hits=batch_hits,
         misses=Q - batch_hits,

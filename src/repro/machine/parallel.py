@@ -16,11 +16,15 @@ from typing import Any, Callable, Iterable
 
 import numpy as np
 
+from repro.obs.metrics import active_registry
+
 __all__ = ["BSPMachine", "add_trace_hook", "remove_trace_hook"]
 
 Message = tuple[int, str, np.ndarray]
 
 # Lightweight trace hooks (used by repro.engine): one event per superstep.
+# Supersteps also publish typed metrics (machine.bsp.*, see
+# docs/observability.md) into the active MetricsRegistry, if any.
 _TRACE_HOOKS: list[Callable[[dict], None]] = []
 
 
@@ -112,17 +116,27 @@ class BSPMachine:
         for rank in range(self.P):
             self._check_capacity(rank)
         self.supersteps += 1
-        if _TRACE_HOOKS:
-            _emit(
-                {
-                    "event": "bsp.superstep",
-                    "step": self.supersteps,
-                    "words": int(
-                        sum(np.asarray(a).size for msgs in outboxes for _, _, a in msgs)
-                    ),
-                    "total_io": self.total_io,
-                }
+        reg = active_registry()
+        if reg is not None or _TRACE_HOOKS:
+            step_words = int(
+                sum(np.asarray(a).size for msgs in outboxes for _, _, a in msgs)
             )
+            if reg is not None:
+                reg.inc("machine.bsp.supersteps")
+                reg.inc("machine.bsp.words", step_words)
+                reg.gauge_set("machine.bsp.total_io", self.total_io)
+                reg.gauge_max(
+                    "machine.bsp.max_io_per_processor", self.max_io_per_processor
+                )
+            if _TRACE_HOOKS:
+                _emit(
+                    {
+                        "event": "bsp.superstep",
+                        "step": self.supersteps,
+                        "words": step_words,
+                        "total_io": self.total_io,
+                    }
+                )
 
     # ------------------------------------------------------------------ #
     # collectives (convenience wrappers in the mpi4py idiom)

@@ -29,6 +29,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs.metrics import active_registry
+
 __all__ = [
     "SequentialMachine",
     "FastMemoryOverflow",
@@ -39,7 +41,9 @@ __all__ = [
 
 # Lightweight trace hooks (used by repro.engine): each registered callable
 # receives a plain dict describing one counted transfer.  The hot paths pay
-# only a truthiness check while no hook is registered.
+# only a truthiness check while no hook is registered.  Counted transfers
+# additionally publish typed metrics (machine.seq.*, see
+# docs/observability.md) into the active MetricsRegistry, if any.
 _TRACE_HOOKS: list[Callable[[dict], None]] = []
 
 
@@ -57,6 +61,17 @@ def remove_trace_hook(hook: Callable[[dict], None]) -> None:
 def _emit(event: dict) -> None:
     for hook in list(_TRACE_HOOKS):
         hook(event)
+
+
+def _publish_transfer(direction: str, name: str, words: int) -> None:
+    """One counted transfer: typed metrics plus the legacy hook event."""
+    reg = active_registry()
+    if reg is not None:
+        reg.inc(f"machine.seq.{direction}s")
+        reg.inc(f"machine.seq.{direction}_words", words)
+        reg.observe("machine.seq.transfer_words", words)
+    if _TRACE_HOOKS:
+        _emit({"event": f"machine.{direction}", "name": name, "words": words})
 
 
 class FastMemoryOverflow(RuntimeError):
@@ -139,6 +154,9 @@ class SequentialMachine:
             )
         self.fast_words += words
         self.peak_fast_words = max(self.peak_fast_words, self.fast_words)
+        reg = active_registry()
+        if reg is not None:
+            reg.gauge_max("machine.seq.peak_fast_words", self.peak_fast_words)
 
     def assert_invariant(self) -> None:
         """Re-check peak_fast_words ≤ M and fast dict consistency (cheap)."""
@@ -170,8 +188,7 @@ class SequentialMachine:
             buf.flags.writeable = False
         self.fast[into or name] = buf
         self.words_read += arr.size
-        if _TRACE_HOOKS:
-            _emit({"event": "machine.load", "name": name, "words": int(arr.size)})
+        _publish_transfer("load", name, int(arr.size))
         return buf
 
     def load_slice(self, name: str, idx, into: str, copy: bool = True) -> np.ndarray:
@@ -188,8 +205,7 @@ class SequentialMachine:
             buf.flags.writeable = False
         self.fast[into] = buf
         self.words_read += chunk.size
-        if _TRACE_HOOKS:
-            _emit({"event": "machine.load", "name": name, "words": int(chunk.size)})
+        _publish_transfer("load", name, int(chunk.size))
         return buf
 
     def allocate(self, name: str, shape, dtype=np.float64) -> np.ndarray:
@@ -204,16 +220,14 @@ class SequentialMachine:
         buf = self.fast[name]
         self.slow[to or name] = buf.copy()
         self.words_written += buf.size
-        if _TRACE_HOOKS:
-            _emit({"event": "machine.store", "name": name, "words": int(buf.size)})
+        _publish_transfer("store", name, int(buf.size))
 
     def store_slice(self, name: str, to: str, idx) -> None:
         """Write a fast buffer into a slice of a slow array; costs buffer size."""
         buf = self.fast[name]
         self.slow[to][idx] = buf
         self.words_written += buf.size
-        if _TRACE_HOOKS:
-            _emit({"event": "machine.store", "name": name, "words": int(buf.size)})
+        _publish_transfer("store", name, int(buf.size))
 
     def free(self, name: str) -> None:
         """Drop a fast buffer (free: eviction of a clean/dead value)."""
@@ -284,6 +298,10 @@ class SequentialMachine:
             raise ValueError("replay charges must be non-negative")
         self.words_read += reads * repeats
         self.words_written += writes * repeats
+        reg = active_registry()
+        if reg is not None:
+            reg.inc("machine.seq.replays")
+            reg.inc("machine.seq.replay_words", int((reads + writes) * repeats))
         if _TRACE_HOOKS:
             _emit(
                 {

@@ -1,0 +1,55 @@
+"""``repro.obs`` — the unified observability layer.
+
+The paper's evaluation *is* its counting model, so every claim rests on
+counters that must be trustworthy and inspectable.  This package is the
+single place those counters flow through:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`, the typed
+  counter/gauge/histogram store that :class:`~repro.machine.sequential.
+  SequentialMachine`, :class:`~repro.machine.parallel.BSPMachine`,
+  :class:`~repro.machine.cache.LRUCache`, :mod:`repro.pebbling.game`,
+  and :mod:`repro.engine.core` all publish into.  One registry is active
+  per experiment execution; its snapshot crosses the worker boundary as
+  one dict per point (``RunResult.trace["metrics"]``).
+* :mod:`repro.obs.manifest` — the incrementally-written ``manifest.json``
+  that makes any sweep directory self-describing (code version, config,
+  host, git SHA, per-point status ledger, sweep-level metrics).
+* :mod:`repro.obs.profile` — per-point profiling artifacts
+  (``EngineConfig.profile = "off" | "wall" | "cprofile" | "tracemalloc"``)
+  written next to the JSONL checkpoint.
+* :mod:`repro.obs.report` — the ``repro report <sweep-dir>`` dashboard:
+  measured-vs-bound table, exponent fit, cache and LRU statistics,
+  failure taxonomy, top-k slowest points; ``--json`` for machines.
+
+The canonical metric names are documented in ``docs/observability.md``.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_NAME,
+    MANIFEST_SCHEMA,
+    RunManifest,
+    validate_manifest,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    active_registry,
+    collecting,
+    merge_metric_dicts,
+)
+from repro.obs.profile import PROFILE_MODES, profile_point
+from repro.obs.report import build_report, render_report
+
+__all__ = [
+    "MetricsRegistry",
+    "active_registry",
+    "collecting",
+    "merge_metric_dicts",
+    "RunManifest",
+    "validate_manifest",
+    "MANIFEST_NAME",
+    "MANIFEST_SCHEMA",
+    "PROFILE_MODES",
+    "profile_point",
+    "build_report",
+    "render_report",
+]

@@ -1,0 +1,214 @@
+"""The run manifest: ``manifest.json`` makes a sweep directory self-describing.
+
+``_SweepRunner`` writes the manifest *incrementally* — the header when the
+sweep starts, one ledger update per completed/failed point, the sweep-level
+metrics snapshot at the end — always via atomic temp-file + ``os.replace``,
+so a killed sweep leaves a valid manifest describing exactly what finished.
+Any sweep directory is therefore resumable-by-inspection: the ledger says
+which points are ``ok`` (served from cache on re-run) and which still owe
+an execution.
+
+Schema (``MANIFEST_SCHEMA``)::
+
+    {
+      "schema": "repro.sweep-manifest/1",
+      "created_at": <unix seconds>,
+      "updated_at": <unix seconds>,
+      "code_version": "<16-hex digest>",
+      "git_sha": "<40-hex>" | null,
+      "host": {"platform", "python", "hostname"},
+      "config": {<EngineConfig fields that shape execution>},
+      "parameter": "n",
+      "points": {
+        "<key>": {"kind", "params", "status", "attempts",
+                   "cached", "wall_time_s"}
+      },
+      "metrics": {<sweep-level MetricsRegistry snapshot>},
+      "stats": {<final SweepResult.stats>}          # present once finished
+    }
+
+:func:`validate_manifest` checks an arbitrary dict against this schema and
+returns the list of problems (empty == valid); the CI end-to-end step and
+the report loader both go through it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["MANIFEST_NAME", "MANIFEST_SCHEMA", "RunManifest", "validate_manifest"]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_SCHEMA = "repro.sweep-manifest/1"
+
+#: Ledger statuses mirror the engine's run taxonomy plus "pending".
+_LEDGER_STATUSES = ("pending", "ok", "error", "timeout", "skipped")
+
+
+def _git_sha() -> str | None:
+    """Best-effort commit id of the source tree; None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and len(sha) == 40 else None
+
+
+def _host_info() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "hostname": socket.gethostname(),
+    }
+
+
+class RunManifest:
+    """Incrementally-maintained manifest for one sweep directory.
+
+    Re-running a sweep into the same directory *merges*: the header is
+    refreshed, existing ledger entries for re-seen keys are overwritten,
+    and entries from earlier runs are kept — matching the append-mode
+    JSONL checkpoint, where the last record per key wins.
+    """
+
+    def __init__(self, sweep_dir: str | Path) -> None:
+        from repro.engine.keys import code_version
+
+        self.dir = Path(sweep_dir).expanduser()
+        self.path = self.dir / MANIFEST_NAME
+        existing = self.load(self.path) if self.path.is_file() else None
+        now = time.time()
+        self.data: dict = {
+            "schema": MANIFEST_SCHEMA,
+            "created_at": existing["created_at"] if existing else now,
+            "updated_at": now,
+            "code_version": code_version(),
+            "git_sha": _git_sha(),
+            "host": _host_info(),
+            "config": {},
+            "parameter": None,
+            "points": dict(existing["points"]) if existing else {},
+            "metrics": {},
+        }
+
+    # -- lifecycle ------------------------------------------------------ #
+    def start(self, config: Mapping[str, Any], parameter: str,
+              points: list) -> None:
+        """Record the run header and a pending ledger row per point."""
+        self.data["config"] = dict(config)
+        self.data["parameter"] = parameter
+        for point in points:
+            entry = self.data["points"].get(point.key)
+            if entry is None or entry.get("status") != "ok":
+                self.data["points"][point.key] = {
+                    "kind": point.kind,
+                    "params": dict(point.params),
+                    "status": "pending",
+                    "attempts": 0,
+                    "cached": False,
+                    "wall_time_s": 0.0,
+                }
+        self.write()
+
+    def record_point(self, run) -> None:
+        """Update one ledger row from a finished :class:`RunResult`."""
+        attempts = (run.error or {}).get("attempts", 1 if run.ok else 0)
+        self.data["points"][run.key] = {
+            "kind": run.kind,
+            "params": dict(run.params),
+            "status": run.status,
+            "attempts": attempts,
+            "cached": run.cached,
+            "wall_time_s": run.wall_time_s,
+        }
+        self.write()
+
+    def finish(self, stats: Mapping[str, float], metrics: Mapping) -> None:
+        """Attach the final sweep statistics and metrics snapshot."""
+        self.data["stats"] = dict(stats)
+        self.data["metrics"] = dict(metrics)
+        self.write()
+
+    # -- persistence ---------------------------------------------------- #
+    def write(self) -> None:
+        """Atomic rewrite: a crashed sweep never leaves a torn manifest."""
+        self.data["updated_at"] = time.time()
+        self.dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(self.data, fh, sort_keys=True, indent=1)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+
+    @staticmethod
+    def load(path: str | Path) -> dict:
+        """Read and validate a manifest; raises ValueError when invalid."""
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        problems = validate_manifest(data)
+        if problems:
+            raise ValueError(
+                f"{path}: invalid sweep manifest: " + "; ".join(problems)
+            )
+        return data
+
+
+def validate_manifest(data: Any) -> list[str]:
+    """Schema check; returns the list of problems (empty means valid)."""
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return [f"manifest must be a JSON object, got {type(data).__name__}"]
+    if data.get("schema") != MANIFEST_SCHEMA:
+        problems.append(
+            f"schema must be {MANIFEST_SCHEMA!r}, got {data.get('schema')!r}"
+        )
+    for field, types in (
+        ("created_at", (int, float)),
+        ("updated_at", (int, float)),
+        ("code_version", str),
+        ("host", dict),
+        ("config", dict),
+        ("points", dict),
+        ("metrics", dict),
+    ):
+        if field not in data:
+            problems.append(f"missing field {field!r}")
+        elif not isinstance(data[field], types):
+            problems.append(f"field {field!r} has wrong type")
+    if "git_sha" in data and data["git_sha"] is not None:
+        if not isinstance(data["git_sha"], str):
+            problems.append("field 'git_sha' must be a string or null")
+    for key, entry in (data.get("points") or {}).items():
+        if not isinstance(entry, dict):
+            problems.append(f"ledger entry {key!r} is not an object")
+            continue
+        for field in ("kind", "params", "status", "attempts", "cached",
+                      "wall_time_s"):
+            if field not in entry:
+                problems.append(f"ledger entry {key!r} missing {field!r}")
+        status = entry.get("status")
+        if status is not None and status not in _LEDGER_STATUSES:
+            problems.append(
+                f"ledger entry {key!r} has unknown status {status!r}"
+            )
+    return problems

@@ -1,0 +1,102 @@
+"""Per-point profiling artifacts (``EngineConfig.profile``).
+
+Four modes:
+
+``off``
+    No instrumentation, no artifacts (the default).
+``wall``
+    One tiny JSON file per point recording the measured wall time — the
+    cheapest mode, useful to make a sweep directory self-profiling
+    without touching the execution.
+``cprofile``
+    The point runs under :mod:`cProfile`; the binary stats land in
+    ``profiles/<key>.pstats`` (load with :mod:`pstats`).
+``tracemalloc``
+    The point runs under :mod:`tracemalloc`; the top allocation sites and
+    the peak traced size land in ``profiles/<key>.tracemalloc.txt``.
+
+Artifacts are written *inside the executing process* (worker or not) into
+the ``profiles/`` directory next to the sweep's JSONL checkpoint; file
+names are content-addressed by point key, so concurrent workers never
+contend and a retry simply overwrites its predecessor's artifact.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import tracemalloc
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["PROFILE_MODES", "PROFILE_SUBDIR", "profile_point", "artifact_path"]
+
+PROFILE_MODES = ("off", "wall", "cprofile", "tracemalloc")
+PROFILE_SUBDIR = "profiles"
+
+_SUFFIX = {
+    "wall": ".wall.json",
+    "cprofile": ".pstats",
+    "tracemalloc": ".tracemalloc.txt",
+}
+
+
+def artifact_path(profile_dir: str | Path, key: str, mode: str) -> Path:
+    """Where one point's artifact lives: ``<dir>/<key><mode suffix>``."""
+    return Path(profile_dir) / f"{key}{_SUFFIX[mode]}"
+
+
+@contextmanager
+def profile_point(spec: dict | None):
+    """Instrument one point execution per a profile spec.
+
+    ``spec`` is ``None`` (or mode "off") for a plain run, else
+    ``{"mode": ..., "dir": ..., "key": ...}`` — the picklable form the
+    engine sends across the worker boundary.  Yields a dict the caller
+    may stuff extra fields into (``wall`` mode persists ``wall_time_s``
+    from it after the block).
+    """
+    out: dict = {}
+    if spec is None or spec.get("mode", "off") == "off":
+        yield out
+        return
+    mode = spec["mode"]
+    if mode not in PROFILE_MODES:
+        raise ValueError(f"unknown profile mode {mode!r} (use {PROFILE_MODES})")
+    dest_dir = Path(spec["dir"])
+    dest_dir.mkdir(parents=True, exist_ok=True)
+    dest = artifact_path(dest_dir, spec["key"], mode)
+
+    if mode == "wall":
+        yield out
+        dest.write_text(
+            json.dumps(
+                {"key": spec["key"], "wall_time_s": out.get("wall_time_s")},
+                sort_keys=True,
+            ),
+            encoding="utf-8",
+        )
+    elif mode == "cprofile":
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            yield out
+        finally:
+            profiler.disable()
+            profiler.dump_stats(dest)
+    else:  # tracemalloc
+        started = not tracemalloc.is_tracing()
+        if started:
+            tracemalloc.start(10)
+        tracemalloc.reset_peak()
+        try:
+            yield out
+        finally:
+            snapshot = tracemalloc.take_snapshot()
+            _cur, peak = tracemalloc.get_traced_memory()
+            if started:
+                tracemalloc.stop()
+            top = snapshot.statistics("lineno")[:20]
+            lines = [f"peak_traced_bytes: {peak}", "top allocation sites:"]
+            lines += [f"  {stat}" for stat in top]
+            dest.write_text("\n".join(lines) + "\n", encoding="utf-8")

@@ -1,0 +1,316 @@
+"""The ``repro report <sweep-dir>`` dashboard.
+
+A sweep directory (anything the engine wrote a JSONL checkpoint and a
+``manifest.json`` into) is rendered as a Markdown/ASCII dashboard:
+
+* run header — code version, git SHA, host, engine config;
+* measured-vs-bound table with the fitted exponent;
+* cache behaviour — engine result-cache hits/misses/corrupt, LRU
+  simulator hit rate — sourced from :class:`~repro.obs.metrics.
+  MetricsRegistry` snapshots, not ad-hoc dicts;
+* retry/timeout/error taxonomy of every permanent failure;
+* the top-k slowest points;
+* profiling artifacts present under ``profiles/``.
+
+:func:`build_report` produces the machine-readable dict (``--json``);
+:func:`render_report` turns it into the human dashboard.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.manifest import MANIFEST_NAME, RunManifest
+from repro.obs.metrics import merge_metric_dicts
+
+__all__ = ["build_report", "render_report", "load_sweep_runs"]
+
+
+def load_sweep_runs(sweep_dir: str | Path) -> list:
+    """Load every RunResult checkpointed under a sweep directory.
+
+    All ``*.jsonl`` files are read; records are de-duplicated by key with
+    the *last* occurrence winning — append-mode checkpoints record
+    re-runs (and resumes) later in the stream, and the last record is the
+    one the cache and the manifest agree with.
+    """
+    from repro.engine.core import load_results_jsonl
+
+    sweep_dir = Path(sweep_dir)
+    by_key: dict[str, object] = {}
+    for path in sorted(sweep_dir.glob("*.jsonl")):
+        for run in load_results_jsonl(path):
+            by_key[run.key] = run
+    return list(by_key.values())
+
+
+def _fit(runs: list, parameter: str) -> dict:
+    """Exponent fit over the ok runs; tolerant of unfittable sweeps."""
+    from repro.analysis.fitting import sweep_from_runs
+
+    sweep = sweep_from_runs(
+        [r for r in runs if r.ok], parameter=parameter, missing="fail"
+    )
+    out: dict = {
+        "parameter": parameter,
+        "fitted_points": len(sweep.points),
+        "exponent": None,
+    }
+    if len(sweep.points) >= 2 and len({p.x for p in sweep.points}) >= 2:
+        try:
+            out["exponent"] = float(sweep.exponent)
+        except Exception:
+            pass
+    out["points"] = [
+        {
+            "x": p.x,
+            "measured": p.measured,
+            "bound": p.bound,
+            "ratio": (p.measured / p.bound) if p.bound else None,
+            "wall_time_s": p.run.wall_time_s if p.run else None,
+            "cached": p.run.cached if p.run else None,
+        }
+        for p in sweep.points
+    ]
+    return out
+
+
+def _rate(hits: float, misses: float) -> float | None:
+    total = hits + misses
+    return (hits / total) if total else None
+
+
+def build_report(sweep_dir: str | Path, top: int = 5) -> dict:
+    """Assemble the machine-readable report for one sweep directory."""
+    sweep_dir = Path(sweep_dir)
+    manifest_path = sweep_dir / MANIFEST_NAME
+    manifest = RunManifest.load(manifest_path) if manifest_path.is_file() else None
+    runs = load_sweep_runs(sweep_dir)
+    if manifest is None and not runs:
+        raise FileNotFoundError(
+            f"{sweep_dir}: no {MANIFEST_NAME} and no *.jsonl checkpoints — "
+            "not a sweep directory"
+        )
+
+    parameter = (manifest or {}).get("parameter") or "n"
+    sweep_metrics = (manifest or {}).get("metrics") or {}
+    point_metrics = merge_metric_dicts(
+        [r.trace.get("metrics", {}) for r in runs if isinstance(r.trace, dict)]
+    )
+    counters = sweep_metrics.get("counters", {})
+    lru = point_metrics.get("counters", {})
+
+    # failure taxonomy: status and error-type histograms over non-ok runs
+    failures = [r for r in runs if not r.ok]
+    by_status: dict[str, int] = {}
+    by_error: dict[str, int] = {}
+    for run in failures:
+        by_status[run.status] = by_status.get(run.status, 0) + 1
+        etype = (run.error or {}).get("type", "unknown")
+        by_error[etype] = by_error.get(etype, 0) + 1
+
+    executed = [r for r in runs if r.ok and not r.cached]
+    slowest = sorted(executed, key=lambda r: r.wall_time_s, reverse=True)[:top]
+
+    profiles_dir = sweep_dir / "profiles"
+    artifacts = (
+        sorted(p.name for p in profiles_dir.iterdir() if p.is_file())
+        if profiles_dir.is_dir()
+        else []
+    )
+
+    return {
+        "sweep_dir": str(sweep_dir),
+        "manifest": {
+            k: manifest.get(k)
+            for k in ("schema", "code_version", "git_sha", "host", "config",
+                      "created_at", "updated_at")
+        }
+        if manifest
+        else None,
+        "ledger": {
+            status: sum(
+                1 for e in (manifest or {}).get("points", {}).values()
+                if e.get("status") == status
+            )
+            for status in ("ok", "pending", "error", "timeout", "skipped")
+        }
+        if manifest
+        else None,
+        "runs": {
+            "total": len(runs),
+            "ok": sum(1 for r in runs if r.ok),
+            "cached": sum(1 for r in runs if r.ok and r.cached),
+            "failed": len(failures),
+        },
+        "fit": _fit(runs, parameter),
+        "cache": {
+            "hits": counters.get("engine.cache.hits", 0),
+            "misses": counters.get("engine.cache.misses", 0),
+            "corrupt": counters.get("engine.cache.corrupt", 0),
+            "hit_rate": _rate(
+                counters.get("engine.cache.hits", 0),
+                counters.get("engine.cache.misses", 0),
+            ),
+        },
+        "lru": {
+            "hits": lru.get("machine.lru.hits", 0),
+            "misses": lru.get("machine.lru.misses", 0),
+            "writebacks": lru.get("machine.lru.writebacks", 0),
+            "hit_rate": _rate(
+                lru.get("machine.lru.hits", 0), lru.get("machine.lru.misses", 0)
+            ),
+        },
+        "faults": {
+            "retries": counters.get("engine.retries", 0),
+            "timeouts": counters.get("engine.timeouts", 0),
+            "errors": counters.get("engine.errors", 0),
+            "pool_rebuilds": counters.get("engine.pool.rebuilds", 0),
+            "by_status": by_status,
+            "by_error_type": by_error,
+        },
+        "machine_metrics": point_metrics,
+        "slowest": [
+            {
+                "key": r.key,
+                "kind": r.kind,
+                "params": r.params,
+                "wall_time_s": r.wall_time_s,
+            }
+            for r in slowest
+        ],
+        "profiles": {"count": len(artifacts), "artifacts": artifacts},
+    }
+
+
+# --------------------------------------------------------------------- #
+# rendering
+# --------------------------------------------------------------------- #
+def _fmt(value, digits: int = 4) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or 0 < abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def render_report(report: dict) -> str:
+    """Render the dict from :func:`build_report` as a Markdown dashboard."""
+    from repro.analysis.report import text_table
+
+    lines: list[str] = [f"# Sweep report — `{report['sweep_dir']}`", ""]
+
+    man = report.get("manifest")
+    if man:
+        host = man.get("host") or {}
+        lines += [
+            "## Run",
+            "",
+            f"- code version: `{man.get('code_version')}`",
+            f"- git SHA: `{man.get('git_sha') or 'unknown'}`",
+            f"- host: {host.get('hostname', '?')} "
+            f"({host.get('platform', '?')}, python {host.get('python', '?')})",
+            f"- engine config: `{json.dumps(man.get('config') or {}, sort_keys=True)}`",
+            "",
+        ]
+        ledger = report.get("ledger") or {}
+        lines.append(
+            "- ledger: "
+            + ", ".join(f"{v} {k}" for k, v in ledger.items() if v) + ""
+            if any(ledger.values())
+            else "- ledger: empty"
+        )
+        lines.append("")
+    else:
+        lines += ["## Run", "", "- no manifest.json (pre-observability sweep)", ""]
+
+    fit = report["fit"]
+    lines += [f"## Measured vs bound (parameter: `{fit['parameter']}`)", ""]
+    if fit["points"]:
+        rows = [
+            [
+                _fmt(p["x"]),
+                _fmt(p["measured"]),
+                _fmt(p["bound"]),
+                _fmt(p["ratio"]),
+                _fmt(p["wall_time_s"]),
+                _fmt(p["cached"]),
+            ]
+            for p in fit["points"]
+        ]
+        lines.append("```")
+        lines.append(
+            text_table(
+                [fit["parameter"], "measured", "bound", "ratio", "wall s", "cached"],
+                rows,
+            )
+        )
+        lines.append("```")
+    else:
+        lines.append("(no fittable points)")
+    exp = fit.get("exponent")
+    lines += ["", f"- fitted exponent: **{_fmt(exp)}**"
+              + ("" if exp is not None else " (needs ≥ 2 distinct x)"), ""]
+
+    cache = report["cache"]
+    lru = report["lru"]
+    lines += [
+        "## Cache behaviour (MetricsRegistry)",
+        "",
+        f"- engine result cache: {_fmt(cache['hits'])} hits / "
+        f"{_fmt(cache['misses'])} misses / {_fmt(cache['corrupt'])} corrupt"
+        f" (hit rate {_fmt(cache['hit_rate'])})",
+        f"- LRU simulator: {_fmt(lru['hits'])} hits / {_fmt(lru['misses'])} "
+        f"misses / {_fmt(lru['writebacks'])} writebacks"
+        f" (hit rate {_fmt(lru['hit_rate'])})",
+        "",
+    ]
+
+    faults = report["faults"]
+    lines += [
+        "## Failure taxonomy",
+        "",
+        f"- retries: {_fmt(faults['retries'])}, timeouts: "
+        f"{_fmt(faults['timeouts'])}, errors: {_fmt(faults['errors'])}, "
+        f"pool rebuilds: {_fmt(faults['pool_rebuilds'])}",
+    ]
+    if faults["by_status"]:
+        lines.append(
+            "- permanent failures: "
+            + ", ".join(f"{v} {k}" for k, v in sorted(faults["by_status"].items()))
+        )
+        lines.append(
+            "- error types: "
+            + ", ".join(
+                f"{v}× {k}" for k, v in sorted(faults["by_error_type"].items())
+            )
+        )
+    else:
+        lines.append("- permanent failures: none")
+    lines.append("")
+
+    if report["slowest"]:
+        lines += ["## Slowest points", ""]
+        rows = [
+            [r["key"][:12], r["kind"], json.dumps(r["params"], sort_keys=True)[:48],
+             _fmt(r["wall_time_s"])]
+            for r in report["slowest"]
+        ]
+        lines.append("```")
+        lines.append(text_table(["key", "kind", "params", "wall s"], rows))
+        lines.append("```")
+        lines.append("")
+
+    prof = report["profiles"]
+    lines.append(
+        f"## Profiles\n\n- {prof['count']} artifact(s) under `profiles/`"
+        + (": " + ", ".join(prof["artifacts"][:8]) if prof["artifacts"] else "")
+    )
+    return "\n".join(lines) + "\n"

@@ -7,6 +7,7 @@ from enum import Enum
 from typing import Callable, Iterable
 
 from repro.cdag.core import CDAG
+from repro.obs.metrics import active_registry
 
 __all__ = [
     "MoveKind",
@@ -164,6 +165,15 @@ def validate_schedule(
         "recomputations": recomputations,
         "moves": len(schedule.moves),
     }
+    reg = active_registry()
+    if reg is not None:
+        reg.inc("pebble.validated")
+        reg.inc("pebble.loads", loads)
+        reg.inc("pebble.stores", stores)
+        reg.inc("pebble.recomputations", recomputations)
+        reg.inc("pebble.moves", len(schedule.moves))
+        reg.inc("pebble.io", stats["io"])
+        reg.gauge_max("pebble.peak_red", peak_red)
     if _TRACE_HOOKS:
         _emit({"event": "pebble.validated", **stats})
     return stats

@@ -1,0 +1,127 @@
+"""Property test: SweepResult survives the JSONL/dict round trip bit-exactly.
+
+The JSONL checkpoint stream, the result cache, and the report loader all
+rest on ``to_dict``/``from_dict`` being true inverses — including for
+``failures``, ``extras``, and every non-``ok`` status in the taxonomy.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.results import RUN_STATUSES, RunResult, SweepPoint, SweepResult
+
+# JSON-safe building blocks: no NaN/inf (JSON), no ints disguised as
+# floats where from_dict coerces (x, measured, wall_time_s are float()ed).
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_.", min_size=1, max_size=12
+)
+_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+_scalars = st.one_of(
+    st.integers(-(10**9), 10**9), _floats, st.booleans(), st.none(), _names
+)
+
+_params = st.dictionaries(_names, _scalars, max_size=4)
+_metrics = st.dictionaries(_names, _floats, max_size=4)
+_trace = st.fixed_dictionaries(
+    {},
+    optional={
+        "events": st.dictionaries(
+            _names,
+            st.fixed_dictionaries(
+                {"count": st.integers(0, 10**6), "words": st.integers(0, 10**9)}
+            ),
+            max_size=3,
+        ),
+        "metrics": st.fixed_dictionaries(
+            {"counters": st.dictionaries(_names, st.integers(0, 10**9), max_size=3)}
+        ),
+    },
+)
+
+
+@st.composite
+def run_results(draw, status: str | None = None) -> RunResult:
+    status = status if status is not None else draw(st.sampled_from(RUN_STATUSES))
+    ok = status == "ok"
+    error = None
+    if not ok:
+        error = {
+            "type": draw(_names),
+            "message": draw(st.text(max_size=40)),
+            "attempts": draw(st.integers(0, 5)),
+        }
+    return RunResult(
+        key=draw(_names),
+        kind=draw(st.sampled_from(["seq_io", "parallel_comm", "lru_trace"])),
+        params=draw(_params),
+        metrics=draw(_metrics) if ok else {},
+        cached=draw(st.booleans()) if ok else False,
+        wall_time_s=draw(_floats.filter(lambda v: v >= 0)),
+        trace=draw(_trace) if ok else {},
+        status=status,
+        error=error,
+    )
+
+
+@st.composite
+def sweep_results(draw) -> SweepResult:
+    points = draw(
+        st.lists(
+            st.builds(
+                SweepPoint,
+                x=_floats,
+                measured=_floats,
+                bound=st.one_of(st.none(), _floats),
+                extras=st.dictionaries(_names, _floats, max_size=3),
+                run=st.one_of(st.none(), run_results(status="ok")),
+            ),
+            max_size=4,
+        )
+    )
+    failures = draw(
+        st.lists(
+            run_results().filter(lambda r: not r.ok),
+            max_size=3,
+        )
+    )
+    return SweepResult(
+        parameter=draw(_names),
+        points=points,
+        stats=draw(st.dictionaries(_names, _floats, max_size=4)),
+        failures=failures,
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(run=run_results())
+def test_run_result_round_trips_through_json(run):
+    encoded = json.dumps(run.to_dict(), sort_keys=True)
+    back = RunResult.from_dict(json.loads(encoded))
+    assert back == run
+    assert back.to_dict() == run.to_dict()
+    assert back.fingerprint() == run.fingerprint()
+
+
+@settings(max_examples=150, deadline=None)
+@given(sweep=sweep_results())
+def test_sweep_result_round_trips_through_json(sweep):
+    encoded = json.dumps(sweep.to_dict(), sort_keys=True)
+    back = SweepResult.from_dict(json.loads(encoded))
+    assert back == sweep
+    assert back.to_dict() == sweep.to_dict()
+    # the legacy list views survive too
+    assert back.values == sweep.values
+    assert back.measured == sweep.measured
+    assert back.extras == sweep.extras
+    assert [r.status for r in back.failures] == [r.status for r in sweep.failures]
+
+
+@settings(max_examples=50, deadline=None)
+@given(sweep=sweep_results())
+def test_round_trip_is_idempotent(sweep):
+    d1 = sweep.to_dict()
+    d2 = SweepResult.from_dict(d1).to_dict()
+    assert d1 == d2

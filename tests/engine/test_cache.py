@@ -1,6 +1,7 @@
 """Unit tests for the content-addressed result cache and its keys."""
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -126,6 +127,67 @@ class TestResultCache:
             cache.put(f"{i:02x}" + "4" * 62, {"metrics": {}})
         assert cache.clear() == 3
         assert len(cache) == 0
+
+
+def _quarantine_worker(cache_dir, key, rounds, barrier_go, barrier_done, queue):
+    """One concurrent sweep repeatedly hitting the same corrupt entry."""
+    cache = ResultCache(cache_dir)
+    outcomes = []
+    for _ in range(rounds):
+        barrier_go.wait(timeout=30)  # parent has (re)written the corrupt file
+        outcomes.append(cache.get(key))
+        barrier_done.wait(timeout=30)
+    queue.put(outcomes)
+
+
+class TestQuarantineRace:
+    """Regression for the `_quarantine` TOCTOU race: the old
+    ``while dest.exists()`` serial probe let two concurrent sweeps pick the
+    same quarantine name and the second ``os.replace`` clobbered the first
+    quarantined file.  The destination is now *reserved* atomically
+    (``O_CREAT | O_EXCL``), so every corrupt payload survives."""
+
+    ROUNDS = 8
+
+    def test_two_processes_never_clobber_quarantined_evidence(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        cache = ResultCache(tmp_path)
+        key = "ab" + "c" * 62
+        shard = tmp_path / key[:2] / f"{key}.json"
+        barrier_go = ctx.Barrier(3)
+        barrier_done = ctx.Barrier(3)
+        queue = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_quarantine_worker,
+                args=(tmp_path, key, self.ROUNDS, barrier_go, barrier_done, queue),
+            )
+            for _ in range(2)
+        ]
+        for w in workers:
+            w.start()
+        payloads = []
+        try:
+            for i in range(self.ROUNDS):
+                cache.put(key, {"metrics": {}})
+                payload = f"{{corrupt-round-{i}"
+                shard.write_text(payload, encoding="utf-8")
+                payloads.append(payload)
+                barrier_go.wait(timeout=30)   # both processes race on get()
+                barrier_done.wait(timeout=30)
+        finally:
+            for w in workers:
+                w.join(timeout=30)
+        assert all(w.exitcode == 0 for w in workers)
+        # every get() was a miss — a lost quarantine race is a plain miss,
+        # never an exception
+        for _ in range(2):
+            assert queue.get(timeout=10) == [None] * self.ROUNDS
+        # each round's evidence survived: one file per round, no clobbers
+        quarantined = sorted((tmp_path / "quarantine").iterdir())
+        assert len(quarantined) == self.ROUNDS
+        contents = {p.read_text(encoding="utf-8") for p in quarantined}
+        assert contents == set(payloads)
 
 
 class TestKeys:

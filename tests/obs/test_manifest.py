@@ -1,0 +1,135 @@
+"""RunManifest lifecycle, atomicity, merge-on-rerun, and schema validation."""
+
+import json
+
+import pytest
+
+from repro.engine.runners import seq_io_point
+from repro.obs.manifest import (
+    MANIFEST_NAME,
+    MANIFEST_SCHEMA,
+    RunManifest,
+    validate_manifest,
+)
+
+
+def _minimal_manifest() -> dict:
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "created_at": 1.0,
+        "updated_at": 2.0,
+        "code_version": "abc",
+        "git_sha": None,
+        "host": {"platform": "x", "python": "3", "hostname": "h"},
+        "config": {},
+        "parameter": "n",
+        "points": {},
+        "metrics": {},
+    }
+
+
+class TestLifecycle:
+    def test_start_writes_pending_ledger(self, tmp_path):
+        points = [seq_io_point("strassen", n, 48) for n in (8, 16)]
+        man = RunManifest(tmp_path)
+        man.start({"workers": 0}, "n", points)
+        data = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert data["schema"] == MANIFEST_SCHEMA
+        assert data["parameter"] == "n"
+        assert data["config"] == {"workers": 0}
+        assert set(data["points"]) == {p.key for p in points}
+        assert all(e["status"] == "pending" for e in data["points"].values())
+        assert validate_manifest(data) == []
+
+    def test_record_point_updates_one_row(self, tmp_path):
+        from repro.analysis.results import RunResult
+
+        point = seq_io_point("strassen", 8, 48)
+        man = RunManifest(tmp_path)
+        man.start({}, "n", [point])
+        run = RunResult(
+            key=point.key, kind=point.kind, params=dict(point.params),
+            metrics={"io": 1.0}, cached=False, wall_time_s=0.25,
+        )
+        man.record_point(run)
+        entry = json.loads((tmp_path / MANIFEST_NAME).read_text())["points"][point.key]
+        assert entry["status"] == "ok"
+        assert entry["wall_time_s"] == 0.25
+
+    def test_finish_attaches_stats_and_metrics(self, tmp_path):
+        man = RunManifest(tmp_path)
+        man.start({}, "n", [])
+        man.finish({"points": 0}, {"counters": {"engine.cache.hits": 3}})
+        data = RunManifest.load(tmp_path / MANIFEST_NAME)
+        assert data["stats"] == {"points": 0}
+        assert data["metrics"]["counters"]["engine.cache.hits"] == 3
+
+    def test_rerun_merges_keeps_ok_entries(self, tmp_path):
+        """Re-running into the same directory must not lose finished work."""
+        from repro.analysis.results import RunResult
+
+        p1 = seq_io_point("strassen", 8, 48)
+        p2 = seq_io_point("strassen", 16, 48)
+        man = RunManifest(tmp_path)
+        man.start({}, "n", [p1])
+        man.record_point(RunResult(
+            key=p1.key, kind=p1.kind, params=dict(p1.params),
+            metrics={"io": 1.0}, wall_time_s=0.5,
+        ))
+        # second sweep into the same directory, superset of points
+        man2 = RunManifest(tmp_path)
+        man2.start({}, "n", [p1, p2])
+        data = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert data["points"][p1.key]["status"] == "ok"  # survived the merge
+        assert data["points"][p2.key]["status"] == "pending"
+
+    def test_write_leaves_no_temp_droppings(self, tmp_path):
+        man = RunManifest(tmp_path)
+        man.start({}, "n", [])
+        assert [p.name for p in tmp_path.iterdir()] == [MANIFEST_NAME]
+
+
+class TestValidation:
+    def test_minimal_manifest_is_valid(self):
+        assert validate_manifest(_minimal_manifest()) == []
+
+    def test_non_dict_rejected(self):
+        assert validate_manifest([1, 2]) != []
+
+    def test_wrong_schema_string(self):
+        bad = {**_minimal_manifest(), "schema": "nope/9"}
+        assert any("schema" in p for p in validate_manifest(bad))
+
+    def test_missing_field(self):
+        bad = _minimal_manifest()
+        del bad["code_version"]
+        assert any("code_version" in p for p in validate_manifest(bad))
+
+    def test_wrong_field_type(self):
+        bad = {**_minimal_manifest(), "points": []}
+        assert any("points" in p for p in validate_manifest(bad))
+
+    def test_ledger_entry_unknown_status(self):
+        bad = _minimal_manifest()
+        bad["points"]["k"] = {
+            "kind": "seq_io", "params": {}, "status": "exploded",
+            "attempts": 1, "cached": False, "wall_time_s": 0.0,
+        }
+        assert any("exploded" in p for p in validate_manifest(bad))
+
+    def test_ledger_entry_missing_field(self):
+        bad = _minimal_manifest()
+        bad["points"]["k"] = {"kind": "seq_io"}
+        assert any("missing" in p for p in validate_manifest(bad))
+
+    def test_load_raises_on_invalid(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        path.write_text(json.dumps({"schema": "wrong"}))
+        with pytest.raises(ValueError, match="invalid sweep manifest"):
+            RunManifest.load(path)
+
+    def test_load_raises_on_torn_json(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        path.write_text('{"schema": "repro.sweep-')
+        with pytest.raises(json.JSONDecodeError):
+            RunManifest.load(path)

@@ -1,0 +1,211 @@
+"""`repro report`: builder, renderer (golden output), and CLI plumbing."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs.manifest import MANIFEST_SCHEMA
+from repro.obs.report import build_report, load_sweep_runs, render_report
+
+GOLDEN = Path(__file__).with_name("golden_report.md")
+
+
+def make_fixture_sweep(sweep_dir: Path) -> None:
+    """A hand-built, fully deterministic sweep directory.
+
+    Two ok seq_io points (n=8 cached, n=16 executed), one executed point
+    carrying LRU simulator metrics, and one permanent failure — enough to
+    exercise every report section with fixed numbers.
+    """
+    sweep_dir.mkdir(parents=True, exist_ok=True)
+    runs = [
+        {
+            "key": "aaaa000000000001", "kind": "seq_io",
+            "params": {"alg": "strassen", "n": 8, "M": 48},
+            "metrics": {"io": 64.0, "bound": 32.0},
+            "cached": True, "wall_time_s": 0.0, "status": "ok",
+            "trace": {"metrics": {"counters": {
+                "machine.lru.hits": 40, "machine.lru.misses": 8,
+                "machine.lru.writebacks": 2,
+            }}},
+        },
+        {
+            "key": "aaaa000000000002", "kind": "seq_io",
+            "params": {"alg": "strassen", "n": 16, "M": 48},
+            "metrics": {"io": 512.0, "bound": 128.0},
+            "cached": False, "wall_time_s": 0.5, "status": "ok",
+            "trace": {"metrics": {"counters": {
+                "machine.lru.hits": 50, "machine.lru.misses": 2,
+                "machine.lru.writebacks": 2,
+            }}},
+        },
+        {
+            "key": "aaaa000000000003", "kind": "seq_io",
+            "params": {"alg": "strassen", "n": 32, "M": 48},
+            "metrics": {}, "cached": False, "wall_time_s": 0.0,
+            "status": "error", "trace": {},
+            "error": {"type": "ValueError", "message": "boom", "attempts": 2},
+        },
+    ]
+    with (sweep_dir / "results.jsonl").open("w") as fh:
+        for run in runs:
+            fh.write(json.dumps(run, sort_keys=True) + "\n")
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "created_at": 100.0,
+        "updated_at": 200.0,
+        "code_version": "cafecafecafecafe",
+        "git_sha": None,
+        "host": {"platform": "TestOS-1.0", "python": "3.11.0",
+                 "hostname": "fixture"},
+        "config": {"workers": 2, "profile": "wall"},
+        "parameter": "n",
+        "points": {
+            r["key"]: {
+                "kind": r["kind"], "params": r["params"], "status": r["status"],
+                "attempts": (r.get("error") or {}).get("attempts", 1),
+                "cached": r["cached"], "wall_time_s": r["wall_time_s"],
+            }
+            for r in runs
+        },
+        "metrics": {"counters": {
+            "engine.cache.hits": 1, "engine.cache.misses": 2,
+            "engine.errors": 2, "engine.retries": 1,
+        }},
+        "stats": {"points": 3, "failures": 1},
+    }
+    (sweep_dir / "manifest.json").write_text(json.dumps(manifest, sort_keys=True))
+    profiles = sweep_dir / "profiles"
+    profiles.mkdir()
+    (profiles / "aaaa000000000002.wall.json").write_text(
+        json.dumps({"key": "aaaa000000000002", "wall_time_s": 0.5})
+    )
+
+
+class TestBuildReport:
+    def test_fixture_report_fields(self, tmp_path):
+        make_fixture_sweep(tmp_path)
+        report = build_report(tmp_path)
+        assert report["runs"] == {"total": 3, "ok": 2, "cached": 1, "failed": 1}
+        # exponent of io ~ n^3 between (8, 64) and (16, 512)
+        assert report["fit"]["exponent"] == pytest.approx(3.0)
+        assert report["fit"]["points"][1]["wall_time_s"] == 0.5
+        assert report["cache"] == {
+            "hits": 1, "misses": 2, "corrupt": 0,
+            "hit_rate": pytest.approx(1 / 3),
+        }
+        assert report["lru"]["hits"] == 90
+        assert report["lru"]["misses"] == 10
+        assert report["lru"]["hit_rate"] == pytest.approx(0.9)
+        assert report["faults"]["by_status"] == {"error": 1}
+        assert report["faults"]["by_error_type"] == {"ValueError": 1}
+        assert report["ledger"] == {
+            "ok": 2, "pending": 0, "error": 1, "timeout": 0, "skipped": 0
+        }
+        assert [s["key"] for s in report["slowest"]] == ["aaaa000000000002"]
+        assert report["profiles"]["artifacts"] == ["aaaa000000000002.wall.json"]
+
+    def test_jsonl_dedup_last_record_wins(self, tmp_path):
+        make_fixture_sweep(tmp_path)
+        rerun = {
+            "key": "aaaa000000000003", "kind": "seq_io",
+            "params": {"alg": "strassen", "n": 32, "M": 48},
+            "metrics": {"io": 4096.0, "bound": 512.0},
+            "cached": False, "wall_time_s": 1.5, "status": "ok", "trace": {},
+        }
+        with (tmp_path / "results.jsonl").open("a") as fh:
+            fh.write(json.dumps(rerun, sort_keys=True) + "\n")
+        runs = {r.key: r for r in load_sweep_runs(tmp_path)}
+        assert len(runs) == 3
+        assert runs["aaaa000000000003"].ok  # the re-run replaced the failure
+        report = build_report(tmp_path)
+        assert report["runs"]["failed"] == 0
+
+    def test_not_a_sweep_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            build_report(tmp_path / "nothing-here")
+
+    def test_manifestless_directory_still_reports(self, tmp_path):
+        make_fixture_sweep(tmp_path)
+        (tmp_path / "manifest.json").unlink()
+        report = build_report(tmp_path)
+        assert report["manifest"] is None
+        assert report["ledger"] is None
+        assert report["runs"]["total"] == 3
+
+
+class TestGoldenOutput:
+    def test_rendered_dashboard_matches_golden(self, tmp_path):
+        """Full-dashboard pin: any rendering change must be deliberate."""
+        make_fixture_sweep(tmp_path)
+        rendered = render_report(build_report(tmp_path))
+        expected = GOLDEN.read_text().replace("{SWEEP_DIR}", str(tmp_path))
+        assert rendered == expected
+
+
+class TestReportCli:
+    def test_cli_renders_dashboard(self, tmp_path, capsys):
+        make_fixture_sweep(tmp_path)
+        assert main(["report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fitted exponent: **3**" in out
+        assert "1 hits / 2 misses / 0 corrupt" in out
+
+    def test_cli_json_is_machine_readable(self, tmp_path, capsys):
+        make_fixture_sweep(tmp_path)
+        assert main(["report", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["fit"]["exponent"] == pytest.approx(3.0)
+
+    def test_cli_rejects_non_sweep_dir(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path)]) == 2
+        assert "report:" in capsys.readouterr().err
+
+    def test_cli_rejects_invalid_manifest(self, tmp_path, capsys):
+        make_fixture_sweep(tmp_path)
+        (tmp_path / "manifest.json").write_text('{"schema": "wrong"}')
+        assert main(["report", str(tmp_path)]) == 2
+        assert "invalid sweep manifest" in capsys.readouterr().err
+
+
+class TestEndToEnd:
+    def test_report_on_real_sweep_sources_metrics_registry(self, tmp_path):
+        """The acceptance criterion: a fresh engine sweep's report shows
+        per-point wall time, cache hit/miss counts, LRU hit rate, and the
+        fitted exponent — all flowing out of MetricsRegistry snapshots."""
+        from repro.engine import (
+            EngineConfig,
+            lru_trace_point,
+            run_sweep,
+            seq_io_point,
+        )
+
+        sweep_dir = tmp_path / "sweep"
+        points = [seq_io_point(None, n, 48) for n in (8, 16, 32)]
+        points += [lru_trace_point(n, 48) for n in (8, 16, 32)]
+        config = EngineConfig(cache_dir=tmp_path / "cache", sweep_dir=sweep_dir)
+        run_sweep(points, config)
+
+        report = build_report(sweep_dir)
+        assert report["cache"] == {
+            "hits": 0, "misses": 6, "corrupt": 0, "hit_rate": 0.0
+        }
+        assert report["lru"]["hits"] > 0
+        assert 0 < report["lru"]["hit_rate"] < 1
+        assert report["fit"]["exponent"] == pytest.approx(3.0, abs=0.5)
+        executed = [p for p in report["fit"]["points"] if not p["cached"]]
+        assert len(executed) == 6
+        assert all(p["wall_time_s"] > 0 for p in executed)
+
+        run_sweep(points, config)  # second pass: all points cache-served
+        report = build_report(sweep_dir)
+        # the manifest carries the *latest* sweep's registry snapshot
+        assert report["cache"]["hits"] == 6
+        assert report["cache"]["misses"] == 0
+        assert report["cache"]["hit_rate"] == 1.0
+
+        rendered = render_report(report)
+        for needle in ("fitted exponent", "LRU simulator", "engine result cache"):
+            assert needle in rendered
