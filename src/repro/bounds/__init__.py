@@ -22,7 +22,12 @@ from repro.bounds.formulas import (
     dfs_io_leading_coefficient,
 )
 from repro.bounds.table1 import TABLE1_ROWS, Table1Row, format_table1, evaluate_table1
-from repro.bounds.validation import fit_exponent, bound_respected, shape_report
+from repro.bounds.validation import (
+    fit_exponent,
+    bound_respected,
+    shape_report,
+    shape_holds,
+)
 from repro.bounds.io_models import (
     tiled_classical_io_model,
     recursive_fast_io_model,
@@ -49,6 +54,7 @@ __all__ = [
     "fit_exponent",
     "bound_respected",
     "shape_report",
+    "shape_holds",
     "tiled_classical_io_model",
     "recursive_fast_io_model",
     "abmm_transform_io_model",

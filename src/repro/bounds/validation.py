@@ -17,7 +17,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["fit_exponent", "bound_respected", "shape_report", "ShapeReport"]
+__all__ = [
+    "fit_exponent",
+    "bound_respected",
+    "shape_report",
+    "shape_holds",
+    "ShapeReport",
+]
 
 
 def fit_exponent(xs, ys) -> float:
@@ -60,6 +66,20 @@ class ShapeReport:
     def constant_factor_spread(self) -> float:
         """max/min of measured/bound — ≈1 means identical shape."""
         return self.max_ratio / self.min_ratio if self.min_ratio > 0 else math.inf
+
+
+def shape_holds(report: ShapeReport, exponent_tol: float = 0.15) -> bool:
+    """The bound-validation predicate the falsification battery targets.
+
+    A sweep "respects" its lower bound iff (a) the measured I/O never
+    falls below the bound expression and (b) the fitted growth exponent
+    matches the bound's within ``exponent_tol`` — the two shape claims
+    the reproduction makes about every Table-1 row.  A checker that lost
+    either test would silently accept under-counting executions; the
+    battery feeds it deliberately under-counted sweeps to prove it fails
+    closed.
+    """
+    return report.never_below and report.exponent_error <= exponent_tol
 
 
 def shape_report(xs, measured, bound) -> ShapeReport:

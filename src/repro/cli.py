@@ -10,6 +10,7 @@ sweep N... --M M        measured sequential I/O sweep with exponent fit
 recompute               the recomputation study (optimal pebbling)
 report DIR              observability dashboard for a sweep directory
 cache verify DIR        scan a result cache for corrupt/orphaned entries
+falsify                 mutation-test the checkers, cross-check the counters
 
 ``table1``, ``eval``, ``sweep``, and ``report`` accept ``--json`` for
 machine-readable output; ``sweep`` and ``recompute`` run through
@@ -208,6 +209,67 @@ def _cmd_recompute(args) -> int:
     return 0
 
 
+def _cmd_falsify(args) -> int:
+    from repro.analysis.report import text_table
+    from repro.falsify import (
+        generate_mutants,
+        generate_sweep_mutants,
+        generate_valid_transforms,
+        run_battery,
+        run_differential,
+    )
+    from repro.obs import collecting
+
+    n_valid = max(12, args.mutants // 4)
+    n_sweep = max(4, args.mutants // 10)
+    with collecting() as reg:
+        mutants = generate_mutants(args.mutants, seed=args.seed)
+        mutants += generate_valid_transforms(n_valid, seed=args.seed)
+        sweeps = generate_sweep_mutants(n_sweep, seed=args.seed)
+        battery = run_battery(mutants, sweeps)
+        differential = run_differential()
+    ok = battery.ok and differential.ok
+    if args.json:
+        _print_json(
+            {
+                "ok": ok,
+                "battery": battery.to_dict(),
+                "differential": differential.to_dict(),
+                "metrics": reg.to_dict(),
+            }
+        )
+        return 0 if ok else 1
+    print(
+        f"falsify: {battery.invalid_total} invalid mutants, "
+        f"{battery.valid_total} valid controls, seed={args.seed}"
+    )
+    rows = []
+    for checker, classes in sorted(battery.kill_matrix.items()):
+        for mclass, c in sorted(classes.items()):
+            rows.append(
+                [
+                    checker,
+                    mclass,
+                    f"{c['killed']}/{c['killed'] + c['survived']}",
+                    f"{c['targeted_killed']}/{c['targeted']}" if c["targeted"] else "-",
+                ]
+            )
+    print(text_table(["checker", "mutation class", "killed", "targeted"], rows))
+    print(f"targeted kill rate: {battery.targeted_kill_rate:.1%}")
+    for gap in battery.gaps:
+        print(f"  GAP: {gap['checker']} missed {gap['mutation']} "
+              f"({gap['description']})", file=sys.stderr)
+    for alarm in battery.false_alarms:
+        print(f"  FALSE ALARM: {alarm['checker']} rejected valid "
+              f"{alarm['mutation']} ({alarm['description']})", file=sys.stderr)
+    n_agree = sum(1 for o in differential.outcomes if o.agree)
+    print(f"differential: {n_agree}/{len(differential.outcomes)} probes agree exactly")
+    for o in differential.divergent:
+        print(f"  DIVERGED: {o.probe.label()} at {o.divergence}", file=sys.stderr)
+    print("OK" if ok else "FALSIFICATION FAILURES")
+    return 0 if ok else 1
+
+
 def _cmd_reproduce(_args) -> int:
     from repro.analysis.reproduce import run_all
 
@@ -345,6 +407,19 @@ def main(argv: list[str] | None = None) -> int:
     p_cv.add_argument("cache_dir", help="cache directory to scan")
     p_cv.add_argument("--json", action="store_true", help="machine-readable output")
     p_cv.set_defaults(fn=_cmd_cache_verify)
+
+    p_falsify = sub.add_parser(
+        "falsify",
+        help="mutation-test the checkers and cross-check the I/O counters",
+    )
+    p_falsify.add_argument(
+        "--mutants", type=int, default=60, metavar="N",
+        help="number of invalid algorithm mutants (valid controls and "
+             "sweep mutants scale with N)",
+    )
+    p_falsify.add_argument("--seed", type=int, default=0, help="mutation RNG seed")
+    p_falsify.add_argument("--json", action="store_true", help="machine-readable output")
+    p_falsify.set_defaults(fn=_cmd_falsify)
 
     sub.add_parser(
         "reproduce", help="condensed run of every experiment (E1–E15)"

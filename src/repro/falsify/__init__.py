@@ -1,0 +1,68 @@
+"""``repro.falsify`` — mutation testing and differential verification.
+
+Every claim this repository reproduces rests on checkers (the Brent
+equations, the Lemma 3.1 matching floor, the Corollary 3.5 Hopcroft–Kerr
+consistency check, the Table-1 bound validation) that the test suite only
+ever feeds *valid* inputs.  A checker that degenerated into ``return True``
+would pass every test.  This package closes that gap from two directions:
+
+* :mod:`repro.falsify.mutants` — seeded, enumerable perturbations of
+  :class:`~repro.algorithms.bilinear.BilinearAlgorithm` (coefficient
+  tweaks, dropped/duplicated products, swapped decoder rows, sign flips,
+  encoder collapses, HK-set collisions) plus *valid* de Groote orbit moves
+  and the Karstadt–Schwartz alternative-basis fold as the negative
+  control.  Each mutant is tagged with the invariant it should break.
+* :mod:`repro.falsify.battery` — runs every checker over every mutant and
+  builds the **kill matrix** (checker × mutation class): invalid mutants
+  must be rejected by their targeted checker, valid transforms must pass
+  everything.
+* :mod:`repro.falsify.differential` — runs identical experiment points
+  through independent counting paths (level-replay vs full execution vs
+  the metrics-registry ledger; row-replay vs full LRU simulation vs the
+  scalar kernel; the pebbling validator vs the move-list count vs the
+  registry) and asserts *exact* I/O agreement, with first-divergence
+  localization when they disagree.
+
+CLI: ``repro falsify [--mutants N] [--seed S] [--json]`` (exit non-zero on
+any kill-matrix gap, false alarm, or counter divergence).  Counters are
+published through :mod:`repro.obs` under ``falsify.*``.  See
+``docs/falsification.md``.
+"""
+
+from repro.falsify.battery import (
+    BatteryResult,
+    CHECKER_NAMES,
+    run_battery,
+)
+from repro.falsify.differential import (
+    DifferentialReport,
+    DifferentialProbe,
+    default_probes,
+    run_differential,
+)
+from repro.falsify.mutants import (
+    ALGORITHM_MUTATION_CLASSES,
+    SWEEP_MUTATION_CLASSES,
+    AlgorithmMutant,
+    SweepMutant,
+    generate_mutants,
+    generate_sweep_mutants,
+    generate_valid_transforms,
+)
+
+__all__ = [
+    "AlgorithmMutant",
+    "SweepMutant",
+    "ALGORITHM_MUTATION_CLASSES",
+    "SWEEP_MUTATION_CLASSES",
+    "generate_mutants",
+    "generate_sweep_mutants",
+    "generate_valid_transforms",
+    "BatteryResult",
+    "CHECKER_NAMES",
+    "run_battery",
+    "DifferentialReport",
+    "DifferentialProbe",
+    "default_probes",
+    "run_differential",
+]

@@ -1,0 +1,242 @@
+"""The checker battery: run every verifier over every mutant, build the
+kill matrix, and fail loudly on any gap.
+
+Checkers under test
+-------------------
+``brent``
+    :func:`repro.algorithms.brent.is_valid_algorithm` — the Brent-equation
+    validity check (the ground truth every other structural claim assumes).
+``lemma31``
+    :func:`repro.lemmas.lemma31.check_lemma31` on **both** encoder sides
+    (non-raising mode): the exhaustive 2⁷-subset matching floor.
+``corollary35``
+    :func:`repro.lemmas.hk_check.corollary35_holds` — ≤ 1 left factor per
+    Hopcroft–Kerr certificate set.
+``bounds``
+    :func:`repro.bounds.validation.shape_holds` over perturbed sweep data.
+
+Semantics
+---------
+* An **invalid** mutant is *killed* by a checker when the checker rejects
+  it.  The battery requires every invalid mutant to be killed by **each of
+  its targeted checkers** (the invariant its mutation class provably
+  breaks); kills by other checkers are recorded but not required.
+* A **valid** transform must pass **every** checker; any rejection is a
+  *false alarm* — a checker bug as serious as a missed kill.
+
+The result carries the kill matrix (checker × mutation class), the list of
+gaps (mutant, checker) and false alarms, and publishes ``falsify.*``
+counters into the active :class:`repro.obs.MetricsRegistry` so falsify
+runs are observable like any other experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.algorithms.brent import is_valid_algorithm
+from repro.bounds.validation import shape_holds, shape_report
+from repro.falsify.mutants import AlgorithmMutant, SweepMutant
+from repro.lemmas.hk_check import corollary35_holds
+from repro.lemmas.lemma31 import check_lemma31
+from repro.obs.metrics import active_registry
+
+__all__ = [
+    "CHECKER_NAMES",
+    "ALGORITHM_CHECKERS",
+    "BatteryResult",
+    "run_battery",
+]
+
+
+def _check_brent(alg: BilinearAlgorithm) -> bool:
+    return is_valid_algorithm(alg)
+
+
+def _check_lemma31(alg: BilinearAlgorithm) -> bool:
+    return all(
+        check_lemma31(alg, side, raise_on_violation=False).holds
+        for side in ("A", "B")
+    )
+
+
+def _check_corollary35(alg: BilinearAlgorithm) -> bool:
+    return corollary35_holds(alg)
+
+
+#: Checkers applied to algorithm mutants: name -> callable(alg) -> passed?
+ALGORITHM_CHECKERS: dict[str, Callable[[BilinearAlgorithm], bool]] = {
+    "brent": _check_brent,
+    "lemma31": _check_lemma31,
+    "corollary35": _check_corollary35,
+}
+
+#: Every checker name the kill matrix can mention.
+CHECKER_NAMES: tuple[str, ...] = ("brent", "lemma31", "corollary35", "bounds")
+
+
+def _check_bounds(mut: SweepMutant, exponent_tol: float) -> bool:
+    return shape_holds(
+        shape_report(mut.xs, mut.measured, mut.bound), exponent_tol=exponent_tol
+    )
+
+
+@dataclass
+class BatteryResult:
+    """Outcome of one battery run.
+
+    ``kill_matrix[checker][mutation_class]`` counts ``killed`` (rejected)
+    and ``survived`` (passed) mutants of that class as seen by that
+    checker, over the *invalid* population.  ``valid_matrix`` is the same
+    for the valid controls (where ``killed`` means a false alarm).
+    """
+
+    mutants_total: int = 0
+    invalid_total: int = 0
+    valid_total: int = 0
+    kill_matrix: dict[str, dict[str, dict[str, int]]] = field(default_factory=dict)
+    valid_matrix: dict[str, dict[str, dict[str, int]]] = field(default_factory=dict)
+    gaps: list[dict] = field(default_factory=list)
+    false_alarms: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.gaps and not self.false_alarms
+
+    @property
+    def targeted_kill_rate(self) -> float:
+        """Fraction of (invalid mutant, targeted checker) pairs killed."""
+        total = killed = 0
+        for checker, classes in self.kill_matrix.items():
+            for counts in classes.values():
+                if counts.get("targeted"):
+                    total += counts["targeted"]
+                    killed += counts["targeted_killed"]
+        return killed / total if total else 1.0
+
+    def _bump(
+        self, matrix: dict, checker: str, mclass: str, passed: bool, targeted: bool
+    ) -> None:
+        slot = matrix.setdefault(checker, {}).setdefault(
+            mclass,
+            {"killed": 0, "survived": 0, "targeted": 0, "targeted_killed": 0},
+        )
+        slot["survived" if passed else "killed"] += 1
+        if targeted:
+            slot["targeted"] += 1
+            if not passed:
+                slot["targeted_killed"] += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "mutants_total": self.mutants_total,
+            "invalid_total": self.invalid_total,
+            "valid_total": self.valid_total,
+            "targeted_kill_rate": self.targeted_kill_rate,
+            "ok": self.ok,
+            "kill_matrix": self.kill_matrix,
+            "valid_matrix": self.valid_matrix,
+            "gaps": self.gaps,
+            "false_alarms": self.false_alarms,
+        }
+
+
+def _record(reg, name: str, amount: int = 1) -> None:
+    if reg is not None:
+        reg.inc(name, amount)
+
+
+def run_battery(
+    mutants: Iterable[AlgorithmMutant],
+    sweep_mutants: Iterable[SweepMutant] = (),
+    exponent_tol: float = 0.15,
+) -> BatteryResult:
+    """Run every applicable checker over every mutant; build the matrices.
+
+    Never raises on a gap — gaps are data (the CLI and CI turn them into
+    exit codes); raises only on malformed inputs.
+    """
+    res = BatteryResult()
+    reg = active_registry()
+    for mut in mutants:
+        res.mutants_total += 1
+        if mut.valid:
+            res.valid_total += 1
+        else:
+            res.invalid_total += 1
+        unknown = [t for t in mut.targets if t not in ALGORITHM_CHECKERS]
+        if unknown:
+            raise KeyError(
+                f"mutant {mut.mutation!r} targets unknown checkers {unknown}"
+            )
+        for checker, fn in ALGORITHM_CHECKERS.items():
+            passed = fn(mut.alg)
+            targeted = checker in mut.targets
+            matrix = res.valid_matrix if mut.valid else res.kill_matrix
+            res._bump(matrix, checker, mut.mutation, passed, targeted)
+            _record(reg, f"falsify.checked.{checker}")
+            if mut.valid and not passed:
+                res.false_alarms.append(
+                    {
+                        "checker": checker,
+                        "mutation": mut.mutation,
+                        "base": mut.base_name,
+                        "description": mut.description,
+                    }
+                )
+                _record(reg, "falsify.false_alarms")
+            if not mut.valid and targeted and passed:
+                res.gaps.append(
+                    {
+                        "checker": checker,
+                        "mutation": mut.mutation,
+                        "base": mut.base_name,
+                        "description": mut.description,
+                    }
+                )
+                _record(reg, "falsify.gaps")
+            if not mut.valid and not passed:
+                _record(reg, f"falsify.kill.{checker}.{mut.mutation}")
+    for smut in sweep_mutants:
+        res.mutants_total += 1
+        if smut.valid:
+            res.valid_total += 1
+        else:
+            res.invalid_total += 1
+        passed = _check_bounds(smut, exponent_tol)
+        targeted = "bounds" in smut.targets
+        matrix = res.valid_matrix if smut.valid else res.kill_matrix
+        res._bump(matrix, "bounds", smut.mutation, passed, targeted)
+        _record(reg, "falsify.checked.bounds")
+        if smut.valid and not passed:
+            res.false_alarms.append(
+                {
+                    "checker": "bounds",
+                    "mutation": smut.mutation,
+                    "base": "synthetic_sweep",
+                    "description": smut.description,
+                }
+            )
+            _record(reg, "falsify.false_alarms")
+        if not smut.valid and targeted and passed:
+            res.gaps.append(
+                {
+                    "checker": "bounds",
+                    "mutation": smut.mutation,
+                    "base": "synthetic_sweep",
+                    "description": smut.description,
+                }
+            )
+            _record(reg, "falsify.gaps")
+        if not smut.valid and not passed:
+            _record(reg, f"falsify.kill.bounds.{smut.mutation}")
+    # materialize the headline counters even at zero, so dashboards and
+    # assertions can rely on their presence after any battery run
+    _record(reg, "falsify.gaps", 0)
+    _record(reg, "falsify.false_alarms", 0)
+    _record(reg, "falsify.mutants.total", res.mutants_total)
+    _record(reg, "falsify.mutants.invalid", res.invalid_total)
+    _record(reg, "falsify.mutants.valid", res.valid_total)
+    return res

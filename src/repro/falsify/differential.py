@@ -1,0 +1,486 @@
+"""Differential verification: independent I/O counters must agree exactly.
+
+The repository counts I/O along three families of fast paths, each certified
+against a slow reference:
+
+* **level-replay** — :func:`repro.execution.recursive_bilinear.
+  recursive_fast_matmul` (and the tiled-classical / ABMM analogues) execute
+  one isomorphic sub-problem per level and charge the rest in O(1);
+* **row-replay** — :func:`repro.execution.classical_tiled.
+  naive_matmul_lru_trace` detects the periodic LRU state and charges the
+  remaining rows in O(1), with a vectorized kernel cross-checked against
+  the scalar reference;
+* **the pebbling-game counter** — :func:`repro.pebbling.game.
+  validate_schedule` replays a schedule under the red-blue rules and counts
+  loads/stores, against the raw move-list count.
+
+Each probe here runs *one experiment point* through every available path
+plus the :class:`~repro.obs.metrics.MetricsRegistry` ledger (an
+independently accumulated counter stream) and asserts **exact** equality —
+not tolerance-based: these are word counts of deterministic executions, and
+a one-word drift is a bug.  When paths disagree, the probe re-runs with
+instrumentation and reports the *first divergence*: the first event /
+row / move at which the cumulative ledgers separate.
+
+Used by ``repro falsify`` and the CI falsification job; the probe grid is
+small enough for tier-1 (seconds, not minutes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import active_registry, collecting
+
+__all__ = [
+    "DifferentialProbe",
+    "ProbeOutcome",
+    "DifferentialReport",
+    "default_probes",
+    "run_differential",
+    "localize_event_divergence",
+    "localize_row_divergence",
+    "localize_move_divergence",
+]
+
+
+@dataclass(frozen=True)
+class DifferentialProbe:
+    """One point to push through every counting path: a kind + params.
+
+    Kinds: ``level_replay`` (params: alg, n, M), ``row_replay`` (params:
+    n, M), ``pebble`` (params: family, M, scheduler, family params).
+    """
+
+    kind: str
+    params: dict
+
+    def label(self) -> str:
+        inner = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.kind}({inner})"
+
+
+@dataclass
+class ProbeOutcome:
+    """Result of one probe: per-path counters and the agreement verdict."""
+
+    probe: DifferentialProbe
+    counters: dict[str, dict]
+    agree: bool
+    divergence: dict | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.probe.kind,
+            "params": self.probe.params,
+            "counters": self.counters,
+            "agree": self.agree,
+            "divergence": self.divergence,
+        }
+
+
+@dataclass
+class DifferentialReport:
+    """All probe outcomes of one differential run."""
+
+    outcomes: list[ProbeOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.agree for o in self.outcomes)
+
+    @property
+    def divergent(self) -> list[ProbeOutcome]:
+        return [o for o in self.outcomes if not o.agree]
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "probes": len(self.outcomes),
+            "divergent": len(self.divergent),
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+
+# --------------------------------------------------------------------- #
+# divergence localization
+# --------------------------------------------------------------------- #
+def _cumulative_rw(events: list[dict]) -> list[tuple[int, int, dict]]:
+    """Cumulative (reads, writes) after each machine trace event.
+
+    ``machine.replay`` events carry their own exact (reads, writes) split;
+    load/store events contribute their word count to one direction.
+    """
+    out: list[tuple[int, int, dict]] = []
+    r = w = 0
+    for ev in events:
+        kind = ev.get("event", "")
+        if kind == "machine.load":
+            r += int(ev.get("words", 0))
+        elif kind == "machine.store":
+            w += int(ev.get("words", 0))
+        elif kind == "machine.replay":
+            r += int(ev.get("reads", 0))
+            w += int(ev.get("writes", 0))
+        else:
+            continue
+        out.append((r, w, ev))
+    return out
+
+
+def localize_event_divergence(
+    events_a: list[dict], events_b: list[dict]
+) -> dict | None:
+    """First point where two machine event streams' ledgers separate.
+
+    Stream A is the *coarser* one (e.g. the replay execution, whose
+    ``machine.replay`` events summarize whole sub-trees); stream B the
+    finer reference.  A is exact iff every cumulative (reads, writes)
+    checkpoint of A is hit *exactly* by some prefix of B, in order.
+    Returns ``None`` on full agreement, else a dict naming the first A
+    event whose checkpoint B cannot match.
+    """
+    cum_a = _cumulative_rw(events_a)
+    cum_b = _cumulative_rw(events_b)
+    j = 0
+    for idx, (ra, wa, ev) in enumerate(cum_a):
+        while j < len(cum_b) and (cum_b[j][0] < ra or cum_b[j][1] < wa):
+            j += 1
+        got = cum_b[j][:2] if j < len(cum_b) else (cum_b[-1][0], cum_b[-1][1]) if cum_b else (0, 0)
+        if got != (ra, wa):
+            return {
+                "where": "event",
+                "index": idx,
+                "event": {k: ev.get(k) for k in ("event", "name", "words")},
+                "expected_cumulative": {"reads": ra, "writes": wa},
+                "got_cumulative": {"reads": got[0], "writes": got[1]},
+            }
+    total_a = cum_a[-1][:2] if cum_a else (0, 0)
+    total_b = cum_b[-1][:2] if cum_b else (0, 0)
+    if total_a != total_b:
+        return {
+            "where": "event",
+            "index": len(cum_a),
+            "event": {"event": "end-of-stream"},
+            "expected_cumulative": {"reads": total_a[0], "writes": total_a[1]},
+            "got_cumulative": {"reads": total_b[0], "writes": total_b[1]},
+        }
+    return None
+
+
+def localize_row_divergence(n: int, M: int) -> dict | None:
+    """First i-row where the vector and scalar LRU kernels' stats separate.
+
+    Replays the naive-matmul trace one row at a time through two
+    independent caches and compares the per-row (hits, misses,
+    writebacks) deltas.  Returns ``None`` when the kernels agree on every
+    row (the certified state), else the first divergent row.
+    """
+    from repro.execution.classical_tiled import _naive_trace_addresses
+    from repro.machine.cache import LRUCache
+
+    vec = LRUCache(M)
+    ref = LRUCache(M)
+    for i in range(n):
+        addrs, writes = _naive_trace_addresses(n, range(i, i + 1))
+        before_v = (vec.hits, vec.misses, vec.writebacks)
+        before_r = (ref.hits, ref.misses, ref.writebacks)
+        vec.access_many(addrs, write=writes, kernel="vector")
+        ref.access_many(addrs, write=writes, kernel="scalar")
+        dv = tuple(a - b for a, b in zip((vec.hits, vec.misses, vec.writebacks), before_v))
+        dr = tuple(a - b for a, b in zip((ref.hits, ref.misses, ref.writebacks), before_r))
+        if dv != dr:
+            return {
+                "where": "row",
+                "index": i,
+                "vector_delta": {"hits": dv[0], "misses": dv[1], "writebacks": dv[2]},
+                "scalar_delta": {"hits": dr[0], "misses": dr[1], "writebacks": dr[2]},
+            }
+    return None
+
+
+def localize_move_divergence(schedule, M: int) -> dict | None:
+    """First move where the game-state ledger and the move-kind ledger split.
+
+    Walks the schedule once, maintaining (a) a naive count of LOAD/STORE
+    moves and (b) an independent replay of the red-blue game state that
+    counts the I/O each move *should* incur under the rules.  For any
+    legal schedule these are identical by construction; the localizer
+    exists for the day a counting bug makes
+    :func:`~repro.pebbling.game.validate_schedule` disagree with
+    :func:`~repro.pebbling.game.schedule_io` — it then names the move.
+    """
+    from repro.pebbling.game import MoveKind
+
+    red: set[int] = set()
+    blue: set[int] = set(schedule.cdag.inputs)
+    kind_loads = kind_stores = 0
+    game_loads = game_stores = 0
+    for idx, m in enumerate(schedule.moves):
+        if m.kind is MoveKind.LOAD:
+            kind_loads += 1
+            if m.v in blue and m.v not in red:
+                game_loads += 1
+            red.add(m.v)
+        elif m.kind is MoveKind.STORE:
+            kind_stores += 1
+            if m.v in red:
+                game_stores += 1
+            blue.add(m.v)
+        elif m.kind is MoveKind.COMPUTE:
+            red.add(m.v)
+        elif m.kind is MoveKind.EVICT:
+            red.discard(m.v)
+        if len(red) > M or (kind_loads, kind_stores) != (game_loads, game_stores):
+            return {
+                "where": "move",
+                "index": idx,
+                "move": {"kind": m.kind.value, "v": m.v},
+                "kind_ledger": {"loads": kind_loads, "stores": kind_stores},
+                "game_ledger": {"loads": game_loads, "stores": game_stores},
+                "red_size": len(red),
+            }
+    return None
+
+
+# --------------------------------------------------------------------- #
+# probes
+# --------------------------------------------------------------------- #
+def _seq_counter_view(metrics: dict) -> dict:
+    return {
+        "reads": int(metrics["reads"]),
+        "writes": int(metrics["writes"]),
+        "io": int(metrics["io"]),
+        "peak_fast": int(metrics["peak_fast"]),
+    }
+
+
+def _registry_seq_view(trace: dict) -> dict:
+    """The registry's independent ledger of a sequential-machine run."""
+    counters = trace["metrics"]["counters"]
+    gauges = trace["metrics"]["gauges"]
+    reads = int(
+        counters.get("machine.seq.load_words", 0)
+        + counters.get("machine.seq.replay_read_words", 0)
+    )
+    writes = int(
+        counters.get("machine.seq.store_words", 0)
+        + counters.get("machine.seq.replay_write_words", 0)
+    )
+    return {
+        "reads": reads,
+        "writes": writes,
+        "io": reads + writes,
+        "peak_fast": int(gauges.get("machine.seq.peak_fast_words", 0)),
+    }
+
+
+def _capture_seq_events(alg_spec, n: int, M: int, replay: bool) -> list[dict]:
+    """Re-run a seq_io execution with trace hooks, returning the event stream."""
+    from repro.engine.runners import execute_point, seq_io_point
+    from repro.machine import sequential
+
+    events: list[dict] = []
+    hook = events.append
+    sequential.add_trace_hook(hook)
+    try:
+        execute_point(seq_io_point(alg_spec, n, M, replay=replay).to_dict())
+    finally:
+        sequential.remove_trace_hook(hook)
+    return events
+
+
+def _run_level_replay_probe(probe: DifferentialProbe) -> ProbeOutcome:
+    """seq_io through three ledgers: replay counters, full counters, registry."""
+    from repro.engine.runners import execute_point, seq_io_point
+
+    alg = probe.params["alg"]
+    n, M = probe.params["n"], probe.params["M"]
+    alg_spec = None if alg in (None, "classical") else alg
+    metrics_r, trace_r, _ = execute_point(
+        seq_io_point(alg_spec, n, M, replay=True).to_dict()
+    )
+    metrics_f, trace_f, _ = execute_point(
+        seq_io_point(alg_spec, n, M, replay=False).to_dict()
+    )
+    counters = {
+        "level_replay": _seq_counter_view(metrics_r),
+        "full": _seq_counter_view(metrics_f),
+        "registry": _registry_seq_view(trace_r),
+        "registry_full": _registry_seq_view(trace_f),
+    }
+    agree = len({tuple(sorted(c.items())) for c in counters.values()}) == 1
+    divergence = None
+    if not agree:
+        divergence = localize_event_divergence(
+            _capture_seq_events(alg_spec, n, M, replay=True),
+            _capture_seq_events(alg_spec, n, M, replay=False),
+        ) or {"where": "totals", "counters": counters}
+    return ProbeOutcome(probe=probe, counters=counters, agree=agree, divergence=divergence)
+
+
+def _run_row_replay_probe(probe: DifferentialProbe) -> ProbeOutcome:
+    """lru_trace through row-replay, full-vector, and full-scalar paths."""
+    from repro.execution.classical_tiled import naive_matmul_lru_trace
+
+    n, M = probe.params["n"], probe.params["M"]
+    keys = ("hits", "misses", "writebacks", "io")
+    views = {
+        "row_replay": naive_matmul_lru_trace(n, M, kernel="vector", row_replay=True),
+        "full_vector": naive_matmul_lru_trace(n, M, kernel="vector", row_replay=False),
+        "full_scalar": naive_matmul_lru_trace(n, M, kernel="scalar", row_replay=False),
+    }
+    counters = {
+        name: {k: int(stats[k]) for k in keys} for name, stats in views.items()
+    }
+    agree = len({tuple(sorted(c.items())) for c in counters.values()}) == 1
+    divergence = None
+    if not agree:
+        divergence = localize_row_divergence(n, M) or {
+            "where": "totals",
+            "counters": counters,
+        }
+    return ProbeOutcome(probe=probe, counters=counters, agree=agree, divergence=divergence)
+
+
+def _build_probe_cdag(params: dict):
+    from repro.cdag.families import binary_tree_cdag, recompute_wins_cdag
+
+    family = params["family"]
+    if family == "binary_tree":
+        return binary_tree_cdag(params.get("depth", 4))
+    if family == "recompute_wins":
+        return recompute_wins_cdag(params.get("gadgets", 2), params.get("flush_length", 2))
+    if family == "strassen_h4":
+        from repro.algorithms.strassen import strassen
+        from repro.cdag import build_recursive_cdag
+
+        return build_recursive_cdag(strassen(), 4).cdag
+    raise KeyError(f"unknown probe CDAG family {family!r}")
+
+
+def _run_pebble_probe(probe: DifferentialProbe) -> ProbeOutcome:
+    """A schedule through the validator, the move-list count, the registry."""
+    from repro.pebbling.game import (
+        MoveKind,
+        PebbleCost,
+        schedule_io,
+        validate_schedule,
+    )
+    from repro.pebbling.heuristics import dfs_recompute_schedule, topological_schedule
+
+    cdag = _build_probe_cdag(probe.params)
+    M = probe.params["M"]
+    scheduler = probe.params.get("scheduler", "topological")
+    if scheduler == "topological":
+        sched = topological_schedule(cdag, M)
+        allow_recompute = False
+    elif scheduler == "dfs_recompute":
+        sched = dfs_recompute_schedule(cdag, M)
+        allow_recompute = True
+    else:
+        raise KeyError(f"unknown probe scheduler {scheduler!r}")
+    with collecting() as reg:
+        stats = validate_schedule(sched, M, allow_recompute=allow_recompute)
+    snap = reg.to_dict()["counters"]
+    move_loads = sum(1 for m in sched.moves if m.kind is MoveKind.LOAD)
+    move_stores = sum(1 for m in sched.moves if m.kind is MoveKind.STORE)
+    counters = {
+        "validator": {
+            "loads": int(stats["loads"]),
+            "stores": int(stats["stores"]),
+            "io": int(stats["io"]),
+        },
+        "move_list": {
+            "loads": move_loads,
+            "stores": move_stores,
+            "io": int(schedule_io(sched, PebbleCost())),
+        },
+        "registry": {
+            "loads": int(snap.get("pebble.loads", 0)),
+            "stores": int(snap.get("pebble.stores", 0)),
+            "io": int(snap.get("pebble.io", 0)),
+        },
+    }
+    agree = len({tuple(sorted(c.items())) for c in counters.values()}) == 1
+    divergence = None
+    if not agree:
+        divergence = localize_move_divergence(sched, M) or {
+            "where": "totals",
+            "counters": counters,
+        }
+    return ProbeOutcome(probe=probe, counters=counters, agree=agree, divergence=divergence)
+
+
+_PROBE_RUNNERS = {
+    "level_replay": _run_level_replay_probe,
+    "row_replay": _run_row_replay_probe,
+    "pebble": _run_pebble_probe,
+}
+
+
+def default_probes() -> list[DifferentialProbe]:
+    """The default sweep grid: every counting family, every execution kind.
+
+    Sized for tier-1: full executions stay at n ≤ 32, the scalar LRU
+    reference at n ≤ 16, the pebbling CDAGs at ≤ a few hundred vertices.
+    """
+    probes: list[DifferentialProbe] = []
+    for alg, n, M in (
+        ("strassen", 8, 48),
+        ("strassen", 16, 48),
+        ("winograd", 16, 48),
+        ("karstadt_schwartz", 16, 48),
+        ("classical", 16, 64),
+        ("classical", 32, 64),
+    ):
+        probes.append(DifferentialProbe("level_replay", {"alg": alg, "n": n, "M": M}))
+    for n, M in ((6, 16), (8, 16), (12, 24), (16, 32)):
+        probes.append(DifferentialProbe("row_replay", {"n": n, "M": M}))
+    probes.extend(
+        [
+            DifferentialProbe(
+                "pebble", {"family": "binary_tree", "depth": 4, "M": 3,
+                           "scheduler": "topological"}
+            ),
+            DifferentialProbe(
+                "pebble", {"family": "recompute_wins", "gadgets": 2,
+                           "flush_length": 2, "M": 4, "scheduler": "dfs_recompute"}
+            ),
+            DifferentialProbe(
+                "pebble", {"family": "strassen_h4", "M": 8,
+                           "scheduler": "topological"}
+            ),
+            DifferentialProbe(
+                "pebble", {"family": "strassen_h4", "M": 12,
+                           "scheduler": "dfs_recompute"}
+            ),
+        ]
+    )
+    return probes
+
+
+def run_differential(
+    probes: list[DifferentialProbe] | None = None,
+) -> DifferentialReport:
+    """Run every probe; exact agreement or localized divergence per probe.
+
+    Publishes ``falsify.differential.*`` counters into the active
+    registry.  Never raises on divergence — the report carries it.
+    """
+    report = DifferentialReport()
+    reg = active_registry()
+    for probe in probes if probes is not None else default_probes():
+        runner = _PROBE_RUNNERS.get(probe.kind)
+        if runner is None:
+            raise KeyError(f"unknown differential probe kind {probe.kind!r}")
+        outcome = runner(probe)
+        report.outcomes.append(outcome)
+        if reg is not None:
+            reg.inc("falsify.differential.probes")
+            reg.inc(
+                "falsify.differential.agreements"
+                if outcome.agree
+                else "falsify.differential.divergences"
+            )
+    return report

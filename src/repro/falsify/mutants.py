@@ -1,0 +1,450 @@
+"""Seeded, enumerable mutants of bilinear algorithms (and sweep data).
+
+A mutant is a deliberately broken — or deliberately *valid* — variant of a
+known-good object, tagged with the checkers that must reject it:
+
+* **Invalid algorithm mutants** perturb the (U, V, W) triple of a valid
+  ⟨2,2,2;7⟩ algorithm in one structured way each.  The mutation class
+  determines the *targeted* checkers — the invariant the perturbation
+  provably breaks:
+
+  ===================  =====================================================
+  class                targeted checkers
+  ===================  =====================================================
+  ``coeff_tweak``      ``brent`` (support untouched → graphs unchanged)
+  ``sign_flip``        ``brent`` (ditto)
+  ``swap_decoder``     ``brent`` (encoders untouched; computes a permuted C)
+  ``drop_product``     ``brent``, ``lemma31`` (an isolated encoder vertex)
+  ``duplicate``        ``corollary35`` (two left factors in one HK set —
+                       guaranteed because every non-zero mod-2 pattern is a
+                       member of some set, see ``all_support_patterns_covered``)
+  ``encoder_collapse`` ``lemma31`` (two single-support identical rows: the
+                       pair subset has max matching 1 < floor 2)
+  ``hk_collision``     ``corollary35`` (two rows set to distinct members of
+                       one HK set, supports kept ≥ 2 so Lemma 3.1 survives)
+  ===================  =====================================================
+
+* **Valid transforms** (the negative control) apply de Groote orbit moves
+  — product permutations, sign scalings, unimodular basis changes, the
+  transpose symmetry — and the Karstadt–Schwartz alternative-basis fold.
+  They must pass *every* checker; a checker that rejects one has a false-
+  positive bug, which the battery reports as loudly as a missed kill.
+
+* **Sweep mutants** perturb (xs, measured, bound) arrays for the bound-
+  validation checker: ``bound_undercut`` dips one measured point below the
+  Ω floor, ``exponent_drift`` replaces the measured series with a wrong
+  growth exponent.
+
+Generation is a pure function of ``(seed, count)``: mutants are drawn
+round-robin over the classes from a :class:`numpy.random.Generator`, so
+``repro falsify --mutants 200 --seed 0`` is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.algorithms.hopcroft_kerr import HOPCROFT_KERR_SETS
+from repro.algorithms.strassen import strassen
+from repro.algorithms.transforms import (
+    change_basis,
+    permute_products,
+    scale_products,
+    scale_products_asym,
+    transpose_symmetry,
+    unimodular_2x2,
+)
+from repro.algorithms.winograd import winograd
+
+__all__ = [
+    "ALGORITHM_MUTATION_CLASSES",
+    "VALID_TRANSFORM_CLASSES",
+    "SWEEP_MUTATION_CLASSES",
+    "AlgorithmMutant",
+    "SweepMutant",
+    "mutation_bases",
+    "generate_mutants",
+    "generate_valid_transforms",
+    "generate_sweep_mutants",
+]
+
+#: Invalid mutation classes, in round-robin generation order.
+ALGORITHM_MUTATION_CLASSES: tuple[str, ...] = (
+    "coeff_tweak",
+    "sign_flip",
+    "swap_decoder",
+    "drop_product",
+    "duplicate",
+    "encoder_collapse",
+    "hk_collision",
+)
+
+#: Valid (negative-control) transform classes.
+VALID_TRANSFORM_CLASSES: tuple[str, ...] = (
+    "orbit_permute",
+    "orbit_scale",
+    "orbit_scale_asym",
+    "orbit_basis",
+    "orbit_transpose",
+    "ks_fold",
+)
+
+#: Sweep-data mutation classes for the bound-validation checker.
+SWEEP_MUTATION_CLASSES: tuple[str, ...] = ("bound_undercut", "exponent_drift")
+
+
+@dataclass(frozen=True)
+class AlgorithmMutant:
+    """One perturbed (or orbit-transformed) algorithm, with its tags.
+
+    ``targets`` lists the checkers that *must* reject the mutant; empty for
+    valid transforms, which must instead pass every checker.
+    """
+
+    alg: BilinearAlgorithm
+    mutation: str
+    valid: bool
+    targets: tuple[str, ...]
+    base_name: str
+    description: str = ""
+
+    def __post_init__(self):
+        if self.valid and self.targets:
+            raise ValueError("valid transforms cannot target a checker")
+        if not self.valid and not self.targets:
+            raise ValueError(f"invalid mutant {self.mutation!r} needs a target")
+
+
+@dataclass(frozen=True)
+class SweepMutant:
+    """One perturbed measured-vs-bound sweep for the bounds checker."""
+
+    xs: tuple[float, ...]
+    measured: tuple[float, ...]
+    bound: tuple[float, ...]
+    mutation: str
+    valid: bool
+    targets: tuple[str, ...] = field(default=())
+    description: str = ""
+
+
+def mutation_bases() -> list[BilinearAlgorithm]:
+    """The valid base algorithms mutants are derived from.
+
+    Strassen, Winograd, and the Karstadt–Schwartz alternative-basis
+    algorithm folded to plain form — the paper's three named instances.
+    """
+    from repro.basis import karstadt_schwartz  # local: avoids import cycle
+
+    return [strassen(), winograd(), karstadt_schwartz().plain()]
+
+
+# --------------------------------------------------------------------- #
+# invalid mutations
+# --------------------------------------------------------------------- #
+def _writable(alg: BilinearAlgorithm) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    return alg.U.copy(), alg.V.copy(), alg.W.copy()
+
+
+def _rebuild(
+    alg: BilinearAlgorithm, name: str, U: np.ndarray, V: np.ndarray, W: np.ndarray
+) -> BilinearAlgorithm:
+    return BilinearAlgorithm(name, alg.n, alg.m, alg.p, U, V, W)
+
+
+def _mutate_coeff_tweak(alg: BilinearAlgorithm, rng: np.random.Generator):
+    """Change one non-zero coefficient's magnitude; supports are untouched,
+    so the encoder/decoder graphs — and with them Lemma 3.1 and the HK
+    counts mod 2 — keep their structure, isolating the Brent check."""
+    U, V, W = _writable(alg)
+    mats = {"U": U, "V": V, "W": W}
+    key = ("U", "V", "W")[rng.integers(3)]
+    M = mats[key]
+    nz = np.argwhere(M != 0)
+    r, c = nz[rng.integers(len(nz))]
+    # +2 keeps the sign (mod-2 class shifts, but the support stays put)
+    M[r, c] = M[r, c] + int(np.sign(M[r, c])) * 2
+    return (
+        _rebuild(alg, f"{alg.name}~coeff", U, V, W),
+        ("brent",),
+        f"{key}[{r},{c}] += 2·sign",
+    )
+
+
+def _mutate_sign_flip(alg: BilinearAlgorithm, rng: np.random.Generator):
+    """Flip the sign of a single non-zero coefficient."""
+    U, V, W = _writable(alg)
+    mats = {"U": U, "V": V, "W": W}
+    key = ("U", "V", "W")[rng.integers(3)]
+    M = mats[key]
+    nz = np.argwhere(M != 0)
+    r, c = nz[rng.integers(len(nz))]
+    M[r, c] = -M[r, c]
+    return (
+        _rebuild(alg, f"{alg.name}~sign", U, V, W),
+        ("brent",),
+        f"sign of {key}[{r},{c}]",
+    )
+
+
+def _mutate_swap_decoder(alg: BilinearAlgorithm, rng: np.random.Generator):
+    """Swap two decoder rows: the algorithm now writes a permuted C."""
+    U, V, W = _writable(alg)
+    rows = alg.n * alg.p
+    r1, r2 = rng.choice(rows, size=2, replace=False)
+    W[[r1, r2]] = W[[r2, r1]]
+    return (
+        _rebuild(alg, f"{alg.name}~swapW", U, V, W),
+        ("brent",),
+        f"decoder rows {r1}<->{r2}",
+    )
+
+
+def _mutate_drop_product(alg: BilinearAlgorithm, rng: np.random.Generator):
+    """Zero out product l end to end (U/V row, W column).
+
+    Besides breaking the Brent equations, the zeroed encoder row is an
+    isolated Y-vertex: the singleton subset {l} has max matching 0 < 1,
+    so Lemma 3.1 must reject too — this class certifies both checkers.
+    """
+    U, V, W = _writable(alg)
+    l = int(rng.integers(alg.t))
+    U[l] = 0
+    V[l] = 0
+    W[:, l] = 0
+    return (
+        _rebuild(alg, f"{alg.name}~drop", U, V, W),
+        ("brent", "lemma31"),
+        f"product {l} zeroed",
+    )
+
+
+def _mutate_duplicate(alg: BilinearAlgorithm, rng: np.random.Generator):
+    """Copy product l′'s bilinear form over product l (decoder untouched).
+
+    Rows l and l′ now agree mod 2, and every non-zero mod-2 pattern is a
+    member of some HK certificate set (``all_support_patterns_covered``),
+    so one set holds ≥ 2 left factors — Corollary 3.5 must reject.
+    """
+    U, V, W = _writable(alg)
+    l, lp = rng.choice(alg.t, size=2, replace=False)
+    U[l] = U[lp]
+    V[l] = V[lp]
+    return (
+        _rebuild(alg, f"{alg.name}~dup", U, V, W),
+        ("corollary35",),
+        f"products {l} := {lp}",
+    )
+
+
+def _mutate_encoder_collapse(alg: BilinearAlgorithm, rng: np.random.Generator):
+    """Collapse two encoder rows onto one single-entry support.
+
+    The pair subset Y′ = {l1, l2} then has max matching 1 < floor
+    1 + ⌊2/2⌋ = 2 — the smallest possible Lemma 3.1 violation.
+    """
+    U, V, W = _writable(alg)
+    side = ("U", "V")[rng.integers(2)]
+    M = U if side == "U" else V
+    q = int(rng.integers(M.shape[1]))
+    l1, l2 = rng.choice(alg.t, size=2, replace=False)
+    M[l1] = 0
+    M[l2] = 0
+    M[l1, q] = 1
+    M[l2, q] = 1
+    return (
+        _rebuild(alg, f"{alg.name}~collapse", U, V, W),
+        ("lemma31",),
+        f"{side} rows {l1},{l2} -> e_{q}",
+    )
+
+
+def _mutate_hk_collision(alg: BilinearAlgorithm, rng: np.random.Generator):
+    """Set two U rows to distinct members of one HK certificate set.
+
+    Members are chosen with support ≥ 2 where possible so the encoder
+    keeps enough spread for Lemma 3.1 — the collision is what Corollary
+    3.5 alone is expected to catch.
+    """
+    U, V, W = _writable(alg)
+    set_idx = int(rng.integers(len(HOPCROFT_KERR_SETS)))
+    hk_set = HOPCROFT_KERR_SETS[set_idx]
+    # prefer the densest two members: maximal supports keep Lemma 3.1 alive
+    members = sorted(hk_set, key=lambda f: -sum(1 for x in f if x))[:2]
+    l1, l2 = rng.choice(alg.t, size=2, replace=False)
+    U[l1] = np.asarray(members[0], dtype=np.int64)
+    U[l2] = np.asarray(members[1], dtype=np.int64)
+    return (
+        _rebuild(alg, f"{alg.name}~hk{set_idx}", U, V, W),
+        ("corollary35",),
+        f"U rows {l1},{l2} -> HK set {set_idx}",
+    )
+
+
+_MUTATORS = {
+    "coeff_tweak": _mutate_coeff_tweak,
+    "sign_flip": _mutate_sign_flip,
+    "swap_decoder": _mutate_swap_decoder,
+    "drop_product": _mutate_drop_product,
+    "duplicate": _mutate_duplicate,
+    "encoder_collapse": _mutate_encoder_collapse,
+    "hk_collision": _mutate_hk_collision,
+}
+
+
+def generate_mutants(
+    count: int, seed: int = 0, classes: tuple[str, ...] | None = None
+) -> list[AlgorithmMutant]:
+    """``count`` invalid mutants, round-robin over ``classes``, seeded.
+
+    Bases rotate through :func:`mutation_bases`, so every class is
+    exercised against Strassen, Winograd, and the KS fold.
+    """
+    classes = classes or ALGORITHM_MUTATION_CLASSES
+    unknown = [c for c in classes if c not in _MUTATORS]
+    if unknown:
+        raise KeyError(f"unknown mutation classes {unknown}")
+    rng = np.random.default_rng(seed)
+    bases = mutation_bases()
+    out: list[AlgorithmMutant] = []
+    for i in range(count):
+        mclass = classes[i % len(classes)]
+        base = bases[(i // len(classes)) % len(bases)]
+        alg, targets, desc = _MUTATORS[mclass](base, rng)
+        out.append(
+            AlgorithmMutant(
+                alg=alg,
+                mutation=mclass,
+                valid=False,
+                targets=targets,
+                base_name=base.name,
+                description=desc,
+            )
+        )
+    return out
+
+
+# --------------------------------------------------------------------- #
+# valid transforms (the negative control)
+# --------------------------------------------------------------------- #
+def generate_valid_transforms(count: int, seed: int = 0) -> list[AlgorithmMutant]:
+    """``count`` known-valid algorithms from orbit moves and the KS fold.
+
+    Every one is a genuine ⟨2,2,2;7⟩ matmul algorithm; the battery
+    asserts they pass *all* checkers (no false positives).
+    """
+    rng = np.random.default_rng(seed)
+    bases = mutation_bases()
+    unis = unimodular_2x2()
+    out: list[AlgorithmMutant] = []
+    for i in range(count):
+        tclass = VALID_TRANSFORM_CLASSES[i % len(VALID_TRANSFORM_CLASSES)]
+        base = bases[(i // len(VALID_TRANSFORM_CLASSES)) % len(bases)]
+        if tclass == "orbit_permute":
+            alg = permute_products(base, list(rng.permutation(base.t)))
+            desc = "product permutation"
+        elif tclass == "orbit_scale":
+            signs = (rng.integers(0, 2, size=base.t) * 2 - 1).tolist()
+            alg = scale_products(base, signs)
+            desc = "symmetric sign scaling"
+        elif tclass == "orbit_scale_asym":
+            signs = (rng.integers(0, 2, size=base.t) * 2 - 1).tolist()
+            alg = scale_products_asym(base, signs)
+            desc = "asymmetric sign scaling (W-compensated)"
+        elif tclass == "orbit_basis":
+            P = unis[rng.integers(len(unis))]
+            Q = unis[rng.integers(len(unis))]
+            R = unis[rng.integers(len(unis))]
+            alg = change_basis(base, P, Q, R)
+            desc = "unimodular de Groote basis change"
+        elif tclass == "orbit_transpose":
+            alg = transpose_symmetry(base)
+            desc = "transpose symmetry"
+        elif tclass == "ks_fold":
+            # The Karstadt–Schwartz basis change: the sparse alternative-
+            # basis core with its (φ, ψ, ν) transforms folded back in,
+            # composed with a random orbit permutation for variety.
+            from repro.basis import karstadt_schwartz
+
+            alg = permute_products(
+                karstadt_schwartz().plain(), list(rng.permutation(7))
+            )
+            desc = "KS alternative-basis fold (+permutation)"
+        else:  # pragma: no cover - classes tuple is exhaustive
+            raise KeyError(tclass)
+        out.append(
+            AlgorithmMutant(
+                alg=alg,
+                mutation=tclass,
+                valid=True,
+                targets=(),
+                base_name=base.name,
+                description=desc,
+            )
+        )
+    return out
+
+
+# --------------------------------------------------------------------- #
+# sweep mutants (bound validation)
+# --------------------------------------------------------------------- #
+def _clean_sweep(rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A synthetic sweep that genuinely respects its bound: measured =
+    c·bound with a constant c ∈ [1, 4] and matching exponent."""
+    xs = np.array([8.0, 16.0, 32.0, 64.0, 128.0])
+    exponent = float(rng.choice([2.0, np.log2(7.0), 3.0]))
+    bound = xs**exponent
+    c = float(rng.uniform(1.0, 4.0))
+    measured = c * bound
+    return xs, measured, bound
+
+
+def generate_sweep_mutants(count: int, seed: int = 0) -> list[SweepMutant]:
+    """``count`` invalid sweep perturbations plus one valid control each.
+
+    ``bound_undercut`` scales a single measured point to half its bound
+    (an under-counting execution); ``exponent_drift`` replaces the series
+    with one a full exponent lower (a mis-fit).  Both must fail
+    :func:`repro.bounds.validation.shape_holds`; the paired clean sweep
+    must pass it.
+    """
+    rng = np.random.default_rng(seed)
+    out: list[SweepMutant] = []
+    for i in range(count):
+        mclass = SWEEP_MUTATION_CLASSES[i % len(SWEEP_MUTATION_CLASSES)]
+        xs, measured, bound = _clean_sweep(rng)
+        if mclass == "bound_undercut":
+            j = int(rng.integers(len(xs)))
+            measured = measured.copy()
+            measured[j] = 0.5 * bound[j]
+            desc = f"point {j} at half its floor"
+        else:  # exponent_drift
+            fitted = np.log(measured[-1] / measured[0]) / np.log(xs[-1] / xs[0])
+            measured = measured[0] * (xs / xs[0]) ** (fitted - 1.0)
+            desc = "measured exponent one lower than the bound's"
+        out.append(
+            SweepMutant(
+                xs=tuple(xs),
+                measured=tuple(float(v) for v in measured),
+                bound=tuple(float(v) for v in bound),
+                mutation=mclass,
+                valid=False,
+                targets=("bounds",),
+                description=desc,
+            )
+        )
+        clean_xs, clean_measured, clean_bound = _clean_sweep(rng)
+        out.append(
+            SweepMutant(
+                xs=tuple(clean_xs),
+                measured=tuple(float(v) for v in clean_measured),
+                bound=tuple(float(v) for v in clean_bound),
+                mutation="clean_sweep",
+                valid=True,
+                description="constant-factor-above-bound control",
+            )
+        )
+    return out

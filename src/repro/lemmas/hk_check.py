@@ -16,7 +16,7 @@ from repro.algorithms.hopcroft_kerr import (
     left_factor_set_counts,
 )
 
-__all__ = ["check_corollary35_consistency"]
+__all__ = ["check_corollary35_consistency", "corollary35_holds"]
 
 
 def check_corollary35_consistency(alg: BilinearAlgorithm) -> list[int]:
@@ -29,3 +29,14 @@ def check_corollary35_consistency(alg: BilinearAlgorithm) -> list[int]:
             f"sets {bad} hold {[counts[i] for i in bad]} left factors"
         )
     return counts
+
+
+def corollary35_holds(alg: BilinearAlgorithm) -> bool:
+    """Non-raising form for the falsification battery: True iff every HK
+    set holds ≤ 1 left factor (the consequence of Corollary 3.5 a valid
+    7-multiplication algorithm must satisfy)."""
+    try:
+        check_corollary35_consistency(alg)
+    except AssertionError:
+        return False
+    return True

@@ -40,6 +40,7 @@ class Lemma31Report:
     worst_margin: int          # min over Y′ of (max matching − floor)
     tight_subsets: int         # subsets achieving margin 0
     holds: bool
+    violation: tuple[int, ...] | None = None   # first Y′ below the floor, if any
 
 
 def _max_matching_for_subset(
@@ -50,12 +51,18 @@ def _max_matching_for_subset(
     return size
 
 
-def check_lemma31(alg: BilinearAlgorithm, side: str = "A") -> Lemma31Report:
+def check_lemma31(
+    alg: BilinearAlgorithm, side: str = "A", raise_on_violation: bool = True
+) -> Lemma31Report:
     """Exhaustively verify Lemma 3.1 for one encoder of ``alg``.
 
     Scans all non-empty Y′ ⊆ Y; raises AssertionError with the violating
     subset if the bound fails (it never does for valid ⟨2,2,2;7⟩
-    algorithms — that is the point of the lemma).
+    algorithms — that is the point of the lemma).  With
+    ``raise_on_violation=False`` the scan instead stops at the first
+    violating subset and returns a report with ``holds=False`` and the
+    subset in ``violation`` — the mode the falsification battery uses to
+    certify that the checker rejects perturbed algorithms.
     """
     adj = alg.encoder_adjacency(side)
     t = len(adj)
@@ -68,9 +75,19 @@ def check_lemma31(alg: BilinearAlgorithm, side: str = "A") -> Lemma31Report:
             got = _max_matching_for_subset(subset, adj, num_inputs)
             margin = got - floor
             if margin < 0:
-                raise AssertionError(
-                    f"Lemma 3.1 violated for {alg.name} side {side}: "
-                    f"Y'={subset} has max matching {got} < floor {floor}"
+                if raise_on_violation:
+                    raise AssertionError(
+                        f"Lemma 3.1 violated for {alg.name} side {side}: "
+                        f"Y'={subset} has max matching {got} < floor {floor}"
+                    )
+                return Lemma31Report(
+                    side=side,
+                    num_inputs=num_inputs,
+                    num_products=t,
+                    worst_margin=margin,
+                    tight_subsets=tight,
+                    holds=False,
+                    violation=subset,
                 )
             if worst is None or margin < worst:
                 worst = margin

@@ -302,6 +302,12 @@ class SequentialMachine:
         if reg is not None:
             reg.inc("machine.seq.replays")
             reg.inc("machine.seq.replay_words", int((reads + writes) * repeats))
+            # Direction-split replay counters: with these, the registry is a
+            # complete independent ledger of words_read/words_written even in
+            # replay mode — the third counter of the differential executor
+            # (repro.falsify.differential).
+            reg.inc("machine.seq.replay_read_words", int(reads * repeats))
+            reg.inc("machine.seq.replay_write_words", int(writes * repeats))
         if _TRACE_HOOKS:
             _emit(
                 {

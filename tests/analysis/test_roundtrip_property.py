@@ -95,7 +95,7 @@ def sweep_results(draw) -> SweepResult:
     )
 
 
-@settings(max_examples=150, deadline=None)
+@settings(max_examples=150)
 @given(run=run_results())
 def test_run_result_round_trips_through_json(run):
     encoded = json.dumps(run.to_dict(), sort_keys=True)
@@ -105,7 +105,7 @@ def test_run_result_round_trips_through_json(run):
     assert back.fingerprint() == run.fingerprint()
 
 
-@settings(max_examples=150, deadline=None)
+@settings(max_examples=150)
 @given(sweep=sweep_results())
 def test_sweep_result_round_trips_through_json(sweep):
     encoded = json.dumps(sweep.to_dict(), sort_keys=True)
@@ -119,7 +119,7 @@ def test_sweep_result_round_trips_through_json(sweep):
     assert [r.status for r in back.failures] == [r.status for r in sweep.failures]
 
 
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=50)
 @given(sweep=sweep_results())
 def test_round_trip_is_idempotent(sweep):
     d1 = sweep.to_dict()

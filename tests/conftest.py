@@ -7,12 +7,26 @@ immutable, so session scope is safe.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.algorithms import algorithm_corpus, classical, strassen, winograd
 from repro.basis import karstadt_schwartz
 from repro.cdag import build_recursive_cdag
+
+# Hypothesis profiles (select with HYPOTHESIS_PROFILE=ci|dev|default).
+# Individual tests override only max_examples where the strategy is
+# expensive; everything else (deadline, randomization) comes from the
+# profile, so CI is reproducible and dev runs dig deeper.
+settings.register_profile("default", max_examples=40, deadline=None)
+settings.register_profile(
+    "ci", max_examples=40, deadline=None, derandomize=True, print_blob=True
+)
+settings.register_profile("dev", max_examples=200, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(scope="session")

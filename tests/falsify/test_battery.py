@@ -1,0 +1,81 @@
+"""The checker battery: kill matrix semantics, gap and false-alarm
+detection, and metric publication."""
+
+import pytest
+
+from repro.algorithms import strassen
+from repro.falsify.battery import CHECKER_NAMES, run_battery
+from repro.falsify.mutants import (
+    AlgorithmMutant,
+    generate_mutants,
+    generate_sweep_mutants,
+    generate_valid_transforms,
+)
+from repro.obs import collecting
+
+
+class TestCleanRun:
+    def test_all_targets_killed_and_controls_pass(self):
+        muts = generate_mutants(28, seed=0) + generate_valid_transforms(12, seed=0)
+        res = run_battery(muts, generate_sweep_mutants(4, seed=0))
+        assert res.ok
+        assert res.targeted_kill_rate == 1.0
+        assert res.gaps == [] and res.false_alarms == []
+        assert res.mutants_total == 28 + 12 + 8
+        assert res.invalid_total == 28 + 4 and res.valid_total == 12 + 4
+
+    def test_kill_matrix_shape(self):
+        muts = generate_mutants(14, seed=0)
+        res = run_battery(muts)
+        assert set(res.kill_matrix) <= set(CHECKER_NAMES)
+        for checker, classes in res.kill_matrix.items():
+            for counts in classes.values():
+                assert counts["killed"] + counts["survived"] >= 1
+                assert counts["targeted_killed"] <= counts["targeted"]
+
+    def test_metrics_published(self):
+        with collecting() as reg:
+            run_battery(generate_mutants(7, seed=0))
+        counters = reg.to_dict()["counters"]
+        assert counters["falsify.mutants.total"] == 7
+        assert counters["falsify.checked.brent"] == 7
+        assert counters["falsify.gaps"] == 0
+
+
+class TestDetection:
+    def test_gap_surfaces_when_checker_misses(self):
+        """A valid algorithm mislabeled as an invalid brent-targeted mutant
+        is exactly what a degenerate checker would produce: a survivor."""
+        impostor = AlgorithmMutant(
+            alg=strassen(), mutation="coeff_tweak", valid=False,
+            targets=("brent",), base_name="strassen", description="impostor",
+        )
+        res = run_battery([impostor])
+        assert not res.ok
+        assert res.targeted_kill_rate == 0.0
+        assert res.gaps and res.gaps[0]["checker"] == "brent"
+
+    def test_false_alarm_surfaces_when_checker_overfires(self):
+        broken = generate_mutants(1, seed=0, classes=("sign_flip",))[0]
+        mislabeled = AlgorithmMutant(
+            alg=broken.alg, mutation="orbit_permute", valid=True,
+            targets=(), base_name=broken.base_name, description="mislabeled",
+        )
+        res = run_battery([mislabeled])
+        assert not res.ok
+        assert any(a["checker"] == "brent" for a in res.false_alarms)
+
+    def test_unknown_target_rejected(self):
+        bad = AlgorithmMutant(
+            alg=strassen(), mutation="coeff_tweak", valid=False,
+            targets=("no_such_checker",), base_name="strassen",
+        )
+        with pytest.raises(KeyError):
+            run_battery([bad])
+
+    def test_round_trips_to_dict(self):
+        res = run_battery(generate_mutants(7, seed=0))
+        d = res.to_dict()
+        assert d["ok"] == res.ok
+        assert d["targeted_kill_rate"] == res.targeted_kill_rate
+        assert d["kill_matrix"] == res.kill_matrix

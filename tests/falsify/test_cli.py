@@ -1,0 +1,23 @@
+"""``repro falsify`` end to end (small mutant counts for speed)."""
+
+import json
+
+from repro.cli import main
+
+
+class TestFalsifyCommand:
+    def test_text_output(self, capsys):
+        assert main(["falsify", "--mutants", "7", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "targeted kill rate: 100.0%" in out
+        assert "probes agree exactly" in out
+        assert out.rstrip().endswith("OK")
+
+    def test_json_output(self, capsys):
+        assert main(["falsify", "--mutants", "7", "--seed", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["battery"]["targeted_kill_rate"] == 1.0
+        assert payload["battery"]["gaps"] == []
+        assert payload["differential"]["divergent"] == 0
+        assert payload["metrics"]["counters"]["falsify.gaps"] == 0

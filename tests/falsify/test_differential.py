@@ -1,0 +1,108 @@
+"""The differential executor: exact three-way agreement on real probes,
+and first-divergence localization on synthetically tampered inputs."""
+
+import json
+
+from repro.cdag.families import binary_tree_cdag
+from repro.falsify.differential import (
+    DifferentialProbe,
+    default_probes,
+    localize_event_divergence,
+    localize_move_divergence,
+    localize_row_divergence,
+    run_differential,
+)
+from repro.obs import collecting
+from repro.pebbling.game import Move, MoveKind, Schedule
+from repro.pebbling.heuristics import topological_schedule
+
+
+class TestAgreement:
+    def test_every_probe_kind_agrees(self):
+        probes = [
+            DifferentialProbe("level_replay", {"alg": "strassen", "n": 8, "M": 48}),
+            DifferentialProbe("level_replay", {"alg": "classical", "n": 16, "M": 64}),
+            DifferentialProbe("row_replay", {"n": 8, "M": 16}),
+            DifferentialProbe(
+                "pebble", {"family": "binary_tree", "depth": 3, "M": 3,
+                           "scheduler": "topological"}
+            ),
+        ]
+        rep = run_differential(probes)
+        assert rep.ok and len(rep.outcomes) == 4
+        for o in rep.outcomes:
+            assert o.divergence is None
+            assert len({json.dumps(c, sort_keys=True) for c in o.counters.values()}) == 1
+
+    def test_default_grid_covers_every_family(self):
+        kinds = {p.kind for p in default_probes()}
+        assert kinds == {"level_replay", "row_replay", "pebble"}
+
+    def test_metrics_published(self):
+        probes = [DifferentialProbe("row_replay", {"n": 6, "M": 16})]
+        with collecting() as reg:
+            rep = run_differential(probes)
+        counters = reg.to_dict()["counters"]
+        assert rep.ok
+        assert counters["falsify.differential.probes"] == 1
+        assert counters["falsify.differential.agreements"] == 1
+        assert "falsify.differential.divergences" not in counters
+
+
+class TestEventLocalization:
+    @staticmethod
+    def _loads(words):
+        return [{"event": "machine.load", "name": "A", "words": w} for w in words]
+
+    def test_identical_streams_agree(self):
+        ev = self._loads([4, 4, 8]) + [{"event": "machine.store", "name": "C", "words": 2}]
+        assert localize_event_divergence(ev, ev) is None
+
+    def test_replay_summary_aligns_with_fine_stream(self):
+        fine = self._loads([4, 4, 8, 8])
+        coarse = self._loads([4]) + [
+            {"event": "machine.replay", "reads": 20, "writes": 0}
+        ]
+        assert localize_event_divergence(coarse, fine) is None
+
+    def test_tampered_stream_is_localized(self):
+        fine = self._loads([4, 4, 8])
+        tampered = self._loads([4, 5, 8])  # one extra word on event 1
+        div = localize_event_divergence(tampered, fine)
+        assert div is not None and div["where"] == "event"
+        assert div["index"] == 1
+        assert div["expected_cumulative"]["reads"] == 9
+
+    def test_missing_tail_is_localized(self):
+        fine = self._loads([4, 4, 8])
+        short = self._loads([4, 4])
+        div = localize_event_divergence(short, fine)
+        assert div is not None and div["index"] == 2
+
+
+class TestRowLocalization:
+    def test_real_kernels_never_diverge(self):
+        assert localize_row_divergence(8, 16) is None
+
+
+class TestMoveLocalization:
+    def test_real_schedule_never_diverges(self):
+        cdag = binary_tree_cdag(3)
+        sched = topological_schedule(cdag, 3)
+        assert localize_move_divergence(sched, 3) is None
+
+    def test_redundant_load_is_localized(self):
+        """Insert a load of an already-red vertex: the move-kind ledger
+        counts it, the game-state ledger does not — the localizer must
+        name that exact move."""
+        cdag = binary_tree_cdag(3)
+        sched = topological_schedule(cdag, 3)
+        idx = next(
+            i for i, m in enumerate(sched.moves) if m.kind is MoveKind.LOAD
+        )
+        moves = list(sched.moves)
+        moves.insert(idx + 1, Move(MoveKind.LOAD, moves[idx].v))
+        div = localize_move_divergence(Schedule(cdag=cdag, moves=moves), 3)
+        assert div is not None and div["where"] == "move"
+        assert div["index"] == idx + 1
+        assert div["kind_ledger"]["loads"] == div["game_ledger"]["loads"] + 1

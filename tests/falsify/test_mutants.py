@@ -1,0 +1,93 @@
+"""The mutant generators: determinism, class coverage, and ground truth.
+
+Ground truth here is the Brent-equation check itself — every invalid
+mutant must genuinely fail it (mutants that accidentally remain valid
+algorithms would make the battery vacuous), and every valid transform
+must genuinely pass it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.brent import is_valid_algorithm
+from repro.falsify.mutants import (
+    ALGORITHM_MUTATION_CLASSES,
+    SWEEP_MUTATION_CLASSES,
+    VALID_TRANSFORM_CLASSES,
+    AlgorithmMutant,
+    generate_mutants,
+    generate_sweep_mutants,
+    generate_valid_transforms,
+)
+
+
+class TestGenerators:
+    def test_deterministic_for_a_seed(self):
+        a = generate_mutants(20, seed=3)
+        b = generate_mutants(20, seed=3)
+        for ma, mb in zip(a, b):
+            assert ma.mutation == mb.mutation and ma.base_name == mb.base_name
+            assert np.array_equal(ma.alg.U, mb.alg.U)
+            assert np.array_equal(ma.alg.V, mb.alg.V)
+            assert np.array_equal(ma.alg.W, mb.alg.W)
+
+    def test_seeds_differ(self):
+        a = generate_mutants(len(ALGORITHM_MUTATION_CLASSES), seed=0)
+        b = generate_mutants(len(ALGORITHM_MUTATION_CLASSES), seed=1)
+        assert any(
+            not (np.array_equal(x.alg.U, y.alg.U) and np.array_equal(x.alg.W, y.alg.W))
+            for x, y in zip(a, b)
+        )
+
+    def test_every_class_appears(self):
+        muts = generate_mutants(2 * len(ALGORITHM_MUTATION_CLASSES), seed=0)
+        assert {m.mutation for m in muts} == set(ALGORITHM_MUTATION_CLASSES)
+        valid = generate_valid_transforms(len(VALID_TRANSFORM_CLASSES), seed=0)
+        assert {m.mutation for m in valid} == set(VALID_TRANSFORM_CLASSES)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(KeyError):
+            generate_mutants(3, classes=("no_such_mutation",))
+
+
+class TestGroundTruth:
+    def test_invalid_mutants_fail_brent(self):
+        """Every mutant class produces genuinely broken algorithms —
+        except the structural classes targeting only lemma/HK checkers,
+        which may or may not stay Brent-valid but must carry targets."""
+        for m in generate_mutants(40, seed=0):
+            assert not m.valid and m.targets
+            if "brent" in m.targets:
+                assert not is_valid_algorithm(m.alg), m.description
+
+    def test_valid_transforms_pass_brent(self):
+        for m in generate_valid_transforms(24, seed=0):
+            assert m.valid and not m.targets
+            assert is_valid_algorithm(m.alg), m.description
+
+    def test_sweep_mutants_pair_with_controls(self):
+        smuts = generate_sweep_mutants(6, seed=0)
+        invalid = [s for s in smuts if not s.valid]
+        valid = [s for s in smuts if s.valid]
+        assert len(invalid) == 6 and len(valid) == 6
+        assert {s.mutation for s in invalid} == set(SWEEP_MUTATION_CLASSES)
+        for s in invalid:
+            assert s.targets == ("bounds",)
+
+
+class TestMutantInvariants:
+    def test_valid_with_targets_rejected(self):
+        base = generate_valid_transforms(1, seed=0)[0]
+        with pytest.raises(ValueError):
+            AlgorithmMutant(
+                alg=base.alg, mutation="orbit_permute", valid=True,
+                targets=("brent",), base_name="strassen",
+            )
+
+    def test_invalid_without_targets_rejected(self):
+        base = generate_valid_transforms(1, seed=0)[0]
+        with pytest.raises(ValueError):
+            AlgorithmMutant(
+                alg=base.alg, mutation="sign_flip", valid=False,
+                targets=(), base_name="strassen",
+            )

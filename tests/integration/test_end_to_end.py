@@ -74,6 +74,7 @@ class TestMeasuredVsBounds:
         # crossover needs larger n/√M); what must hold universally is the Ω
         assert m_cl.io_operations >= (n / np.sqrt(M)) ** 3 * np.sqrt(M)
 
+    @pytest.mark.slow
     def test_fast_wins_asymptotically(self, rng):
         """The 'who wins' shape: the streamed DFS executor carries a ~4×
         constant over tiled classical (as real Strassen codes do), so the

@@ -35,6 +35,7 @@ class TestExamples:
         assert "TABLE I" in out
         assert "crossover" in out
 
+    @pytest.mark.slow
     def test_recomputation_study(self):
         out = run_example("recomputation_study.py")
         assert "recomputation cannot reduce fast-matmul I/O" in out

@@ -32,17 +32,15 @@ uni_idx = st.integers(0, len(_UNIS) - 1)
 
 class TestNumericCorrectness:
     @given(A=int_matrix_4, B=int_matrix_4)
-    @settings(max_examples=40, deadline=None)
     def test_strassen_exact_on_integers(self, A, B):
         assert np.array_equal(strassen().multiply(A, B), A @ B)
 
     @given(A=int_matrix_4, B=int_matrix_4)
-    @settings(max_examples=40, deadline=None)
     def test_winograd_exact_on_integers(self, A, B):
         assert np.array_equal(winograd().multiply(A, B), A @ B)
 
     @given(A=int_matrix_4, B=int_matrix_4)
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_ks_abmm_exact_on_integers(self, A, B):
         ks = karstadt_schwartz()
         assert np.array_equal(ks.multiply(A, B), A @ B)
@@ -50,7 +48,7 @@ class TestNumericCorrectness:
 
 class TestSymmetryInvariants:
     @given(perm=perm7, signs=signs7, i=uni_idx, j=uni_idx, k=uni_idx)
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_orbit_points_remain_valid(self, perm, signs, i, j, k):
         alg = change_basis(strassen(), _UNIS[i], _UNIS[j], _UNIS[k])
         alg = permute_products(alg, list(perm))
@@ -58,14 +56,14 @@ class TestSymmetryInvariants:
         assert is_valid_algorithm(alg)
 
     @given(perm=perm7)
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     def test_permutation_preserves_linear_op_total(self, perm):
         base = winograd()
         alg = permute_products(base, list(perm))
         assert alg.linear_op_count() == base.linear_op_count()
 
     @given(i=uni_idx, j=uni_idx, k=uni_idx, A=int_matrix_4, B=int_matrix_4)
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     def test_orbit_points_compute_matmul(self, i, j, k, A, B):
         alg = change_basis(strassen(), _UNIS[i], _UNIS[j], _UNIS[k])
         assert np.array_equal(alg.multiply(A, B), A @ B)
@@ -73,7 +71,7 @@ class TestSymmetryInvariants:
 
 class TestEncoderStructure:
     @given(i=uni_idx, j=uni_idx, k=uni_idx)
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_lemma31_on_arbitrary_orbit_points(self, i, j, k):
         from repro.lemmas.lemma31 import check_lemma31
 
@@ -82,7 +80,7 @@ class TestEncoderStructure:
         assert check_lemma31(alg, "B").holds
 
     @given(i=uni_idx, j=uni_idx, k=uni_idx)
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_lemma32_on_arbitrary_orbit_points(self, i, j, k):
         from repro.lemmas.lemma32_33 import check_lemma32
 

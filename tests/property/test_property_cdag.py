@@ -15,7 +15,7 @@ uni_idx = st.integers(0, len(_UNIS) - 1)
 
 class TestBaseCaseInvariants:
     @given(i=uni_idx, j=uni_idx, k=uni_idx, style=st.sampled_from(["bipartite", "tree"]))
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_base_cdag_well_formed_across_orbit(self, i, j, k, style):
         alg = change_basis(strassen(), _UNIS[i], _UNIS[j], _UNIS[k])
         base = base_case_cdag(alg, style=style)
@@ -26,7 +26,7 @@ class TestBaseCaseInvariants:
             assert base.max_fan_in() <= 2
 
     @given(i=uni_idx, j=uni_idx, k=uni_idx)
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     def test_edge_count_tracks_nnz(self, i, j, k):
         """Bipartite base CDAG edges = nnz(U)+nnz(V)+nnz(W)+2t exactly."""
         alg = change_basis(strassen(), _UNIS[i], _UNIS[j], _UNIS[k])
@@ -46,7 +46,7 @@ class TestRecursiveInvariants:
         i=uni_idx,
         style=st.sampled_from(["bipartite", "tree"]),
     )
-    @settings(max_examples=12, deadline=None)
+    @settings(max_examples=12)
     def test_lemma22_across_orbit_and_styles(self, log_n, i, style):
         alg = change_basis(strassen(), _UNIS[i], np.eye(2, dtype=np.int64), _UNIS[i])
         H = build_recursive_cdag(alg, 2 ** log_n, style=style)
@@ -54,7 +54,7 @@ class TestRecursiveInvariants:
         H.cdag.validate()
 
     @given(log_n=st.integers(1, 3))
-    @settings(max_examples=6, deadline=None)
+    @settings(max_examples=6)
     def test_io_counts(self, log_n):
         n = 2 ** log_n
         H = build_recursive_cdag(strassen(), n)

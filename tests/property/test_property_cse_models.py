@@ -23,7 +23,7 @@ sign_matrix = st.lists(
 
 class TestCSESemantics:
     @given(mat=sign_matrix, data=st.data())
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_cse_program_computes_mat_times_x(self, mat, data):
         x = np.array(
             data.draw(st.lists(st.integers(-9, 9), min_size=4, max_size=4))
@@ -32,13 +32,12 @@ class TestCSESemantics:
         assert np.array_equal(res.evaluate(x), mat @ x)
 
     @given(mat=sign_matrix)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_cse_never_worse_than_flat(self, mat):
         res = greedy_cse(mat)
         assert res.additions <= res.flat_additions
 
     @given(mat=sign_matrix)
-    @settings(max_examples=40, deadline=None)
     def test_row_permutation_flat_invariant_and_semantics(self, mat):
         """Greedy tie-breaking may vary with row order (the heuristic is
         order-dependent), but the *flat* count is permutation-invariant and
@@ -54,7 +53,7 @@ class TestIOModelsRandomized:
         log_n=st.integers(3, 5),
         M=st.sampled_from([27, 48, 75, 108, 192]),
     )
-    @settings(max_examples=12, deadline=None)
+    @settings(max_examples=12)
     def test_tiled_model_matches(self, log_n, M):
         n = 2 ** log_n
         rng = np.random.default_rng(0)
@@ -66,7 +65,7 @@ class TestIOModelsRandomized:
         log_n=st.integers(3, 5),
         M=st.sampled_from([48, 108, 192]),
     )
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=10)
     def test_recursive_model_matches(self, log_n, M):
         n = 2 ** log_n
         rng = np.random.default_rng(0)

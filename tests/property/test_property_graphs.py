@@ -9,12 +9,36 @@ from itertools import combinations
 
 import networkx as nx
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.graphs.cuts import max_vertex_disjoint_paths, min_vertex_cut
 from repro.graphs.digraph import DiGraph
-from repro.graphs.matching import has_matching_saturating, max_matching_size
+from repro.graphs.matching import (
+    has_matching_saturating,
+    hopcroft_karp,
+    max_matching_size,
+)
 from repro.graphs.topo import topological_order
+
+
+def brute_force_max_matching(num_left: int, adj: list[list[int]]) -> int:
+    """Exhaustive maximum bipartite matching by backtracking over left
+    vertices — exponential, independent of both Hopcroft–Karp and networkx,
+    and obviously correct, so it can serve as the oracle."""
+
+    def best(u: int, used: set[int]) -> int:
+        if u == num_left:
+            return 0
+        skip = best(u + 1, used)
+        take = 0
+        for v in adj[u]:
+            if v not in used:
+                used.add(v)
+                take = max(take, 1 + best(u + 1, used))
+                used.discard(v)
+        return max(skip, take)
+
+    return best(0, set())
 
 
 @st.composite
@@ -46,7 +70,6 @@ def random_bipartite(draw, max_left=7, max_right=7):
 
 class TestMengerDuality:
     @given(g=random_dag())
-    @settings(max_examples=40, deadline=None)
     def test_cut_equals_paths(self, g):
         n = g.num_vertices
         sources = [0, 1]
@@ -56,7 +79,6 @@ class TestMengerDuality:
         assert len(cut) == paths
 
     @given(g=random_dag())
-    @settings(max_examples=40, deadline=None)
     def test_cut_disconnects(self, g):
         n = g.num_vertices
         sources, targets = [0], [n - 1]
@@ -69,7 +91,6 @@ class TestMengerDuality:
 
 class TestTopology:
     @given(g=random_dag())
-    @settings(max_examples=40, deadline=None)
     def test_topological_order_is_linear_extension(self, g):
         order = topological_order(g)
         assert sorted(order) == list(range(g.num_vertices))
@@ -80,7 +101,6 @@ class TestTopology:
 
 class TestHall:
     @given(data=random_bipartite())
-    @settings(max_examples=40, deadline=None)
     def test_hall_condition_iff_saturating_matching(self, data):
         """Theorem 2.5 (Hall), checked both directions by enumeration."""
         nl, nr, adj = data
@@ -94,7 +114,20 @@ class TestHall:
         assert saturates == hall
 
     @given(data=random_bipartite())
-    @settings(max_examples=40, deadline=None)
+    def test_hopcroft_karp_against_brute_force(self, data):
+        """HK size equals the exhaustive-backtracking oracle, and the
+        returned matching arrays are a consistent matching of that size."""
+        nl, nr, adj = data
+        size, match_left, match_right = hopcroft_karp(nl, nr, adj)
+        assert size == brute_force_max_matching(nl, adj)
+        pairs = [(u, v) for u, v in enumerate(match_left) if v != -1]
+        assert len(pairs) == size
+        assert len({v for _, v in pairs}) == size  # right side used once
+        for u, v in pairs:
+            assert v in adj[u]
+            assert match_right[v] == u
+
+    @given(data=random_bipartite())
     def test_matching_against_networkx(self, data):
         nl, nr, adj = data
         g = nx.Graph()

@@ -33,7 +33,7 @@ class TestExecutionsStayWithinM:
         alg=st.sampled_from(["tiled", "strassen", "winograd"]),
         seed=st.integers(0, 2**16),
     )
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_peak_within_m_and_product_correct(self, n, M, alg, seed):
         rng = np.random.default_rng(seed)
         A = rng.standard_normal((n, n))
@@ -52,7 +52,7 @@ class TestExecutionsStayWithinM:
         M=st.integers(12, 400),
         seed=st.integers(0, 2**16),
     )
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     def test_replay_counters_match_full(self, n, M, seed):
         rng = np.random.default_rng(seed)
         A = rng.standard_normal((n, n))
@@ -83,7 +83,7 @@ class TestVectorLRUMatchesScalar:
             max_size=4,
         ),
     )
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_counters_and_state_identical(self, M, batches):
         """Feed identical batch sequences through both kernels; counters AND
         the full cache state (addresses, LRU order, dirty bits) must agree
@@ -109,7 +109,6 @@ class TestVectorLRUMatchesScalar:
         length=st.integers(1, 500),
         seed=st.integers(0, 2**16),
     )
-    @settings(max_examples=40, deadline=None)
     def test_random_reuse_traces(self, M, n_addrs, length, seed):
         """Dense reuse patterns (addresses drawn from a small pool) stress
         the stack-distance classification and generation counting."""

@@ -43,14 +43,13 @@ def random_cdag(draw, max_n=10):
 
 class TestHeuristicValidity:
     @given(c=random_cdag(), M=st.integers(3, 8))
-    @settings(max_examples=40, deadline=None)
     def test_topological_schedule_validates(self, c, M):
         sched = topological_schedule(c, M)
         stats = validate_schedule(sched, M, allow_recompute=False)
         assert stats["recomputations"] == 0
 
     @given(c=random_cdag())
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_io_monotone_in_memory(self, c):
         io = [
             validate_schedule(topological_schedule(c, M), M)["io"]
@@ -61,20 +60,20 @@ class TestHeuristicValidity:
 
 class TestOptimalInvariants:
     @given(c=random_cdag(max_n=8), M=st.integers(3, 4))
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     def test_optimal_le_heuristic(self, c, M):
         heuristic = validate_schedule(topological_schedule(c, M), M)["io"]
         assert optimal_io(c, M, max_states=500_000) <= heuristic
 
     @given(c=random_cdag(max_n=8), M=st.integers(3, 4))
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     def test_recomputation_never_hurts(self, c, M):
         with_r = optimal_io(c, M, allow_recompute=True, max_states=500_000)
         without_r = optimal_io(c, M, allow_recompute=False, max_states=500_000)
         assert with_r <= without_r
 
     @given(c=random_cdag(max_n=8))
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     def test_optimal_at_least_compulsory(self, c):
         """Any pebbling must store every output at least once."""
         assert optimal_io(c, 8, max_states=500_000) >= len(
@@ -87,7 +86,7 @@ class TestMachineCounters:
         sizes=st.lists(st.integers(1, 6), min_size=1, max_size=6),
         M=st.integers(40, 80),
     )
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_load_store_roundtrip_counts(self, sizes, M):
         m = SequentialMachine(M)
         total = 0
