@@ -15,7 +15,7 @@ from repro.algorithms import strassen, winograd
 from repro.analysis.report import text_table
 from repro.basis import karstadt_schwartz, search_sparse_basis
 from repro.bounds.formulas import fast_sequential
-from repro.execution import abmm_machine_multiply, recursive_fast_matmul
+from repro.execution import execute_abmm, execute_recursive_bilinear
 from repro.machine import SequentialMachine
 
 
@@ -74,7 +74,7 @@ def test_transform_io_vanishes(benchmark, rng):
             A = rng.standard_normal((n, n))
             B = rng.standard_normal((n, n))
             mach = SequentialMachine(M)
-            C, phases = abmm_machine_multiply(mach, ks, A, B)
+            C, phases = execute_abmm(mach, ks, A, B)
             assert np.allclose(C, A @ B)
             assert phases["io_total"] >= fast_sequential(n, M)
             out.append([n, int(phases["io_transform_forward"] + phases["io_transform_inverse"]),
@@ -99,9 +99,9 @@ def test_ks_vs_winograd_measured_io(benchmark, rng):
     def run():
         ks = karstadt_schwartz()
         mach_ks = SequentialMachine(M)
-        _, phases = abmm_machine_multiply(mach_ks, ks, A, B)
+        _, phases = execute_abmm(mach_ks, ks, A, B)
         mach_w = SequentialMachine(M)
-        recursive_fast_matmul(mach_w, winograd(), A, B)
+        execute_recursive_bilinear(mach_w, winograd(), A, B)
         return phases, mach_w.io_operations
 
     phases, wino_io = benchmark.pedantic(run, rounds=1, iterations=1)

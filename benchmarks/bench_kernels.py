@@ -7,7 +7,7 @@ execution — against their pre-optimization baselines, and emits
 asserts ≥10× on both and the n=256 trace under 5 s).
 
 Baselines are the real old code paths, not straw men: the per-word Python
-loop over ``LRUCache.access`` (exactly what ``naive_matmul_lru_trace``
+loop over ``LRUCache.access`` (exactly what ``execute_lru_trace``
 used to run) and the full t^levels recursive execution (what every sweep
 point used to pay).  The fast paths are certified exact elsewhere
 (property suite, cross-check tests); this file only times them.
@@ -25,9 +25,9 @@ from conftest import banner
 from repro.algorithms.strassen import strassen
 from repro.execution.classical_tiled import (
     _naive_trace_addresses,
-    naive_matmul_lru_trace,
+    execute_lru_trace,
 )
-from repro.execution.recursive_bilinear import recursive_fast_matmul
+from repro.execution.recursive_bilinear import execute_recursive_bilinear
 from repro.machine.cache import LRUCache
 from repro.machine.sequential import SequentialMachine
 
@@ -77,7 +77,7 @@ def test_lru_trace_throughput(benchmark):
 
     def run():
         t0 = time.perf_counter()
-        st = naive_matmul_lru_trace(n, M)
+        st = execute_lru_trace(n, M)
         elapsed["t"] = time.perf_counter() - t0
         return st
 
@@ -88,10 +88,10 @@ def test_lru_trace_throughput(benchmark):
     # Direct (no extrapolation) comparison at a size the old loop finishes.
     nd, Md = 96, 1024
     t0 = time.perf_counter()
-    ref = naive_matmul_lru_trace(nd, Md, kernel="scalar", row_replay=False)
+    ref = execute_lru_trace(nd, Md, kernel="scalar", row_replay=False)
     scalar_t = time.perf_counter() - t0
     t0 = time.perf_counter()
-    fast = naive_matmul_lru_trace(nd, Md)
+    fast = execute_lru_trace(nd, Md)
     direct_fast_t = time.perf_counter() - t0
     assert fast == ref, (fast, ref)
 
@@ -123,7 +123,7 @@ def test_recursive_replay_wall_time(benchmark, rng):
 
     full_m = SequentialMachine(M)
     t0 = time.perf_counter()
-    recursive_fast_matmul(full_m, alg, A, B)
+    execute_recursive_bilinear(full_m, alg, A, B)
     full_t = time.perf_counter() - t0
 
     elapsed: dict = {}
@@ -131,7 +131,7 @@ def test_recursive_replay_wall_time(benchmark, rng):
     def run():
         m = SequentialMachine(M)
         t1 = time.perf_counter()
-        recursive_fast_matmul(m, alg, A, B, level_replay=True)
+        execute_recursive_bilinear(m, alg, A, B, level_replay=True)
         elapsed["t"] = time.perf_counter() - t1
         return m
 
@@ -151,3 +151,52 @@ def test_recursive_replay_wall_time(benchmark, rng):
         "speedup": round(full_t / replay_t, 1),
     }
     assert RESULTS["recursive_execution"]["speedup"] >= 10
+
+
+def test_schedule_backend_throughput(benchmark):
+    """Per-backend counting throughput on one seq_io point, plus the
+    symbolic closed form at n=4096 — the scale the materializing paths
+    cannot reach (CI asserts the 4096 point stays under 5 s)."""
+    from repro import schedule
+
+    n, M = 128, 256
+    spec = schedule.seq_io_schedule("strassen", n, M)
+    rows: dict = {}
+    baseline_io = None
+    for backend in ("reference", "vector", "symbolic"):
+        t0 = time.perf_counter()
+        rep = schedule.run(spec, backend=backend)
+        dt = time.perf_counter() - t0
+        if baseline_io is None:
+            baseline_io = rep.counter_view()
+        else:
+            assert rep.counter_view() == baseline_io, backend
+        rows[backend] = {"n": n, "M": M, "seconds": round(dt, 5), "io": int(rep.io)}
+
+    big_n, big_M = 4096, 4096
+    elapsed: dict = {}
+
+    def run_symbolic():
+        t1 = time.perf_counter()
+        rep = schedule.run(
+            schedule.seq_io_schedule("strassen", big_n, big_M), backend="symbolic"
+        )
+        elapsed["t"] = time.perf_counter() - t1
+        return rep
+
+    big = benchmark.pedantic(run_symbolic, rounds=1, iterations=1)
+    big_t = elapsed["t"]
+    assert big.io > 0
+    assert big_t < 5.0, f"symbolic n=4096 took {big_t:.3f}s (budget 5s)"
+
+    RESULTS["schedule_backends"] = {
+        "workload": "seq_io/strassen",
+        "per_backend": rows,
+        "symbolic_n4096": {
+            "n": big_n,
+            "M": big_M,
+            "io": int(big.io),
+            "seconds": round(big_t, 5),
+            "budget_s": 5.0,
+        },
+    }

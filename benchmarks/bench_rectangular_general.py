@@ -19,7 +19,7 @@ from repro.algorithms.tensor import tensor_power, tensor_product
 from repro.analysis.report import text_table
 from repro.bounds.formulas import rectangular_bound
 from repro.bounds.validation import fit_exponent
-from repro.execution import recursive_fast_matmul
+from repro.execution import execute_recursive_bilinear
 from repro.execution.rectangular import recursive_rectangular_matmul
 from repro.machine import SequentialMachine
 
@@ -41,7 +41,7 @@ def test_general_base_case_exponents(benchmark, rng):
                 A = rng.standard_normal((n, n))
                 B = rng.standard_normal((n, n))
                 mach = SequentialMachine(M)
-                C = recursive_fast_matmul(mach, alg, A, B)
+                C = execute_recursive_bilinear(mach, alg, A, B)
                 assert np.allclose(C, A @ B)
                 ios.append(mach.io_operations)
             out[alg.name] = (ios, fit_exponent(sizes, ios), alg.omega0)

@@ -15,7 +15,7 @@ from repro import winograd
 from repro.algorithms.bilinear import BilinearAlgorithm
 from repro.analysis.report import text_table
 from repro.basis import AlternativeBasisAlgorithm, search_sparse_basis
-from repro.execution import abmm_machine_multiply
+from repro.execution import execute_abmm
 from repro.machine import SequentialMachine
 
 
@@ -54,7 +54,7 @@ def main() -> None:
         mach = SequentialMachine(48)
         X = rng.standard_normal((n, n))
         Y = rng.standard_normal((n, n))
-        C, phases = abmm_machine_multiply(mach, alt, X, Y)
+        C, phases = execute_abmm(mach, alt, X, Y)
         assert np.allclose(C, X @ Y)
         rows.append([n, int(phases["io_transform_forward"] + phases["io_transform_inverse"]),
                      int(phases["io_bilinear"]),

@@ -19,10 +19,10 @@ from repro import (
     fast_memory_independent,
     fast_parallel,
     format_table1,
-    parallel_strassen_bfs,
-    recursive_fast_matmul,
+    execute_parallel_bfs,
+    execute_recursive_bilinear,
     strassen,
-    tiled_matmul,
+    execute_tiled,
 )
 from repro.analysis.report import text_table
 from repro.bounds.formulas import parallel_crossover_P
@@ -57,16 +57,16 @@ def measure(n: int, M: int, P: int) -> None:
 
     rows = []
     mach = SequentialMachine(M)
-    tiled_matmul(mach, A, B)
+    execute_tiled(mach, A, B)
     rows.append(["tiled classical (sequential)", mach.io_operations])
     mach = SequentialMachine(M)
-    recursive_fast_matmul(mach, strassen(), A, B)
+    execute_recursive_bilinear(mach, strassen(), A, B)
     rows.append(["DFS Strassen (sequential)", mach.io_operations])
     # nearest power of 7 for the BFS run (one BFS level per factor of 7)
     levels = max(0, min(2, round(np.log(P) / np.log(7)))) if P > 1 else 0
     bfs_p = 7 ** levels
     if bfs_p > 1 and n % (2 ** levels) == 0:
-        _, stats = parallel_strassen_bfs(strassen(), A, B, P=bfs_p, M=M)
+        _, stats = execute_parallel_bfs(strassen(), A, B, P=bfs_p, M=M)
         rows.append([f"BFS Strassen comm/proc (P={bfs_p})", stats.comm_per_proc_max])
     print(text_table(["execution", "measured I/O (words)"], rows))
 

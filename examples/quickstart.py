@@ -16,7 +16,7 @@ from repro import (
     check_lemma31,
     fast_sequential,
     is_valid_algorithm,
-    recursive_fast_matmul,
+    execute_recursive_bilinear,
     strassen,
 )
 from repro.machine import SequentialMachine
@@ -53,7 +53,7 @@ def main() -> None:
     machine = SequentialMachine(M)
     A = rng.standard_normal((n, n))
     B = rng.standard_normal((n, n))
-    C = recursive_fast_matmul(machine, alg, A, B)
+    C = execute_recursive_bilinear(machine, alg, A, B)
     assert np.allclose(C, A @ B)
     bound = fast_sequential(n, M)
     print(f"\nout-of-core run at n={n}, M={M}:")

@@ -68,12 +68,18 @@ from repro.pebbling import (
 )
 from repro.machine import SequentialMachine, BSPMachine, LRUCache
 from repro.execution import (
+    execute_tiled,
+    execute_lru_trace,
+    execute_recursive_bilinear,
+    execute_abmm,
+    execute_parallel_bfs,
+    parallel_classical_summa,
     tiled_matmul,
     recursive_fast_matmul,
     abmm_machine_multiply,
     parallel_strassen_bfs,
-    parallel_classical_summa,
 )
+from repro import schedule
 from repro.bounds import (
     OMEGA0_STRASSEN,
     fast_sequential,
@@ -136,11 +142,17 @@ __all__ = [
     "SequentialMachine",
     "BSPMachine",
     "LRUCache",
+    "schedule",
+    "execute_tiled",
+    "execute_lru_trace",
+    "execute_recursive_bilinear",
+    "execute_abmm",
+    "execute_parallel_bfs",
+    "parallel_classical_summa",
     "tiled_matmul",
     "recursive_fast_matmul",
     "abmm_machine_multiply",
     "parallel_strassen_bfs",
-    "parallel_classical_summa",
     "OMEGA0_STRASSEN",
     "fast_sequential",
     "fast_parallel",

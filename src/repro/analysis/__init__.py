@@ -1,8 +1,6 @@
 """Experiment harness utilities: sweeps, exponent fits, crossovers, reports."""
 
 from repro.analysis.fitting import (
-    sweep_sequential_io,
-    sweep_parallel_comm,
     sweep_from_jsonl,
     sweep_from_runs,
 )
@@ -18,8 +16,6 @@ from repro.analysis.report import text_table
 from repro.analysis.constants import ConstantSeries, leading_constant_series
 
 __all__ = [
-    "sweep_sequential_io",
-    "sweep_parallel_comm",
     "sweep_from_jsonl",
     "sweep_from_runs",
     "BoundValue",

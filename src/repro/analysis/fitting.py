@@ -1,24 +1,23 @@
-"""Parameter sweeps producing the measured side of every shape experiment.
+"""Sweep assembly: engine run results → fitted :class:`SweepResult`.
 
-The sweeps now run through :mod:`repro.engine` — declarative point lists,
-optional process-pool fan-out, persistent caching — and return the typed
-:class:`~repro.analysis.results.SweepResult`.  The pre-engine loop helpers
-(:func:`sweep_sequential_io`, :func:`sweep_parallel_comm`) survive as thin
-deprecated wrappers so old call sites keep measuring the same numbers.
+Sweeps run through :mod:`repro.engine` — declarative point lists,
+optional process-pool fan-out, persistent caching; this module assembles
+the typed results.  The pre-engine loop helpers (``sweep_sequential_io``,
+``sweep_parallel_comm``) have been removed: build points with
+:func:`repro.engine.seq_io_point` / :func:`repro.engine.
+parallel_comm_point` and run them with :func:`repro.engine.run_sweep`
+(optionally with ``backend=`` for the Schedule-IR counting backends).
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from pathlib import Path
 
 from repro.analysis.results import RunResult, SweepPoint, SweepResult
 
 __all__ = [
     "SweepResult",
-    "sweep_sequential_io",
-    "sweep_parallel_comm",
     "sweep_from_jsonl",
     "sweep_from_runs",
 ]
@@ -88,76 +87,3 @@ def sweep_from_jsonl(
     from repro.engine import load_results_jsonl
 
     return sweep_from_runs(load_results_jsonl(path), parameter, missing=missing)
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; use {new} (see repro.engine)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def sweep_sequential_io(
-    alg,
-    sizes: list[int],
-    M: int,
-    seed: int = 0,
-) -> SweepResult:
-    """Deprecated: measured sequential I/O vs n (None = tiled classical).
-
-    Use ``run_sweep([seq_io_point(alg, n, M) for n in sizes])`` instead —
-    same counted executions, plus caching and parallel fan-out.
-    """
-    _deprecated("sweep_sequential_io", "repro.engine.run_sweep over seq_io_point")
-    from repro.engine import run_sweep, seq_io_point
-
-    points = [seq_io_point(alg, n, M, seed=seed) for n in sizes]
-    return run_sweep(points, parameter="n")
-
-
-def sweep_parallel_comm(
-    alg,
-    n: int,
-    procs: list[int],
-    M: int | None = None,
-    seed: int = 0,
-) -> SweepResult:
-    """Deprecated: measured per-processor communication vs P.
-
-    Use ``run_sweep([parallel_comm_point(alg, n, P, M) for P in procs],
-    parameter="P")`` instead.
-    """
-    _deprecated(
-        "sweep_parallel_comm", "repro.engine.run_sweep over parallel_comm_point"
-    )
-    from repro.engine import parallel_comm_point, run_sweep
-
-    points = [parallel_comm_point(alg, n, P, M, seed=seed) for P in procs]
-    sweep = run_sweep(points, parameter="P")
-    # Legacy shape: comm clamped to >= 1 and local I/O exposed as an extra.
-    # Applied to *copies*: the assembled points alias the engine's runs
-    # (which may be cached or shared with other views), so clamping in
-    # place would corrupt run.metrics-derived data for every other
-    # consumer.  Extras are merged, not replaced, for the same reason.
-    legacy_points = [
-        dataclasses.replace(
-            p,
-            measured=max(p.measured, 1.0),
-            extras={
-                **p.extras,
-                **(
-                    {"local_io": p.run.metrics["local_io_per_proc"]}
-                    if p.run is not None
-                    else {}
-                ),
-            },
-        )
-        for p in sweep.points
-    ]
-    return SweepResult(
-        parameter=sweep.parameter,
-        points=legacy_points,
-        failures=sweep.failures,
-        stats=sweep.stats,
-    )

@@ -25,7 +25,7 @@ __all__ = [
 
 
 def tiled_classical_io_model(n: int, M: int, tile: int | None = None) -> int:
-    """Exact I/O of :func:`repro.execution.classical_tiled.tiled_matmul`.
+    """Exact I/O of :func:`repro.execution.classical_tiled.execute_tiled`.
 
     Loop order (i,j,k) with the C tile resident: reads = 2(n/b)³·b²,
     writes = (n/b)²·b² = n².
@@ -40,7 +40,7 @@ def tiled_classical_io_model(n: int, M: int, tile: int | None = None) -> int:
 def recursive_fast_io_model(
     alg: BilinearAlgorithm, n: int, M: int, base_size: int | None = None
 ) -> int:
-    """Exact I/O of :func:`repro.execution.recursive_bilinear.recursive_fast_matmul`.
+    """Exact I/O of :func:`repro.execution.recursive_bilinear.execute_recursive_bilinear`.
 
     Recurrence (d = base dim, h = s/d):
       fits (3s² ≤ M and s ≤ base_size):  3s²

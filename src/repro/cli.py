@@ -25,6 +25,15 @@ and the exit code is non-zero with a failure summary on stderr.
 incremental ``manifest.json``, and any ``--profile`` artifacts all land
 in DIR, which ``repro report DIR`` then renders (see
 ``docs/observability.md``).
+
+``sweep``, ``eval``, and ``falsify`` accept ``--backend
+{reference,vector,symbolic}`` selecting the Schedule-IR counting backend
+(see ``docs/schedule_ir.md``): ``sweep`` routes its points through
+:func:`repro.schedule.run` (the symbolic backend reaches n ≥ 4096),
+``eval`` appends measured I/O columns next to the Table I bounds, and
+``falsify`` restricts the backend cross-check probes to the chosen
+backend versus the physical machine.  The engine and backend flags are
+defined once on shared argparse parent parsers.
 """
 
 from __future__ import annotations
@@ -51,20 +60,58 @@ def _cmd_table1(args) -> int:
     return 0
 
 
+#: (display name, engine/schedule algorithm reference) pairs the measured
+#: eval columns run — the sequential executions of Table I.
+_EVAL_MEASURED_ALGS = (
+    ("classical (tiled)", None),
+    ("Strassen", "strassen"),
+    ("Winograd", "winograd"),
+    ("Karstadt-Schwartz ABMM", "karstadt_schwartz"),
+)
+
+
+def _measured_seq_io(n: int, M: int, backend: str) -> list[dict]:
+    """Measured sequential I/O at (n, M) under one Schedule-IR backend.
+
+    Algorithms whose preconditions (n a power of two, M large enough)
+    fail at this point report the error instead of a count.
+    """
+    from repro import schedule
+
+    rows: list[dict] = []
+    for name, alg in _EVAL_MEASURED_ALGS:
+        try:
+            report = schedule.run(
+                schedule.seq_io_schedule(alg, n, M), backend=backend
+            )
+            rows.append(
+                {"algorithm": name, "io": int(report.io),
+                 "peak_fast": report.peak_fast}
+            )
+        except Exception as exc:
+            rows.append({"algorithm": name, "error": f"{type(exc).__name__}: {exc}"})
+    return rows
+
+
 def _cmd_eval(args) -> int:
     from repro.analysis.report import text_table
     from repro.bounds import evaluate_table1
 
     entries = evaluate_table1(args.n, args.M, args.P)
+    measured = (
+        _measured_seq_io(args.n, args.M, args.backend) if args.backend else None
+    )
     if args.json:
-        _print_json(
-            {
-                "n": args.n,
-                "M": args.M,
-                "P": args.P,
-                "rows": [entry.to_dict() for entry in entries],
-            }
-        )
+        payload = {
+            "n": args.n,
+            "M": args.M,
+            "P": args.P,
+            "rows": [entry.to_dict() for entry in entries],
+        }
+        if measured is not None:
+            payload["backend"] = args.backend
+            payload["measured"] = measured
+        _print_json(payload)
         return 0
     rows = []
     for entry in entries:
@@ -72,6 +119,14 @@ def _cmd_eval(args) -> int:
             rows.append([entry.algorithm[:44], bound.expr, bound.value])
     print(f"Table I at n={args.n}, M={args.M}, P={args.P}:")
     print(text_table(["algorithm", "bound", "value"], rows))
+    if measured is not None:
+        print(f"\nmeasured sequential I/O (backend={args.backend}):")
+        mrows = [
+            [m["algorithm"], m.get("io", "-"), m.get("peak_fast", "-"),
+             m.get("error", "")]
+            for m in measured
+        ]
+        print(text_table(["algorithm", "measured I/O", "peak fast", "note"], mrows))
     return 0
 
 
@@ -159,7 +214,10 @@ def _cmd_sweep(args) -> int:
 
     alg = None if args.algorithm == "classical" else args.algorithm
     points = [
-        seq_io_point(alg, n, args.M, replay=not args.no_replay) for n in args.sizes
+        seq_io_point(
+            alg, n, args.M, replay=not args.no_replay, backend=args.backend
+        )
+        for n in args.sizes
     ]
     res = run_sweep(points, _engine_config(args), parameter="n")
     if args.json:
@@ -222,12 +280,17 @@ def _cmd_falsify(args) -> int:
 
     n_valid = max(12, args.mutants // 4)
     n_sweep = max(4, args.mutants // 10)
+    probes = None
+    if args.backend:
+        from repro.falsify.differential import default_probes
+
+        probes = default_probes(backend=args.backend)
     with collecting() as reg:
         mutants = generate_mutants(args.mutants, seed=args.seed)
         mutants += generate_valid_transforms(n_valid, seed=args.seed)
         sweeps = generate_sweep_mutants(n_sweep, seed=args.seed)
         battery = run_battery(mutants, sweeps)
-        differential = run_differential()
+        differential = run_differential(probes)
     ok = battery.ok and differential.ok
     if args.json:
         _print_json(
@@ -311,30 +374,35 @@ def _cmd_cache_verify(args) -> int:
     return 0 if report["ok"] else 1
 
 
-def _add_engine_flags(parser) -> None:
-    """Execution/recovery flags shared by the engine-backed commands."""
-    parser.add_argument("--workers", type=int, default=0, help="process-pool width")
-    parser.add_argument("--cache-dir", default=None, help="persistent result cache")
-    parser.add_argument(
+def _engine_parent() -> argparse.ArgumentParser:
+    """Shared parent parser: execution/recovery flags of engine commands.
+
+    Defined once (``--sweep-dir``/``--profile`` and friends used to be
+    re-declared per subcommand) and attached via ``parents=[...]``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--workers", type=int, default=0, help="process-pool width")
+    parent.add_argument("--cache-dir", default=None, help="persistent result cache")
+    parent.add_argument(
         "--sweep-dir", default=None, metavar="DIR",
         help="observability directory: results.jsonl + manifest.json + "
              "profiles/ (consumed by `repro report DIR`)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--profile", choices=["off", "wall", "cprofile", "tracemalloc"],
         default="off",
         help="per-point profiling artifacts under DIR/profiles "
              "(requires --sweep-dir)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--timeout", type=float, default=None, metavar="S",
         help="per-point wall-clock limit in seconds (needs --workers > 1)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--retries", type=int, default=0,
         help="re-queue a failed point up to this many times",
     )
-    group = parser.add_mutually_exclusive_group()
+    group = parent.add_mutually_exclusive_group()
     group.add_argument(
         "--fail-fast", dest="fail_fast", action="store_true",
         help="stop at the first permanent failure (rest marked skipped)",
@@ -343,7 +411,19 @@ def _add_engine_flags(parser) -> None:
         "--keep-going", dest="fail_fast", action="store_false",
         help="complete every surviving point despite failures (default)",
     )
-    parser.set_defaults(fail_fast=False)
+    parent.set_defaults(fail_fast=False)
+    return parent
+
+
+def _backend_parent() -> argparse.ArgumentParser:
+    """Shared parent parser: Schedule-IR backend selection."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--backend", choices=["reference", "vector", "symbolic"], default=None,
+        help="count I/O through repro.schedule.run with this backend "
+             "(default: the physical machine executors)",
+    )
+    return parent
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -352,12 +432,16 @@ def main(argv: list[str] | None = None) -> int:
         description="Reproduction toolkit for Nissim & Schwartz (2019).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    engine_parent = _engine_parent()
+    backend_parent = _backend_parent()
 
     p_table1 = sub.add_parser("table1", help="print Table I")
     p_table1.add_argument("--json", action="store_true", help="machine-readable output")
     p_table1.set_defaults(fn=_cmd_table1)
 
-    p_eval = sub.add_parser("eval", help="evaluate Table I at (n, M, P)")
+    p_eval = sub.add_parser(
+        "eval", help="evaluate Table I at (n, M, P)", parents=[backend_parent]
+    )
     p_eval.add_argument("n", type=int)
     p_eval.add_argument("M", type=int)
     p_eval.add_argument("P", type=int)
@@ -367,7 +451,11 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("figures", help="print Figures 1-3").set_defaults(fn=_cmd_figures)
     sub.add_parser("verify", help="run the lemma audit").set_defaults(fn=_cmd_verify)
 
-    p_sweep = sub.add_parser("sweep", help="measured I/O sweep (engine-backed)")
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="measured I/O sweep (engine-backed)",
+        parents=[engine_parent, backend_parent],
+    )
     p_sweep.add_argument("sizes", type=int, nargs="+")
     p_sweep.add_argument("--M", type=int, default=48)
     p_sweep.add_argument(
@@ -382,11 +470,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="full executions (compute and verify C) instead of level replay",
     )
-    _add_engine_flags(p_sweep)
     p_sweep.set_defaults(fn=_cmd_sweep)
 
-    p_rec = sub.add_parser("recompute", help="recomputation study (engine-backed)")
-    _add_engine_flags(p_rec)
+    p_rec = sub.add_parser(
+        "recompute",
+        help="recomputation study (engine-backed)",
+        parents=[engine_parent],
+    )
     p_rec.set_defaults(fn=_cmd_recompute)
 
     p_report = sub.add_parser(
@@ -411,6 +501,7 @@ def main(argv: list[str] | None = None) -> int:
     p_falsify = sub.add_parser(
         "falsify",
         help="mutation-test the checkers and cross-check the I/O counters",
+        parents=[backend_parent],
     )
     p_falsify.add_argument(
         "--mutants", type=int, default=60, metavar="N",

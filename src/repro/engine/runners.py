@@ -139,7 +139,12 @@ def resolve_algorithm(spec):
 # point builders (the declarative surface the benchmarks use)
 # --------------------------------------------------------------------- #
 def seq_io_point(
-    alg, n: int, M: int, seed: int = 0, replay: bool = True
+    alg,
+    n: int,
+    M: int,
+    seed: int = 0,
+    replay: bool = True,
+    backend: str | None = None,
 ) -> ExperimentPoint:
     """Sequential I/O of one out-of-core matmul: alg None = tiled classical,
     "karstadt_schwartz" = ABMM, anything else = recursive bilinear DFS.
@@ -151,34 +156,52 @@ def seq_io_point(
     large sweeps cost O(levels) executions instead of O(t^levels).  Pass
     ``replay=False`` to force the full execution with its ``C == A @ B``
     assertion.
+
+    ``backend`` routes the point through :func:`repro.schedule.run`
+    ("reference", "vector", "symbolic" — the symbolic backend reaches
+    n ≥ 4096 in milliseconds); None (the default) runs the physical
+    machine executor.  The key is backward-compatible: ``backend`` is
+    omitted from params when None, so pre-redesign cache entries stay
+    valid.
     """
-    return ExperimentPoint(
-        "seq_io",
-        {
-            "alg": algorithm_spec(alg),
-            "n": int(n),
-            "M": int(M),
-            "seed": int(seed),
-            "replay": bool(replay),
-        },
-    )
+    params = {
+        "alg": algorithm_spec(alg),
+        "n": int(n),
+        "M": int(M),
+        "seed": int(seed),
+        "replay": bool(replay),
+    }
+    if backend is not None:
+        params["backend"] = str(backend)
+    return ExperimentPoint("seq_io", params)
 
 
 def parallel_comm_point(
-    alg, n: int, P: int, M: int | None = None, seed: int = 0
+    alg,
+    n: int,
+    P: int,
+    M: int | None = None,
+    seed: int = 0,
+    backend: str | None = None,
 ) -> ExperimentPoint:
     """Per-processor communication of one distributed matmul:
-    alg None = classical SUMMA on the BSP machine, else BFS-parallel."""
-    return ExperimentPoint(
-        "parallel_comm",
-        {
-            "alg": algorithm_spec(alg),
-            "n": int(n),
-            "P": int(P),
-            "M": None if M is None else int(M),
-            "seed": int(seed),
-        },
-    )
+    alg None = classical SUMMA on the BSP machine, else BFS-parallel.
+
+    ``backend`` (fast-matmul points only) counts communication through
+    the owner-map Schedule IR instead of the numeric execution; the
+    local-I/O term is then counted by the same backend on the local
+    sub-problem.  Omitted from params when None (cache-key stable).
+    """
+    params = {
+        "alg": algorithm_spec(alg),
+        "n": int(n),
+        "P": int(P),
+        "M": None if M is None else int(M),
+        "seed": int(seed),
+    }
+    if backend is not None:
+        params["backend"] = str(backend)
+    return ExperimentPoint("parallel_comm", params)
 
 
 def pebble_optimal_point(
@@ -227,56 +250,94 @@ def segment_audit_point(
 
 
 def lru_trace_point(
-    n: int, M: int, kernel: str = "auto", row_replay: bool = True
+    n: int,
+    M: int,
+    kernel: str = "auto",
+    row_replay: bool = True,
+    backend: str | None = None,
 ) -> ExperimentPoint:
     """LRU-cache I/O of a naive matmul address trace (automatic model).
 
     ``kernel`` selects the cache simulation path ("auto", "vector",
     "scalar"); ``row_replay`` enables the O(1) replay of repeated i-rows
     once the cache state cycles (exact, certified by the cross-check
-    tests).
+    tests).  ``backend`` routes through :func:`repro.schedule.run`;
+    omitted from params when None (cache-key stable).
     """
-    return ExperimentPoint(
-        "lru_trace",
-        {
-            "n": int(n),
-            "M": int(M),
-            "kernel": str(kernel),
-            "row_replay": bool(row_replay),
-        },
-    )
+    params = {
+        "n": int(n),
+        "M": int(M),
+        "kernel": str(kernel),
+        "row_replay": bool(row_replay),
+    }
+    if backend is not None:
+        params["backend"] = str(backend)
+    return ExperimentPoint("lru_trace", params)
 
 
 # --------------------------------------------------------------------- #
 # executors
 # --------------------------------------------------------------------- #
-def _run_seq_io(params: dict) -> dict:
+def _seq_io_bound(params: dict, alg) -> float:
     from repro.bounds.formulas import classical_sequential, fast_sequential
+
+    n, M = params["n"], params["M"]
+    if alg is None:
+        return classical_sequential(n, M)
+    if params["alg"] == "karstadt_schwartz":
+        return fast_sequential(n, M)
+    return fast_sequential(n, M, alg.omega0)
+
+
+def _run_seq_io(params: dict) -> dict:
     from repro.machine.sequential import SequentialMachine
 
     alg = resolve_algorithm(params["alg"])
     n, M, seed = params["n"], params["M"], params["seed"]
     replay = bool(params.get("replay", False))
+    bound = _seq_io_bound(params, alg)
+    backend = params.get("backend")
+    if backend:
+        from repro import schedule as _schedule
+
+        report = _schedule.run(
+            _schedule.seq_io_schedule(alg, n, M, replay=replay), backend=backend
+        )
+        metrics = {
+            "io": float(report.io),
+            "reads": int(report.reads),
+            "writes": int(report.writes),
+            "peak_fast": int(report.peak_fast),
+            "io_cost": float(report.io),
+            "bound": float(bound),
+        }
+        metrics.update(
+            {
+                k: float(v)
+                for k, v in report.metrics.items()
+                if k.startswith("io_transform") or k in (
+                    "io_bilinear", "io_total", "transform_fraction"
+                )
+            }
+        )
+        return metrics
     rng = np.random.default_rng(seed)
     A = rng.standard_normal((n, n))
     B = rng.standard_normal((n, n))
     machine = SequentialMachine(M)
     phases: dict = {}
     if alg is None:
-        from repro.execution.classical_tiled import tiled_matmul
+        from repro.execution.classical_tiled import execute_tiled
 
-        C = tiled_matmul(machine, A, B, replay=replay)
-        bound = classical_sequential(n, M)
+        C = execute_tiled(machine, A, B, replay=replay)
     elif params["alg"] == "karstadt_schwartz":
-        from repro.execution.abmm_exec import abmm_machine_multiply
+        from repro.execution.abmm_exec import execute_abmm
 
-        C, phases = abmm_machine_multiply(machine, alg, A, B, level_replay=replay)
-        bound = fast_sequential(n, M)
+        C, phases = execute_abmm(machine, alg, A, B, level_replay=replay)
     else:
-        from repro.execution.recursive_bilinear import recursive_fast_matmul
+        from repro.execution.recursive_bilinear import execute_recursive_bilinear
 
-        C = recursive_fast_matmul(machine, alg, A, B, level_replay=replay)
-        bound = fast_sequential(n, M, alg.omega0)
+        C = execute_recursive_bilinear(machine, alg, A, B, level_replay=replay)
     # replay mode skips computing C by design; otherwise verify the product.
     if C is not None and not np.allclose(C, A @ B):
         raise AssertionError(f"wrong product at n={n}")
@@ -303,6 +364,32 @@ def _run_parallel_comm(params: dict) -> dict:
 
     alg = resolve_algorithm(params["alg"])
     n, P, M, seed = params["n"], params["P"], params["M"], params["seed"]
+    backend = params.get("backend")
+    if backend and alg is not None:
+        from repro import schedule as _schedule
+        from repro.bounds.formulas import fast_memory_independent, fast_parallel
+
+        report = _schedule.run(
+            _schedule.parallel_comm_schedule(alg, n, P), backend=backend
+        )
+        comm_max = float(report.metrics["comm_per_proc_max"])
+        local_io = 0.0
+        if M:
+            local_n = n // (2 ** int(report.metrics["levels"]))
+            local_io = float(
+                _schedule.run(
+                    _schedule.seq_io_schedule(alg, local_n, M), backend=backend
+                ).io
+            )
+        md = fast_parallel(n, M, P, alg.omega0) if M else float("nan")
+        mi = fast_memory_independent(n, P, alg.omega0)
+        return {
+            "comm_per_proc_max": comm_max,
+            "local_io_per_proc": local_io,
+            "bound_memory_dependent": float(md),
+            "bound_memory_independent": float(mi),
+            "bound": float(max(md, mi)) if md == md else float(mi),
+        }
     rng = np.random.default_rng(seed)
     A = rng.standard_normal((n, n))
     B = rng.standard_normal((n, n))
@@ -317,9 +404,9 @@ def _run_parallel_comm(params: dict) -> dict:
         md = classical_parallel(n, M, P) if M else float("nan")
         mi = classical_memory_independent(n, P)
     else:
-        from repro.execution.parallel_strassen import parallel_strassen_bfs
+        from repro.execution.parallel_strassen import execute_parallel_bfs
 
-        C, stats = parallel_strassen_bfs(alg, A, B, P=P, M=M)
+        C, stats = execute_parallel_bfs(alg, A, B, P=P, M=M)
         comm_max = float(stats.comm_per_proc_max)
         local_io = float(stats.local_io_per_proc)
         md = fast_parallel(n, M, P, alg.omega0) if M else float("nan")
@@ -401,15 +488,30 @@ def _run_segment_audit(params: dict) -> dict:
 
 def _run_lru_trace(params: dict) -> dict:
     from repro.bounds.formulas import classical_sequential
-    from repro.execution.classical_tiled import naive_matmul_lru_trace
 
     n, M = params["n"], params["M"]
-    stats = naive_matmul_lru_trace(
-        n,
-        M,
-        kernel=params.get("kernel", "auto"),
-        row_replay=bool(params.get("row_replay", True)),
-    )
+    backend = params.get("backend")
+    if backend:
+        from repro import schedule as _schedule
+
+        stats = _schedule.run(
+            _schedule.lru_trace_schedule(
+                n,
+                M,
+                kernel=params.get("kernel", "auto"),
+                row_replay=bool(params.get("row_replay", True)),
+            ),
+            backend=backend,
+        ).metrics
+    else:
+        from repro.execution.classical_tiled import execute_lru_trace
+
+        stats = execute_lru_trace(
+            n,
+            M,
+            kernel=params.get("kernel", "auto"),
+            row_replay=bool(params.get("row_replay", True)),
+        )
     return {
         "io": float(stats["io"]),
         "hits": int(stats["hits"]),

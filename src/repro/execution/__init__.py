@@ -7,27 +7,53 @@ tests against plain matmul) and exact I/O counters.  These are the measured
 bounds: the paper's claims are about shape (exponents, who wins, where the
 parallel max{·,·} crosses over), and shape needs both sides.
 
-* :func:`tiled_matmul` — classical blocked matmul, I/O ≈ 2n³/√(M/3)+3n²;
-* :func:`recursive_fast_matmul` — DFS recursion of any square bilinear
-  algorithm with streamed linear combinations, I/O = Θ((n/√M)^{ω₀}·M);
-* :func:`abmm_machine_multiply` — Algorithm 1 on the sequential machine,
+* :func:`execute_tiled` — classical blocked matmul, I/O ≈ 2n³/√(M/3)+3n²;
+* :func:`execute_recursive_bilinear` — DFS recursion of any square
+  bilinear algorithm with streamed linear combinations,
+  I/O = Θ((n/√M)^{ω₀}·M);
+* :func:`execute_abmm` — Algorithm 1 on the sequential machine,
   separating transform I/O (Θ(n² log n)) from bilinear I/O (Theorem 4.1's
   "negligible" claim, measured);
-* :func:`parallel_strassen_bfs` / :func:`parallel_classical_summa` —
+* :func:`execute_parallel_bfs` / :func:`parallel_classical_summa` —
   distributed executions on the BSP machine for the parallel bounds.
+
+All of these also run behind the unified facade
+:func:`repro.schedule.run` (backends "reference", "vector", "symbolic");
+the pre-redesign names (``tiled_matmul``, ``naive_matmul_lru_trace``,
+``recursive_fast_matmul``, ``abmm_machine_multiply``,
+``parallel_strassen_bfs``) remain importable as deprecated shims.
 """
 
-from repro.execution.classical_tiled import tiled_matmul, naive_matmul_lru_trace
-from repro.execution.recursive_bilinear import recursive_fast_matmul
-from repro.execution.abmm_exec import abmm_machine_multiply
+from repro.execution.classical_tiled import (
+    execute_lru_trace,
+    execute_tiled,
+    naive_matmul_lru_trace,
+    tiled_matmul,
+)
+from repro.execution.recursive_bilinear import (
+    execute_recursive_bilinear,
+    recursive_fast_matmul,
+)
+from repro.execution.abmm_exec import abmm_machine_multiply, execute_abmm
 from repro.execution.parallel_classical import parallel_classical_summa
-from repro.execution.parallel_strassen import parallel_strassen_bfs
+from repro.execution.parallel_strassen import (
+    execute_parallel_bfs,
+    parallel_strassen_bfs,
+    simulate_bfs_comm,
+)
 
 __all__ = [
+    "execute_tiled",
+    "execute_lru_trace",
+    "execute_recursive_bilinear",
+    "execute_abmm",
+    "execute_parallel_bfs",
+    "simulate_bfs_comm",
+    "parallel_classical_summa",
+    # deprecated shims
     "tiled_matmul",
     "naive_matmul_lru_trace",
     "recursive_fast_matmul",
     "abmm_machine_multiply",
-    "parallel_classical_summa",
     "parallel_strassen_bfs",
 ]

@@ -9,18 +9,17 @@ phases separately so the benches can show the ratio actually vanishing.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.basis.abmm import AlternativeBasisAlgorithm
 from repro.basis.transform import invert_base_transform
-from repro.execution.recursive_bilinear import (
-    recursive_fast_matmul,
-    stream_linear_combination,
-)
+from repro.execution.recursive_bilinear import stream_linear_combination
 from repro.machine.sequential import SequentialMachine
 from repro.util.checks import check_power_of_two
 
-__all__ = ["machine_basis_transform", "abmm_machine_multiply"]
+__all__ = ["machine_basis_transform", "execute_abmm", "abmm_machine_multiply"]
 
 
 def machine_basis_transform(
@@ -77,7 +76,7 @@ def machine_basis_transform(
         machine.drop_slow(cur)
 
 
-def abmm_machine_multiply(
+def execute_abmm(
     machine: SequentialMachine,
     alt: AlternativeBasisAlgorithm,
     A: np.ndarray,
@@ -134,3 +133,14 @@ def abmm_machine_multiply(
             (io_fwd + io_inv) / max(1.0, io_fwd + io_bilinear + io_inv)
         ),
     }
+
+
+def abmm_machine_multiply(*args, **kwargs):
+    """Deprecated alias of :func:`execute_abmm`."""
+    warnings.warn(
+        "abmm_machine_multiply is deprecated; use "
+        "repro.execution.execute_abmm or repro.schedule.run",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_abmm(*args, **kwargs)

@@ -2,7 +2,7 @@
 
 Two executions:
 
-* :func:`tiled_matmul` — the textbook communication-optimal blocked
+* :func:`execute_tiled` — the textbook communication-optimal blocked
   algorithm: tiles of side b with 4b² ≤ M; I/O ≈ 2(n/b)³·b² + 3n²
   = Θ(n³/√M), matching the Hong–Kung bound of Table I row 1 (with P = 1).
   The footprint is **four** tiles, not the textbook three: accumulating
@@ -11,7 +11,7 @@ Two executions:
   hide it.  (The literature's 3-tile count assumes word-granular fused
   multiply-add; an array-level execution honestly pays the fourth tile.)
 
-* :func:`naive_matmul_lru_trace` — the *naive* triple loop pushed through a
+* :func:`execute_lru_trace` — the *naive* triple loop pushed through a
   word-granular LRU cache, for small n.  Shows the model does not depend on
   the program being clever: once n² ≫ M the naive ordering pays Θ(n³) I/O,
   strictly worse than tiling, while both respect the lower bound.  The
@@ -23,12 +23,20 @@ Two executions:
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.machine.cache import LRUCache
 from repro.machine.sequential import SequentialMachine
 
-__all__ = ["tiled_matmul", "largest_tile", "naive_matmul_lru_trace"]
+__all__ = [
+    "execute_tiled",
+    "execute_lru_trace",
+    "largest_tile",
+    "tiled_matmul",
+    "naive_matmul_lru_trace",
+]
 
 #: Fast-memory tiles a blocked multiply holds at once: A, B, C and the
 #: charged product scratch P (see module docstring).
@@ -49,7 +57,7 @@ def largest_tile(n: int, M: int) -> int:
     return best
 
 
-def tiled_matmul(
+def execute_tiled(
     machine: SequentialMachine,
     A: np.ndarray,
     B: np.ndarray,
@@ -146,7 +154,7 @@ def _shift_row_addrs(addrs: np.ndarray, n: int) -> np.ndarray:
     return shifted
 
 
-def naive_matmul_lru_trace(
+def execute_lru_trace(
     n: int, M: int, kernel: str = "auto", row_replay: bool = True
 ) -> dict[str, int]:
     """Naive i-j-k matmul address trace through an LRU cache of M words.
@@ -204,3 +212,25 @@ def naive_matmul_lru_trace(
         prev_state, prev_delta = (state_addrs, state_dirty), delta
     cache.flush()
     return cache.stats()
+
+
+def tiled_matmul(*args, **kwargs):
+    """Deprecated alias of :func:`execute_tiled`."""
+    warnings.warn(
+        "tiled_matmul is deprecated; use "
+        "repro.execution.execute_tiled or repro.schedule.run",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_tiled(*args, **kwargs)
+
+
+def naive_matmul_lru_trace(*args, **kwargs):
+    """Deprecated alias of :func:`execute_lru_trace`."""
+    warnings.warn(
+        "naive_matmul_lru_trace is deprecated; use "
+        "repro.execution.execute_lru_trace or repro.schedule.run",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_lru_trace(*args, **kwargs)

@@ -19,15 +19,21 @@ n²/P^{2/ω₀}.  Together they trace Theorem 1.1's max{·,·}.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.algorithms.bilinear import BilinearAlgorithm
 from repro.machine.sequential import SequentialMachine
-from repro.execution.recursive_bilinear import recursive_fast_matmul
+from repro.execution.recursive_bilinear import execute_recursive_bilinear
 
-__all__ = ["ParallelRunStats", "parallel_strassen_bfs"]
+__all__ = [
+    "ParallelRunStats",
+    "execute_parallel_bfs",
+    "simulate_bfs_comm",
+    "parallel_strassen_bfs",
+]
 
 
 @dataclass
@@ -66,7 +72,91 @@ def _block(Xs: np.ndarray, q: int, h: int) -> np.ndarray:
     return Xs[bi * h : (bi + 1) * h, bj * h : (bj + 1) * h]
 
 
-def parallel_strassen_bfs(
+def _bfs_levels(alg: BilinearAlgorithm, n: int, P: int) -> int:
+    """Validate (alg, n, P) and return the BFS recursion depth."""
+    if (alg.n, alg.m, alg.p) != (2, 2, 2):
+        raise ValueError("BFS parallel execution implemented for 2×2 base cases")
+    t = alg.t
+    levels = 0
+    pp = P
+    while pp > 1:
+        if pp % t != 0:
+            raise ValueError(f"P={P} is not a power of {t}")
+        pp //= t
+        levels += 1
+    if n % (2 ** levels) != 0:
+        raise ValueError(f"n={n} too small for {levels} BFS levels")
+    return levels
+
+
+def simulate_bfs_comm(
+    alg: BilinearAlgorithm,
+    n: int,
+    P: int,
+    emit=None,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Owner-map-only replay of the BFS execution's communication.
+
+    Tracks entry→processor maps through the same round-robin
+    redistribution as :func:`execute_parallel_bfs` without any numeric
+    data — communication is value-independent, so the (sent, received)
+    tallies are exactly the physical run's (certified by the execution
+    tests).  ``emit(level, l, label, words)``, when given, is called once
+    per redistribution that moves ≥1 word — the hook the Schedule IR
+    lowering uses to materialize COMM ops.
+
+    Returns ``(sent, received, levels)``.
+    """
+    levels = _bfs_levels(alg, n, P)
+    t = alg.t
+    sent = np.zeros(P, dtype=np.int64)
+    received = np.zeros(P, dtype=np.int64)
+
+    def charge(src: np.ndarray, dst: np.ndarray, level: int, l: int, label: str) -> None:
+        mask = src != dst
+        words = int(np.count_nonzero(mask))
+        if words:
+            np.add.at(sent, src[mask].ravel(), 1)
+            np.add.at(received, dst[mask].ravel(), 1)
+            if emit is not None:
+                emit(level, l, label, words)
+
+    def bfs(ownA: np.ndarray, ownB: np.ndarray, group: np.ndarray, s: int,
+            level: int) -> np.ndarray:
+        if len(group) == 1:
+            return np.full((s, s), group[0], dtype=np.int64)
+        h = s // 2
+        m = len(group) // t
+        child_own: list[np.ndarray] = []
+        for l in range(t):
+            subgroup = group[l * m : (l + 1) * m]
+            newA = _round_robin_owners(subgroup, (h, h))
+            for q in np.nonzero(alg.U[l])[0]:
+                charge(_block(ownA, int(q), h), newA, level, l, "encodeA")
+            newB = _round_robin_owners(subgroup, (h, h))
+            for q in np.nonzero(alg.V[l])[0]:
+                charge(_block(ownB, int(q), h), newB, level, l, "encodeB")
+            child_own.append(bfs(newA, newB, subgroup, h, level + 1))
+        ownC = _round_robin_owners(group, (s, s))
+        for q in range(4):
+            bi, bj = q // 2, q % 2
+            dst = ownC[bi * h : (bi + 1) * h, bj * h : (bj + 1) * h]
+            for l in np.nonzero(alg.W[q])[0]:
+                charge(child_own[int(l)], dst, level, int(l), "decode")
+        return ownC
+
+    all_procs = np.arange(P, dtype=np.int64)
+    bfs(
+        _round_robin_owners(all_procs, (n, n)),
+        _round_robin_owners(all_procs, (n, n)),
+        all_procs,
+        n,
+        0,
+    )
+    return sent, received, levels
+
+
+def execute_parallel_bfs(
     alg: BilinearAlgorithm,
     A: np.ndarray,
     B: np.ndarray,
@@ -161,10 +251,21 @@ def parallel_strassen_bfs(
         rng = np.random.default_rng(0)
         X = rng.standard_normal((local_n, local_n))
         Y = rng.standard_normal((local_n, local_n))
-        recursive_fast_matmul(mach, alg, X, Y, base_size=base_size)
+        execute_recursive_bilinear(mach, alg, X, Y, base_size=base_size)
         local_io = float(mach.io_operations)
 
     return C, ParallelRunStats(
         P=P, n=n, levels=levels, sent=sent, received=received,
         local_io_per_proc=local_io,
     )
+
+
+def parallel_strassen_bfs(*args, **kwargs):
+    """Deprecated alias of :func:`execute_parallel_bfs`."""
+    warnings.warn(
+        "parallel_strassen_bfs is deprecated; use "
+        "repro.execution.execute_parallel_bfs or repro.schedule.run",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_parallel_bfs(*args, **kwargs)

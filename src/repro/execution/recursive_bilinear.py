@@ -13,7 +13,7 @@ I/O recurrence:  IO(s) = t·IO(s/d) + c_lin·(s/d)²,  IO(s₀) = 3s₀² at the
 cutoff, giving the Θ((n/√M)^{ω₀}·M) upper bound whose measured constants
 the benches compare across Strassen / Winograd / Karstadt–Schwartz.
 
-Level-replay mode (``recursive_fast_matmul(..., level_replay=True)``)
+Level-replay mode (``execute_recursive_bilinear(..., level_replay=True)``)
 exploits that the t sub-problems of a level are isomorphic: their I/O is
 value-independent and identical, so the machine executes the encoders for
 every l (their cost varies with nnz(U[l]), nnz(V[l])), recurses into
@@ -26,12 +26,18 @@ from Θ(tᴸ) recursive calls to Θ(L·t) at depth L.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.algorithms.bilinear import BilinearAlgorithm
 from repro.machine.sequential import SequentialMachine
 
-__all__ = ["recursive_fast_matmul", "stream_linear_combination"]
+__all__ = [
+    "execute_recursive_bilinear",
+    "stream_linear_combination",
+    "recursive_fast_matmul",
+]
 
 
 def stream_linear_combination(
@@ -168,7 +174,7 @@ def _mult(
         machine.drop_slow(ml)
 
 
-def recursive_fast_matmul(
+def execute_recursive_bilinear(
     machine: SequentialMachine,
     alg: BilinearAlgorithm,
     A: np.ndarray,
@@ -225,3 +231,14 @@ def recursive_fast_matmul(
                 f"level-replay counters diverge from full execution: {mismatches}"
             )
     return None
+
+
+def recursive_fast_matmul(*args, **kwargs):
+    """Deprecated alias of :func:`execute_recursive_bilinear`."""
+    warnings.warn(
+        "recursive_fast_matmul is deprecated; use "
+        "repro.execution.execute_recursive_bilinear or repro.schedule.run",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_recursive_bilinear(*args, **kwargs)

@@ -21,8 +21,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.bilinear import BilinearAlgorithm
-from repro.execution.classical_tiled import tiled_matmul
-from repro.execution.recursive_bilinear import recursive_fast_matmul
+from repro.execution.classical_tiled import execute_tiled
+from repro.execution.recursive_bilinear import execute_recursive_bilinear
 from repro.machine.sequential import SequentialMachine
 
 __all__ = [
@@ -38,7 +38,7 @@ def tiled_matmul_write_profile(n: int, M: int, seed: int = 0) -> dict[str, float
     A = rng.standard_normal((n, n))
     B = rng.standard_normal((n, n))
     machine = SequentialMachine(M)
-    C = tiled_matmul(machine, A, B)
+    C = execute_tiled(machine, A, B)
     assert np.allclose(C, A @ B)
     return {
         "reads": float(machine.words_read),
@@ -55,7 +55,7 @@ def recursive_fast_write_profile(
     A = rng.standard_normal((n, n))
     B = rng.standard_normal((n, n))
     machine = SequentialMachine(M)
-    C = recursive_fast_matmul(machine, alg, A, B)
+    C = execute_recursive_bilinear(machine, alg, A, B)
     assert np.allclose(C, A @ B)
     return {
         "reads": float(machine.words_read),

@@ -4,10 +4,10 @@ The repository counts I/O along three families of fast paths, each certified
 against a slow reference:
 
 * **level-replay** — :func:`repro.execution.recursive_bilinear.
-  recursive_fast_matmul` (and the tiled-classical / ABMM analogues) execute
-  one isomorphic sub-problem per level and charge the rest in O(1);
+  execute_recursive_bilinear` (and the tiled-classical / ABMM analogues)
+  execute one isomorphic sub-problem per level and charge the rest in O(1);
 * **row-replay** — :func:`repro.execution.classical_tiled.
-  naive_matmul_lru_trace` detects the periodic LRU state and charges the
+  execute_lru_trace` detects the periodic LRU state and charges the
   remaining rows in O(1), with a vectorized kernel cross-checked against
   the scalar reference;
 * **the pebbling-game counter** — :func:`repro.pebbling.game.
@@ -41,6 +41,8 @@ __all__ = [
     "localize_event_divergence",
     "localize_row_divergence",
     "localize_move_divergence",
+    "localize_op_divergence",
+    "localize_symbolic_divergence",
 ]
 
 
@@ -49,7 +51,10 @@ class DifferentialProbe:
     """One point to push through every counting path: a kind + params.
 
     Kinds: ``level_replay`` (params: alg, n, M), ``row_replay`` (params:
-    n, M), ``pebble`` (params: family, M, scheduler, family params).
+    n, M), ``pebble`` (params: family, M, scheduler, family params),
+    ``backend`` (params: workload, alg, n, M — the same point through the
+    reference/vector/symbolic Schedule-IR backends and the physical
+    machine executor).
     """
 
     kind: str
@@ -243,6 +248,72 @@ def localize_move_divergence(schedule, M: int) -> dict | None:
     return None
 
 
+def localize_op_divergence(ir) -> dict | None:
+    """First IR op where the vector and scalar per-op ledgers separate.
+
+    Walks the op list with an independent scalar implementation of the
+    effective read/write semantics (REPLAY spans resolved in index
+    order) and compares op-for-op against the vector backend's array
+    computation (:func:`repro.schedule.vector.effective_rw`).  Returns
+    ``None`` on full agreement, else the first divergent op.
+    """
+    from repro.schedule.ir import OpKind
+    from repro.schedule.vector import effective_rw
+
+    scalar_r = [0] * len(ir.ops)
+    scalar_w = [0] * len(ir.ops)
+    for i, op in enumerate(ir.ops):
+        if op.kind is OpKind.LOAD:
+            scalar_r[i] = int(op.words)
+        elif op.kind is OpKind.STORE:
+            scalar_w[i] = int(op.words)
+        elif op.kind is OpKind.REPLAY:
+            a, b = op.span
+            scalar_r[i] = sum(scalar_r[a:b]) * op.repeats
+            scalar_w[i] = sum(scalar_w[a:b]) * op.repeats
+    vec_r, vec_w = effective_rw(ir)
+    for i, op in enumerate(ir.ops):
+        if scalar_r[i] != int(vec_r[i]) or scalar_w[i] != int(vec_w[i]):
+            return {
+                "where": "op",
+                "index": i,
+                "op": op.to_dict(),
+                "scalar": {"reads": scalar_r[i], "writes": scalar_w[i]},
+                "vector": {"reads": int(vec_r[i]), "writes": int(vec_w[i])},
+            }
+    return None
+
+
+def localize_symbolic_divergence(alg, n: int, M: int) -> dict | None:
+    """Smallest problem size at which symbolic counts diverge from reference.
+
+    Walks sizes 2, 4, …, n (skipping sizes the workload rejects) and
+    compares the closed-form counts against the interpreted IR of the
+    same spec — the smallest divergent size names the recurrence level
+    where Lemma 2.2's self-similarity assumption broke.
+    """
+    from repro import schedule as _schedule
+
+    s = 2
+    while s <= n:
+        try:
+            spec = _schedule.seq_io_schedule(alg, s, M)
+            ref = _schedule.run(spec, backend="reference").counter_view()
+            sym = _schedule.run(spec, backend="symbolic").counter_view()
+        except Exception:
+            s *= 2
+            continue
+        if ref != sym:
+            return {
+                "where": "size",
+                "index": s,
+                "reference": ref,
+                "symbolic": sym,
+            }
+        s *= 2
+    return None
+
+
 # --------------------------------------------------------------------- #
 # probes
 # --------------------------------------------------------------------- #
@@ -321,14 +392,14 @@ def _run_level_replay_probe(probe: DifferentialProbe) -> ProbeOutcome:
 
 def _run_row_replay_probe(probe: DifferentialProbe) -> ProbeOutcome:
     """lru_trace through row-replay, full-vector, and full-scalar paths."""
-    from repro.execution.classical_tiled import naive_matmul_lru_trace
+    from repro.execution.classical_tiled import execute_lru_trace
 
     n, M = probe.params["n"], probe.params["M"]
     keys = ("hits", "misses", "writebacks", "io")
     views = {
-        "row_replay": naive_matmul_lru_trace(n, M, kernel="vector", row_replay=True),
-        "full_vector": naive_matmul_lru_trace(n, M, kernel="vector", row_replay=False),
-        "full_scalar": naive_matmul_lru_trace(n, M, kernel="scalar", row_replay=False),
+        "row_replay": execute_lru_trace(n, M, kernel="vector", row_replay=True),
+        "full_vector": execute_lru_trace(n, M, kernel="vector", row_replay=False),
+        "full_scalar": execute_lru_trace(n, M, kernel="scalar", row_replay=False),
     }
     counters = {
         name: {k: int(stats[k]) for k in keys} for name, stats in views.items()
@@ -412,18 +483,84 @@ def _run_pebble_probe(probe: DifferentialProbe) -> ProbeOutcome:
     return ProbeOutcome(probe=probe, counters=counters, agree=agree, divergence=divergence)
 
 
+def _run_backend_probe(probe: DifferentialProbe) -> ProbeOutcome:
+    """One workload through every IR backend plus the physical executor.
+
+    The cross-checked set: reference (machine-charged op walk), vector
+    (array passes), symbolic (closed forms — seq_io/lru_trace only), and
+    the physical machine execution the IR was lowered from.  Exact
+    equality of counter views, with two localizers: per-op (reference's
+    scalar ledger vs the vector arrays) and per-size (smallest s where
+    symbolic leaves the interpreted counts).
+    """
+    from repro import schedule as _schedule
+    from repro.schedule.ir import BackendUnsupported
+
+    workload = probe.params.get("workload", "seq_io")
+    n, M = probe.params["n"], probe.params["M"]
+    if workload == "seq_io":
+        alg = probe.params.get("alg")
+        spec = _schedule.seq_io_schedule(alg, n, M, replay=True)
+        keys = None  # counter_view
+    elif workload == "lru_trace":
+        alg = None
+        spec = _schedule.lru_trace_schedule(n, M)
+        keys = ("hits", "misses", "writebacks", "io")
+    else:
+        raise KeyError(f"unknown backend probe workload {workload!r}")
+
+    counters: dict[str, dict] = {}
+    wanted = probe.params.get("backends")
+    for backend in sorted(_schedule.BACKENDS) if wanted is None else wanted:
+        try:
+            report = _schedule.run(spec, backend=backend)
+        except BackendUnsupported:
+            continue
+        if keys is None:
+            counters[backend] = report.counter_view()
+        else:
+            counters[backend] = {k: int(report.metrics[k]) for k in keys}
+
+    from repro.engine.runners import execute_point, lru_trace_point, seq_io_point
+
+    if workload == "seq_io":
+        metrics_p, _, _ = execute_point(seq_io_point(alg, n, M, replay=True).to_dict())
+        counters["machine"] = _seq_counter_view(metrics_p)
+    else:
+        metrics_p, _, _ = execute_point(lru_trace_point(n, M).to_dict())
+        counters["machine"] = {k: int(metrics_p[k]) for k in keys}
+
+    agree = len({tuple(sorted(c.items())) for c in counters.values()}) == 1
+    divergence = None
+    if not agree:
+        if workload == "seq_io":
+            if counters.get("reference") != counters.get("vector"):
+                divergence = localize_op_divergence(spec.lower())
+            if divergence is None and counters.get("symbolic") is not None:
+                divergence = localize_symbolic_divergence(alg, n, M)
+        else:
+            divergence = localize_row_divergence(n, M)
+        divergence = divergence or {"where": "totals", "counters": counters}
+    return ProbeOutcome(probe=probe, counters=counters, agree=agree, divergence=divergence)
+
+
 _PROBE_RUNNERS = {
     "level_replay": _run_level_replay_probe,
     "row_replay": _run_row_replay_probe,
     "pebble": _run_pebble_probe,
+    "backend": _run_backend_probe,
 }
 
 
-def default_probes() -> list[DifferentialProbe]:
+def default_probes(backend: str | None = None) -> list[DifferentialProbe]:
     """The default sweep grid: every counting family, every execution kind.
 
     Sized for tier-1: full executions stay at n ≤ 32, the scalar LRU
     reference at n ≤ 16, the pebbling CDAGs at ≤ a few hundred vertices.
+
+    ``backend`` restricts the *backend* probes to cross-checking that one
+    backend against the physical machine executor (the CLI's
+    ``falsify --backend``); None compares every backend.
     """
     probes: list[DifferentialProbe] = []
     for alg, n, M in (
@@ -457,6 +594,27 @@ def default_probes() -> list[DifferentialProbe]:
             ),
         ]
     )
+    extra = {} if backend is None else {"backends": [backend]}
+    for alg, n, M in (
+        ("strassen", 16, 48),
+        ("strassen", 32, 256),
+        ("winograd", 16, 128),
+        ("karstadt_schwartz", 32, 256),
+        ("classical", 16, 64),
+        (None, 32, 300),
+    ):
+        probes.append(
+            DifferentialProbe(
+                "backend",
+                {"workload": "seq_io", "alg": alg, "n": n, "M": M, **extra},
+            )
+        )
+    for n, M in ((8, 16), (16, 32)):
+        probes.append(
+            DifferentialProbe(
+                "backend", {"workload": "lru_trace", "n": n, "M": M, **extra}
+            )
+        )
     return probes
 
 

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.algorithms.bilinear import BilinearAlgorithm
 from repro.bounds.formulas import OMEGA0_STRASSEN, fast_memory_independent
-from repro.execution.parallel_strassen import parallel_strassen_bfs
+from repro.execution.parallel_strassen import execute_parallel_bfs
 
 __all__ = ["MemoryIndependentAudit", "check_memory_independent"]
 
@@ -64,7 +64,7 @@ def check_memory_independent(
     rng = np.random.default_rng(seed)
     A = rng.standard_normal((n, n))
     B = rng.standard_normal((n, n))
-    C, stats = parallel_strassen_bfs(alg, A, B, P=P)
+    C, stats = execute_parallel_bfs(alg, A, B, P=P)
     if not np.allclose(C, A @ B):
         raise AssertionError("parallel execution produced a wrong product")
     r = n / P ** (1.0 / OMEGA0_STRASSEN)

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.basis.abmm import AlternativeBasisAlgorithm
 from repro.bounds.formulas import fast_sequential
-from repro.execution.abmm_exec import abmm_machine_multiply
+from repro.execution.abmm_exec import execute_abmm
 from repro.machine.sequential import SequentialMachine
 from repro.lemmas.lemma31 import check_lemma31
 from repro.lemmas.lemma32_33 import check_lemma32, check_lemma33
@@ -47,7 +47,7 @@ def check_theorem41(
         A = rng.standard_normal((n, n))
         B = rng.standard_normal((n, n))
         machine = SequentialMachine(M)
-        C, phases = abmm_machine_multiply(machine, alt, A, B)
+        C, phases = execute_abmm(machine, alt, A, B)
         if not np.allclose(C, A @ B):
             raise AssertionError(f"ABMM produced a wrong product at n={n}")
         if phases["io_total"] < fast_sequential(n, M) * 1e-9:

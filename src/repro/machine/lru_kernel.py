@@ -5,7 +5,7 @@ addresses touched since the previous access to the same address is < M,
 and hits/misses have no feedback on the recency order (the cache content
 is always the M most-recently-used distinct addresses).  The whole batch
 can therefore be classified offline with array passes instead of a
-per-word Python loop — the speedup that lets ``naive_matmul_lru_trace``
+per-word Python loop — the speedup that lets ``execute_lru_trace``
 reach n in the hundreds.
 
 For access t with previous occurrence p = prev[t], the stack distance is

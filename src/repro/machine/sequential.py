@@ -320,6 +320,79 @@ class SequentialMachine:
                 }
             )
 
+    def consume_ir(self, ir) -> dict:
+        """Charge a lowered :class:`repro.schedule.ir.ScheduleIR` op stream.
+
+        This is the machine as an IR interpreter: every LOAD/STORE/ALLOC/
+        FREE op goes through the same capacity check, counters, registry
+        publications, and trace hooks as the physical executors' calls,
+        and REPLAY expansion records route through
+        :meth:`charge_replayed_io` with their span's resolved (reads,
+        writes) — nested replays included, since spans resolve in
+        increasing index order.  Counting-only: no arrays move, so
+        ``self.fast`` stays empty (skip :meth:`assert_invariant` while a
+        consumed schedule holds words).
+
+        Returns this call's metrics delta: reads, writes, io, peak_fast,
+        and per-tag I/O sums under ``"tags"`` when the IR carries phase
+        tags.
+        """
+        from repro.schedule.ir import OpKind
+
+        r0, w0 = self.words_read, self.words_written
+        op_reads: list[int] = []
+        op_writes: list[int] = []
+        tag_io: dict[str, int] = {}
+        for i, op in enumerate(ir.ops):
+            r = w = 0
+            if op.kind is OpKind.LOAD:
+                self._charge_alloc(op.words)
+                self.words_read += op.words
+                r = op.words
+                _publish_transfer("load", op.name, op.words)
+            elif op.kind is OpKind.STORE:
+                self.words_written += op.words
+                w = op.words
+                _publish_transfer("store", op.name, op.words)
+            elif op.kind is OpKind.ALLOC:
+                self._charge_alloc(op.words)
+            elif op.kind is OpKind.FREE:
+                if op.words > self.fast_words:
+                    raise FastMemoryOverflow(
+                        f"op {i}: FREE of {op.words} words with only "
+                        f"{self.fast_words} resident"
+                    )
+                self.fast_words -= op.words
+            elif op.kind is OpKind.REPLAY:
+                a, b = op.span
+                rr = sum(op_reads[a:b])
+                ww = sum(op_writes[a:b])
+                self.charge_replayed_io(rr, ww, op.repeats,
+                                        label=op.name or "replay")
+                r = rr * op.repeats
+                w = ww * op.repeats
+            elif op.kind is OpKind.COMPUTE:
+                pass
+            else:
+                raise ValueError(
+                    f"op {i}: {op.kind.value!r} is not a sequential-machine op"
+                )
+            op_reads.append(r)
+            op_writes.append(w)
+            if op.tag is not None and (r or w):
+                tag_io[op.tag] = tag_io.get(op.tag, 0) + r + w
+        reads = self.words_read - r0
+        writes = self.words_written - w0
+        metrics = {
+            "reads": reads,
+            "writes": writes,
+            "io": reads + writes,
+            "peak_fast": self.peak_fast_words,
+        }
+        if tag_io:
+            metrics["tags"] = tag_io
+        return metrics
+
     @property
     def io_operations(self) -> int:
         """Total words moved (the paper's unit-cost I/O count)."""

@@ -15,6 +15,7 @@ __all__ = [
     "Schedule",
     "PebbleCost",
     "validate_schedule",
+    "validate_ir",
     "schedule_io",
     "add_trace_hook",
     "remove_trace_hook",
@@ -177,6 +178,47 @@ def validate_schedule(
     if _TRACE_HOOKS:
         _emit({"event": "pebble.validated", **stats})
     return stats
+
+
+#: IR op kind value → pebbling move kind (the inverse of the lowering's
+#: map; FREE is the IR spelling of EVICT).
+_IR_MOVE_KINDS = {
+    "load": MoveKind.LOAD,
+    "store": MoveKind.STORE,
+    "compute": MoveKind.COMPUTE,
+    "free": MoveKind.EVICT,
+}
+
+
+def validate_ir(
+    ir,
+    M: int,
+    allow_recompute: bool = True,
+    cost: PebbleCost = PebbleCost(),
+) -> dict[str, float]:
+    """Walk a ``pebble``-kind :class:`repro.schedule.ir.ScheduleIR` under
+    the game rules — the IR entry of the validator.
+
+    Each op maps 1:1 back to a move (the vertex rides in ``op.index``,
+    the CDAG in ``ir.meta["cdag"]``), and the walk runs through the same
+    rules engine as :func:`validate_schedule`, so IR-counted schedules
+    can never drift from move-list-counted ones.
+    """
+    cdag = ir.meta.get("cdag")
+    if cdag is None:
+        raise ValueError(
+            "pebble IR is missing its CDAG (ir.meta['cdag']); "
+            "re-lower from the spec"
+        )
+    schedule = Schedule(cdag=cdag)
+    for i, op in enumerate(ir.ops):
+        kind = _IR_MOVE_KINDS.get(op.kind.value)
+        if kind is None:
+            raise ScheduleError(
+                f"op {i}: {op.kind.value!r} is not a pebbling move"
+            )
+        schedule.append(kind, int(op.index))
+    return validate_schedule(schedule, M, allow_recompute=allow_recompute, cost=cost)
 
 
 def schedule_io(schedule: Schedule, cost: PebbleCost = PebbleCost()) -> float:

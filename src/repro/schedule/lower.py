@@ -1,0 +1,310 @@
+"""Lowering: from workload specs to the flat Schedule IR.
+
+Every lowering here is a *structural mirror* of the corresponding machine
+executor: it emits exactly the op sequence the executor's machine calls
+would produce — same chunking, same buffer lifetimes, same replay
+boundaries — without touching numpy data.  The contract (checked by the
+differential harness and tests/schedule/test_lowering.py) is:
+
+    interpreting the lowered IR with the reference backend produces
+    *word-identical* (reads, writes, peak_fast) to running the physical
+    executor on a :class:`~repro.machine.sequential.SequentialMachine`.
+
+The mirrors:
+
+* ``seq_io`` / variant ``recursive`` — :func:`repro.execution.
+  recursive_bilinear.execute_recursive_bilinear` (DFS with streamed
+  linear combinations; level-replay emits REPLAY expansion records);
+* ``seq_io`` / variant ``tiled`` — :func:`repro.execution.
+  classical_tiled.execute_tiled` (blocked classical, C-tile replay);
+* ``seq_io`` / variant ``abmm`` — :func:`repro.execution.abmm_exec.
+  execute_abmm` (basis transforms + the shared bilinear recursion);
+* ``lru_trace`` — one TRACE op per i-row of the naive matmul trace;
+* ``pebble`` — a 1:1 move translation of a red-blue pebbling schedule;
+* ``parallel_comm`` — owner-map simulation of the BFS-parallel execution
+  emitting one COMM op per (level, product, operand) redistribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schedule.ir import Op, OpKind, ScheduleIR
+from repro.schedule.spec import ScheduleSpec
+
+__all__ = ["lower", "lower_seq_io", "lower_lru_trace", "lower_pebble",
+           "lower_parallel_comm"]
+
+
+def lower(spec: ScheduleSpec) -> ScheduleIR:
+    """Dispatch a spec to its lowering; returns a validated ScheduleIR."""
+    if spec.kind == "seq_io":
+        ir = lower_seq_io(spec)
+    elif spec.kind == "lru_trace":
+        ir = lower_lru_trace(spec)
+    elif spec.kind == "pebble":
+        ir = lower_pebble(spec)
+    elif spec.kind == "parallel_comm":
+        ir = lower_parallel_comm(spec)
+    else:
+        raise KeyError(f"no lowering for workload kind {spec.kind!r}")
+    ir.validate()
+    return ir
+
+
+# --------------------------------------------------------------------- #
+# seq_io: streamed linear combinations (mirror of stream_linear_combination)
+# --------------------------------------------------------------------- #
+def _lower_stream(
+    ir: ScheduleIR,
+    n_sources: int,
+    h: int,
+    M: int,
+    level: int,
+    reserve: int = 0,
+    tag: str | None = None,
+) -> None:
+    """Mirror of ``stream_linear_combination``: chunked dst = Σ coeff·src.
+
+    Emits, per chunk: ALLOC acc, (LOAD src, FREE src) × n_sources,
+    STORE acc, FREE acc — the exact buffer lifetime of the machine
+    version, so peak fast-memory matches word-for-word.
+    """
+    if n_sources == 0:
+        raise ValueError("empty linear combination")
+    chunk_words = (M - reserve) // 2
+    if chunk_words < 1:
+        raise MemoryError(
+            f"M={M} too small to stream {n_sources}-term combinations"
+        )
+    rows_budget = max(1, chunk_words // h)
+    cols_budget = h if chunk_words >= h else chunk_words
+    r = 0
+    while r < h:
+        rows = min(rows_budget, h - r)
+        c = 0
+        while c < h:
+            cols = min(cols_budget, h - c)
+            words = rows * cols
+            ir.emit(OpKind.ALLOC, "_acc", words, level, tag=tag)
+            for _ in range(n_sources):
+                ir.emit(OpKind.LOAD, "_src", words, level, tag=tag)
+                ir.emit(OpKind.FREE, "_src", words, level, tag=tag)
+            ir.emit(OpKind.STORE, "_acc", words, level, tag=tag)
+            ir.emit(OpKind.FREE, "_acc", words, level, tag=tag)
+            c += cols
+        r += rows
+
+
+def _lower_mult(
+    ir: ScheduleIR,
+    alg,
+    s: int,
+    M: int,
+    base_size: int,
+    level: int,
+    replay: bool,
+    tag: str | None = None,
+) -> None:
+    """Mirror of ``recursive_bilinear._mult`` (the shared DFS recursion)."""
+    if 3 * s * s <= M and s <= base_size:
+        ir.emit(OpKind.LOAD, "_a", s * s, level, tag=tag)
+        ir.emit(OpKind.LOAD, "_b", s * s, level, tag=tag)
+        ir.emit(OpKind.ALLOC, "_c", s * s, level, tag=tag)
+        ir.emit(OpKind.COMPUTE, "matmul", 0, level, tag=tag)
+        ir.emit(OpKind.STORE, "_c", s * s, level, tag=tag)
+        ir.emit(OpKind.FREE, "_a", s * s, level, tag=tag)
+        ir.emit(OpKind.FREE, "_b", s * s, level, tag=tag)
+        ir.emit(OpKind.FREE, "_c", s * s, level, tag=tag)
+        return
+    d = alg.n
+    if s % d != 0:
+        raise ValueError(f"problem size {s} not divisible by base dimension {d}")
+    h = s // d
+    sub_span: tuple[int, int] | None = None
+    for l in range(alg.t):
+        _lower_stream(ir, int(np.count_nonzero(alg.U[l])), h, M, level, tag=tag)
+        _lower_stream(ir, int(np.count_nonzero(alg.V[l])), h, M, level, tag=tag)
+        if replay and sub_span is not None:
+            # Isomorphic to the measured sub-problem (Lemma 2.2): expand by
+            # reference instead of lowering another copy of the subtree.
+            ir.emit(OpKind.REPLAY, f"M{l}", 0, level, index=l,
+                    span=sub_span, repeats=1, tag=tag)
+        else:
+            i0 = len(ir.ops)
+            _lower_mult(ir, alg, h, M, base_size, level + 1, replay, tag=tag)
+            if replay:
+                sub_span = (i0, len(ir.ops))
+    for q in range(d * d):
+        _lower_stream(ir, int(np.count_nonzero(alg.W[q])), h, M, level, tag=tag)
+
+
+def _lower_tiled(ir: ScheduleIR, n: int, M: int, replay: bool) -> None:
+    """Mirror of ``classical_tiled.execute_tiled`` (blocked classical)."""
+    from repro.execution.classical_tiled import TILE_FOOTPRINT, largest_tile
+
+    b = largest_tile(n, M)
+    if n % b != 0 or TILE_FOOTPRINT * b * b > M:
+        raise ValueError(f"invalid tile size {b} for n={n}, M={M}")
+    q = n // b
+    w = b * b
+    ir.emit(OpKind.ALLOC, "Pt", w, 0)
+    pass_span: tuple[int, int] | None = None
+    for i in range(q):
+        for j in range(q):
+            if replay and pass_span is not None:
+                ir.emit(OpKind.REPLAY, "Ct", 0, 0, index=i * q + j,
+                        span=pass_span, repeats=1)
+                continue
+            i0 = len(ir.ops)
+            ir.emit(OpKind.ALLOC, "Ct", w, 0, index=i * q + j)
+            for _k in range(q):
+                ir.emit(OpKind.LOAD, "At", w, 0)
+                ir.emit(OpKind.LOAD, "Bt", w, 0)
+                ir.emit(OpKind.COMPUTE, "matmul", 0, 0)
+                ir.emit(OpKind.FREE, "At", w, 0)
+                ir.emit(OpKind.FREE, "Bt", w, 0)
+            ir.emit(OpKind.STORE, "Ct", w, 0, index=i * q + j)
+            ir.emit(OpKind.FREE, "Ct", w, 0)
+            pass_span = (i0, len(ir.ops))
+    ir.emit(OpKind.FREE, "Pt", w, 0)
+
+
+def _lower_basis_transform(
+    ir: ScheduleIR, n: int, phi: np.ndarray, stop: int, M: int, tag: str
+) -> None:
+    """Mirror of ``abmm_exec.machine_basis_transform`` (streamed levels)."""
+    from repro.util.checks import check_power_of_two
+
+    check_power_of_two(n, "n")
+    phi = np.asarray(phi)
+    d = 2
+    s = n
+    level = 0
+    while s > stop and s >= d:
+        h = s // d
+        blocks_per_side = n // s
+        for _bi in range(blocks_per_side):
+            for _bj in range(blocks_per_side):
+                for q2 in range(d * d):
+                    _lower_stream(
+                        ir, int(np.count_nonzero(phi[q2])), h, M, level, tag=tag
+                    )
+        s = h
+        level += 1
+
+
+def abmm_stop_size(n: int, M: int, base_size: int | None) -> int:
+    """The ABMM cutoff: largest power-of-two s with 3s² ≤ M (≤ base_size)."""
+    stop = n
+    while stop > 1 and (3 * stop * stop > M or (base_size and stop > base_size)):
+        stop //= 2
+    if 3 * stop * stop > M:
+        raise MemoryError(f"M={M} cannot hold even a {stop}×{stop} base case")
+    return stop
+
+
+def _lower_abmm(
+    ir: ScheduleIR, alt, n: int, M: int, base_size: int | None, replay: bool
+) -> None:
+    """Mirror of ``abmm_exec.execute_abmm`` (transforms + bilinear core)."""
+    from repro.basis.transform import invert_base_transform
+
+    stop = abmm_stop_size(n, M, base_size)
+    _lower_basis_transform(ir, n, alt.phi, stop, M, tag="transform_forward")
+    _lower_basis_transform(ir, n, alt.psi, stop, M, tag="transform_forward")
+    _lower_mult(ir, alt.core, n, M, stop, 0, replay, tag="bilinear")
+    nu_inv = invert_base_transform(alt.nu)
+    _lower_basis_transform(ir, n, nu_inv, stop, M, tag="transform_inverse")
+
+
+def lower_seq_io(spec: ScheduleSpec) -> ScheduleIR:
+    """Lower a sequential out-of-core matmul workload."""
+    p = spec.params
+    n, M = p["n"], p["M"]
+    variant = p.get("variant", "recursive")
+    replay = bool(p.get("replay", True))
+    base_size = p.get("base_size")
+    ir = ScheduleIR(kind="seq_io", params=dict(p))
+    if variant == "tiled":
+        _lower_tiled(ir, n, M, replay)
+    elif variant == "abmm":
+        _lower_abmm(ir, spec.payload["alg"], n, M, base_size, replay)
+    elif variant == "recursive":
+        alg = spec.payload["alg"]
+        if not alg.is_square:
+            raise ValueError("recursive execution requires a square base case")
+        _lower_mult(ir, alg, n, M, n if base_size is None else base_size, 0, replay)
+    else:
+        raise KeyError(f"unknown seq_io variant {variant!r}")
+    return ir
+
+
+# --------------------------------------------------------------------- #
+# lru_trace
+# --------------------------------------------------------------------- #
+def lower_lru_trace(spec: ScheduleSpec) -> ScheduleIR:
+    """One TRACE op per i-row of the naive matmul trace (3n² accesses)."""
+    n = spec.params["n"]
+    ir = ScheduleIR(kind="lru_trace", params=dict(spec.params))
+    for i in range(n):
+        ir.emit(OpKind.TRACE, "row", 3 * n * n, 0, index=i)
+    return ir
+
+
+# --------------------------------------------------------------------- #
+# pebble
+# --------------------------------------------------------------------- #
+def lower_pebble(spec: ScheduleSpec) -> ScheduleIR:
+    """1:1 translation of a red-blue pebbling move list into IR ops.
+
+    LOAD/STORE moves carry one word each; COMPUTE keeps the vertex in
+    ``index``; EVICT becomes FREE.  The CDAG rides in ``ir.meta`` so the
+    validator (:func:`repro.pebbling.game.validate_ir`) can walk the IR
+    under the game rules.
+    """
+    from repro.pebbling.game import MoveKind
+
+    sched = spec.payload["schedule"]
+    ir = ScheduleIR(kind="pebble", params=dict(spec.params))
+    kind_map = {
+        MoveKind.LOAD: OpKind.LOAD,
+        MoveKind.STORE: OpKind.STORE,
+        MoveKind.COMPUTE: OpKind.COMPUTE,
+        MoveKind.EVICT: OpKind.FREE,
+    }
+    for m in sched.moves:
+        words = 1 if m.kind in (MoveKind.LOAD, MoveKind.STORE) else 0
+        ir.emit(kind_map[m.kind], m.kind.value, words, 0, index=int(m.v))
+    ir.meta["cdag"] = sched.cdag
+    return ir
+
+
+# --------------------------------------------------------------------- #
+# parallel_comm (owner-map simulation; value-independent)
+# --------------------------------------------------------------------- #
+def lower_parallel_comm(spec: ScheduleSpec) -> ScheduleIR:
+    """Owner-map mirror of the BFS-parallel execution's communication.
+
+    Replays the round-robin redistribution of
+    :func:`repro.execution.parallel_strassen.execute_parallel_bfs` tracking
+    only entry→owner maps (no numeric data), emitting one COMM op per
+    (level, product, operand/output) redistribution whose ``words`` is the
+    number of entries that change processor.  Per-processor sent/received
+    tallies land in ``ir.meta`` — they are exactly the physical
+    execution's, certified by tests/schedule/test_backends.py.
+    """
+    from repro.execution.parallel_strassen import simulate_bfs_comm
+
+    alg = spec.payload["alg"]
+    n, P = spec.params["n"], spec.params["P"]
+    ir = ScheduleIR(kind="parallel_comm", params=dict(spec.params))
+
+    def emit(level: int, l: int, label: str, words: int) -> None:
+        ir.emit(OpKind.COMM, label, words, level, index=l)
+
+    sent, received, levels = simulate_bfs_comm(alg, n, P, emit=emit)
+    ir.meta["sent"] = sent
+    ir.meta["received"] = received
+    ir.meta["levels"] = levels
+    return ir

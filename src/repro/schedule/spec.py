@@ -1,0 +1,206 @@
+"""Workload specs: the lazy front half of the Schedule IR.
+
+A :class:`ScheduleSpec` names a workload (the same vocabulary as the
+engine's experiment points) without materializing its op stream.  The
+reference and vector backends call :meth:`ScheduleSpec.lower` to get a
+:class:`~repro.schedule.ir.ScheduleIR`; the symbolic backend consumes the
+spec directly and never materializes ops at all — which is what lets it
+count an n = 4096 sweep point in milliseconds where the explicit-CDAG
+path caps out near n ≈ 32.
+
+Builders
+--------
+``seq_io_schedule``      out-of-core matmul (tiled classical, recursive
+                         bilinear DFS, or ABMM — selected by ``alg``)
+``lru_trace_schedule``   the naive-matmul address trace through an LRU cache
+``pebble_schedule``      a red-blue pebbling move list (wraps a live
+                         :class:`repro.pebbling.game.Schedule`)
+``parallel_comm_schedule``  BFS-parallel fast matmul communication
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ScheduleSpec",
+    "seq_io_schedule",
+    "lru_trace_schedule",
+    "pebble_schedule",
+    "parallel_comm_schedule",
+    "spec_from_params",
+]
+
+
+@dataclass
+class ScheduleSpec:
+    """One lowerable workload: a kind, JSON-safe params, live payloads.
+
+    ``params`` is cache-key-safe (the engine reuses it verbatim);
+    ``payload`` holds resolved live objects (algorithms, pebbling
+    schedules, CDAGs) that lowering needs but serialization must not see.
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+    payload: dict = field(default_factory=dict)
+
+    def label(self) -> str:
+        inner = ",".join(
+            f"{k}={v}" for k, v in sorted(self.params.items()) if k != "alg_spec"
+        )
+        return f"{self.kind}({inner})"
+
+    def lower(self):
+        """Materialize the op stream (see :mod:`repro.schedule.lower`)."""
+        from repro.schedule.lower import lower
+
+        return lower(self)
+
+
+def _resolve_seq_alg(alg):
+    """Classify a seq_io algorithm reference → (variant, live object).
+
+    Variants: ``tiled`` (classical blocked), ``abmm`` (alternative basis),
+    ``recursive`` (any square bilinear algorithm).
+    """
+    from repro.basis.abmm import AlternativeBasisAlgorithm
+
+    if alg is None:
+        return "tiled", None
+    if alg == "karstadt_schwartz":
+        from repro.basis import karstadt_schwartz
+
+        return "abmm", karstadt_schwartz()
+    if isinstance(alg, AlternativeBasisAlgorithm):
+        return "abmm", alg
+    if isinstance(alg, str):
+        from repro.engine.runners import resolve_algorithm
+
+        return "recursive", resolve_algorithm(alg)
+    if hasattr(alg, "U"):
+        return "recursive", alg
+    raise TypeError(f"cannot interpret algorithm reference {alg!r}")
+
+
+def seq_io_schedule(
+    alg,
+    n: int,
+    M: int,
+    replay: bool = True,
+    base_size: int | None = None,
+) -> ScheduleSpec:
+    """Sequential out-of-core matmul I/O: alg None = tiled classical,
+    "karstadt_schwartz" / an AlternativeBasisAlgorithm = ABMM, anything
+    else (including "classical", the 2×2 classical base case) = recursive
+    bilinear DFS — the same vocabulary as the engine's ``seq_io`` points.
+
+    ``replay=True`` lowers one isomorphic sub-problem per level plus
+    REPLAY expansion records (O(levels·t) ops); ``replay=False`` lowers
+    the full recursion tree (O(t^levels) ops — small n only).
+    """
+    variant, live = _resolve_seq_alg(alg)
+    alg_name = None if live is None else getattr(
+        live, "name", getattr(getattr(live, "core", None), "name", str(alg))
+    )
+    return ScheduleSpec(
+        kind="seq_io",
+        params={
+            "alg": alg if isinstance(alg, (str, type(None))) else alg_name,
+            "variant": variant,
+            "n": int(n),
+            "M": int(M),
+            "replay": bool(replay),
+            "base_size": None if base_size is None else int(base_size),
+        },
+        payload={"alg": live},
+    )
+
+
+def lru_trace_schedule(
+    n: int, M: int, kernel: str = "auto", row_replay: bool = True
+) -> ScheduleSpec:
+    """The naive i-j-k matmul address trace through an LRU cache of M words."""
+    return ScheduleSpec(
+        kind="lru_trace",
+        params={
+            "n": int(n),
+            "M": int(M),
+            "kernel": str(kernel),
+            "row_replay": bool(row_replay),
+        },
+    )
+
+
+def pebble_schedule(
+    schedule,
+    M: int,
+    allow_recompute: bool = True,
+    read_cost: float = 1.0,
+    write_cost: float = 1.0,
+) -> ScheduleSpec:
+    """A red-blue pebbling move list as a unified workload.
+
+    ``schedule`` is a live :class:`repro.pebbling.game.Schedule`; the
+    reference backend replays it under the game rules (the validator
+    walking the IR), the vector backend counts its I/O with array passes.
+    """
+    return ScheduleSpec(
+        kind="pebble",
+        params={
+            "M": int(M),
+            "allow_recompute": bool(allow_recompute),
+            "read_cost": float(read_cost),
+            "write_cost": float(write_cost),
+            "moves": len(schedule.moves),
+        },
+        payload={"schedule": schedule},
+    )
+
+
+def spec_from_params(kind: str, params: dict) -> ScheduleSpec:
+    """Rebuild a spec from a (kind, params) pair — e.g. off a raw IR.
+
+    Only workloads whose payload is recoverable from params qualify:
+    ``seq_io`` (algorithm referenced by registry id) and ``lru_trace``
+    (no payload).  Pebbling schedules and owner maps are live objects
+    that params cannot reconstruct.
+    """
+    if kind == "seq_io":
+        return seq_io_schedule(
+            params.get("alg"),
+            params["n"],
+            params["M"],
+            replay=bool(params.get("replay", True)),
+            base_size=params.get("base_size"),
+        )
+    if kind == "lru_trace":
+        return lru_trace_schedule(
+            params["n"],
+            params["M"],
+            kernel=params.get("kernel", "auto"),
+            row_replay=bool(params.get("row_replay", True)),
+        )
+    raise KeyError(
+        f"cannot rebuild a {kind!r} spec from params alone; "
+        "pass the original ScheduleSpec"
+    )
+
+
+def parallel_comm_schedule(
+    alg, n: int, P: int, M: int | None = None
+) -> ScheduleSpec:
+    """BFS-parallel fast matmul communication (value-independent counting)."""
+    variant, live = _resolve_seq_alg(alg)
+    if variant != "recursive":
+        raise ValueError("parallel_comm requires a plain square bilinear algorithm")
+    return ScheduleSpec(
+        kind="parallel_comm",
+        params={
+            "alg": alg if isinstance(alg, str) else live.name,
+            "n": int(n),
+            "P": int(P),
+            "M": None if M is None else int(M),
+        },
+        payload={"alg": live},
+    )

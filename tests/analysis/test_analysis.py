@@ -4,27 +4,41 @@ import numpy as np
 import pytest
 
 from repro.analysis.crossover import find_crossover
-from repro.analysis.fitting import sweep_parallel_comm, sweep_sequential_io
 from repro.analysis.report import text_table
+from repro.engine import parallel_comm_point, run_sweep, seq_io_point
+
+
+def _seq_sweep(alg, sizes, M, backend=None):
+    return run_sweep([seq_io_point(alg, n, M, backend=backend) for n in sizes])
 
 
 class TestSweeps:
     def test_sequential_sweep_strassen(self, strassen_alg):
-        res = sweep_sequential_io(strassen_alg, [16, 32, 64], M=48)
+        res = _seq_sweep(strassen_alg, [16, 32, 64], M=48)
         assert len(res.measured) == 3
         assert 2.0 < res.exponent < 3.1  # between n² staging and n³
 
     def test_sequential_sweep_classical_baseline(self):
-        res = sweep_sequential_io(None, [16, 32, 64], M=48)
+        res = _seq_sweep(None, [16, 32, 64], M=48)
         assert res.exponent == pytest.approx(3.0, abs=0.35)
 
     def test_strassen_exponent_below_classical(self, strassen_alg):
-        fast = sweep_sequential_io(strassen_alg, [32, 64, 128], M=48)
-        classical = sweep_sequential_io(None, [32, 64, 128], M=48)
+        fast = _seq_sweep(strassen_alg, [32, 64, 128], M=48)
+        classical = _seq_sweep(None, [32, 64, 128], M=48)
         assert fast.exponent < classical.exponent  # who wins, asymptotically
 
+    def test_counting_backends_reproduce_machine_sweep(self, strassen_alg):
+        machine = _seq_sweep(strassen_alg, [16, 32, 64], M=48)
+        for backend in ("reference", "vector", "symbolic"):
+            counted = _seq_sweep(strassen_alg, [16, 32, 64], M=48, backend=backend)
+            assert counted.measured == machine.measured, backend
+            assert counted.exponent == pytest.approx(machine.exponent)
+
     def test_parallel_sweep(self, strassen_alg):
-        res = sweep_parallel_comm(strassen_alg, 16, [1, 7, 49])
+        res = run_sweep(
+            [parallel_comm_point(strassen_alg, 16, P) for P in (1, 7, 49)],
+            parameter="P",
+        )
         assert res.parameter == "P"
         assert len(res.measured) == 3
 

@@ -1,33 +1,19 @@
 """Regressions for the silent data-corruption bugs in the fitting path.
 
-Two bugs, both of which used to corrupt results without any error:
-
-* ``sweep_from_runs`` substituted the enumeration index for a missing
-  sweep parameter (``run.params.get(parameter, i)``), silently fitting
-  exponents against 0, 1, 2, … instead of the real x-values;
-* the deprecated ``sweep_parallel_comm`` wrapper clamped ``p.measured``
-  and *replaced* ``p.extras`` on the assembled points in place, so the
-  in-memory sweep disagreed with the JSONL/cache record of the same runs.
+``sweep_from_runs`` used to substitute the enumeration index for a
+missing sweep parameter (``run.params.get(parameter, i)``), silently
+fitting exponents against 0, 1, 2, … instead of the real x-values.
+(The second historical bug here — the ``sweep_parallel_comm`` wrapper
+mutating assembled points in place — died with the wrapper itself,
+which has been removed in favor of the engine point builders.)
 """
 
 import copy
-import math
 
 import pytest
 
-from repro.analysis.fitting import sweep_from_runs, sweep_parallel_comm
+from repro.analysis.fitting import sweep_from_runs
 from repro.analysis.results import RunResult
-
-
-def _same(a, b) -> bool:
-    """Equality that treats NaN == NaN (the memoryless bound is NaN)."""
-    if isinstance(a, float) and isinstance(b, float):
-        return a == b or (math.isnan(a) and math.isnan(b))
-    return a == b
-
-
-def _same_dict(a: dict, b: dict) -> bool:
-    return a.keys() == b.keys() and all(_same(a[k], b[k]) for k in a)
 
 
 def _ok_run(kind: str, params: dict, metrics: dict) -> RunResult:
@@ -79,45 +65,9 @@ class TestSweepFromRunsMissingParameter:
         with pytest.raises(ValueError, match="missing must be"):
             sweep_from_runs([], missing="ignore")
 
+    def test_removed_wrappers_stay_removed(self):
+        """The pre-engine loop helpers must not quietly reappear."""
+        import repro.analysis.fitting as fitting
 
-class TestSweepParallelCommCopies:
-    @pytest.fixture(scope="class")
-    def legacy_sweep_and_runs(self, request):
-        """One real (tiny) parallel sweep through the deprecated wrapper."""
-        from repro.algorithms.strassen import strassen
-        from repro.engine import parallel_comm_point, run_point, run_sweep
-
-        alg = strassen()
-        with pytest.warns(DeprecationWarning):
-            legacy = sweep_parallel_comm(alg, 8, [1, 7])
-        # the same runs through the modern API, untouched by the wrapper
-        fresh = run_sweep(
-            [parallel_comm_point(alg, 8, P) for P in (1, 7)], parameter="P"
-        )
-        return legacy, fresh
-
-    def test_metrics_record_never_altered(self, legacy_sweep_and_runs):
-        """The run payload must agree with what JSONL/cache would record."""
-        legacy, fresh = legacy_sweep_and_runs
-        for lp, fp in zip(legacy.points, fresh.points):
-            assert _same_dict(lp.run.metrics, fp.run.metrics)
-            # the clamp lives in the *view*, never in the record
-            assert lp.run.metrics["comm_per_proc_max"] == fp.run.metrics[
-                "comm_per_proc_max"
-            ]
-
-    def test_measured_clamped_in_the_copy_only(self, legacy_sweep_and_runs):
-        legacy, fresh = legacy_sweep_and_runs
-        # P=1 Strassen BFS communicates nothing: raw 0, legacy clamps to 1
-        raw = fresh.points[0].run.metrics["comm_per_proc_max"]
-        assert raw == 0.0
-        assert legacy.points[0].measured == 1.0
-        assert fresh.points[0].measured == 0.0  # the engine view is untouched
-
-    def test_extras_merged_not_replaced(self, legacy_sweep_and_runs):
-        legacy, fresh = legacy_sweep_and_runs
-        for lp, fp in zip(legacy.points, fresh.points):
-            assert lp.extras["local_io"] == fp.run.metrics["local_io_per_proc"]
-            # every extra the engine assembled is still present
-            for key, value in fp.extras.items():
-                assert _same(lp.extras[key], value)
+        assert not hasattr(fitting, "sweep_sequential_io")
+        assert not hasattr(fitting, "sweep_parallel_comm")

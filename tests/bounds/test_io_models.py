@@ -10,7 +10,7 @@ from repro.bounds.io_models import (
     recursive_fast_io_model,
     tiled_classical_io_model,
 )
-from repro.execution import recursive_fast_matmul, tiled_matmul
+from repro.execution import execute_recursive_bilinear, execute_tiled
 from repro.execution.abmm_exec import machine_basis_transform
 from repro.machine import SequentialMachine
 
@@ -21,7 +21,7 @@ class TestExactModels:
         A = rng.standard_normal((n, n))
         B = rng.standard_normal((n, n))
         machine = SequentialMachine(M)
-        tiled_matmul(machine, A, B)
+        execute_tiled(machine, A, B)
         assert tiled_classical_io_model(n, M) == machine.io_operations
 
     @pytest.mark.parametrize("n,M", [(16, 48), (32, 48), (64, 192)])
@@ -29,21 +29,21 @@ class TestExactModels:
         A = rng.standard_normal((n, n))
         B = rng.standard_normal((n, n))
         machine = SequentialMachine(M)
-        recursive_fast_matmul(machine, strassen_alg, A, B)
+        execute_recursive_bilinear(machine, strassen_alg, A, B)
         assert recursive_fast_io_model(strassen_alg, n, M) == machine.io_operations
 
     def test_recursive_model_exact_winograd(self, winograd_alg, rng):
         machine = SequentialMachine(48)
         A = rng.standard_normal((32, 32))
         B = rng.standard_normal((32, 32))
-        recursive_fast_matmul(machine, winograd_alg, A, B)
+        execute_recursive_bilinear(machine, winograd_alg, A, B)
         assert recursive_fast_io_model(winograd_alg, 32, 48) == machine.io_operations
 
     def test_recursive_model_with_base_cap(self, strassen_alg, rng):
         machine = SequentialMachine(10_000)
         A = rng.standard_normal((16, 16))
         B = rng.standard_normal((16, 16))
-        recursive_fast_matmul(machine, strassen_alg, A, B, base_size=4)
+        execute_recursive_bilinear(machine, strassen_alg, A, B, base_size=4)
         assert (
             recursive_fast_io_model(strassen_alg, 16, 10_000, base_size=4)
             == machine.io_operations

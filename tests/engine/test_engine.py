@@ -233,22 +233,28 @@ class TestTraceEvents:
         assert seq._TRACE_HOOKS == []
 
 
-class TestDeprecatedWrappers:
-    def test_sweep_sequential_io_warns_and_matches_engine(self, strassen_alg):
-        from repro.analysis.fitting import sweep_sequential_io
+class TestBackendSelection:
+    def test_backend_omitted_keeps_cache_key_stable(self, strassen_alg):
+        """``backend=None`` must not enter params: pre-redesign cache
+        entries keyed without the field stay valid."""
+        p0 = seq_io_point(strassen_alg, 16, M)
+        p1 = seq_io_point(strassen_alg, 16, M, backend="vector")
+        assert "backend" not in p0.params
+        assert p1.params["backend"] == "vector"
+        assert p0.key != p1.key
 
-        with pytest.warns(DeprecationWarning):
-            legacy = sweep_sequential_io(strassen_alg, SIZES, M)
-        engine = run_sweep(_points(), EngineConfig())
-        assert legacy.measured == engine.measured
+    def test_seq_io_backends_match_physical_run(self, strassen_alg):
+        phys = run_point(seq_io_point(strassen_alg, 16, M))
+        for backend in ("reference", "vector", "symbolic"):
+            res = run_point(seq_io_point(strassen_alg, 16, M, backend=backend))
+            assert res.metrics["io"] == phys.metrics["io"], backend
+            assert res.metrics["peak_fast"] == phys.metrics["peak_fast"], backend
 
-    def test_sweep_parallel_comm_warns(self, strassen_alg):
-        from repro.analysis.fitting import sweep_parallel_comm
-
-        with pytest.warns(DeprecationWarning):
-            res = sweep_parallel_comm(strassen_alg, 16, [1, 7])
-        assert res.parameter == "P"
-        assert len(res.measured) == 2
+    def test_parallel_comm_backend_matches_physical_run(self, strassen_alg):
+        phys = run_point(parallel_comm_point(strassen_alg, 16, 7))
+        counted = run_point(parallel_comm_point(strassen_alg, 16, 7, backend="vector"))
+        for key in ("comm_per_proc_max", "local_io_per_proc"):
+            assert counted.metrics[key] == phys.metrics[key]
 
 
 class TestAlgorithmSpecs:

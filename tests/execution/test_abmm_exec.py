@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.basis.transform import recursive_basis_transform
-from repro.execution.abmm_exec import abmm_machine_multiply, machine_basis_transform
+from repro.execution.abmm_exec import execute_abmm, machine_basis_transform
 from repro.machine.sequential import SequentialMachine
 
 
@@ -51,13 +51,13 @@ class TestABMMExecution:
         A = rng.standard_normal((n, n))
         B = rng.standard_normal((n, n))
         m = SequentialMachine(M)
-        C, phases = abmm_machine_multiply(m, ks_alg, A, B)
+        C, phases = execute_abmm(m, ks_alg, A, B)
         assert np.allclose(C, A @ B)
         assert phases["io_total"] == pytest.approx(m.io_operations)
 
     def test_phase_split_sums(self, ks_alg, rng):
         m = SequentialMachine(192)
-        C, p = abmm_machine_multiply(m, ks_alg, rng.standard_normal((32, 32)), rng.standard_normal((32, 32)))
+        C, p = execute_abmm(m, ks_alg, rng.standard_normal((32, 32)), rng.standard_normal((32, 32)))
         assert p["io_total"] == pytest.approx(
             p["io_transform_forward"] + p["io_bilinear"] + p["io_transform_inverse"]
         )
@@ -67,24 +67,24 @@ class TestABMMExecution:
         fracs = []
         for n in (16, 32, 64):
             m = SequentialMachine(48)
-            _, p = abmm_machine_multiply(m, ks_alg, rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+            _, p = execute_abmm(m, ks_alg, rng.standard_normal((n, n)), rng.standard_normal((n, n)))
             fracs.append(p["transform_fraction"])
         assert fracs[2] < fracs[0]
 
     def test_ks_bilinear_io_beats_winograd(self, ks_alg, winograd_alg, rng):
         """The §IV payoff: sparser core → less bilinear-phase I/O."""
-        from repro.execution.recursive_bilinear import recursive_fast_matmul
+        from repro.execution.recursive_bilinear import execute_recursive_bilinear
 
         n, M = 64, 48
         A = rng.standard_normal((n, n))
         B = rng.standard_normal((n, n))
         m_ks = SequentialMachine(M)
-        _, p = abmm_machine_multiply(m_ks, ks_alg, A, B)
+        _, p = execute_abmm(m_ks, ks_alg, A, B)
         m_w = SequentialMachine(M)
-        recursive_fast_matmul(m_w, winograd_alg, A, B)
+        execute_recursive_bilinear(m_w, winograd_alg, A, B)
         assert p["io_bilinear"] < m_w.io_operations
 
     def test_too_small_memory_raises(self, ks_alg, rng):
         m = SequentialMachine(2)
         with pytest.raises(MemoryError):
-            abmm_machine_multiply(m, ks_alg, rng.standard_normal((8, 8)), rng.standard_normal((8, 8)))
+            execute_abmm(m, ks_alg, rng.standard_normal((8, 8)), rng.standard_normal((8, 8)))

@@ -5,7 +5,7 @@ import pytest
 
 from repro.bounds.formulas import fast_memory_independent
 from repro.execution.parallel_classical import parallel_classical_summa
-from repro.execution.parallel_strassen import parallel_strassen_bfs
+from repro.execution.parallel_strassen import execute_parallel_bfs
 from repro.machine.parallel import BSPMachine
 
 
@@ -51,23 +51,23 @@ class TestBFSStrassen:
     def test_correct(self, strassen_alg, rng, P, n):
         A = rng.standard_normal((n, n))
         B = rng.standard_normal((n, n))
-        C, stats = parallel_strassen_bfs(strassen_alg, A, B, P=P)
+        C, stats = execute_parallel_bfs(strassen_alg, A, B, P=P)
         assert np.allclose(C, A @ B)
         assert stats.P == P
 
     def test_winograd_works_too(self, winograd_alg, rng):
         A = rng.standard_normal((8, 8))
         B = rng.standard_normal((8, 8))
-        C, _ = parallel_strassen_bfs(winograd_alg, A, B, P=7)
+        C, _ = execute_parallel_bfs(winograd_alg, A, B, P=7)
         assert np.allclose(C, A @ B)
 
     def test_p1_no_communication(self, strassen_alg, rng):
-        _, stats = parallel_strassen_bfs(strassen_alg, rng.standard_normal((8, 8)), rng.standard_normal((8, 8)), P=1)
+        _, stats = execute_parallel_bfs(strassen_alg, rng.standard_normal((8, 8)), rng.standard_normal((8, 8)), P=1)
         assert stats.comm_per_proc_max == 0
 
     def test_comm_respects_memory_independent_floor(self, strassen_alg, rng):
         n, P = 32, 49
-        _, stats = parallel_strassen_bfs(strassen_alg, rng.standard_normal((n, n)), rng.standard_normal((n, n)), P=P)
+        _, stats = execute_parallel_bfs(strassen_alg, rng.standard_normal((n, n)), rng.standard_normal((n, n)), P=P)
         floor = fast_memory_independent(n, P)
         assert stats.comm_per_proc_max >= floor / 8  # constant-factor slack
 
@@ -79,13 +79,13 @@ class TestBFSStrassen:
         B = rng.standard_normal((n, n))
         comm = {}
         for P in (7, 49):
-            _, stats = parallel_strassen_bfs(strassen_alg, A, B, P=P)
+            _, stats = execute_parallel_bfs(strassen_alg, A, B, P=P)
             comm[P] = stats.comm_per_proc_max
         assert comm[49] < comm[7]
         assert comm[49] > comm[7] / 7  # sub-linear scaling
 
     def test_local_io_term(self, strassen_alg, rng):
-        _, stats = parallel_strassen_bfs(
+        _, stats = execute_parallel_bfs(
             strassen_alg, rng.standard_normal((16, 16)), rng.standard_normal((16, 16)), P=7, M=48
         )
         assert stats.local_io_per_proc > 0
@@ -93,12 +93,12 @@ class TestBFSStrassen:
 
     def test_bad_p_rejected(self, strassen_alg, rng):
         with pytest.raises(ValueError):
-            parallel_strassen_bfs(strassen_alg, np.ones((8, 8)), np.ones((8, 8)), P=6)
+            execute_parallel_bfs(strassen_alg, np.ones((8, 8)), np.ones((8, 8)), P=6)
 
     def test_n_too_small_rejected(self, strassen_alg):
         with pytest.raises(ValueError):
-            parallel_strassen_bfs(strassen_alg, np.ones((2, 2)), np.ones((2, 2)), P=49)
+            execute_parallel_bfs(strassen_alg, np.ones((2, 2)), np.ones((2, 2)), P=49)
 
     def test_sent_received_balance(self, strassen_alg, rng):
-        _, stats = parallel_strassen_bfs(strassen_alg, rng.standard_normal((16, 16)), rng.standard_normal((16, 16)), P=7)
+        _, stats = execute_parallel_bfs(strassen_alg, rng.standard_normal((16, 16)), rng.standard_normal((16, 16)), P=7)
         assert stats.sent.sum() == stats.received.sum()

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.bounds.formulas import fast_sequential
-from repro.execution.recursive_bilinear import recursive_fast_matmul, stream_linear_combination
+from repro.execution.recursive_bilinear import execute_recursive_bilinear, stream_linear_combination
 from repro.machine.sequential import SequentialMachine
 
 
@@ -62,7 +62,7 @@ class TestRecursiveExecution:
         A = rng.standard_normal((n, n))
         B = rng.standard_normal((n, n))
         m = SequentialMachine(M)
-        C = recursive_fast_matmul(m, strassen_alg, A, B)
+        C = execute_recursive_bilinear(m, strassen_alg, A, B)
         assert np.allclose(C, A @ B)
         assert m.peak_fast_words <= M
 
@@ -71,13 +71,13 @@ class TestRecursiveExecution:
         B = rng.standard_normal((16, 16))
         for alg in (winograd_alg, classical_alg):
             m = SequentialMachine(100)
-            assert np.allclose(recursive_fast_matmul(m, alg, A, B), A @ B)
+            assert np.allclose(execute_recursive_bilinear(m, alg, A, B), A @ B)
 
     def test_in_cache_case_minimal_io(self, strassen_alg, rng):
         """3n² ≤ M: loads 2n², stores n² — nothing else."""
         n = 8
         m = SequentialMachine(3 * n * n)
-        recursive_fast_matmul(m, strassen_alg, rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+        execute_recursive_bilinear(m, strassen_alg, rng.standard_normal((n, n)), rng.standard_normal((n, n)))
         assert m.words_read == 2 * n * n
         assert m.words_written == n * n
 
@@ -92,7 +92,7 @@ class TestRecursiveExecution:
             m = SequentialMachine(M)
             A = rng.standard_normal((n, n))
             B = rng.standard_normal((n, n))
-            recursive_fast_matmul(m, strassen_alg, A, B)
+            execute_recursive_bilinear(m, strassen_alg, A, B)
             ios.append(m.io_operations)
         slope = fit_exponent(sizes, ios)
         assert abs(slope - np.log2(7)) < 0.12
@@ -100,7 +100,7 @@ class TestRecursiveExecution:
     def test_never_below_lower_bound(self, strassen_alg, rng):
         n, M = 64, 48
         m = SequentialMachine(M)
-        recursive_fast_matmul(m, strassen_alg, rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+        execute_recursive_bilinear(m, strassen_alg, rng.standard_normal((n, n)), rng.standard_normal((n, n)))
         assert m.io_operations >= fast_sequential(n, M)
 
     def test_classical2_io_exceeds_strassen_at_scale(self, strassen_alg, classical_alg, rng):
@@ -109,9 +109,9 @@ class TestRecursiveExecution:
         A = rng.standard_normal((n, n))
         B = rng.standard_normal((n, n))
         m7 = SequentialMachine(M)
-        recursive_fast_matmul(m7, strassen_alg, A, B)
+        execute_recursive_bilinear(m7, strassen_alg, A, B)
         m8 = SequentialMachine(M)
-        recursive_fast_matmul(m8, classical_alg, A, B)
+        execute_recursive_bilinear(m8, classical_alg, A, B)
         assert m8.io_operations > m7.io_operations
 
     def test_base_size_cap_forces_deeper_recursion(self, strassen_alg, rng):
@@ -119,9 +119,9 @@ class TestRecursiveExecution:
         A = rng.standard_normal((n, n))
         B = rng.standard_normal((n, n))
         m_shallow = SequentialMachine(M)
-        recursive_fast_matmul(m_shallow, strassen_alg, A, B)
+        execute_recursive_bilinear(m_shallow, strassen_alg, A, B)
         m_deep = SequentialMachine(M)
-        recursive_fast_matmul(m_deep, strassen_alg, A, B, base_size=4)
+        execute_recursive_bilinear(m_deep, strassen_alg, A, B, base_size=4)
         assert m_deep.io_operations > m_shallow.io_operations
 
     @pytest.mark.parametrize("n", [8, 16, 32])
@@ -132,7 +132,7 @@ class TestRecursiveExecution:
         B = rng.standard_normal((n, n))
         for alg in (strassen_alg, winograd_alg):
             m = SequentialMachine(48)
-            out = recursive_fast_matmul(
+            out = execute_recursive_bilinear(
                 m, alg, A, B, level_replay=True, cross_check=True
             )
             assert out is None  # replay skips the numeric product
@@ -146,10 +146,10 @@ class TestRecursiveExecution:
         A = rng.standard_normal((n, n))
         B = rng.standard_normal((n, n))
         t0 = time.perf_counter()
-        recursive_fast_matmul(SequentialMachine(48), strassen_alg, A, B)
+        execute_recursive_bilinear(SequentialMachine(48), strassen_alg, A, B)
         full = time.perf_counter() - t0
         t0 = time.perf_counter()
-        recursive_fast_matmul(
+        execute_recursive_bilinear(
             SequentialMachine(48), strassen_alg, A, B, level_replay=True
         )
         rep = time.perf_counter() - t0
@@ -160,9 +160,9 @@ class TestRecursiveExecution:
 
         m = SequentialMachine(100)
         with pytest.raises(ValueError):
-            recursive_fast_matmul(m, classical(2, 3, 4), rng.standard_normal((4, 4)), rng.standard_normal((4, 4)))
+            execute_recursive_bilinear(m, classical(2, 3, 4), rng.standard_normal((4, 4)), rng.standard_normal((4, 4)))
 
     def test_mismatched_shapes_rejected(self, strassen_alg, rng):
         m = SequentialMachine(100)
         with pytest.raises(ValueError):
-            recursive_fast_matmul(m, strassen_alg, rng.standard_normal((4, 4)), rng.standard_normal((8, 8)))
+            execute_recursive_bilinear(m, strassen_alg, rng.standard_normal((4, 4)), rng.standard_normal((8, 8)))

@@ -36,7 +36,14 @@ class TestAgreement:
 
     def test_default_grid_covers_every_family(self):
         kinds = {p.kind for p in default_probes()}
-        assert kinds == {"level_replay", "row_replay", "pebble"}
+        assert kinds == {"level_replay", "row_replay", "pebble", "backend"}
+
+    def test_backend_restriction_narrows_backend_probes(self):
+        probes = [p for p in default_probes(backend="symbolic")
+                  if p.kind == "backend"]
+        assert probes and all(
+            p.params.get("backends") == ["symbolic"] for p in probes
+        )
 
     def test_metrics_published(self):
         probes = [DifferentialProbe("row_replay", {"n": 6, "M": 16})]

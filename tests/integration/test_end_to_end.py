@@ -10,7 +10,7 @@ import pytest
 
 from repro import (
     OMEGA0_STRASSEN,
-    abmm_machine_multiply,
+    execute_abmm,
     build_recursive_cdag,
     check_lemma31,
     check_theorem11_sequential,
@@ -18,11 +18,11 @@ from repro import (
     fast_memory_independent,
     fast_sequential,
     karstadt_schwartz,
-    parallel_strassen_bfs,
-    recursive_fast_matmul,
+    execute_parallel_bfs,
+    execute_recursive_bilinear,
     segment_audit,
     strassen,
-    tiled_matmul,
+    execute_tiled,
     topological_schedule,
     validate_schedule,
     winograd,
@@ -61,11 +61,11 @@ class TestMeasuredVsBounds:
         B = rng.standard_normal((n, n))
 
         m_cl = SequentialMachine(M)
-        tiled_matmul(m_cl, A, B)
+        execute_tiled(m_cl, A, B)
         m_st = SequentialMachine(M)
-        recursive_fast_matmul(m_st, strassen(), A, B)
+        execute_recursive_bilinear(m_st, strassen(), A, B)
         m_ks = SequentialMachine(M)
-        _, phases = abmm_machine_multiply(m_ks, karstadt_schwartz(), A, B)
+        _, phases = execute_abmm(m_ks, karstadt_schwartz(), A, B)
 
         floor = fast_sequential(n, M)
         for io in (m_st.io_operations, phases["io_bilinear"]):
@@ -88,9 +88,9 @@ class TestMeasuredVsBounds:
             A = rng.standard_normal((n, n))
             B = rng.standard_normal((n, n))
             m_cl = SequentialMachine(M)
-            tiled_matmul(m_cl, A, B)
+            execute_tiled(m_cl, A, B)
             m_st = SequentialMachine(M)
-            recursive_fast_matmul(m_st, strassen(), A, B)
+            execute_recursive_bilinear(m_st, strassen(), A, B)
             ios_fast.append(m_st.io_operations)
             ios_classical.append(m_cl.io_operations)
             ratios.append(m_st.io_operations / m_cl.io_operations)
@@ -103,7 +103,7 @@ class TestMeasuredVsBounds:
         n, P, M = 32, 49, 48
         A = rng.standard_normal((n, n))
         B = rng.standard_normal((n, n))
-        C, stats = parallel_strassen_bfs(strassen(), A, B, P=P, M=M)
+        C, stats = execute_parallel_bfs(strassen(), A, B, P=P, M=M)
         assert np.allclose(C, A @ B)
         assert stats.io_per_proc_max >= fast_memory_independent(n, P) / 8
 

@@ -11,7 +11,7 @@ from hypothesis import given, settings, strategies as st
 from repro.algorithms.cse import greedy_cse
 from repro.algorithms.strassen import strassen
 from repro.bounds.io_models import recursive_fast_io_model, tiled_classical_io_model
-from repro.execution import recursive_fast_matmul, tiled_matmul
+from repro.execution import execute_recursive_bilinear, execute_tiled
 from repro.machine import SequentialMachine
 
 sign_matrix = st.lists(
@@ -58,7 +58,7 @@ class TestIOModelsRandomized:
         n = 2 ** log_n
         rng = np.random.default_rng(0)
         machine = SequentialMachine(M)
-        tiled_matmul(machine, rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+        execute_tiled(machine, rng.standard_normal((n, n)), rng.standard_normal((n, n)))
         assert tiled_classical_io_model(n, M) == machine.io_operations
 
     @given(
@@ -70,7 +70,7 @@ class TestIOModelsRandomized:
         n = 2 ** log_n
         rng = np.random.default_rng(0)
         machine = SequentialMachine(M)
-        recursive_fast_matmul(
+        execute_recursive_bilinear(
             machine, strassen(), rng.standard_normal((n, n)), rng.standard_normal((n, n))
         )
         assert recursive_fast_io_model(strassen(), n, M) == machine.io_operations

@@ -18,8 +18,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.algorithms.strassen import strassen
 from repro.algorithms.winograd import winograd
-from repro.execution.classical_tiled import tiled_matmul
-from repro.execution.recursive_bilinear import recursive_fast_matmul
+from repro.execution.classical_tiled import execute_tiled
+from repro.execution.recursive_bilinear import execute_recursive_bilinear
 from repro.machine.cache import LRUCache
 from repro.machine.sequential import SequentialMachine
 
@@ -40,9 +40,9 @@ class TestExecutionsStayWithinM:
         B = rng.standard_normal((n, n))
         m = SequentialMachine(M)
         if alg == "tiled":
-            C = tiled_matmul(m, A, B)
+            C = execute_tiled(m, A, B)
         else:
-            C = recursive_fast_matmul(m, _ALGS[alg], A, B)
+            C = execute_recursive_bilinear(m, _ALGS[alg], A, B)
         assert m.peak_fast_words <= M
         m.assert_invariant()
         assert np.allclose(C, A @ B)
@@ -58,9 +58,9 @@ class TestExecutionsStayWithinM:
         A = rng.standard_normal((n, n))
         B = rng.standard_normal((n, n))
         full = SequentialMachine(M)
-        recursive_fast_matmul(full, _ALGS["strassen"], A, B)
+        execute_recursive_bilinear(full, _ALGS["strassen"], A, B)
         rep = SequentialMachine(M)
-        recursive_fast_matmul(rep, _ALGS["strassen"], A, B, level_replay=True)
+        execute_recursive_bilinear(rep, _ALGS["strassen"], A, B, level_replay=True)
         assert rep.words_read == full.words_read
         assert rep.words_written == full.words_written
         assert rep.peak_fast_words == full.peak_fast_words

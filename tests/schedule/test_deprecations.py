@@ -1,0 +1,86 @@
+"""The five legacy executor names: warn, but still work, and agree.
+
+Each pre-redesign entrypoint survives as a shim over its renamed
+``execute_*`` implementation.  The shims must (a) emit DeprecationWarning
+and (b) return exactly what the canonical name returns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine.sequential import SequentialMachine
+
+
+class TestShimsWarnAndMatch:
+    def test_tiled_matmul(self, rng):
+        from repro.execution import execute_tiled, tiled_matmul
+
+        A, B = rng.standard_normal((8, 8)), rng.standard_normal((8, 8))
+        with pytest.warns(DeprecationWarning, match="tiled_matmul is deprecated"):
+            C_old = tiled_matmul(SequentialMachine(48), A, B)
+        np.testing.assert_array_equal(C_old, execute_tiled(SequentialMachine(48), A, B))
+
+    def test_naive_matmul_lru_trace(self):
+        from repro.execution import execute_lru_trace, naive_matmul_lru_trace
+
+        with pytest.warns(DeprecationWarning, match="naive_matmul_lru_trace"):
+            st_old = naive_matmul_lru_trace(8, 16)
+        assert st_old == execute_lru_trace(8, 16)
+
+    def test_recursive_fast_matmul(self, strassen_alg, rng):
+        from repro.execution import execute_recursive_bilinear, recursive_fast_matmul
+
+        A, B = rng.standard_normal((8, 8)), rng.standard_normal((8, 8))
+        m_old, m_new = SequentialMachine(48), SequentialMachine(48)
+        with pytest.warns(DeprecationWarning, match="recursive_fast_matmul"):
+            C_old = recursive_fast_matmul(m_old, strassen_alg, A, B)
+        C_new = execute_recursive_bilinear(m_new, strassen_alg, A, B)
+        np.testing.assert_array_equal(C_old, C_new)
+        assert m_old.words_read == m_new.words_read
+
+    def test_abmm_machine_multiply(self, ks_alg, rng):
+        from repro.execution import abmm_machine_multiply, execute_abmm
+
+        A, B = rng.standard_normal((8, 8)), rng.standard_normal((8, 8))
+        with pytest.warns(DeprecationWarning, match="abmm_machine_multiply"):
+            C_old, ph_old = abmm_machine_multiply(SequentialMachine(64), ks_alg, A, B)
+        C_new, ph_new = execute_abmm(SequentialMachine(64), ks_alg, A, B)
+        np.testing.assert_array_equal(C_old, C_new)
+        assert ph_old == ph_new
+
+    def test_parallel_strassen_bfs(self, strassen_alg, rng):
+        from repro.execution import execute_parallel_bfs, parallel_strassen_bfs
+
+        A, B = rng.standard_normal((8, 8)), rng.standard_normal((8, 8))
+        with pytest.warns(DeprecationWarning, match="parallel_strassen_bfs"):
+            C_old, st_old = parallel_strassen_bfs(strassen_alg, A, B, P=7)
+        C_new, st_new = execute_parallel_bfs(strassen_alg, A, B, P=7)
+        np.testing.assert_array_equal(C_old, C_new)
+        assert st_old.comm_per_proc_max == st_new.comm_per_proc_max
+
+
+class TestTopLevelExports:
+    def test_canonical_names_importable_from_repro(self):
+        import repro
+
+        for name in (
+            "execute_tiled",
+            "execute_lru_trace",
+            "execute_recursive_bilinear",
+            "execute_abmm",
+            "execute_parallel_bfs",
+            "schedule",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_shims_still_importable_from_repro(self):
+        """The deprecation story keeps the old import paths alive."""
+        import repro
+
+        for name in (
+            "tiled_matmul",
+            "recursive_fast_matmul",
+            "abmm_machine_multiply",
+            "parallel_strassen_bfs",
+        ):
+            assert hasattr(repro, name), name

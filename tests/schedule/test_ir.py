@@ -1,0 +1,91 @@
+"""Schedule IR structure: emit, validation invariants, serialization."""
+
+import pytest
+
+from repro.schedule import IRValidationError, Op, OpKind, ScheduleIR
+
+
+def _small_ir() -> ScheduleIR:
+    ir = ScheduleIR(kind="seq_io", params={"n": 4, "M": 16})
+    ir.emit(OpKind.LOAD, "A", words=4, level=0, index=0)
+    ir.emit(OpKind.ALLOC, "T", words=4, level=1, tag="bilinear")
+    ir.emit(OpKind.COMPUTE, "T", level=1, index=3)
+    ir.emit(OpKind.STORE, "T", words=4, level=1)
+    ir.emit(OpKind.FREE, "T", words=4, level=1)
+    ir.emit(OpKind.REPLAY, "subtree", level=0, span=(0, 5), repeats=6)
+    return ir
+
+
+class TestEmitAndSummary:
+    def test_emit_returns_indices_in_order(self):
+        ir = ScheduleIR(kind="seq_io")
+        assert ir.emit(OpKind.LOAD, "A", words=2) == 0
+        assert ir.emit(OpKind.FREE, "A", words=2) == 1
+        assert len(ir) == 2
+
+    def test_summary_counts_ops_and_words(self):
+        s = _small_ir().summary()
+        assert s["ops"] == 6
+        assert s["levels"] == 2
+        assert s["by_kind"]["load"] == {"ops": 1, "words": 4}
+        assert s["by_kind"]["replay"]["ops"] == 1
+
+    def test_num_levels_empty(self):
+        assert ScheduleIR(kind="seq_io").num_levels == 0
+
+
+class TestValidation:
+    def test_valid_ir_passes(self):
+        _small_ir().validate()
+
+    def test_negative_words_rejected(self):
+        ir = ScheduleIR(kind="seq_io", ops=[Op(OpKind.LOAD, "A", words=-1)])
+        with pytest.raises(IRValidationError, match="negative words"):
+            ir.validate()
+
+    def test_replay_without_span_rejected(self):
+        ir = ScheduleIR(kind="seq_io", ops=[Op(OpKind.REPLAY, repeats=2)])
+        with pytest.raises(IRValidationError, match="REPLAY without a span"):
+            ir.validate()
+
+    def test_replay_span_must_strictly_precede(self):
+        ir = ScheduleIR(kind="seq_io")
+        ir.emit(OpKind.LOAD, "A", words=1)
+        ir.emit(OpKind.REPLAY, span=(0, 2), repeats=1)  # includes itself
+        with pytest.raises(IRValidationError, match="strictly before"):
+            ir.validate()
+
+    def test_replay_repeats_must_be_positive(self):
+        ir = ScheduleIR(kind="seq_io")
+        ir.emit(OpKind.LOAD, "A", words=1)
+        ir.emit(OpKind.REPLAY, span=(0, 1), repeats=0)
+        with pytest.raises(IRValidationError, match="repeats"):
+            ir.validate()
+
+    def test_span_on_non_replay_rejected(self):
+        ir = ScheduleIR(
+            kind="seq_io", ops=[Op(OpKind.LOAD, "A", words=1, span=(0, 1))]
+        )
+        with pytest.raises(IRValidationError, match="span on non-REPLAY"):
+            ir.validate()
+
+
+class TestSerialization:
+    def test_dict_roundtrip_preserves_ops(self):
+        ir = _small_ir()
+        back = ScheduleIR.from_dict(ir.to_dict())
+        assert back.kind == ir.kind
+        assert back.params == ir.params
+        assert back.ops == ir.ops
+
+    def test_roundtrip_is_json_safe(self):
+        import json
+
+        blob = json.dumps(_small_ir().to_dict())
+        back = ScheduleIR.from_dict(json.loads(blob))
+        assert back.ops == _small_ir().ops
+
+    def test_meta_excluded_from_dict(self):
+        ir = _small_ir()
+        ir.meta["live_object"] = object()
+        assert "meta" not in ir.to_dict()

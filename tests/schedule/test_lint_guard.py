@@ -1,0 +1,85 @@
+"""Lint guard: deprecated entrypoints must not creep back into the tree.
+
+A plain token scan over the source/tests/benchmarks/examples trees,
+failing if any file outside the explicit allowlist mentions one of the
+five deprecated executor names or the two removed sweep wrappers.  The
+same check runs in CI as a grep step; this test keeps it enforced in
+plain ``pytest`` runs too.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+DEPRECATED = (
+    "tiled_matmul",
+    "naive_matmul_lru_trace",
+    "recursive_fast_matmul",
+    "abmm_machine_multiply",
+    "parallel_strassen_bfs",
+    "sweep_sequential_io",
+    "sweep_parallel_comm",
+)
+
+# Files that legitimately mention the deprecated names: the modules that
+# define the shims, the packages that re-export them for compatibility,
+# the docs/tests *about* the deprecation, and historical records.
+ALLOWED = {
+    "src/repro/execution/classical_tiled.py",      # defines the shims
+    "src/repro/execution/recursive_bilinear.py",   # defines the shim
+    "src/repro/execution/abmm_exec.py",            # defines the shim
+    "src/repro/execution/parallel_strassen.py",    # defines the shim
+    "src/repro/execution/__init__.py",             # re-exports the shims
+    "src/repro/__init__.py",                       # re-exports the shims
+    "src/repro/schedule/api.py",                   # docstring names them
+    "src/repro/analysis/fitting.py",               # docstring: "removed"
+    "tests/schedule/test_deprecations.py",         # tests the shims
+    "tests/schedule/test_lint_guard.py",           # this file
+    "tests/analysis/test_fitting_regressions.py",  # asserts removal
+}
+
+SCAN_DIRS = ("src", "tests", "benchmarks", "examples")
+
+
+def _scan() -> dict[str, list[str]]:
+    offenders: dict[str, list[str]] = {}
+    for top in SCAN_DIRS:
+        for path in sorted((REPO / top).rglob("*.py")):
+            rel = path.relative_to(REPO).as_posix()
+            if rel in ALLOWED:
+                continue
+            text = path.read_text()
+            # \b-delimited: tiled_matmul_write_profile is a different,
+            # non-deprecated identifier and must not trip the guard.
+            hits = [
+                name for name in DEPRECATED
+                if re.search(rf"\b{name}\b", text)
+            ]
+            if hits:
+                offenders[rel] = hits
+    return offenders
+
+
+def test_no_new_code_uses_deprecated_entrypoints():
+    offenders = _scan()
+    assert not offenders, (
+        "deprecated entrypoints referenced outside the allowlist "
+        f"(use the execute_* names or repro.schedule.run): {offenders}"
+    )
+
+
+def test_allowlist_entries_exist():
+    """A stale allowlist would silently widen the guard's blind spot."""
+    missing = [rel for rel in ALLOWED if not (REPO / rel).exists()]
+    assert not missing, missing
+
+
+@pytest.mark.parametrize("name", DEPRECATED[:5])
+def test_guard_tokens_are_real_shims(name):
+    """Every guarded executor token still resolves to a warning shim."""
+    import repro.execution as ex
+
+    assert hasattr(ex, name)
