@@ -1,0 +1,155 @@
+"""Serving-throughput benchmark: warm-cache point queries per second.
+
+Runs a real daemon (in-process threads, real HTTP over loopback, the
+same stack ``repro serve`` deploys) and measures sustained throughput
+and latency percentiles for point queries answered on the sync
+fast path — the in-memory LRU in front of the content-addressed disk
+cache.  Emits ``BENCH_serving.json``; the CI serving job asserts the
+headline number (≥ 1000 queries/s warm) and a bounded p99.
+
+Client concurrency uses a handful of keep-alive connections, matching
+how a sweep driver would actually consume the daemon.  Cold-path
+latency (a real execution through the worker pool) is reported for
+scale, not asserted — it is dominated by the experiment itself.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import pytest
+from conftest import banner
+
+from repro.engine import EngineConfig
+from repro.serve import Daemon, ServeClient, ServeConfig
+
+RESULTS: dict = {}
+
+MIN_WARM_QPS = 1000.0
+MAX_WARM_P99_MS = 50.0
+
+POINT = {"kind": "seq_io",
+         "params": {"alg": "strassen", "n": 16, "M": 48, "seed": 0,
+                    "replay": True}}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_json():
+    yield
+    out = Path("BENCH_serving.json")
+    out.write_text(json.dumps(RESULTS, indent=2) + "\n")
+    print(banner(f"serving bench results → {out}"))
+    print(json.dumps(RESULTS, indent=2))
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    tmp = Path(tempfile.mkdtemp(prefix="bench-serve-"))
+    config = ServeConfig(
+        serve_dir=tmp,
+        workers=2,
+        wal_sync="batch",
+        queue_depth=1024,
+        engine=EngineConfig(workers=2),
+    )
+    d = Daemon(config)
+    host, port = d.start()
+    yield d, host, port
+    d.stop()
+
+
+def _percentile(sorted_samples: list[float], q: float) -> float:
+    idx = min(len(sorted_samples) - 1, int(q * len(sorted_samples)))
+    return sorted_samples[idx]
+
+
+def _hammer(host: str, port: int, n_requests: int, latencies: list[float]) -> None:
+    client = ServeClient(host, port)
+    local: list[float] = []
+    for _ in range(n_requests):
+        t0 = time.perf_counter()
+        resp = client.point(**POINT)
+        local.append(time.perf_counter() - t0)
+        assert resp["result"]["status"] == "ok"
+    client.close()
+    latencies.extend(local)
+
+
+def test_warm_cache_throughput(daemon, benchmark):
+    d, host, port = daemon
+    # prime the cache: one real execution, then everything is warm
+    warm = ServeClient(host, port)
+    primed = warm.point(**POINT, wait_s=120)
+    assert primed["result"]["status"] == "ok"
+    assert warm.point(**POINT)["served"] == "cache"
+    warm.close()
+
+    threads_n, per_thread = 4, 1500
+    total = threads_n * per_thread
+    latencies: list[float] = []
+
+    def run():
+        latencies.clear()
+        collected: list[list[float]] = [[] for _ in range(threads_n)]
+        workers = [
+            threading.Thread(target=_hammer,
+                             args=(host, port, per_thread, collected[i]))
+            for i in range(threads_n)
+        ]
+        t0 = time.perf_counter()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        elapsed = time.perf_counter() - t0
+        for chunk in collected:
+            latencies.extend(chunk)
+        return elapsed
+
+    elapsed = benchmark.pedantic(run, rounds=3, iterations=1)
+    qps = total / elapsed
+    samples = sorted(latencies)
+    p50_ms = _percentile(samples, 0.50) * 1000.0
+    p99_ms = _percentile(samples, 0.99) * 1000.0
+    RESULTS["warm_cache"] = {
+        "requests": total,
+        "client_threads": threads_n,
+        "elapsed_s": elapsed,
+        "qps": qps,
+        "p50_ms": p50_ms,
+        "p99_ms": p99_ms,
+        "mean_ms": statistics.fmean(samples) * 1000.0,
+        "min_qps_required": MIN_WARM_QPS,
+        "max_p99_ms_allowed": MAX_WARM_P99_MS,
+    }
+    print(banner("warm-cache point queries"))
+    print(f"  {total} requests / {elapsed:.3f}s = {qps:,.0f} qps "
+          f"(p50 {p50_ms:.2f} ms, p99 {p99_ms:.2f} ms)")
+    assert qps >= MIN_WARM_QPS, f"warm-cache throughput {qps:.0f} < {MIN_WARM_QPS}"
+    assert p99_ms <= MAX_WARM_P99_MS, f"warm p99 {p99_ms:.2f} ms unbounded"
+
+
+def test_cold_execution_latency(daemon):
+    """One uncached point through the pool — context, not a target."""
+    _, host, port = daemon
+    client = ServeClient(host, port)
+    point = {"kind": "seq_io",
+             "params": {"alg": "strassen", "n": 32, "M": 48, "seed": 0,
+                        "replay": True}}
+    t0 = time.perf_counter()
+    resp = client.point(**point, wait_s=300)
+    cold_s = time.perf_counter() - t0
+    client.close()
+    assert resp["result"]["status"] == "ok"
+    RESULTS["cold_execution"] = {
+        "point_n": 32,
+        "latency_s": cold_s,
+        "served": resp.get("served"),
+    }
+    print(banner("cold execution (n=32, pooled)"))
+    print(f"  {cold_s:.3f}s end to end")

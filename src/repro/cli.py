@@ -10,7 +10,13 @@ sweep N... --M M        measured sequential I/O sweep with exponent fit
 recompute               the recomputation study (optimal pebbling)
 report DIR              observability dashboard for a sweep directory
 cache verify DIR        scan a result cache for corrupt/orphaned entries
+                        (``--repair`` quarantines/prunes; non-zero exit
+                        whenever corruption was found)
 falsify                 mutation-test the checkers, cross-check the counters
+serve                   resilient serving daemon: WAL-backed job queue,
+                        backpressure, circuit breaking (docs/serving.md)
+serve-drill             chaos-certify a daemon: backpressure, breaker,
+                        kill+restart exactly-once
 
 ``table1``, ``eval``, ``sweep``, and ``report`` accept ``--json`` for
 machine-readable output; ``sweep`` and ``recompute`` run through
@@ -180,6 +186,7 @@ def _engine_config(args):
         fail_fast=getattr(args, "fail_fast", False),
         sweep_dir=getattr(args, "sweep_dir", None),
         profile=getattr(args, "profile", "off"),
+        cache_max_bytes=getattr(args, "cache_max_bytes", None),
     )
 
 
@@ -360,7 +367,8 @@ def _cmd_report(args) -> int:
 def _cmd_cache_verify(args) -> int:
     from repro.engine import ResultCache
 
-    report = ResultCache(args.cache_dir).verify()
+    cache = ResultCache(args.cache_dir)
+    report = cache.repair() if args.repair else cache.verify()
     if args.json:
         _print_json(report)
     else:
@@ -370,7 +378,66 @@ def _cmd_cache_verify(args) -> int:
             print(f"  corrupt: {path}")
         for path in report["orphaned_tmp"]:
             print(f"  orphaned tmp: {path}")
+        if args.repair:
+            done = report["repaired"]
+            print(f"repaired: {len(done['quarantined'])} quarantined, "
+                  f"{len(done['removed_tmp'])} tmp files removed")
         print("OK" if report["ok"] else "PROBLEMS FOUND")
+    # --repair exits non-zero whenever corruption was *found*, repaired
+    # or not — a clean exit must mean the cache was already healthy
+    return 0 if report["ok"] else 1
+
+
+def _cmd_serve(args) -> int:
+    from repro.engine import EngineConfig
+    from repro.serve import Daemon, ServeConfig
+
+    config = ServeConfig(
+        serve_dir=args.dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        retry_after_s=args.retry_after,
+        wal_sync=args.wal_sync,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        max_job_retries=args.job_retries,
+        default_deadline_s=args.deadline,
+        flush_interval_s=args.flush_interval,
+        drain_timeout_s=args.drain_timeout,
+        allow_remote_shutdown=args.allow_remote_shutdown,
+        engine=EngineConfig(
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            point_timeout_s=args.timeout,
+            cache_max_bytes=args.cache_max_bytes,
+        ),
+    )
+    daemon = Daemon(config)
+    daemon.install_signal_handlers()
+    host, port = daemon.start()
+    print(f"serve: listening on http://{host}:{port} "
+          f"(dir={config.serve_dir}, workers={config.workers}, "
+          f"queue={config.queue_depth}, wal={config.wal_sync})")
+    sys.stdout.flush()
+    daemon.wait()
+    print("serve: drained and stopped")
+    return 0
+
+
+def _cmd_serve_drill(args) -> int:
+    from repro.serve.drill import run_drill
+
+    report = run_drill(args.dir)
+    if args.json:
+        _print_json(report)
+    else:
+        for name, passed in sorted(report["checks"].items()):
+            print(f"  {'PASS' if passed else 'FAIL'}  {name}")
+        print("OK" if report["ok"] else "CHAOS CERTIFICATION FAILED")
+        if not report["ok"]:
+            _print_json(report["details"])
     return 0 if report["ok"] else 1
 
 
@@ -412,6 +479,11 @@ def _engine_parent() -> argparse.ArgumentParser:
         help="complete every surviving point despite failures (default)",
     )
     parent.set_defaults(fail_fast=False)
+    parent.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="B",
+        help="result-cache size budget; least-recently-used entries are "
+             "evicted when a write exceeds it",
+    )
     return parent
 
 
@@ -496,7 +568,62 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_cv.add_argument("cache_dir", help="cache directory to scan")
     p_cv.add_argument("--json", action="store_true", help="machine-readable output")
+    p_cv.add_argument(
+        "--repair", action="store_true",
+        help="quarantine corrupt entries and prune orphaned .tmp files "
+             "(exit is still non-zero when corruption was found)",
+    )
     p_cv.set_defaults(fn=_cmd_cache_verify)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the resilient serving daemon (WAL-backed job queue over HTTP)",
+    )
+    p_serve.add_argument("--dir", default="serve",
+                         help="serve directory: WAL, endpoint.json, manifest, cache")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="0 picks an ephemeral port (published in endpoint.json)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="worker-pool width; 0/1 executes in-process")
+    p_serve.add_argument("--queue-depth", type=int, default=256,
+                         help="admission bound; overload answers HTTP 429")
+    p_serve.add_argument("--retry-after", type=float, default=1.0, metavar="S",
+                         help="Retry-After hint sent with 429 responses")
+    p_serve.add_argument("--wal-sync", choices=["always", "batch", "off"],
+                         default="always", help="WAL durability mode")
+    p_serve.add_argument("--breaker-threshold", type=int, default=3,
+                         help="consecutive pool failures that trip the breaker")
+    p_serve.add_argument("--breaker-cooldown", type=float, default=5.0, metavar="S",
+                         help="seconds the breaker stays open before a probe")
+    p_serve.add_argument("--job-retries", type=int, default=2,
+                         help="infrastructure-failure retries per job")
+    p_serve.add_argument("--deadline", type=float, default=None, metavar="S",
+                         help="default per-job deadline budget")
+    p_serve.add_argument("--timeout", type=float, default=None, metavar="S",
+                         help="per-execution wall-clock limit (EngineConfig."
+                              "point_timeout_s)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="result cache (default: <dir>/cache)")
+    p_serve.add_argument("--cache-max-bytes", type=int, default=None, metavar="B",
+                         help="cache size budget with LRU eviction")
+    p_serve.add_argument("--flush-interval", type=float, default=1.0, metavar="S",
+                         help="manifest/metrics flush cadence")
+    p_serve.add_argument("--drain-timeout", type=float, default=30.0, metavar="S",
+                         help="graceful-shutdown wait for in-flight jobs")
+    p_serve.add_argument("--allow-remote-shutdown", action="store_true",
+                         help="expose POST /shutdown (tests and drills)")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_drill = sub.add_parser(
+        "serve-drill",
+        help="chaos-certify the daemon: backpressure, breaker, kill+restart",
+    )
+    p_drill.add_argument("--dir", default="serve-drill",
+                         help="scratch directory for the drill daemons")
+    p_drill.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+    p_drill.set_defaults(fn=_cmd_serve_drill)
 
     p_falsify = sub.add_parser(
         "falsify",

@@ -30,7 +30,13 @@ Quick start::
 """
 
 from repro.engine.cache import ResultCache
-from repro.engine.core import EngineConfig, load_results_jsonl, run_point, run_sweep
+from repro.engine.core import (
+    EngineConfig,
+    load_results_jsonl,
+    retry_delay_s,
+    run_point,
+    run_sweep,
+)
 from repro.engine.faults import (
     FaultInjected,
     FaultPlan,
@@ -58,6 +64,7 @@ __all__ = [
     "run_point",
     "run_sweep",
     "load_results_jsonl",
+    "retry_delay_s",
     "ResultCache",
     "CACHE_SCHEMA",
     "code_version",

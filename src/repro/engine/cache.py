@@ -12,7 +12,21 @@ moves it to ``<cache_dir>/quarantine/`` for post-mortem inspection and
 reports it through the ``on_corrupt`` callback (the engine forwards that
 as an ``engine.cache.corrupt`` trace event).  :meth:`ResultCache.verify`
 scans every shard for corrupt entries and orphaned ``.tmp`` files —
-exposed on the command line as ``repro cache verify``.
+exposed on the command line as ``repro cache verify`` (``--repair``
+quarantines the corrupt entries and prunes the orphans via
+:meth:`ResultCache.repair`).
+
+Size budget
+-----------
+A long-lived consumer (the serve daemon runs for days) cannot let the
+cache grow without bound, so ``max_bytes`` installs a budget: when a
+write pushes the total entry size over it, least-recently-used entries
+are evicted until the cache fits again.  Recency is the entry file's
+mtime — :meth:`get` touches the file on every hit, so eviction order is
+true LRU at filesystem-timestamp granularity.  The running total is
+approximate under concurrent writers (each process tracks its own
+increments and rescans when it thinks the budget is exceeded), which can
+only delay an eviction, never corrupt an entry.
 """
 
 from __future__ import annotations
@@ -35,10 +49,17 @@ class ResultCache:
         self,
         cache_dir: str | Path,
         on_corrupt: Callable[[str, Path], None] | None = None,
+        max_bytes: int | None = None,
+        on_evict: Callable[[str], None] | None = None,
     ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.dir = Path(cache_dir).expanduser()
         self.dir.mkdir(parents=True, exist_ok=True)
         self.on_corrupt = on_corrupt
+        self.on_evict = on_evict
+        self.max_bytes = max_bytes
+        self._approx_bytes: int | None = None  # lazily initialized by put()
 
     def _path(self, key: str) -> Path:
         return self.dir / key[:2] / f"{key}.json"
@@ -86,7 +107,13 @@ class ResultCache:
         path = self._path(key)
         try:
             with path.open("r", encoding="utf-8") as fh:
-                return json.load(fh)
+                payload = json.load(fh)
+            if self.max_bytes is not None:
+                try:
+                    os.utime(path)  # mark recency for LRU eviction
+                except OSError:
+                    pass
+            return payload
         except FileNotFoundError:
             return None
         except (json.JSONDecodeError, UnicodeDecodeError):
@@ -96,7 +123,7 @@ class ResultCache:
             return None
 
     def put(self, key: str, payload: dict) -> None:
-        """Atomically persist ``payload`` under ``key``."""
+        """Atomically persist ``payload`` under ``key``; enforce the budget."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -110,6 +137,62 @@ class ResultCache:
             except FileNotFoundError:
                 pass
             raise
+        if self.max_bytes is not None:
+            if self._approx_bytes is None:
+                self._approx_bytes = self.total_bytes()
+            else:
+                try:
+                    self._approx_bytes += path.stat().st_size
+                except OSError:
+                    pass
+            if self._approx_bytes > self.max_bytes:
+                self.enforce_budget()
+
+    # -- size budget ----------------------------------------------------- #
+    def total_bytes(self) -> int:
+        """Exact total size of every entry file (shards only)."""
+        total = 0
+        for path in self.dir.glob("??/*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def enforce_budget(self) -> list[str]:
+        """Evict least-recently-used entries until the cache fits.
+
+        No-op without a ``max_bytes`` budget.  Returns the evicted keys
+        (oldest first).  Safe under concurrency: an entry another process
+        removed first is simply skipped.
+        """
+        if self.max_bytes is None:
+            return []
+        entries = []
+        total = 0
+        for path in self.dir.glob("??/*.json"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+            total += st.st_size
+        evicted: list[str] = []
+        if total > self.max_bytes:
+            for _mtime, size, path in sorted(entries):
+                if total <= self.max_bytes:
+                    break
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    continue
+                total -= size
+                key = path.stem
+                evicted.append(key)
+                if self.on_evict is not None:
+                    self.on_evict(key)
+        self._approx_bytes = total
+        return evicted
 
     def verify(self) -> dict:
         """Scan every shard; report corrupt entries and orphaned temp files.
@@ -141,6 +224,37 @@ class ResultCache:
             "quarantined": quarantined,
             "ok": not corrupt and not orphaned,
         }
+
+    def repair(self) -> dict:
+        """Quarantine every corrupt entry and delete orphaned temp files.
+
+        The mutating counterpart of :meth:`verify`: corrupt entries move
+        to ``quarantine/`` (never deleted — they are evidence), orphaned
+        ``.tmp`` files are removed outright.  Returns the :meth:`verify`
+        report taken *before* repairing, extended with ``repaired``
+        (``{"quarantined": [...], "removed_tmp": [...]}``) so callers can
+        tell what was found from what was done — ``repro cache verify
+        --repair`` exits non-zero whenever corruption was found, repaired
+        or not.
+        """
+        report = self.verify()
+        quarantined: list[str] = []
+        removed: list[str] = []
+        for spath in report["corrupt"]:
+            path = Path(spath)
+            dest = self._quarantine(path)
+            if dest is not None:
+                quarantined.append(str(dest))
+                if self.on_corrupt is not None:
+                    self.on_corrupt(path.stem, dest)
+        for spath in report["orphaned_tmp"]:
+            try:
+                Path(spath).unlink()
+                removed.append(spath)
+            except FileNotFoundError:
+                pass
+        report["repaired"] = {"quarantined": quarantined, "removed_tmp": removed}
+        return report
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).is_file()

@@ -34,6 +34,9 @@ with a typed status (``error`` / ``timeout`` / ``skipped``), and
 from __future__ import annotations
 
 import json
+import random
+import signal
+import threading
 import time
 import traceback
 import warnings
@@ -51,7 +54,45 @@ from repro.obs.manifest import RunManifest
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import PROFILE_MODES, PROFILE_SUBDIR
 
-__all__ = ["EngineConfig", "run_point", "run_sweep", "load_results_jsonl"]
+__all__ = [
+    "EngineConfig",
+    "run_point",
+    "run_sweep",
+    "load_results_jsonl",
+    "retry_delay_s",
+]
+
+
+#: Process-wide RNG for jittered backoff.  Deliberately *not* seeded from
+#: experiment parameters: retry timing is provenance, never a result, so
+#: randomizing it cannot perturb any counted quantity.
+_JITTER_RNG = random.Random()
+
+
+def retry_delay_s(
+    base: float,
+    attempt: int,
+    *,
+    cap: float = 30.0,
+    jitter: bool = True,
+    rng: random.Random | None = None,
+) -> float:
+    """Backoff delay before re-running a failed ``attempt`` (1-based).
+
+    With ``jitter`` (the default) this is *full jitter*: a uniform draw
+    from ``[0, min(cap, base * 2**(attempt-1))]``.  Deterministic
+    exponential backoff re-queues an entire fleet in lockstep — after a
+    pool rebuild every victim retries at exactly the same instant, which
+    is precisely the thundering herd the backoff was meant to avoid.
+    ``jitter=False`` gives the legacy deterministic upper envelope; either
+    way the delay is bounded by ``cap``.
+    """
+    bound = min(cap, base * (2 ** (attempt - 1)))
+    if bound <= 0:
+        return 0.0
+    if not jitter:
+        return bound
+    return (rng or _JITTER_RNG).uniform(0.0, bound)
 
 
 @dataclass
@@ -78,8 +119,16 @@ class EngineConfig:
         How many times a failed (error or timeout) point is re-queued
         before it is recorded as a permanent failure.
     retry_backoff_s:
-        Base of the exponential backoff between retries of one point
-        (``base * 2**(attempt-1)`` seconds).
+        Base of the exponential backoff between retries of one point.
+        The actual delay is *full-jittered*: uniform in
+        ``[0, min(retry_backoff_max_s, base * 2**(attempt-1))]`` — see
+        :func:`retry_delay_s` — so a mass re-queue after a pool rebuild
+        does not retry in lockstep.
+    retry_backoff_max_s:
+        Hard cap on any single backoff delay.
+    retry_jitter:
+        Set False for the legacy deterministic exponential delays
+        (useful when a test needs exact timing).
     max_pool_rebuilds:
         How many *unexpected* pool breaks (worker death) to repair before
         degrading the rest of the sweep to serial in-process execution.
@@ -98,6 +147,18 @@ class EngineConfig:
         "cprofile", "tracemalloc").  Any mode but "off" requires a
         ``sweep_dir`` (artifacts need a home); profiling never touches
         the deterministic trace.
+    cache_max_bytes:
+        Size budget for the result cache; least-recently-used entries
+        are evicted when a write pushes the cache over it (None = no
+        budget).  Long-lived consumers — the serve daemon above all —
+        must set this or the cache grows without bound.
+    handle_signals:
+        Drain gracefully on SIGTERM/SIGINT (main thread only): stop
+        dispatching, mark the in-flight and queued points ``skipped``,
+        flush the JSONL checkpoint and the manifest, and return the
+        partial :class:`SweepResult` (``stats["interrupted"] = 1``)
+        instead of dying mid-write.  A second signal falls through to
+        the previous handler.
     """
 
     workers: int = 0
@@ -107,10 +168,14 @@ class EngineConfig:
     point_timeout_s: float | None = None
     max_retries: int = 0
     retry_backoff_s: float = 0.05
+    retry_backoff_max_s: float = 30.0
+    retry_jitter: bool = True
     max_pool_rebuilds: int = 2
     fail_fast: bool = False
     sweep_dir: str | Path | None = None
     profile: str = "off"
+    cache_max_bytes: int | None = None
+    handle_signals: bool = True
 
     def __post_init__(self) -> None:
         if self.profile not in PROFILE_MODES:
@@ -125,7 +190,7 @@ class EngineConfig:
     def open_cache(self, registry: MetricsRegistry | None = None) -> ResultCache | None:
         if self.cache_dir is None:
             return None
-        on_corrupt = None
+        on_corrupt = on_evict = None
         if self.tracer is not None or registry is not None:
             tracer = self.tracer
 
@@ -137,7 +202,18 @@ class EngineConfig:
                         "engine.cache.corrupt", key=key, quarantined=str(quarantined)
                     )
 
-        return ResultCache(self.cache_dir, on_corrupt=on_corrupt)
+            def on_evict(key: str) -> None:
+                if registry is not None:
+                    registry.inc("engine.cache.evicted")
+                if tracer is not None:
+                    tracer.emit("engine.cache.evicted", key=key)
+
+        return ResultCache(
+            self.cache_dir,
+            on_corrupt=on_corrupt,
+            max_bytes=self.cache_max_bytes,
+            on_evict=on_evict,
+        )
 
     # -- observability plumbing ----------------------------------------- #
     def resolved_jsonl_path(self) -> Path | None:
@@ -174,8 +250,11 @@ class EngineConfig:
             "point_timeout_s": self.point_timeout_s,
             "max_retries": self.max_retries,
             "retry_backoff_s": self.retry_backoff_s,
+            "retry_backoff_max_s": self.retry_backoff_max_s,
+            "retry_jitter": self.retry_jitter,
             "max_pool_rebuilds": self.max_pool_rebuilds,
             "fail_fast": self.fail_fast,
+            "cache_max_bytes": self.cache_max_bytes,
         }
 
 
@@ -249,6 +328,12 @@ class _Task:
     errors: list = field(default_factory=list)
 
 
+#: Upper bound on any blocking wait in the dispatch loops, so a signal
+#: handler's stop flag is noticed promptly (PEP 475: a returning handler
+#: does not interrupt a blocking wait).
+_SIGNAL_POLL_S = 0.25
+
+
 def _pop_ready(tasks: deque, now: float) -> _Task | None:
     for i, task in enumerate(tasks):
         if task.not_before <= now:
@@ -260,6 +345,19 @@ def _pop_ready(tasks: deque, now: float) -> _Task | None:
 def _traceback_tail(exc: BaseException, limit: int = 12) -> str:
     lines = traceback.format_exception(type(exc), exc, exc.__traceback__)
     return "".join(lines[-limit:])
+
+
+def _worker_init() -> None:
+    """Reset signal disposition in pool workers.
+
+    Forked workers inherit the parent's handlers — including the sweep's
+    flag-setting drain handler, which would turn ``_kill_pool``'s
+    ``proc.terminate()`` into a no-op (the worker sets a flag on *its*
+    copy of the runner and keeps executing).  Workers must die on SIGTERM
+    (the engine kills hung pools that way) and must leave SIGINT to the
+    parent, which drains and terminates them deliberately."""
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
 class _SweepRunner:
@@ -283,7 +381,8 @@ class _SweepRunner:
         self.results: list[RunResult | None] = [None] * len(points)
         self.failures: list[RunResult] = []
         self.degraded = False
-        self.stop = False  # tripped by fail_fast
+        self.stop = False  # tripped by fail_fast or a drain signal
+        self.interrupted = False  # SIGTERM/SIGINT received mid-sweep
         self._jsonl_fh = None
         self.manifest: RunManifest | None = (
             RunManifest(config.sweep_dir) if config.sweep_dir is not None else None
@@ -344,7 +443,12 @@ class _SweepRunner:
                        error=detail["type"], message=detail["message"])
         task.errors.append(detail)
         if task.attempts <= self.config.max_retries and not self.stop:
-            backoff = self.config.retry_backoff_s * (2 ** (task.attempts - 1))
+            backoff = retry_delay_s(
+                self.config.retry_backoff_s,
+                task.attempts,
+                cap=self.config.retry_backoff_max_s,
+                jitter=self.config.retry_jitter,
+            )
             task.not_before = time.perf_counter() + backoff
             self.metrics.inc("engine.retries")
             self._emit("engine.point.retry", key=task.key, attempt=task.attempts,
@@ -354,9 +458,13 @@ class _SweepRunner:
         return False
 
     def _fail_permanently(self, task: _Task, status: str) -> None:
+        skip_reason = (
+            "interrupted: the sweep received SIGTERM/SIGINT and drained"
+            if self.interrupted
+            else "fail_fast: an earlier point failed"
+        )
         last = task.errors[-1] if task.errors else {
-            "type": "Skipped", "message": "fail_fast: an earlier point failed",
-            "traceback": "",
+            "type": "Skipped", "message": skip_reason, "traceback": "",
         }
         run = RunResult(
             key=task.key,
@@ -371,8 +479,9 @@ class _SweepRunner:
         )
         self.failures.append(run)
         self.metrics.inc(f"engine.failures.{status}")
-        if status != "skipped":
-            self._write_jsonl(run)
+        # skipped records go to the checkpoint stream too: the JSONL file
+        # is a complete account of the sweep, mirroring the manifest
+        self._write_jsonl(run)
         if self.manifest is not None:
             self.manifest.record_point(run)
         if self.config.fail_fast and status != "skipped":
@@ -382,13 +491,58 @@ class _SweepRunner:
         for task in tasks:
             self._fail_permanently(task, "skipped")
 
+    # -- graceful interruption (SIGTERM/SIGINT) ------------------------- #
+    def _install_signal_handlers(self) -> dict | None:
+        """Route SIGTERM/SIGINT into a graceful drain (main thread only).
+
+        The handler only flips flags — the dispatch loops notice them at
+        their next bounded wait, mark the outstanding points ``skipped``,
+        and let the ordinary finalization path flush the checkpoint and
+        the manifest.  PEP 475 means a flag-setting handler does *not*
+        break a blocking wait, so every wait in the dispatch loops is
+        capped at ``_SIGNAL_POLL_S``.  The first signal also restores the
+        previous handlers, so a second signal behaves as if the engine
+        had never intervened (normally: process death).
+        """
+        if not self.config.handle_signals:
+            return None
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        previous: dict = {}
+
+        def _interrupt(signum, frame):
+            self.interrupted = True
+            self.stop = True
+            self._emit("engine.sweep.interrupted", signum=signum)
+            self._restore_signal_handlers(previous)
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[sig] = signal.signal(sig, _interrupt)
+            except (ValueError, OSError):  # embedded interpreter, etc.
+                pass
+        return previous or None
+
+    @staticmethod
+    def _restore_signal_handlers(previous: dict | None) -> None:
+        for sig, handler in (previous or {}).items():
+            try:
+                if signal.getsignal(sig) != handler:
+                    signal.signal(sig, handler)
+            except (ValueError, OSError):
+                pass
+
     # -- serial execution (workers<=1, and the degraded fallback) ------- #
     def _run_serial(self, tasks: deque) -> None:
         while tasks and not self.stop:
             task = tasks.popleft()
             delay = task.not_before - time.perf_counter()
-            if delay > 0:
-                time.sleep(delay)
+            while delay > 0 and not self.stop:
+                time.sleep(min(delay, _SIGNAL_POLL_S))
+                delay = task.not_before - time.perf_counter()
+            if self.stop:
+                tasks.appendleft(task)
+                break
             task.attempts += 1
             try:
                 metrics, trace, wall = execute_point(
@@ -435,7 +589,8 @@ class _SweepRunner:
     def _run_pooled(self, tasks: deque) -> None:
         cfg = self.config
         unexpected_breaks = 0
-        pool = ProcessPoolExecutor(max_workers=cfg.workers)
+        pool = ProcessPoolExecutor(max_workers=cfg.workers,
+                                   initializer=_worker_init)
         in_flight: dict[Future, _Task] = {}
         try:
             while (tasks or in_flight) and not self.stop:
@@ -461,9 +616,12 @@ class _SweepRunner:
                     in_flight[fut] = task
 
                 if not broken and in_flight:
+                    budget = self._wait_budget(in_flight, tasks)
                     done, _ = wait(
                         list(in_flight),
-                        timeout=self._wait_budget(in_flight, tasks),
+                        timeout=_SIGNAL_POLL_S
+                        if budget is None
+                        else min(budget, _SIGNAL_POLL_S),
                         return_when=FIRST_COMPLETED,
                     )
                     for fut in done:
@@ -482,7 +640,12 @@ class _SweepRunner:
                             self._complete(task, metrics, trace, wall)
                 elif not broken:
                     # everything is backing off; sleep until the next gate
-                    time.sleep(self._wait_budget(in_flight, tasks) or 0.01)
+                    time.sleep(
+                        min(
+                            self._wait_budget(in_flight, tasks) or 0.01,
+                            _SIGNAL_POLL_S,
+                        )
+                    )
                     continue
 
                 if broken:
@@ -496,7 +659,8 @@ class _SweepRunner:
                         self._run_serial(tasks)
                         return
                     self.metrics.inc("engine.pool.rebuilds")
-                    pool = ProcessPoolExecutor(max_workers=cfg.workers)
+                    pool = ProcessPoolExecutor(max_workers=cfg.workers,
+                                               initializer=_worker_init)
                     continue
 
                 # enforce the per-point wall-clock timeout
@@ -516,7 +680,8 @@ class _SweepRunner:
                         self._kill_pool(pool)
                         self._requeue_victims(in_flight, tasks)
                         self.metrics.inc("engine.pool.rebuilds")
-                        pool = ProcessPoolExecutor(max_workers=cfg.workers)
+                        pool = ProcessPoolExecutor(max_workers=cfg.workers,
+                                                   initializer=_worker_init)
             if self.stop:
                 self._kill_pool(pool)
                 self._skip_remaining(in_flight.values())
@@ -535,6 +700,7 @@ class _SweepRunner:
             self._jsonl_fh = jsonl_path.open("a", encoding="utf-8")
         if self.manifest is not None:
             self.manifest.start(cfg.public_dict(), self.parameter, self.points)
+        previous_handlers = self._install_signal_handlers()
         try:
             tasks: deque[_Task] = deque()
             for i, point in enumerate(self.points):
@@ -561,6 +727,7 @@ class _SweepRunner:
                 else:
                     self._run_serial(tasks)
         finally:
+            self._restore_signal_handlers(previous_handlers)
             if self._jsonl_fh is not None:
                 self._jsonl_fh.close()
                 self._jsonl_fh = None
@@ -611,6 +778,7 @@ class _SweepRunner:
             "pool_rebuilds": self._count("engine.pool.rebuilds"),
             "failures": len(self.failures),
             "degraded": 1.0 if self.degraded else 0.0,
+            "interrupted": 1.0 if self.interrupted else 0.0,
         }
         if self.manifest is not None:
             self.manifest.finish(stats, self.metrics.to_dict())

@@ -16,6 +16,12 @@ chosen failure on the first N executions of matching points:
     raise :class:`FaultInjected` — a transient in-process flake.
 ``corrupt``
     return nonsense metrics instead of running the experiment.
+``delay``
+    sleep for ``delay_s``, then run the point normally — a slow worker
+    rather than a dead one.  Unlike ``hang`` (whose default stall is so
+    long the engine must kill the worker), ``delay`` models tail latency:
+    the execution still succeeds, just late.  The serve chaos suite uses
+    it to fill queues and exercise backpressure and deadline budgets.
 
 Attempt counting must survive the very failures it triggers (a crashed
 worker cannot remember it crashed), so counts live on disk: executing a
@@ -56,7 +62,7 @@ __all__ = [
 ]
 
 ENV_VAR = "REPRO_FAULTS"
-FAULT_MODES = ("crash", "hang", "raise", "corrupt")
+FAULT_MODES = ("crash", "hang", "raise", "corrupt", "delay")
 
 #: Metrics returned by ``corrupt`` mode — recognizably garbage.
 CORRUPT_METRICS = {"io": -1.0, "corrupt": True}
@@ -81,6 +87,7 @@ class FaultRule:
     params: dict | None = None
     times: int = 1
     hang_s: float = 3600.0
+    delay_s: float = 1.0
     exit_code: int = 42
 
     def __post_init__(self) -> None:
@@ -102,6 +109,7 @@ class FaultRule:
             "params": self.params,
             "times": self.times,
             "hang_s": self.hang_s,
+            "delay_s": self.delay_s,
             "exit_code": self.exit_code,
         }
 
@@ -113,6 +121,7 @@ class FaultRule:
             params=d.get("params"),
             times=int(d.get("times", 1)),
             hang_s=float(d.get("hang_s", 3600.0)),
+            delay_s=float(d.get("delay_s", 1.0)),
             exit_code=int(d.get("exit_code", 42)),
         )
 
@@ -165,8 +174,9 @@ def apply_fault(spec: dict) -> tuple[dict, dict] | None:
     Called by :func:`repro.engine.runners.execute_point` at the top of
     every execution, in whichever process runs the point.  Returns None
     when the point should execute normally, or a ``(metrics, trace)``
-    payload for ``corrupt`` mode; ``crash`` / ``hang`` / ``raise`` never
-    return normally (exit, sleep-then-run, raise).
+    payload for ``corrupt`` mode; ``crash`` exits, ``raise`` raises, and
+    ``hang`` / ``delay`` sleep (``hang_s`` / ``delay_s``) before letting
+    the execution proceed.
     """
     raw = os.environ.get(ENV_VAR)
     if not raw:
@@ -181,8 +191,8 @@ def apply_fault(spec: dict) -> tuple[dict, dict] | None:
             return None  # this rule is spent for this point — run normally
         if rule.mode == "crash":
             os._exit(rule.exit_code)
-        if rule.mode == "hang":
-            time.sleep(rule.hang_s)
+        if rule.mode in ("hang", "delay"):
+            time.sleep(rule.hang_s if rule.mode == "hang" else rule.delay_s)
             return None
         if rule.mode == "raise":
             raise FaultInjected(

@@ -1,0 +1,116 @@
+"""Circuit breaker guarding the daemon's worker pool.
+
+A worker pool that keeps dying (broken executor, poisoned environment,
+OOM-killer on a loop) must not take the daemon down with it — and must
+not burn a pool rebuild per job while the underlying cause persists.
+The :class:`CircuitBreaker` is the standard three-state machine:
+
+``closed``
+    Healthy.  Failures are counted; ``failure_threshold`` *consecutive*
+    failures trip the breaker.
+``open``
+    Tripped.  Pool execution is refused for ``cooldown_s``; the daemon
+    degrades to in-process serial execution, which keeps answering
+    (slowly) instead of flapping.
+``half_open``
+    Cooldown expired.  Exactly one probe job is allowed through to the
+    pool; success closes the breaker, failure re-opens it for another
+    cooldown.
+
+Failures here mean *infrastructure* failures (a broken pool, a worker
+that died), not experiment errors — a point that raises deterministically
+is a valid answer, not a sick pool, and must not trip the breaker.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["BREAKER_STATES", "CircuitBreaker"]
+
+BREAKER_STATES = ("closed", "open", "half_open")
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a single half-open probe."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 10.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold <= 0:
+            raise ValueError(
+                f"failure_threshold must be positive, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_out = False
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._state = "half_open"
+            self._probe_out = False
+
+    def allow(self) -> bool:
+        """May the pool be used for the next job right now?
+
+        In ``half_open`` only the first caller gets True (the probe);
+        everyone else stays on the degraded path until the probe reports.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "closed":
+                return True
+            if self._state == "half_open" and not self._probe_out:
+                self._probe_out = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == "half_open":
+                self._state = "closed"
+            self._probe_out = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            self._consecutive_failures += 1
+            if self._state == "half_open" or (
+                self._state == "closed"
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._probe_out = False
+                self.trips += 1
+
+    def public_dict(self) -> dict:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "trips": self.trips,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_s": self.cooldown_s,
+            }

@@ -1,0 +1,58 @@
+"""Request coalescing: identical in-flight points execute once.
+
+Every experiment point is a pure function of its content-addressed key
+(see :mod:`repro.engine.keys`), so two jobs with the same key *must*
+produce the same answer — executing both is pure waste.  The
+:class:`Coalescer` tracks the **leader** job per key; later arrivals for
+the same key become **followers** that ride on the leader's execution and
+are finished (with a copy of the leader's result) the moment the leader
+finishes.
+
+Leadership is scoped to in-flight work: once a leader completes, its key
+is released and the next submission for that key starts a new flight
+(normally answered from the result cache anyway).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.queue import Job
+
+__all__ = ["Coalescer"]
+
+
+class Coalescer:
+    """Key → leader-job map for in-flight executions (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._leaders: dict[str, Job] = {}
+        self.coalesced = 0
+
+    def admit(self, job: Job) -> Job | None:
+        """Register ``job``; returns the leader it coalesced onto, if any.
+
+        ``None`` means ``job`` is the new leader for its key and must be
+        executed.  Otherwise the returned leader adopts ``job`` as a
+        follower — the caller must not queue ``job``.
+        """
+        with self._lock:
+            leader = self._leaders.get(job.key)
+            if leader is None or leader.done_event.is_set():
+                self._leaders[job.key] = job
+                return None
+            leader.followers.append(job)
+            self.coalesced += 1
+            return leader
+
+    def release(self, job: Job) -> int:
+        """Drop leadership after ``job`` finishes; returns follower count."""
+        with self._lock:
+            if self._leaders.get(job.key) is job:
+                del self._leaders[job.key]
+        return len(job.followers)
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._leaders)

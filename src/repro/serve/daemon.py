@@ -1,0 +1,686 @@
+"""The serve daemon: a crash-safe job-queue front end for the engine.
+
+:class:`Daemon` glues the serve subsystem together around the existing
+execution machinery (:func:`repro.engine.runners.execute_point`, the
+content-addressed :class:`~repro.engine.cache.ResultCache`):
+
+* a **sync fast path** — a point whose answer is already cached is
+  served inside the HTTP exchange, no WAL record, no queue (a request
+  answered before it is acknowledged needs no recovery record);
+* a :class:`~repro.serve.wal.WriteAheadLog` — every *asynchronously
+  accepted* job is durably recorded before the client's 202, and every
+  terminal answer is recorded before followers are released, so a
+  SIGKILL + restart replays to exactly the accepted-but-unanswered set:
+  zero lost, zero duplicated answers;
+* a bounded :class:`~repro.serve.queue.JobQueue` — admission control;
+  overload is refused at the door with a retry hint (HTTP 429);
+* a :class:`~repro.serve.coalesce.Coalescer` — identical in-flight
+  points execute once, followers ride the leader;
+* a :class:`~repro.serve.breaker.CircuitBreaker` around the worker pool
+  — repeated infrastructure failures (dead workers, broken pools) trip
+  it and execution degrades to in-process serial until a half-open probe
+  proves the pool healthy again;
+* per-job **deadline budgets** — an absolute instant past which the
+  answer is worthless; expired jobs fail fast with ``timeout`` status,
+  layered under ``EngineConfig.point_timeout_s`` which still bounds any
+  single execution;
+* **graceful drain** — SIGTERM/SIGINT stops admission (``/readyz`` goes
+  503), lets in-flight work finish within ``drain_timeout_s``, flushes
+  the manifest and metrics, and leaves unfinished jobs in the WAL for
+  the next incarnation.
+
+The worker pool uses the ``spawn`` start method: the daemon is heavily
+multi-threaded and forking a multi-threaded process can deadlock the
+child in a held lock.  ``REPRO_FAULTS`` still reaches spawned workers
+through the inherited environment, so the chaos drill can kill them.
+
+Threading model: HTTP handler threads (admission + sync fast path),
+``workers`` dispatcher threads (each feeds the shared pool or, degraded,
+executes in-process), and one flusher thread (manifest + metrics +
+endpoint heartbeat on ``flush_interval_s``).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.results import RunResult
+from repro.engine.core import EngineConfig
+from repro.engine.keys import point_key
+from repro.engine.runners import execute_point
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.coalesce import Coalescer
+from repro.serve.queue import Job, JobQueue, QueueFull
+from repro.serve.wal import WAL_SYNC_MODES, WriteAheadLog
+
+__all__ = ["ServeConfig", "Daemon", "DrainingError", "ENDPOINT_NAME", "WAL_NAME"]
+
+ENDPOINT_NAME = "endpoint.json"
+WAL_NAME = "serve.wal"
+
+#: Upper bound on any blocking wait in daemon threads, so stop flags are
+#: noticed promptly.
+_POLL_S = 0.25
+
+
+class DrainingError(RuntimeError):
+    """The daemon is shutting down and no longer admits jobs."""
+
+
+@dataclass
+class ServeConfig:
+    """Everything that shapes one daemon instance.
+
+    serve_dir:
+        Home for the WAL, ``endpoint.json``, the run manifest, and
+        (through the embedded engine config, unless overridden) the
+        result cache — the directory ``repro report`` consumes.
+    host / port:
+        Bind address; port 0 picks an ephemeral port, published in
+        ``<serve_dir>/endpoint.json`` for discovery.
+    engine:
+        The :class:`~repro.engine.core.EngineConfig` supplying cache
+        location/budget and ``point_timeout_s``.  ``cache_dir`` defaults
+        to ``<serve_dir>/cache`` when unset; ``handle_signals`` is
+        forced off (the daemon owns the process signals).
+    workers:
+        Worker-pool width *and* dispatcher-thread count; 0 or 1 runs
+        every job in-process (no pool, breaker effectively idle).
+    queue_depth / retry_after_s:
+        Admission bound and the 429 ``Retry-After`` hint.
+    wal_sync:
+        WAL durability, one of :data:`~repro.serve.wal.WAL_SYNC_MODES`.
+    breaker_threshold / breaker_cooldown_s:
+        Circuit-breaker tuning (consecutive infrastructure failures to
+        trip; seconds open before the half-open probe).
+    max_job_retries:
+        How many times one job survives an infrastructure failure (pool
+        break, execution timeout) before being failed outright.
+    default_deadline_s:
+        Deadline budget given to jobs that do not carry their own.
+    mem_cache_entries:
+        Size of the in-memory LRU fronting the disk cache on the sync
+        fast path (0 disables it).
+    flush_interval_s:
+        Cadence of the flusher thread (manifest + metrics + WAL group
+        commit for ``wal_sync="batch"``).
+    drain_timeout_s:
+        How long a graceful shutdown waits for in-flight jobs.
+    allow_remote_shutdown:
+        Expose ``POST /shutdown`` (tests and drills; a production
+        daemon should be signalled instead).
+    """
+
+    serve_dir: str | Path = "serve"
+    host: str = "127.0.0.1"
+    port: int = 0
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    workers: int = 2
+    queue_depth: int = 256
+    retry_after_s: float = 1.0
+    wal_sync: str = "always"
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 5.0
+    max_job_retries: int = 2
+    default_deadline_s: float | None = None
+    mem_cache_entries: int = 4096
+    flush_interval_s: float = 1.0
+    drain_timeout_s: float = 30.0
+    allow_remote_shutdown: bool = False
+
+    def __post_init__(self) -> None:
+        if self.wal_sync not in WAL_SYNC_MODES:
+            raise ValueError(
+                f"unknown wal_sync {self.wal_sync!r} (use one of {WAL_SYNC_MODES})"
+            )
+        if self.queue_depth <= 0:
+            raise ValueError(f"queue_depth must be positive, got {self.queue_depth}")
+        self.serve_dir = Path(self.serve_dir).expanduser()
+        if self.engine.cache_dir is None:
+            self.engine.cache_dir = self.serve_dir / "cache"
+        # The daemon installs its own SIGTERM/SIGINT drain; the engine's
+        # sweep-level handler must not compete for the same signals.
+        self.engine.handle_signals = False
+
+    def public_dict(self) -> dict:
+        return {
+            "serve_dir": str(self.serve_dir),
+            "host": self.host,
+            "port": self.port,
+            "workers": self.workers,
+            "queue_depth": self.queue_depth,
+            "retry_after_s": self.retry_after_s,
+            "wal_sync": self.wal_sync,
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_cooldown_s": self.breaker_cooldown_s,
+            "max_job_retries": self.max_job_retries,
+            "default_deadline_s": self.default_deadline_s,
+            "mem_cache_entries": self.mem_cache_entries,
+            "flush_interval_s": self.flush_interval_s,
+            "drain_timeout_s": self.drain_timeout_s,
+            "engine": self.engine.public_dict(),
+        }
+
+
+def _run_result(job: Job, metrics: dict, trace: dict, cached: bool,
+                wall: float, status: str = "ok", error: dict | None = None) -> dict:
+    return RunResult(
+        key=job.key,
+        kind=job.kind,
+        params=dict(job.params),
+        metrics=metrics,
+        cached=cached,
+        wall_time_s=wall,
+        trace=trace,
+        status=status,
+        error=error,
+    ).to_dict()
+
+
+class Daemon:
+    """The serve daemon.  Construct, :meth:`start`, :meth:`wait`/:meth:`stop`."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        config.serve_dir.mkdir(parents=True, exist_ok=True)
+        self.metrics = MetricsRegistry()
+        self.cache = config.engine.open_cache(registry=self.metrics)
+        self.wal = WriteAheadLog(config.serve_dir / WAL_NAME, sync=config.wal_sync)
+        self.queue = JobQueue(depth=config.queue_depth,
+                              retry_after_s=config.retry_after_s)
+        self.coalescer = Coalescer()
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_threshold,
+            cooldown_s=config.breaker_cooldown_s,
+        )
+        self.manifest = RunManifest(config.serve_dir)
+        self.manifest.start(config.public_dict(), parameter="serve", points=[])
+        self._manifest_lock = threading.Lock()
+        self._manifest_dirty = False
+
+        self._jobs: dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._job_attempts: dict[str, int] = {}
+        self._mem_cache: OrderedDict[str, dict] = OrderedDict()
+        self._mem_lock = threading.Lock()
+
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._pool_generation = 0
+
+        self.draining = threading.Event()
+        self._stopped = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._server = None
+        self.started_at: float | None = None
+        self.replayed = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> tuple[str, int]:
+        """Replay the WAL, start dispatchers + HTTP; returns (host, port)."""
+        from repro.serve.api import build_server
+
+        self._replay()
+        self.started_at = time.time()
+        for i in range(max(1, self.config.workers)):
+            t = threading.Thread(
+                target=self._dispatch_loop, name=f"serve-dispatch-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+        flusher = threading.Thread(
+            target=self._flush_loop, name="serve-flush", daemon=True
+        )
+        flusher.start()
+        self._threads.append(flusher)
+
+        self._server = build_server(self, self.config.host, self.config.port)
+        host, port = self._server.server_address[:2]
+        server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": _POLL_S},
+            name="serve-http",
+            daemon=True,
+        )
+        server_thread.start()
+        self._threads.append(server_thread)
+        self._write_endpoint(host, port)
+        return host, port
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (main thread only)."""
+        def _drain(signum, frame):
+            # flag only — everything heavy happens in wait() off the handler
+            self.draining.set()
+
+        signal.signal(signal.SIGTERM, _drain)
+        signal.signal(signal.SIGINT, _drain)
+
+    def wait(self) -> None:
+        """Block until a drain is requested, then shut down cleanly."""
+        while not self.draining.is_set():
+            self.draining.wait(_POLL_S)
+        self.stop()
+
+    def stop(self) -> None:
+        """Drain: refuse new work, finish in-flight, flush, persist."""
+        if self._stopped.is_set():
+            return
+        self.draining.set()
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while time.monotonic() < deadline:
+            with self._jobs_lock:
+                busy = any(j.state == "running" for j in self._jobs.values())
+            if not busy and len(self.queue) == 0:
+                break
+            time.sleep(_POLL_S)
+        self._stopped.set()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+        for job in self.queue.drain():
+            # still pending in the WAL: the next incarnation replays it
+            self.metrics.inc("serve.jobs.orphaned")
+        self.wal.sync()
+        self.wal.close()
+        self._flush_manifest(force=True)
+        try:
+            (self.config.serve_dir / ENDPOINT_NAME).unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # WAL replay / durability
+    # ------------------------------------------------------------------ #
+    def _replay(self) -> None:
+        """Rebuild state from the WAL: answered jobs answerable, pending
+        jobs re-queued exactly once, then compact."""
+        ledger = self.wal.replay()
+        pending: list[dict] = []
+        for jid, entry in ledger.items():
+            rec = entry["job"]
+            job = Job(
+                id=jid,
+                kind=rec.get("kind", "?"),
+                params=dict(rec.get("params", {})),
+                key=rec.get("key", ""),
+                deadline=rec.get("deadline"),
+                submitted_at=rec.get("submitted_at", 0.0),
+            )
+            with self._jobs_lock:
+                self._jobs[jid] = job
+            if entry["status"] == "done":
+                job.finish(entry["result"], state="done")
+            elif entry["status"] == "cancelled":
+                job.state = "cancelled"
+                job.done_event.set()
+            else:
+                pending.append({"job": job, "into": entry["coalesced_into"],
+                                "entry": entry})
+        # leaders first, then followers, in original submission order
+        pending.sort(key=lambda p: (p["into"] is not None,
+                                    p["job"].submitted_at))
+        for item in pending:
+            job = item["job"]
+            leader_id = item["into"]
+            if leader_id is not None:
+                leader_entry = ledger.get(leader_id)
+                if leader_entry is not None and leader_entry["status"] == "done":
+                    # the leader answered before the crash; hand the
+                    # follower its copy and record it terminally
+                    self._finish_job(job, dict(leader_entry["result"]),
+                                     state="done", wal=True)
+                    continue
+            leader = self.coalescer.admit(job)
+            if leader is None:
+                self.queue.requeue(job, front=False)
+            self.replayed += 1
+            self.metrics.inc("serve.wal.replayed")
+        self.wal.compact(self.wal.replay())
+
+    def _finish_job(self, job: Job, result: dict, state: str | None = None,
+                    wal: bool = True) -> None:
+        """Terminal bookkeeping: WAL record first, then wake waiters."""
+        if state is None:
+            state = "done" if result.get("status") == "ok" else "failed"
+        if wal:
+            self.wal.append("done", id=job.id, result=result)
+            for follower in job.followers:
+                self.wal.append("done", id=follower.id, result=result)
+        job.finish(result, state=state)
+        self.coalescer.release(job)
+        run = RunResult.from_dict(result)
+        with self._manifest_lock:
+            self.manifest.record_point(run, write=False)
+            self._manifest_dirty = True
+        name = "serve.jobs.done" if run.ok else "serve.jobs.failed"
+        self.metrics.inc(name, 1 + len(job.followers))
+        if run.status == "timeout":
+            self.metrics.inc("serve.jobs.expired")
+
+    # ------------------------------------------------------------------ #
+    # admission (called from HTTP handler threads)
+    # ------------------------------------------------------------------ #
+    def lookup(self, job_id: str) -> Job | None:
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    def cached_answer(self, kind: str, params: dict) -> dict | None:
+        """The sync fast path: answer from memory or disk, or None."""
+        key = point_key(kind, params)
+        if self.config.mem_cache_entries > 0:
+            with self._mem_lock:
+                hit = self._mem_cache.get(key)
+                if hit is not None:
+                    self._mem_cache.move_to_end(key)
+                    self.metrics.inc("serve.cache.hit.mem")
+                    return dict(hit)
+        if self.cache is not None:
+            payload = self.cache.get(key)
+            if payload is not None:
+                self.metrics.inc("serve.cache.hit.disk")
+                result = RunResult(
+                    key=key, kind=kind, params=dict(params),
+                    metrics=payload["metrics"], cached=True,
+                    wall_time_s=0.0, trace=payload.get("trace", {}),
+                ).to_dict()
+                self._mem_put(key, result)
+                return result
+        return None
+
+    def _mem_put(self, key: str, result: dict) -> None:
+        if self.config.mem_cache_entries <= 0:
+            return
+        with self._mem_lock:
+            self._mem_cache[key] = result
+            self._mem_cache.move_to_end(key)
+            while len(self._mem_cache) > self.config.mem_cache_entries:
+                self._mem_cache.popitem(last=False)
+
+    def submit(self, kind: str, params: dict, deadline_s: float | None = None,
+               job_id: str | None = None) -> Job:
+        """Admit one job (the async path).  Raises :class:`QueueFull` when
+        the queue is at depth and :class:`DrainingError` during shutdown.
+
+        ``job_id`` makes resubmission idempotent: a client that got no
+        acknowledgement can resubmit with the same id and receive the
+        original job (answered or in-flight) instead of a duplicate.
+        """
+        if self.draining.is_set():
+            raise DrainingError("daemon is draining")
+        self.metrics.inc("serve.submitted")
+        if job_id is not None:
+            existing = self.lookup(job_id)
+            if existing is not None:
+                self.metrics.inc("serve.resubmitted")
+                return existing
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        now = time.time()
+        job = Job(
+            id=job_id or uuid.uuid4().hex,
+            kind=kind,
+            params=dict(params),
+            key=point_key(kind, params),
+            deadline=None if deadline_s is None else now + deadline_s,
+            submitted_at=now,
+        )
+        leader = self.coalescer.admit(job)
+        if leader is None:
+            try:
+                self.queue.put(job)
+            except QueueFull:
+                self.coalescer.release(job)
+                self.metrics.inc("serve.rejected")
+                raise
+            self.metrics.inc("serve.accepted")
+        else:
+            self.metrics.inc("serve.coalesced")
+        # Durability ordering: WAL after the queue admitted the job but
+        # before the caller acknowledges it.  A crash in between loses a
+        # job the client was never told about — acceptable; a crash any
+        # time after the ack replays it.
+        self.wal.append(
+            "submit", id=job.id, kind=job.kind, params=job.params,
+            key=job.key, deadline=job.deadline, submitted_at=job.submitted_at,
+        )
+        if leader is not None:
+            self.wal.append("coalesce", id=job.id, into=leader.id)
+        with self._jobs_lock:
+            self._jobs[job.id] = job
+        depth = len(self.queue)
+        self.metrics.gauge_set("serve.queue.depth", depth)
+        self.metrics.gauge_max("serve.queue.peak", depth)
+        return job
+
+    # ------------------------------------------------------------------ #
+    # dispatch (worker threads)
+    # ------------------------------------------------------------------ #
+    def _get_pool(self) -> tuple[ProcessPoolExecutor, int]:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.config.workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+                self._pool_generation += 1
+            return self._pool, self._pool_generation
+
+    def _kill_pool(self, generation: int) -> None:
+        """Tear down a broken/hung pool (once per generation)."""
+        with self._pool_lock:
+            if self._pool is None or self._pool_generation != generation:
+                return  # another dispatcher already handled it
+            pool, self._pool = self._pool, None
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            proc.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+        self.metrics.inc("serve.pool.rebuilds")
+
+    def _dispatch_loop(self) -> None:
+        while not self._stopped.is_set():
+            job = self.queue.get(timeout=_POLL_S)
+            self.metrics.gauge_set("serve.queue.depth", len(self.queue))
+            if job is None:
+                if self.draining.is_set():
+                    return
+                continue
+            try:
+                self._dispatch(job)
+            except Exception as exc:  # never let a dispatcher die silently
+                self.metrics.inc("serve.dispatch.errors")
+                self._finish_job(job, _run_result(
+                    job, {}, {}, False, 0.0, status="error",
+                    error={"type": type(exc).__name__, "message": str(exc),
+                           "attempts": self._job_attempts.get(job.id, 0)},
+                ))
+
+    def _budget_s(self, job: Job) -> float | None:
+        """Tightest applicable limit: deadline remainder vs point timeout."""
+        limits = []
+        remaining = job.remaining_s()
+        if remaining is not None:
+            limits.append(remaining)
+        if self.config.engine.point_timeout_s is not None:
+            limits.append(self.config.engine.point_timeout_s)
+        return min(limits) if limits else None
+
+    def _dispatch(self, job: Job) -> None:
+        remaining = job.remaining_s()
+        if remaining is not None and remaining <= 0:
+            self._finish_job(job, _run_result(
+                job, {}, {}, False, 0.0, status="timeout",
+                error={"type": "DeadlineExceeded",
+                       "message": "deadline expired before execution",
+                       "attempts": 0},
+            ))
+            return
+        # a just-finished leader for the same key may have filled the cache
+        cached = self.cached_answer(job.kind, job.params)
+        if cached is not None:
+            self._finish_job(job, cached)
+            return
+        use_pool = (
+            self.config.workers > 1
+            and not self._stopped.is_set()
+            and self.breaker.allow()
+        )
+        self.metrics.gauge_set(
+            "serve.breaker.open", 0.0 if self.breaker.state == "closed" else 1.0
+        )
+        if use_pool:
+            self._execute_pooled(job)
+        else:
+            if self.config.workers > 1:
+                self.metrics.inc("serve.degraded.executions")
+            self._execute_serial(job)
+
+    def _complete(self, job: Job, metrics: dict, trace: dict, wall: float) -> None:
+        if self.cache is not None:
+            self.cache.put(job.key, {"kind": job.kind, "params": job.params,
+                                     "metrics": metrics, "trace": trace})
+        result = _run_result(job, metrics, trace, False, wall)
+        self._mem_put(job.key, dict(result, cached=True))
+        self.metrics.observe("serve.job.wall_ms", wall * 1000.0)
+        self._finish_job(job, result)
+
+    def _retry_or_fail(self, job: Job, status: str, err_type: str,
+                       message: str) -> None:
+        attempts = self._job_attempts.get(job.id, 0) + 1
+        self._job_attempts[job.id] = attempts
+        expired = job.remaining_s() is not None and job.remaining_s() <= 0
+        if attempts <= self.config.max_job_retries and not expired:
+            self.metrics.inc("serve.jobs.retried")
+            self.queue.requeue(job, front=False)
+            return
+        self._finish_job(job, _run_result(
+            job, {}, {}, False, 0.0, status=status,
+            error={"type": err_type, "message": message, "attempts": attempts},
+        ))
+
+    def _execute_pooled(self, job: Job) -> None:
+        pool, generation = self._get_pool()
+        budget = self._budget_s(job)
+        try:
+            future = pool.submit(execute_point, job.spec, None)
+        except (BrokenProcessPool, RuntimeError) as exc:
+            self.breaker.record_failure()
+            self.metrics.inc("serve.pool.broken")
+            self._kill_pool(generation)
+            self._retry_or_fail(job, "error", type(exc).__name__, str(exc))
+            return
+        try:
+            metrics, trace, wall = future.result(timeout=budget)
+        except FutureTimeout:
+            # a worker is hung past every budget: infrastructure failure
+            self.breaker.record_failure()
+            self.metrics.inc("serve.pool.broken")
+            self._kill_pool(generation)
+            self._retry_or_fail(
+                job, "timeout", "TimeoutError",
+                f"execution exceeded budget of {budget:.3f}s",
+            )
+            return
+        except BrokenProcessPool as exc:
+            self.breaker.record_failure()
+            self.metrics.inc("serve.pool.broken")
+            self._kill_pool(generation)
+            self._retry_or_fail(job, "error", type(exc).__name__, str(exc))
+            return
+        except Exception as exc:
+            # the experiment itself raised: a valid (negative) answer,
+            # not a sick pool — the breaker must not trip
+            self.breaker.record_success()
+            self._finish_job(job, _run_result(
+                job, {}, {}, False, 0.0, status="error",
+                error={"type": type(exc).__name__, "message": str(exc),
+                       "attempts": self._job_attempts.get(job.id, 0) + 1},
+            ))
+            return
+        self.breaker.record_success()
+        self._complete(job, metrics, trace, wall)
+
+    def _execute_serial(self, job: Job) -> None:
+        try:
+            metrics, trace, wall = execute_point(job.spec, None)
+        except Exception as exc:
+            self._finish_job(job, _run_result(
+                job, {}, {}, False, 0.0, status="error",
+                error={"type": type(exc).__name__, "message": str(exc),
+                       "attempts": self._job_attempts.get(job.id, 0) + 1},
+            ))
+            return
+        self._complete(job, metrics, trace, wall)
+
+    # ------------------------------------------------------------------ #
+    # flushing / introspection
+    # ------------------------------------------------------------------ #
+    def _flush_loop(self) -> None:
+        while not self._stopped.is_set():
+            self._stopped.wait(self.config.flush_interval_s)
+            self.wal.sync()
+            self._flush_manifest()
+
+    def _flush_manifest(self, force: bool = False) -> None:
+        with self._manifest_lock:
+            if not (self._manifest_dirty or force):
+                return
+            self.manifest.finish(self.stats(), self.metrics.to_dict())
+            self._manifest_dirty = False
+
+    def _write_endpoint(self, host: str, port: int) -> None:
+        payload = {
+            "host": host,
+            "port": port,
+            "pid": os.getpid(),
+            "started_at": self.started_at,
+        }
+        path = self.config.serve_dir / ENDPOINT_NAME
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def stats(self) -> dict:
+        """JSON-safe operational summary (feeds /status and the manifest)."""
+        m = self.metrics
+        return {
+            "submitted": m.value("serve.submitted"),
+            "accepted": m.value("serve.accepted"),
+            "rejected": m.value("serve.rejected"),
+            "resubmitted": m.value("serve.resubmitted"),
+            "coalesced": m.value("serve.coalesced"),
+            "cache_hits_mem": m.value("serve.cache.hit.mem"),
+            "cache_hits_disk": m.value("serve.cache.hit.disk"),
+            "jobs_done": m.value("serve.jobs.done"),
+            "jobs_failed": m.value("serve.jobs.failed"),
+            "jobs_expired": m.value("serve.jobs.expired"),
+            "jobs_retried": m.value("serve.jobs.retried"),
+            "degraded_executions": m.value("serve.degraded.executions"),
+            "pool_broken": m.value("serve.pool.broken"),
+            "pool_rebuilds": m.value("serve.pool.rebuilds"),
+            "wal_records": float(self.wal.appended),
+            "wal_replayed": m.value("serve.wal.replayed"),
+            "queue_depth": float(len(self.queue)),
+            "in_flight": float(self.coalescer.in_flight()),
+            "breaker": self.breaker.public_dict(),
+            "draining": self.draining.is_set(),
+        }

@@ -1,0 +1,147 @@
+"""Bounded job queue with admission control for the serve daemon.
+
+The queue is the daemon's backpressure valve: when ``depth`` jobs are
+already waiting, :meth:`JobQueue.put` raises :class:`QueueFull` carrying a
+``retry_after_s`` hint, which the HTTP layer turns into a 429 response
+with a ``Retry-After`` header.  Overload is answered *at admission*, not
+discovered after the queue has grown without bound.
+
+Recovered jobs are exempt: :meth:`JobQueue.requeue` bypasses the bound so
+a WAL replay (or a drain returning in-flight jobs) can never lose work to
+its own backpressure — the jobs were already admitted once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["Job", "JOB_STATES", "JobQueue", "QueueFull"]
+
+#: Lifecycle of a job inside the daemon.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+class QueueFull(RuntimeError):
+    """Admission refused; ``retry_after_s`` is the client's backoff hint."""
+
+    def __init__(self, depth: int, retry_after_s: float) -> None:
+        super().__init__(f"queue full ({depth} jobs waiting)")
+        self.depth = depth
+        self.retry_after_s = retry_after_s
+
+
+@dataclass
+class Job:
+    """One accepted unit of work: a single experiment point.
+
+    ``id`` is the daemon-assigned (or client-supplied, for idempotent
+    resubmission) job identifier; ``key`` is the content-addressed point
+    key used for coalescing and caching.  ``deadline`` is an absolute
+    ``time.time()`` instant after which the answer is worthless to the
+    client — expired jobs are failed without execution.  ``done_event``
+    fires when ``result`` (a RunResult dict) is set, so synchronous
+    waiters can block on it.
+    """
+
+    id: str
+    kind: str
+    params: dict
+    key: str
+    deadline: float | None = None
+    submitted_at: float = 0.0
+    state: str = "queued"
+    result: dict | None = None
+    followers: list["Job"] = field(default_factory=list)
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def spec(self) -> dict:
+        return {"kind": self.kind, "params": self.params}
+
+    def remaining_s(self, now: float | None = None) -> float | None:
+        """Seconds left in the deadline budget (None = no deadline)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - (time.time() if now is None else now)
+
+    def finish(self, result: dict, state: str = "done") -> None:
+        """Set the terminal result and wake every waiter (and follower)."""
+        self.result = result
+        self.state = state
+        self.done_event.set()
+        for follower in self.followers:
+            follower.finish(dict(result), state)
+
+    def public_dict(self) -> dict:
+        """The job as the HTTP API reports it (no live objects)."""
+        d = {
+            "id": self.id,
+            "kind": self.kind,
+            "params": self.params,
+            "key": self.key,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+        }
+        if self.deadline is not None:
+            d["deadline"] = self.deadline
+        if self.result is not None:
+            d["result"] = self.result
+        return d
+
+
+class JobQueue:
+    """FIFO of queued jobs, bounded at admission time (thread-safe)."""
+
+    def __init__(self, depth: int = 256, retry_after_s: float = 1.0) -> None:
+        if depth <= 0:
+            raise ValueError(f"queue depth must be positive, got {depth}")
+        self.depth = depth
+        self.retry_after_s = retry_after_s
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._jobs: deque[Job] = deque()
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def put(self, job: Job) -> None:
+        """Admit a new job, or raise :class:`QueueFull` at the bound."""
+        with self._not_empty:
+            if len(self._jobs) >= self.depth:
+                self.rejected += 1
+                raise QueueFull(len(self._jobs), self.retry_after_s)
+            self._jobs.append(job)
+            self._not_empty.notify()
+
+    def requeue(self, job: Job, front: bool = True) -> None:
+        """Return an already-admitted job to the queue, ignoring the bound."""
+        with self._not_empty:
+            job.state = "queued"
+            if front:
+                self._jobs.appendleft(job)
+            else:
+                self._jobs.append(job)
+            self._not_empty.notify()
+
+    def get(self, timeout: float | None = None) -> Job | None:
+        """Pop the oldest queued job, or None after ``timeout`` seconds."""
+        with self._not_empty:
+            if not self._jobs and not self._not_empty.wait(timeout):
+                return None
+            if not self._jobs:
+                return None
+            job = self._jobs.popleft()
+            job.state = "running"
+            return job
+
+    def drain(self) -> list[Job]:
+        """Remove and return every queued job (for shutdown bookkeeping)."""
+        with self._lock:
+            jobs = list(self._jobs)
+            self._jobs.clear()
+        return jobs

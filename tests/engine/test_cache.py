@@ -224,3 +224,117 @@ class TestKeys:
         cache.put(key, {"metrics": {"io": 1.5}})
         raw = (tmp_path / key[:2] / f"{key}.json").read_text()
         assert json.loads(raw) == {"metrics": {"io": 1.5}}
+
+
+class TestSizeBudget:
+    """max_bytes: LRU eviction keyed on entry-file mtime."""
+
+    def _key(self, i: int) -> str:
+        return f"{i:02x}" + "e" * 62
+
+    def test_rejects_nonpositive_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_bytes=0)
+
+    def test_put_evicts_oldest_when_over_budget(self, tmp_path):
+        import os
+
+        payload = {"metrics": {"io": 1.0}, "pad": "x" * 200}
+        probe = ResultCache(tmp_path)
+        probe.put(self._key(99), payload)
+        entry_size = (tmp_path / self._key(99)[:2] / f"{self._key(99)}.json").stat().st_size
+        probe.clear()
+
+        evicted = []
+        cache = ResultCache(
+            tmp_path, max_bytes=3 * entry_size, on_evict=evicted.append
+        )
+        for i in range(3):
+            cache.put(self._key(i), payload)
+            # distinct mtimes so LRU order is unambiguous
+            os.utime(tmp_path / self._key(i)[:2] / f"{self._key(i)}.json",
+                     (i, i))
+        cache.put(self._key(3), payload)
+        assert evicted == [self._key(0)]
+        assert cache.get(self._key(0)) is None
+        assert all(cache.get(self._key(i)) is not None for i in (1, 2, 3))
+        assert cache.total_bytes() <= 3 * entry_size
+
+    def test_get_refreshes_recency(self, tmp_path):
+        import os
+
+        payload = {"metrics": {"io": 1.0}, "pad": "x" * 200}
+        probe = ResultCache(tmp_path)
+        probe.put(self._key(99), payload)
+        size = (tmp_path / self._key(99)[:2] / f"{self._key(99)}.json").stat().st_size
+        probe.clear()
+
+        evicted = []
+        cache = ResultCache(tmp_path, max_bytes=2 * size, on_evict=evicted.append)
+        cache.put(self._key(0), payload)
+        cache.put(self._key(1), payload)
+        for i in (0, 1):
+            os.utime(tmp_path / self._key(i)[:2] / f"{self._key(i)}.json",
+                     (i + 1, i + 1))
+        cache.get(self._key(0))  # touch: key 0 becomes most recent
+        cache.put(self._key(2), payload)
+        assert evicted == [self._key(1)]
+        assert cache.get(self._key(0)) is not None
+
+    def test_no_budget_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(20):
+            cache.put(self._key(i), {"pad": "x" * 500})
+        assert cache.enforce_budget() == []
+        assert len(cache) == 20
+
+    def test_engine_config_plumbs_budget(self, tmp_path):
+        from repro.engine import EngineConfig
+
+        cfg = EngineConfig(cache_dir=tmp_path, cache_max_bytes=123456)
+        cache = cfg.open_cache()
+        assert cache.max_bytes == 123456
+        assert cfg.public_dict()["cache_max_bytes"] == 123456
+
+
+class TestRepair:
+    def test_repair_quarantines_and_prunes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        good = "aa" + "b" * 62
+        bad = "bb" + "c" * 62
+        cache.put(good, {"metrics": {}})
+        cache.put(bad, {"metrics": {}})
+        (tmp_path / bad[:2] / f"{bad}.json").write_text("{", encoding="utf-8")
+        orphan = tmp_path / "aa" / "leftover.tmp"
+        orphan.write_text("partial", encoding="utf-8")
+
+        report = cache.repair()
+        assert not report["ok"]  # reports what was *found*
+        assert len(report["repaired"]["quarantined"]) == 1
+        assert report["repaired"]["removed_tmp"] == [str(orphan)]
+        assert not orphan.exists()
+        assert not (tmp_path / bad[:2] / f"{bad}.json").exists()
+        assert (tmp_path / "quarantine" / f"{bad}.json").exists()
+        assert cache.get(good) is not None
+        assert cache.verify()["ok"]  # a second scan is clean
+
+    def test_repair_on_clean_cache_is_noop(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("cc" + "d" * 62, {"metrics": {}})
+        report = cache.repair()
+        assert report["ok"]
+        assert report["repaired"] == {"quarantined": [], "removed_tmp": []}
+
+    def test_cache_verify_repair_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = ResultCache(tmp_path)
+        bad = "ee" + "f" * 62
+        cache.put(bad, {"metrics": {}})
+        (tmp_path / bad[:2] / f"{bad}.json").write_text("nope", encoding="utf-8")
+        # corruption found → non-zero even though it was repaired
+        assert main(["cache", "verify", "--repair", "--json", str(tmp_path)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["repaired"]["quarantined"]
+        # the repair actually happened: a clean re-scan exits zero
+        assert main(["cache", "verify", str(tmp_path)]) == 0

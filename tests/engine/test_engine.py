@@ -272,3 +272,46 @@ class TestAlgorithmSpecs:
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(KeyError):
             run_point(seq_io_point("nonsense", 16, M))
+
+
+class TestRetryBackoffJitter:
+    def test_full_jitter_spread_and_bounds(self):
+        import random
+
+        from repro.engine import retry_delay_s
+
+        rng = random.Random(7)
+        cap = 4.0
+        for attempt in (1, 2, 3, 6, 12):
+            bound = min(cap, 0.5 * 2 ** (attempt - 1))
+            samples = [
+                retry_delay_s(0.5, attempt, cap=cap, rng=rng) for _ in range(500)
+            ]
+            assert all(0.0 <= s <= bound for s in samples)
+            # full jitter: the draws actually spread over [0, bound]
+            assert max(samples) > 0.75 * bound
+            assert min(samples) < 0.25 * bound
+            assert len(set(samples)) > 400
+
+    def test_jitter_disabled_gives_deterministic_envelope(self):
+        from repro.engine import retry_delay_s
+
+        delays = [retry_delay_s(0.1, a, cap=30.0, jitter=False) for a in (1, 2, 3, 4)]
+        assert delays == [0.1, 0.2, 0.4, 0.8]
+
+    def test_cap_bounds_every_attempt(self):
+        from repro.engine import retry_delay_s
+
+        assert retry_delay_s(1.0, 50, cap=2.0, jitter=False) == 2.0
+        assert retry_delay_s(1.0, 50, cap=2.0) <= 2.0
+
+    def test_zero_base_is_zero_delay(self):
+        from repro.engine import retry_delay_s
+
+        assert retry_delay_s(0.0, 3) == 0.0
+
+    def test_engine_config_carries_jitter_fields(self):
+        cfg = EngineConfig(retry_backoff_max_s=9.0, retry_jitter=False)
+        public = cfg.public_dict()
+        assert public["retry_backoff_max_s"] == 9.0
+        assert public["retry_jitter"] is False

@@ -269,3 +269,47 @@ class TestCLIFailureSurface:
         rc = main(["sweep", "8", "--M", str(M), "--json"])
         assert rc == 0
         assert json.loads(capsys.readouterr().out)["failures"] == []
+
+
+class TestDelayMode:
+    """``delay``: a slow worker, not a dead one — the execution succeeds."""
+
+    def test_delay_sleeps_then_runs_normally(self):
+        import time
+
+        spec = {"kind": "seq_io", "params": {"n": 16}}
+        with inject_faults(_rule("delay", 16, times=1, delay_s=0.3)):
+            t0 = time.monotonic()
+            assert apply_fault(spec) is None  # proceed with the execution
+            assert time.monotonic() - t0 >= 0.3
+            t0 = time.monotonic()
+            assert apply_fault(spec) is None  # rule spent: no sleep
+            assert time.monotonic() - t0 < 0.2
+
+    def test_delayed_point_still_produces_correct_metrics(self, tmp_path):
+        baseline = run_sweep(_points([8]), EngineConfig())
+        with inject_faults(_rule("delay", 8, times=9, delay_s=0.1)):
+            delayed = run_sweep(_points([8]), EngineConfig())
+        assert not delayed.failures
+        assert delayed.points[0].measured == baseline.points[0].measured
+        # tail latency is visible in provenance but never in the counts
+        assert delayed.points[0].run.wall_time_s >= 0.1
+
+    def test_delay_round_trips_through_env(self):
+        from repro.engine.faults import FaultPlan
+
+        plan = FaultPlan(rules=[_rule("delay", 32, delay_s=2.5)])
+        back = FaultPlan.from_env(plan.to_env())
+        assert back.rules[0].mode == "delay"
+        assert back.rules[0].delay_s == 2.5
+
+    def test_delay_outruns_timeout_when_longer_than_budget(self, tmp_path):
+        """A delay larger than point_timeout_s behaves like a slow hang:
+        the timeout machinery must still fire."""
+        with inject_faults(_rule("delay", 8, times=9, delay_s=30.0)):
+            res = run_sweep(
+                _points([8]),
+                EngineConfig(workers=2, point_timeout_s=1.0, max_retries=0),
+            )
+        assert len(res.failures) == 1
+        assert res.failures[0].status == "timeout"

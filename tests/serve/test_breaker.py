@@ -1,0 +1,123 @@
+"""Circuit breaker state machine, driven by a fake clock.
+
+The breaker guards the worker pool: consecutive infrastructure failures
+trip it, a cooldown earns exactly one half-open probe, and the probe's
+verdict decides between recovery and another cooldown.
+"""
+
+import pytest
+
+from repro.serve import BREAKER_STATES, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def _breaker(clock, threshold=3, cooldown=10.0):
+    return CircuitBreaker(failure_threshold=threshold, cooldown_s=cooldown,
+                          clock=clock)
+
+
+class TestClosed:
+    def test_starts_closed_and_allowing(self, clock):
+        b = _breaker(clock)
+        assert b.state == "closed"
+        assert b.allow()
+
+    def test_failures_below_threshold_stay_closed(self, clock):
+        b = _breaker(clock, threshold=3)
+        b.record_failure()
+        b.record_failure()
+        assert b.state == "closed"
+        assert b.allow()
+
+    def test_success_resets_the_failure_streak(self, clock):
+        """Only *consecutive* failures trip — a flaky-but-mostly-healthy
+        pool must not accumulate its way to open."""
+        b = _breaker(clock, threshold=3)
+        for _ in range(10):
+            b.record_failure()
+            b.record_failure()
+            b.record_success()
+        assert b.state == "closed"
+
+    def test_threshold_must_be_positive(self, clock):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            _breaker(clock, threshold=0)
+
+
+class TestOpen:
+    def test_threshold_consecutive_failures_trip(self, clock):
+        b = _breaker(clock, threshold=3)
+        for _ in range(3):
+            b.record_failure()
+        assert b.state == "open"
+        assert not b.allow()
+        assert b.trips == 1
+
+    def test_stays_open_through_the_cooldown(self, clock):
+        b = _breaker(clock, threshold=1, cooldown=10.0)
+        b.record_failure()
+        clock.advance(9.9)
+        assert b.state == "open"
+        assert not b.allow()
+
+
+class TestHalfOpen:
+    def test_cooldown_expiry_earns_exactly_one_probe(self, clock):
+        b = _breaker(clock, threshold=1, cooldown=10.0)
+        b.record_failure()
+        clock.advance(10.0)
+        assert b.state == "half_open"
+        assert b.allow()       # the probe
+        assert not b.allow()   # everyone else stays degraded
+        assert not b.allow()
+
+    def test_probe_success_closes(self, clock):
+        b = _breaker(clock, threshold=1, cooldown=10.0)
+        b.record_failure()
+        clock.advance(10.0)
+        assert b.allow()
+        b.record_success()
+        assert b.state == "closed"
+        assert b.allow()
+
+    def test_probe_failure_reopens_for_another_cooldown(self, clock):
+        b = _breaker(clock, threshold=3, cooldown=10.0)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        assert b.allow()
+        b.record_failure()  # one failure suffices in half_open
+        assert b.state == "open"
+        assert b.trips == 2
+        clock.advance(10.0)
+        assert b.state == "half_open"  # the cycle repeats
+
+
+class TestIntrospection:
+    def test_public_dict_snapshot(self, clock):
+        b = _breaker(clock, threshold=2, cooldown=5.0)
+        b.record_failure()
+        d = b.public_dict()
+        assert d["state"] in BREAKER_STATES
+        assert d == {
+            "state": "closed",
+            "consecutive_failures": 1,
+            "trips": 0,
+            "failure_threshold": 2,
+            "cooldown_s": 5.0,
+        }

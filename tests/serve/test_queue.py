@@ -1,0 +1,149 @@
+"""Bounded job queue + coalescer: admission control and single-flight.
+
+Backpressure must be decided *at admission* (QueueFull with a retry
+hint), recovered work must be exempt from the bound (requeue), and
+identical in-flight points must execute exactly once (coalescing).
+"""
+
+import pytest
+
+from repro.serve import Coalescer, Job, JobQueue, QueueFull
+
+
+def _job(jid="j1", key="k1", **kw):
+    return Job(id=jid, kind="seq_io", params={"n": 8}, key=key, **kw)
+
+
+class TestAdmission:
+    def test_fifo_order(self):
+        q = JobQueue(depth=8)
+        q.put(_job("a"))
+        q.put(_job("b"))
+        assert q.get().id == "a"
+        assert q.get().id == "b"
+
+    def test_bound_raises_queue_full_with_retry_hint(self):
+        q = JobQueue(depth=2, retry_after_s=3.5)
+        q.put(_job("a"))
+        q.put(_job("b"))
+        with pytest.raises(QueueFull) as exc_info:
+            q.put(_job("c"))
+        assert exc_info.value.retry_after_s == 3.5
+        assert exc_info.value.depth == 2
+        assert q.rejected == 1
+        assert len(q) == 2  # the rejected job never entered
+
+    def test_requeue_bypasses_the_bound(self):
+        """Replayed/drained jobs were already admitted once — refusing
+        them would lose acknowledged work to our own backpressure."""
+        q = JobQueue(depth=1)
+        q.put(_job("a"))
+        q.requeue(_job("b"), front=False)
+        assert len(q) == 2
+
+    def test_requeue_front_restores_priority(self):
+        q = JobQueue(depth=8)
+        q.put(_job("a"))
+        victim = _job("v")
+        victim.state = "running"
+        q.requeue(victim, front=True)
+        head = q.get()
+        assert head.id == "v"
+        assert head.state == "running"  # get() marks it running again
+
+    def test_get_times_out_to_none(self):
+        assert JobQueue().get(timeout=0.01) is None
+
+    def test_get_marks_running(self):
+        q = JobQueue()
+        q.put(_job("a"))
+        assert q.get().state == "running"
+
+    def test_drain_empties_and_returns_everything(self):
+        q = JobQueue()
+        q.put(_job("a"))
+        q.put(_job("b"))
+        drained = q.drain()
+        assert [j.id for j in drained] == ["a", "b"]
+        assert len(q) == 0
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(ValueError, match="depth"):
+            JobQueue(depth=0)
+
+
+class TestJob:
+    def test_finish_wakes_waiters_and_cascades_to_followers(self):
+        leader = _job("lead")
+        follower = _job("tail")
+        leader.followers.append(follower)
+        leader.finish({"status": "ok", "metrics": {"io": 1}})
+        assert leader.done_event.is_set()
+        assert follower.done_event.is_set()
+        assert follower.state == "done"
+        assert follower.result == leader.result
+        assert follower.result is not leader.result  # a copy, not a share
+
+    def test_remaining_s(self):
+        assert _job().remaining_s() is None
+        job = _job(deadline=100.0)
+        assert job.remaining_s(now=90.0) == pytest.approx(10.0)
+        assert job.remaining_s(now=101.0) == pytest.approx(-1.0)
+
+    def test_public_dict_has_no_live_objects(self):
+        job = _job(deadline=5.0)
+        job.finish({"status": "ok"}, state="done")
+        d = job.public_dict()
+        assert d["state"] == "done"
+        assert d["deadline"] == 5.0
+        assert d["result"] == {"status": "ok"}
+        assert "done_event" not in d and "followers" not in d
+
+
+class TestCoalescer:
+    def test_first_submission_leads(self):
+        c = Coalescer()
+        assert c.admit(_job("a", key="k")) is None
+        assert c.in_flight() == 1
+
+    def test_duplicate_key_follows_the_leader(self):
+        c = Coalescer()
+        leader = _job("a", key="k")
+        dup = _job("b", key="k")
+        c.admit(leader)
+        assert c.admit(dup) is leader
+        assert leader.followers == [dup]
+        assert c.coalesced == 1
+
+    def test_distinct_keys_never_coalesce(self):
+        c = Coalescer()
+        c.admit(_job("a", key="k1"))
+        assert c.admit(_job("b", key="k2")) is None
+
+    def test_done_leader_is_replaced_not_followed(self):
+        """A finished leader can no longer answer for newcomers — its
+        result went to the cache; a new flight starts instead."""
+        c = Coalescer()
+        leader = _job("a", key="k")
+        c.admit(leader)
+        leader.finish({"status": "ok"})
+        newcomer = _job("b", key="k")
+        assert c.admit(newcomer) is None
+        assert leader.followers == []
+
+    def test_release_ends_the_flight(self):
+        c = Coalescer()
+        leader = _job("a", key="k")
+        dup = _job("b", key="k")
+        c.admit(leader)
+        c.admit(dup)
+        assert c.release(leader) == 1  # follower count
+        assert c.in_flight() == 0
+        assert c.admit(_job("c", key="k")) is None  # key free again
+
+    def test_release_by_non_leader_is_harmless(self):
+        c = Coalescer()
+        leader = _job("a", key="k")
+        c.admit(leader)
+        c.release(_job("other", key="k"))
+        assert c.in_flight() == 1  # leadership untouched
