@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.util.checks import check_positive_int, is_power_of
 
-__all__ = ["BilinearAlgorithm"]
+__all__ = ["BilinearAlgorithm", "recursion_shape"]
 
 
 @dataclass(frozen=True)
@@ -148,25 +148,49 @@ class BilinearAlgorithm:
     def multiply(self, A: np.ndarray, B: np.ndarray, base_size: int = 1) -> np.ndarray:
         """Full recursive multiplication C = A·B.
 
-        Requires a square algorithm and square inputs whose side is
-        base_size · (base dim)^L.  Recursion bottoms out at ``base_size``
-        with a direct matmul — both to bound Python recursion overhead and
-        to model the practical "cut-off" every fast-matmul code uses.
+        Square algorithms take square inputs of side base_size · (base
+        dim)^L; rectangular ⟨n,m,p⟩ algorithms take A of shape
+        (base_size·nᴸ, base_size·mᴸ) and B of (base_size·mᴸ, base_size·pᴸ).
+        Recursion bottoms out at ``base_size`` with a direct matmul — both
+        to bound Python recursion overhead and to model the practical
+        "cut-off" every fast-matmul code uses.
         """
-        if not self.is_square:
-            raise ValueError("recursive multiply requires a square base case")
         A = np.asarray(A)
         B = np.asarray(B)
-        if A.shape != B.shape or A.shape[0] != A.shape[1]:
-            raise ValueError("A and B must be square and same-shaped")
-        side = A.shape[0]
-        if side % base_size != 0 or not is_power_of(side // base_size, self.n):
-            raise ValueError(
-                f"matrix side {side} is not base_size*{self.n}^L for base_size={base_size}"
+        if self.is_square:
+            if A.shape != B.shape or A.shape[0] != A.shape[1]:
+                raise ValueError("A and B must be square and same-shaped")
+            side = A.shape[0]
+            if side % base_size != 0 or not is_power_of(side // base_size, self.n):
+                raise ValueError(
+                    f"matrix side {side} is not base_size*{self.n}^L "
+                    f"for base_size={base_size}"
+                )
+        else:
+            if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
+                raise ValueError("inner dimensions of A and B must agree")
+            rows, inner, cols = A.shape[0], A.shape[1], B.shape[1]
+            L, r = 0, base_size
+            while r < rows:
+                r *= self.n
+                L += 1
+            want = (
+                base_size * self.n**L,
+                base_size * self.m**L,
+                base_size * self.p**L,
             )
+            if (rows, inner, cols) != want:
+                raise ValueError(
+                    f"operand shapes {A.shape}×{B.shape} are not "
+                    f"base_size·({self.n},{self.m},{self.p})^L"
+                )
 
         def rec(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
-            if X.shape[0] <= base_size:
+            if (
+                X.shape[0] <= base_size
+                and X.shape[1] <= base_size
+                and Y.shape[1] <= base_size
+            ):
                 return X @ Y
             return self.apply_one_level(X, Y, rec)
 
@@ -191,3 +215,28 @@ class BilinearAlgorithm:
     def decoder_adjacency(self) -> list[list[int]]:
         """Decoder bipartite graph: output entry → list of contributing products."""
         return [list(np.nonzero(self.W[r])[0]) for r in range(self.W.shape[0])]
+
+
+def recursion_shape(alg: BilinearAlgorithm, n: int) -> tuple[int, int, int]:
+    """Operand shape (A-rows, inner, B-cols) of the depth-L recursion with
+    A-rows = n.
+
+    Square algorithms keep the historical convention that ``n`` is the
+    common side (any positive value — the cache-fit cutoff may stop the
+    recursion before divisibility matters).  Rectangular ⟨n,m,p⟩ algorithms
+    require n = (base rows)ᴸ and derive the inner/column sides mᴸ and pᴸ,
+    so the problem is exactly the (nᴸ×mᴸ)·(mᴸ×pᴸ) recursion of Lemma 2.2.
+    """
+    check_positive_int(n, "n")
+    if alg.is_square:
+        return (n, n, n)
+    L, r = 0, 1
+    while r < n:
+        r *= alg.n
+        L += 1
+    if r != n:
+        raise ValueError(
+            f"n={n} is not a power of the base row dimension {alg.n} "
+            f"(required for rectangular {alg.signature()} recursion)"
+        )
+    return (n, alg.m**L, alg.p**L)

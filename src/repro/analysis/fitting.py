@@ -67,9 +67,15 @@ def sweep_from_runs(
             )
             continue
         metric = PRIMARY_METRIC.get(run.kind, "io")
+        x = run.params[parameter]
+        if parameter == "n":
+            # rectangular seq_io runs carry the geometric-mean problem
+            # side as ``n_eff``; fitting against it makes the exponent
+            # comparable to ω₀ (square runs report n_eff == n).
+            x = run.metrics.get("n_eff", x)
         points.append(
             SweepPoint(
-                x=float(run.params[parameter]),
+                x=float(x),
                 measured=float(run.metrics[metric]),
                 bound=run.metrics.get("bound"),
                 run=run,

@@ -12,6 +12,7 @@ import math
 
 __all__ = [
     "OMEGA0_STRASSEN",
+    "omega0_of",
     "classical_sequential",
     "classical_parallel",
     "classical_memory_independent",
@@ -27,6 +28,19 @@ __all__ = [
 ]
 
 OMEGA0_STRASSEN = math.log2(7)
+
+
+def omega0_of(n: int, m: int, p: int, t: int) -> float:
+    """ω₀ = 3·log_{nmp} t — the I/O exponent of an ⟨n,m,p;t⟩ recursion.
+
+    Reduces to log_n t for square bases (⟨2,2,2;7⟩ → log₂7); the bounds
+    and the fitted-exponent references are parameterized on this so a
+    Laderman or rectangular sweep is compared against *its own* exponent
+    rather than Strassen's.
+    """
+    if n < 1 or m < 1 or p < 1 or t < 2 or n * m * p < 2:
+        raise ValueError(f"invalid signature <{n},{m},{p};{t}>")
+    return 3.0 * math.log(t) / math.log(n * m * p)
 
 
 def _check(n: float, M: float = 1, P: float = 1) -> None:

@@ -1,20 +1,23 @@
 """The recursive CDAG H^{n×n} of a fast matrix-multiplication algorithm.
 
-Structure per recursion step on side s (square base case d×d, t products):
+Structure per recursion step on operand shape (R, K, C) (base case
+⟨n,m,p⟩, t products; square algorithms keep R = K = C = s):
 
-* the s² A-entries and s² B-entries of the current problem already exist;
-* for each product l and each position inside the (s/d)×(s/d) block, an
-  encoder copy creates the encoded entry Â_l[u,v] with edges from the d²
+* the R·K A-entries and K·C B-entries of the current problem already exist;
+* for each product l and each position inside the (R/n)×(K/m) block, an
+  encoder copy creates the encoded entry Â_l[u,v] with edges from the
   block entries at that position with non-zero U coefficient (and likewise
   B̂_l from V) — these encoded entries *are* the inputs of sub-CDAG l;
-* t sub-CDAGs H^{(s/d)×(s/d)} are built recursively;
+* t sub-CDAGs on shape (R/n, K/m, C/p) are built recursively;
 * a decoder copy per position creates each output entry from the sub-CDAG
   outputs with non-zero W coefficient.
 
-The builder records, for every recursion size r, the input and output
-vertex sets of every size-r subproblem: exactly the SUB_H^{r×r} bookkeeping
-that Lemma 2.2 counts ((n/r)^{log₂7}·r² output vertices) and that Lemmas
-3.6–3.11 quantify over.  Size-1 subproblem outputs are the scalar
+The builder records, for every recursion size, the input and output vertex
+sets of every subproblem: exactly the SUB_H^{r×r} bookkeeping that Lemma
+2.2 counts ((n/r)^{log₂7}·r² output vertices) and that Lemmas 3.6–3.11
+quantify over.  Square subproblems are keyed by their side r (the
+historical int keys the lemmas use); rectangular subproblems by their
+(R, K, C) shape triple.  Size-1 subproblem outputs are the scalar
 multiplication vertices themselves.
 """
 
@@ -24,7 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.algorithms.bilinear import BilinearAlgorithm
+from repro.algorithms.bilinear import BilinearAlgorithm, recursion_shape
 from repro.cdag.core import CDAG
 from repro.cdag.encoder import add_linear_form_tree
 from repro.graphs.digraph import DiGraph
@@ -38,9 +41,10 @@ class RecursiveCDAG:
     """H^{n×n} plus the subproblem registries the lemmas need.
 
     ``sub_outputs[r]`` / ``sub_inputs[r]`` list, per size-r subproblem in
-    construction (DFS) order, the r² output vertex ids (row-major) and the
-    pair (A-input ids, B-input ids).  ``sub_inputs[n]`` holds the top-level
-    problem itself.
+    construction (DFS) order, the output vertex ids (row-major) and the
+    pair (A-input ids, B-input ids).  Square subproblems use the side r as
+    key; rectangular ones the (R, K, C) shape triple.  The top-level
+    problem itself is in ``sub_inputs`` under its own key.
     """
 
     cdag: CDAG
@@ -49,54 +53,62 @@ class RecursiveCDAG:
     a_inputs: list[int]
     b_inputs: list[int]
     c_outputs: list[int]
-    sub_outputs: dict[int, list[list[int]]] = field(default_factory=dict)
-    sub_inputs: dict[int, list[tuple[list[int], list[int]]]] = field(default_factory=dict)
+    sub_outputs: dict = field(default_factory=dict)
+    sub_inputs: dict = field(default_factory=dict)
 
     @property
     def mult_vertices(self) -> list[int]:
         """The t^L scalar-multiplication vertices (size-1 subproblem outputs)."""
         return [out[0] for out in self.sub_outputs[1]]
 
-    def num_subproblems(self, r: int) -> int:
+    def num_subproblems(self, r) -> int:
         return len(self.sub_outputs[r])
 
-    def all_sub_output_vertices(self, r: int) -> list[int]:
+    def all_sub_output_vertices(self, r) -> list[int]:
         """V_out(SUB_H^{r×r}): union of output vertices over all size-r subproblems."""
         return [v for outs in self.sub_outputs[r] for v in outs]
 
-    def all_sub_input_vertices(self, r: int) -> list[int]:
+    def all_sub_input_vertices(self, r) -> list[int]:
         """V_inp(SUB_H^{r×r}): union of input vertices over all size-r subproblems."""
         return [v for a_ids, b_ids in self.sub_inputs[r] for v in a_ids + b_ids]
 
 
-def _block_entry(ids: list[int], s: int, bi: int, bj: int, u: int, v: int, h: int) -> int:
-    """Vertex id of entry (u,v) of block (bi,bj) in a flat row-major s×s id list."""
-    return ids[(bi * h + u) * s + (bj * h + v)]
+def _block_entry(
+    ids: list[int], row_len: int, bi: int, bj: int, u: int, v: int,
+    hr: int, hc: int,
+) -> int:
+    """Vertex id of entry (u,v) of block (bi,bj) in a flat row-major id list
+    whose rows have ``row_len`` entries and whose blocks are hr×hc."""
+    return ids[(bi * hr + u) * row_len + (bj * hc + v)]
 
 
 def build_recursive_cdag(
     alg: BilinearAlgorithm, n: int, style: str = "bipartite"
 ) -> RecursiveCDAG:
-    """Construct H^{n×n} for a square-base-case algorithm, n = d^L.
+    """Construct the recursive CDAG for an ⟨n,m,p;t⟩ algorithm.
 
+    ``n`` is the A-row count of the top problem: for a square base case
+    d×d it must be dᴸ (the classical H^{n×n}); for a rectangular base the
+    operand shape is the (nᴸ×mᴸ)·(mᴸ×pᴸ) recursion of Lemma 2.2.
     ``style`` is ``'bipartite'`` (paper's encoder representation, default)
     or ``'tree'`` (fan-in ≤ 2, for pebbling).
     """
-    if not alg.is_square:
-        raise ValueError("recursive CDAG requires a square base case")
-    d = alg.n
     check_positive_int(n, "n")
-    if not is_power_of(n, d):
-        raise ValueError(f"n={n} is not a power of the base dimension {d}")
+    if alg.is_square and not is_power_of(n, alg.n):
+        raise ValueError(f"n={n} is not a power of the base dimension {alg.n}")
     if style not in ("bipartite", "tree"):
         raise ValueError(f"unknown style {style!r}")
+    R0, K0, C0 = recursion_shape(alg, n)
 
     g = DiGraph()
-    a_inputs = [g.add_vertex(f"A[{i},{j}]") for i in range(n) for j in range(n)]
-    b_inputs = [g.add_vertex(f"B[{i},{j}]") for i in range(n) for j in range(n)]
+    a_inputs = [g.add_vertex(f"A[{i},{j}]") for i in range(R0) for j in range(K0)]
+    b_inputs = [g.add_vertex(f"B[{i},{j}]") for i in range(K0) for j in range(C0)]
 
-    sub_outputs: dict[int, list[list[int]]] = {}
-    sub_inputs: dict[int, list[tuple[list[int], list[int]]]] = {}
+    sub_outputs: dict = {}
+    sub_inputs: dict = {}
+
+    def shape_key(R: int, K: int, C: int):
+        return R if R == K == C else (R, K, C)
 
     def linear_combo(ops: list[int], label: str) -> int:
         if style == "bipartite":
@@ -106,15 +118,18 @@ def build_recursive_cdag(
             return y
         return add_linear_form_tree(g, ops, label, label)
 
-    def rec(a_ids: list[int], b_ids: list[int], s: int, tag: str) -> list[int]:
-        sub_inputs.setdefault(s, []).append((a_ids, b_ids))
-        if s == 1:
+    def rec(a_ids: list[int], b_ids: list[int],
+            shape: tuple[int, int, int], tag: str) -> list[int]:
+        R, K, C = shape
+        key = shape_key(R, K, C)
+        sub_inputs.setdefault(key, []).append((a_ids, b_ids))
+        if R == K == C == 1:
             v = g.add_vertex(f"mul{tag}")
             g.add_edge(a_ids[0], v)
             g.add_edge(b_ids[0], v)
             sub_outputs.setdefault(1, []).append([v])
             return [v]
-        h = s // d
+        hr, hk, hc = R // alg.n, K // alg.m, C // alg.p
         U, V, W = alg.U, alg.V, alg.W
         child_outputs: list[list[int]] = []
         for l in range(alg.t):
@@ -122,35 +137,40 @@ def build_recursive_cdag(
             v_nz = np.nonzero(V[l])[0]
             a_hat: list[int] = []
             b_hat: list[int] = []
-            for u in range(h):
-                for v in range(h):
+            for u in range(hr):
+                for v in range(hk):
                     ops = [
-                        _block_entry(a_ids, s, q // d, q % d, u, v, h)
+                        _block_entry(a_ids, K, q // alg.m, q % alg.m, u, v, hr, hk)
                         for q in u_nz
                     ]
                     a_hat.append(linear_combo(ops, f"Ahat{tag}.{l}[{u},{v}]"))
+            for u in range(hk):
+                for v in range(hc):
                     ops = [
-                        _block_entry(b_ids, s, q // d, q % d, u, v, h)
+                        _block_entry(b_ids, C, q // alg.p, q % alg.p, u, v, hk, hc)
                         for q in v_nz
                     ]
                     b_hat.append(linear_combo(ops, f"Bhat{tag}.{l}[{u},{v}]"))
-            child_outputs.append(rec(a_hat, b_hat, h, f"{tag}.{l}"))
-        # decoder: build row-major s×s output id list
-        c_ids = [0] * (s * s)
-        for q in range(d * d):
-            bi, bj = q // d, q % d
+            child_outputs.append(rec(a_hat, b_hat, (hr, hk, hc), f"{tag}.{l}"))
+        # decoder: build row-major R×C output id list
+        c_ids = [0] * (R * C)
+        for q in range(alg.n * alg.p):
+            bi, bj = q // alg.p, q % alg.p
             w_nz = np.nonzero(W[q])[0]
-            for u in range(h):
-                for v in range(h):
-                    ops = [child_outputs[int(l)][u * h + v] for l in w_nz]
-                    c_ids[(bi * h + u) * s + (bj * h + v)] = linear_combo(
+            for u in range(hr):
+                for v in range(hc):
+                    ops = [child_outputs[int(l)][u * hc + v] for l in w_nz]
+                    c_ids[(bi * hr + u) * C + (bj * hc + v)] = linear_combo(
                         ops, f"C{tag}.{q}[{u},{v}]"
                     )
-        sub_outputs.setdefault(s, []).append(c_ids)
+        sub_outputs.setdefault(key, []).append(c_ids)
         return c_ids
 
-    c_outputs = rec(a_inputs, b_inputs, n, "")
-    cdag = CDAG(g, a_inputs + b_inputs, c_outputs, name=f"H{n}x{n}-{alg.name}-{style}")
+    c_outputs = rec(a_inputs, b_inputs, (R0, K0, C0), "")
+    cdag = CDAG(
+        g, a_inputs + b_inputs, c_outputs,
+        name=f"H{R0}x{C0}-{alg.name}-{style}",
+    )
     return RecursiveCDAG(
         cdag=cdag,
         alg=alg,

@@ -13,6 +13,9 @@ cache verify DIR        scan a result cache for corrupt/orphaned entries
                         (``--repair`` quarantines/prunes; non-zero exit
                         whenever corruption was found)
 falsify                 mutation-test the checkers, cross-check the counters
+zoo list|validate       the fast-matmul algorithm corpus (docs/zoo.md)
+zoo sweep --alg NAME    per-algorithm I/O sweep; fitted exponent is
+                        compared against that entry's own ω₀
 serve                   resilient serving daemon: WAL-backed job queue,
                         backpressure, circuit breaking (docs/serving.md)
 serve-drill             chaos-certify a daemon: backpressure, breaker,
@@ -214,12 +217,21 @@ def _report_failures(res) -> int:
     return 1
 
 
+def _fmt_x(x: float):
+    return int(x) if float(x).is_integer() else round(float(x), 2)
+
+
 def _cmd_sweep(args) -> int:
     from repro.analysis.report import text_table
-    from repro.bounds.formulas import OMEGA0_STRASSEN
     from repro.engine import run_sweep, seq_io_point
+    from repro.engine.runners import reference_exponent
 
     alg = None if args.algorithm == "classical" else args.algorithm
+    try:
+        label, omega = reference_exponent(alg)
+    except KeyError as exc:
+        print(f"sweep: {exc.args[0]}", file=sys.stderr)
+        return 2
     points = [
         seq_io_point(
             alg, n, args.M, replay=not args.no_replay, backend=args.backend
@@ -228,18 +240,135 @@ def _cmd_sweep(args) -> int:
     ]
     res = run_sweep(points, _engine_config(args), parameter="n")
     if args.json:
-        _print_json(res.to_dict())
+        payload = res.to_dict()
+        payload["algorithm"] = label
+        payload["reference_omega0"] = omega
+        if len(res.points) >= 2:
+            payload["fitted_exponent"] = float(res.exponent)
+        _print_json(payload)
         return _report_failures(res)
-    rows = [[int(p.x), p.measured, p.bound] for p in res.points]
-    print(text_table(["n", "measured I/O", "Ω floor"], rows))
+    rows = [[_fmt_x(p.x), p.measured, p.bound] for p in res.points]
+    print(text_table(["n (eff)", "measured I/O", "Ω floor"], rows))
     if len(res.points) >= 2:
-        print(f"fitted exponent: {res.exponent:.3f} (ω₀ = {OMEGA0_STRASSEN:.3f})")
+        print(
+            f"fitted exponent: {res.exponent:.3f} "
+            f"(ω₀[{label}] = {omega:.3f})"
+        )
     if res.stats.get("cache_hits"):
         print(
             f"cache: {res.stats['cache_hits']:.0f} hits / "
             f"{res.stats['cache_misses']:.0f} misses"
         )
     return _report_failures(res)
+
+
+# --------------------------------------------------------------------- #
+# the algorithm zoo
+# --------------------------------------------------------------------- #
+def _cmd_zoo_list(args) -> int:
+    from repro.analysis.report import text_table
+    from repro.zoo import load_entry, omega0_table
+
+    rows = omega0_table()
+    if args.json:
+        _print_json(rows)
+        return 0
+    table = [
+        [
+            r["name"],
+            f"<{r['n']},{r['m']},{r['p']};{r['t']}>",
+            f"{r['omega0']:.4f}",
+            "yes" if r["square"] else "no",
+            load_entry(r["name"]).provenance[:56],
+        ]
+        for r in rows
+    ]
+    print(text_table(["name", "signature", "omega0", "square", "provenance"], table))
+    return 0
+
+
+def _cmd_zoo_validate(args) -> int:
+    from repro.analysis.report import text_table
+    from repro.zoo import validate_corpus
+
+    reports = validate_corpus()
+    ok = all(r["ok"] for r in reports) and bool(reports)
+    if args.json:
+        _print_json({"ok": ok, "entries": reports})
+        return 0 if ok else 1
+    rows = [
+        [
+            r["name"],
+            "ok" if r["ok"] else "INVALID",
+            r.get("signature", "-"),
+            r.get("error", ""),
+        ]
+        for r in reports
+    ]
+    print(text_table(["name", "brent", "signature", "error"], rows))
+    print("OK" if ok else "CORPUS VALIDATION FAILED")
+    return 0 if ok else 1
+
+
+def _zoo_default_sizes(alg, points: int) -> list[int]:
+    """Default sweep grid: ``points`` consecutive powers of the base row
+    dimension, starting where the problem side first clears ~32 (shallow
+    grids sit in the pre-asymptotic regime and overshoot the fit)."""
+    import math
+
+    L0 = max(3, math.ceil(math.log(32) / math.log(alg.n)))
+    return [alg.n**L for L in range(L0, L0 + points)]
+
+
+def _cmd_zoo_sweep(args) -> int:
+    from repro.analysis.report import text_table
+    from repro.engine import run_sweep, seq_io_point
+    from repro.zoo import corpus_names, load_algorithm
+
+    if args.alg not in corpus_names():
+        known = ", ".join(corpus_names())
+        print(f"zoo sweep: no corpus entry {args.alg!r} (known: {known})",
+              file=sys.stderr)
+        return 2
+    alg = load_algorithm(args.alg)
+    sizes = args.sizes or _zoo_default_sizes(alg, args.points)
+    backend = args.backend or "symbolic"
+    specs = [
+        seq_io_point(args.alg, n, args.M, backend=backend) for n in sizes
+    ]
+    res = run_sweep(specs, _engine_config(args), parameter="n")
+    fitted = float(res.exponent) if len(res.points) >= 2 else None
+    diff = abs(fitted - alg.omega0) if fitted is not None else None
+    within = diff is not None and diff <= args.tolerance
+    if args.json:
+        payload = res.to_dict()
+        payload.update(
+            {
+                "algorithm": args.alg,
+                "signature": alg.signature(),
+                "reference_omega0": alg.omega0,
+                "fitted_exponent": fitted,
+                "exponent_diff": diff,
+                "tolerance": args.tolerance,
+                "within_tolerance": within,
+            }
+        )
+        _print_json(payload)
+    else:
+        rows = [[_fmt_x(p.x), p.measured, p.bound] for p in res.points]
+        print(f"{args.alg} {alg.signature()} sweep (backend={backend}, "
+              f"M={args.M}):")
+        print(text_table(["n (eff)", "measured I/O", "Ω floor"], rows))
+        if fitted is not None:
+            print(
+                f"fitted exponent: {fitted:.4f} vs ω₀ = {alg.omega0:.4f} "
+                f"(diff {diff:.4f}, tolerance {args.tolerance})"
+            )
+            print("WITHIN TOLERANCE" if within else "EXPONENT MISMATCH")
+    rc = _report_failures(res)
+    if rc:
+        return rc
+    return 0 if within else 1
 
 
 def _cmd_recompute(args) -> int:
@@ -280,6 +409,7 @@ def _cmd_falsify(args) -> int:
         generate_mutants,
         generate_sweep_mutants,
         generate_valid_transforms,
+        generate_zoo_mutants,
         run_battery,
         run_differential,
     )
@@ -287,6 +417,7 @@ def _cmd_falsify(args) -> int:
 
     n_valid = max(12, args.mutants // 4)
     n_sweep = max(4, args.mutants // 10)
+    n_zoo = max(8, args.mutants // 8)
     probes = None
     if args.backend:
         from repro.falsify.differential import default_probes
@@ -294,6 +425,7 @@ def _cmd_falsify(args) -> int:
         probes = default_probes(backend=args.backend)
     with collecting() as reg:
         mutants = generate_mutants(args.mutants, seed=args.seed)
+        mutants += generate_zoo_mutants(n_zoo, seed=args.seed)
         mutants += generate_valid_transforms(n_valid, seed=args.seed)
         sweeps = generate_sweep_mutants(n_sweep, seed=args.seed)
         battery = run_battery(mutants, sweeps)
@@ -532,8 +664,9 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("--M", type=int, default=48)
     p_sweep.add_argument(
         "--algorithm",
-        choices=["strassen", "winograd", "classical", "karstadt_schwartz"],
         default="strassen",
+        help="builtin (strassen, winograd, classical, karstadt_schwartz) "
+             "or any corpus entry from `repro zoo list`",
     )
     p_sweep.add_argument("--json", action="store_true", help="machine-readable output")
     p_sweep.add_argument("--jsonl", default=None, help="append RunResults as JSONL")
@@ -624,6 +757,46 @@ def main(argv: list[str] | None = None) -> int:
     p_drill.add_argument("--json", action="store_true",
                          help="machine-readable output")
     p_drill.set_defaults(fn=_cmd_serve_drill)
+
+    p_zoo = sub.add_parser(
+        "zoo", help="the fast-matmul algorithm corpus (docs/zoo.md)"
+    )
+    zoo_sub = p_zoo.add_subparsers(dest="zoo_command", required=True)
+    p_zl = zoo_sub.add_parser(
+        "list", help="list every corpus entry with its signature and ω₀"
+    )
+    p_zl.add_argument("--json", action="store_true", help="machine-readable output")
+    p_zl.set_defaults(fn=_cmd_zoo_list)
+    p_zv = zoo_sub.add_parser(
+        "validate",
+        help="re-check the Brent equations of every corpus file "
+             "(non-zero exit on any invalid entry)",
+    )
+    p_zv.add_argument("--json", action="store_true", help="machine-readable output")
+    p_zv.set_defaults(fn=_cmd_zoo_validate)
+    p_zs = zoo_sub.add_parser(
+        "sweep",
+        help="per-algorithm I/O sweep: fitted exponent vs the entry's own ω₀",
+        parents=[engine_parent, backend_parent],
+    )
+    p_zs.add_argument("--alg", required=True, help="corpus entry name")
+    p_zs.add_argument(
+        "sizes", type=int, nargs="*",
+        help="problem sides (A-rows); default: consecutive powers of the "
+             "base row dimension",
+    )
+    p_zs.add_argument("--M", type=int, default=64)
+    p_zs.add_argument(
+        "--points", type=int, default=4,
+        help="how many default sweep sizes when none are given",
+    )
+    p_zs.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="max |fitted − ω₀| for a zero exit",
+    )
+    p_zs.add_argument("--json", action="store_true", help="machine-readable output")
+    p_zs.add_argument("--jsonl", default=None, help="append RunResults as JSONL")
+    p_zs.set_defaults(fn=_cmd_zoo_sweep)
 
     p_falsify = sub.add_parser(
         "falsify",

@@ -747,6 +747,12 @@ class _SweepRunner:
                     f"to run_sweep(..., parameter=...)"
                 )
             x = run.params[self.parameter]
+            if self.parameter == "n":
+                # Rectangular recursions grow all three dimensions; the
+                # executor reports the geometric-mean side (R·K·C)^{1/3} as
+                # ``n_eff`` and fits use it so the exponent lands on ω₀
+                # (square runs report n_eff == n, so nothing changes there).
+                x = run.metrics.get("n_eff", x)
             metric = PRIMARY_METRIC.get(run.kind, "io")
             extras = {
                 k: float(v)

@@ -6,10 +6,12 @@ A key is the SHA-256 of the canonical JSON of::
 
 where ``code`` is a digest over the source of every ``repro`` module that
 can influence a measurement (everything except presentation: ``viz``,
-``cli``, ``__main__``).  Editing any counted code path therefore
-invalidates every cached result automatically — no manual cache busting,
-no stale numbers after a refactor.  ``CACHE_SCHEMA`` is bumped by hand
-only when the *result payload layout* changes.
+``cli``, ``__main__``) *plus* every registered data file
+(:data:`DATA_FILE_GLOBS` — the zoo's corpus coefficients).  Editing any
+counted code path or coefficient file therefore invalidates every cached
+result automatically — no manual cache busting, no stale numbers after a
+refactor or a corpus fix.  ``CACHE_SCHEMA`` is bumped by hand only when
+the *result payload layout* changes.
 """
 
 from __future__ import annotations
@@ -20,27 +22,44 @@ from pathlib import Path
 
 from repro.analysis.results import canonical_json
 
-__all__ = ["CACHE_SCHEMA", "code_version", "point_key"]
+__all__ = ["CACHE_SCHEMA", "DATA_FILE_GLOBS", "code_version", "point_key"]
 
 CACHE_SCHEMA = 1
 
 # Presentation-only modules whose edits must not invalidate cached results.
 _EXCLUDED = ("viz/", "cli.py", "__main__.py")
 
+#: Non-Python files that feed measurements and must be part of the code
+#: digest.  ``*.py``-only hashing left corpus-backed sweeps stale: editing
+#: ``zoo/corpus/laderman.json`` changed every result computed from it
+#: while ``code_version()`` — and with it every cache key — stayed put.
+DATA_FILE_GLOBS = ("zoo/corpus/*.json",)
 
-@lru_cache(maxsize=1)
-def code_version() -> str:
-    """Digest of every result-affecting source file in the repro package."""
-    root = Path(__file__).resolve().parents[1]
+
+def _digest(root: Path) -> str:
+    """Digest every result-affecting file under one package root."""
+    tracked = [
+        path
+        for path in sorted(root.rglob("*.py"))
+        if not (
+            (rel := path.relative_to(root).as_posix()).startswith(_EXCLUDED[0])
+            or rel in _EXCLUDED[1:]
+        )
+    ]
+    for pattern in DATA_FILE_GLOBS:
+        tracked.extend(sorted(root.glob(pattern)))
     h = hashlib.sha256()
-    for path in sorted(root.rglob("*.py")):
-        rel = path.relative_to(root).as_posix()
-        if rel.startswith(_EXCLUDED[0]) or rel in _EXCLUDED[1:]:
-            continue
-        h.update(rel.encode())
+    for path in tracked:
+        h.update(path.relative_to(root).as_posix().encode())
         h.update(b"\0")
         h.update(path.read_bytes())
     return h.hexdigest()[:16]
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every result-affecting source + data file in ``repro``."""
+    return _digest(Path(__file__).resolve().parents[1])
 
 
 def point_key(kind: str, params: dict) -> str:

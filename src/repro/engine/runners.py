@@ -45,6 +45,7 @@ __all__ = [
     "ExperimentPoint",
     "algorithm_spec",
     "resolve_algorithm",
+    "reference_exponent",
     "seq_io_point",
     "parallel_comm_point",
     "pebble_optimal_point",
@@ -119,9 +120,14 @@ def resolve_algorithm(spec):
             from repro.basis import karstadt_schwartz
 
             return karstadt_schwartz()
-        if spec not in registry:
-            raise KeyError(f"unknown algorithm id {spec!r}")
-        return registry[spec]()
+        if spec in registry:
+            return registry[spec]()
+        # Fall back to the corpus: any zoo entry is addressable by name.
+        from repro.zoo import corpus_names, load_algorithm
+
+        if spec in corpus_names():
+            return load_algorithm(spec)
+        raise KeyError(f"unknown algorithm id {spec!r}")
     from repro.algorithms.bilinear import BilinearAlgorithm
 
     return BilinearAlgorithm(
@@ -133,6 +139,25 @@ def resolve_algorithm(spec):
         V=np.array(spec["V"], dtype=np.int64),
         W=np.array(spec["W"], dtype=np.int64),
     )
+
+
+def reference_exponent(spec) -> tuple[str, float]:
+    """(display label, reference I/O exponent) of one algorithm spec.
+
+    The classical baselines sit at the Hong–Kung exponent 3;
+    Karstadt–Schwartz counts like its Strassen core (ω₀ = log₂ 7); every
+    other bilinear algorithm carries its own ω₀ = 3·log_{nmp} t.  This is
+    what sweeps and reports compare the fitted exponent against — the
+    old hardcoded ``OMEGA0_STRASSEN`` mislabeled every non-Strassen fit.
+    """
+    from repro.bounds.formulas import OMEGA0_STRASSEN
+
+    if spec is None or spec == "classical":
+        return "classical", 3.0
+    if spec == "karstadt_schwartz":
+        return "karstadt_schwartz", OMEGA0_STRASSEN
+    alg = resolve_algorithm(spec)
+    return alg.name, alg.omega0
 
 
 # --------------------------------------------------------------------- #
@@ -286,7 +311,23 @@ def _seq_io_bound(params: dict, alg) -> float:
         return classical_sequential(n, M)
     if params["alg"] == "karstadt_schwartz":
         return fast_sequential(n, M)
-    return fast_sequential(n, M, alg.omega0)
+    return fast_sequential(_effective_dim(alg, n), M, alg.omega0)
+
+
+def _effective_dim(alg, n: int) -> float:
+    """Geometric-mean problem side (R·K·C)^{1/3} of the (R×K)·(K×C) run.
+
+    For square algorithms this is n itself; for rectangular ⟨n,m,p⟩
+    recursions it is ((nmp)^{1/3})ᴸ — the x-axis against which the fitted
+    I/O exponent equals ω₀ = 3·log_{nmp} t (fitting against the raw A-side
+    nᴸ would measure log_n t instead).
+    """
+    from repro.algorithms.bilinear import recursion_shape
+
+    R, K, C = recursion_shape(alg, n)
+    if R == K == C:  # exact — cbrt(n³) drifts below n in floating point
+        return float(R)
+    return float((R * K * C) ** (1.0 / 3.0))
 
 
 def _run_seq_io(params: dict) -> dict:
@@ -296,6 +337,8 @@ def _run_seq_io(params: dict) -> dict:
     n, M, seed = params["n"], params["M"], params["seed"]
     replay = bool(params.get("replay", False))
     bound = _seq_io_bound(params, alg)
+    is_bilinear = alg is not None and params["alg"] != "karstadt_schwartz"
+    n_eff = _effective_dim(alg, n) if is_bilinear else float(n)
     backend = params.get("backend")
     if backend:
         from repro import schedule as _schedule
@@ -310,6 +353,7 @@ def _run_seq_io(params: dict) -> dict:
             "peak_fast": int(report.peak_fast),
             "io_cost": float(report.io),
             "bound": float(bound),
+            "n_eff": float(n_eff),
         }
         metrics.update(
             {
@@ -322,8 +366,15 @@ def _run_seq_io(params: dict) -> dict:
         )
         return metrics
     rng = np.random.default_rng(seed)
-    A = rng.standard_normal((n, n))
-    B = rng.standard_normal((n, n))
+    if is_bilinear and not getattr(alg, "is_square", True):
+        from repro.algorithms.bilinear import recursion_shape
+
+        R, K, C_cols = recursion_shape(alg, n)
+        A = rng.standard_normal((R, K))
+        B = rng.standard_normal((K, C_cols))
+    else:
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
     machine = SequentialMachine(M)
     phases: dict = {}
     if alg is None:
@@ -349,6 +400,7 @@ def _run_seq_io(params: dict) -> dict:
         "peak_fast": int(machine.peak_fast_words),
         "io_cost": float(stats["io_cost"]),
         "bound": float(bound),
+        "n_eff": float(n_eff),
     }
     metrics.update({k: float(v) for k, v in phases.items()})
     return metrics

@@ -116,7 +116,7 @@ def execute_abmm(
 
     from repro.execution.recursive_bilinear import _mult  # shared recursion
 
-    _mult(machine, alt.core, "A", "B", "C_t", n, stop, "r", replay=level_replay)
+    _mult(machine, alt.core, "A", "B", "C_t", (n, n, n), stop, "r", replay=level_replay)
     io_bilinear = machine.io_operations - io0 - io_fwd
 
     nu_inv = invert_base_transform(alt.nu)

@@ -32,6 +32,7 @@ published through :mod:`repro.obs` under ``falsify.*``.  See
 from repro.falsify.battery import (
     BatteryResult,
     CHECKER_NAMES,
+    checker_applicable,
     run_battery,
 )
 from repro.falsify.differential import (
@@ -43,11 +44,13 @@ from repro.falsify.differential import (
 from repro.falsify.mutants import (
     ALGORITHM_MUTATION_CLASSES,
     SWEEP_MUTATION_CLASSES,
+    ZOO_MUTATION_CLASSES,
     AlgorithmMutant,
     SweepMutant,
     generate_mutants,
     generate_sweep_mutants,
     generate_valid_transforms,
+    generate_zoo_mutants,
 )
 
 __all__ = [
@@ -55,11 +58,14 @@ __all__ = [
     "SweepMutant",
     "ALGORITHM_MUTATION_CLASSES",
     "SWEEP_MUTATION_CLASSES",
+    "ZOO_MUTATION_CLASSES",
     "generate_mutants",
     "generate_sweep_mutants",
     "generate_valid_transforms",
+    "generate_zoo_mutants",
     "BatteryResult",
     "CHECKER_NAMES",
+    "checker_applicable",
     "run_battery",
     "DifferentialReport",
     "DifferentialProbe",

@@ -46,9 +46,34 @@ from repro.obs.metrics import active_registry
 __all__ = [
     "CHECKER_NAMES",
     "ALGORITHM_CHECKERS",
+    "LEMMA31_MAX_T",
+    "checker_applicable",
     "BatteryResult",
     "run_battery",
 ]
+
+#: Largest rank the exhaustive 2^t Lemma 3.1 subset check is run at.
+#: Beyond this (Laderman's t = 23 would be 2²³ subsets per side) the
+#: checker is structurally sound but computationally infeasible, so the
+#: battery marks it inapplicable rather than hanging.
+LEMMA31_MAX_T = 12
+
+
+def checker_applicable(checker: str, alg: BilinearAlgorithm) -> bool:
+    """Whether one structural checker is defined/feasible for ``alg``.
+
+    ``brent`` is universal.  ``lemma31`` enumerates all 2^t encoder
+    subsets — capped at :data:`LEMMA31_MAX_T`.  ``corollary35`` counts
+    left factors against the Hopcroft–Kerr ⟨2,2,2;7⟩ certificate sets,
+    which only exist for that signature.  Zoo mutants past t = 7 rely on
+    this guard: the battery skips inapplicable checkers instead of
+    crashing on (or hanging in) them.
+    """
+    if checker == "lemma31":
+        return alg.t <= LEMMA31_MAX_T
+    if checker == "corollary35":
+        return (alg.n, alg.m, alg.p, alg.t) == (2, 2, 2, 7)
+    return True
 
 
 def _check_brent(alg: BilinearAlgorithm) -> bool:
@@ -171,7 +196,19 @@ def run_battery(
             raise KeyError(
                 f"mutant {mut.mutation!r} targets unknown checkers {unknown}"
             )
+        infeasible = [
+            t for t in mut.targets if not checker_applicable(t, mut.alg)
+        ]
+        if infeasible:
+            raise ValueError(
+                f"mutant {mut.mutation!r} ({mut.alg.signature()}) targets "
+                f"inapplicable checkers {infeasible} — the generator must "
+                "filter targets through checker_applicable()"
+            )
         for checker, fn in ALGORITHM_CHECKERS.items():
+            if not checker_applicable(checker, mut.alg):
+                _record(reg, f"falsify.skipped.{checker}")
+                continue
             passed = fn(mut.alg)
             targeted = checker in mut.targets
             matrix = res.valid_matrix if mut.valid else res.kill_matrix

@@ -570,6 +570,10 @@ def default_probes(backend: str | None = None) -> list[DifferentialProbe]:
         ("karstadt_schwartz", 16, 48),
         ("classical", 16, 64),
         ("classical", 32, 64),
+        # zoo entries: a t=23 3×3 base and the rectangular ⟨5,2,2;18⟩
+        # (n=25 → (25×4)·(4×4), one recursion level at M=64)
+        ("laderman", 9, 48),
+        ("grey-522-18", 25, 64),
     ):
         probes.append(DifferentialProbe("level_replay", {"alg": alg, "n": n, "M": M}))
     for n, M in ((6, 16), (8, 16), (12, 24), (16, 32)):
@@ -602,6 +606,10 @@ def default_probes(backend: str | None = None) -> list[DifferentialProbe]:
         ("karstadt_schwartz", 32, 256),
         ("classical", 16, 64),
         (None, 32, 300),
+        # zoo entries through every backend vs the physical machine
+        ("laderman", 27, 64),
+        ("grey-333-23-221", 9, 48),
+        ("grey-522-18", 125, 64),
     ):
         probes.append(
             DifferentialProbe(

@@ -63,12 +63,15 @@ __all__ = [
     "ALGORITHM_MUTATION_CLASSES",
     "VALID_TRANSFORM_CLASSES",
     "SWEEP_MUTATION_CLASSES",
+    "ZOO_MUTATION_CLASSES",
     "AlgorithmMutant",
     "SweepMutant",
     "mutation_bases",
+    "zoo_mutation_bases",
     "generate_mutants",
     "generate_valid_transforms",
     "generate_sweep_mutants",
+    "generate_zoo_mutants",
 ]
 
 #: Invalid mutation classes, in round-robin generation order.
@@ -94,6 +97,17 @@ VALID_TRANSFORM_CLASSES: tuple[str, ...] = (
 
 #: Sweep-data mutation classes for the bound-validation checker.
 SWEEP_MUTATION_CLASSES: tuple[str, ...] = ("bound_undercut", "exponent_drift")
+
+#: Mutation classes applied to zoo corpus bases (beyond ⟨2,2,2;7⟩).
+#: Shape-agnostic perturbations only: the HK-collision class is pinned to
+#: 2×2 left factors, and the duplicate/collapse classes target checkers
+#: that are inapplicable past t = 7 (see ``battery.checker_applicable``).
+ZOO_MUTATION_CLASSES: tuple[str, ...] = (
+    "sign_flip",
+    "coeff_tweak",
+    "drop_product",
+    "swap_decoder",
+)
 
 
 @dataclass(frozen=True)
@@ -314,6 +328,60 @@ def generate_mutants(
         mclass = classes[i % len(classes)]
         base = bases[(i // len(classes)) % len(bases)]
         alg, targets, desc = _MUTATORS[mclass](base, rng)
+        out.append(
+            AlgorithmMutant(
+                alg=alg,
+                mutation=mclass,
+                valid=False,
+                targets=targets,
+                base_name=base.name,
+                description=desc,
+            )
+        )
+    return out
+
+
+def zoo_mutation_bases() -> list[BilinearAlgorithm]:
+    """The corpus bases zoo mutants are derived from.
+
+    Laderman and the rotation variant exercise a t = 23, 3×3 base; the
+    Grey ⟨5,2,2;18⟩ entry exercises a rectangular one — together they
+    certify the Brent checker on every corpus shape, not just ⟨2,2,2;7⟩.
+    """
+    from repro.zoo import load_algorithm  # local: zoo sits above falsify
+
+    return [
+        load_algorithm("laderman"),
+        load_algorithm("grey-333-23-221"),
+        load_algorithm("grey-522-18"),
+    ]
+
+
+def generate_zoo_mutants(
+    count: int, seed: int = 0, classes: tuple[str, ...] | None = None
+) -> list[AlgorithmMutant]:
+    """``count`` invalid mutants of the non-2×2 corpus entries, seeded.
+
+    Same round-robin discipline as :func:`generate_mutants`, restricted
+    to the shape-agnostic classes; each mutant's targets are filtered
+    through :func:`repro.falsify.battery.checker_applicable` so a
+    truncated Laderman targets ``brent`` alone (its 2²³-subset Lemma 3.1
+    check is infeasible) instead of tripping the battery's sanity guard.
+    """
+    from repro.falsify.battery import checker_applicable
+
+    classes = classes or ZOO_MUTATION_CLASSES
+    unknown = [c for c in classes if c not in _MUTATORS]
+    if unknown:
+        raise KeyError(f"unknown mutation classes {unknown}")
+    rng = np.random.default_rng(seed)
+    bases = zoo_mutation_bases()
+    out: list[AlgorithmMutant] = []
+    for i in range(count):
+        mclass = classes[i % len(classes)]
+        base = bases[(i // len(classes)) % len(bases)]
+        alg, targets, desc = _MUTATORS[mclass](base, rng)
+        targets = tuple(t for t in targets if checker_applicable(t, base))
         out.append(
             AlgorithmMutant(
                 alg=alg,

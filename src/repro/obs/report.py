@@ -45,17 +45,44 @@ def load_sweep_runs(sweep_dir: str | Path) -> list:
     return list(by_key.values())
 
 
+def _reference(runs: list) -> tuple[str | None, float | None]:
+    """(algorithm label, reference ω₀) of a sweep, when unambiguous.
+
+    Derived from the runs' own ``alg`` params — every algorithm is
+    compared against its own ω₀ = 3·log_{nmp} t (the report used to show
+    nothing, and the CLI hardcoded Strassen's log₂7 for every sweep).
+    Mixed-algorithm or algorithm-free directories report no reference.
+    """
+    specs: dict[str, object] = {}
+    for r in runs:
+        if r.kind in ("seq_io", "parallel_comm") and "alg" in r.params:
+            spec = r.params["alg"]
+            specs[json.dumps(spec, sort_keys=True)] = spec
+    if len(specs) != 1:
+        return None, None
+    (spec,) = specs.values()
+    try:
+        from repro.engine.runners import reference_exponent
+
+        label, omega = reference_exponent(spec)
+    except Exception:
+        return None, None
+    return label, float(omega)
+
+
 def _fit(runs: list, parameter: str) -> dict:
     """Exponent fit over the ok runs; tolerant of unfittable sweeps."""
     from repro.analysis.fitting import sweep_from_runs
 
-    sweep = sweep_from_runs(
-        [r for r in runs if r.ok], parameter=parameter, missing="fail"
-    )
+    ok_runs = [r for r in runs if r.ok]
+    label, omega = _reference(ok_runs)
+    sweep = sweep_from_runs(ok_runs, parameter=parameter, missing="fail")
     out: dict = {
         "parameter": parameter,
         "fitted_points": len(sweep.points),
         "exponent": None,
+        "algorithm": label,
+        "reference_omega0": omega,
     }
     if len(sweep.points) >= 2 and len({p.x for p in sweep.points}) >= 2:
         try:
@@ -285,8 +312,13 @@ def render_report(report: dict) -> str:
     else:
         lines.append("(no fittable points)")
     exp = fit.get("exponent")
-    lines += ["", f"- fitted exponent: **{_fmt(exp)}**"
-              + ("" if exp is not None else " (needs ≥ 2 distinct x)"), ""]
+    note = "" if exp is not None else " (needs ≥ 2 distinct x)"
+    if exp is not None and fit.get("reference_omega0") is not None:
+        note = (
+            f" (reference ω₀[{fit['algorithm']}] = "
+            f"{_fmt(fit['reference_omega0'])})"
+        )
+    lines += ["", f"- fitted exponent: **{_fmt(exp)}**{note}", ""]
 
     cache = report["cache"]
     lru = report["lru"]

@@ -58,7 +58,7 @@ def lower(spec: ScheduleSpec) -> ScheduleIR:
 def _lower_stream(
     ir: ScheduleIR,
     n_sources: int,
-    h: int,
+    shape: int | tuple[int, int],
     M: int,
     level: int,
     reserve: int = 0,
@@ -68,23 +68,25 @@ def _lower_stream(
 
     Emits, per chunk: ALLOC acc, (LOAD src, FREE src) × n_sources,
     STORE acc, FREE acc — the exact buffer lifetime of the machine
-    version, so peak fast-memory matches word-for-word.
+    version, so peak fast-memory matches word-for-word.  ``shape`` is the
+    block shape (an int h for h×h, or a (rows, cols) pair).
     """
     if n_sources == 0:
         raise ValueError("empty linear combination")
+    hr, hc = (shape, shape) if isinstance(shape, int) else shape
     chunk_words = (M - reserve) // 2
     if chunk_words < 1:
         raise MemoryError(
             f"M={M} too small to stream {n_sources}-term combinations"
         )
-    rows_budget = max(1, chunk_words // h)
-    cols_budget = h if chunk_words >= h else chunk_words
+    rows_budget = max(1, chunk_words // hc)
+    cols_budget = hc if chunk_words >= hc else chunk_words
     r = 0
-    while r < h:
-        rows = min(rows_budget, h - r)
+    while r < hr:
+        rows = min(rows_budget, hr - r)
         c = 0
-        while c < h:
-            cols = min(cols_budget, h - c)
+        while c < hc:
+            cols = min(cols_budget, hc - c)
             words = rows * cols
             ir.emit(OpKind.ALLOC, "_acc", words, level, tag=tag)
             for _ in range(n_sources):
@@ -99,32 +101,41 @@ def _lower_stream(
 def _lower_mult(
     ir: ScheduleIR,
     alg,
-    s: int,
+    shape: tuple[int, int, int],
     M: int,
     base_size: int,
     level: int,
     replay: bool,
     tag: str | None = None,
 ) -> None:
-    """Mirror of ``recursive_bilinear._mult`` (the shared DFS recursion)."""
-    if 3 * s * s <= M and s <= base_size:
-        ir.emit(OpKind.LOAD, "_a", s * s, level, tag=tag)
-        ir.emit(OpKind.LOAD, "_b", s * s, level, tag=tag)
-        ir.emit(OpKind.ALLOC, "_c", s * s, level, tag=tag)
+    """Mirror of ``recursive_bilinear._mult`` (the shared DFS recursion).
+
+    ``shape`` is the (R, K, C) operand triple of the (R×K)·(K×C) product —
+    equal sides for square algorithms, divided by (n, m, p) per level for
+    rectangular base cases.
+    """
+    from repro.execution.recursive_bilinear import _is_base, _split_shape
+
+    R, K, C = shape
+    if _is_base(shape, M, base_size):
+        ir.emit(OpKind.LOAD, "_a", R * K, level, tag=tag)
+        ir.emit(OpKind.LOAD, "_b", K * C, level, tag=tag)
+        ir.emit(OpKind.ALLOC, "_c", R * C, level, tag=tag)
         ir.emit(OpKind.COMPUTE, "matmul", 0, level, tag=tag)
-        ir.emit(OpKind.STORE, "_c", s * s, level, tag=tag)
-        ir.emit(OpKind.FREE, "_a", s * s, level, tag=tag)
-        ir.emit(OpKind.FREE, "_b", s * s, level, tag=tag)
-        ir.emit(OpKind.FREE, "_c", s * s, level, tag=tag)
+        ir.emit(OpKind.STORE, "_c", R * C, level, tag=tag)
+        ir.emit(OpKind.FREE, "_a", R * K, level, tag=tag)
+        ir.emit(OpKind.FREE, "_b", K * C, level, tag=tag)
+        ir.emit(OpKind.FREE, "_c", R * C, level, tag=tag)
         return
-    d = alg.n
-    if s % d != 0:
-        raise ValueError(f"problem size {s} not divisible by base dimension {d}")
-    h = s // d
+    hr, hk, hc = _split_shape(alg, shape)
     sub_span: tuple[int, int] | None = None
     for l in range(alg.t):
-        _lower_stream(ir, int(np.count_nonzero(alg.U[l])), h, M, level, tag=tag)
-        _lower_stream(ir, int(np.count_nonzero(alg.V[l])), h, M, level, tag=tag)
+        _lower_stream(
+            ir, int(np.count_nonzero(alg.U[l])), (hr, hk), M, level, tag=tag
+        )
+        _lower_stream(
+            ir, int(np.count_nonzero(alg.V[l])), (hk, hc), M, level, tag=tag
+        )
         if replay and sub_span is not None:
             # Isomorphic to the measured sub-problem (Lemma 2.2): expand by
             # reference instead of lowering another copy of the subtree.
@@ -132,11 +143,14 @@ def _lower_mult(
                     span=sub_span, repeats=1, tag=tag)
         else:
             i0 = len(ir.ops)
-            _lower_mult(ir, alg, h, M, base_size, level + 1, replay, tag=tag)
+            _lower_mult(ir, alg, (hr, hk, hc), M, base_size, level + 1, replay,
+                        tag=tag)
             if replay:
                 sub_span = (i0, len(ir.ops))
-    for q in range(d * d):
-        _lower_stream(ir, int(np.count_nonzero(alg.W[q])), h, M, level, tag=tag)
+    for q in range(alg.n * alg.p):
+        _lower_stream(
+            ir, int(np.count_nonzero(alg.W[q])), (hr, hc), M, level, tag=tag
+        )
 
 
 def _lower_tiled(ir: ScheduleIR, n: int, M: int, replay: bool) -> None:
@@ -213,7 +227,7 @@ def _lower_abmm(
     stop = abmm_stop_size(n, M, base_size)
     _lower_basis_transform(ir, n, alt.phi, stop, M, tag="transform_forward")
     _lower_basis_transform(ir, n, alt.psi, stop, M, tag="transform_forward")
-    _lower_mult(ir, alt.core, n, M, stop, 0, replay, tag="bilinear")
+    _lower_mult(ir, alt.core, (n, n, n), M, stop, 0, replay, tag="bilinear")
     nu_inv = invert_base_transform(alt.nu)
     _lower_basis_transform(ir, n, nu_inv, stop, M, tag="transform_inverse")
 
@@ -231,10 +245,12 @@ def lower_seq_io(spec: ScheduleSpec) -> ScheduleIR:
     elif variant == "abmm":
         _lower_abmm(ir, spec.payload["alg"], n, M, base_size, replay)
     elif variant == "recursive":
+        from repro.algorithms.bilinear import recursion_shape
+
         alg = spec.payload["alg"]
-        if not alg.is_square:
-            raise ValueError("recursive execution requires a square base case")
-        _lower_mult(ir, alg, n, M, n if base_size is None else base_size, 0, replay)
+        shape = recursion_shape(alg, n)
+        bs = max(shape) if base_size is None else base_size
+        _lower_mult(ir, alg, shape, M, bs, 0, replay)
     else:
         raise KeyError(f"unknown seq_io variant {variant!r}")
     return ir

@@ -39,50 +39,60 @@ from repro.schedule.spec import ScheduleSpec
 __all__ = ["execute"]
 
 
-def _stream_costs(nnz: int, h: int, M: int) -> tuple[int, int, int]:
-    """(reads, writes, peak) of one streamed linear combination into h×h."""
+def _stream_costs(
+    nnz: int, shape: int | tuple[int, int], M: int
+) -> tuple[int, int, int]:
+    """(reads, writes, peak) of one streamed linear combination into a block.
+
+    ``shape`` is the block shape — an int h for h×h or a (rows, cols) pair.
+    """
     if nnz == 0:
         raise ValueError("empty linear combination")
+    hr, hc = (shape, shape) if isinstance(shape, int) else shape
     chunk_words = M // 2
     if chunk_words < 1:
         raise MemoryError(f"M={M} too small to stream {nnz}-term combinations")
-    rows = min(max(1, chunk_words // h), h)
-    cols = h if chunk_words >= h else chunk_words
-    return nnz * h * h, h * h, 2 * rows * cols
+    rows = min(max(1, chunk_words // hc), hr)
+    cols = hc if chunk_words >= hc else chunk_words
+    return nnz * hr * hc, hr * hc, 2 * rows * cols
 
 
 def _mult_costs(
-    alg, s: int, M: int, base_size: int, memo: dict[int, tuple[int, int, int]]
+    alg,
+    shape: tuple[int, int, int],
+    M: int,
+    base_size: int,
+    memo: dict[tuple[int, int, int], tuple[int, int, int]],
 ) -> tuple[int, int, int]:
-    """(reads, writes, peak) of the shared bilinear recursion at size s."""
-    if s in memo:
-        return memo[s]
-    if 3 * s * s <= M and s <= base_size:
-        res = (2 * s * s, s * s, 3 * s * s)
-        memo[s] = res
+    """(reads, writes, peak) of the shared bilinear recursion at (R, K, C)."""
+    from repro.execution.recursive_bilinear import _is_base, _split_shape
+
+    if shape in memo:
+        return memo[shape]
+    R, K, C = shape
+    if _is_base(shape, M, base_size):
+        res = (R * K + K * C, R * C, R * K + K * C + R * C)
+        memo[shape] = res
         return res
-    d = alg.n
-    if s % d != 0:
-        raise ValueError(f"problem size {s} not divisible by base dimension {d}")
-    h = s // d
+    hr, hk, hc = _split_shape(alg, shape)
     reads = writes = peak = 0
     for l in range(alg.t):
-        for mat in (alg.U, alg.V):
-            sr, sw, sp = _stream_costs(int(np.count_nonzero(mat[l])), h, M)
+        for mat, blk in ((alg.U, (hr, hk)), (alg.V, (hk, hc))):
+            sr, sw, sp = _stream_costs(int(np.count_nonzero(mat[l])), blk, M)
             reads += sr
             writes += sw
             peak = max(peak, sp)
-    sub_r, sub_w, sub_p = _mult_costs(alg, h, M, base_size, memo)
+    sub_r, sub_w, sub_p = _mult_costs(alg, (hr, hk, hc), M, base_size, memo)
     reads += alg.t * sub_r
     writes += alg.t * sub_w
     peak = max(peak, sub_p)
-    for q in range(d * d):
-        sr, sw, sp = _stream_costs(int(np.count_nonzero(alg.W[q])), h, M)
+    for q in range(alg.n * alg.p):
+        sr, sw, sp = _stream_costs(int(np.count_nonzero(alg.W[q])), (hr, hc), M)
         reads += sr
         writes += sw
         peak = max(peak, sp)
     res = (reads, writes, peak)
-    memo[s] = res
+    memo[shape] = res
     return res
 
 
@@ -123,11 +133,12 @@ def _seq_io(spec: ScheduleSpec) -> dict:
         return {"reads": reads, "writes": writes, "io": reads + writes,
                 "peak_fast": peak}
     if variant == "recursive":
+        from repro.algorithms.bilinear import recursion_shape
+
         alg = spec.payload["alg"]
-        if not alg.is_square:
-            raise ValueError("recursive execution requires a square base case")
+        shape = recursion_shape(alg, n)
         reads, writes, peak = _mult_costs(
-            alg, n, M, n if base_size is None else int(base_size), {}
+            alg, shape, M, max(shape) if base_size is None else int(base_size), {}
         )
         return {"reads": reads, "writes": writes, "io": reads + writes,
                 "peak_fast": peak}
@@ -141,7 +152,7 @@ def _seq_io(spec: ScheduleSpec) -> dict:
         stop = abmm_stop_size(n, M, base_size)
         fr, fw, fp = _transform_costs(alt.phi, n, stop, M)
         gr, gw, gp = _transform_costs(alt.psi, n, stop, M)
-        br, bw, bp = _mult_costs(alt.core, n, M, stop, {})
+        br, bw, bp = _mult_costs(alt.core, (n, n, n), M, stop, {})
         ir_, iw, ip = _transform_costs(invert_base_transform(alt.nu), n, stop, M)
         reads = fr + gr + br + ir_
         writes = fw + gw + bw + iw

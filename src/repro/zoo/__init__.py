@@ -1,0 +1,46 @@
+"""repro.zoo — the fast-matmul algorithm corpus.
+
+Checked-in ⟨n,m,p;t⟩ coefficient files (``corpus/*.json``) behind a
+Brent-validating loader, plus the tensor constructions that generated the
+non-2×2 entries.  Every entry is addressable by name throughout the stack
+(``resolve_algorithm``, ``repro zoo sweep --alg ...``, differential
+probes), and the corpus files participate in the engine's cache digest.
+"""
+
+from repro.zoo.compose import (
+    cyclic_rotation,
+    grey_333_23_221,
+    grey_522_18,
+    laderman,
+    stack_rows,
+    tensor_product,
+)
+from repro.zoo.loader import (
+    CORPUS_SCHEMA,
+    CorpusEntry,
+    CorpusValidationError,
+    corpus_dir,
+    corpus_names,
+    load_algorithm,
+    load_entry,
+    omega0_table,
+    validate_corpus,
+)
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "CorpusEntry",
+    "CorpusValidationError",
+    "corpus_dir",
+    "corpus_names",
+    "load_algorithm",
+    "load_entry",
+    "omega0_table",
+    "validate_corpus",
+    "cyclic_rotation",
+    "tensor_product",
+    "stack_rows",
+    "laderman",
+    "grey_333_23_221",
+    "grey_522_18",
+]

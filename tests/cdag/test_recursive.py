@@ -87,11 +87,24 @@ class TestRecursiveStructure:
         with pytest.raises(ValueError):
             build_recursive_cdag(strassen_alg, 6)
 
-    def test_rejects_rectangular(self):
+    def test_rectangular_registry_shapes(self):
+        """⟨2,3,4⟩ at n=4: two levels, tuple-keyed rectangular registries."""
+        from repro.algorithms.classical import classical
+
+        alg = classical(2, 3, 4)
+        H = build_recursive_cdag(alg, 4)
+        assert len(H.a_inputs) == 4 * 9
+        assert len(H.b_inputs) == 9 * 16
+        assert len(H.c_outputs) == 4 * 16
+        assert H.num_subproblems((4, 9, 16)) == 1
+        assert H.num_subproblems((2, 3, 4)) == alg.t
+        assert H.num_subproblems(1) == alg.t**2
+
+    def test_rectangular_rejects_non_power_rows(self):
         from repro.algorithms.classical import classical
 
         with pytest.raises(ValueError):
-            build_recursive_cdag(classical(2, 3, 4), 4)
+            build_recursive_cdag(classical(2, 3, 4), 6)
 
     def test_rejects_unknown_style(self, strassen_alg):
         with pytest.raises(ValueError):

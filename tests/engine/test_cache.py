@@ -225,6 +225,41 @@ class TestKeys:
         raw = (tmp_path / key[:2] / f"{key}.json").read_text()
         assert json.loads(raw) == {"metrics": {"io": 1.5}}
 
+    def test_digest_tracks_registered_data_files(self, tmp_path):
+        """Editing a corpus coefficient file must change the code digest.
+
+        Regression: the digest used to hash ``*.py`` only, so a corpus
+        edit silently kept every stale cached measurement valid.
+        """
+        from repro.engine.keys import _digest
+
+        root = tmp_path / "pkg"
+        (root / "zoo" / "corpus").mkdir(parents=True)
+        (root / "mod.py").write_text("X = 1\n")
+        corpus = root / "zoo" / "corpus" / "probe.json"
+        corpus.write_text('{"U": [[1]]}')
+        base = _digest(root)
+        corpus.write_text('{"U": [[2]]}')
+        assert _digest(root) != base
+        # and .py edits still invalidate as before
+        edited_data = _digest(root)
+        (root / "mod.py").write_text("X = 2\n")
+        assert _digest(root) != edited_data
+
+    def test_live_digest_includes_corpus(self):
+        """The real package digest walks at least one corpus file."""
+        from pathlib import Path
+
+        from repro.engine import keys as keys_mod
+        from repro.zoo import corpus_dir
+
+        root = Path(keys_mod.__file__).resolve().parents[1]
+        tracked = {
+            p for pattern in keys_mod.DATA_FILE_GLOBS for p in root.glob(pattern)
+        }
+        assert corpus_dir().resolve() in {p.parent.resolve() for p in tracked}
+        assert tracked, "corpus files must participate in code_version()"
+
 
 class TestSizeBudget:
     """max_bytes: LRU eviction keyed on entry-file mtime."""

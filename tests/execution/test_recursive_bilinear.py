@@ -155,12 +155,30 @@ class TestRecursiveExecution:
         rep = time.perf_counter() - t0
         assert rep < full
 
-    def test_rectangular_rejected(self, rng):
+    def test_rectangular_classical_correct(self, rng):
+        """Rectangular ⟨2,3,4⟩ recursion: (4×9)·(9×16) over two levels."""
         from repro.algorithms.classical import classical
 
-        m = SequentialMachine(100)
+        alg = classical(2, 3, 4)
+        A = rng.standard_normal((4, 9))
+        B = rng.standard_normal((9, 16))
+        m = SequentialMachine(40)
+        C = execute_recursive_bilinear(m, alg, A, B)
+        assert np.allclose(C, A @ B)
+        assert m.peak_fast_words <= 40
+
+    def test_rectangular_nonconforming_rejected_before_side_effects(self, rng):
+        from repro.algorithms.classical import classical
+
+        m = SequentialMachine(10)
+        # inner dimensions disagree → rejected before any machine op
         with pytest.raises(ValueError):
-            execute_recursive_bilinear(m, classical(2, 3, 4), rng.standard_normal((4, 4)), rng.standard_normal((4, 4)))
+            execute_recursive_bilinear(
+                m, classical(2, 3, 4),
+                rng.standard_normal((4, 9)), rng.standard_normal((4, 16)),
+            )
+        assert m.words_read == 0 and m.words_written == 0
+        assert not m.slow
 
     def test_mismatched_shapes_rejected(self, strassen_alg, rng):
         m = SequentialMachine(100)

@@ -38,6 +38,23 @@ class TestAgreement:
         kinds = {p.kind for p in default_probes()}
         assert kinds == {"level_replay", "row_replay", "pebble", "backend"}
 
+    def test_default_grid_covers_zoo_entries(self):
+        """ISSUE 8: per-zoo-entry probes, including a rectangular base."""
+        algs = {p.params.get("alg") for p in default_probes()}
+        assert {"laderman", "grey-333-23-221", "grey-522-18"} <= algs
+
+    def test_rectangular_zoo_probe_agrees(self):
+        """⟨5,2,2;18⟩ at n = 25 recurses once; every counting path must
+        report the identical I/O word count."""
+        probes = [
+            DifferentialProbe("level_replay", {"alg": "grey-522-18", "n": 25, "M": 64}),
+            DifferentialProbe("level_replay", {"alg": "laderman", "n": 9, "M": 48}),
+        ]
+        rep = run_differential(probes)
+        assert rep.ok
+        for o in rep.outcomes:
+            assert o.divergence is None
+
     def test_backend_restriction_narrows_backend_probes(self):
         probes = [p for p in default_probes(backend="symbolic")
                   if p.kind == "backend"]

@@ -1,0 +1,150 @@
+"""Falsification beyond ⟨2,2,2;7⟩: zoo-corpus mutants and applicability.
+
+The Brent checker is the only structural verifier defined for every
+signature, so the zoo mutant classes must (a) genuinely break it on
+t = 23 and rectangular bases, and (b) never target the checkers that
+are infeasible (Lemma 3.1 past t = 12) or undefined (Corollary 3.5 off
+⟨2,2,2;7⟩) there.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import strassen
+from repro.algorithms.brent import is_valid_algorithm
+from repro.falsify.battery import (
+    LEMMA31_MAX_T,
+    AlgorithmMutant,
+    checker_applicable,
+    run_battery,
+)
+from repro.falsify.mutants import (
+    ZOO_MUTATION_CLASSES,
+    generate_zoo_mutants,
+    zoo_mutation_bases,
+)
+from repro.obs import collecting
+from repro.zoo import load_algorithm
+
+
+class TestCheckerApplicability:
+    def test_brent_universal(self):
+        for alg in zoo_mutation_bases() + [strassen()]:
+            assert checker_applicable("brent", alg)
+
+    def test_lemma31_capped_by_rank(self):
+        assert checker_applicable("lemma31", strassen())
+        laderman = load_algorithm("laderman")
+        assert laderman.t > LEMMA31_MAX_T
+        assert not checker_applicable("lemma31", laderman)
+        assert not checker_applicable("lemma31", load_algorithm("grey-522-18"))
+
+    def test_corollary35_only_for_2x2x2_rank7(self):
+        assert checker_applicable("corollary35", strassen())
+        for alg in zoo_mutation_bases():
+            assert not checker_applicable("corollary35", alg)
+
+
+class TestZooGenerator:
+    def test_deterministic_for_a_seed(self):
+        a = generate_zoo_mutants(16, seed=5)
+        b = generate_zoo_mutants(16, seed=5)
+        for ma, mb in zip(a, b):
+            assert ma.mutation == mb.mutation and ma.base_name == mb.base_name
+            assert np.array_equal(ma.alg.U, mb.alg.U)
+            assert np.array_equal(ma.alg.W, mb.alg.W)
+
+    def test_every_class_and_base_appears(self):
+        muts = generate_zoo_mutants(3 * len(ZOO_MUTATION_CLASSES), seed=0)
+        assert {m.mutation for m in muts} == set(ZOO_MUTATION_CLASSES)
+        assert {m.base_name for m in muts} == {
+            "laderman", "grey-333-23-221", "grey-522-18"
+        }
+
+    def test_non_2x2_base_covered(self):
+        """ISSUE 8(d): at least one mutant class exercises a non-2×2 base."""
+        muts = generate_zoo_mutants(12, seed=0)
+        rect = [m for m in muts if m.base_name == "grey-522-18"]
+        assert rect, "rectangular base never mutated"
+        assert any(m.alg.n != m.alg.m or m.alg.m != m.alg.p for m in rect)
+
+    def test_targets_filtered_to_applicable(self):
+        for m in generate_zoo_mutants(24, seed=0):
+            assert m.targets, m.description
+            for t in m.targets:
+                base = load_algorithm(m.base_name)
+                assert checker_applicable(t, base), (m.mutation, t)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(KeyError):
+            generate_zoo_mutants(3, classes=("no_such_mutation",))
+
+
+class TestGroundTruth:
+    def test_truncated_laderman_killed_by_brent(self):
+        """A dropped product on the t = 23 base fails the Brent equations,
+        and — Lemma 3.1 being infeasible at 2²³ subsets — targets brent
+        alone."""
+        muts = generate_zoo_mutants(3, seed=0, classes=("drop_product",))
+        laderman = [m for m in muts if m.base_name == "laderman"]
+        assert laderman
+        for m in laderman:
+            assert m.targets == ("brent",)
+            assert not is_valid_algorithm(m.alg), m.description
+
+    def test_sign_flipped_grey_522_killed_by_brent(self):
+        muts = generate_zoo_mutants(3, seed=0, classes=("sign_flip",))
+        rect = [m for m in muts if m.base_name == "grey-522-18"]
+        assert rect
+        for m in rect:
+            assert (m.alg.n, m.alg.m, m.alg.p) == (5, 2, 2)
+            assert not is_valid_algorithm(m.alg), m.description
+
+    def test_all_zoo_mutants_fail_brent(self):
+        for m in generate_zoo_mutants(24, seed=1):
+            assert not m.valid
+            assert not is_valid_algorithm(m.alg), (m.mutation, m.description)
+
+
+class TestBatteryIntegration:
+    def test_battery_clean_over_zoo_mutants(self):
+        res = run_battery(generate_zoo_mutants(24, seed=0))
+        assert res.ok
+        assert res.targeted_kill_rate == 1.0
+        assert res.invalid_total == 24
+
+    def test_inapplicable_checkers_skipped_and_counted(self):
+        with collecting() as reg:
+            run_battery(generate_zoo_mutants(6, seed=0))
+        counters = reg.to_dict()["counters"]
+        # every zoo base has t > LEMMA31_MAX_T and a non-⟨2,2,2;7⟩ signature
+        assert counters["falsify.skipped.lemma31"] == 6
+        assert counters["falsify.skipped.corollary35"] == 6
+        assert counters["falsify.checked.brent"] == 6
+
+    def test_inapplicable_target_rejected(self):
+        base = load_algorithm("laderman")
+        U = base.U.copy()
+        U[0, 0] += 1
+        from repro.algorithms.bilinear import BilinearAlgorithm
+
+        broken = BilinearAlgorithm("laderman~bad", 3, 3, 3, U, base.V, base.W)
+        bad = AlgorithmMutant(
+            alg=broken, mutation="coeff_tweak", valid=False,
+            targets=("lemma31",), base_name="laderman",
+        )
+        with pytest.raises(ValueError, match="inapplicable"):
+            run_battery([bad])
+
+    def test_mixed_population_stays_clean(self):
+        """Zoo mutants alongside the classic ⟨2,2,2;7⟩ population — the
+        exact mix the CLI runs."""
+        from repro.falsify.mutants import generate_mutants, generate_valid_transforms
+
+        muts = (
+            generate_mutants(14, seed=0)
+            + generate_zoo_mutants(8, seed=0)
+            + generate_valid_transforms(6, seed=0)
+        )
+        res = run_battery(muts)
+        assert res.ok and res.targeted_kill_rate == 1.0

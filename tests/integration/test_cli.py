@@ -92,6 +92,61 @@ class TestCLIJson:
             main(["nonsense"])
 
 
+class TestZooCLI:
+    def test_zoo_list_shows_all_entries(self, capsys):
+        assert main(["zoo", "list", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        names = {r["name"] for r in rows}
+        assert {"strassen", "winograd", "laderman",
+                "grey-333-23-221", "grey-522-18"} <= names
+        assert len(rows) >= 5
+
+    def test_zoo_validate_all_brent_valid(self, capsys):
+        assert main(["zoo", "validate", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"]
+        assert all(e["ok"] for e in payload["entries"])
+
+    def test_zoo_sweep_laderman_fits_own_omega0(self, capsys):
+        """Satellite regression: a Laderman sweep is compared against
+        ω₀ = 3·log₂₇ 23 — not Strassen's log₂ 7 — and fits within the
+        Strassen tolerance."""
+        assert main(["zoo", "sweep", "--alg", "laderman", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reference_omega0"] == pytest.approx(2.8540, abs=1e-3)
+        assert payload["within_tolerance"]
+        assert abs(payload["fitted_exponent"] - payload["reference_omega0"]) <= 0.15
+
+    def test_zoo_sweep_rectangular_uses_effective_dim(self, capsys):
+        """Rectangular ⟨5,2,2⟩ sweeps fit against (R·K·C)^{1/3}, not the
+        raw A-side (which would measure log₅ 18 ≈ 1.8)."""
+        assert main(
+            ["zoo", "sweep", "--alg", "grey-522-18", "--json", "--points", "3"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        xs = [p["x"] for p in payload["points"]]
+        assert xs == sorted(xs)
+        assert any(abs(x - round(x)) > 1e-9 for x in xs)  # geometric means
+        assert payload["fitted_exponent"] > 2.5
+        assert payload["within_tolerance"]
+
+    def test_zoo_sweep_unknown_entry(self, capsys):
+        assert main(["zoo", "sweep", "--alg", "nope"]) == 2
+        assert "no corpus entry" in capsys.readouterr().err
+
+    def test_main_sweep_accepts_zoo_name_and_reports_its_omega0(self, capsys):
+        assert main(
+            ["sweep", "9", "27", "--M", "48", "--algorithm", "laderman", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "laderman"
+        assert payload["reference_omega0"] == pytest.approx(2.8540, abs=1e-3)
+
+    def test_main_sweep_unknown_algorithm(self, capsys):
+        assert main(["sweep", "16", "--M", "48", "--algorithm", "nope"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+
 class TestReproduceCommand:
     def test_reproduce_all_pass(self, capsys):
         assert main(["reproduce"]) == 0

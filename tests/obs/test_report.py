@@ -107,6 +107,39 @@ class TestBuildReport:
         assert [s["key"] for s in report["slowest"]] == ["aaaa000000000002"]
         assert report["profiles"]["artifacts"] == ["aaaa000000000002.wall.json"]
 
+    def test_reference_omega0_from_alg_params(self, tmp_path):
+        """The fit reference comes from the runs' own algorithm."""
+        make_fixture_sweep(tmp_path)
+        report = build_report(tmp_path)
+        assert report["fit"]["algorithm"] == "strassen"
+        assert report["fit"]["reference_omega0"] == pytest.approx(2.8074, abs=1e-3)
+
+    def test_reference_omega0_non_strassen(self, tmp_path):
+        """Satellite regression: a Laderman sweep directory reports
+        ω₀ = 3·log₂₇ 23, not the old hardcoded log₂ 7."""
+        make_fixture_sweep(tmp_path)
+        raw = (tmp_path / "results.jsonl").read_text().replace(
+            '"strassen"', '"laderman"'
+        )
+        (tmp_path / "results.jsonl").write_text(raw)
+        report = build_report(tmp_path)
+        assert report["fit"]["algorithm"] == "laderman"
+        assert report["fit"]["reference_omega0"] == pytest.approx(2.8540, abs=1e-3)
+
+    def test_reference_absent_for_mixed_algorithms(self, tmp_path):
+        make_fixture_sweep(tmp_path)
+        with (tmp_path / "results.jsonl").open("a") as fh:
+            fh.write(json.dumps({
+                "key": "aaaa000000000004", "kind": "seq_io",
+                "params": {"alg": "winograd", "n": 64, "M": 48},
+                "metrics": {"io": 4096.0, "bound": 512.0},
+                "cached": False, "wall_time_s": 0.1, "status": "ok",
+                "trace": {},
+            }) + "\n")
+        report = build_report(tmp_path)
+        assert report["fit"]["algorithm"] is None
+        assert report["fit"]["reference_omega0"] is None
+
     def test_jsonl_dedup_last_record_wins(self, tmp_path):
         make_fixture_sweep(tmp_path)
         rerun = {

@@ -1,0 +1,92 @@
+"""Tensor constructions behind the corpus: exactness over ℤ via Brent."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.brent import brent_residual, is_valid_algorithm
+from repro.algorithms.classical import classical
+from repro.algorithms.strassen import strassen
+from repro.zoo.compose import (
+    cyclic_rotation,
+    grey_333_23_221,
+    grey_522_18,
+    laderman,
+    stack_rows,
+    tensor_product,
+)
+
+
+def _numeric_check(alg, seed=0):
+    rng = np.random.default_rng(seed)
+    A = rng.integers(-4, 5, (alg.n, alg.m)).astype(np.int64)
+    B = rng.integers(-4, 5, (alg.m, alg.p)).astype(np.int64)
+    C = alg.apply_one_level(A, B, lambda x, y: x * y)
+    assert np.array_equal(C, A @ B)
+
+
+class TestCyclicRotation:
+    def test_rotated_strassen_is_valid(self):
+        rot = cyclic_rotation(strassen())
+        assert (rot.n, rot.m, rot.p, rot.t) == (2, 2, 2, 7)
+        assert is_valid_algorithm(rot)
+        _numeric_check(rot)
+
+    def test_rotates_rectangular_signature(self):
+        rot = cyclic_rotation(classical(2, 3, 4))
+        assert (rot.n, rot.m, rot.p) == (3, 4, 2)
+        assert is_valid_algorithm(rot)
+        _numeric_check(rot)
+
+    def test_triple_rotation_is_identity_signature(self):
+        alg = classical(2, 3, 4)
+        rot3 = cyclic_rotation(cyclic_rotation(cyclic_rotation(alg)))
+        assert (rot3.n, rot3.m, rot3.p) == (alg.n, alg.m, alg.p)
+        assert np.array_equal(rot3.U, alg.U)
+        assert np.array_equal(rot3.V, alg.V)
+        assert np.array_equal(rot3.W, alg.W)
+
+
+class TestTensorProduct:
+    def test_strassen_times_211(self):
+        prod = tensor_product(strassen(), classical(2, 1, 1))
+        assert (prod.n, prod.m, prod.p, prod.t) == (4, 2, 2, 14)
+        assert is_valid_algorithm(prod)
+        _numeric_check(prod)
+
+    def test_strassen_squared(self):
+        prod = tensor_product(strassen(), strassen())
+        assert (prod.n, prod.m, prod.p, prod.t) == (4, 4, 4, 49)
+        assert is_valid_algorithm(prod)
+
+
+class TestStackRows:
+    def test_mismatched_inner_dims_rejected(self):
+        with pytest.raises(ValueError, match="matching"):
+            stack_rows(strassen(), classical(1, 3, 2))
+
+    def test_stacked_classical(self):
+        stacked = stack_rows(classical(1, 2, 2), classical(2, 2, 2))
+        assert (stacked.n, stacked.m, stacked.p, stacked.t) == (3, 2, 2, 12)
+        assert is_valid_algorithm(stacked)
+        _numeric_check(stacked)
+
+
+class TestNamedBuilders:
+    def test_laderman_exact(self):
+        alg = laderman()
+        assert (alg.n, alg.m, alg.p, alg.t) == (3, 3, 3, 23)
+        assert not brent_residual(alg).any()
+        _numeric_check(alg)
+
+    def test_grey_333_rotation_differs_from_laderman(self):
+        lad, grey = laderman(), grey_333_23_221()
+        assert is_valid_algorithm(grey)
+        assert grey.canonical_key() != lad.canonical_key()
+        _numeric_check(grey)
+
+    def test_grey_522_18(self):
+        alg = grey_522_18()
+        assert (alg.n, alg.m, alg.p, alg.t) == (5, 2, 2, 18)
+        assert is_valid_algorithm(alg)
+        assert not alg.is_square
+        _numeric_check(alg)

@@ -1,0 +1,142 @@
+"""Corpus loader: validity of every checked-in entry + error paths."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms.strassen import strassen
+from repro.algorithms.winograd import winograd
+from repro.zoo.loader import (
+    CORPUS_SCHEMA,
+    CorpusValidationError,
+    _parse,
+    corpus_names,
+    load_algorithm,
+    load_entry,
+    omega0_table,
+    validate_corpus,
+)
+
+REQUIRED_ENTRIES = {
+    "strassen",
+    "winograd",
+    "laderman",
+    "grey-333-23-221",
+    "grey-522-18",
+}
+
+
+class TestCheckedInCorpus:
+    def test_required_entries_present(self):
+        assert REQUIRED_ENTRIES <= set(corpus_names())
+        assert len(corpus_names()) >= 5
+
+    def test_every_entry_brent_valid(self):
+        reports = validate_corpus()
+        assert reports and all(r["ok"] for r in reports), reports
+
+    def test_migrated_entries_match_modules(self):
+        """The JSON files are the module algorithms, coefficient for
+        coefficient — migration, not transcription drift."""
+        assert load_algorithm("strassen").canonical_key() == strassen().canonical_key()
+        assert load_algorithm("winograd").canonical_key() == winograd().canonical_key()
+
+    def test_signatures_and_omega0(self):
+        table = {r["name"]: r for r in omega0_table()}
+        lad = table["laderman"]
+        assert (lad["n"], lad["m"], lad["p"], lad["t"]) == (3, 3, 3, 23)
+        assert lad["omega0"] == pytest.approx(3 * np.log(23) / np.log(27))
+        grey = table["grey-522-18"]
+        assert (grey["n"], grey["m"], grey["p"], grey["t"]) == (5, 2, 2, 18)
+        assert not grey["square"]
+        assert grey["omega0"] == pytest.approx(3 * np.log(18) / np.log(20))
+
+    def test_load_entry_carries_provenance_and_path(self):
+        entry = load_entry("laderman")
+        assert "Laderman" in entry.provenance
+        assert entry.path.is_file()
+        assert entry.signature == "<3,3,3;23>"
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="laderman"):
+            load_entry("no-such-algorithm")
+
+    def test_loaded_algorithm_multiplies(self):
+        alg = load_algorithm("grey-522-18")
+        rng = np.random.default_rng(7)
+        A = rng.integers(-4, 5, (5, 2)).astype(np.int64)
+        B = rng.integers(-4, 5, (2, 2)).astype(np.int64)
+        C = alg.apply_one_level(A, B, lambda x, y: x * y)
+        assert np.array_equal(C, A @ B)
+
+
+def _write(tmp_path, doc, name="probe"):
+    path = tmp_path / f"{name}.json"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def _valid_doc(name="probe"):
+    alg = strassen()
+    return {
+        "schema": CORPUS_SCHEMA,
+        "name": name,
+        "n": 2, "m": 2, "p": 2, "t": 7,
+        "provenance": "test",
+        "U": alg.U.tolist(),
+        "V": alg.V.tolist(),
+        "W": alg.W.tolist(),
+    }
+
+
+class TestParseErrors:
+    def test_valid_doc_parses(self, tmp_path):
+        entry = _parse(_write(tmp_path, _valid_doc()))
+        assert entry.name == "probe"
+        assert entry.algorithm.t == 7
+
+    def test_unreadable_json(self, tmp_path):
+        path = tmp_path / "probe.json"
+        path.write_text("{not json")
+        with pytest.raises(CorpusValidationError, match="unreadable"):
+            _parse(path)
+
+    @pytest.mark.parametrize("field", ["schema", "name", "t", "U", "W"])
+    def test_missing_field(self, tmp_path, field):
+        doc = _valid_doc()
+        del doc[field]
+        with pytest.raises(CorpusValidationError, match=field):
+            _parse(_write(tmp_path, doc))
+
+    def test_wrong_schema(self, tmp_path):
+        doc = _valid_doc()
+        doc["schema"] = 99
+        with pytest.raises(CorpusValidationError, match="schema"):
+            _parse(_write(tmp_path, doc))
+
+    def test_name_stem_mismatch(self, tmp_path):
+        doc = _valid_doc(name="other")
+        with pytest.raises(CorpusValidationError, match="stem"):
+            _parse(_write(tmp_path, doc, name="probe"))
+
+    def test_declared_t_mismatch(self, tmp_path):
+        doc = _valid_doc()
+        doc["t"] = 8
+        with pytest.raises(CorpusValidationError, match="t=8"):
+            _parse(_write(tmp_path, doc))
+
+    def test_brent_failure_rejected(self, tmp_path):
+        doc = _valid_doc()
+        doc["U"][0][0] += 1  # corrupt one encoder coefficient
+        with pytest.raises(CorpusValidationError, match="Brent"):
+            _parse(_write(tmp_path, doc))
+
+    def test_truncated_products_rejected(self, tmp_path):
+        """Dropping a product must fail the consistency or Brent check."""
+        doc = _valid_doc()
+        doc["U"] = doc["U"][:-1]
+        doc["V"] = doc["V"][:-1]
+        doc["W"] = [row[:-1] for row in doc["W"]]
+        with pytest.raises(CorpusValidationError):
+            _parse(_write(tmp_path, doc))

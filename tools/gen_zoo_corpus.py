@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Regenerate the checked-in corpus JSON under src/repro/zoo/corpus/.
+
+The JSON files are the canonical artifact (the loader never imports the
+constructors); this script records where each one came from: Strassen and
+Winograd are migrated verbatim from their modules, Laderman is the
+transcribed 1976 listing, and the Grey-family entries are reconstructed by
+the tensor constructions in repro.zoo.compose.  Run from the repo root:
+
+    PYTHONPATH=src python tools/gen_zoo_corpus.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.algorithms.classical import classical
+from repro.algorithms.strassen import strassen
+from repro.algorithms.winograd import winograd
+from repro.zoo.compose import grey_333_23_221, grey_522_18, laderman
+from repro.zoo.loader import CORPUS_SCHEMA, corpus_dir
+
+ENTRIES = [
+    (
+        strassen(),
+        "strassen",
+        "Strassen (1969) <2,2,2;7>; migrated from repro.algorithms.strassen",
+    ),
+    (
+        winograd(),
+        "winograd",
+        "Winograd's 15-addition <2,2,2;7> variant; migrated from "
+        "repro.algorithms.winograd",
+    ),
+    (
+        classical(2),
+        "classical-222",
+        "Classical <2,2,2;8> baseline (repro.algorithms.classical)",
+    ),
+    (
+        laderman(),
+        "laderman",
+        "Laderman (1976) <3,3,3;23>; transcribed product listing with the "
+        "decoder certified exactly against the Brent equations "
+        "(repro.zoo.compose.laderman)",
+    ),
+    (
+        grey_333_23_221(),
+        "grey-333-23-221",
+        "Grey/Benson generated-family signature <3,3,3;23>, rotation "
+        "variant; reconstructed as the cyclic tensor rotation of Laderman "
+        "(repro.zoo.compose.grey_333_23_221)",
+    ),
+    (
+        grey_522_18(),
+        "grey-522-18",
+        "Grey/Benson generated-family signature <5,2,2;18>; reconstructed "
+        "as (Strassen (x) <2,1,1;2>) row-stacked with classical <1,2,2;4> "
+        "(repro.zoo.compose.grey_522_18)",
+    ),
+]
+
+
+def main() -> None:
+    out = corpus_dir()
+    out.mkdir(parents=True, exist_ok=True)
+    for alg, name, provenance in ENTRIES:
+        doc = {
+            "schema": CORPUS_SCHEMA,
+            "name": name,
+            "n": alg.n,
+            "m": alg.m,
+            "p": alg.p,
+            "t": alg.t,
+            "provenance": provenance,
+            "U": alg.U.tolist(),
+            "V": alg.V.tolist(),
+            "W": alg.W.tolist(),
+        }
+        path = out / f"{name}.json"
+        path.write_text(json.dumps(doc, indent=1) + "\n")
+        print(f"wrote {path} ({alg.signature()}, omega0={alg.omega0:.4f})")
+
+
+if __name__ == "__main__":
+    main()
