@@ -1,13 +1,20 @@
 """Ablation — scheduler quality: optimal vs Belady write-back vs LRU vs
-DFS-recompute, across the CDAG families.
+DFS-recompute vs the search schedulers, across the CDAG families.
 
 Not a paper artifact per se, but the design-choice ablation DESIGN.md calls
 out: the segment audit (E1/E7) is only meaningful if the audited schedules
-span the realistic spectrum from near-optimal to adversarial.
+span the realistic spectrum from near-optimal to adversarial.  The search
+rows feed the schedule atlas (``repro atlas``); their headline numbers are
+emitted to ``BENCH_atlas.json`` for the CI atlas job.
 """
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
+import pytest
 from conftest import banner
 
 from repro.analysis.report import text_table
@@ -20,6 +27,18 @@ from repro.cdag.families import (
 from repro.cdag.fft import fft_cdag
 from repro.pebbling import optimal_io, topological_schedule, validate_schedule
 from repro.pebbling.heuristics import dfs_recompute_schedule
+from repro.pebbling.search import memoized_subtree_schedule, portfolio_schedule
+
+RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_json():
+    yield
+    out = Path("BENCH_atlas.json")
+    out.write_text(json.dumps(RESULTS, indent=2) + "\n")
+    print(banner(f"atlas bench results → {out}"))
+    print(json.dumps(RESULTS, indent=2))
 
 
 def test_scheduler_spectrum_small(benchmark):
@@ -66,6 +85,91 @@ def test_scheduler_spectrum_large(benchmark):
     print(text_table(["CDAG", "M", "belady I/O", "lru I/O", "lru/belady"], rows))
     for _, _, belady, lru, _ in rows:
         assert belady <= lru
+
+
+def test_portfolio_vs_optimal_small(benchmark):
+    """Portfolio matches the exhaustive optimum on the certification CDAGs."""
+    cases = [
+        ("gadget(1,2)", recompute_wins_cdag(1, 2), 3),
+        ("gadget(2,2)", recompute_wins_cdag(2, 2), 3),
+        ("bintree(3)", binary_tree_cdag(3), 4),
+        ("diamond(3)", diamond_chain_cdag(3), 3),
+        ("grid(3x3)", grid_cdag(3, 3), 4),
+    ]
+
+    def run():
+        rows = []
+        for name, c, M in cases:
+            opt = optimal_io(c, M, allow_recompute=True)
+            res = portfolio_schedule(c, M)
+            belady = validate_schedule(
+                topological_schedule(c, M, eviction="belady"), M
+            )["io"]
+            rows.append([name, M, opt, res.io, res.winner, belady])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(banner("Atlas — portfolio vs exhaustive optimum (certification set)"))
+    print(text_table(["CDAG", "M", "optimal", "portfolio", "winner", "belady"], rows))
+    RESULTS["portfolio_small"] = [
+        {"cdag": name, "M": M, "optimal": opt, "portfolio": pio,
+         "winner": winner, "belady": belady}
+        for name, M, opt, pio, winner, belady in rows
+    ]
+    for _, _, opt, pio, _, belady in rows:
+        assert pio == opt  # the atlas certification invariant
+        assert pio <= belady
+
+
+def test_memoized_large_instances(benchmark):
+    """Lemma 2.2 memoized splicing on instances far past the exhaustive fuse.
+
+    The headline atlas claim: one inner search amortized over every
+    isomorphic sibling schedules thousands of vertices in well under a
+    second and beats the write-back heuristic outright.
+    """
+    from repro.algorithms import strassen
+    from repro.cdag import build_recursive_cdag
+    from repro.engine.runners import resolve_algorithm
+
+    cases = [
+        ("strassen-h8-tree", build_recursive_cdag(strassen(), 8, style="tree"), 6),
+        ("grey522-n25",
+         build_recursive_cdag(resolve_algorithm("grey-522-18"), 25,
+                              style="bipartite"), 12),
+    ]
+
+    def run():
+        rows = []
+        for name, rc, M in cases:
+            t0 = time.perf_counter()
+            sched = memoized_subtree_schedule(rc, M)
+            memo_s = time.perf_counter() - t0
+            stats = validate_schedule(sched, M, allow_recompute=True)
+            topo = validate_schedule(
+                topological_schedule(rc.cdag, M, eviction="belady"), M
+            )["io"]
+            rows.append([
+                name, rc.cdag.num_vertices, M, stats["io"], topo,
+                int(stats["recomputations"]), round(memo_s, 3),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(banner("Atlas — memoized splicing past the exhaustive fuse"))
+    print(text_table(
+        ["CDAG", "V", "M", "memoized I/O", "belady I/O", "recomputes", "t (s)"],
+        rows,
+    ))
+    RESULTS["memoized_large"] = [
+        {"cdag": name, "vertices": V, "M": M, "memoized_io": mio,
+         "belady_io": tio, "recomputations": rec, "seconds": secs,
+         "ratio": round(tio / mio, 3)}
+        for name, V, M, mio, tio, rec, secs in rows
+    ]
+    for _, V, _, mio, tio, _, _ in rows:
+        assert V > 62  # past the exhaustive-search vertex cap
+        assert mio < tio  # memoized search beats the write-back heuristic
 
 
 def test_pebbling_throughput(benchmark):

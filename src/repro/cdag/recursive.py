@@ -55,6 +55,14 @@ class RecursiveCDAG:
     c_outputs: list[int]
     sub_outputs: dict = field(default_factory=dict)
     sub_inputs: dict = field(default_factory=dict)
+    #: ``sub_spans[key][i]`` = (start, end) vertex-id span of subproblem i
+    #: of shape ``key``: every vertex the recursive builder created *for*
+    #: that subproblem (internals, nested subproblems, outputs — not its
+    #: inputs, which belong to the parent's encoder).  Spans are contiguous
+    #: because the builder allocates ids depth-first, so isomorphic
+    #: siblings differ only by a constant id offset — the Lemma 2.2
+    #: structure the SUB_H schedule memoization keys on.
+    sub_spans: dict = field(default_factory=dict)
 
     @property
     def mult_vertices(self) -> list[int]:
@@ -71,6 +79,53 @@ class RecursiveCDAG:
     def all_sub_input_vertices(self, r) -> list[int]:
         """V_inp(SUB_H^{r×r}): union of input vertices over all size-r subproblems."""
         return [v for a_ids, b_ids in self.sub_inputs[r] for v in a_ids + b_ids]
+
+    # ------------------------------------------------------------------ #
+    # Lemma 2.2 isomorphic-subtree extraction (SUB_H memoization support)
+    # ------------------------------------------------------------------ #
+    def sub_vertex_map(self, key, index: int) -> list[int]:
+        """local-id → global-id map of subproblem ``index`` of shape ``key``.
+
+        Local ids enumerate the subproblem's A-inputs, then B-inputs, then
+        its span vertices in creation order.  Because all same-shape
+        subproblems are built by the identical sequence of vertex/edge
+        insertions (Lemma 2.2 isomorphism), the map for any sibling is the
+        same local enumeration applied to that sibling's inputs and span —
+        a schedule found on one sibling's sub-CDAG transfers to another by
+        composing its maps.
+        """
+        a_ids, b_ids = self.sub_inputs[key][index]
+        start, end = self.sub_spans[key][index]
+        return list(a_ids) + list(b_ids) + list(range(start, end))
+
+    def sub_cdag(self, key, index: int = 0) -> tuple[CDAG, list[int]]:
+        """The standalone sub-CDAG of one subproblem, plus its vertex map.
+
+        Returns ``(cdag, to_global)`` where ``to_global[local] = global``
+        is exactly :meth:`sub_vertex_map`.  Inputs are the subproblem's
+        encoded A/B entries, outputs its C entries — the SUB_H^{r×r}
+        object Lemma 2.2 counts.
+        """
+        from repro.graphs.digraph import DiGraph as _DiGraph
+
+        to_global = self.sub_vertex_map(key, index)
+        to_local = {g: l for l, g in enumerate(to_global)}
+        a_ids, b_ids = self.sub_inputs[key][index]
+        start, end = self.sub_spans[key][index]
+        graph = self.cdag.graph
+        sub = _DiGraph()
+        for g_id in to_global:
+            sub.add_vertex(graph.payload(g_id))
+        for g_id in range(start, end):
+            for u in graph.predecessors(g_id):
+                sub.add_edge(to_local[u], to_local[g_id])
+        outs = [to_local[v] for v in self.sub_outputs[key][index]]
+        ins = [to_local[v] for v in list(a_ids) + list(b_ids)]
+        cdag = CDAG(
+            sub, ins, outs,
+            name=f"{self.cdag.name}-sub{key}[{index}]",
+        )
+        return cdag, to_global
 
 
 def _block_entry(
@@ -106,6 +161,7 @@ def build_recursive_cdag(
 
     sub_outputs: dict = {}
     sub_inputs: dict = {}
+    sub_spans: dict = {}
 
     def shape_key(R: int, K: int, C: int):
         return R if R == K == C else (R, K, C)
@@ -123,11 +179,16 @@ def build_recursive_cdag(
         R, K, C = shape
         key = shape_key(R, K, C)
         sub_inputs.setdefault(key, []).append((a_ids, b_ids))
+        # Everything from here to the end of this call belongs to this
+        # subproblem: its inputs were created by the caller's encoder, and
+        # the builder allocates ids depth-first, so the span is contiguous.
+        start = g.num_vertices
         if R == K == C == 1:
             v = g.add_vertex(f"mul{tag}")
             g.add_edge(a_ids[0], v)
             g.add_edge(b_ids[0], v)
             sub_outputs.setdefault(1, []).append([v])
+            sub_spans.setdefault(1, []).append((start, g.num_vertices))
             return [v]
         hr, hk, hc = R // alg.n, K // alg.m, C // alg.p
         U, V, W = alg.U, alg.V, alg.W
@@ -164,6 +225,7 @@ def build_recursive_cdag(
                         ops, f"C{tag}.{q}[{u},{v}]"
                     )
         sub_outputs.setdefault(key, []).append(c_ids)
+        sub_spans.setdefault(key, []).append((start, g.num_vertices))
         return c_ids
 
     c_outputs = rec(a_inputs, b_inputs, (R0, K0, C0), "")
@@ -180,4 +242,5 @@ def build_recursive_cdag(
         c_outputs=c_outputs,
         sub_outputs=sub_outputs,
         sub_inputs=sub_inputs,
+        sub_spans=sub_spans,
     )

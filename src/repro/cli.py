@@ -9,6 +9,9 @@ verify                  run the full lemma-verification audit
 sweep N... --M M        measured sequential I/O sweep with exponent fit
 recompute               the recomputation study (optimal pebbling)
 report DIR              observability dashboard for a sweep directory
+atlas                   schedule atlas: searched pebbling upper bounds
+                        vs. the exhaustive optimum and the paper's
+                        lower bounds (docs/pebbling.md)
 cache verify DIR        scan a result cache for corrupt/orphaned entries
                         (``--repair`` quarantines/prunes; non-zero exit
                         whenever corruption was found)
@@ -52,6 +55,10 @@ import json
 import sys
 
 __all__ = ["main"]
+
+#: Atlas preset names, mirrored from :data:`repro.obs.atlas.ATLAS_PRESETS`
+#: (kept literal so building the parser stays import-light).
+ATLAS_CHOICES = ("ci", "full")
 
 
 def _print_json(payload) -> None:
@@ -496,6 +503,32 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_atlas(args) -> int:
+    from repro.obs import build_atlas, render_atlas
+
+    try:
+        atlas = build_atlas(
+            preset=args.preset,
+            beam_width=args.beam_width,
+            config=_engine_config(args),
+        )
+    except KeyError as exc:
+        print(f"atlas: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        _print_json(atlas)
+    else:
+        print(render_atlas(atlas), end="")
+    ok = (
+        atlas["certification"]["ok"]
+        and atlas["recompute_wins"]["ok"]
+        and not atlas["failures"]
+    )
+    if not ok and not args.json:
+        print("atlas: certification or recompute-wins check failed", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _cmd_cache_verify(args) -> int:
     from repro.engine import ResultCache
 
@@ -693,6 +726,23 @@ def main(argv: list[str] | None = None) -> int:
         "--top", type=int, default=5, metavar="K", help="how many slowest points"
     )
     p_report.set_defaults(fn=_cmd_report)
+
+    p_atlas = sub.add_parser(
+        "atlas",
+        parents=[engine_parent],
+        help="schedule atlas: heuristic pebbling upper bounds vs. the "
+             "exhaustive optimum and the paper's lower bounds",
+    )
+    p_atlas.add_argument(
+        "--preset", choices=sorted(ATLAS_CHOICES), default="ci",
+        help="instance grid to sweep (ci = the CI certification set)",
+    )
+    p_atlas.add_argument(
+        "--beam-width", type=int, default=32, metavar="W",
+        help="beam width of the search schedulers",
+    )
+    p_atlas.add_argument("--json", action="store_true", help="machine-readable output")
+    p_atlas.set_defaults(fn=_cmd_atlas)
 
     p_cache = sub.add_parser("cache", help="result-cache maintenance")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)

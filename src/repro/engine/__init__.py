@@ -53,6 +53,7 @@ from repro.engine.runners import (
     lru_trace_point,
     parallel_comm_point,
     pebble_optimal_point,
+    pebble_search_point,
     resolve_algorithm,
     segment_audit_point,
     seq_io_point,
@@ -77,6 +78,7 @@ __all__ = [
     "seq_io_point",
     "parallel_comm_point",
     "pebble_optimal_point",
+    "pebble_search_point",
     "segment_audit_point",
     "lru_trace_point",
     "TraceEvent",

@@ -18,6 +18,11 @@ Kinds
 ``pebble_optimal``
     Exact minimum-I/O red-blue pebbling of a named CDAG family, with
     recomputation allowed or forbidden.
+``pebble_search``
+    Heuristic pebbling of a named CDAG family via the
+    :mod:`repro.pebbling.search` schedulers (beam / portfolio /
+    beam-memo / the polynomial baselines), every schedule replay-validated
+    before its I/O is reported — the schedule-atlas upper bounds.
 ``segment_audit``
     A recomputation-heavy heuristic schedule of H^{n×n} replayed through
     the game validator and the Theorem 1.1 segment audit.
@@ -49,6 +54,7 @@ __all__ = [
     "seq_io_point",
     "parallel_comm_point",
     "pebble_optimal_point",
+    "pebble_search_point",
     "segment_audit_point",
     "lru_trace_point",
     "execute_point",
@@ -60,6 +66,7 @@ PRIMARY_METRIC = {
     "seq_io": "io",
     "parallel_comm": "comm_per_proc_max",
     "pebble_optimal": "io",
+    "pebble_search": "io",
     "segment_audit": "total_io",
     "lru_trace": "io",
 }
@@ -254,6 +261,40 @@ def pebble_optimal_point(
             "read_cost": float(read_cost),
             "write_cost": float(write_cost),
             "max_states": int(max_states),
+        },
+    )
+
+
+def pebble_search_point(
+    family: str,
+    M: int,
+    scheduler: str = "portfolio",
+    beam_width: int = 32,
+    inner: str = "portfolio",
+    read_cost: float = 1.0,
+    write_cost: float = 1.0,
+    **family_params,
+) -> ExperimentPoint:
+    """Heuristic pebbling I/O (a validated upper bound) of a CDAG family.
+
+    ``scheduler`` is one of "beam", "portfolio", "beam-memo" (Lemma 2.2
+    SUB_H memoization — requires the "zoo_recursive" family),
+    "topological-belady", "topological-lru", "dfs-recompute".  Families
+    are those of :func:`pebble_optimal_point` plus "grid" (rows, cols),
+    "fft" (n) and "zoo_recursive" (alg, n, style) — the recursive
+    H^{n×n} of any zoo algorithm, far past the exhaustive 62-vertex cap.
+    """
+    return ExperimentPoint(
+        "pebble_search",
+        {
+            "family": family,
+            "family_params": {k: family_params[k] for k in sorted(family_params)},
+            "M": int(M),
+            "scheduler": str(scheduler),
+            "beam_width": int(beam_width),
+            "inner": str(inner),
+            "read_cost": float(read_cost),
+            "write_cost": float(write_cost),
         },
     )
 
@@ -493,7 +534,25 @@ def _build_family(name: str, fp: dict):
         alg = resolve_algorithm(fp.get("alg", "strassen"))
         base = base_case_cdag(alg, style=fp.get("style", "tree"))
         return base.ancestor_closure([base.outputs[fp["output_index"]]])
+    if name == "grid":
+        from repro.cdag.families import grid_cdag
+
+        return grid_cdag(fp["rows"], fp["cols"])
+    if name == "fft":
+        from repro.cdag.fft import fft_cdag
+
+        return fft_cdag(fp["n"])
+    if name == "zoo_recursive":
+        return _build_recursive_family(fp).cdag
     raise KeyError(f"unknown CDAG family {name!r}")
+
+
+def _build_recursive_family(fp: dict):
+    """The RecursiveCDAG (with its SUB_H registries) of a zoo algorithm."""
+    from repro.cdag import build_recursive_cdag
+
+    alg = resolve_algorithm(fp.get("alg", "strassen"))
+    return build_recursive_cdag(alg, fp["n"], style=fp.get("style", "tree"))
 
 
 def _run_pebble_optimal(params: dict) -> dict:
@@ -510,6 +569,66 @@ def _run_pebble_optimal(params: dict) -> dict:
         max_states=params["max_states"],
     )
     return {"io": float(io), "vertices": int(cdag.num_vertices)}
+
+
+def _run_pebble_search(params: dict) -> dict:
+    from repro.pebbling.game import PebbleCost, validate_schedule
+    from repro.pebbling.heuristics import (
+        dfs_recompute_schedule,
+        topological_schedule,
+    )
+    from repro.pebbling.search import (
+        beam_search_schedule,
+        memoized_subtree_schedule,
+        portfolio_schedule,
+    )
+
+    family, fp = params["family"], params["family_params"]
+    M = params["M"]
+    scheduler = params["scheduler"]
+    beam_width = params.get("beam_width", 32)
+    cost = PebbleCost(params["read_cost"], params["write_cost"])
+    winner = scheduler
+    if scheduler == "beam-memo":
+        if family != "zoo_recursive":
+            raise KeyError(
+                "scheduler 'beam-memo' needs the 'zoo_recursive' family "
+                "(SUB_H memoization keys on the recursive builder)"
+            )
+        rcdag = _build_recursive_family(fp)
+        cdag = rcdag.cdag
+        sched = memoized_subtree_schedule(
+            rcdag, M, inner=params.get("inner", "portfolio"),
+            beam_width=beam_width, cost=cost,
+        )
+    else:
+        cdag = _build_family(family, fp)
+        if scheduler == "beam":
+            sched = beam_search_schedule(cdag, M, beam_width=beam_width, cost=cost)
+        elif scheduler == "portfolio":
+            res = portfolio_schedule(cdag, M, beam_width=beam_width, cost=cost)
+            sched, winner = res.schedule, res.winner
+        elif scheduler in ("topological-belady", "topological-lru"):
+            sched = topological_schedule(
+                cdag, M, eviction=scheduler.split("-", 1)[1]
+            )
+        elif scheduler == "dfs-recompute":
+            sched = dfs_recompute_schedule(cdag, M)
+        else:
+            raise KeyError(f"unknown scheduler {scheduler!r}")
+    # The reported io is never trusted from the scheduler: the replay
+    # through the rules engine is the only source of the metric.
+    stats = validate_schedule(sched, M, allow_recompute=True, cost=cost)
+    return {
+        "io": float(stats["io"]),
+        "loads": int(stats["loads"]),
+        "stores": int(stats["stores"]),
+        "recomputations": int(stats["recomputations"]),
+        "moves": int(stats["moves"]),
+        "peak_red": int(stats["peak_red"]),
+        "vertices": int(cdag.num_vertices),
+        "winner": str(winner),
+    }
 
 
 def _run_segment_audit(params: dict) -> dict:
@@ -577,6 +696,7 @@ _EXECUTORS = {
     "seq_io": _run_seq_io,
     "parallel_comm": _run_parallel_comm,
     "pebble_optimal": _run_pebble_optimal,
+    "pebble_search": _run_pebble_search,
     "segment_audit": _run_segment_audit,
     "lru_trace": _run_lru_trace,
 }

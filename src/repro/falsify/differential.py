@@ -414,6 +414,19 @@ def _run_row_replay_probe(probe: DifferentialProbe) -> ProbeOutcome:
     return ProbeOutcome(probe=probe, counters=counters, agree=agree, divergence=divergence)
 
 
+def _build_probe_rcdag(params: dict):
+    """Recursive (zoo) probe CDAGs — needed whole for Lemma 2.2 splicing."""
+    from repro.cdag import build_recursive_cdag
+    from repro.engine.runners import resolve_algorithm
+
+    family = params["family"]
+    if family == "strassen_h4":
+        return build_recursive_cdag(resolve_algorithm("strassen"), 4)
+    if family == "grey522_h1":
+        return build_recursive_cdag(resolve_algorithm("grey-522-18"), 5)
+    raise KeyError(f"unknown recursive probe CDAG family {family!r}")
+
+
 def _build_probe_cdag(params: dict):
     from repro.cdag.families import binary_tree_cdag, recompute_wins_cdag
 
@@ -422,11 +435,8 @@ def _build_probe_cdag(params: dict):
         return binary_tree_cdag(params.get("depth", 4))
     if family == "recompute_wins":
         return recompute_wins_cdag(params.get("gadgets", 2), params.get("flush_length", 2))
-    if family == "strassen_h4":
-        from repro.algorithms.strassen import strassen
-        from repro.cdag import build_recursive_cdag
-
-        return build_recursive_cdag(strassen(), 4).cdag
+    if family in ("strassen_h4", "grey522_h1"):
+        return _build_probe_rcdag(params).cdag
     raise KeyError(f"unknown probe CDAG family {family!r}")
 
 
@@ -440,17 +450,42 @@ def _run_pebble_probe(probe: DifferentialProbe) -> ProbeOutcome:
     )
     from repro.pebbling.heuristics import dfs_recompute_schedule, topological_schedule
 
-    cdag = _build_probe_cdag(probe.params)
+    from repro.pebbling.search import (
+        beam_search_schedule,
+        memoized_subtree_schedule,
+        portfolio_schedule,
+    )
+
     M = probe.params["M"]
     scheduler = probe.params.get("scheduler", "topological")
-    if scheduler == "topological":
-        sched = topological_schedule(cdag, M)
-        allow_recompute = False
-    elif scheduler == "dfs_recompute":
-        sched = dfs_recompute_schedule(cdag, M)
+    if scheduler == "beam_memo":
+        # Memoized splicing needs the recursive structure, not just the CDAG.
+        rcdag = _build_probe_rcdag(probe.params)
+        cdag = rcdag.cdag
+        sched = memoized_subtree_schedule(
+            rcdag, M, beam_width=probe.params.get("beam_width", 16)
+        )
         allow_recompute = True
     else:
-        raise KeyError(f"unknown probe scheduler {scheduler!r}")
+        cdag = _build_probe_cdag(probe.params)
+        if scheduler == "topological":
+            sched = topological_schedule(cdag, M)
+            allow_recompute = False
+        elif scheduler == "dfs_recompute":
+            sched = dfs_recompute_schedule(cdag, M)
+            allow_recompute = True
+        elif scheduler == "beam":
+            sched = beam_search_schedule(
+                cdag, M, beam_width=probe.params.get("beam_width", 16)
+            )
+            allow_recompute = True
+        elif scheduler == "portfolio":
+            sched = portfolio_schedule(
+                cdag, M, beam_width=probe.params.get("beam_width", 16)
+            ).schedule
+            allow_recompute = True
+        else:
+            raise KeyError(f"unknown probe scheduler {scheduler!r}")
     with collecting() as reg:
         stats = validate_schedule(sched, M, allow_recompute=allow_recompute)
     snap = reg.to_dict()["counters"]
@@ -595,6 +630,29 @@ def default_probes(backend: str | None = None) -> list[DifferentialProbe]:
             DifferentialProbe(
                 "pebble", {"family": "strassen_h4", "M": 12,
                            "scheduler": "dfs_recompute"}
+            ),
+            # search schedulers: the beam, the portfolio race, and the
+            # Lemma 2.2 memoized splice — each replayed through the
+            # validator against the raw move-list count
+            DifferentialProbe(
+                "pebble", {"family": "binary_tree", "depth": 4, "M": 5,
+                           "scheduler": "beam"}
+            ),
+            DifferentialProbe(
+                "pebble", {"family": "recompute_wins", "gadgets": 2,
+                           "flush_length": 2, "M": 3, "scheduler": "portfolio"}
+            ),
+            DifferentialProbe(
+                "pebble", {"family": "strassen_h4", "M": 10,
+                           "scheduler": "portfolio", "beam_width": 8}
+            ),
+            DifferentialProbe(
+                "pebble", {"family": "strassen_h4", "M": 12,
+                           "scheduler": "beam_memo"}
+            ),
+            DifferentialProbe(
+                "pebble", {"family": "grey522_h1", "M": 12,
+                           "scheduler": "beam_memo"}
             ),
         ]
     )

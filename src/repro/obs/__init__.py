@@ -20,6 +20,10 @@ single place those counters flow through:
 * :mod:`repro.obs.report` — the ``repro report <sweep-dir>`` dashboard:
   measured-vs-bound table, exponent fit, cache and LRU statistics,
   failure taxonomy, top-k slowest points; ``--json`` for machines.
+* :mod:`repro.obs.atlas` — the ``repro atlas`` schedule atlas: heuristic
+  pebbling upper bounds (beam / portfolio / Lemma 2.2 memoized) swept
+  over (CDAG family × M × scheduler) and compared against the exhaustive
+  optimum and the paper's lower bounds.
 
 The canonical metric names are documented in ``docs/observability.md``.
 """
@@ -36,6 +40,7 @@ from repro.obs.metrics import (
     collecting,
     merge_metric_dicts,
 )
+from repro.obs.atlas import ATLAS_PRESETS, atlas_points, build_atlas, render_atlas
 from repro.obs.profile import PROFILE_MODES, profile_point
 from repro.obs.report import build_report, render_report
 
@@ -52,4 +57,8 @@ __all__ = [
     "profile_point",
     "build_report",
     "render_report",
+    "ATLAS_PRESETS",
+    "atlas_points",
+    "build_atlas",
+    "render_atlas",
 ]

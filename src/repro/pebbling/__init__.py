@@ -34,8 +34,22 @@ from repro.pebbling.game import (
     validate_schedule,
     schedule_io,
 )
-from repro.pebbling.heuristics import topological_schedule
-from repro.pebbling.optimal import optimal_io
+from repro.pebbling.heuristics import dfs_recompute_schedule, topological_schedule
+from repro.pebbling.optimal import (
+    Infeasible,
+    SearchExhausted,
+    optimal_io,
+    optimal_schedule,
+    writeback_lower_bound,
+)
+from repro.pebbling.search import (
+    PortfolioEntry,
+    PortfolioResult,
+    beam_search_schedule,
+    choose_memo_key,
+    memoized_subtree_schedule,
+    portfolio_schedule,
+)
 from repro.pebbling.segments import segment_audit, SegmentReport
 from repro.pebbling.hong_kung import min_s_partition_parts, hong_kung_lower_bound
 from repro.pebbling.span import s_span, savage_lower_bound
@@ -54,7 +68,18 @@ __all__ = [
     "validate_schedule",
     "schedule_io",
     "topological_schedule",
+    "dfs_recompute_schedule",
     "optimal_io",
+    "optimal_schedule",
+    "writeback_lower_bound",
+    "Infeasible",
+    "SearchExhausted",
+    "beam_search_schedule",
+    "portfolio_schedule",
+    "memoized_subtree_schedule",
+    "choose_memo_key",
+    "PortfolioEntry",
+    "PortfolioResult",
     "segment_audit",
     "SegmentReport",
     "min_s_partition_parts",

@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import defaultdict, deque
 
 from repro.cdag.core import CDAG
-from repro.pebbling.game import Move, MoveKind, Schedule
+from repro.pebbling.game import Move, MoveKind, Schedule, ScheduleError
 
 __all__ = ["topological_schedule", "dfs_recompute_schedule"]
 
@@ -72,14 +72,25 @@ def topological_schedule(
 
     def make_room(pinned: set[int], now: int) -> None:
         while len(red) >= M:
+            candidates = [v for v in red if v not in pinned]
+            if not candidates:
+                # Every resident value is pinned by the current compute —
+                # the capacity boundary (M == fan-in + 1 leaves zero slack).
+                # Diagnosable error instead of a bare `max() arg is an
+                # empty sequence` ValueError from the policy reduction.
+                raise ScheduleError(
+                    f"fast memory exhausted: M={M} with max fan-in "
+                    f"{cdag.max_fan_in()} leaves no evictable slot "
+                    f"(pinned front: {sorted(pinned)}, resident: {sorted(red)})"
+                )
             if eviction == "belady":
                 victim = max(
-                    (v for v in red if v not in pinned),
+                    candidates,
                     key=lambda v: (next_use(v, now), -last_touch.get(v, 0)),
                 )
             else:
                 victim = min(
-                    (v for v in red if v not in pinned),
+                    candidates,
                     key=lambda v: last_touch.get(v, 0),
                 )
             needs_keeping = next_use(victim, now) < INFINITY or cdag.is_output(victim)
@@ -149,7 +160,13 @@ def dfs_recompute_schedule(cdag: CDAG, M: int, targets: list[int] | None = None)
                 raise ValueError(
                     f"M={M} too small for DFS recomputation (pinned front too wide)"
                 )
-            victim = candidates[0]
+            # Deterministic victim: ``red`` is a set, so candidates[0] used
+            # to depend on hash-iteration (i.e. insertion) order, making
+            # the schedule — and every cache key / I/O count derived from
+            # it — vary between equivalent runs.  Smallest id is as good a
+            # victim as any for this deliberately recomputation-heavy
+            # adversary, and it is reproducible.
+            victim = min(candidates)
             sched.append(MoveKind.EVICT, victim)
             red.discard(victim)
 

@@ -11,7 +11,11 @@ weights.  Normalizations that preserve optimality and shrink the space:
 
 The search is exponential — it exists to *certify* small instances: the
 recomputation-wins gadget, tiny trees/diamonds, and the 2×2 base-case CDAG.
-A ``max_states`` fuse raises rather than letting a too-large instance hang.
+A ``max_states`` fuse raises :class:`SearchExhausted` rather than letting a
+too-large instance hang; a CDAG that admits *no* complete pebbling at the
+given M (the heap drains) raises :class:`Infeasible` instead — the two used
+to be conflated under one exception, which made "raise the fuse" look like
+a fix for structurally impossible instances.
 """
 
 from __future__ import annotations
@@ -19,13 +23,38 @@ from __future__ import annotations
 import heapq
 
 from repro.cdag.core import CDAG
-from repro.pebbling.game import PebbleCost
+from repro.pebbling.game import Move, MoveKind, PebbleCost, Schedule
 
-__all__ = ["optimal_io", "SearchExhausted"]
+__all__ = [
+    "optimal_io",
+    "optimal_schedule",
+    "writeback_lower_bound",
+    "SearchExhausted",
+    "Infeasible",
+]
 
 
 class SearchExhausted(RuntimeError):
     """The state-space fuse blew before an optimal schedule was found."""
+
+
+class Infeasible(RuntimeError):
+    """No complete pebbling exists for this CDAG at this M.
+
+    Raised when the Dijkstra heap drains with outputs still unpebbled —
+    e.g. M=1 on any CDAG with an edge (computing v needs its predecessor
+    red *and* a slot for v).  Distinct from :class:`SearchExhausted`: no
+    fuse increase can help an infeasible instance.
+    """
+
+
+def writeback_lower_bound(blue: int, output_mask: int, write_cost: float) -> float:
+    """Admissible h: every output still missing a blue pebble costs ≥ one store.
+
+    Shared by the exact search and the beam search in
+    :mod:`repro.pebbling.search` — both rank states by g + h with this h.
+    """
+    return write_cost * bin(output_mask & ~blue).count("1")
 
 
 def optimal_io(
@@ -42,6 +71,38 @@ def optimal_io(
     full game is searched, so comparing the two values on one CDAG measures
     exactly how much recomputation buys.
     """
+    io, _ = _search(cdag, M, allow_recompute, cost, max_states, witness=False)
+    return io
+
+
+def optimal_schedule(
+    cdag: CDAG,
+    M: int,
+    allow_recompute: bool = True,
+    cost: PebbleCost = PebbleCost(),
+    max_states: int = 2_000_000,
+) -> tuple[float, Schedule]:
+    """Like :func:`optimal_io`, but also reconstruct an optimal move list.
+
+    The returned schedule is a *witness*: replaying it through
+    :func:`~repro.pebbling.game.validate_schedule` yields exactly the
+    returned cost (the test suite asserts this agreement).  Reconstruction
+    keeps a parent pointer per improved state, so memory grows with the
+    explored state count — same order as the search itself.
+    """
+    io, sched = _search(cdag, M, allow_recompute, cost, max_states, witness=True)
+    assert sched is not None
+    return io, sched
+
+
+def _search(
+    cdag: CDAG,
+    M: int,
+    allow_recompute: bool,
+    cost: PebbleCost,
+    max_states: int,
+    witness: bool,
+) -> tuple[float, Schedule | None]:
     n = cdag.num_vertices
     if n > 62:
         raise ValueError("optimal search is limited to ≤ 62 vertices (bitmask state)")
@@ -63,13 +124,15 @@ def optimal_io(
     track_computed = not allow_recompute
     start = (0, input_mask, 0) if track_computed else (0, input_mask)
     best: dict[tuple, float] = {start: 0.0}
+    # parent[state] = (previous state, move that produced state); only
+    # populated when a witness is requested.
+    parent: dict[tuple, tuple[tuple, Move]] = {}
     # heap entries: (f = g + h, g, state); h = stores still needed for outputs
     def h_of(blue: int) -> float:
-        return cost.write_cost * bin(output_mask & ~blue).count("1")
+        return writeback_lower_bound(blue, output_mask, cost.write_cost)
 
     heap = [(h_of(input_mask), 0.0, start)]
     popped = 0
-    full_mask = (1 << n) - 1
 
     while heap:
         f, dist, state = heapq.heappop(heap)
@@ -77,7 +140,7 @@ def optimal_io(
             continue
         red, blue = state[0], state[1]
         if (blue & output_mask) == output_mask:
-            return dist
+            return dist, _reconstruct(cdag, parent, state) if witness else None
         popped += 1
         if popped > max_states:
             raise SearchExhausted(
@@ -87,10 +150,13 @@ def optimal_io(
         red_count = bin(red).count("1")
         computed = state[2] if track_computed else 0
 
-        def push(nred: int, nblue: int, ncomputed: int, ndist: float) -> None:
+        def push(nred: int, nblue: int, ncomputed: int, ndist: float,
+                 move: Move) -> None:
             nstate = (nred, nblue, ncomputed) if track_computed else (nred, nblue)
             if ndist < best.get(nstate, float("inf")):
                 best[nstate] = ndist
+                if witness:
+                    parent[nstate] = (state, move)
                 heapq.heappush(heap, (ndist + h_of(nblue), ndist, nstate))
 
         if red_count < M:
@@ -99,7 +165,9 @@ def optimal_io(
             while rem:
                 bit = rem & -rem
                 rem ^= bit
-                push(red | bit, blue, computed, dist + cost.read_cost)
+                v = bit.bit_length() - 1
+                push(red | bit, blue, computed, dist + cost.read_cost,
+                     Move(MoveKind.LOAD, v))
             # computes
             for v in non_inputs:
                 bit = 1 << v
@@ -109,19 +177,38 @@ def optimal_io(
                     continue
                 if track_computed and (computed >> v) & 1:
                     continue
-                push(red | bit, blue, computed | (1 << v) if track_computed else 0, dist)
+                push(red | bit, blue, computed | (1 << v) if track_computed else 0,
+                     dist, Move(MoveKind.COMPUTE, v))
         else:
             # fast memory full: evictions (free)
             rem = red
             while rem:
                 bit = rem & -rem
                 rem ^= bit
-                push(red & ~bit, blue, computed, dist)
+                push(red & ~bit, blue, computed, dist,
+                     Move(MoveKind.EVICT, bit.bit_length() - 1))
         # stores: any red, non-blue vertex (allowed regardless of fullness)
         rem = red & ~blue
         while rem:
             bit = rem & -rem
             rem ^= bit
-            push(red, blue | bit, computed, dist + cost.write_cost)
+            push(red, blue | bit, computed, dist + cost.write_cost,
+                 Move(MoveKind.STORE, bit.bit_length() - 1))
 
-    raise SearchExhausted(f"no pebbling exists for this CDAG with M={M}")
+    raise Infeasible(
+        f"no complete pebbling exists for CDAG {cdag.name!r} with M={M} "
+        f"(V={n}, max fan-in {cdag.max_fan_in()})"
+    )
+
+
+def _reconstruct(
+    cdag: CDAG, parent: dict[tuple, tuple[tuple, Move]], goal: tuple
+) -> Schedule:
+    """Walk the parent chain back from the goal state into a move list."""
+    moves: list[Move] = []
+    state = goal
+    while state in parent:
+        state, move = parent[state]
+        moves.append(move)
+    moves.reverse()
+    return Schedule(cdag, moves)

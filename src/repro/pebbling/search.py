@@ -1,0 +1,563 @@
+"""Heuristic red-blue pebbling search that scales past the exhaustive fuse.
+
+Three schedulers, all recomputation-aware:
+
+* :func:`beam_search_schedule` — beam search over (red, blue, computed)
+  bitmask states.  Successors are *macro moves*: pick a computable vertex,
+  load its missing predecessors (evicting under a deterministic victim
+  rule), compute it, store it immediately if it is an output.  When an
+  eviction would discard a still-needed non-blue value the macro forks
+  into a write-back variant and a *drop* variant — the drop variant is
+  what lets the beam discover schedules that recompute instead of paying
+  a store (the paper's central trade).  States are ranked by
+  g + h with the admissible write-back lower bound shared with
+  :func:`repro.pebbling.optimal.optimal_io`, and dominance-pruned on
+  their exact masks.  Arbitrary-precision masks remove the exhaustive
+  search's 62-vertex cap.
+
+* :func:`portfolio_schedule` — races beam / topological-Belady /
+  topological-LRU / DFS-recompute, replays every produced schedule
+  through :func:`~repro.pebbling.game.validate_schedule`, and returns the
+  best *validated* one (schedulers that crash or produce illegal
+  schedules are recorded, not propagated).
+
+* :func:`memoized_subtree_schedule` — Lemma 2.2 SUB_H memoization: on a
+  recursive fast-matmul CDAG all same-shape subproblems are isomorphic
+  (see :meth:`repro.cdag.recursive.RecursiveCDAG.sub_cdag`), so one inner
+  schedule is searched *once* on a representative sub-CDAG and spliced
+  into every sibling via the vertex translation map.  The outer walk is a
+  Belady write-back schedule over "compute this top-level vertex" /
+  "splice subproblem j" events.  This is how a beam-quality schedule is
+  obtained on CDAGs 10×+ past the exhaustive fuse.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+from repro.cdag.core import CDAG
+from repro.pebbling.game import (
+    Move,
+    MoveKind,
+    PebbleCost,
+    Schedule,
+    ScheduleError,
+    validate_schedule,
+)
+from repro.pebbling.heuristics import dfs_recompute_schedule, topological_schedule
+from repro.pebbling.optimal import SearchExhausted, writeback_lower_bound
+
+__all__ = [
+    "beam_search_schedule",
+    "portfolio_schedule",
+    "memoized_subtree_schedule",
+    "choose_memo_key",
+    "PortfolioEntry",
+    "PortfolioResult",
+]
+
+INFINITY = float("inf")
+
+
+# --------------------------------------------------------------------- #
+# beam search
+# --------------------------------------------------------------------- #
+def beam_search_schedule(
+    cdag: CDAG,
+    M: int,
+    beam_width: int = 32,
+    branch_factor: int = 8,
+    recompute_branch: int = 4,
+    allow_recompute: bool = True,
+    cost: PebbleCost = PebbleCost(),
+    max_steps: int | None = None,
+) -> Schedule:
+    """Beam search for a low-I/O schedule; recomputation allowed by default.
+
+    ``beam_width`` states survive per depth, each expanding up to
+    ``branch_factor`` fresh-compute candidates plus ``recompute_branch``
+    recompute candidates, each in up to two eviction-policy variants
+    (write-back vs. drop).  Deterministic: every tie is broken on ints.
+    Raises :class:`~repro.pebbling.optimal.SearchExhausted` if the step
+    fuse blows before any complete schedule is found, and
+    :class:`~repro.pebbling.game.ScheduleError` if no state can make
+    progress (M below the fan-in requirement).
+    """
+    n = cdag.num_vertices
+    if M < 1:
+        raise ValueError("M must be >= 1")
+    if beam_width < 1 or branch_factor < 1:
+        raise ValueError("beam_width and branch_factor must be >= 1")
+    g = cdag.graph
+    pred_mask = [0] * n
+    succ_mask = [0] * n
+    succs = [g.successors(v) for v in range(n)]
+    for v in range(n):
+        for u in g.predecessors(v):
+            pred_mask[v] |= 1 << u
+            succ_mask[u] |= 1 << v
+    input_mask = 0
+    for v in cdag.inputs:
+        input_mask |= 1 << v
+    output_mask = 0
+    for v in cdag.outputs:
+        output_mask |= 1 << v
+    topo = cdag.topological_order()
+    topo_pos = {v: i for i, v in enumerate(topo)}
+    compute_order = [v for v in topo if not cdag.is_input(v)]
+    read_c, write_c = cost.read_cost, cost.write_cost
+    if max_steps is None:
+        max_steps = 8 * n + 64
+
+    def h_of(blue: int) -> float:
+        return writeback_lower_bound(blue, output_mask, write_c)
+
+    def next_use_pos(v: int, done: int) -> float:
+        """Static next-use proxy: earliest topo position of an un-computed
+        successor (∞ when none — the value is dead modulo recomputation)."""
+        best = INFINITY
+        for u in succs[v]:
+            if not (done >> u) & 1:
+                p = topo_pos[u]
+                if p < best:
+                    best = p
+        return best
+
+    def macro(state, v: int, drop_policy: bool):
+        """Apply the compute-``v`` macro move; return a child state or None."""
+        g_cost, red, blue, done, moves = state
+        vbit = 1 << v
+        missing = pred_mask[v] & ~red
+        pinned = pred_mask[v] | vbit
+
+        def make_room():
+            nonlocal g_cost, red, blue, moves
+            while bin(red).count("1") >= M:
+                cands = red & ~pinned
+                if not cands:
+                    return False
+                best_key = None
+                victim = -1
+                rem = cands
+                while rem:
+                    bit = rem & -rem
+                    rem ^= bit
+                    u = bit.bit_length() - 1
+                    nu = next_use_pos(u, done)
+                    is_out_pending = bool(output_mask & ~blue & bit)
+                    dead = nu == INFINITY and not is_out_pending
+                    is_blue = bool(blue & bit)
+                    key = (0 if dead else 1, 0 if is_blue else 1, -nu, u)
+                    if best_key is None or key < best_key:
+                        best_key, victim = key, u
+                ubit = 1 << victim
+                needed = (not (blue & ubit)) and (
+                    next_use_pos(victim, done) < INFINITY
+                    or bool(output_mask & ~blue & ubit)
+                )
+                if needed and not drop_policy:
+                    g_cost += write_c
+                    blue |= ubit
+                    moves = (moves, Move(MoveKind.STORE, victim))
+                moves = (moves, Move(MoveKind.EVICT, victim))
+                red &= ~ubit
+            return True
+
+        rem = missing
+        while rem:
+            bit = rem & -rem
+            rem ^= bit
+            u = bit.bit_length() - 1
+            if not make_room():
+                return None
+            g_cost += read_c
+            red |= bit
+            moves = (moves, Move(MoveKind.LOAD, u))
+        if not make_room():
+            return None
+        red |= vbit
+        done |= vbit
+        moves = (moves, Move(MoveKind.COMPUTE, v))
+        if output_mask & vbit and not (blue & vbit):
+            g_cost += write_c
+            blue |= vbit
+            moves = (moves, Move(MoveKind.STORE, v))
+        return (g_cost, red, blue, done, moves)
+
+    # state = (g, red, blue, done, moves-cons-cell)
+    start = (0.0, 0, input_mask, 0, None)
+    beam = [start]
+    best_goal: tuple[float, object] | None = None
+    seen: dict[tuple[int, int, int], float] = {(0, input_mask, 0): 0.0}
+    steps = 0
+
+    while beam:
+        steps += 1
+        if steps > max_steps:
+            if best_goal is not None:
+                break
+            raise SearchExhausted(
+                f"beam search exceeded {max_steps} macro steps (V={n}, M={M}, "
+                f"beam_width={beam_width}) without completing a schedule"
+            )
+        children: list[tuple[float, float, int, int, int, object]] = []
+        any_candidate = False
+        for state in beam:
+            g_cost, red, blue, done, moves = state
+            if (blue & output_mask) == output_mask:
+                if best_goal is None or g_cost < best_goal[0]:
+                    best_goal = (g_cost, moves)
+                continue
+            avail = red | blue
+            fresh: list[int] = []
+            recomp: list[int] = []
+            for v in compute_order:
+                vbit = 1 << v
+                if red & vbit:
+                    continue
+                if pred_mask[v] & ~avail:
+                    continue
+                if not (done & vbit):
+                    if len(fresh) < branch_factor:
+                        fresh.append(v)
+                elif allow_recompute and len(recomp) < recompute_branch:
+                    if succ_mask[v] & ~done or (output_mask & ~blue & vbit):
+                        recomp.append(v)
+                if len(fresh) >= branch_factor and (
+                    not allow_recompute or len(recomp) >= recompute_branch
+                ):
+                    break
+            for v in fresh + recomp:
+                any_candidate = True
+                policies = (False, True) if allow_recompute else (False,)
+                emitted = set()
+                for drop in policies:
+                    child = macro(state, v, drop)
+                    if child is None:
+                        continue
+                    cg, cred, cblue, cdone, cmoves = child
+                    sig = (cred, cblue, cdone)
+                    if sig in emitted:
+                        continue  # both policies coincided (no risky evict)
+                    emitted.add(sig)
+                    prev = seen.get(sig)
+                    if prev is not None and prev <= cg:
+                        continue
+                    seen[sig] = cg
+                    f = cg + h_of(cblue)
+                    if best_goal is not None and f >= best_goal[0]:
+                        continue
+                    progress = bin(cdone).count("1") + bin(
+                        cblue & output_mask
+                    ).count("1")
+                    children.append((f, cg, -progress, cred, cblue, child))
+        if not children:
+            if best_goal is not None:
+                break
+            if not any_candidate:
+                raise ScheduleError(
+                    f"beam search stuck: no computable candidate at M={M} "
+                    f"(max fan-in {cdag.max_fan_in()})"
+                )
+            raise ScheduleError(
+                f"beam search stuck: every macro move ran out of evictable "
+                f"slots at M={M} (max fan-in {cdag.max_fan_in()})"
+            )
+        children.sort(key=lambda c: c[:5])
+        beam = [c[5] for c in children[:beam_width]]
+
+    if best_goal is None:
+        raise SearchExhausted(
+            f"beam search found no complete schedule (V={n}, M={M})"
+        )
+    moves: list[Move] = []
+    cell = best_goal[1]
+    while cell is not None:
+        cell, move = cell
+        moves.append(move)
+    moves.reverse()
+    return Schedule(cdag, moves)
+
+
+# --------------------------------------------------------------------- #
+# portfolio
+# --------------------------------------------------------------------- #
+@dataclass
+class PortfolioEntry:
+    """Outcome of one scheduler in a portfolio race."""
+
+    name: str
+    io: float | None = None
+    stats: dict | None = None
+    error: str | None = None
+
+
+@dataclass
+class PortfolioResult:
+    """Best validated schedule plus the full race table."""
+
+    schedule: Schedule
+    io: float
+    winner: str
+    stats: dict
+    entries: list[PortfolioEntry] = field(default_factory=list)
+
+    def table(self) -> dict[str, float | str]:
+        """name → io (or the error string for schedulers that failed)."""
+        return {
+            e.name: e.io if e.error is None else e.error for e in self.entries
+        }
+
+
+#: Portfolio member order — also the tie-break preference (first wins ties).
+PORTFOLIO_SCHEDULERS = (
+    "beam",
+    "topological-belady",
+    "topological-lru",
+    "dfs-recompute",
+)
+
+
+def portfolio_schedule(
+    cdag: CDAG,
+    M: int,
+    beam_width: int = 32,
+    allow_recompute: bool = True,
+    cost: PebbleCost = PebbleCost(),
+    schedulers: tuple[str, ...] | None = None,
+) -> PortfolioResult:
+    """Race the schedulers and return the cheapest *validated* schedule.
+
+    Every candidate schedule is replayed through
+    :func:`~repro.pebbling.game.validate_schedule` before it may win;
+    schedulers that raise or produce an illegal schedule show up in the
+    result's ``entries`` with their error instead of disqualifying the
+    whole race.  Raises :class:`~repro.pebbling.game.ScheduleError` only
+    if *every* member fails.
+    """
+    names = schedulers if schedulers is not None else PORTFOLIO_SCHEDULERS
+    builders = {
+        "beam": lambda: beam_search_schedule(
+            cdag, M, beam_width=beam_width,
+            allow_recompute=allow_recompute, cost=cost,
+        ),
+        "topological-belady": lambda: topological_schedule(
+            cdag, M, eviction="belady"
+        ),
+        "topological-lru": lambda: topological_schedule(cdag, M, eviction="lru"),
+        "dfs-recompute": lambda: dfs_recompute_schedule(cdag, M),
+    }
+    entries: list[PortfolioEntry] = []
+    best: tuple[float, int, Schedule, dict] | None = None
+    for rank, name in enumerate(names):
+        if name not in builders:
+            raise ValueError(f"unknown portfolio scheduler {name!r}")
+        if name == "dfs-recompute" and not allow_recompute:
+            continue
+        try:
+            sched = builders[name]()
+            stats = validate_schedule(
+                sched, M, allow_recompute=allow_recompute, cost=cost
+            )
+        except (ScheduleError, SearchExhausted, ValueError) as exc:
+            entries.append(PortfolioEntry(name=name, error=str(exc)))
+            continue
+        io = stats["io"]
+        entries.append(PortfolioEntry(name=name, io=io, stats=stats))
+        if best is None or (io, rank) < (best[0], best[1]):
+            best = (io, rank, sched, stats)
+    if best is None:
+        raise ScheduleError(
+            f"every portfolio scheduler failed on {cdag.name!r} at M={M}: "
+            + "; ".join(f"{e.name}: {e.error}" for e in entries)
+        )
+    io, rank, sched, stats = best
+    return PortfolioResult(
+        schedule=sched, io=io, winner=names[rank], stats=stats, entries=entries
+    )
+
+
+# --------------------------------------------------------------------- #
+# Lemma 2.2 SUB_H memoization
+# --------------------------------------------------------------------- #
+def choose_memo_key(rcdag, max_sub_vertices: int = 128):
+    """Pick the memoization shape key: the largest sub-CDAG that fits the
+    search budget *and* actually has isomorphic siblings to amortize over.
+
+    Raises :class:`ValueError` when no key qualifies (e.g. a single-level
+    recursion whose only key is the whole problem).
+    """
+    best_key = None
+    best_size = -1
+    for key, spans in rcdag.sub_spans.items():
+        if len(spans) < 2:
+            continue  # no siblings: nothing to memoize
+        start, end = spans[0]
+        a_ids, b_ids = rcdag.sub_inputs[key][0]
+        size = (end - start) + len(a_ids) + len(b_ids)
+        if size <= max_sub_vertices and size > best_size:
+            best_key, best_size = key, size
+    if best_key is None:
+        raise ValueError(
+            f"no memoizable subproblem shape with ≤ {max_sub_vertices} "
+            f"vertices in {rcdag.cdag.name!r} "
+            f"(keys: {sorted(rcdag.sub_spans, key=str)})"
+        )
+    return best_key
+
+
+def memoized_subtree_schedule(
+    rcdag,
+    M: int,
+    key=None,
+    inner: str = "portfolio",
+    beam_width: int = 16,
+    max_sub_vertices: int = 128,
+    cost: PebbleCost = PebbleCost(),
+) -> Schedule:
+    """Schedule a recursive CDAG by searching ONE subproblem and splicing.
+
+    The inner scheduler (``'portfolio'``, ``'beam'`` or ``'topological'``)
+    runs once on the representative sub-CDAG of shape ``key`` (auto-chosen
+    via :func:`choose_memo_key` when None).  The outer walk visits the
+    remaining vertices in construction order — which the recursive builder
+    guarantees is topological — with Belady write-back, and at each
+    subproblem's first vertex it flushes fast memory and replays the inner
+    move list translated through that sibling's vertex map
+    (:meth:`~repro.cdag.recursive.RecursiveCDAG.sub_vertex_map`).  The
+    flush gives every splice the full M budget, which is exactly why one
+    inner schedule is valid for all siblings.
+    """
+    cdag = rcdag.cdag
+    if key is None:
+        key = choose_memo_key(rcdag, max_sub_vertices=max_sub_vertices)
+    if key not in rcdag.sub_spans:
+        raise KeyError(f"no subproblems of shape {key!r} in {cdag.name!r}")
+    spans = rcdag.sub_spans[key]
+    sub, _ = rcdag.sub_cdag(key, 0)
+
+    if inner == "portfolio":
+        inner_sched = portfolio_schedule(
+            sub, M, beam_width=beam_width, cost=cost
+        ).schedule
+    elif inner == "beam":
+        inner_sched = beam_search_schedule(sub, M, beam_width=beam_width, cost=cost)
+    elif inner == "topological":
+        inner_sched = topological_schedule(sub, M)
+    else:
+        raise ValueError(f"unknown inner scheduler {inner!r}")
+    validate_schedule(inner_sched, M, allow_recompute=True, cost=cost)
+
+    n = cdag.num_vertices
+    g = cdag.graph
+    span_of = [-1] * n
+    for j, (s, e) in enumerate(spans):
+        for v in range(s, e):
+            span_of[v] = j
+
+    # Event list over construction order (topological by builder invariant:
+    # every edge goes from a lower id to a higher one).
+    events: list[tuple[str, int]] = []
+    for v in range(n):
+        if cdag.is_input(v):
+            continue
+        j = span_of[v]
+        if j < 0:
+            events.append(("compute", v))
+        elif v == spans[j][0]:
+            events.append(("splice", j))
+
+    def consumed(ev: tuple[str, int]) -> list[int]:
+        if ev[0] == "compute":
+            return g.predecessors(ev[1])
+        a_ids, b_ids = rcdag.sub_inputs[key][ev[1]]
+        return list(a_ids) + list(b_ids)
+
+    uses: dict[int, deque[int]] = defaultdict(deque)
+    for i, ev in enumerate(events):
+        for u in consumed(ev):
+            uses[u].append(i)
+
+    sched = Schedule(cdag)
+    red: set[int] = set()
+    blue: set[int] = set(cdag.inputs)
+
+    def next_use(v: int, now: int) -> float:
+        q = uses.get(v)
+        while q and q[0] <= now:
+            q.popleft()
+        return q[0] if q else INFINITY
+
+    def evict(v: int, now: int) -> None:
+        if (next_use(v, now) < INFINITY or cdag.is_output(v)) and v not in blue:
+            sched.append(MoveKind.STORE, v)
+            blue.add(v)
+        sched.append(MoveKind.EVICT, v)
+        red.discard(v)
+
+    def make_room(pinned: set[int], now: int) -> None:
+        while len(red) >= M:
+            candidates = [v for v in red if v not in pinned]
+            if not candidates:
+                raise ScheduleError(
+                    f"memoized outer walk out of memory: M={M} leaves no "
+                    f"evictable slot (pinned: {sorted(pinned)})"
+                )
+            victim = max(candidates, key=lambda v: (next_use(v, now), v))
+            evict(victim, now)
+
+    for i, ev in enumerate(events):
+        if ev[0] == "compute":
+            v = ev[1]
+            pinned = set(g.predecessors(v)) | {v}
+            for u in g.predecessors(v):
+                if u not in red:
+                    if u not in blue:
+                        raise AssertionError(
+                            f"outer vertex {u} neither red nor blue — "
+                            "construction order is not topological"
+                        )
+                    make_room(pinned, i)
+                    sched.append(MoveKind.LOAD, u)
+                    red.add(u)
+            make_room(pinned, i)
+            sched.append(MoveKind.COMPUTE, v)
+            red.add(v)
+        else:
+            j = ev[1]
+            # 1) every sub input must be blue: the inner schedule loads
+            #    them from slow memory at will.
+            for u in sorted(consumed(ev)):
+                if u not in blue:
+                    if u not in red:
+                        raise AssertionError(
+                            f"sub input {u} of splice {j} neither red nor blue"
+                        )
+                    sched.append(MoveKind.STORE, u)
+                    blue.add(u)
+            # 2) flush: the inner schedule was searched against an empty
+            #    fast memory of size M, so hand it exactly that.
+            for v in sorted(red):
+                evict(v, i)
+            # 3) replay the inner moves through this sibling's vertex map.
+            to_global = rcdag.sub_vertex_map(key, j)
+            for m in inner_sched.moves:
+                gv = to_global[m.v]
+                sched.moves.append(Move(m.kind, gv))
+                if m.kind is MoveKind.LOAD or m.kind is MoveKind.COMPUTE:
+                    red.add(gv)
+                elif m.kind is MoveKind.STORE:
+                    blue.add(gv)
+                else:
+                    red.discard(gv)
+            # 4) leftovers: sub outputs are blue (the inner schedule was
+            #    validated), internals are dead — plain evicts suffice.
+            for v in sorted(red):
+                sched.append(MoveKind.EVICT, v)
+                red.discard(v)
+    for v in cdag.outputs:
+        if v not in blue:
+            sched.append(MoveKind.STORE, v)
+            blue.add(v)
+    return sched

@@ -111,6 +111,73 @@ class TestRecursiveStructure:
             build_recursive_cdag(strassen_alg, 4, style="odd")
 
 
+class TestSubSpans:
+    """The Lemma 2.2 substrate for memoized scheduling: every SUB_H of one
+    shape occupies a contiguous id span and is vertex-for-vertex isomorphic
+    to its siblings (the builder emits them by identical insertion
+    sequences)."""
+
+    def test_spans_align_with_registries(self, H4):
+        for key, spans in H4.sub_spans.items():
+            assert len(spans) == len(H4.sub_inputs[key])
+            assert len(spans) == len(H4.sub_outputs[key])
+            for start, end in spans:
+                assert 0 <= start < end <= H4.cdag.num_vertices
+
+    def test_same_shape_spans_have_equal_length(self, H4):
+        for key, spans in H4.sub_spans.items():
+            lengths = {end - start for start, end in spans}
+            assert len(lengths) == 1, (key, spans)
+
+    def test_spans_disjoint_within_key(self, H4):
+        for key, spans in H4.sub_spans.items():
+            ordered = sorted(spans)
+            for (s1, e1), (s2, _) in zip(ordered, ordered[1:]):
+                assert e1 <= s2
+
+    def test_sub_vertex_map_covers_local_cdag(self, H4):
+        for key in H4.sub_spans:
+            local, to_global = H4.sub_cdag(key, 0)
+            assert len(to_global) == local.num_vertices
+            assert to_global == H4.sub_vertex_map(key, 0)
+
+    @pytest.mark.parametrize("style", ["bipartite", "tree"])
+    def test_siblings_are_isomorphic(self, strassen_alg, style):
+        H = build_recursive_cdag(strassen_alg, 4, style=style)
+        for key, spans in H.sub_spans.items():
+            local0, _ = H.sub_cdag(key, 0)
+            edges0 = sorted(local0.graph.edges())
+            for i in range(1, len(spans)):
+                local_i, _ = H.sub_cdag(key, i)
+                assert local_i.num_vertices == local0.num_vertices
+                assert sorted(local_i.graph.edges()) == edges0
+                assert local_i.inputs == local0.inputs
+                assert local_i.outputs == local0.outputs
+
+    def test_sibling_isomorphism_rectangular(self):
+        from repro.engine.runners import resolve_algorithm
+
+        H = build_recursive_cdag(resolve_algorithm("grey-522-18"), 25)
+        key = max(
+            (k for k, v in H.sub_spans.items() if len(v) >= 2),
+            key=lambda k: H.sub_spans[k][0][1] - H.sub_spans[k][0][0],
+        )
+        local0, _ = H.sub_cdag(key, 0)
+        local1, _ = H.sub_cdag(key, 1)
+        assert sorted(local0.graph.edges()) == sorted(local1.graph.edges())
+
+    def test_translated_edges_exist_globally(self, H4):
+        """Every local edge, pushed through the sibling's vertex map, is a
+        real edge of the global CDAG."""
+        for key, spans in H4.sub_spans.items():
+            local, _ = H4.sub_cdag(key, 0)
+            for i in range(len(spans)):
+                to_global = H4.sub_vertex_map(key, i)
+                for u, v in local.graph.edges():
+                    gu, gv = to_global[u], to_global[v]
+                    assert gv in H4.cdag.graph.successors(gu)
+
+
 class TestSemantics:
     def test_cdag_computes_matmul_symbolically(self, strassen_alg):
         """Evaluate the CDAG bottom-up; outputs must equal A·B exactly.

@@ -55,6 +55,57 @@ class TestRunPoint:
         assert with_r.metrics["io"] < without.metrics["io"]
 
 
+class TestPebbleSearchPoint:
+    def test_portfolio_matches_exhaustive_optimum(self):
+        from repro.engine import pebble_search_point
+
+        res = run_point(
+            pebble_search_point(
+                "recompute_wins", 3, scheduler="portfolio",
+                gadgets=1, flush_length=2,
+            )
+        )
+        opt = run_point(
+            pebble_optimal_point("recompute_wins", 3, True, gadgets=1, flush_length=2)
+        )
+        assert res.metrics["io"] == opt.metrics["io"]
+        assert res.metrics["winner"]  # the race records which member won
+        for k in ("loads", "stores", "recomputations", "moves", "peak_red"):
+            assert k in res.metrics
+
+    def test_beam_memo_on_recursive_family(self):
+        from repro.engine import pebble_search_point
+
+        res = run_point(
+            pebble_search_point(
+                "zoo_recursive", 6, scheduler="beam-memo",
+                alg="strassen", n=4, style="tree",
+            )
+        )
+        assert res.metrics["vertices"] > 62
+        assert res.metrics["io"] > 0
+
+    def test_beam_memo_requires_recursive_family(self):
+        from repro.engine import pebble_search_point
+        from repro.engine.runners import execute_point
+
+        point = pebble_search_point("binary_tree", 4, scheduler="beam-memo", depth=3)
+        with pytest.raises(KeyError, match="zoo_recursive"):
+            execute_point(point.to_dict())
+
+    def test_search_point_is_cacheable(self, tmp_path):
+        from repro.engine import pebble_search_point
+
+        cfg = EngineConfig(cache_dir=tmp_path)
+        point = pebble_search_point(
+            "recompute_wins", 3, scheduler="portfolio", gadgets=1, flush_length=2
+        )
+        first = run_point(point, cfg)
+        second = run_point(point, cfg)
+        assert second.cached and not first.cached
+        assert second.metrics == first.metrics
+
+
 class TestRunSweep:
     def test_repeat_sweep_is_cache_served(self, tmp_path):
         cfg = EngineConfig(cache_dir=tmp_path)

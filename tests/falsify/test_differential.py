@@ -55,6 +55,38 @@ class TestAgreement:
         for o in rep.outcomes:
             assert o.divergence is None
 
+    def test_default_grid_covers_search_schedulers(self):
+        """ISSUE 9: the beam, the portfolio race, and the Lemma 2.2
+        memoized splice are probed alongside the original schedulers."""
+        schedulers = {
+            p.params.get("scheduler")
+            for p in default_probes()
+            if p.kind == "pebble"
+        }
+        assert {"beam", "portfolio", "beam_memo"} <= schedulers
+
+    def test_search_scheduler_probes_agree(self):
+        probes = [
+            DifferentialProbe(
+                "pebble", {"family": "recompute_wins", "gadgets": 1,
+                           "flush_length": 2, "M": 3, "scheduler": "portfolio"}
+            ),
+            DifferentialProbe(
+                "pebble", {"family": "binary_tree", "depth": 3, "M": 5,
+                           "scheduler": "beam"}
+            ),
+            DifferentialProbe(
+                "pebble", {"family": "strassen_h4", "M": 12,
+                           "scheduler": "beam_memo"}
+            ),
+        ]
+        rep = run_differential(probes)
+        assert rep.ok
+        for o in rep.outcomes:
+            assert o.divergence is None
+            assert len({json.dumps(c, sort_keys=True)
+                        for c in o.counters.values()}) == 1
+
     def test_backend_restriction_narrows_backend_probes(self):
         probes = [p for p in default_probes(backend="symbolic")
                   if p.kind == "backend"]

@@ -147,6 +147,53 @@ class TestZooCLI:
         assert "unknown algorithm" in capsys.readouterr().err
 
 
+class TestAtlasCLI:
+    @pytest.fixture
+    def tiny_preset(self, monkeypatch):
+        """Register a seconds-fast preset so the CLI path is exercised in
+        tier-1; the real ci/full presets run in the CI atlas job."""
+        from repro import cli as cli_mod
+        from repro.obs.atlas import ATLAS_PRESETS
+
+        monkeypatch.setattr(cli_mod, "ATLAS_CHOICES", ("ci", "full", "tiny"))
+        monkeypatch.setitem(
+            ATLAS_PRESETS,
+            "tiny",
+            [
+                {
+                    "instance": "gadget-1x2",
+                    "family": "recompute_wins",
+                    "family_params": {"gadgets": 1, "flush_length": 2},
+                    "Ms": [3],
+                    "schedulers": ("portfolio", "topological-belady"),
+                    "certify": True,
+                    "gadget": True,
+                }
+            ],
+        )
+
+    def test_atlas_markdown(self, capsys, tiny_preset):
+        assert main(["atlas", "--preset", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "# Schedule atlas" in out
+        assert "strict win" in out
+        assert "**OK**" in out
+
+    def test_atlas_json(self, capsys, tiny_preset):
+        assert main(["atlas", "--preset", "tiny", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["certification"]["ok"]
+        assert payload["recompute_wins"]["ok"]
+        assert payload["failures"] == []
+        (row,) = payload["rows"]
+        assert row["best"] == row["optimal"] == 7.0
+        assert row["optimal_no_recompute"] == 8.0
+
+    def test_atlas_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["atlas", "--preset", "nope"])
+
+
 class TestReproduceCommand:
     def test_reproduce_all_pass(self, capsys):
         assert main(["reproduce"]) == 0

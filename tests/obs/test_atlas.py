@@ -1,0 +1,114 @@
+"""Unit tests for the schedule atlas (`repro.obs.atlas`).
+
+The full presets run in the CI `atlas` job; here a tiny injected preset
+exercises the whole pipeline — point generation, the engine sweep, row
+assembly, the three verdict sections, and the renderer — in seconds.
+"""
+
+import pytest
+
+from repro.obs import atlas as atlas_mod
+from repro.obs.atlas import ATLAS_PRESETS, atlas_points, build_atlas, render_atlas
+
+TINY_PRESET = [
+    {
+        "instance": "gadget-1x2",
+        "family": "recompute_wins",
+        "family_params": {"gadgets": 1, "flush_length": 2},
+        "Ms": [3],
+        "schedulers": ("portfolio", "topological-belady"),
+        "certify": True,
+        "gadget": True,
+    },
+    {
+        "instance": "strassen-h4-tree",
+        "family": "zoo_recursive",
+        "family_params": {"alg": "strassen", "n": 4, "style": "tree"},
+        "Ms": [6],
+        "schedulers": ("beam-memo", "topological-belady"),
+        "large": True,
+    },
+]
+
+
+@pytest.fixture
+def tiny_atlas(monkeypatch):
+    monkeypatch.setitem(ATLAS_PRESETS, "tiny", TINY_PRESET)
+    return build_atlas("tiny", beam_width=16)
+
+
+class TestAtlasPoints:
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError, match="unknown atlas preset"):
+            atlas_points("no-such-preset")
+
+    def test_point_grid_shape(self, monkeypatch):
+        monkeypatch.setitem(ATLAS_PRESETS, "tiny", TINY_PRESET)
+        points = atlas_points("tiny")
+        # gadget: 2 search + 2 optimal; strassen: 2 search, no certify
+        assert len(points) == 6
+        kinds = [p.kind for p in points]
+        assert kinds.count("pebble_search") == 4
+        assert kinds.count("pebble_optimal") == 2
+
+    def test_ci_preset_covers_the_acceptance_grid(self):
+        insts = {i["instance"]: i for i in ATLAS_PRESETS["ci"]}
+        assert any(i.get("gadget") for i in insts.values())
+        assert any(i.get("large") for i in insts.values())
+        # at least one rectangular zoo entry among the large rows
+        assert any(
+            i.get("large")
+            and i["family"] == "zoo_recursive"
+            and "grey" in i["family_params"]["alg"]
+            for i in insts.values()
+        )
+
+
+class TestBuildAtlas:
+    def test_certification_and_verdicts(self, tiny_atlas):
+        atlas = tiny_atlas
+        assert atlas["failures"] == []
+        cert = atlas["certification"]
+        assert cert["instances"] == 1
+        assert cert["ok"] and cert["matched"] == 1
+        rw = atlas["recompute_wins"]
+        assert rw["ok"]
+        (row,) = rw["rows"]
+        assert row["separates"] and row["strict_win"]
+        assert row["best"] < row["no_recompute_optimal"]
+
+    def test_large_row_past_fuse(self, tiny_atlas):
+        (large,) = tiny_atlas["large"]
+        assert large["past_fuse"]  # H4 tree has 118 vertices > 62
+        assert large["io"] is not None and large["io"] > 0
+
+    def test_rows_carry_bounds(self, tiny_atlas):
+        for row in tiny_atlas["rows"]:
+            assert row["trivial_bound"] > 0
+            assert row["lower_bound"] >= row["trivial_bound"]
+            assert row["best"] is not None
+            assert row["best"] >= row["lower_bound"] or row["certified"]
+        gadget = next(r for r in tiny_atlas["rows"] if r["family"] == "recompute_wins")
+        assert gadget["certified"] is True
+        assert gadget["optimal"] < gadget["optimal_no_recompute"]
+        zoo = next(r for r in tiny_atlas["rows"] if r["family"] == "zoo_recursive")
+        assert zoo["certified"] is None  # no exhaustive run past the cap
+        assert zoo["paper_bound"] is not None
+
+    def test_render_smoke(self, tiny_atlas):
+        text = render_atlas(tiny_atlas)
+        assert "# Schedule atlas" in text
+        assert "strict win" in text
+        assert "**OK**" in text
+        assert "Past the exhaustive fuse" in text
+        assert "MISMATCH" not in text
+
+
+class TestPaperBound:
+    def test_vacuous_when_problem_fits_in_cache(self):
+        fp = {"alg": "strassen", "n": 4, "style": "tree"}
+        assert atlas_mod._paper_bound("zoo_recursive", fp, M=64) is None
+        assert atlas_mod._paper_bound("zoo_recursive", fp, M=6) is not None
+
+    def test_non_recursive_families_have_no_paper_bound(self):
+        assert atlas_mod._paper_bound("binary_tree", {"depth": 3}, M=3) is None

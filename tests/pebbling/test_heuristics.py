@@ -2,9 +2,15 @@
 
 import pytest
 
-from repro.cdag.families import binary_tree_cdag, diamond_chain_cdag, grid_cdag
+from repro.cdag.core import CDAG
+from repro.cdag.families import (
+    binary_tree_cdag,
+    diamond_chain_cdag,
+    grid_cdag,
+    recompute_wins_cdag,
+)
 from repro.cdag.fft import fft_cdag
-from repro.pebbling.game import validate_schedule
+from repro.pebbling.game import ScheduleError, validate_schedule
 from repro.pebbling.heuristics import dfs_recompute_schedule, topological_schedule
 
 
@@ -58,6 +64,44 @@ class TestTopologicalSchedule:
         stats = validate_schedule(topological_schedule(c, 4), 4)
         assert stats["stores"] > len(c.outputs)  # some write-backs happened
 
+    @pytest.mark.parametrize(
+        "cdag",
+        [
+            binary_tree_cdag(4),
+            diamond_chain_cdag(4),
+            grid_cdag(4, 4),
+            fft_cdag(8),
+            recompute_wins_cdag(2, 2),
+        ],
+        ids=["bintree", "diamond", "grid", "fft", "gadget"],
+    )
+    def test_capacity_boundary_m_equals_fan_in_plus_one(self, cdag):
+        """Regression for the capacity boundary: at the minimum legal
+        M = max_fan_in + 1 the compute front pins every slot, and the
+        scheduler used to die in `make_room` with a bare `max() arg is an
+        empty sequence`.  It must produce a valid schedule instead."""
+        M = cdag.max_fan_in() + 1
+        stats = validate_schedule(topological_schedule(cdag, M), M)
+        assert stats["io"] > 0
+
+    def test_exhausted_memory_is_a_schedule_error_with_context(self):
+        """White-box: a CDAG that under-reports its fan-in sneaks past the
+        entry guard, so `make_room` itself must raise the diagnosable
+        ScheduleError naming M, the fan-in, and the pinned front."""
+
+        class UnderReportingCDAG(CDAG):
+            def max_fan_in(self):
+                return 1
+
+        inner = binary_tree_cdag(3)
+        lying = UnderReportingCDAG(
+            inner.graph, inner.inputs, inner.outputs, name="lying"
+        )
+        with pytest.raises(ScheduleError, match="pinned front"):
+            topological_schedule(lying, 2)
+        with pytest.raises(ScheduleError, match="M=2"):
+            topological_schedule(lying, 2)
+
 
 class TestDFSRecompute:
     def test_valid_with_recomputation(self):
@@ -90,6 +134,16 @@ class TestDFSRecompute:
         c = fft_cdag(16)  # DFS front needs ~2·depth pebbles
         with pytest.raises(ValueError, match="too small"):
             dfs_recompute_schedule(c, 2)
+
+    def test_deterministic_across_runs(self):
+        """Regression: the eviction victim used to come out of a set, so
+        two runs on the same CDAG could emit different (both valid)
+        schedules — and different cache keys downstream.  Two runs must
+        now produce move-for-move identical schedules."""
+        for c, M in ((fft_cdag(8), 6), (diamond_chain_cdag(6), 4)):
+            s1 = dfs_recompute_schedule(c, M)
+            s2 = dfs_recompute_schedule(c, M)
+            assert s1.moves == s2.moves
 
     def test_targets_subset(self):
         c = fft_cdag(8)

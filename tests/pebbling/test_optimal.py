@@ -9,9 +9,20 @@ from repro.cdag.families import (
     recompute_wins_cdag,
 )
 from repro.graphs.digraph import DiGraph
-from repro.pebbling.game import PebbleCost, validate_schedule
+from repro.pebbling.game import (
+    MoveKind,
+    PebbleCost,
+    schedule_io,
+    validate_schedule,
+)
 from repro.pebbling.heuristics import topological_schedule
-from repro.pebbling.optimal import SearchExhausted, optimal_io
+from repro.pebbling.optimal import (
+    Infeasible,
+    SearchExhausted,
+    optimal_io,
+    optimal_schedule,
+    writeback_lower_bound,
+)
 
 
 def path(k: int) -> CDAG:
@@ -28,9 +39,24 @@ class TestKnownOptima:
         assert optimal_io(path(5), M=2) == 2.0
 
     def test_path_m1_infeasible_vs_m2(self):
-        # M=1: computing v needs pred red + slot for v → impossible
-        with pytest.raises(SearchExhausted):
+        # M=1: computing v needs pred red + slot for v → impossible.  The
+        # heap drains, so this is a *proof* of infeasibility — raising the
+        # fuse cannot help, and the exception type now says so.
+        with pytest.raises(Infeasible):
             optimal_io(path(3), M=1, max_states=10_000)
+        assert optimal_io(path(3), M=2) == 2.0
+
+    def test_infeasible_not_conflated_with_fuse(self):
+        """Same instance, two failure modes: a drained heap is Infeasible,
+        a blown fuse is SearchExhausted — and neither is a subclass of the
+        other, so callers can tell 'impossible' from 'try a bigger budget'."""
+        c = recompute_wins_cdag(2, 2)
+        with pytest.raises(SearchExhausted):
+            optimal_io(c, M=3, max_states=10)
+        with pytest.raises(Infeasible):
+            optimal_io(c, M=1)
+        assert not issubclass(Infeasible, SearchExhausted)
+        assert not issubclass(SearchExhausted, Infeasible)
 
     def test_binary_tree_matches_leaf_loads(self):
         """With enough red pebbles (depth+2 here — computing a node needs
@@ -102,6 +128,51 @@ class TestAgainstHeuristic:
     def test_more_memory_never_hurts(self):
         c = recompute_wins_cdag(1, 2)
         assert optimal_io(c, 4) <= optimal_io(c, 3)
+
+
+class TestWitness:
+    @pytest.mark.parametrize("allow_recompute", [True, False])
+    def test_witness_replays_at_exact_cost(self, allow_recompute):
+        """The reconstructed schedule is a genuine witness: replaying it
+        through the validator yields the reported optimum, exactly."""
+        c = recompute_wins_cdag(1, 2)
+        io, sched = optimal_schedule(c, 3, allow_recompute=allow_recompute)
+        assert io == optimal_io(c, 3, allow_recompute=allow_recompute)
+        stats = validate_schedule(sched, 3, allow_recompute=allow_recompute)
+        assert stats["io"] == io
+        assert stats["io"] == schedule_io(sched, PebbleCost())
+        assert stats["loads"] == sum(
+            1 for m in sched.moves if m.kind is MoveKind.LOAD
+        )
+        assert stats["stores"] == sum(
+            1 for m in sched.moves if m.kind is MoveKind.STORE
+        )
+        if not allow_recompute:
+            assert stats["recomputations"] == 0
+
+    def test_witness_uses_recomputation_when_it_wins(self):
+        c = recompute_wins_cdag(1, 2)
+        io, sched = optimal_schedule(c, 3, allow_recompute=True)
+        stats = validate_schedule(sched, 3, allow_recompute=True)
+        assert stats["recomputations"] >= 1
+        assert io < optimal_io(c, 3, allow_recompute=False)
+
+    def test_witness_on_tree_and_nvm_costs(self):
+        c = binary_tree_cdag(3)
+        cost = PebbleCost(read_cost=1.0, write_cost=3.0)
+        io, sched = optimal_schedule(c, 4, cost=cost)
+        assert validate_schedule(sched, 4, cost=cost)["io"] == io
+
+    def test_writeback_bound_admissible_on_witness(self):
+        """h at the start state never exceeds the true optimum."""
+        for c, M in ((binary_tree_cdag(3), 4), (recompute_wins_cdag(1, 2), 3)):
+            blue = 0
+            for v in c.inputs:
+                blue |= 1 << v
+            outs = 0
+            for v in c.outputs:
+                outs |= 1 << v
+            assert writeback_lower_bound(blue, outs, 1.0) <= optimal_io(c, M)
 
 
 class TestGuards:

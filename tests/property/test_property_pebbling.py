@@ -11,9 +11,11 @@ from hypothesis import given, settings, strategies as st
 from repro.cdag.core import CDAG
 from repro.graphs.digraph import DiGraph
 from repro.machine.sequential import SequentialMachine
+from repro.cdag.families import recompute_wins_cdag
 from repro.pebbling.game import validate_schedule
 from repro.pebbling.heuristics import topological_schedule
 from repro.pebbling.optimal import optimal_io
+from repro.pebbling.search import beam_search_schedule, portfolio_schedule
 
 
 @st.composite
@@ -79,6 +81,42 @@ class TestOptimalInvariants:
         assert optimal_io(c, 8, max_states=500_000) >= len(
             [o for o in c.outputs if o not in set(c.inputs)]
         )
+
+
+class TestSearchSchedulers:
+    @given(c=random_cdag(max_n=8), M=st.integers(3, 5))
+    @settings(max_examples=20)
+    def test_portfolio_validates_and_bounds_optimal(self, c, M):
+        """Every portfolio schedule replays legally at its reported cost,
+        and never beats the exhaustive optimum (which would mean either a
+        validator hole or an unsound search)."""
+        res = portfolio_schedule(c, M)
+        stats = validate_schedule(res.schedule, M, allow_recompute=True)
+        assert stats["io"] == res.io
+        assert res.io >= optimal_io(c, M, max_states=500_000)
+
+    @given(c=random_cdag(max_n=8), M=st.integers(4, 6))
+    @settings(max_examples=15)
+    def test_beam_validates_when_feasible(self, c, M):
+        from repro.pebbling.game import ScheduleError
+        from repro.pebbling.optimal import SearchExhausted
+
+        try:
+            sched = beam_search_schedule(c, M)
+        except (ScheduleError, SearchExhausted):
+            return  # infeasible at this M for the macro-move beam: allowed
+        stats = validate_schedule(sched, M, allow_recompute=True)
+        assert stats["io"] >= optimal_io(c, M, max_states=500_000)
+
+    @given(M=st.integers(3, 5))
+    @settings(max_examples=5)
+    def test_portfolio_exact_on_gadget(self, M):
+        """On the recompute-wins family the portfolio must not merely be
+        valid but *optimal* — including the strict recomputation win at
+        M=3 that no write-back schedule can reach."""
+        c = recompute_wins_cdag(1, 2)
+        res = portfolio_schedule(c, M)
+        assert res.io == optimal_io(c, M, allow_recompute=True)
 
 
 class TestMachineCounters:
