@@ -1,0 +1,174 @@
+"""Hybrid fast/classical study: crossover regions and the Smith constant.
+
+Two claims of the hybrid executor (docs/hybrid.md), measured and emitted
+as ``BENCH_hybrid.json`` for the CI hybrid job:
+
+1. **Crossover** — sweeping the cutoff ℓ × fast memory M at a fixed n,
+   there are (ℓ, M) points where the hybrid (0 < ℓ < depth) strictly
+   beats *both* pure strategies (ℓ = 0 classical, ℓ = depth fast), the
+   regime De Stefani's hybrid bounds (arXiv:1904.12804) predict.
+2. **Constant** — the resident-C classical leaf attains Smith et al.'s
+   tight leading constant (arXiv:1702.02017): fitting c in c·n³/√M over
+   a fixed-M size sweep lands within 15% of 2.  M is chosen just above
+   (b+1)² for a power-of-two block side b (the leaf's block must divide
+   n, so an M far from the next divisor's footprint strands capacity and
+   inflates c — the granularity caveat in docs/hybrid.md).
+
+Counting runs through the symbolic schedule backend (closed forms, so
+n = 1024 is cheap); the backends are certified word-identical elsewhere
+(falsify probes, property suite) — this file measures, it doesn't re-prove.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+from conftest import banner
+
+from repro import schedule
+from repro.algorithms.strassen import strassen
+from repro.bounds.constants import (
+    SMITH_CLASSICAL_CONSTANT,
+    constant_within,
+    fit_leading_constant,
+    smith_classical_reference,
+)
+from repro.execution.hybrid import HYBRID_LEAVES, hybrid_depth
+
+RESULTS: dict = {}
+
+CROSSOVER_N = 256
+CROSSOVER_MS = (48, 96, 192)
+
+# Smith-constant sweep: b = 16 divides every n, and M = 305 sits just
+# above the resident footprint (16+1)² = 289 — measured c ≈ 2.2.
+CONSTANT_M = 305
+CONSTANT_NS = (256, 512, 1024)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_json():
+    yield
+    out = Path("BENCH_hybrid.json")
+    out.write_text(json.dumps(RESULTS, indent=2) + "\n")
+    print(banner(f"hybrid bench results → {out}"))
+    print(json.dumps(RESULTS, indent=2))
+
+
+def _hybrid_io(alg, n: int, M: int, cutoff: int, leaf: str) -> int:
+    spec = schedule.seq_io_schedule(alg.name, n, M, cutoff=cutoff, leaf=leaf)
+    return int(schedule.run(spec, backend="symbolic").io)
+
+
+def test_hybrid_crossover_region(benchmark):
+    """ℓ × M sweep at n = 256: some interior cutoff beats both endpoints."""
+    alg = strassen()
+    elapsed: dict = {}
+
+    def run():
+        t0 = time.perf_counter()
+        grid = {}
+        for M in CROSSOVER_MS:
+            depth = hybrid_depth(alg, CROSSOVER_N, M)
+            for leaf in HYBRID_LEAVES:
+                ios = [
+                    _hybrid_io(alg, CROSSOVER_N, M, c, leaf)
+                    for c in range(depth + 1)
+                ]
+                grid[(M, leaf)] = (depth, ios)
+        elapsed["t"] = time.perf_counter() - t0
+        return grid
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    cells, wins = [], []
+    for (M, leaf), (depth, ios) in sorted(grid.items()):
+        classical_io, fast_io = ios[0], ios[depth]
+        best = min(range(depth + 1), key=ios.__getitem__)
+        cells.append(
+            {
+                "M": M,
+                "leaf": leaf,
+                "depth": depth,
+                "io_per_cutoff": ios,
+                "classical_io": classical_io,
+                "fast_io": fast_io,
+                "best_cutoff": best,
+            }
+        )
+        for c in range(1, depth):
+            if ios[c] < classical_io and ios[c] < fast_io:
+                wins.append(
+                    {
+                        "M": M,
+                        "leaf": leaf,
+                        "cutoff": c,
+                        "io": ios[c],
+                        "classical_io": classical_io,
+                        "fast_io": fast_io,
+                    }
+                )
+
+    RESULTS["crossover"] = {
+        "algorithm": "strassen",
+        "n": CROSSOVER_N,
+        "Ms": list(CROSSOVER_MS),
+        "seconds": round(elapsed["t"], 4),
+        "cells": cells,
+        "hybrid_wins": wins,
+    }
+    print(banner(f"hybrid crossover, n={CROSSOVER_N}"))
+    for cell in cells:
+        marks = [
+            f"{io}{'*' if i == cell['best_cutoff'] else ''}"
+            for i, io in enumerate(cell["io_per_cutoff"])
+        ]
+        print(f"  M={cell['M']:>4} leaf={cell['leaf']:<8} ℓ→ {' '.join(marks)}")
+    assert wins, "no (ℓ, M) region where the hybrid beats both pure strategies"
+
+
+def test_resident_leaf_attains_smith_constant(benchmark):
+    """Fixed-M size sweep of the resident-C classical leaf: c within 15% of 2."""
+    alg = strassen()  # cutoff=0 → the algorithm never splits; leaf only
+    elapsed: dict = {}
+
+    def run():
+        t0 = time.perf_counter()
+        ios = [
+            _hybrid_io(alg, n, CONSTANT_M, 0, "resident") for n in CONSTANT_NS
+        ]
+        elapsed["t"] = time.perf_counter() - t0
+        return ios
+
+    ios = benchmark.pedantic(run, rounds=1, iterations=1)
+    fit = fit_leading_constant(CONSTANT_NS, CONSTANT_M, ios, omega0=3.0)
+    within = constant_within(fit, SMITH_CLASSICAL_CONSTANT, tol=0.15)
+
+    # The tiled leaf at the same points: the ≈4-constant contrast row.
+    tiled_ios = [_hybrid_io(alg, n, CONSTANT_M, 0, "tiled") for n in CONSTANT_NS]
+    tiled_fit = fit_leading_constant(CONSTANT_NS, CONSTANT_M, tiled_ios, omega0=3.0)
+
+    RESULTS["classical_constant"] = {
+        "leaf": "resident",
+        "M": CONSTANT_M,
+        "ns": list(CONSTANT_NS),
+        "ios": ios,
+        "seconds": round(elapsed["t"], 4),
+        "constant": round(fit.constant, 4),
+        "spread": round(fit.spread, 4),
+        "reference": SMITH_CLASSICAL_CONSTANT,
+        "reference_ios": [
+            round(smith_classical_reference(n, CONSTANT_M), 1) for n in CONSTANT_NS
+        ],
+        "within_15pct": within,
+        "tiled_constant": round(tiled_fit.constant, 4),
+    }
+    print(banner("resident-C classical constant"))
+    print(f"  fitted c = {fit.constant:.4f} (reference 2, spread "
+          f"{fit.spread:.4f}); tiled leaf c = {tiled_fit.constant:.4f}")
+    assert within, f"fitted constant {fit.constant:.4f} not within 15% of 2"
+    assert fit.spread < 1.25, f"constant unstable across sizes: {fit.spread:.4f}"
+    assert tiled_fit.constant > fit.constant, "resident leaf should beat tiled"

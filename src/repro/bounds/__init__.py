@@ -33,6 +33,16 @@ from repro.bounds.io_models import (
     recursive_fast_io_model,
     abmm_transform_io_model,
 )
+from repro.bounds.constants import (
+    SMITH_CLASSICAL_CONSTANT,
+    CONSTANT_SPREAD_TOL,
+    ConstantFit,
+    io_model,
+    smith_classical_reference,
+    fit_leading_constant,
+    constant_within,
+    constant_drift_holds,
+)
 
 __all__ = [
     "OMEGA0_STRASSEN",
@@ -58,4 +68,12 @@ __all__ = [
     "tiled_classical_io_model",
     "recursive_fast_io_model",
     "abmm_transform_io_model",
+    "SMITH_CLASSICAL_CONSTANT",
+    "CONSTANT_SPREAD_TOL",
+    "ConstantFit",
+    "io_model",
+    "smith_classical_reference",
+    "fit_leading_constant",
+    "constant_within",
+    "constant_drift_holds",
 ]

@@ -138,7 +138,8 @@ def _block_entry(
 
 
 def build_recursive_cdag(
-    alg: BilinearAlgorithm, n: int, style: str = "bipartite"
+    alg: BilinearAlgorithm, n: int, style: str = "bipartite",
+    cutoff: int | None = None,
 ) -> RecursiveCDAG:
     """Construct the recursive CDAG for an ⟨n,m,p;t⟩ algorithm.
 
@@ -147,10 +148,24 @@ def build_recursive_cdag(
     operand shape is the (nᴸ×mᴸ)·(mᴸ×pᴸ) recursion of Lemma 2.2.
     ``style`` is ``'bipartite'`` (paper's encoder representation, default)
     or ``'tree'`` (fan-in ≤ 2, for pebbling).
+
+    ``cutoff`` builds the *hybrid* CDAG (:mod:`repro.execution.hybrid`):
+    fast encoder/decoder recursion for the top ``cutoff`` levels, then
+    classical triple-loop expansion of every leaf — per output entry, a
+    chain over K scalar-multiplication vertices.  Divisibility is then
+    only required down to the cutoff, so a square side like 12 = 2²·3
+    is valid at cutoff ≤ 2 under ⟨2,2,2;7⟩.
     """
     check_positive_int(n, "n")
-    if alg.is_square and not is_power_of(n, alg.n):
+    if cutoff is not None and cutoff < 0:
+        raise ValueError(f"cutoff must be >= 0, got {cutoff}")
+    if alg.is_square and cutoff is None and not is_power_of(n, alg.n):
         raise ValueError(f"n={n} is not a power of the base dimension {alg.n}")
+    if alg.is_square and cutoff is not None and n % alg.n**cutoff:
+        raise ValueError(
+            f"n={n} is not divisible by {alg.n}^{cutoff} — the hybrid CDAG "
+            f"needs {cutoff} fast levels before the classical leaves"
+        )
     if style not in ("bipartite", "tree"):
         raise ValueError(f"unknown style {style!r}")
     R0, K0, C0 = recursion_shape(alg, n)
@@ -174,8 +189,31 @@ def build_recursive_cdag(
             return y
         return add_linear_form_tree(g, ops, label, label)
 
+    def classical_leaf(a_ids: list[int], b_ids: list[int],
+                       shape: tuple[int, int, int], tag: str) -> list[int]:
+        """Triple-loop expansion of one hybrid leaf: K muls + a sum per
+        output entry, each mul registered as a size-1 subproblem."""
+        R, K, C = shape
+        c_ids: list[int] = []
+        for i in range(R):
+            for j in range(C):
+                muls: list[int] = []
+                for k in range(K):
+                    mstart = g.num_vertices
+                    v = g.add_vertex(f"mul{tag}.c[{i},{k},{j}]")
+                    g.add_edge(a_ids[i * K + k], v)
+                    g.add_edge(b_ids[k * C + j], v)
+                    sub_inputs.setdefault(1, []).append(
+                        ([a_ids[i * K + k]], [b_ids[k * C + j]])
+                    )
+                    sub_outputs.setdefault(1, []).append([v])
+                    sub_spans.setdefault(1, []).append((mstart, g.num_vertices))
+                    muls.append(v)
+                c_ids.append(linear_combo(muls, f"C{tag}.c[{i},{j}]"))
+        return c_ids
+
     def rec(a_ids: list[int], b_ids: list[int],
-            shape: tuple[int, int, int], tag: str) -> list[int]:
+            shape: tuple[int, int, int], tag: str, level: int = 0) -> list[int]:
         R, K, C = shape
         key = shape_key(R, K, C)
         sub_inputs.setdefault(key, []).append((a_ids, b_ids))
@@ -190,6 +228,11 @@ def build_recursive_cdag(
             sub_outputs.setdefault(1, []).append([v])
             sub_spans.setdefault(1, []).append((start, g.num_vertices))
             return [v]
+        if cutoff is not None and level >= cutoff:
+            c_ids = classical_leaf(a_ids, b_ids, shape, tag)
+            sub_outputs.setdefault(key, []).append(c_ids)
+            sub_spans.setdefault(key, []).append((start, g.num_vertices))
+            return c_ids
         hr, hk, hc = R // alg.n, K // alg.m, C // alg.p
         U, V, W = alg.U, alg.V, alg.W
         child_outputs: list[list[int]] = []
@@ -212,7 +255,9 @@ def build_recursive_cdag(
                         for q in v_nz
                     ]
                     b_hat.append(linear_combo(ops, f"Bhat{tag}.{l}[{u},{v}]"))
-            child_outputs.append(rec(a_hat, b_hat, (hr, hk, hc), f"{tag}.{l}"))
+            child_outputs.append(
+                rec(a_hat, b_hat, (hr, hk, hc), f"{tag}.{l}", level + 1)
+            )
         # decoder: build row-major R×C output id list
         c_ids = [0] * (R * C)
         for q in range(alg.n * alg.p):
@@ -229,9 +274,10 @@ def build_recursive_cdag(
         return c_ids
 
     c_outputs = rec(a_inputs, b_inputs, (R0, K0, C0), "")
+    suffix = "" if cutoff is None else f"-cut{cutoff}"
     cdag = CDAG(
         g, a_inputs + b_inputs, c_outputs,
-        name=f"H{R0}x{C0}-{alg.name}-{style}",
+        name=f"H{R0}x{C0}-{alg.name}-{style}{suffix}",
     )
     return RecursiveCDAG(
         cdag=cdag,

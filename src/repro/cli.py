@@ -6,7 +6,9 @@ table1                  print Table I (formulas + provenance)
 eval N M P              evaluate every Table I row at a parameter point
 figures                 print Figures 1–3 (ASCII renderings)
 verify                  run the full lemma-verification audit
-sweep N... --M M        measured sequential I/O sweep with exponent fit
+sweep N... --M M        measured sequential I/O sweep with exponent fit;
+                        ``--hybrid-cutoff L`` switches to the hybrid
+                        fast/classical executor (docs/hybrid.md)
 recompute               the recomputation study (optimal pebbling)
 report DIR              observability dashboard for a sweep directory
 atlas                   schedule atlas: searched pebbling upper bounds
@@ -18,7 +20,9 @@ cache verify DIR        scan a result cache for corrupt/orphaned entries
 falsify                 mutation-test the checkers, cross-check the counters
 zoo list|validate       the fast-matmul algorithm corpus (docs/zoo.md)
 zoo sweep --alg NAME    per-algorithm I/O sweep; fitted exponent is
-                        compared against that entry's own ω₀
+                        compared against that entry's own measured
+                        tolerance gate; ``--hybrid`` sweeps the
+                        fast/classical cutoff instead of n
 serve                   resilient serving daemon: WAL-backed job queue,
                         backpressure, circuit breaking (docs/serving.md)
 serve-drill             chaos-certify a daemon: backpressure, breaker,
@@ -231,7 +235,7 @@ def _fmt_x(x: float):
 def _cmd_sweep(args) -> int:
     from repro.analysis.report import text_table
     from repro.engine import run_sweep, seq_io_point
-    from repro.engine.runners import reference_exponent
+    from repro.engine.runners import hybrid_point, reference_exponent
 
     alg = None if args.algorithm == "classical" else args.algorithm
     try:
@@ -239,17 +243,35 @@ def _cmd_sweep(args) -> int:
     except KeyError as exc:
         print(f"sweep: {exc.args[0]}", file=sys.stderr)
         return 2
-    points = [
-        seq_io_point(
-            alg, n, args.M, replay=not args.no_replay, backend=args.backend
-        )
-        for n in args.sizes
-    ]
+    try:
+        if args.hybrid_cutoff is not None:
+            points = [
+                hybrid_point(
+                    alg, n, args.M, args.hybrid_cutoff,
+                    replay=not args.no_replay, leaf=args.leaf,
+                    backend=args.backend,
+                )
+                for n in args.sizes
+            ]
+        else:
+            points = [
+                seq_io_point(
+                    alg, n, args.M, replay=not args.no_replay,
+                    backend=args.backend,
+                )
+                for n in args.sizes
+            ]
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
     res = run_sweep(points, _engine_config(args), parameter="n")
     if args.json:
         payload = res.to_dict()
         payload["algorithm"] = label
         payload["reference_omega0"] = omega
+        if args.hybrid_cutoff is not None:
+            payload["hybrid_cutoff"] = args.hybrid_cutoff
+            payload["leaf"] = args.leaf
         if len(res.points) >= 2:
             payload["fitted_exponent"] = float(res.exponent)
         _print_json(payload)
@@ -330,7 +352,7 @@ def _zoo_default_sizes(alg, points: int) -> list[int]:
 def _cmd_zoo_sweep(args) -> int:
     from repro.analysis.report import text_table
     from repro.engine import run_sweep, seq_io_point
-    from repro.zoo import corpus_names, load_algorithm
+    from repro.zoo import corpus_names, load_algorithm, sweep_tolerance
 
     if args.alg not in corpus_names():
         known = ", ".join(corpus_names())
@@ -340,13 +362,19 @@ def _cmd_zoo_sweep(args) -> int:
     alg = load_algorithm(args.alg)
     sizes = args.sizes or _zoo_default_sizes(alg, args.points)
     backend = args.backend or "symbolic"
+    if args.hybrid:
+        return _zoo_hybrid_sweep(args, alg, max(sizes), backend)
+    tolerance = (
+        args.tolerance if args.tolerance is not None else sweep_tolerance(args.alg)
+    )
+    tolerance_source = "cli" if args.tolerance is not None else "per-algorithm"
     specs = [
         seq_io_point(args.alg, n, args.M, backend=backend) for n in sizes
     ]
     res = run_sweep(specs, _engine_config(args), parameter="n")
     fitted = float(res.exponent) if len(res.points) >= 2 else None
     diff = abs(fitted - alg.omega0) if fitted is not None else None
-    within = diff is not None and diff <= args.tolerance
+    within = diff is not None and diff <= tolerance
     if args.json:
         payload = res.to_dict()
         payload.update(
@@ -356,7 +384,8 @@ def _cmd_zoo_sweep(args) -> int:
                 "reference_omega0": alg.omega0,
                 "fitted_exponent": fitted,
                 "exponent_diff": diff,
-                "tolerance": args.tolerance,
+                "tolerance": tolerance,
+                "tolerance_source": tolerance_source,
                 "within_tolerance": within,
             }
         )
@@ -369,13 +398,79 @@ def _cmd_zoo_sweep(args) -> int:
         if fitted is not None:
             print(
                 f"fitted exponent: {fitted:.4f} vs ω₀ = {alg.omega0:.4f} "
-                f"(diff {diff:.4f}, tolerance {args.tolerance})"
+                f"(diff {diff:.4f}, tolerance {tolerance} "
+                f"[{tolerance_source}])"
             )
             print("WITHIN TOLERANCE" if within else "EXPONENT MISMATCH")
     rc = _report_failures(res)
     if rc:
         return rc
     return 0 if within else 1
+
+
+def _zoo_hybrid_sweep(args, alg, n: int, backend: str) -> int:
+    """``zoo sweep --hybrid``: cutoff sweep 0..depth at the largest size.
+
+    Holds (alg, n, M, leaf) fixed and sweeps the fast/classical cutoff ℓ,
+    printing the I/O per cutoff with the minimiser marked — the CLI view
+    of the hybrid crossover region (docs/hybrid.md).
+    """
+    from repro.analysis.report import text_table
+    from repro.engine import hybrid_point, run_sweep
+    from repro.execution.hybrid import hybrid_depth
+
+    depth = hybrid_depth(alg, n, args.M)
+    try:
+        specs = [
+            hybrid_point(args.alg, n, args.M, cutoff, leaf=args.leaf,
+                         backend=backend)
+            for cutoff in range(depth + 1)
+        ]
+    except ValueError as exc:
+        print(f"zoo sweep: {exc}", file=sys.stderr)
+        return 2
+    res = run_sweep(specs, _engine_config(args), parameter="cutoff")
+    rc = _report_failures(res)
+    if rc:
+        return rc
+    ios = [p.measured for p in res.points]
+    best = min(range(len(ios)), key=ios.__getitem__) if ios else None
+    rows = [
+        {
+            "cutoff": int(p.x),
+            "io": p.measured,
+            "bound": p.bound,
+            "best": i == best,
+        }
+        for i, p in enumerate(res.points)
+    ]
+    if args.json:
+        payload = res.to_dict()
+        payload.update(
+            {
+                "algorithm": args.alg,
+                "signature": alg.signature(),
+                "n": n,
+                "M": args.M,
+                "leaf": args.leaf,
+                "depth": depth,
+                "cutoffs": rows,
+            }
+        )
+        _print_json(payload)
+    else:
+        print(f"{args.alg} {alg.signature()} hybrid cutoff sweep "
+              f"(n={n}, M={args.M}, leaf={args.leaf}, backend={backend}):")
+        table = [
+            [r["cutoff"], r["io"], r["bound"], "*" if r["best"] else ""]
+            for r in rows
+        ]
+        print(text_table(["cutoff", "measured I/O", "Ω floor", "best"], table))
+        if best is not None:
+            kind = ("pure classical" if best == 0
+                    else "pure fast" if best == depth else "hybrid")
+            print(f"best cutoff: {best} of {depth} ({kind})")
+    return 0
 
 
 def _cmd_recompute(args) -> int:
@@ -708,6 +803,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="full executions (compute and verify C) instead of level replay",
     )
+    p_sweep.add_argument(
+        "--hybrid-cutoff", type=int, default=None, metavar="L",
+        help="hybrid execution: fast recursion for the top L levels, the "
+             "classical leaf kernel below (docs/hybrid.md)",
+    )
+    p_sweep.add_argument(
+        "--leaf", choices=["tiled", "resident"], default="tiled",
+        help="classical leaf scheme under --hybrid-cutoff: tiled "
+             "(constant ≈4) or resident-C streaming (constant ≈2)",
+    )
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_rec = sub.add_parser(
@@ -841,8 +946,18 @@ def main(argv: list[str] | None = None) -> int:
         help="how many default sweep sizes when none are given",
     )
     p_zs.add_argument(
-        "--tolerance", type=float, default=0.15,
-        help="max |fitted − ω₀| for a zero exit",
+        "--tolerance", type=float, default=None,
+        help="max |fitted − ω₀| for a zero exit (default: the entry's "
+             "measured per-algorithm gate, repro.zoo.sweep_tolerance)",
+    )
+    p_zs.add_argument(
+        "--hybrid", action="store_true",
+        help="sweep the hybrid cutoff 0..depth at the largest size instead "
+             "of sweeping n (docs/hybrid.md)",
+    )
+    p_zs.add_argument(
+        "--leaf", choices=["tiled", "resident"], default="tiled",
+        help="classical leaf scheme for --hybrid sweeps",
     )
     p_zs.add_argument("--json", action="store_true", help="machine-readable output")
     p_zs.add_argument("--jsonl", default=None, help="append RunResults as JSONL")

@@ -56,6 +56,7 @@ from repro.engine.runners import (
     pebble_search_point,
     resolve_algorithm,
     segment_audit_point,
+    hybrid_point,
     seq_io_point,
 )
 from repro.engine.trace import HookCollector, TraceEvent, Tracer, collect_machine_trace
@@ -76,6 +77,7 @@ __all__ = [
     "resolve_algorithm",
     "execute_point",
     "seq_io_point",
+    "hybrid_point",
     "parallel_comm_point",
     "pebble_optimal_point",
     "pebble_search_point",

@@ -26,6 +26,11 @@ Kinds
 ``segment_audit``
     A recomputation-heavy heuristic schedule of H^{n×n} replayed through
     the game validator and the Theorem 1.1 segment audit.
+``hybrid``
+    De Stefani-style hybrid execution (fast recursion above a cutoff
+    level, classical tiled / resident-C leaves below) on the sequential
+    machine, counting word I/O against both pure floors — the ℓ×M sweep
+    surface of the leading-constant study.
 ``lru_trace``
     Naive (untiled) matmul pushed through the word-granular LRU cache
     simulator — the "automatic" two-level model — counting misses +
@@ -52,6 +57,7 @@ __all__ = [
     "resolve_algorithm",
     "reference_exponent",
     "seq_io_point",
+    "hybrid_point",
     "parallel_comm_point",
     "pebble_optimal_point",
     "pebble_search_point",
@@ -64,6 +70,7 @@ __all__ = [
 # Metric each kind treats as its sweep y-value.
 PRIMARY_METRIC = {
     "seq_io": "io",
+    "hybrid": "io",
     "parallel_comm": "comm_per_proc_max",
     "pebble_optimal": "io",
     "pebble_search": "io",
@@ -206,6 +213,44 @@ def seq_io_point(
     if backend is not None:
         params["backend"] = str(backend)
     return ExperimentPoint("seq_io", params)
+
+
+def hybrid_point(
+    alg,
+    n: int,
+    M: int,
+    cutoff: int,
+    seed: int = 0,
+    replay: bool = True,
+    leaf: str = "tiled",
+    backend: str | None = None,
+) -> ExperimentPoint:
+    """Hybrid fast/classical I/O of one out-of-core matmul.
+
+    ``cutoff`` is the number of fast recursion levels before switching to
+    the classical ``leaf`` ("tiled" = 4-tile blocked, "resident" = the
+    Smith et al. constant-optimal resident-C scheme); ``cutoff=0`` is the
+    pure classical execution and ``cutoff >= hybrid_depth(...)`` the pure
+    fast one, so a sweep over ℓ×M traces the bound-regime change that
+    De Stefani's hybrid bounds (arXiv:1904.12804) predict.  ``alg`` must
+    be a bilinear algorithm reference (any zoo entry); ``backend`` routes
+    through :func:`repro.schedule.run` and is omitted from params when
+    None (cache-key stable), like ``seq_io``.
+    """
+    if alg is None or alg == "karstadt_schwartz":
+        raise ValueError("hybrid points need a plain bilinear algorithm")
+    params = {
+        "alg": algorithm_spec(alg),
+        "n": int(n),
+        "M": int(M),
+        "cutoff": int(cutoff),
+        "seed": int(seed),
+        "replay": bool(replay),
+        "leaf": str(leaf),
+    }
+    if backend is not None:
+        params["backend"] = str(backend)
+    return ExperimentPoint("hybrid", params)
 
 
 def parallel_comm_point(
@@ -445,6 +490,73 @@ def _run_seq_io(params: dict) -> dict:
     }
     metrics.update({k: float(v) for k, v in phases.items()})
     return metrics
+
+
+def _run_hybrid(params: dict) -> dict:
+    from repro.execution.hybrid import hybrid_depth
+    from repro.machine.sequential import SequentialMachine
+
+    alg = resolve_algorithm(params["alg"])
+    if alg is None:
+        raise ValueError("hybrid points need a bilinear algorithm")
+    n, M, seed = params["n"], params["M"], params["seed"]
+    cutoff = int(params["cutoff"])
+    leaf = str(params.get("leaf", "tiled"))
+    replay = bool(params.get("replay", True))
+    n_eff = _effective_dim(alg, n)
+    from repro.bounds.formulas import classical_sequential, fast_sequential
+
+    bound_fast = fast_sequential(n_eff, M, alg.omega0)
+    bound_classical = classical_sequential(n_eff, M)
+    base = {
+        # the weaker of the two pure floors: a conservative reference line
+        # any hybrid obeys (De Stefani's exact hybrid bound interpolates
+        # between them with the cutoff).
+        "bound": float(min(bound_fast, bound_classical)),
+        "bound_fast": float(bound_fast),
+        "bound_classical": float(bound_classical),
+        "n_eff": float(n_eff),
+        "cutoff": float(cutoff),
+        "depth": float(hybrid_depth(alg, n, M)),
+    }
+    backend = params.get("backend")
+    if backend:
+        from repro import schedule as _schedule
+
+        report = _schedule.run(
+            _schedule.seq_io_schedule(
+                alg, n, M, replay=replay, cutoff=cutoff, leaf=leaf
+            ),
+            backend=backend,
+        )
+        return {
+            "io": float(report.io),
+            "reads": int(report.reads),
+            "writes": int(report.writes),
+            "peak_fast": int(report.peak_fast),
+            "io_cost": float(report.io),
+            **base,
+        }
+    from repro.algorithms.bilinear import recursion_shape
+    from repro.execution.hybrid import execute_hybrid
+
+    rng = np.random.default_rng(seed)
+    R, K, C_cols = recursion_shape(alg, n)
+    A = rng.standard_normal((R, K))
+    B = rng.standard_normal((K, C_cols))
+    machine = SequentialMachine(M)
+    C = execute_hybrid(machine, alg, A, B, cutoff, leaf=leaf, level_replay=replay)
+    if C is not None and not np.allclose(C, A @ B):
+        raise AssertionError(f"wrong product at n={n}")
+    stats = machine.stats()
+    return {
+        "io": float(machine.io_operations),
+        "reads": int(machine.words_read),
+        "writes": int(machine.words_written),
+        "peak_fast": int(machine.peak_fast_words),
+        "io_cost": float(stats["io_cost"]),
+        **base,
+    }
 
 
 def _run_parallel_comm(params: dict) -> dict:
@@ -694,6 +806,7 @@ def _run_lru_trace(params: dict) -> dict:
 
 _EXECUTORS = {
     "seq_io": _run_seq_io,
+    "hybrid": _run_hybrid,
     "parallel_comm": _run_parallel_comm,
     "pebble_optimal": _run_pebble_optimal,
     "pebble_search": _run_pebble_search,

@@ -11,6 +11,8 @@ parallel max{·,·} crosses over), and shape needs both sides.
 * :func:`execute_recursive_bilinear` — DFS recursion of any square
   bilinear algorithm with streamed linear combinations,
   I/O = Θ((n/√M)^{ω₀}·M);
+* :func:`execute_hybrid` — fast recursion for the top ``cutoff`` levels,
+  classical ``tiled``/``resident`` leaves below (``docs/hybrid.md``);
 * :func:`execute_abmm` — Algorithm 1 on the sequential machine,
   separating transform I/O (Θ(n² log n)) from bilinear I/O (Theorem 4.1's
   "negligible" claim, measured);
@@ -34,6 +36,7 @@ from repro.execution.recursive_bilinear import (
     execute_recursive_bilinear,
     recursive_fast_matmul,
 )
+from repro.execution.hybrid import HYBRID_LEAVES, execute_hybrid, hybrid_depth
 from repro.execution.abmm_exec import abmm_machine_multiply, execute_abmm
 from repro.execution.parallel_classical import parallel_classical_summa
 from repro.execution.parallel_strassen import (
@@ -46,6 +49,9 @@ __all__ = [
     "execute_tiled",
     "execute_lru_trace",
     "execute_recursive_bilinear",
+    "execute_hybrid",
+    "hybrid_depth",
+    "HYBRID_LEAVES",
     "execute_abmm",
     "execute_parallel_bfs",
     "simulate_bfs_comm",

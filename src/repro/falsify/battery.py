@@ -14,6 +14,11 @@ Checkers under test
     Hopcroft–Kerr certificate set.
 ``bounds``
     :func:`repro.bounds.validation.shape_holds` over perturbed sweep data.
+``constants``
+    :func:`repro.bounds.constants.constant_drift_holds` — the per-point
+    constant-spread gate over the same sweep data; catches a leading
+    constant creeping with n slowly enough to evade the exponent gate
+    (the ``constant_drift`` mutant class).
 
 Semantics
 ---------
@@ -37,6 +42,7 @@ from typing import Callable, Iterable
 
 from repro.algorithms.bilinear import BilinearAlgorithm
 from repro.algorithms.brent import is_valid_algorithm
+from repro.bounds.constants import constant_drift_holds
 from repro.bounds.validation import shape_holds, shape_report
 from repro.falsify.mutants import AlgorithmMutant, SweepMutant
 from repro.lemmas.hk_check import corollary35_holds
@@ -46,6 +52,7 @@ from repro.obs.metrics import active_registry
 __all__ = [
     "CHECKER_NAMES",
     "ALGORITHM_CHECKERS",
+    "SWEEP_CHECKERS",
     "LEMMA31_MAX_T",
     "checker_applicable",
     "BatteryResult",
@@ -99,13 +106,30 @@ ALGORITHM_CHECKERS: dict[str, Callable[[BilinearAlgorithm], bool]] = {
 }
 
 #: Every checker name the kill matrix can mention.
-CHECKER_NAMES: tuple[str, ...] = ("brent", "lemma31", "corollary35", "bounds")
+CHECKER_NAMES: tuple[str, ...] = (
+    "brent",
+    "lemma31",
+    "corollary35",
+    "bounds",
+    "constants",
+)
 
 
 def _check_bounds(mut: SweepMutant, exponent_tol: float) -> bool:
     return shape_holds(
         shape_report(mut.xs, mut.measured, mut.bound), exponent_tol=exponent_tol
     )
+
+
+def _check_constants(mut: SweepMutant, exponent_tol: float) -> bool:
+    return constant_drift_holds(shape_report(mut.xs, mut.measured, mut.bound))
+
+
+#: Checkers applied to sweep mutants: name -> callable(mut, exponent_tol).
+SWEEP_CHECKERS: dict[str, Callable[[SweepMutant, float], bool]] = {
+    "bounds": _check_bounds,
+    "constants": _check_constants,
+}
 
 
 @dataclass
@@ -242,33 +266,40 @@ def run_battery(
             res.valid_total += 1
         else:
             res.invalid_total += 1
-        passed = _check_bounds(smut, exponent_tol)
-        targeted = "bounds" in smut.targets
-        matrix = res.valid_matrix if smut.valid else res.kill_matrix
-        res._bump(matrix, "bounds", smut.mutation, passed, targeted)
-        _record(reg, "falsify.checked.bounds")
-        if smut.valid and not passed:
-            res.false_alarms.append(
-                {
-                    "checker": "bounds",
-                    "mutation": smut.mutation,
-                    "base": "synthetic_sweep",
-                    "description": smut.description,
-                }
+        unknown = [t for t in smut.targets if t not in SWEEP_CHECKERS]
+        if unknown:
+            raise KeyError(
+                f"sweep mutant {smut.mutation!r} targets unknown checkers "
+                f"{unknown}"
             )
-            _record(reg, "falsify.false_alarms")
-        if not smut.valid and targeted and passed:
-            res.gaps.append(
-                {
-                    "checker": "bounds",
-                    "mutation": smut.mutation,
-                    "base": "synthetic_sweep",
-                    "description": smut.description,
-                }
-            )
-            _record(reg, "falsify.gaps")
-        if not smut.valid and not passed:
-            _record(reg, f"falsify.kill.bounds.{smut.mutation}")
+        for checker, fn in SWEEP_CHECKERS.items():
+            passed = fn(smut, exponent_tol)
+            targeted = checker in smut.targets
+            matrix = res.valid_matrix if smut.valid else res.kill_matrix
+            res._bump(matrix, checker, smut.mutation, passed, targeted)
+            _record(reg, f"falsify.checked.{checker}")
+            if smut.valid and not passed:
+                res.false_alarms.append(
+                    {
+                        "checker": checker,
+                        "mutation": smut.mutation,
+                        "base": "synthetic_sweep",
+                        "description": smut.description,
+                    }
+                )
+                _record(reg, "falsify.false_alarms")
+            if not smut.valid and targeted and passed:
+                res.gaps.append(
+                    {
+                        "checker": checker,
+                        "mutation": smut.mutation,
+                        "base": "synthetic_sweep",
+                        "description": smut.description,
+                    }
+                )
+                _record(reg, "falsify.gaps")
+            if not smut.valid and not passed:
+                _record(reg, f"falsify.kill.{checker}.{smut.mutation}")
     # materialize the headline counters even at zero, so dashboards and
     # assertions can rely on their presence after any battery run
     _record(reg, "falsify.gaps", 0)

@@ -60,6 +60,12 @@ class DifferentialProbe:
     kind: str
     params: dict
 
+    @property
+    def cutoff(self) -> int | None:
+        """Hybrid cutoff level, or ``None`` for a pure-strategy probe."""
+        c = self.params.get("cutoff")
+        return None if c is None else int(c)
+
     def label(self) -> str:
         inner = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
         return f"{self.kind}({inner})"
@@ -284,20 +290,24 @@ def localize_op_divergence(ir) -> dict | None:
     return None
 
 
-def localize_symbolic_divergence(alg, n: int, M: int) -> dict | None:
+def localize_symbolic_divergence(
+    alg, n: int, M: int, cutoff: int | None = None, leaf: str = "tiled"
+) -> dict | None:
     """Smallest problem size at which symbolic counts diverge from reference.
 
     Walks sizes 2, 4, …, n (skipping sizes the workload rejects) and
     compares the closed-form counts against the interpreted IR of the
     same spec — the smallest divergent size names the recurrence level
-    where Lemma 2.2's self-similarity assumption broke.
+    where Lemma 2.2's self-similarity assumption broke.  ``cutoff``/
+    ``leaf`` walk the hybrid closed forms instead, naming the level at
+    which the fast-recursion and classical-leaf recurrences decoupled.
     """
     from repro import schedule as _schedule
 
     s = 2
     while s <= n:
         try:
-            spec = _schedule.seq_io_schedule(alg, s, M)
+            spec = _schedule.seq_io_schedule(alg, s, M, cutoff=cutoff, leaf=leaf)
             ref = _schedule.run(spec, backend="reference").counter_view()
             sym = _schedule.run(spec, backend="symbolic").counter_view()
         except Exception:
@@ -527,15 +537,22 @@ def _run_backend_probe(probe: DifferentialProbe) -> ProbeOutcome:
     equality of counter views, with two localizers: per-op (reference's
     scalar ledger vs the vector arrays) and per-size (smallest s where
     symbolic leaves the interpreted counts).
+
+    ``cutoff`` (with optional ``leaf``) switches the seq_io workload to
+    the hybrid executor: the spec carries the cutoff into every lowering
+    and the machine column runs :func:`~repro.execution.hybrid.
+    execute_hybrid` at the same level.
     """
     from repro import schedule as _schedule
     from repro.schedule.ir import BackendUnsupported
 
     workload = probe.params.get("workload", "seq_io")
     n, M = probe.params["n"], probe.params["M"]
+    cutoff = probe.cutoff
+    leaf = probe.params.get("leaf", "tiled")
     if workload == "seq_io":
         alg = probe.params.get("alg")
-        spec = _schedule.seq_io_schedule(alg, n, M, replay=True)
+        spec = _schedule.seq_io_schedule(alg, n, M, replay=True, cutoff=cutoff, leaf=leaf)
         keys = None  # counter_view
     elif workload == "lru_trace":
         alg = None
@@ -556,9 +573,19 @@ def _run_backend_probe(probe: DifferentialProbe) -> ProbeOutcome:
         else:
             counters[backend] = {k: int(report.metrics[k]) for k in keys}
 
-    from repro.engine.runners import execute_point, lru_trace_point, seq_io_point
+    from repro.engine.runners import (
+        execute_point,
+        hybrid_point,
+        lru_trace_point,
+        seq_io_point,
+    )
 
-    if workload == "seq_io":
+    if workload == "seq_io" and cutoff is not None:
+        metrics_p, _, _ = execute_point(
+            hybrid_point(alg, n, M, cutoff, replay=True, leaf=leaf).to_dict()
+        )
+        counters["machine"] = _seq_counter_view(metrics_p)
+    elif workload == "seq_io":
         metrics_p, _, _ = execute_point(seq_io_point(alg, n, M, replay=True).to_dict())
         counters["machine"] = _seq_counter_view(metrics_p)
     else:
@@ -572,7 +599,9 @@ def _run_backend_probe(probe: DifferentialProbe) -> ProbeOutcome:
             if counters.get("reference") != counters.get("vector"):
                 divergence = localize_op_divergence(spec.lower())
             if divergence is None and counters.get("symbolic") is not None:
-                divergence = localize_symbolic_divergence(alg, n, M)
+                divergence = localize_symbolic_divergence(
+                    alg, n, M, cutoff=cutoff, leaf=leaf
+                )
         else:
             divergence = localize_row_divergence(n, M)
         divergence = divergence or {"where": "totals", "counters": counters}
@@ -673,6 +702,25 @@ def default_probes(backend: str | None = None) -> list[DifferentialProbe]:
             DifferentialProbe(
                 "backend",
                 {"workload": "seq_io", "alg": alg, "n": n, "M": M, **extra},
+            )
+        )
+    # hybrid probes: fast recursion for `cutoff` levels, classical leaves
+    # below — three cutoff levels, both leaf schemes, and the rectangular
+    # ⟨5,2,2;18⟩ zoo entry, all through every backend vs execute_hybrid
+    for alg, n, M, cutoff, leaf in (
+        ("strassen", 16, 48, 1, "tiled"),
+        ("strassen", 32, 48, 2, "tiled"),
+        ("strassen", 32, 96, 1, "resident"),
+        ("winograd", 16, 48, 3, "resident"),
+        ("laderman", 27, 64, 1, "tiled"),
+        ("grey-522-18", 125, 64, 1, "resident"),
+        ("grey-522-18", 25, 64, 1, "tiled"),
+    ):
+        probes.append(
+            DifferentialProbe(
+                "backend",
+                {"workload": "seq_io", "alg": alg, "n": n, "M": M,
+                 "cutoff": cutoff, "leaf": leaf, **extra},
             )
         )
     for n, M in ((8, 16), (16, 32)):

@@ -31,9 +31,12 @@ known-good object, tagged with the checkers that must reject it:
   positive bug, which the battery reports as loudly as a missed kill.
 
 * **Sweep mutants** perturb (xs, measured, bound) arrays for the bound-
-  validation checker: ``bound_undercut`` dips one measured point below the
+  validation checkers: ``bound_undercut`` dips one measured point below the
   Ω floor, ``exponent_drift`` replaces the measured series with a wrong
-  growth exponent.
+  growth exponent, and ``constant_drift`` lets the leading constant creep
+  with n slowly enough to stay inside the exponent gate — only the
+  ``constants`` spread checker (:func:`repro.bounds.constants.
+  constant_drift_holds`) is required to kill it.
 
 Generation is a pure function of ``(seed, count)``: mutants are drawn
 round-robin over the classes from a :class:`numpy.random.Generator`, so
@@ -95,8 +98,12 @@ VALID_TRANSFORM_CLASSES: tuple[str, ...] = (
     "ks_fold",
 )
 
-#: Sweep-data mutation classes for the bound-validation checker.
-SWEEP_MUTATION_CLASSES: tuple[str, ...] = ("bound_undercut", "exponent_drift")
+#: Sweep-data mutation classes for the bound-validation checkers.
+SWEEP_MUTATION_CLASSES: tuple[str, ...] = (
+    "bound_undercut",
+    "exponent_drift",
+    "constant_drift",
+)
 
 #: Mutation classes applied to zoo corpus bases (beyond ⟨2,2,2;7⟩).
 #: Shape-agnostic perturbations only: the HK-collision class is pinned to
@@ -477,22 +484,33 @@ def generate_sweep_mutants(count: int, seed: int = 0) -> list[SweepMutant]:
     (an under-counting execution); ``exponent_drift`` replaces the series
     with one a full exponent lower (a mis-fit).  Both must fail
     :func:`repro.bounds.validation.shape_holds`; the paired clean sweep
-    must pass it.
+    must pass it.  ``constant_drift`` multiplies the series by a slow
+    (xs/xs₀)^δ creep with δ ∈ [0.09, 0.13]: the fitted exponent moves by
+    only δ < the 0.15 gate (the ``bounds`` checker accepts), but over the
+    16× size range the per-point constant spreads by 16^δ ≥ 1.28 > the
+    1.25 spread gate — only the ``constants`` checker is required to
+    kill it.
     """
     rng = np.random.default_rng(seed)
     out: list[SweepMutant] = []
     for i in range(count):
         mclass = SWEEP_MUTATION_CLASSES[i % len(SWEEP_MUTATION_CLASSES)]
         xs, measured, bound = _clean_sweep(rng)
+        targets = ("bounds",)
         if mclass == "bound_undercut":
             j = int(rng.integers(len(xs)))
             measured = measured.copy()
             measured[j] = 0.5 * bound[j]
             desc = f"point {j} at half its floor"
-        else:  # exponent_drift
+        elif mclass == "exponent_drift":
             fitted = np.log(measured[-1] / measured[0]) / np.log(xs[-1] / xs[0])
             measured = measured[0] * (xs / xs[0]) ** (fitted - 1.0)
             desc = "measured exponent one lower than the bound's"
+        else:  # constant_drift
+            drift = float(rng.uniform(0.09, 0.13))
+            measured = measured * (xs / xs[0]) ** drift
+            targets = ("constants",)
+            desc = f"constant creeping like n^{drift:.3f}"
         out.append(
             SweepMutant(
                 xs=tuple(xs),
@@ -500,7 +518,7 @@ def generate_sweep_mutants(count: int, seed: int = 0) -> list[SweepMutant]:
                 bound=tuple(float(v) for v in bound),
                 mutation=mclass,
                 valid=False,
-                targets=("bounds",),
+                targets=targets,
                 description=desc,
             )
         )

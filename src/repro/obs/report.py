@@ -5,6 +5,9 @@ A sweep directory (anything the engine wrote a JSONL checkpoint and a
 
 * run header — code version, git SHA, host, engine config;
 * measured-vs-bound table with the fitted exponent;
+* leading constants — per-algorithm fits of c in c·n^ω₀/M^(ω₀/2−1)
+  (:mod:`repro.bounds.constants`), the Smith et al. 2n³/√M classical
+  reference line, and the hybrid cutoff-crossover table;
 * cache behaviour — engine result-cache hits/misses/corrupt, LRU
   simulator hit rate — sourced from :class:`~repro.obs.metrics.
   MetricsRegistry` snapshots, not ad-hoc dicts;
@@ -103,6 +106,100 @@ def _fit(runs: list, parameter: str) -> dict:
     return out
 
 
+def _constants(runs: list) -> dict:
+    """Leading-constant fits and the hybrid cutoff-crossover table.
+
+    Fits group the ok seq_io runs by algorithm: each group's c is fitted
+    in measured ≈ c·n_eff^ω₀/M^(ω₀/2−1) with the group's own reference
+    exponent (classical groups use ω₀ = 3 and carry Smith et al.'s
+    reference constant 2 — arXiv:1702.02017).  Hybrid-kind runs are
+    instead grouped by (n_eff, M) into the crossover table: I/O per
+    cutoff level, minimum marked.
+    """
+    from repro.bounds.constants import (
+        SMITH_CLASSICAL_CONSTANT,
+        constant_within,
+        fit_leading_constant,
+    )
+
+    groups: dict[str, dict] = {}
+    crossover: dict[tuple, dict] = {}
+    for r in runs:
+        if not r.ok or "M" not in r.params:
+            continue
+        if r.kind == "hybrid" and "cutoff" in r.params:
+            m = r.metrics
+            if "io" not in m:
+                continue
+            key = (float(m.get("n_eff", r.params.get("n", 0))), float(r.params["M"]))
+            slot = crossover.setdefault(key, {})
+            slot[int(r.params["cutoff"])] = float(m["io"])
+            continue
+        if r.kind != "seq_io" or "io" not in r.metrics:
+            continue
+        spec = r.params.get("alg")
+        if spec in (None, "classical"):
+            label, omega = "classical", 3.0
+        else:
+            try:
+                from repro.engine.runners import reference_exponent
+
+                label, omega = reference_exponent(spec)
+            except Exception:
+                continue
+        g = groups.setdefault(label, {"omega0": float(omega), "points": []})
+        g["points"].append(
+            (
+                float(r.metrics.get("n_eff", r.params.get("n", 0))),
+                float(r.params["M"]),
+                float(r.metrics["io"]),
+            )
+        )
+
+    fits = []
+    for label in sorted(groups):
+        g = groups[label]
+        try:
+            fit = fit_leading_constant(
+                [p[0] for p in g["points"]],
+                [p[1] for p in g["points"]],
+                [p[2] for p in g["points"]],
+                g["omega0"],
+            )
+        except ValueError:
+            continue
+        reference = SMITH_CLASSICAL_CONSTANT if label == "classical" else None
+        fits.append(
+            {
+                "algorithm": label,
+                "omega0": g["omega0"],
+                "points": len(g["points"]),
+                "constant": fit.constant,
+                "spread": fit.spread,
+                "reference": reference,
+                "within_tol": (
+                    constant_within(fit, reference) if reference else None
+                ),
+            }
+        )
+
+    rows = []
+    for (n_eff, M) in sorted(crossover):
+        ios = crossover[(n_eff, M)]
+        best = min(ios, key=ios.get)
+        for cutoff in sorted(ios):
+            rows.append(
+                {
+                    "n_eff": n_eff,
+                    "M": M,
+                    "cutoff": cutoff,
+                    "io": ios[cutoff],
+                    "best": cutoff == best,
+                }
+            )
+    return {"fits": fits, "crossover": rows}
+
+
 def _rate(hits: float, misses: float) -> float | None:
     total = hits + misses
     return (hits / total) if total else None
@@ -199,7 +296,10 @@ def build_report(sweep_dir: str | Path, top: int = 5) -> dict:
             "cached": sum(1 for r in runs if r.ok and r.cached),
             "failed": len(failures),
         },
-        "fit": _fit(runs, parameter),
+        # hybrid runs sweep the *cutoff* at fixed n, so they would corrupt
+        # an exponent-in-n fit; their home is the Constants section.
+        "fit": _fit([r for r in runs if r.kind != "hybrid"], parameter),
+        "constants": _constants(runs),
         "cache": {
             "hits": counters.get("engine.cache.hits", 0),
             "misses": counters.get("engine.cache.misses", 0),
@@ -319,6 +419,56 @@ def render_report(report: dict) -> str:
             f"{_fmt(fit['reference_omega0'])})"
         )
     lines += ["", f"- fitted exponent: **{_fmt(exp)}**{note}", ""]
+
+    constants = report.get("constants") or {}
+    if constants.get("fits") or constants.get("crossover"):
+        lines += ["## Constants", ""]
+        if constants.get("fits"):
+            rows = [
+                [
+                    f["algorithm"],
+                    _fmt(f["omega0"]),
+                    _fmt(f["points"]),
+                    _fmt(f["constant"]),
+                    _fmt(f["spread"]),
+                    _fmt(f["reference"]),
+                    _fmt(f["within_tol"]),
+                ]
+                for f in constants["fits"]
+            ]
+            lines.append("```")
+            lines.append(
+                text_table(
+                    ["algorithm", "omega0", "points", "fitted c", "spread",
+                     "reference", "within 15%"],
+                    rows,
+                )
+            )
+            lines.append("```")
+            lines.append("")
+        lines.append(
+            "- classical reference: Smith et al. 2n^3/sqrt(M) "
+            "(arXiv:1702.02017, c = 2)"
+        )
+        lines.append("")
+        if constants.get("crossover"):
+            lines += ["### Hybrid crossover (I/O per cutoff)", ""]
+            rows = [
+                [
+                    _fmt(r["n_eff"]),
+                    _fmt(r["M"]),
+                    _fmt(r["cutoff"]),
+                    _fmt(r["io"]),
+                    "*" if r["best"] else "",
+                ]
+                for r in constants["crossover"]
+            ]
+            lines.append("```")
+            lines.append(
+                text_table(["n_eff", "M", "cutoff", "io", "best"], rows)
+            )
+            lines.append("```")
+            lines.append("")
 
     cache = report["cache"]
     lru = report["lru"]

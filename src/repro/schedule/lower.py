@@ -17,6 +17,9 @@ The mirrors:
   linear combinations; level-replay emits REPLAY expansion records);
 * ``seq_io`` / variant ``tiled`` — :func:`repro.execution.
   classical_tiled.execute_tiled` (blocked classical, C-tile replay);
+* ``seq_io`` / variant ``hybrid`` — :func:`repro.execution.hybrid.
+  execute_hybrid` (fast recursion above the cutoff level, classical
+  tiled / resident-C leaves below — De Stefani's hybrid algorithms);
 * ``seq_io`` / variant ``abmm`` — :func:`repro.execution.abmm_exec.
   execute_abmm` (basis transforms + the shared bilinear recursion);
 * ``lru_trace`` — one TRACE op per i-row of the naive matmul trace;
@@ -153,6 +156,127 @@ def _lower_mult(
         )
 
 
+def _lower_leaf_tiled(
+    ir: ScheduleIR, shape: tuple[int, int, int], M: int, level: int, replay: bool
+) -> None:
+    """Mirror of ``hybrid._tiled_leaf`` (rectangular blocked classical)."""
+    from repro.execution.classical_tiled import TILE_FOOTPRINT
+    from repro.execution.hybrid import largest_leaf_tile
+
+    R, K, C = shape
+    b = largest_leaf_tile(shape, M)
+    if TILE_FOOTPRINT * b * b > M:
+        raise ValueError(f"invalid tile size {b} for shape={shape}, M={M}")
+    qr, qk, qc = R // b, K // b, C // b
+    w = b * b
+    ir.emit(OpKind.ALLOC, "Pt", w, level)
+    pass_span: tuple[int, int] | None = None
+    for i in range(qr):
+        for j in range(qc):
+            if replay and pass_span is not None:
+                ir.emit(OpKind.REPLAY, "Ct", 0, level, index=i * qc + j,
+                        span=pass_span, repeats=1)
+                continue
+            i0 = len(ir.ops)
+            ir.emit(OpKind.ALLOC, "Ct", w, level, index=i * qc + j)
+            for _k in range(qk):
+                ir.emit(OpKind.LOAD, "At", w, level)
+                ir.emit(OpKind.LOAD, "Bt", w, level)
+                ir.emit(OpKind.COMPUTE, "matmul", 0, level)
+                ir.emit(OpKind.FREE, "At", w, level)
+                ir.emit(OpKind.FREE, "Bt", w, level)
+            ir.emit(OpKind.STORE, "Ct", w, level, index=i * qc + j)
+            ir.emit(OpKind.FREE, "Ct", w, level)
+            pass_span = (i0, len(ir.ops))
+    ir.emit(OpKind.FREE, "Pt", w, level)
+
+
+def _lower_leaf_resident(
+    ir: ScheduleIR, shape: tuple[int, int, int], M: int, level: int, replay: bool
+) -> None:
+    """Mirror of ``hybrid._resident_leaf`` (Smith et al. resident-C)."""
+    from repro.execution.hybrid import resident_block
+
+    R, K, C = shape
+    b, cw = resident_block(R, C, M)
+    pass_span: tuple[int, int] | None = None
+    for i in range(R // b):
+        for j in range(C // b):
+            if replay and pass_span is not None:
+                ir.emit(OpKind.REPLAY, "Cb", 0, level, index=i * (C // b) + j,
+                        span=pass_span, repeats=1)
+                continue
+            i0 = len(ir.ops)
+            ir.emit(OpKind.ALLOC, "Cb", b * b, level, index=i * (C // b) + j)
+            for _k in range(K):
+                ir.emit(OpKind.LOAD, "Ar", b, level)
+                c0 = 0
+                while c0 < b:
+                    w = min(cw, b - c0)
+                    ir.emit(OpKind.LOAD, "Br", w, level)
+                    ir.emit(OpKind.ALLOC, "Pr", b * w, level)
+                    ir.emit(OpKind.COMPUTE, "rank1", 0, level)
+                    ir.emit(OpKind.FREE, "Pr", b * w, level)
+                    ir.emit(OpKind.FREE, "Br", w, level)
+                    c0 += w
+                ir.emit(OpKind.FREE, "Ar", b, level)
+            ir.emit(OpKind.STORE, "Cb", b * b, level, index=i * (C // b) + j)
+            ir.emit(OpKind.FREE, "Cb", b * b, level)
+            pass_span = (i0, len(ir.ops))
+
+
+def _lower_hybrid(
+    ir: ScheduleIR,
+    alg,
+    shape: tuple[int, int, int],
+    M: int,
+    cutoff: int,
+    base_size: int,
+    level: int,
+    replay: bool,
+    leaf: str,
+) -> None:
+    """Mirror of ``hybrid._hybrid_mult``: the DFS with classical leaves.
+
+    Identical to :func:`_lower_mult` above the cutoff (including the
+    cache-fit base case, which takes precedence); at ``level == cutoff``
+    the classical leaf lowering is emitted instead of recursing.
+    """
+    from repro.execution.recursive_bilinear import _is_base, _split_shape
+
+    R, K, C = shape
+    if _is_base(shape, M, base_size):
+        ir.emit(OpKind.LOAD, "_a", R * K, level)
+        ir.emit(OpKind.LOAD, "_b", K * C, level)
+        ir.emit(OpKind.ALLOC, "_c", R * C, level)
+        ir.emit(OpKind.COMPUTE, "matmul", 0, level)
+        ir.emit(OpKind.STORE, "_c", R * C, level)
+        ir.emit(OpKind.FREE, "_a", R * K, level)
+        ir.emit(OpKind.FREE, "_b", K * C, level)
+        ir.emit(OpKind.FREE, "_c", R * C, level)
+        return
+    if level >= cutoff:
+        lower_leaf = _lower_leaf_tiled if leaf == "tiled" else _lower_leaf_resident
+        lower_leaf(ir, shape, M, level, replay)
+        return
+    hr, hk, hc = _split_shape(alg, shape)
+    sub_span: tuple[int, int] | None = None
+    for l in range(alg.t):
+        _lower_stream(ir, int(np.count_nonzero(alg.U[l])), (hr, hk), M, level)
+        _lower_stream(ir, int(np.count_nonzero(alg.V[l])), (hk, hc), M, level)
+        if replay and sub_span is not None:
+            ir.emit(OpKind.REPLAY, f"M{l}", 0, level, index=l,
+                    span=sub_span, repeats=1)
+        else:
+            i0 = len(ir.ops)
+            _lower_hybrid(ir, alg, (hr, hk, hc), M, cutoff, base_size,
+                          level + 1, replay, leaf)
+            if replay:
+                sub_span = (i0, len(ir.ops))
+    for q in range(alg.n * alg.p):
+        _lower_stream(ir, int(np.count_nonzero(alg.W[q])), (hr, hc), M, level)
+
+
 def _lower_tiled(ir: ScheduleIR, n: int, M: int, replay: bool) -> None:
     """Mirror of ``classical_tiled.execute_tiled`` (blocked classical)."""
     from repro.execution.classical_tiled import TILE_FOOTPRINT, largest_tile
@@ -251,6 +375,14 @@ def lower_seq_io(spec: ScheduleSpec) -> ScheduleIR:
         shape = recursion_shape(alg, n)
         bs = max(shape) if base_size is None else base_size
         _lower_mult(ir, alg, shape, M, bs, 0, replay)
+    elif variant == "hybrid":
+        from repro.algorithms.bilinear import recursion_shape
+
+        alg = spec.payload["alg"]
+        shape = recursion_shape(alg, n)
+        bs = max(shape) if base_size is None else base_size
+        _lower_hybrid(ir, alg, shape, M, int(p["cutoff"]), bs, 0, replay,
+                      p.get("leaf", "tiled"))
     else:
         raise KeyError(f"unknown seq_io variant {variant!r}")
     return ir

@@ -89,11 +89,20 @@ def seq_io_schedule(
     M: int,
     replay: bool = True,
     base_size: int | None = None,
+    cutoff: int | None = None,
+    leaf: str = "tiled",
 ) -> ScheduleSpec:
     """Sequential out-of-core matmul I/O: alg None = tiled classical,
     "karstadt_schwartz" / an AlternativeBasisAlgorithm = ABMM, anything
     else (including "classical", the 2×2 classical base case) = recursive
     bilinear DFS — the same vocabulary as the engine's ``seq_io`` points.
+
+    ``cutoff`` (levels) turns a recursive workload into the *hybrid*
+    variant — fast recursion above the cutoff, classical ``leaf``
+    ("tiled" or "resident") below, mirroring
+    :func:`repro.execution.hybrid.execute_hybrid`.  The cutoff params are
+    only added when a cutoff is given, so pre-hybrid cache keys and spec
+    labels are unchanged.
 
     ``replay=True`` lowers one isomorphic sub-problem per level plus
     REPLAY expansion records (O(levels·t) ops); ``replay=False`` lowers
@@ -103,18 +112,31 @@ def seq_io_schedule(
     alg_name = None if live is None else getattr(
         live, "name", getattr(getattr(live, "core", None), "name", str(alg))
     )
-    return ScheduleSpec(
-        kind="seq_io",
-        params={
-            "alg": alg if isinstance(alg, (str, type(None))) else alg_name,
-            "variant": variant,
-            "n": int(n),
-            "M": int(M),
-            "replay": bool(replay),
-            "base_size": None if base_size is None else int(base_size),
-        },
-        payload={"alg": live},
-    )
+    params = {
+        "alg": alg if isinstance(alg, (str, type(None))) else alg_name,
+        "variant": variant,
+        "n": int(n),
+        "M": int(M),
+        "replay": bool(replay),
+        "base_size": None if base_size is None else int(base_size),
+    }
+    if cutoff is not None:
+        if variant != "recursive":
+            raise ValueError(
+                f"hybrid cutoff requires a bilinear algorithm, not variant {variant!r}"
+            )
+        from repro.execution.hybrid import HYBRID_LEAVES
+
+        if leaf not in HYBRID_LEAVES:
+            raise ValueError(
+                f"unknown hybrid leaf {leaf!r} (choose from {HYBRID_LEAVES})"
+            )
+        if int(cutoff) < 0:
+            raise ValueError(f"cutoff must be non-negative, got {cutoff}")
+        params["variant"] = "hybrid"
+        params["cutoff"] = int(cutoff)
+        params["leaf"] = str(leaf)
+    return ScheduleSpec(kind="seq_io", params=params, payload={"alg": live})
 
 
 def lru_trace_schedule(
@@ -173,6 +195,8 @@ def spec_from_params(kind: str, params: dict) -> ScheduleSpec:
             params["M"],
             replay=bool(params.get("replay", True)),
             base_size=params.get("base_size"),
+            cutoff=params.get("cutoff"),
+            leaf=params.get("leaf", "tiled"),
         )
     if kind == "lru_trace":
         return lru_trace_schedule(

@@ -19,6 +19,10 @@ the ``repro falsify`` backend probes):
     chunk(h) = min(max(1, (M//2)//h), h) · (h if M//2 ≥ h else M//2)
 * tiled classical, tile b = largest_tile(n, M), q = n/b:
     reads 2q³b², writes q²b², peak 4b²
+* hybrid (fast above cutoff ℓ, classical leaves below): the recursive
+  recurrence for ℓ levels, then per-leaf classical counts — tiled leaf
+  (2qᵣq_cq_k b², qᵣq_c b², 4b²) or resident-C leaf (2RKC/b, RC,
+  b² + b + cw(1+b)) — memoized on (shape, remaining levels)
 * ABMM: per transform level s (n down to s₀): (n/s)²·Σ_q₂ nnz(row q₂)·(s/2)²
   reads and n² writes, plus the bilinear recurrence at cutoff s₀
 * LRU trace: the exact periodic-state extrapolation — rows are simulated
@@ -96,6 +100,79 @@ def _mult_costs(
     return res
 
 
+def _leaf_costs(leaf: str, shape: tuple[int, int, int], M: int) -> tuple[int, int, int]:
+    """(reads, writes, peak) of one classical hybrid leaf on (R, K, C)."""
+    R, K, C = shape
+    if leaf == "tiled":
+        from repro.execution.classical_tiled import TILE_FOOTPRINT
+        from repro.execution.hybrid import largest_leaf_tile
+
+        b = largest_leaf_tile(shape, M)
+        if TILE_FOOTPRINT * b * b > M:
+            raise ValueError(f"invalid tile size {b} for shape={shape}, M={M}")
+        qr, qk, qc = R // b, K // b, C // b
+        return 2 * qr * qc * qk * b * b, qr * qc * b * b, 4 * b * b
+    if leaf == "resident":
+        from repro.execution.hybrid import resident_block
+
+        b, cw = resident_block(R, C, M)
+        w = min(cw, b)
+        reads = 2 * (R // b) * (C // b) * K * b
+        return reads, (R // b) * (C // b) * b * b, b * b + b + w * (1 + b)
+    raise KeyError(f"unknown hybrid leaf {leaf!r}")
+
+
+def _hybrid_costs(
+    alg,
+    shape: tuple[int, int, int],
+    M: int,
+    cutoff: int,
+    base_size: int,
+    leaf: str,
+    memo: dict,
+) -> tuple[int, int, int]:
+    """Hybrid closed form, memoized on (shape, remaining cutoff levels).
+
+    Above the cutoff the recurrence is :func:`_mult_costs`' (streams +
+    t isomorphic sub-problems); at the cutoff the classical leaf's counts
+    are charged; the cache-fit base case takes precedence throughout,
+    mirroring ``hybrid._hybrid_mult`` exactly.
+    """
+    from repro.execution.recursive_bilinear import _is_base, _split_shape
+
+    key = (shape, max(int(cutoff), 0))
+    if key in memo:
+        return memo[key]
+    R, K, C = shape
+    if _is_base(shape, M, base_size):
+        res = (R * K + K * C, R * C, R * K + K * C + R * C)
+    elif cutoff <= 0:
+        res = _leaf_costs(leaf, shape, M)
+    else:
+        hr, hk, hc = _split_shape(alg, shape)
+        reads = writes = peak = 0
+        for l in range(alg.t):
+            for mat, blk in ((alg.U, (hr, hk)), (alg.V, (hk, hc))):
+                sr, sw, sp = _stream_costs(int(np.count_nonzero(mat[l])), blk, M)
+                reads += sr
+                writes += sw
+                peak = max(peak, sp)
+        sub_r, sub_w, sub_p = _hybrid_costs(
+            alg, (hr, hk, hc), M, cutoff - 1, base_size, leaf, memo
+        )
+        reads += alg.t * sub_r
+        writes += alg.t * sub_w
+        peak = max(peak, sub_p)
+        for q in range(alg.n * alg.p):
+            sr, sw, sp = _stream_costs(int(np.count_nonzero(alg.W[q])), (hr, hc), M)
+            reads += sr
+            writes += sw
+            peak = max(peak, sp)
+        res = (reads, writes, peak)
+    memo[key] = res
+    return res
+
+
 def _tiled_costs(n: int, M: int) -> tuple[int, int, int]:
     from repro.execution.classical_tiled import TILE_FOOTPRINT, largest_tile
 
@@ -139,6 +216,18 @@ def _seq_io(spec: ScheduleSpec) -> dict:
         shape = recursion_shape(alg, n)
         reads, writes, peak = _mult_costs(
             alg, shape, M, max(shape) if base_size is None else int(base_size), {}
+        )
+        return {"reads": reads, "writes": writes, "io": reads + writes,
+                "peak_fast": peak}
+    if variant == "hybrid":
+        from repro.algorithms.bilinear import recursion_shape
+
+        alg = spec.payload["alg"]
+        shape = recursion_shape(alg, n)
+        reads, writes, peak = _hybrid_costs(
+            alg, shape, M, int(p["cutoff"]),
+            max(shape) if base_size is None else int(base_size),
+            p.get("leaf", "tiled"), {},
         )
         return {"reads": reads, "writes": writes, "io": reads + writes,
                 "peak_fast": peak}

@@ -17,6 +17,8 @@ from repro.zoo.compose import (
 )
 from repro.zoo.loader import (
     CORPUS_SCHEMA,
+    DEFAULT_SWEEP_TOLERANCE,
+    SWEEP_EXPONENT_TOLERANCES,
     CorpusEntry,
     CorpusValidationError,
     corpus_dir,
@@ -24,11 +26,14 @@ from repro.zoo.loader import (
     load_algorithm,
     load_entry,
     omega0_table,
+    sweep_tolerance,
     validate_corpus,
 )
 
 __all__ = [
     "CORPUS_SCHEMA",
+    "DEFAULT_SWEEP_TOLERANCE",
+    "SWEEP_EXPONENT_TOLERANCES",
     "CorpusEntry",
     "CorpusValidationError",
     "corpus_dir",
@@ -36,6 +41,7 @@ __all__ = [
     "load_algorithm",
     "load_entry",
     "omega0_table",
+    "sweep_tolerance",
     "validate_corpus",
     "cyclic_rotation",
     "tensor_product",

@@ -1,0 +1,85 @@
+"""Leading-constant fits (repro.bounds.constants): the exponent-blind axis."""
+
+import math
+
+import pytest
+
+from repro.bounds import (
+    CONSTANT_SPREAD_TOL,
+    SMITH_CLASSICAL_CONSTANT,
+    constant_drift_holds,
+    constant_within,
+    fit_leading_constant,
+    io_model,
+    smith_classical_reference,
+)
+from repro.bounds.validation import shape_report
+
+
+class TestModel:
+    def test_io_model_classical_shape(self):
+        # ω₀ = 3 → n³/√M
+        assert io_model(64, 16, 3.0) == pytest.approx(64**3 / 4.0)
+
+    def test_smith_reference_line(self):
+        assert smith_classical_reference(64, 16) == pytest.approx(
+            2 * 64**3 / 4.0
+        )
+        assert SMITH_CLASSICAL_CONSTANT == 2.0
+
+
+class TestFit:
+    def test_recovers_planted_constant(self):
+        ns, M, c = [64, 128, 256], 48, 3.7
+        measured = [c * io_model(n, M, 3.0) for n in ns]
+        fit = fit_leading_constant(ns, M, measured, 3.0)
+        assert fit.constant == pytest.approx(c)
+        assert fit.spread == pytest.approx(1.0)
+        assert constant_within(fit, c)
+
+    def test_per_point_ms(self):
+        ns, Ms = [64, 128], [48, 192]
+        measured = [2.0 * io_model(n, m, 3.0) for n, m in zip(ns, Ms)]
+        fit = fit_leading_constant(ns, Ms, measured, 3.0)
+        assert fit.constant == pytest.approx(2.0)
+
+    def test_constant_within_is_relative(self):
+        ns, M = [64, 128], 48
+        fit = fit_leading_constant(
+            ns, M, [2.29 * io_model(n, M, 3.0) for n in ns], 3.0
+        )
+        assert constant_within(fit, 2.0, tol=0.15)
+        assert not constant_within(fit, 2.0, tol=0.10)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fit_leading_constant([64, 128], [48], [1.0, 2.0], 3.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            fit_leading_constant([64], 48, [0.0], 3.0)
+
+
+class TestDriftChecker:
+    def test_stable_sweep_holds(self):
+        xs = [16.0, 32.0, 64.0, 128.0]
+        bound = [x**3 for x in xs]
+        measured = [4.0 * b for b in bound]
+        assert constant_drift_holds(shape_report(xs, measured, bound))
+
+    def test_creeping_constant_caught_below_exponent_gate(self):
+        """A constant drifting like n^0.1 over 16× moves the exponent by
+        only 0.1 (inside the 0.15 gate) but spreads 16^0.1 ≈ 1.32 > 1.25
+        — the regime the checker exists for (constant_drift mutants)."""
+        xs = [16.0, 32.0, 64.0, 128.0, 256.0]
+        bound = [x**3 for x in xs]
+        measured = [
+            4.0 * b * (x / xs[0]) ** 0.1 for x, b in zip(xs, bound)
+        ]
+        rep = shape_report(xs, measured, bound)
+        assert rep.exponent_error <= 0.15  # the bounds checker is blind
+        assert not constant_drift_holds(rep)  # this one is not
+        assert rep.constant_factor_spread > CONSTANT_SPREAD_TOL
+        assert math.isclose(
+            rep.constant_factor_spread, 16.0**0.1, rel_tol=1e-6
+        )

@@ -1,0 +1,68 @@
+"""Recursive CDAGs with a classical cutoff (build_recursive_cdag(cutoff=...))."""
+
+import pytest
+
+from repro.cdag import build_recursive_cdag
+from repro.pebbling.game import validate_schedule
+from repro.pebbling.heuristics import topological_schedule
+from repro.zoo import load_algorithm
+
+
+class TestMulCounts:
+    @pytest.mark.parametrize("cutoff,muls", [(0, 64), (1, 56), (2, 49)])
+    def test_strassen_n4_mul_counts(self, strassen_alg, cutoff, muls):
+        """n=4: pure classical 4³ = 64, one fast level 7·2³ = 56, two
+        fast levels 7² = 49 (the pure-fast CDAG)."""
+        H = build_recursive_cdag(strassen_alg, 4, cutoff=cutoff)
+        assert len(H.mult_vertices) == muls
+
+    def test_rectangular_zoo_entry(self):
+        """⟨5,2,2;18⟩ at n=25, one fast level: 18 classical (5,2,2) leaves
+        of 5·2·2 = 20 muls each."""
+        alg = load_algorithm("grey-522-18")
+        H = build_recursive_cdag(alg, 25, cutoff=1)
+        assert len(H.mult_vertices) == 360
+
+
+class TestStructure:
+    def test_name_records_cutoff(self, strassen_alg):
+        H = build_recursive_cdag(strassen_alg, 4, cutoff=1)
+        assert "-cut1" in H.cdag.name
+
+    def test_no_cutoff_name_unchanged(self, strassen_alg):
+        assert "-cut" not in build_recursive_cdag(strassen_alg, 4).cdag.name
+
+    def test_divisibility_only_down_to_cutoff(self, strassen_alg):
+        """n=12 is illegal for a pure ⟨2,2,2⟩ recursion but fine when the
+        classical leaves take over after two halvings (12 → 6 → 3)."""
+        with pytest.raises(ValueError):
+            build_recursive_cdag(strassen_alg, 12)
+        H = build_recursive_cdag(strassen_alg, 12, cutoff=2)
+        assert H.c_outputs  # built fine
+
+    def test_insufficient_divisibility_rejected(self, strassen_alg):
+        with pytest.raises(ValueError):
+            build_recursive_cdag(strassen_alg, 12, cutoff=3)  # 2³ ∤ 12
+
+    def test_negative_cutoff_rejected(self, strassen_alg):
+        with pytest.raises(ValueError):
+            build_recursive_cdag(strassen_alg, 4, cutoff=-1)
+
+    def test_tree_style_supported(self, strassen_alg):
+        H = build_recursive_cdag(strassen_alg, 4, style="tree", cutoff=1)
+        assert len(H.mult_vertices) == 56
+
+    def test_classical_muls_registered_as_size1_subproblems(self, strassen_alg):
+        H = build_recursive_cdag(strassen_alg, 4, cutoff=1)
+        # every classical mul is a size-1 subproblem with contiguous span
+        assert len(H.sub_inputs[1]) == 56
+        for lo, hi in H.sub_spans[1]:
+            assert hi > lo
+
+
+class TestPebblable:
+    def test_topological_schedule_validates(self, strassen_alg):
+        H = build_recursive_cdag(strassen_alg, 4, cutoff=1)
+        sched = topological_schedule(H.cdag, M=8)
+        stats = validate_schedule(sched, 8)
+        assert stats["io"] > 0

@@ -1,0 +1,67 @@
+"""ISSUE 10 falsification: hybrid backend probes and the constant_drift
+mutant / ``constants`` checker pairing (the exponent checker's blind spot)."""
+
+from repro.falsify.battery import SWEEP_CHECKERS, CHECKER_NAMES, run_battery
+from repro.falsify.differential import (
+    DifferentialProbe,
+    default_probes,
+    run_differential,
+)
+from repro.falsify.mutants import (
+    SWEEP_MUTATION_CLASSES,
+    generate_sweep_mutants,
+)
+
+
+class TestHybridProbes:
+    def test_default_grid_carries_hybrid_probes(self):
+        """≥6 hybrid probes at ≥3 distinct cutoffs, both leaves, and at
+        least one rectangular zoo entry."""
+        hybrid = [p for p in default_probes()
+                  if p.kind == "backend" and p.cutoff is not None]
+        assert len(hybrid) >= 6
+        assert len({p.cutoff for p in hybrid}) >= 3
+        assert {p.params["leaf"] for p in hybrid} == {"tiled", "resident"}
+        assert any(p.params["alg"] == "grey-522-18" for p in hybrid)
+
+    def test_hybrid_probes_agree_across_all_columns(self):
+        """Reference, vector, symbolic, and the physical machine report
+        word-identical counters on every hybrid probe."""
+        probes = [p for p in default_probes()
+                  if p.kind == "backend" and p.cutoff is not None]
+        rep = run_differential(probes)
+        assert rep.ok, [o.divergence for o in rep.divergent]
+        for o in rep.outcomes:
+            assert len(o.counters) >= 4  # three backends + machine
+
+    def test_cutoff_property_defaults_to_none(self):
+        p = DifferentialProbe("backend", {"workload": "seq_io",
+                                          "alg": "strassen", "n": 8, "M": 48})
+        assert p.cutoff is None
+
+
+class TestConstantDriftKillMatrix:
+    def test_constant_drift_class_registered(self):
+        assert "constant_drift" in SWEEP_MUTATION_CLASSES
+        assert "constants" in CHECKER_NAMES
+        assert set(SWEEP_CHECKERS) == {"bounds", "constants"}
+
+    def test_kill_matrix_row(self):
+        """Every constant_drift mutant survives the exponent-only bounds
+        checker (the designed blind spot) and dies to the constants
+        checker — targeted kill rate stays 1.0 with zero false alarms."""
+        sweeps = generate_sweep_mutants(30, seed=3)
+        drifts = [m for m in sweeps if m.mutation == "constant_drift"]
+        assert drifts, "seed 3 generated no constant_drift mutants"
+        res = run_battery([], sweeps)
+        assert res.ok and res.targeted_kill_rate == 1.0
+        assert res.false_alarms == [] and res.gaps == []
+        row = res.kill_matrix["constants"]["constant_drift"]
+        assert row["targeted_killed"] == row["targeted"] == len(drifts)
+        blind = res.kill_matrix["bounds"]["constant_drift"]
+        assert blind["killed"] == 0  # the blind spot, demonstrated
+        assert blind["survived"] == len(drifts)
+
+    def test_controls_pass_both_sweep_checkers(self):
+        res = run_battery([], generate_sweep_mutants(12, seed=1))
+        assert res.false_alarms == []

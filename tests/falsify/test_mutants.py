@@ -72,7 +72,12 @@ class TestGroundTruth:
         assert len(invalid) == 6 and len(valid) == 6
         assert {s.mutation for s in invalid} == set(SWEEP_MUTATION_CLASSES)
         for s in invalid:
-            assert s.targets == ("bounds",)
+            if s.mutation == "constant_drift":
+                # drifts evade the exponent gate by construction; only
+                # the constants checker is on the hook for them
+                assert s.targets == ("constants",)
+            else:
+                assert s.targets == ("bounds",)
 
 
 class TestMutantInvariants:

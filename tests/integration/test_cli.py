@@ -119,9 +119,11 @@ class TestZooCLI:
 
     def test_zoo_sweep_rectangular_uses_effective_dim(self, capsys):
         """Rectangular ⟨5,2,2⟩ sweeps fit against (R·K·C)^{1/3}, not the
-        raw A-side (which would measure log₅ 18 ≈ 1.8)."""
+        raw A-side (which would measure log₅ 18 ≈ 1.8).  Default grid:
+        a 3-point one overshoots the entry's 0.08 gate by design
+        (tests/integration/test_cli_hybrid.py)."""
         assert main(
-            ["zoo", "sweep", "--alg", "grey-522-18", "--json", "--points", "3"]
+            ["zoo", "sweep", "--alg", "grey-522-18", "--json"]
         ) == 0
         payload = json.loads(capsys.readouterr().out)
         xs = [p["x"] for p in payload["points"]]

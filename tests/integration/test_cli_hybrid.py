@@ -1,0 +1,80 @@
+"""CLI integration: sweep --hybrid-cutoff, zoo sweep --hybrid, and the
+per-algorithm tolerance default."""
+
+import json
+
+from repro.cli import main
+
+
+class TestSweepHybrid:
+    def test_hybrid_cutoff_sweep(self, capsys):
+        assert main(["sweep", "16", "32", "--M", "48",
+                     "--hybrid-cutoff", "1", "--backend", "symbolic"]) == 0
+        out = capsys.readouterr().out
+        assert "fitted exponent" in out
+
+    def test_hybrid_json_records_cutoff_and_leaf(self, capsys):
+        assert main(["sweep", "16", "--M", "48", "--hybrid-cutoff", "2",
+                     "--leaf", "resident", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["hybrid_cutoff"] == 2
+        assert payload["leaf"] == "resident"
+
+    def test_classical_rejected_with_cutoff(self, capsys):
+        assert main(["sweep", "16", "--M", "48", "--algorithm", "classical",
+                     "--hybrid-cutoff", "1"]) == 2
+        assert "bilinear" in capsys.readouterr().err
+
+    def test_plain_sweep_unaffected(self, capsys):
+        assert main(["sweep", "16", "32", "--M", "48"]) == 0
+        payload = capsys.readouterr().out
+        assert "hybrid" not in payload
+
+
+class TestZooSweepHybrid:
+    def test_cutoff_sweep_table_marks_best(self, capsys):
+        assert main(["zoo", "sweep", "--alg", "strassen", "--hybrid",
+                     "--M", "48", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "hybrid cutoff sweep" in out
+        assert "best cutoff:" in out
+
+    def test_cutoff_sweep_json(self, capsys):
+        assert main(["zoo", "sweep", "--alg", "strassen", "--hybrid",
+                     "--M", "48", "--leaf", "resident", "32", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["leaf"] == "resident"
+        assert payload["depth"] >= 1
+        rows = payload["cutoffs"]
+        assert [r["cutoff"] for r in rows] == list(range(payload["depth"] + 1))
+        assert sum(1 for r in rows if r["best"]) == 1
+
+
+class TestPerAlgorithmTolerance:
+    def test_default_tolerance_comes_from_table(self, capsys):
+        assert main(["zoo", "sweep", "--alg", "laderman", "--points", "3",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tolerance"] == 0.03
+        assert payload["tolerance_source"] == "per-algorithm"
+
+    def test_explicit_tolerance_wins(self, capsys):
+        assert main(["zoo", "sweep", "--alg", "laderman", "--points", "3",
+                     "--tolerance", "0.5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tolerance"] == 0.5
+        assert payload["tolerance_source"] == "cli"
+
+    def test_grey_522_18_shallow_grid_now_fails(self, capsys):
+        """The 3-point grid's 0.096 overshoot passed the old flat 0.15
+        gate; the measured 0.08 gate rejects it (CI runs --points 4)."""
+        assert main(["zoo", "sweep", "--alg", "grey-522-18",
+                     "--points", "3", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert not payload["within_tolerance"]
+        assert payload["exponent_diff"] > 0.08
+
+    def test_grey_522_18_default_grid_passes(self, capsys):
+        assert main(["zoo", "sweep", "--alg", "grey-522-18", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["within_tolerance"]

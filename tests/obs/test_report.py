@@ -16,8 +16,10 @@ def make_fixture_sweep(sweep_dir: Path) -> None:
     """A hand-built, fully deterministic sweep directory.
 
     Two ok seq_io points (n=8 cached, n=16 executed), one executed point
-    carrying LRU simulator metrics, and one permanent failure — enough to
-    exercise every report section with fixed numbers.
+    carrying LRU simulator metrics, one permanent failure, and a hybrid
+    cutoff sweep (ℓ = 0, 1, 2 at n=16, M=48, minimum at ℓ=1) — enough to
+    exercise every report section, including Constants, with fixed
+    numbers.
     """
     sweep_dir.mkdir(parents=True, exist_ok=True)
     runs = [
@@ -47,6 +49,27 @@ def make_fixture_sweep(sweep_dir: Path) -> None:
             "metrics": {}, "cached": False, "wall_time_s": 0.0,
             "status": "error", "trace": {},
             "error": {"type": "ValueError", "message": "boom", "attempts": 2},
+        },
+        {
+            "key": "bbbb000000000001", "kind": "hybrid",
+            "params": {"alg": "strassen", "n": 16, "M": 48, "cutoff": 0,
+                       "leaf": "tiled"},
+            "metrics": {"io": 2048.0, "bound": 128.0, "n_eff": 16.0},
+            "cached": False, "wall_time_s": 0.03, "status": "ok", "trace": {},
+        },
+        {
+            "key": "bbbb000000000002", "kind": "hybrid",
+            "params": {"alg": "strassen", "n": 16, "M": 48, "cutoff": 1,
+                       "leaf": "tiled"},
+            "metrics": {"io": 1408.0, "bound": 128.0, "n_eff": 16.0},
+            "cached": False, "wall_time_s": 0.02, "status": "ok", "trace": {},
+        },
+        {
+            "key": "bbbb000000000003", "kind": "hybrid",
+            "params": {"alg": "strassen", "n": 16, "M": 48, "cutoff": 2,
+                       "leaf": "tiled"},
+            "metrics": {"io": 1664.0, "bound": 128.0, "n_eff": 16.0},
+            "cached": False, "wall_time_s": 0.01, "status": "ok", "trace": {},
         },
     ]
     with (sweep_dir / "results.jsonl").open("w") as fh:
@@ -88,9 +111,11 @@ class TestBuildReport:
     def test_fixture_report_fields(self, tmp_path):
         make_fixture_sweep(tmp_path)
         report = build_report(tmp_path)
-        assert report["runs"] == {"total": 3, "ok": 2, "cached": 1, "failed": 1}
-        # exponent of io ~ n^3 between (8, 64) and (16, 512)
+        assert report["runs"] == {"total": 6, "ok": 5, "cached": 1, "failed": 1}
+        # exponent of io ~ n^3 between (8, 64) and (16, 512); the hybrid
+        # cutoff sweep is excluded from the exponent fit by design
         assert report["fit"]["exponent"] == pytest.approx(3.0)
+        assert report["fit"]["fitted_points"] == 2
         assert report["fit"]["points"][1]["wall_time_s"] == 0.5
         assert report["cache"] == {
             "hits": 1, "misses": 2, "corrupt": 0,
@@ -102,10 +127,62 @@ class TestBuildReport:
         assert report["faults"]["by_status"] == {"error": 1}
         assert report["faults"]["by_error_type"] == {"ValueError": 1}
         assert report["ledger"] == {
-            "ok": 2, "pending": 0, "error": 1, "timeout": 0, "skipped": 0
+            "ok": 5, "pending": 0, "error": 1, "timeout": 0, "skipped": 0
         }
-        assert [s["key"] for s in report["slowest"]] == ["aaaa000000000002"]
+        assert [s["key"] for s in report["slowest"]] == [
+            "aaaa000000000002",
+            "bbbb000000000001",
+            "bbbb000000000002",
+            "bbbb000000000003",
+        ]
         assert report["profiles"]["artifacts"] == ["aaaa000000000002.wall.json"]
+
+    def test_constants_section_fits_and_crossover(self, tmp_path):
+        """The Constants section: per-algorithm leading-constant fit plus
+        the hybrid crossover table with the ℓ=1 minimum marked."""
+        make_fixture_sweep(tmp_path)
+        report = build_report(tmp_path)
+        constants = report["constants"]
+        (fit,) = constants["fits"]
+        assert fit["algorithm"] == "strassen"
+        assert fit["omega0"] == pytest.approx(2.8074, abs=1e-3)
+        assert fit["points"] == 2
+        assert fit["constant"] > 0
+        assert fit["spread"] >= 1.0
+        assert fit["reference"] is None  # Smith's c=2 is classical-only
+        rows = constants["crossover"]
+        assert [(r["cutoff"], r["io"]) for r in rows] == [
+            (0, 2048.0), (1, 1408.0), (2, 1664.0)
+        ]
+        assert [r["best"] for r in rows] == [False, True, False]
+        rendered = render_report(report)
+        assert "## Constants" in rendered
+        assert "### Hybrid crossover" in rendered
+        assert "2n^3/sqrt(M)" in rendered
+
+    def test_constants_classical_group_carries_smith_reference(self, tmp_path):
+        make_fixture_sweep(tmp_path)
+        with (tmp_path / "results.jsonl").open("a") as fh:
+            for key, n, io in (
+                ("cccc000000000001", 8, 2.2 * 8**3 / 48**0.5),
+                ("cccc000000000002", 16, 2.2 * 16**3 / 48**0.5),
+            ):
+                fh.write(json.dumps({
+                    "key": key, "kind": "seq_io",
+                    "params": {"alg": None, "n": n, "M": 48},
+                    "metrics": {"io": io, "bound": io / 2.2, "n_eff": float(n)},
+                    "cached": False, "wall_time_s": 0.001, "status": "ok",
+                    "trace": {},
+                }) + "\n")
+        report = build_report(tmp_path)
+        classical = next(
+            f for f in report["constants"]["fits"] if f["algorithm"] == "classical"
+        )
+        assert classical["omega0"] == 3.0
+        assert classical["reference"] == 2.0
+        assert classical["constant"] == pytest.approx(2.2, rel=1e-6)
+        assert classical["within_tol"] is True
+        assert classical["spread"] == pytest.approx(1.0)
 
     def test_reference_omega0_from_alg_params(self, tmp_path):
         """The fit reference comes from the runs' own algorithm."""
@@ -151,7 +228,7 @@ class TestBuildReport:
         with (tmp_path / "results.jsonl").open("a") as fh:
             fh.write(json.dumps(rerun, sort_keys=True) + "\n")
         runs = {r.key: r for r in load_sweep_runs(tmp_path)}
-        assert len(runs) == 3
+        assert len(runs) == 6
         assert runs["aaaa000000000003"].ok  # the re-run replaced the failure
         report = build_report(tmp_path)
         assert report["runs"]["failed"] == 0
@@ -166,7 +243,7 @@ class TestBuildReport:
         report = build_report(tmp_path)
         assert report["manifest"] is None
         assert report["ledger"] is None
-        assert report["runs"]["total"] == 3
+        assert report["runs"]["total"] == 6
 
 
 class TestGoldenOutput:

@@ -1,0 +1,124 @@
+"""Hypothesis properties of the hybrid executor (ISSUE 10 battery).
+
+Three contracts over randomly drawn (n, M, cutoff, leaf):
+
+* ``cutoff = 0`` is word-identical to ``execute_tiled`` — *when the top
+  problem exceeds fast memory* (3n² > M); below that every strategy
+  collapses to the same cache-fit single pass, so draws are constrained.
+* ``cutoff ≥ hybrid_depth`` is word-identical to
+  ``execute_recursive_bilinear`` for either leaf (never reached).
+* I/O as a function of the cutoff ℓ is *checked* for monotonicity and
+  violations are *recorded* (``event``/``note``), not asserted away —
+  a violation is exactly a hybrid-wins crossover, the regime
+  De Stefani's bounds predict (docs/hybrid.md).  What IS asserted: the
+  endpoints equal the pure executions, every count is positive, and the
+  machine executor agrees word-for-word with the symbolic closed form.
+"""
+
+import numpy as np
+from hypothesis import event, given, note, settings
+from hypothesis import strategies as st
+
+from repro import schedule
+from repro.algorithms.strassen import strassen
+from repro.execution.classical_tiled import execute_tiled
+from repro.execution.hybrid import HYBRID_LEAVES, execute_hybrid, hybrid_depth
+from repro.execution.recursive_bilinear import execute_recursive_bilinear
+from repro.machine.sequential import SequentialMachine
+
+ALG = strassen()
+
+sizes = st.sampled_from([8, 16, 32])
+leaves = st.sampled_from(HYBRID_LEAVES)
+
+
+def _counters(m: SequentialMachine) -> tuple[int, int, int]:
+    return (m.words_read, m.words_written, m.peak_fast_words)
+
+
+@given(n=sizes, M=st.integers(4, 120), seed=st.integers(0, 2**16))
+@settings(max_examples=40)
+def test_cutoff_zero_is_execute_tiled(n, M, seed):
+    """ℓ=0 with the tiled leaf ≡ execute_tiled, word for word."""
+    rng = np.random.default_rng(seed)
+    if 3 * n * n <= M:
+        M = 3 * n * n // 2  # force the out-of-core regime
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    ref = SequentialMachine(M)
+    execute_tiled(ref, A, B)
+    m = SequentialMachine(M)
+    C = execute_hybrid(m, ALG, A, B, 0, leaf="tiled")
+    assert _counters(m) == _counters(ref)
+    assert np.allclose(C, A @ B)
+
+
+@given(n=sizes, M=st.integers(12, 120), leaf=leaves, extra=st.integers(0, 2))
+@settings(max_examples=40)
+def test_deep_cutoff_is_pure_fast(n, M, leaf, extra):
+    """Any ℓ ≥ depth ≡ execute_recursive_bilinear; the leaf is never hit."""
+    rng = np.random.default_rng(7)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    ref = SequentialMachine(M)
+    execute_recursive_bilinear(ref, ALG, A, B)
+    depth = hybrid_depth(ALG, n, M)
+    m = SequentialMachine(M)
+    C = execute_hybrid(m, ALG, A, B, depth + extra, leaf=leaf)
+    assert _counters(m) == _counters(ref)
+    assert np.allclose(C, A @ B)
+
+
+@given(n=st.sampled_from([16, 32, 64]), M=st.sampled_from([48, 96, 192]),
+       leaf=leaves)
+@settings(max_examples=40)
+def test_io_vs_cutoff_monotone_or_violation_recorded(n, M, leaf):
+    """Sweep ℓ = 0..depth (symbolic closed forms): pin the endpoints to
+    the pure strategies; record — don't reject — monotonicity breaks."""
+    depth = hybrid_depth(ALG, n, M)
+    ios = [
+        int(schedule.run(
+            schedule.seq_io_schedule("strassen", n, M, cutoff=c, leaf=leaf),
+            backend="symbolic",
+        ).io)
+        for c in range(depth + 1)
+    ]
+    assert all(io > 0 for io in ios)
+    # endpoint anchors: ℓ=0 (tiled) is the classical schedule, ℓ=depth the
+    # pure-fast one — both via the non-hybrid spec constructors.
+    if leaf == "tiled" and 3 * n * n > M:
+        classical = int(schedule.run(
+            schedule.seq_io_schedule(None, n, M), backend="symbolic").io)
+        assert ios[0] == classical
+    fast = int(schedule.run(
+        schedule.seq_io_schedule("strassen", n, M), backend="symbolic").io)
+    assert ios[depth] == fast
+    violations = [
+        (c, ios[c], ios[c + 1])
+        for c in range(depth)
+        if ios[c + 1] < ios[c]
+    ]
+    if violations:
+        event("io-vs-cutoff violation (hybrid crossover)")
+        note(f"n={n} M={M} leaf={leaf} ios={ios} violations={violations}")
+    else:
+        event("io-vs-cutoff monotone")
+
+
+@given(n=st.sampled_from([8, 16]), M=st.integers(12, 96),
+       cutoff=st.integers(0, 3), leaf=leaves)
+@settings(max_examples=40)
+def test_machine_matches_symbolic_closed_form(n, M, cutoff, leaf):
+    """The physical machine and the memoized closed form agree exactly on
+    (reads, writes, peak_fast) at arbitrary drawn hybrid points."""
+    rng = np.random.default_rng(11)
+    m = SequentialMachine(M)
+    execute_hybrid(m, ALG, rng.standard_normal((n, n)),
+                   rng.standard_normal((n, n)), cutoff, leaf=leaf,
+                   level_replay=True)
+    rep = schedule.run(
+        schedule.seq_io_schedule("strassen", n, M, cutoff=cutoff, leaf=leaf),
+        backend="symbolic",
+    )
+    view = rep.counter_view()
+    assert (view["reads"], view["writes"], view["peak_fast"]) == _counters(m)

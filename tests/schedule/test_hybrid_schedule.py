@@ -1,0 +1,73 @@
+"""Hybrid seq_io schedules: backend agreement and spec plumbing."""
+
+import pytest
+
+from repro import schedule
+
+GRID = [
+    ("strassen", 16, 48, 1, "tiled"),
+    ("strassen", 16, 48, 2, "resident"),
+    ("winograd", 16, 48, 1, "resident"),
+    ("laderman", 27, 64, 1, "tiled"),
+    ("grey-522-18", 25, 64, 1, "resident"),
+]
+
+
+class TestSpec:
+    def test_cutoff_selects_hybrid_variant(self):
+        spec = schedule.seq_io_schedule("strassen", 16, 48, cutoff=1)
+        assert spec.params["variant"] == "hybrid"
+        assert spec.params["cutoff"] == 1
+        assert spec.params["leaf"] == "tiled"
+
+    def test_no_cutoff_keeps_pure_variants(self):
+        assert schedule.seq_io_schedule("strassen", 16, 48).params.get(
+            "variant"
+        ) != "hybrid"
+
+    def test_bad_leaf_rejected(self):
+        with pytest.raises(ValueError):
+            schedule.seq_io_schedule("strassen", 16, 48, cutoff=1, leaf="mosaic")
+
+    def test_negative_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            schedule.seq_io_schedule("strassen", 16, 48, cutoff=-1)
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("alg,n,M,cutoff,leaf", GRID)
+    def test_three_backends_word_identical(self, alg, n, M, cutoff, leaf):
+        spec = schedule.seq_io_schedule(alg, n, M, cutoff=cutoff, leaf=leaf)
+        views = {
+            backend: schedule.run(spec, backend=backend).counter_view()
+            for backend in ("reference", "vector", "symbolic")
+        }
+        assert views["reference"] == views["vector"] == views["symbolic"], views
+
+    def test_symbolic_closed_form_reaches_large_n(self):
+        """The memoized closed form evaluates n = 4096 hybrids instantly —
+        the scale the materializing backends cannot touch."""
+        rep = schedule.run(
+            schedule.seq_io_schedule("strassen", 4096, 4096, cutoff=3,
+                                     leaf="resident"),
+            backend="symbolic",
+        )
+        assert rep.io > 0
+
+    def test_memoized_costs_stable_across_calls(self):
+        spec = schedule.seq_io_schedule("strassen", 64, 48, cutoff=2)
+        a = schedule.run(spec, backend="symbolic").counter_view()
+        b = schedule.run(spec, backend="symbolic").counter_view()
+        assert a == b
+
+    def test_cutoff_zero_tiled_equals_classical_spec(self):
+        """ℓ=0 hybrid (tiled) and the plain classical schedule agree."""
+        n, M = 32, 48
+        hyb = schedule.run(
+            schedule.seq_io_schedule("strassen", n, M, cutoff=0, leaf="tiled"),
+            backend="symbolic",
+        )
+        cls = schedule.run(
+            schedule.seq_io_schedule(None, n, M), backend="symbolic"
+        )
+        assert hyb.counter_view() == cls.counter_view()

@@ -1,0 +1,28 @@
+"""Per-algorithm zoo-sweep exponent gates (ISSUE 10 satellite: the
+grey-522-18 fix — the old flat 0.15 gate was ~2× looser than any entry's
+measured default-grid diff)."""
+
+from repro.zoo import (
+    DEFAULT_SWEEP_TOLERANCE,
+    SWEEP_EXPONENT_TOLERANCES,
+    corpus_names,
+    sweep_tolerance,
+)
+
+
+class TestToleranceTable:
+    def test_every_corpus_entry_has_a_measured_gate(self):
+        assert set(SWEEP_EXPONENT_TOLERANCES) == set(corpus_names())
+
+    def test_every_gate_tighter_than_old_flat_gate(self):
+        assert all(t < 0.15 for t in SWEEP_EXPONENT_TOLERANCES.values())
+
+    def test_grey_522_18_gate_catches_the_3_point_overshoot(self):
+        """The rectangular entry fitted 2.990 vs ω₀ 2.894 (diff 0.096) on
+        a 3-point grid and still passed the flat gate; the measured gate
+        rejects that while admitting the 4-point default-grid diff 0.074."""
+        gate = sweep_tolerance("grey-522-18")
+        assert 0.074 < gate < 0.096
+
+    def test_unknown_entry_falls_back_to_default(self):
+        assert sweep_tolerance("not-an-entry") == DEFAULT_SWEEP_TOLERANCE
